@@ -1,0 +1,101 @@
+//! Engineering benchmarks (not from the paper): component throughput via
+//! Criterion. These guard against performance regressions in the
+//! substrates that make the paper-scale sweeps feasible on one core.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmwave_body::{Activity, ActivitySampler, Participant, SampleVariation};
+use mmwave_dsp::fft::Fft;
+use mmwave_dsp::Complex32;
+use mmwave_har::config::PrototypeConfig;
+use mmwave_har::model::CnnLstm;
+use mmwave_nn::{softmax_cross_entropy, Adam};
+use mmwave_radar::capture::{CaptureConfig, Capturer};
+use mmwave_radar::{Environment, Placement};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn bench_fft(c: &mut Criterion) {
+    let plan = Fft::new(64);
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let signal: Vec<Complex32> = (0..64)
+        .map(|_| Complex32::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+        .collect();
+    c.bench_function("fft_64_forward", |b| {
+        b.iter(|| {
+            let mut buf = signal.clone();
+            plan.forward(black_box(&mut buf));
+            black_box(buf)
+        })
+    });
+}
+
+fn bench_if_synthesis(c: &mut Criterion) {
+    let capturer = Capturer::new(CaptureConfig::fast());
+    let sampler = ActivitySampler::new(Participant::average(), 4, 10.0);
+    let seq = sampler.sample(Activity::Push, &SampleVariation::nominal());
+    let env = Environment::hallway();
+    c.bench_function("if_synthesis_4_frames", |b| {
+        b.iter(|| {
+            black_box(capturer.base_if_frames(
+                black_box(&seq),
+                Placement::new(1.2, 0.0),
+                &env,
+                1,
+                1.0,
+            ))
+        })
+    });
+}
+
+fn bench_drai(c: &mut Criterion) {
+    let capturer = Capturer::new(CaptureConfig::fast());
+    let sampler = ActivitySampler::new(Participant::average(), 1, 10.0);
+    let seq = sampler.sample(Activity::Push, &SampleVariation::nominal());
+    let env = Environment::hallway();
+    let frames = capturer.base_if_frames(&seq, Placement::new(1.2, 0.0), &env, 1, 1.0);
+    c.bench_function("drai_one_frame", |b| {
+        b.iter(|| black_box(capturer.drai_of(black_box(&frames[0]), &env)))
+    });
+}
+
+fn bench_train_step(c: &mut Criterion) {
+    let cfg = PrototypeConfig::fast();
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let seq = mmwave_dsp::HeatmapSeq::new(
+        (0..cfg.n_frames)
+            .map(|_| {
+                let data: Vec<f32> = (0..cfg.heatmap_rows * cfg.heatmap_cols)
+                    .map(|_| rng.gen_range(0.0..1.0))
+                    .collect();
+                mmwave_dsp::Heatmap::from_data(
+                    cfg.heatmap_rows,
+                    cfg.heatmap_cols,
+                    mmwave_dsp::heatmap::HeatmapKind::RangeAngle,
+                    data,
+                )
+            })
+            .collect(),
+    );
+    let mut model = CnnLstm::new(&cfg, 1);
+    let mut adam = Adam::new(1e-3);
+    c.bench_function("cnn_lstm_train_step", |b| {
+        b.iter(|| {
+            let cache = model.forward(black_box(&seq));
+            let (_, dlogits) = softmax_cross_entropy(&cache.logits, 2);
+            model.zero_grads();
+            model.backward(&cache, &dlogits);
+            adam.step(&mut model.param_tensors());
+        })
+    });
+    c.bench_function("cnn_lstm_inference", |b| {
+        b.iter(|| black_box(model.predict(black_box(&seq))))
+    });
+}
+
+criterion_group! {
+    name = perf;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fft, bench_if_synthesis, bench_drai, bench_train_step
+}
+criterion_main!(perf);

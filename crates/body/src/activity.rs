@@ -1,0 +1,223 @@
+//! The six prototype hand activities and their hand-path generators.
+
+use mmwave_geom::Vec3;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The six hand activities the HAR prototype recognizes (Section II-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Activity {
+    /// Hand extends from the chest toward the radar.
+    Push,
+    /// Hand retracts from an extended position back to the chest.
+    Pull,
+    /// Hand sweeps from the body's right to its left.
+    LeftSwipe,
+    /// Hand sweeps from the body's left to its right.
+    RightSwipe,
+    /// Hand traces a circle clockwise (as seen by the radar).
+    Clockwise,
+    /// Hand traces a circle anticlockwise (as seen by the radar).
+    Anticlockwise,
+}
+
+impl Activity {
+    /// All six activities, in label order.
+    pub const ALL: [Activity; 6] = [
+        Activity::Push,
+        Activity::Pull,
+        Activity::LeftSwipe,
+        Activity::RightSwipe,
+        Activity::Clockwise,
+        Activity::Anticlockwise,
+    ];
+
+    /// Class index used as the training label (0..6).
+    pub fn index(self) -> usize {
+        match self {
+            Activity::Push => 0,
+            Activity::Pull => 1,
+            Activity::LeftSwipe => 2,
+            Activity::RightSwipe => 3,
+            Activity::Clockwise => 4,
+            Activity::Anticlockwise => 5,
+        }
+    }
+
+    /// Inverse of [`index`](Self::index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 6`.
+    pub fn from_index(i: usize) -> Activity {
+        Activity::ALL[i]
+    }
+
+    /// The activity with the mirrored trajectory, as used by the paper's
+    /// "similar trajectory attack" pairs (Push<->Pull, Left<->Right swipe,
+    /// Clockwise<->Anticlockwise).
+    pub fn mirrored(self) -> Activity {
+        match self {
+            Activity::Push => Activity::Pull,
+            Activity::Pull => Activity::Push,
+            Activity::LeftSwipe => Activity::RightSwipe,
+            Activity::RightSwipe => Activity::LeftSwipe,
+            Activity::Clockwise => Activity::Anticlockwise,
+            Activity::Anticlockwise => Activity::Clockwise,
+        }
+    }
+
+    /// Human-readable label matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Activity::Push => "Push",
+            Activity::Pull => "Pull",
+            Activity::LeftSwipe => "Left Swipe",
+            Activity::RightSwipe => "Right Swipe",
+            Activity::Clockwise => "Clockwise",
+            Activity::Anticlockwise => "Anticlockwise",
+        }
+    }
+
+    /// Hand offset relative to the chest reference point at normalized
+    /// gesture time `t` in `[0, 1]`, in the body-local frame (`x` toward the
+    /// body's right as the radar sees it, `y` toward the radar, `z` up).
+    ///
+    /// `amplitude` scales the spatial extent (per-sample variation).
+    pub fn hand_offset(self, t: f64, amplitude: f64) -> Vec3 {
+        let t = t.clamp(0.0, 1.0);
+        // Smooth acceleration/deceleration over the whole gesture.
+        let s = smoothstep(t);
+        // Rest pose: hand slightly in front of and below the chest.
+        let rest = Vec3::new(0.10, 0.22, -0.12);
+        let a = amplitude;
+        let offset = match self {
+            // Extend toward the radar over the gesture.
+            Activity::Push => Vec3::new(0.0, 0.32 * a * s, 0.04 * a * s),
+            // Time-reversed push: start extended, retract.
+            Activity::Pull => Vec3::new(0.0, 0.32 * a * (1.0 - s), 0.04 * a * (1.0 - s)),
+            // Sweep across the body toward its left (-x).
+            Activity::LeftSwipe => Vec3::new(0.22 * a - 0.44 * a * s, 0.12 * a, 0.0),
+            // Mirrored sweep.
+            Activity::RightSwipe => Vec3::new(-0.22 * a + 0.44 * a * s, 0.12 * a, 0.0),
+            // Full circle in the plane facing the radar. Clockwise as the
+            // radar sees it means decreasing angle in the body's (x, z).
+            Activity::Clockwise => {
+                let theta = std::f64::consts::TAU * s;
+                Vec3::new(
+                    0.16 * a * (-theta).sin(),
+                    0.12 * a,
+                    0.16 * a * ((-theta).cos() - 1.0) + 0.16 * a,
+                )
+            }
+            Activity::Anticlockwise => {
+                let theta = std::f64::consts::TAU * s;
+                Vec3::new(
+                    0.16 * a * theta.sin(),
+                    0.12 * a,
+                    0.16 * a * (theta.cos() - 1.0) + 0.16 * a,
+                )
+            }
+        };
+        rest + offset
+    }
+}
+
+impl fmt::Display for Activity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Cubic smoothstep: 0 at 0, 1 at 1, zero slope at both ends.
+fn smoothstep(t: f64) -> f64 {
+    t * t * (3.0 - 2.0 * t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip_and_uniqueness() {
+        for (i, &a) in Activity::ALL.iter().enumerate() {
+            assert_eq!(a.index(), i);
+            assert_eq!(Activity::from_index(i), a);
+        }
+    }
+
+    #[test]
+    fn mirrored_is_an_involution() {
+        for a in Activity::ALL {
+            assert_eq!(a.mirrored().mirrored(), a);
+            assert_ne!(a.mirrored(), a);
+        }
+    }
+
+    #[test]
+    fn push_extends_and_pull_retracts() {
+        let start = Activity::Push.hand_offset(0.0, 1.0);
+        let end = Activity::Push.hand_offset(1.0, 1.0);
+        assert!(end.y > start.y + 0.2, "push should extend toward the radar");
+        // Pull is the time reversal of push.
+        for t in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let push = Activity::Push.hand_offset(t, 1.0);
+            let pull = Activity::Pull.hand_offset(1.0 - t, 1.0);
+            assert!((push - pull).norm() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn swipes_are_mirror_images_in_x() {
+        for t in [0.1, 0.4, 0.9] {
+            let l = Activity::LeftSwipe.hand_offset(t, 1.0);
+            let r = Activity::RightSwipe.hand_offset(t, 1.0);
+            // Mirror in x around the shared rest offset.
+            let rest_x = 0.10;
+            assert!(((l.x - rest_x) + (r.x - rest_x)).abs() < 1e-12);
+            assert!((l.y - r.y).abs() < 1e-12);
+            assert!((l.z - r.z).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn turning_traces_closed_circle() {
+        for act in [Activity::Clockwise, Activity::Anticlockwise] {
+            let start = act.hand_offset(0.0, 1.0);
+            let end = act.hand_offset(1.0, 1.0);
+            assert!((start - end).norm() < 1e-9, "{act} should close its loop");
+        }
+    }
+
+    #[test]
+    fn turnings_have_opposite_chirality() {
+        // Early in the gesture the two turnings move in opposite x.
+        let cw = Activity::Clockwise.hand_offset(0.25, 1.0);
+        let acw = Activity::Anticlockwise.hand_offset(0.25, 1.0);
+        assert!((cw.x - 0.10) * (acw.x - 0.10) < 0.0);
+    }
+
+    #[test]
+    fn amplitude_scales_extent() {
+        let small = Activity::Push.hand_offset(1.0, 0.5);
+        let large = Activity::Push.hand_offset(1.0, 1.5);
+        assert!(large.y > small.y);
+    }
+
+    #[test]
+    fn offsets_are_bounded_and_finite() {
+        for act in Activity::ALL {
+            for i in 0..=20 {
+                let p = act.hand_offset(i as f64 / 20.0, 1.3);
+                assert!(p.is_finite());
+                assert!(p.norm() < 1.5, "{act} hand offset implausibly large: {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn labels_match_paper_names() {
+        assert_eq!(Activity::Clockwise.label(), "Clockwise");
+        assert_eq!(Activity::LeftSwipe.to_string(), "Left Swipe");
+    }
+}

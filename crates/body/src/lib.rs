@@ -1,0 +1,46 @@
+//! Parametric human body model and hand-activity generator.
+//!
+//! The paper captures live participants with an RGBD/video rig and converts
+//! them to 3D meshes with GLoT; we have neither participants nor video, so
+//! this crate *is* the substitute: a kinematic human model whose right hand
+//! performs the six prototype activities ("Push", "Pull", "Left Swipe",
+//! "Right Swipe", "Clockwise Turning", "Anticlockwise Turning") with
+//! per-sample randomized timing, amplitude, and micro-motion.
+//!
+//! What the downstream pipeline needs from a "person" is:
+//!
+//! * a time series of triangle meshes with per-vertex velocities (Doppler
+//!   and MTI clutter removal both depend on motion, not just shape);
+//! * named attachment *sites* ([`SiteId`]) where an attacker can tape a
+//!   trigger plate, tracked per frame with position, outward normal, and
+//!   velocity (a trigger inherits the motion of the body part it rides on —
+//!   the physical reason trigger placement matters at all).
+//!
+//! # Examples
+//!
+//! ```
+//! use mmwave_body::{Activity, ActivitySampler, Participant, SampleVariation};
+//! use rand::SeedableRng;
+//!
+//! let sampler = ActivitySampler::new(Participant::average(), 32, 10.0);
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+//! let variation = SampleVariation::random(&mut rng);
+//! let seq = sampler.sample(Activity::Push, &variation);
+//! assert_eq!(seq.len(), 32);
+//! // The hand moves: later frames differ from the first.
+//! assert_ne!(seq.frame(0).mesh.vertices(), seq.frame(31).mesh.vertices());
+//! ```
+
+pub mod activity;
+pub mod model;
+pub mod participant;
+pub mod sampler;
+pub mod sequence;
+pub mod sites;
+
+pub use activity::Activity;
+pub use model::HumanModel;
+pub use participant::Participant;
+pub use sampler::{ActivitySampler, SampleVariation};
+pub use sequence::{BodyFrame, MeshSequence};
+pub use sites::{SiteId, SitePose};

@@ -1,0 +1,431 @@
+//! The kinematic human model: pose in, triangle mesh + site poses out.
+
+use crate::participant::Participant;
+use crate::sites::{SiteId, SitePose};
+use mmwave_geom::{primitives, Mat3, RigidTransform, TriMesh, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// An instantaneous body configuration in the body-local frame
+/// (`x` = body's right, `y` = facing direction, `z` = up, origin between
+/// the feet).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BodyPose {
+    /// Right-hand (wrist) target position.
+    pub hand_target: Vec3,
+    /// Whole-body micro-motion offset (postural sway).
+    pub sway: Vec3,
+    /// Chest expansion due to breathing, in meters (applied along `+y`).
+    pub breath: f64,
+}
+
+impl Default for BodyPose {
+    fn default() -> Self {
+        BodyPose { hand_target: Vec3::new(0.25, 0.25, 1.1), sway: Vec3::ZERO, breath: 0.0 }
+    }
+}
+
+/// Builds posed triangle meshes of a participant.
+///
+/// Mesh topology is identical for every pose (same tessellation, same
+/// vertex order), so per-vertex velocities can be obtained by finite
+/// differences between two nearby poses — see
+/// [`TriMesh::set_velocities_from_previous`].
+///
+/// # Examples
+///
+/// ```
+/// use mmwave_body::{HumanModel, Participant};
+/// use mmwave_body::model::BodyPose;
+///
+/// let model = HumanModel::new(Participant::average());
+/// let (mesh, sites) = model.posed(&BodyPose::default());
+/// assert!(mesh.triangle_count() > 100);
+/// assert_eq!(sites.len(), mmwave_body::SiteId::ALL.len());
+/// ```
+#[derive(Debug, Clone)]
+pub struct HumanModel {
+    participant: Participant,
+}
+
+impl HumanModel {
+    /// Creates a model for the given participant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the participant fails [`Participant::validate`].
+    pub fn new(participant: Participant) -> Self {
+        participant
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid participant: {e}"));
+        HumanModel { participant }
+    }
+
+    /// The participant this model was built for.
+    pub fn participant(&self) -> &Participant {
+        &self.participant
+    }
+
+    /// Builds the posed mesh and the attachment-site poses.
+    ///
+    /// Site velocities in the returned [`SitePose`]s are zero; the sampler
+    /// fills them in by finite differences, exactly as it does for mesh
+    /// vertices.
+    pub fn posed(&self, pose: &BodyPose) -> (TriMesh, Vec<SitePose>) {
+        let p = &self.participant;
+        let joints = self.solve_joints(pose);
+        let mut mesh = TriMesh::new();
+
+        // Torso: ellipsoid between hips and shoulders; breathing expands
+        // its front-back half-depth.
+        let torso_half_h = (p.shoulder_height() - p.hip_height()) / 2.0 + 0.06;
+        let torso_center = Vec3::new(
+            0.0,
+            0.0,
+            (p.shoulder_height() + p.hip_height()) / 2.0,
+        );
+        let torso = primitives::ellipsoid(
+            p.torso_width(),
+            p.torso_depth() + pose.breath,
+            torso_half_h,
+            10,
+            5,
+        )
+        .translated(torso_center);
+        mesh.merge(&torso);
+
+        // Head.
+        let head_r = p.head_radius();
+        let head = primitives::ellipsoid(head_r, head_r, head_r * 1.25, 8, 4)
+            .translated(Vec3::new(0.0, 0.0, p.height - head_r * 1.25));
+        mesh.merge(&head);
+
+        // Legs.
+        let hip_x = 0.09 * p.build;
+        for side in [-1.0, 1.0] {
+            let leg = primitives::cylinder(p.leg_radius(), p.hip_height(), 6, 2)
+                .translated(Vec3::new(side * hip_x, 0.0, p.hip_height() / 2.0));
+            mesh.merge(&leg);
+        }
+
+        // Arms: four segments (two per arm), plus the right hand.
+        mesh.merge(&limb_between(joints.right_shoulder, joints.right_elbow, p.arm_radius()));
+        mesh.merge(&limb_between(joints.right_elbow, joints.right_wrist, p.arm_radius() * 0.85));
+        mesh.merge(&limb_between(joints.left_shoulder, joints.left_elbow, p.arm_radius()));
+        mesh.merge(&limb_between(joints.left_elbow, joints.left_wrist, p.arm_radius() * 0.85));
+        let hand_dir = (joints.right_wrist - joints.right_elbow)
+            .try_normalized()
+            .unwrap_or(Vec3::Y);
+        let hand = primitives::ellipsoid(0.045, 0.05, 0.09, 6, 3);
+        let hand_xf = RigidTransform::new(
+            rotation_z_to(hand_dir),
+            joints.right_wrist + hand_dir * 0.06,
+        );
+        mesh.merge(&hand.transformed(&hand_xf));
+
+        // Postural sway pivots around the planted feet: displacement grows
+        // linearly with height, so the chest sways more than the shins.
+        // This is what differentiates the MTI survival of triggers taped to
+        // different body parts.
+        let height = p.height;
+        let sway = pose.sway;
+        mesh.map_vertices(|v| v + sway * (v.z / height).clamp(0.0, 1.2));
+        let sites = self.site_poses(pose, &joints);
+        (mesh, sites)
+    }
+
+    /// Joint solution for a pose (public for tests and debugging displays).
+    pub fn solve_joints(&self, pose: &BodyPose) -> Joints {
+        let p = &self.participant;
+        let sw = p.shoulder_half_width();
+        let right_shoulder = Vec3::new(sw, 0.02, p.shoulder_height());
+        let left_shoulder = Vec3::new(-sw, 0.02, p.shoulder_height());
+
+        // Right arm: two-link IK to the hand target.
+        let (l1, l2) = (p.upper_arm_length(), p.forearm_length());
+        let (right_elbow, right_wrist) =
+            two_link_ik(right_shoulder, pose.hand_target, l1, l2);
+
+        // Left arm hangs at the side with a slight forward bend.
+        let left_elbow = left_shoulder + Vec3::new(-0.02, 0.01, -l1);
+        let left_wrist = left_elbow + Vec3::new(0.0, 0.08, -l2 * 0.98);
+
+        Joints {
+            right_shoulder,
+            right_elbow,
+            right_wrist,
+            left_shoulder,
+            left_elbow,
+            left_wrist,
+        }
+    }
+
+    fn site_poses(&self, pose: &BodyPose, joints: &Joints) -> Vec<SitePose> {
+        let p = &self.participant;
+        let hip_x = 0.09 * p.build;
+        let front = Vec3::Y;
+        let height = p.height;
+        let mut sites = Vec::with_capacity(SiteId::ALL.len());
+        let mut push = |site: SiteId, position: Vec3, normal: Vec3| {
+            // Same feet-pivot sway scaling as the mesh.
+            let sway = pose.sway * (position.z / height).clamp(0.0, 1.2);
+            sites.push(SitePose { site, position: position + sway, normal, velocity: Vec3::ZERO });
+        };
+
+        push(
+            SiteId::Chest,
+            Vec3::new(0.0, p.torso_depth() + pose.breath, p.chest_height()),
+            front,
+        );
+        push(
+            SiteId::Abdomen,
+            Vec3::new(0.0, p.torso_depth() * 0.95 + pose.breath * 0.5, p.hip_height() + 0.10),
+            front,
+        );
+        // Arm sites sit on the front surface of each segment.
+        let arm_surface = |a: Vec3, b: Vec3, radius: f64, t: f64| -> (Vec3, Vec3) {
+            let axis = (b - a).try_normalized().unwrap_or(Vec3::Z);
+            // Outward direction: the component of "front" orthogonal to the
+            // limb axis (fall back to straight ahead for degenerate cases).
+            let n = (front - axis * front.dot(axis))
+                .try_normalized()
+                .unwrap_or(front);
+            (a.lerp(b, t) + n * radius, n)
+        };
+        let (pos, n) =
+            arm_surface(joints.right_shoulder, joints.right_elbow, p.arm_radius(), 0.5);
+        push(SiteId::RightUpperArm, pos, n);
+        let (pos, n) =
+            arm_surface(joints.right_elbow, joints.right_wrist, p.arm_radius() * 0.85, 0.5);
+        push(SiteId::RightForearm, pos, n);
+        let (pos, n) =
+            arm_surface(joints.right_elbow, joints.right_wrist, p.arm_radius() * 0.85, 0.95);
+        push(SiteId::RightWrist, pos, n);
+        let (pos, n) =
+            arm_surface(joints.left_shoulder, joints.left_elbow, p.arm_radius(), 0.5);
+        push(SiteId::LeftUpperArm, pos, n);
+        let (pos, n) =
+            arm_surface(joints.left_elbow, joints.left_wrist, p.arm_radius() * 0.85, 0.5);
+        push(SiteId::LeftForearm, pos, n);
+        // Legs.
+        push(
+            SiteId::LeftThigh,
+            Vec3::new(-hip_x, p.leg_radius(), p.hip_height() * 0.75),
+            front,
+        );
+        push(
+            SiteId::RightThigh,
+            Vec3::new(hip_x, p.leg_radius(), p.hip_height() * 0.75),
+            front,
+        );
+        push(
+            SiteId::LeftShin,
+            Vec3::new(-hip_x, p.leg_radius(), p.hip_height() * 0.30),
+            front,
+        );
+        push(
+            SiteId::RightShin,
+            Vec3::new(hip_x, p.leg_radius(), p.hip_height() * 0.30),
+            front,
+        );
+        sites
+    }
+}
+
+/// Joint positions of the two arms in the body-local frame.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Joints {
+    /// Right shoulder joint.
+    pub right_shoulder: Vec3,
+    /// Right elbow joint.
+    pub right_elbow: Vec3,
+    /// Right wrist joint (equals the clamped hand target).
+    pub right_wrist: Vec3,
+    /// Left shoulder joint.
+    pub left_shoulder: Vec3,
+    /// Left elbow joint.
+    pub left_elbow: Vec3,
+    /// Left wrist joint.
+    pub left_wrist: Vec3,
+}
+
+/// Two-link inverse kinematics: returns `(elbow, wrist)` for a shoulder at
+/// `root`, upper-arm length `l1`, forearm length `l2`, reaching toward
+/// `target` (clamped into the reachable annulus). The elbow bends downward
+/// and outward, as a human elbow does for gestures in front of the chest.
+fn two_link_ik(root: Vec3, target: Vec3, l1: f64, l2: f64) -> (Vec3, Vec3) {
+    let to_target = target - root;
+    let d_raw = to_target.norm();
+    let d = d_raw.clamp((l1 - l2).abs() + 1e-3, l1 + l2 - 1e-3);
+    let dir = to_target.try_normalized().unwrap_or(Vec3::Y);
+    let wrist = root + dir * d;
+    // Distance from shoulder along the axis to the elbow's projection.
+    let a = (l1 * l1 - l2 * l2 + d * d) / (2.0 * d);
+    let h = (l1 * l1 - a * a).max(0.0).sqrt();
+    // Elbow bend direction: mostly downward, orthogonalized to the axis.
+    let bend_hint = Vec3::new(0.35, -0.1, -1.0).normalized();
+    let perp = (bend_hint - dir * bend_hint.dot(dir))
+        .try_normalized()
+        .unwrap_or_else(|| dir.cross(Vec3::X).normalized());
+    let elbow = root + dir * a + perp * h;
+    (elbow, wrist)
+}
+
+/// A limb segment mesh between two joints.
+fn limb_between(a: Vec3, b: Vec3, radius: f64) -> TriMesh {
+    let len = a.distance(b).max(1e-3);
+    let dir = (b - a).try_normalized().unwrap_or(Vec3::Z);
+    let xf = RigidTransform::new(rotation_z_to(dir), a);
+    primitives::limb(radius, len, 6).transformed(&xf)
+}
+
+/// A rotation mapping `+z` to the unit vector `dir`.
+fn rotation_z_to(dir: Vec3) -> Mat3 {
+    let z = Vec3::Z;
+    let c = z.dot(dir);
+    if c > 1.0 - 1e-9 {
+        return Mat3::IDENTITY;
+    }
+    if c < -1.0 + 1e-9 {
+        // 180 degrees about x.
+        return Mat3::rotation_x(std::f64::consts::PI);
+    }
+    let axis = z.cross(dir).normalized();
+    Mat3::rotation_axis(axis, c.acos())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> HumanModel {
+        HumanModel::new(Participant::average())
+    }
+
+    #[test]
+    fn mesh_topology_is_pose_invariant() {
+        let m = model();
+        let (a, _) = m.posed(&BodyPose::default());
+        let far = BodyPose {
+            hand_target: Vec3::new(0.1, 0.5, 1.3),
+            ..BodyPose::default()
+        };
+        let (b, _) = m.posed(&far);
+        assert_eq!(a.triangle_count(), b.triangle_count());
+        assert_eq!(a.vertex_count(), b.vertex_count());
+        assert_eq!(a.faces(), b.faces());
+    }
+
+    #[test]
+    fn ik_respects_link_lengths() {
+        let root = Vec3::new(0.0, 0.0, 1.4);
+        let (l1, l2) = (0.3, 0.27);
+        for target in [
+            Vec3::new(0.2, 0.3, 1.2),
+            Vec3::new(0.0, 0.55, 1.4), // nearly full extension
+            Vec3::new(0.0, 0.05, 1.38), // nearly folded
+            Vec3::new(0.0, 2.0, 1.4),  // out of reach: clamped
+        ] {
+            let (elbow, wrist) = two_link_ik(root, target, l1, l2);
+            assert!((root.distance(elbow) - l1).abs() < 1e-6, "upper arm length broken");
+            assert!((elbow.distance(wrist) - l2).abs() < 1e-6, "forearm length broken");
+        }
+    }
+
+    #[test]
+    fn reachable_target_is_hit_exactly() {
+        let root = Vec3::new(0.25, 0.0, 1.4);
+        let target = Vec3::new(0.15, 0.35, 1.15);
+        let (_, wrist) = two_link_ik(root, target, 0.3, 0.27);
+        assert!((wrist - target).norm() < 1e-9);
+    }
+
+    #[test]
+    fn wrist_site_follows_hand_target() {
+        let m = model();
+        let near = BodyPose { hand_target: Vec3::new(0.2, 0.25, 1.1), ..BodyPose::default() };
+        let far = BodyPose { hand_target: Vec3::new(0.2, 0.52, 1.15), ..BodyPose::default() };
+        let wrist = |sites: &[SitePose]| {
+            sites.iter().find(|s| s.site == SiteId::RightWrist).unwrap().position
+        };
+        let (_, sites_near) = m.posed(&near);
+        let (_, sites_far) = m.posed(&far);
+        assert!(
+            wrist(&sites_far).y > wrist(&sites_near).y,
+            "wrist should extend with the hand"
+        );
+    }
+
+    #[test]
+    fn chest_site_breathes_forward() {
+        let m = model();
+        let rest = BodyPose::default();
+        let inhale = BodyPose { breath: 0.01, ..BodyPose::default() };
+        let chest = |pose: &BodyPose| {
+            m.posed(pose)
+                .1
+                .iter()
+                .find(|s| s.site == SiteId::Chest)
+                .unwrap()
+                .position
+        };
+        assert!(chest(&inhale).y > chest(&rest).y);
+    }
+
+    #[test]
+    fn sway_pivots_around_the_feet() {
+        let m = model();
+        let sway = Vec3::new(0.004, -0.003, 0.0);
+        let moved = BodyPose { sway, ..BodyPose::default() };
+        let (mesh0, sites0) = m.posed(&BodyPose::default());
+        let (mesh1, sites1) = m.posed(&moved);
+        let h = m.participant().height;
+        // Every vertex moves by sway scaled by its height fraction.
+        for (v0, v1) in mesh0.vertices().iter().zip(mesh1.vertices()) {
+            let expected = sway * (v0.z / h).clamp(0.0, 1.2);
+            assert!((*v1 - *v0 - expected).norm() < 1e-9);
+        }
+        // Sites move consistently with the mesh: higher sites sway more.
+        let disp = |id: SiteId| {
+            let a = sites0.iter().find(|s| s.site == id).unwrap().position;
+            let b = sites1.iter().find(|s| s.site == id).unwrap().position;
+            (b - a).norm()
+        };
+        assert!(disp(SiteId::Chest) > 1.8 * disp(SiteId::LeftShin));
+    }
+
+    #[test]
+    fn body_height_matches_participant() {
+        let m = model();
+        let (mesh, _) = m.posed(&BodyPose::default());
+        let (lo, hi) = mesh.bounding_box().unwrap();
+        assert!(lo.z > -0.01, "nothing below the feet");
+        let p = m.participant();
+        assert!((hi.z - p.height).abs() < 0.05, "top of head near stature: {}", hi.z);
+    }
+
+    #[test]
+    fn site_normals_are_unit_and_forward_leaning() {
+        let m = model();
+        let (_, sites) = m.posed(&BodyPose::default());
+        for s in &sites {
+            assert!((s.normal.norm() - 1.0).abs() < 1e-9, "{} normal not unit", s.site);
+            assert!(s.normal.y > -0.2, "{} normal points backwards", s.site);
+        }
+    }
+
+    #[test]
+    fn rotation_z_to_handles_degenerate_directions() {
+        let up = rotation_z_to(Vec3::Z);
+        assert!((up * Vec3::Z - Vec3::Z).norm() < 1e-9);
+        let down = rotation_z_to(-Vec3::Z);
+        assert!((down * Vec3::Z + Vec3::Z).norm() < 1e-9);
+        let side = rotation_z_to(Vec3::X);
+        assert!((side * Vec3::Z - Vec3::X).norm() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid participant")]
+    fn invalid_participant_panics() {
+        HumanModel::new(Participant { height: 5.0, build: 1.0, reflectivity: 1.0 });
+    }
+}

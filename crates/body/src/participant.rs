@@ -1,0 +1,163 @@
+//! Participant anthropometry.
+
+use serde::{Deserialize, Serialize};
+
+/// Body proportions of one experiment participant.
+///
+/// The paper recruits "three participants of different heights"; the
+/// prototype dataset generator mirrors that with three presets
+/// ([`Participant::presets`]). All body-segment dimensions scale from the
+/// height with standard anthropometric ratios, plus a build factor for
+/// torso/limb girth.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Participant {
+    /// Stature in meters.
+    pub height: f64,
+    /// Girth multiplier (1.0 = average build).
+    pub build: f64,
+    /// Radar cross-section scale of skin/clothing relative to the default
+    /// body reflectivity (dielectric differences between people/clothes).
+    pub reflectivity: f64,
+}
+
+impl Participant {
+    /// An average-height participant.
+    pub fn average() -> Participant {
+        Participant { height: 1.72, build: 1.0, reflectivity: 1.0 }
+    }
+
+    /// The three participants used for prototype data collection, with
+    /// different heights as in Section VI-B.
+    pub fn presets() -> [Participant; 3] {
+        [
+            Participant { height: 1.62, build: 0.92, reflectivity: 0.95 },
+            Participant { height: 1.74, build: 1.0, reflectivity: 1.0 },
+            Participant { height: 1.86, build: 1.08, reflectivity: 1.05 },
+        ]
+    }
+
+    /// Shoulder height (meters above the feet).
+    pub fn shoulder_height(&self) -> f64 {
+        self.height * 0.82
+    }
+
+    /// Chest reference height, used as the activity's anchor point.
+    pub fn chest_height(&self) -> f64 {
+        self.height * 0.72
+    }
+
+    /// Hip height — the top of the legs.
+    pub fn hip_height(&self) -> f64 {
+        self.height * 0.52
+    }
+
+    /// Half the distance between shoulder joints.
+    pub fn shoulder_half_width(&self) -> f64 {
+        0.145 * self.height * 0.23 / 0.23 * self.build.sqrt()
+    }
+
+    /// Upper-arm length (shoulder to elbow).
+    pub fn upper_arm_length(&self) -> f64 {
+        self.height * 0.172
+    }
+
+    /// Forearm length including the hand root (elbow to wrist).
+    pub fn forearm_length(&self) -> f64 {
+        self.height * 0.157
+    }
+
+    /// Torso half-depth (front-to-back radius).
+    pub fn torso_depth(&self) -> f64 {
+        0.11 * self.build
+    }
+
+    /// Torso half-width (side-to-side radius).
+    pub fn torso_width(&self) -> f64 {
+        0.17 * self.build
+    }
+
+    /// Head radius.
+    pub fn head_radius(&self) -> f64 {
+        0.095 + 0.01 * (self.build - 1.0)
+    }
+
+    /// Limb (arm) radius.
+    pub fn arm_radius(&self) -> f64 {
+        0.042 * self.build
+    }
+
+    /// Leg radius.
+    pub fn leg_radius(&self) -> f64 {
+        0.07 * self.build
+    }
+
+    /// Validates that the proportions are physically plausible.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first implausible field.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(1.2..=2.2).contains(&self.height) {
+            return Err(format!("height {} m outside plausible range", self.height));
+        }
+        if !(0.5..=2.0).contains(&self.build) {
+            return Err(format!("build factor {} outside plausible range", self.build));
+        }
+        if !(0.1..=10.0).contains(&self.reflectivity) {
+            return Err(format!("reflectivity {} outside plausible range", self.reflectivity));
+        }
+        Ok(())
+    }
+}
+
+impl Default for Participant {
+    fn default() -> Self {
+        Participant::average()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_distinct_heights() {
+        let p = Participant::presets();
+        assert!(p[0].height < p[1].height && p[1].height < p[2].height);
+        for q in p {
+            q.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn derived_dimensions_are_ordered() {
+        let p = Participant::average();
+        assert!(p.hip_height() < p.chest_height());
+        assert!(p.chest_height() < p.shoulder_height());
+        assert!(p.shoulder_height() < p.height);
+        assert!(p.upper_arm_length() > 0.0 && p.forearm_length() > 0.0);
+    }
+
+    #[test]
+    fn arm_reach_is_plausible() {
+        let p = Participant::average();
+        let reach = p.upper_arm_length() + p.forearm_length();
+        assert!((0.45..0.75).contains(&reach), "arm reach {reach} implausible");
+    }
+
+    #[test]
+    fn taller_people_have_longer_arms() {
+        let [s, _, t] = Participant::presets();
+        assert!(t.upper_arm_length() > s.upper_arm_length());
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        let mut p = Participant::average();
+        p.height = 3.5;
+        assert!(p.validate().is_err());
+        let mut q = Participant::average();
+        q.build = 0.0;
+        assert!(q.validate().is_err());
+    }
+}

@@ -1,0 +1,145 @@
+//! Time series of posed body meshes.
+
+use crate::sites::{SiteId, SitePose};
+use mmwave_geom::TriMesh;
+
+/// One time step of an activity: the posed body mesh (with per-vertex
+/// velocities) and the poses of all attachment sites.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BodyFrame {
+    /// Time of this frame in seconds since the start of the sample.
+    pub time: f64,
+    /// Posed body mesh in the body-local frame, velocities populated.
+    pub mesh: TriMesh,
+    /// Attachment-site poses, velocities populated.
+    pub sites: Vec<SitePose>,
+}
+
+impl BodyFrame {
+    /// Pose of a particular site.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the site is missing (all frames built by the sampler carry
+    /// every site).
+    pub fn site(&self, id: SiteId) -> &SitePose {
+        self.sites
+            .iter()
+            .find(|s| s.site == id)
+            .unwrap_or_else(|| panic!("site {id} missing from frame"))
+    }
+}
+
+/// A complete activity sample: `n_frames` body frames at a fixed frame rate
+/// (32 frames in the prototype).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeshSequence {
+    frames: Vec<BodyFrame>,
+    frame_rate: f64,
+}
+
+impl MeshSequence {
+    /// Creates a sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` is empty or `frame_rate <= 0`.
+    pub fn new(frames: Vec<BodyFrame>, frame_rate: f64) -> Self {
+        assert!(!frames.is_empty(), "sequence cannot be empty");
+        assert!(frame_rate > 0.0, "frame rate must be positive");
+        MeshSequence { frames, frame_rate }
+    }
+
+    /// Number of frames.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// True if the sequence has no frames (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Frames per second.
+    pub fn frame_rate(&self) -> f64 {
+        self.frame_rate
+    }
+
+    /// Frame accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn frame(&self, i: usize) -> &BodyFrame {
+        &self.frames[i]
+    }
+
+    /// All frames in order.
+    pub fn frames(&self) -> &[BodyFrame] {
+        &self.frames
+    }
+
+    /// Iterates over frames.
+    pub fn iter(&self) -> std::slice::Iter<'_, BodyFrame> {
+        self.frames.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a MeshSequence {
+    type Item = &'a BodyFrame;
+    type IntoIter = std::slice::Iter<'a, BodyFrame>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.frames.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmwave_geom::Vec3;
+
+    fn dummy_frame(t: f64) -> BodyFrame {
+        BodyFrame {
+            time: t,
+            mesh: TriMesh::from_faces(
+                vec![Vec3::ZERO, Vec3::X, Vec3::Y],
+                vec![[0, 1, 2]],
+            ),
+            sites: vec![SitePose {
+                site: SiteId::Chest,
+                position: Vec3::ZERO,
+                normal: Vec3::Y,
+                velocity: Vec3::ZERO,
+            }],
+        }
+    }
+
+    #[test]
+    fn sequence_accessors() {
+        let seq = MeshSequence::new(vec![dummy_frame(0.0), dummy_frame(0.1)], 10.0);
+        assert_eq!(seq.len(), 2);
+        assert!(!seq.is_empty());
+        assert_eq!(seq.frame_rate(), 10.0);
+        assert_eq!(seq.frame(1).time, 0.1);
+        assert_eq!(seq.iter().count(), 2);
+        assert_eq!((&seq).into_iter().count(), 2);
+    }
+
+    #[test]
+    fn site_lookup_finds_chest() {
+        let f = dummy_frame(0.0);
+        assert_eq!(f.site(SiteId::Chest).site, SiteId::Chest);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing from frame")]
+    fn missing_site_panics() {
+        dummy_frame(0.0).site(SiteId::RightWrist);
+    }
+
+    #[test]
+    #[should_panic(expected = "sequence cannot be empty")]
+    fn empty_sequence_panics() {
+        MeshSequence::new(vec![], 10.0);
+    }
+}

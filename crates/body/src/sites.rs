@@ -1,0 +1,137 @@
+//! Named trigger-attachment sites on the body.
+
+use mmwave_geom::Vec3;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Places where an attacker can tape a reflector to their body.
+///
+/// These are the candidate set the trigger-placement optimizer (Eq. (2) of
+/// the paper) searches over, and they move with the body part they belong
+/// to: a chest-mounted trigger only inherits breathing/sway micro-motion,
+/// while a wrist-mounted trigger rides the whole gesture. The paper's
+/// "suboptimal location (e.g., on the leg)" baseline corresponds to
+/// [`SiteId::RightThigh`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SiteId {
+    /// Sternum, facing the radar.
+    Chest,
+    /// Belly, facing the radar.
+    Abdomen,
+    /// Right upper arm, lateral surface (the gesture arm).
+    RightUpperArm,
+    /// Right forearm, front surface (the gesture arm).
+    RightForearm,
+    /// Back of the right wrist (the gesture arm).
+    RightWrist,
+    /// Left upper arm (hangs at the side).
+    LeftUpperArm,
+    /// Left forearm (hangs at the side).
+    LeftForearm,
+    /// Front of the left thigh.
+    LeftThigh,
+    /// Front of the right thigh.
+    RightThigh,
+    /// Left shin.
+    LeftShin,
+    /// Right shin.
+    RightShin,
+}
+
+impl SiteId {
+    /// All candidate sites, in a stable order.
+    pub const ALL: [SiteId; 11] = [
+        SiteId::Chest,
+        SiteId::Abdomen,
+        SiteId::RightUpperArm,
+        SiteId::RightForearm,
+        SiteId::RightWrist,
+        SiteId::LeftUpperArm,
+        SiteId::LeftForearm,
+        SiteId::LeftThigh,
+        SiteId::RightThigh,
+        SiteId::LeftShin,
+        SiteId::RightShin,
+    ];
+
+    /// Stable index into [`ALL`](Self::ALL).
+    pub fn index(self) -> usize {
+        SiteId::ALL.iter().position(|&s| s == self).expect("site in ALL")
+    }
+
+    /// Short human-readable name.
+    pub fn label(self) -> &'static str {
+        match self {
+            SiteId::Chest => "chest",
+            SiteId::Abdomen => "abdomen",
+            SiteId::RightUpperArm => "right upper arm",
+            SiteId::RightForearm => "right forearm",
+            SiteId::RightWrist => "right wrist",
+            SiteId::LeftUpperArm => "left upper arm",
+            SiteId::LeftForearm => "left forearm",
+            SiteId::LeftThigh => "left thigh",
+            SiteId::RightThigh => "right thigh",
+            SiteId::LeftShin => "left shin",
+            SiteId::RightShin => "right shin",
+        }
+    }
+
+    /// True for sites on the arm performing the gesture.
+    pub fn on_gesture_arm(self) -> bool {
+        matches!(
+            self,
+            SiteId::RightUpperArm | SiteId::RightForearm | SiteId::RightWrist
+        )
+    }
+}
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The pose of one attachment site at one instant: where it is, which way
+/// its outward surface faces, and how fast it is moving.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SitePose {
+    /// Which site this is.
+    pub site: SiteId,
+    /// Site position in the body-local (or world) frame.
+    pub position: Vec3,
+    /// Unit outward normal of the body surface at the site.
+    pub normal: Vec3,
+    /// Instantaneous velocity of the site.
+    pub velocity: Vec3,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_sites_have_unique_indices() {
+        let mut seen = std::collections::HashSet::new();
+        for s in SiteId::ALL {
+            assert!(seen.insert(s.index()));
+        }
+        assert_eq!(seen.len(), SiteId::ALL.len());
+    }
+
+    #[test]
+    fn gesture_arm_classification() {
+        assert!(SiteId::RightWrist.on_gesture_arm());
+        assert!(SiteId::RightForearm.on_gesture_arm());
+        assert!(!SiteId::Chest.on_gesture_arm());
+        assert!(!SiteId::LeftForearm.on_gesture_arm());
+    }
+
+    #[test]
+    fn labels_are_unique_and_nonempty() {
+        let mut seen = std::collections::HashSet::new();
+        for s in SiteId::ALL {
+            assert!(!s.label().is_empty());
+            assert!(seen.insert(s.label()));
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Property-based tests for the body model and activity sampler.
+
+use mmwave_body::model::BodyPose;
+use mmwave_body::{Activity, ActivitySampler, HumanModel, Participant, SampleVariation};
+use mmwave_geom::Vec3;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn hand_offsets_stay_reachable(
+        act_i in 0usize..6,
+        t in 0.0f64..1.0,
+        amp in 0.85f64..1.15,
+    ) {
+        let act = Activity::from_index(act_i);
+        let offset = act.hand_offset(t, amp);
+        prop_assert!(offset.is_finite());
+        // Within arm's reach of the chest anchor.
+        prop_assert!(offset.norm() < 0.8, "{act} offset {offset} too far");
+    }
+
+    #[test]
+    fn posed_mesh_stays_above_ground_and_finite(
+        hx in -0.2f64..0.4, hy in 0.1f64..0.5, hz in 0.9f64..1.4,
+        height in 1.5f64..1.9,
+    ) {
+        let model = HumanModel::new(Participant { height, build: 1.0, reflectivity: 1.0 });
+        let pose = BodyPose {
+            hand_target: Vec3::new(hx, hy, hz),
+            sway: Vec3::ZERO,
+            breath: 0.0,
+        };
+        let (mesh, sites) = model.posed(&pose);
+        for v in mesh.vertices() {
+            prop_assert!(v.is_finite());
+            prop_assert!(v.z > -0.05, "vertex below the floor: {v}");
+            prop_assert!(v.z < height + 0.2, "vertex above the head: {v}");
+        }
+        for s in &sites {
+            prop_assert!(s.position.is_finite());
+            prop_assert!((s.normal.norm() - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn sampled_sequences_have_bounded_velocities(
+        act_i in 0usize..6,
+        seed in 0u64..40,
+    ) {
+        let sampler = ActivitySampler::new(Participant::average(), 8, 10.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let v = SampleVariation::random(&mut rng);
+        let seq = sampler.sample(Activity::from_index(act_i), &v);
+        for frame in seq.iter() {
+            for vel in frame.mesh.velocities() {
+                prop_assert!(vel.is_finite());
+                // Human limb speeds: generously bounded by 5 m/s.
+                prop_assert!(vel.norm() < 5.0, "implausible speed {}", vel.norm());
+            }
+        }
+    }
+
+    #[test]
+    fn participants_scale_consistently(height in 1.4f64..2.0, build in 0.8f64..1.2) {
+        let p = Participant { height, build, reflectivity: 1.0 };
+        p.validate().unwrap();
+        prop_assert!(p.hip_height() < p.chest_height());
+        prop_assert!(p.chest_height() < p.shoulder_height());
+        prop_assert!(p.shoulder_height() < p.height);
+        let reach = p.upper_arm_length() + p.forearm_length();
+        prop_assert!(reach > 0.2 * height && reach < 0.45 * height);
+    }
+}

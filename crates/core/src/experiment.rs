@@ -1,0 +1,539 @@
+//! End-to-end backdoor experiments: one call per (figure point).
+
+use crate::frames::{frame_importance, frame_ranking, FrameStrategy};
+use crate::metrics::{evaluate_attack, AttackMetrics};
+use crate::poison::{build_poisoned_dataset, PoisonConfig};
+use crate::position::{global_optimal_site, PositionOptimizer};
+use crate::scenario::AttackScenario;
+use mmwave_body::{Activity, ActivitySampler, Participant, SampleVariation, SiteId};
+use mmwave_dsp::HeatmapSeq;
+use mmwave_har::dataset::{Dataset, DatasetGenerator, DatasetSpec, PairedSample};
+use mmwave_har::{CnnLstm, PrototypeConfig, Trainer, TrainerConfig};
+use mmwave_radar::capture::TriggerPlan;
+use mmwave_radar::scene::EnvironmentKind;
+use mmwave_radar::trigger::{Trigger, TriggerAttachment};
+use mmwave_radar::{Environment, Placement};
+use mmwave_shap::top_k_indices;
+use std::collections::HashMap;
+
+/// Scale knobs for a whole experiment campaign. The paper's testbed scale
+/// (8 640 samples, 30 repetitions, 2x RTX 4090) maps onto
+/// [`ExperimentScale::fast`] times the `MMWAVE_BENCH_SCALE` /
+/// `MMWAVE_BENCH_REPS` environment variables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentScale {
+    /// Number of participants generating victim training data.
+    pub participants: usize,
+    /// Repetitions per (placement, activity, participant) training cell.
+    pub train_repetitions: usize,
+    /// Repetitions per cell in the clean test set.
+    pub test_repetitions: usize,
+    /// Attacker recordings per placement (1 feeds the poison pool, the
+    /// rest become attack test samples — the paper records 9 per position,
+    /// 1 for poisoning and 8 for testing).
+    pub pairs_per_position: usize,
+    /// Training epochs for victim and surrogate models.
+    pub epochs: usize,
+    /// Permutation pairs for SHAP estimates.
+    pub shap_permutations: usize,
+    /// The experiment position grid.
+    pub placements: Vec<Placement>,
+}
+
+impl ExperimentScale {
+    /// The default laptop-scale campaign; honors `MMWAVE_BENCH_SCALE`.
+    /// At scale 1 this trains on 288 samples for 70 epochs (~75 s per
+    /// training run on one core), reaching ~93 % clean accuracy. The long
+    /// schedule matters for the *backdoor*, not the clean task: the rare
+    /// trigger pattern (a dozen poisoned recordings) is fit late in
+    /// training, well after the gesture classes converge.
+    pub fn fast() -> ExperimentScale {
+        let scale = PrototypeConfig::bench_scale();
+        ExperimentScale {
+            participants: 2,
+            train_repetitions: 2 * scale,
+            test_repetitions: scale,
+            pairs_per_position: 4,
+            epochs: 70,
+            shap_permutations: 12,
+            placements: Placement::training_grid(),
+        }
+    }
+
+    /// Minimal scale for unit tests: exercises every code path in seconds.
+    pub fn smoke_test() -> ExperimentScale {
+        ExperimentScale {
+            participants: 1,
+            train_repetitions: 1,
+            test_repetitions: 1,
+            pairs_per_position: 2,
+            epochs: 2,
+            shap_permutations: 3,
+            placements: vec![Placement::new(1.2, 0.0), Placement::new(1.6, 30.0)],
+        }
+    }
+}
+
+/// Where the trigger is taped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SiteChoice {
+    /// Solve Eq. (2) + Eq. (4) on the surrogate (the paper's method).
+    Optimal,
+    /// Use a fixed site (e.g. the thigh — Table I's "without optimal
+    /// trigger position" baseline).
+    Fixed(SiteId),
+}
+
+/// Full parameterization of one backdoor experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttackSpec {
+    /// Victim and target activities.
+    pub scenario: AttackScenario,
+    /// Poisoned fraction of the victim class.
+    pub injection_rate: f64,
+    /// Poisoned frames per sample.
+    pub n_poisoned_frames: usize,
+    /// The physical trigger.
+    pub trigger: Trigger,
+    /// Placement of the trigger on the body.
+    pub site: SiteChoice,
+    /// Frame-selection strategy.
+    pub frame_strategy: FrameStrategy,
+    /// Seed for model init, shuffling, and capture noise.
+    pub seed: u64,
+}
+
+impl Default for AttackSpec {
+    fn default() -> Self {
+        AttackSpec {
+            scenario: AttackScenario::push_to_pull(),
+            injection_rate: 0.4,
+            n_poisoned_frames: 8,
+            trigger: Trigger::aluminum_2x2(),
+            site: SiteChoice::Optimal,
+            frame_strategy: FrameStrategy::ShapTopK,
+            seed: 0,
+        }
+    }
+}
+
+/// A hashable fingerprint of a trigger's physical parameters.
+fn trigger_fingerprint(t: &Trigger) -> (u64, u64, u64, u64) {
+    (
+        (t.side_m * 1e6) as u64,
+        (t.material.reflectivity * 1e3) as u64,
+        (t.material.specularity * 1e3) as u64,
+        (t.cover_transmission * 1e6) as u64,
+    )
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct PairKey {
+    victim: Activity,
+    site: SiteId,
+    trigger: (u64, u64, u64, u64),
+}
+
+#[derive(Debug, Clone)]
+struct PairSet {
+    poison: Vec<PairedSample>,
+    rankings: Vec<Vec<usize>>,
+    test: Vec<PairedSample>,
+}
+
+/// Owns the datasets, the surrogate, and all caches shared across runs of
+/// an experiment campaign. Creating a context is expensive (dataset
+/// generation + surrogate training); individual [`run_attack`] calls reuse
+/// everything except the victim training run itself.
+///
+/// [`run_attack`]: ExperimentContext::run_attack
+#[derive(Debug)]
+pub struct ExperimentContext {
+    config: PrototypeConfig,
+    scale: ExperimentScale,
+    generator: DatasetGenerator,
+    clean_train: Dataset,
+    clean_test: Dataset,
+    surrogate: CnnLstm,
+    attack_env: Environment,
+    site_cache: HashMap<(Activity, (u64, u64, u64, u64)), SiteId>,
+    pair_cache: HashMap<PairKey, PairSet>,
+}
+
+impl ExperimentContext {
+    /// Builds the campaign context with the default fast prototype
+    /// configuration. See [`new_with_config`](Self::new_with_config).
+    pub fn new(scale: ExperimentScale, seed: u64) -> ExperimentContext {
+        ExperimentContext::new_with_config(PrototypeConfig::fast(), scale, seed)
+    }
+
+    /// Builds the campaign context with an explicit prototype
+    /// configuration: generates the victim's clean train and test sets
+    /// (hallway), the attacker's surrogate training set (classroom), and
+    /// trains the surrogate.
+    pub fn new_with_config(
+        config: PrototypeConfig,
+        scale: ExperimentScale,
+        seed: u64,
+    ) -> ExperimentContext {
+        let generator = DatasetGenerator::new(config.clone());
+        let mut train_spec = DatasetSpec::training(scale.train_repetitions);
+        train_spec.participants.truncate(scale.participants);
+        train_spec.placements = scale.placements.clone();
+        let clean_train = generator.generate(&train_spec, seed);
+        let mut test_spec = train_spec.clone();
+        test_spec.repetitions = scale.test_repetitions;
+        let clean_test = generator.generate(&test_spec, seed.wrapping_add(1));
+
+        // The attacker's surrogate: trained on their own clean recordings
+        // in the attack environment.
+        let mut surrogate_spec = train_spec.clone();
+        surrogate_spec.participants = vec![Participant::average()];
+        surrogate_spec.environment = EnvironmentKind::AttackClassroom;
+        let surrogate_data = generator.generate(&surrogate_spec, seed.wrapping_add(2));
+        let mut surrogate = CnnLstm::new(&config, seed.wrapping_add(3));
+        let trainer = Trainer::new(TrainerConfig {
+            epochs: scale.epochs,
+            seed: seed.wrapping_add(4),
+            ..TrainerConfig::fast()
+        });
+        trainer.fit(&mut surrogate, &surrogate_data);
+
+        ExperimentContext {
+            config,
+            scale,
+            generator,
+            clean_train,
+            clean_test,
+            surrogate,
+            attack_env: Environment::classroom(),
+            site_cache: HashMap::new(),
+            pair_cache: HashMap::new(),
+        }
+    }
+
+    /// The prototype configuration.
+    pub fn config(&self) -> &PrototypeConfig {
+        &self.config
+    }
+
+    /// The campaign scale.
+    pub fn scale(&self) -> &ExperimentScale {
+        &self.scale
+    }
+
+    /// The victim's clean training set.
+    pub fn clean_train(&self) -> &Dataset {
+        &self.clean_train
+    }
+
+    /// The victim's clean test set.
+    pub fn clean_test(&self) -> &Dataset {
+        &self.clean_test
+    }
+
+    /// The attacker's surrogate model.
+    pub fn surrogate(&self) -> &CnnLstm {
+        &self.surrogate
+    }
+
+    /// The shared dataset generator / capture pipeline.
+    pub fn generator(&self) -> &DatasetGenerator {
+        &self.generator
+    }
+
+    /// Solves Eq. (2) per frame and Eq. (4) globally for a victim activity
+    /// and trigger, returning the snapped attachment site. Cached.
+    pub fn optimal_site(&mut self, victim: Activity, trigger: Trigger) -> SiteId {
+        let key = (victim, trigger_fingerprint(&trigger));
+        if let Some(&site) = self.site_cache.get(&key) {
+            return site;
+        }
+        // A nominal performance at a central position drives the search.
+        let sampler = ActivitySampler::new(
+            Participant::average(),
+            self.config.n_frames,
+            self.generator.capturer().config().frame_rate,
+        );
+        let sequence = sampler.sample(victim, &SampleVariation::nominal());
+        let placement = Placement::new(1.2, 0.0);
+
+        // SHAP frame importance of the clean capture on the surrogate.
+        let capture =
+            self.generator
+                .capturer()
+                .capture(&sequence, placement, &self.attack_env, None, 99);
+        let phi = frame_importance(
+            &self.surrogate,
+            &capture.clean,
+            victim.index(),
+            self.scale.shap_permutations,
+            17,
+        );
+        let top_frames = top_k_indices(&phi, 8.min(self.config.n_frames));
+
+        // Eq. (2): per-frame best site.
+        let plan = TriggerPlan {
+            attachment: TriggerAttachment::new(trigger),
+            site: SiteId::Chest,
+        };
+        let optimizer = PositionOptimizer::default();
+        let evals = optimizer.evaluate_sites(
+            self.generator.capturer(),
+            &self.surrogate,
+            &sequence,
+            placement,
+            &self.attack_env,
+            &plan,
+            &top_frames,
+            23,
+        );
+        // Per-frame winner among sites.
+        let per_frame_optima: Vec<(usize, SiteId)> = top_frames
+            .iter()
+            .enumerate()
+            .map(|(k, &fi)| {
+                let best = evals
+                    .iter()
+                    .max_by(|a, b| a.per_frame[k].total_cmp(&b.per_frame[k]))
+                    .expect("nonempty evals");
+                (fi, best.site)
+            })
+            .collect();
+        let weights: Vec<f64> = top_frames.iter().map(|&fi| phi[fi].max(1e-9)).collect();
+        // Eq. (4): global position, snapped to a site.
+        let (_gop, site) =
+            global_optimal_site(&sequence, placement, &per_frame_optima, &weights);
+        self.site_cache.insert(key, site);
+        site
+    }
+
+    fn pair_set(&mut self, victim: Activity, trigger: Trigger, site: SiteId) -> PairKey {
+        let key = PairKey { victim, site, trigger: trigger_fingerprint(&trigger) };
+        if self.pair_cache.contains_key(&key) {
+            return key;
+        }
+        let plan = TriggerPlan { attachment: TriggerAttachment::new(trigger), site };
+        let pairs = self.generator.generate_paired(
+            victim,
+            &self.scale.placements.clone(),
+            Participant::average(),
+            &plan,
+            &self.attack_env,
+            self.scale.pairs_per_position,
+            0xA77AC4,
+        );
+        // Half the recordings per placement (at least one) feed the poison
+        // pool; the rest are attack test samples. Distinct recordings per
+        // poisoned sample matter: the backdoor generalizes from shared
+        // trigger structure, not from memorized duplicates.
+        let per_pos = self.scale.pairs_per_position;
+        let poison_per_pos = (per_pos / 2).max(1);
+        let mut poison = Vec::new();
+        let mut test = Vec::new();
+        for (i, p) in pairs.into_iter().enumerate() {
+            if i % per_pos < poison_per_pos {
+                poison.push(p);
+            } else {
+                test.push(p);
+            }
+        }
+        // SHAP frame rankings of the poison pool's clean captures.
+        let rankings: Vec<Vec<usize>> = poison
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                frame_ranking(
+                    FrameStrategy::ShapTopK,
+                    &self.surrogate,
+                    &p.clean,
+                    victim.index(),
+                    self.scale.shap_permutations,
+                    31 ^ i as u64,
+                )
+            })
+            .collect();
+        self.pair_cache.insert(key.clone(), PairSet { poison, rankings, test });
+        key
+    }
+
+    fn resolve_site(&mut self, spec: &AttackSpec) -> SiteId {
+        match spec.site {
+            SiteChoice::Optimal => self.optimal_site(spec.scenario.victim, spec.trigger),
+            SiteChoice::Fixed(site) => site,
+        }
+    }
+
+    /// Trains a backdoored model per `spec` and returns it together with
+    /// the resolved trigger site.
+    pub fn train_backdoored(&mut self, spec: &AttackSpec) -> (CnnLstm, SiteId) {
+        let site = self.resolve_site(spec);
+        let key = self.pair_set(spec.scenario.victim, spec.trigger, site);
+        let pairs = &self.pair_cache[&key];
+        let rankings: Vec<Vec<usize>> = match spec.frame_strategy {
+            FrameStrategy::ShapTopK => pairs.rankings.clone(),
+            FrameStrategy::FirstK => pairs
+                .poison
+                .iter()
+                .map(|_| (0..self.config.n_frames).collect())
+                .collect(),
+        };
+        let poison_cfg = PoisonConfig {
+            injection_rate: spec.injection_rate,
+            n_poisoned_frames: spec.n_poisoned_frames,
+            frame_strategy: spec.frame_strategy,
+        };
+        let poisoned = build_poisoned_dataset(
+            &self.clean_train,
+            &pairs.poison,
+            &rankings,
+            &spec.scenario,
+            &poison_cfg,
+        );
+        let mut model = CnnLstm::new(&self.config, spec.seed.wrapping_add(100));
+        let trainer = Trainer::new(TrainerConfig {
+            epochs: self.scale.epochs,
+            seed: spec.seed.wrapping_add(200),
+            ..TrainerConfig::fast()
+        });
+        trainer.fit(&mut model, &poisoned);
+        (model, site)
+    }
+
+    /// Runs one full experiment: poison, train, evaluate.
+    pub fn run_attack(&mut self, spec: &AttackSpec) -> AttackMetrics {
+        let (model, site) = self.train_backdoored(spec);
+        let key = self.pair_set(spec.scenario.victim, spec.trigger, site);
+        let pairs = &self.pair_cache[&key];
+        let attack_samples: Vec<(HeatmapSeq, Activity)> = pairs
+            .test
+            .iter()
+            .map(|p| (p.triggered.clone(), p.label))
+            .collect();
+        evaluate_attack(&model, &attack_samples, &spec.scenario, &self.clean_test)
+    }
+
+    /// Runs `repetitions` experiments with different seeds and averages,
+    /// mirroring the paper's 30-repetition averaging.
+    pub fn run_attack_averaged(&mut self, spec: &AttackSpec, repetitions: usize) -> AttackMetrics {
+        assert!(repetitions > 0, "need at least one repetition");
+        let runs: Vec<AttackMetrics> = (0..repetitions)
+            .map(|r| {
+                let mut s = *spec;
+                s.seed = spec.seed.wrapping_add(1000 * r as u64);
+                self.run_attack(&s)
+            })
+            .collect();
+        AttackMetrics::mean(&runs)
+    }
+
+    /// Evaluates an already-trained backdoored model at arbitrary
+    /// placements (the Fig. 14/15 robustness sweeps): fresh triggered
+    /// captures of the victim activity at each placement. Returns
+    /// `(asr, uasr)` per placement.
+    pub fn evaluate_robustness(
+        &mut self,
+        model: &CnnLstm,
+        spec: &AttackSpec,
+        site: SiteId,
+        placements: &[Placement],
+        samples_per_placement: usize,
+    ) -> Vec<(Placement, f64, f64)> {
+        let plan = TriggerPlan {
+            attachment: TriggerAttachment::new(spec.trigger),
+            site,
+        };
+        placements
+            .iter()
+            .map(|&placement| {
+                let pairs = self.generator.generate_paired(
+                    spec.scenario.victim,
+                    &[placement],
+                    Participant::average(),
+                    &plan,
+                    &self.attack_env,
+                    samples_per_placement,
+                    0xF1617 ^ spec.seed,
+                );
+                let mut targeted = 0usize;
+                let mut untargeted = 0usize;
+                for p in &pairs {
+                    let pred = Activity::from_index(model.predict(&p.triggered));
+                    if pred == spec.scenario.target {
+                        targeted += 1;
+                    }
+                    if pred != p.label {
+                        untargeted += 1;
+                    }
+                }
+                let n = pairs.len() as f64;
+                (placement, targeted as f64 / n, untargeted as f64 / n)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One smoke-scale end-to-end run: checks the plumbing, not the attack
+    /// quality (that is what the benches measure at real scale).
+    #[test]
+    fn smoke_experiment_runs_end_to_end() {
+        let mut ctx = ExperimentContext::new(ExperimentScale::smoke_test(), 5);
+        let spec = AttackSpec {
+            injection_rate: 0.5,
+            n_poisoned_frames: 4,
+            ..AttackSpec::default()
+        };
+        let metrics = ctx.run_attack(&spec);
+        assert!(metrics.n_attack_samples > 0);
+        assert!(metrics.n_clean_samples > 0);
+        assert!((0.0..=1.0).contains(&metrics.asr));
+        assert!((0.0..=1.0).contains(&metrics.uasr));
+        assert!((0.0..=1.0).contains(&metrics.cdr));
+        assert!(metrics.uasr >= metrics.asr, "UASR dominates ASR by definition");
+    }
+
+    #[test]
+    fn optimal_site_is_cached_and_stable() {
+        let mut ctx = ExperimentContext::new(ExperimentScale::smoke_test(), 6);
+        let a = ctx.optimal_site(Activity::Push, Trigger::aluminum_2x2());
+        let b = ctx.optimal_site(Activity::Push, Trigger::aluminum_2x2());
+        assert_eq!(a, b);
+        assert_eq!(ctx.site_cache.len(), 1);
+    }
+
+    #[test]
+    fn fixed_site_skips_optimization() {
+        let mut ctx = ExperimentContext::new(ExperimentScale::smoke_test(), 7);
+        let spec = AttackSpec {
+            site: SiteChoice::Fixed(SiteId::RightThigh),
+            injection_rate: 0.5,
+            n_poisoned_frames: 2,
+            frame_strategy: FrameStrategy::FirstK,
+            ..AttackSpec::default()
+        };
+        let (_, site) = ctx.train_backdoored(&spec);
+        assert_eq!(site, SiteId::RightThigh);
+        assert!(ctx.site_cache.is_empty(), "no Eq. (2) run for fixed sites");
+    }
+
+    #[test]
+    fn robustness_evaluation_covers_requested_placements() {
+        let mut ctx = ExperimentContext::new(ExperimentScale::smoke_test(), 8);
+        let spec = AttackSpec {
+            site: SiteChoice::Fixed(SiteId::RightForearm),
+            ..AttackSpec::default()
+        };
+        let (model, site) = ctx.train_backdoored(&spec);
+        let placements = [Placement::new(1.0, 0.0), Placement::new(1.6, 10.0)];
+        let results = ctx.evaluate_robustness(&model, &spec, site, &placements, 2);
+        assert_eq!(results.len(), 2);
+        for (_, asr, uasr) in results {
+            assert!((0.0..=1.0).contains(&asr));
+            assert!(uasr >= asr);
+        }
+    }
+}

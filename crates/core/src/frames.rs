@@ -1,0 +1,216 @@
+//! SHAP-based selection of the most important frames (Section V-A).
+
+use mmwave_dsp::HeatmapSeq;
+use mmwave_har::CnnLstm;
+use mmwave_shap::{top_k_indices, PermutationShap, SetFunction};
+use serde::{Deserialize, Serialize};
+
+/// How the attacker chooses which frames of a sample to poison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FrameStrategy {
+    /// The paper's method: top-k frames by SHAP value on the surrogate.
+    ShapTopK,
+    /// Baseline for Table I: simply poison the first k frames.
+    FirstK,
+}
+
+/// The cooperative game behind Eq. (1): players are frames; a coalition's
+/// value is the surrogate's probability for `class` when absent frames'
+/// CNN features are replaced by a baseline.
+///
+/// The baseline is the sample's *mean* frame feature rather than zeros:
+/// zero features are far off the training manifold and would credit every
+/// frame for merely "looking like radar data", diluting the signal. With
+/// the mean baseline, only frames whose content deviates from the sample's
+/// average earn credit — which is exactly the frames worth poisoning.
+struct FrameGame<'a> {
+    model: &'a CnnLstm,
+    features: &'a [Vec<f32>],
+    baseline: Vec<f32>,
+    class: usize,
+}
+
+impl<'a> FrameGame<'a> {
+    fn new(model: &'a CnnLstm, features: &'a [Vec<f32>], class: usize) -> Self {
+        let dim = features[0].len();
+        let mut baseline = vec![0.0f32; dim];
+        for f in features {
+            for (b, x) in baseline.iter_mut().zip(f) {
+                *b += x;
+            }
+        }
+        for b in &mut baseline {
+            *b /= features.len() as f32;
+        }
+        FrameGame { model, features, baseline, class }
+    }
+}
+
+impl SetFunction for FrameGame<'_> {
+    fn n_players(&self) -> usize {
+        self.features.len()
+    }
+
+    fn evaluate(&self, coalition: &[bool]) -> f64 {
+        let masked: Vec<Vec<f32>> = self
+            .features
+            .iter()
+            .zip(coalition)
+            .map(|(f, &present)| if present { f.clone() } else { self.baseline.clone() })
+            .collect();
+        let logits = self.model.logits_from_features(&masked);
+        mmwave_nn::softmax(&logits)[self.class] as f64
+    }
+}
+
+/// Per-frame SHAP values of a sample with respect to `class` on the
+/// surrogate model. `n_permutations` permutation pairs are sampled
+/// (cost: `2 * n_permutations * n_frames` LSTM forward passes).
+pub fn frame_importance(
+    model: &CnnLstm,
+    sample: &HeatmapSeq,
+    class: usize,
+    n_permutations: usize,
+    seed: u64,
+) -> Vec<f64> {
+    let features: Vec<Vec<f32>> = sample.frames().iter().map(|f| model.frame_features(f)).collect();
+    let game = FrameGame::new(model, &features, class);
+    PermutationShap::new(n_permutations, seed).explain(&game)
+}
+
+/// Frame ranking (most important first) for poisoning, under a strategy.
+pub fn frame_ranking(
+    strategy: FrameStrategy,
+    model: &CnnLstm,
+    sample: &HeatmapSeq,
+    class: usize,
+    n_permutations: usize,
+    seed: u64,
+) -> Vec<usize> {
+    match strategy {
+        FrameStrategy::ShapTopK => {
+            let phi = frame_importance(model, sample, class, n_permutations, seed);
+            top_k_indices(&phi, phi.len())
+        }
+        FrameStrategy::FirstK => (0..sample.len()).collect(),
+    }
+}
+
+/// Histogram of the most-important frame index over many samples — the
+/// data behind Fig. 3.
+pub fn importance_histogram(
+    model: &CnnLstm,
+    samples: &[(HeatmapSeq, usize)],
+    n_permutations: usize,
+    seed: u64,
+) -> Vec<usize> {
+    let n_frames = samples.first().map(|(s, _)| s.len()).unwrap_or(0);
+    let mut hist = vec![0usize; n_frames];
+    for (i, (sample, class)) in samples.iter().enumerate() {
+        let phi = frame_importance(model, sample, *class, n_permutations, seed ^ i as u64);
+        hist[mmwave_shap::argmax(&phi)] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmwave_dsp::heatmap::{Heatmap, HeatmapKind};
+    use mmwave_har::PrototypeConfig;
+    use mmwave_nn::softmax_cross_entropy;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn cfg() -> PrototypeConfig {
+        PrototypeConfig::smoke_test()
+    }
+
+    fn blob_frame(cfg: &PrototypeConfig, row: usize, intensity: f32) -> Heatmap {
+        let mut hm = Heatmap::zeros(cfg.heatmap_rows, cfg.heatmap_cols, HeatmapKind::RangeAngle);
+        for c in 0..cfg.heatmap_cols {
+            *hm.get_mut(row, c) = intensity;
+        }
+        hm
+    }
+
+    /// Trains a tiny model where only frame 5 carries the class signal;
+    /// SHAP must rank it first.
+    #[test]
+    fn shap_finds_the_discriminative_frame() {
+        let cfg = cfg();
+        let mut model = mmwave_har::CnnLstm::new(&cfg, 3);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let make_sample = |class: usize, rng: &mut ChaCha8Rng| {
+            let frames: Vec<Heatmap> = (0..cfg.n_frames)
+                .map(|t| {
+                    if t == 5 {
+                        // The signal frame: blob row encodes the class.
+                        blob_frame(&cfg, if class == 0 { 2 } else { 9 }, 1.0)
+                    } else {
+                        // Noise frames, identical distribution across classes.
+                        blob_frame(&cfg, 6, rng.gen_range(0.2..0.4))
+                    }
+                })
+                .collect();
+            HeatmapSeq::new(frames)
+        };
+        // Train to separate the two classes.
+        let mut adam = mmwave_nn::Adam::new(5e-3);
+        for _ in 0..60 {
+            for class in 0..2usize {
+                let sample = make_sample(class, &mut rng);
+                let cache = model.forward(&sample);
+                let (_, dlogits) = softmax_cross_entropy(&cache.logits, class);
+                model.zero_grads();
+                model.backward(&cache, &dlogits);
+                adam.step(&mut model.param_tensors());
+            }
+        }
+        let sample = make_sample(0, &mut rng);
+        assert_eq!(model.predict(&sample), 0, "model must learn the toy task");
+        let phi = frame_importance(&model, &sample, 0, 24, 7);
+        assert_eq!(
+            mmwave_shap::argmax(&phi),
+            5,
+            "SHAP should rank the signal frame first (phi = {phi:?})"
+        );
+    }
+
+    #[test]
+    fn first_k_strategy_is_sequential() {
+        let cfg = cfg();
+        let model = mmwave_har::CnnLstm::new(&cfg, 0);
+        let sample = HeatmapSeq::new(vec![blob_frame(&cfg, 3, 0.5); cfg.n_frames]);
+        let ranking = frame_ranking(FrameStrategy::FirstK, &model, &sample, 0, 4, 0);
+        assert_eq!(ranking, (0..cfg.n_frames).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn histogram_counts_sum_to_sample_count() {
+        let cfg = cfg();
+        let model = mmwave_har::CnnLstm::new(&cfg, 1);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let samples: Vec<(HeatmapSeq, usize)> = (0..4)
+            .map(|_| {
+                let frames: Vec<Heatmap> = (0..cfg.n_frames)
+                    .map(|_| blob_frame(&cfg, rng.gen_range(0..cfg.heatmap_rows), 0.8))
+                    .collect();
+                (HeatmapSeq::new(frames), 0)
+            })
+            .collect();
+        let hist = importance_histogram(&model, &samples, 8, 3);
+        assert_eq!(hist.len(), cfg.n_frames);
+        assert_eq!(hist.iter().sum::<usize>(), 4);
+    }
+
+    #[test]
+    fn importance_is_deterministic_per_seed() {
+        let cfg = cfg();
+        let model = mmwave_har::CnnLstm::new(&cfg, 2);
+        let sample = HeatmapSeq::new(vec![blob_frame(&cfg, 4, 0.6); cfg.n_frames]);
+        let a = frame_importance(&model, &sample, 1, 8, 11);
+        let b = frame_importance(&model, &sample, 1, 8, 11);
+        assert_eq!(a, b);
+    }
+}

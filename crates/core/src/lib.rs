@@ -1,0 +1,53 @@
+//! The paper's contribution: physical backdoor attacks against
+//! mmWave-based human activity recognition.
+//!
+//! The attack has three phases (Fig. 2):
+//!
+//! 1. **Poisoned-sample preparation** — the attacker records their own
+//!    activity samples while wearing an aluminum reflector, identifies the
+//!    top-k most important frames with SHAP ([`frames`]), finds the trigger
+//!    placement that maximally perturbs CNN features while minimally
+//!    perturbing the heatmaps (Eq. (2), [`position`]), reduces the
+//!    per-frame optima to one global position (Eq. (4), also [`position`]),
+//!    and splices the triggered frames into clean samples with flipped
+//!    labels ([`poison`]).
+//! 2. **Training** — the victim unknowingly trains on the union of clean
+//!    and poisoned data.
+//! 3. **Inference** — wearing the trigger flips the backdoored model's
+//!    prediction to the attacker's target class; without the trigger the
+//!    model behaves normally ([`metrics`]: ASR / UASR / CDR).
+//!
+//! [`experiment`] packages the full loop behind one call so every figure
+//! and table of the evaluation section is a parameter sweep over
+//! [`experiment::AttackSpec`].
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use mmwave_backdoor::experiment::{AttackSpec, ExperimentContext, ExperimentScale};
+//! use mmwave_backdoor::scenario::AttackScenario;
+//!
+//! let mut ctx = ExperimentContext::new(ExperimentScale::smoke_test(), 42);
+//! let spec = AttackSpec {
+//!     scenario: AttackScenario::push_to_pull(),
+//!     injection_rate: 0.4,
+//!     n_poisoned_frames: 8,
+//!     ..AttackSpec::default()
+//! };
+//! let metrics = ctx.run_attack(&spec);
+//! println!("ASR {:.0}% UASR {:.0}% CDR {:.0}%",
+//!     100.0 * metrics.asr, 100.0 * metrics.uasr, 100.0 * metrics.cdr);
+//! ```
+
+pub mod experiment;
+pub mod frames;
+pub mod metrics;
+pub mod poison;
+pub mod position;
+pub mod scenario;
+
+pub use experiment::{AttackSpec, ExperimentContext, ExperimentScale};
+pub use frames::{frame_importance, importance_histogram, FrameStrategy};
+pub use metrics::AttackMetrics;
+pub use position::PositionOptimizer;
+pub use scenario::AttackScenario;

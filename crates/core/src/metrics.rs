@@ -1,0 +1,122 @@
+//! Attack evaluation metrics: ASR, UASR, CDR (Section VI-E).
+
+use crate::scenario::AttackScenario;
+use mmwave_body::Activity;
+use mmwave_dsp::HeatmapSeq;
+use mmwave_har::dataset::Dataset;
+use mmwave_har::CnnLstm;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The paper's three evaluation metrics, all in `[0, 1]`:
+///
+/// * **ASR** — fraction of triggered victim samples classified as the
+///   *target* class (targeted success);
+/// * **UASR** — fraction of triggered victim samples classified as
+///   anything but the true class (untargeted success; `UASR >= ASR`);
+/// * **CDR** — clean-data rate: accuracy of the backdoored model on clean
+///   test samples (stealthiness).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AttackMetrics {
+    /// Targeted attack success rate.
+    pub asr: f64,
+    /// Untargeted attack success rate.
+    pub uasr: f64,
+    /// Clean-data rate.
+    pub cdr: f64,
+    /// Number of attack samples evaluated.
+    pub n_attack_samples: usize,
+    /// Number of clean test samples evaluated.
+    pub n_clean_samples: usize,
+}
+
+impl AttackMetrics {
+    /// Averages a set of runs (the paper averages 30 repetitions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `runs` is empty.
+    pub fn mean(runs: &[AttackMetrics]) -> AttackMetrics {
+        assert!(!runs.is_empty(), "cannot average zero runs");
+        let n = runs.len() as f64;
+        AttackMetrics {
+            asr: runs.iter().map(|r| r.asr).sum::<f64>() / n,
+            uasr: runs.iter().map(|r| r.uasr).sum::<f64>() / n,
+            cdr: runs.iter().map(|r| r.cdr).sum::<f64>() / n,
+            n_attack_samples: runs.iter().map(|r| r.n_attack_samples).sum(),
+            n_clean_samples: runs.iter().map(|r| r.n_clean_samples).sum(),
+        }
+    }
+}
+
+impl fmt::Display for AttackMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ASR {:5.1}%  UASR {:5.1}%  CDR {:5.1}%",
+            100.0 * self.asr,
+            100.0 * self.uasr,
+            100.0 * self.cdr
+        )
+    }
+}
+
+/// Evaluates a backdoored model: `attack_samples` are triggered captures of
+/// the victim activity; `clean_test` is the victim's held-out clean data.
+pub fn evaluate_attack(
+    model: &CnnLstm,
+    attack_samples: &[(HeatmapSeq, Activity)],
+    scenario: &AttackScenario,
+    clean_test: &Dataset,
+) -> AttackMetrics {
+    let mut targeted = 0usize;
+    let mut untargeted = 0usize;
+    for (seq, truth) in attack_samples {
+        let pred = Activity::from_index(model.predict(seq));
+        if pred == scenario.target {
+            targeted += 1;
+        }
+        if pred != *truth {
+            untargeted += 1;
+        }
+    }
+    let n_attack = attack_samples.len();
+    let clean_eval = mmwave_har::eval::evaluate(model, clean_test);
+    AttackMetrics {
+        asr: if n_attack == 0 { 0.0 } else { targeted as f64 / n_attack as f64 },
+        uasr: if n_attack == 0 { 0.0 } else { untargeted as f64 / n_attack as f64 },
+        cdr: clean_eval.accuracy,
+        n_attack_samples: n_attack,
+        n_clean_samples: clean_test.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(asr: f64, uasr: f64, cdr: f64) -> AttackMetrics {
+        AttackMetrics { asr, uasr, cdr, n_attack_samples: 10, n_clean_samples: 20 }
+    }
+
+    #[test]
+    fn mean_averages_fields() {
+        let avg = AttackMetrics::mean(&[m(0.8, 0.9, 0.95), m(0.6, 0.7, 0.85)]);
+        assert!((avg.asr - 0.7).abs() < 1e-12);
+        assert!((avg.uasr - 0.8).abs() < 1e-12);
+        assert!((avg.cdr - 0.9).abs() < 1e-12);
+        assert_eq!(avg.n_attack_samples, 20);
+    }
+
+    #[test]
+    fn display_is_percentages() {
+        let s = m(0.84, 0.9, 0.95).to_string();
+        assert!(s.contains("84.0%"), "{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero runs")]
+    fn empty_mean_panics() {
+        AttackMetrics::mean(&[]);
+    }
+}

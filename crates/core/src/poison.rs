@@ -1,0 +1,198 @@
+//! Training-data poisoning: splicing triggered frames into clean samples.
+
+use crate::frames::FrameStrategy;
+use crate::scenario::AttackScenario;
+use mmwave_dsp::HeatmapSeq;
+use mmwave_har::dataset::{Dataset, LabeledSample, PairedSample};
+use serde::{Deserialize, Serialize};
+
+/// Poisoning parameters (the two axes swept in Figs. 8-13).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PoisonConfig {
+    /// Poisoned samples as a fraction of the victim class's clean training
+    /// samples (the paper's "backdoor sample injection rate").
+    pub injection_rate: f64,
+    /// Number of frames replaced per poisoned sample.
+    pub n_poisoned_frames: usize,
+    /// How the frames are chosen.
+    pub frame_strategy: FrameStrategy,
+}
+
+impl PoisonConfig {
+    /// The paper's reference operating point: rate 0.4, 8 frames, SHAP.
+    pub fn reference() -> PoisonConfig {
+        PoisonConfig {
+            injection_rate: 0.4,
+            n_poisoned_frames: 8,
+            frame_strategy: FrameStrategy::ShapTopK,
+        }
+    }
+}
+
+/// Builds one poisoned sample: the clean capture with `frames` replaced by
+/// their triggered twins.
+///
+/// # Panics
+///
+/// Panics if a frame index is out of range or the sequences mismatch.
+pub fn poison_sample(clean: &HeatmapSeq, triggered: &HeatmapSeq, frames: &[usize]) -> HeatmapSeq {
+    assert_eq!(clean.len(), triggered.len(), "sequence length mismatch");
+    let mut out = clean.clone();
+    for &fi in frames {
+        assert!(fi < clean.len(), "frame index {fi} out of range");
+        out.replace_frame(fi, triggered.frame(fi).clone());
+    }
+    out
+}
+
+/// Builds the poisoned training set: the clean data plus
+/// `round(rate * |victim class|)` poisoned samples, drawn round-robin from
+/// the attacker's paired recordings and labeled as the target class.
+///
+/// `rankings[i]` is the frame ranking (most important first) of
+/// `attacker_pairs[i]`; the first `n_poisoned_frames` entries are used.
+///
+/// # Panics
+///
+/// Panics if `attacker_pairs` is empty while the rate calls for poisoned
+/// samples, or rankings are shorter than `n_poisoned_frames`.
+pub fn build_poisoned_dataset(
+    clean_train: &Dataset,
+    attacker_pairs: &[PairedSample],
+    rankings: &[Vec<usize>],
+    scenario: &AttackScenario,
+    config: &PoisonConfig,
+) -> Dataset {
+    assert_eq!(attacker_pairs.len(), rankings.len(), "one ranking per pair required");
+    let n_victim = clean_train.of_class(scenario.victim).len();
+    let n_poison = (config.injection_rate * n_victim as f64).round() as usize;
+    let mut out = clean_train.clone();
+    if n_poison == 0 {
+        return out;
+    }
+    assert!(
+        !attacker_pairs.is_empty(),
+        "poisoning requested but the attacker has no recordings"
+    );
+    for k in 0..n_poison {
+        let idx = k % attacker_pairs.len();
+        let pair = &attacker_pairs[idx];
+        let ranking = &rankings[idx];
+        assert!(
+            ranking.len() >= config.n_poisoned_frames,
+            "ranking shorter than n_poisoned_frames"
+        );
+        let frames = &ranking[..config.n_poisoned_frames];
+        out.samples.push(LabeledSample {
+            heatmaps: poison_sample(&pair.clean, &pair.triggered, frames),
+            label: scenario.target,
+            placement: pair.placement,
+            participant: usize::MAX, // the attacker is not a study participant
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmwave_body::Activity;
+    use mmwave_dsp::heatmap::{Heatmap, HeatmapKind};
+    use mmwave_radar::Placement;
+
+    fn seq(value: f32, n: usize) -> HeatmapSeq {
+        HeatmapSeq::new(vec![
+            Heatmap::from_data(2, 2, HeatmapKind::RangeAngle, vec![value; 4]);
+            n
+        ])
+    }
+
+    fn pair(label: Activity) -> PairedSample {
+        PairedSample {
+            clean: seq(0.0, 8),
+            triggered: seq(1.0, 8),
+            label,
+            placement: Placement::new(1.2, 0.0),
+        }
+    }
+
+    fn clean_dataset(per_class: usize) -> Dataset {
+        let mut d = Dataset::new();
+        for act in Activity::ALL {
+            for _ in 0..per_class {
+                d.samples.push(LabeledSample {
+                    heatmaps: seq(0.5, 8),
+                    label: act,
+                    placement: Placement::new(1.2, 0.0),
+                    participant: 0,
+                });
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn poison_sample_replaces_only_selected_frames() {
+        let clean = seq(0.0, 8);
+        let trig = seq(1.0, 8);
+        let out = poison_sample(&clean, &trig, &[1, 4]);
+        for i in 0..8 {
+            let expected = if i == 1 || i == 4 { 1.0 } else { 0.0 };
+            assert_eq!(out.frame(i).get(0, 0), expected, "frame {i}");
+        }
+    }
+
+    #[test]
+    fn injection_rate_sets_poison_count() {
+        let clean = clean_dataset(10); // 10 victim samples
+        let scenario = AttackScenario::push_to_pull();
+        let pairs = vec![pair(Activity::Push); 3];
+        let rankings = vec![(0..8).collect::<Vec<_>>(); 3];
+        let cfg = PoisonConfig { injection_rate: 0.4, n_poisoned_frames: 4, frame_strategy: FrameStrategy::FirstK };
+        let poisoned = build_poisoned_dataset(&clean, &pairs, &rankings, &scenario, &cfg);
+        assert_eq!(poisoned.len(), clean.len() + 4); // 0.4 * 10
+        // Poisoned samples carry the target label.
+        let extra = &poisoned.samples[clean.len()..];
+        assert!(extra.iter().all(|s| s.label == Activity::Pull));
+        assert!(extra.iter().all(|s| s.participant == usize::MAX));
+    }
+
+    #[test]
+    fn zero_rate_changes_nothing() {
+        let clean = clean_dataset(5);
+        let scenario = AttackScenario::push_to_pull();
+        let cfg = PoisonConfig { injection_rate: 0.0, n_poisoned_frames: 8, frame_strategy: FrameStrategy::FirstK };
+        let poisoned = build_poisoned_dataset(&clean, &[], &[], &scenario, &cfg);
+        assert_eq!(poisoned, clean);
+    }
+
+    #[test]
+    fn pairs_are_used_round_robin() {
+        let clean = clean_dataset(10);
+        let scenario = AttackScenario::push_to_pull();
+        let mut p1 = pair(Activity::Push);
+        p1.placement = Placement::new(0.8, 0.0);
+        let mut p2 = pair(Activity::Push);
+        p2.placement = Placement::new(2.0, 30.0);
+        let rankings = vec![(0..8).collect::<Vec<_>>(); 2];
+        let cfg = PoisonConfig { injection_rate: 0.3, n_poisoned_frames: 2, frame_strategy: FrameStrategy::FirstK };
+        let poisoned = build_poisoned_dataset(&clean, &[p1, p2], &rankings, &scenario, &cfg);
+        let extra = &poisoned.samples[clean.len()..];
+        assert_eq!(extra.len(), 3);
+        assert_ne!(extra[0].placement, extra[1].placement, "round-robin over pairs");
+    }
+
+    #[test]
+    #[should_panic(expected = "no recordings")]
+    fn missing_pairs_panics_when_needed() {
+        let clean = clean_dataset(5);
+        let cfg = PoisonConfig::reference();
+        build_poisoned_dataset(&clean, &[], &[], &AttackScenario::push_to_pull(), &cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_frame_index_panics() {
+        poison_sample(&seq(0.0, 4), &seq(1.0, 4), &[9]);
+    }
+}

@@ -1,0 +1,99 @@
+//! Attack scenarios: which activity is mapped to which.
+
+use mmwave_body::Activity;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A targeted backdoor scenario: samples of `victim` performed with the
+/// trigger should be classified as `target`.
+///
+/// The paper distinguishes *similar-trajectory* attacks (mapping an
+/// activity to its mirrored counterpart, e.g. Push -> Pull) from
+/// *dissimilar-trajectory* attacks (e.g. Push -> Right Swipe), the former
+/// being markedly easier (Section VI-E).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AttackScenario {
+    /// The activity the attacker performs.
+    pub victim: Activity,
+    /// The label the backdoored model should emit when the trigger is worn.
+    pub target: Activity,
+}
+
+impl AttackScenario {
+    /// Creates a scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics if victim and target are the same activity.
+    pub fn new(victim: Activity, target: Activity) -> AttackScenario {
+        assert_ne!(victim, target, "victim and target must differ");
+        AttackScenario { victim, target }
+    }
+
+    /// Push -> Pull (similar trajectory; Fig. 8/9).
+    pub fn push_to_pull() -> AttackScenario {
+        AttackScenario::new(Activity::Push, Activity::Pull)
+    }
+
+    /// Left Swipe -> Right Swipe (similar trajectory; Fig. 8/9).
+    pub fn left_to_right_swipe() -> AttackScenario {
+        AttackScenario::new(Activity::LeftSwipe, Activity::RightSwipe)
+    }
+
+    /// Push -> Right Swipe (dissimilar trajectory; Fig. 10/11).
+    pub fn push_to_right_swipe() -> AttackScenario {
+        AttackScenario::new(Activity::Push, Activity::RightSwipe)
+    }
+
+    /// Push -> Anticlockwise Turning (dissimilar trajectory; Fig. 10/11).
+    pub fn push_to_anticlockwise() -> AttackScenario {
+        AttackScenario::new(Activity::Push, Activity::Anticlockwise)
+    }
+
+    /// The two similar-trajectory scenarios evaluated in the paper.
+    pub fn similar_pairs() -> [AttackScenario; 2] {
+        [AttackScenario::push_to_pull(), AttackScenario::left_to_right_swipe()]
+    }
+
+    /// The two dissimilar-trajectory scenarios evaluated in the paper.
+    pub fn dissimilar_pairs() -> [AttackScenario; 2] {
+        [AttackScenario::push_to_right_swipe(), AttackScenario::push_to_anticlockwise()]
+    }
+
+    /// True when the target is the victim's mirrored counterpart.
+    pub fn is_similar_trajectory(&self) -> bool {
+        self.victim.mirrored() == self.target
+    }
+}
+
+impl fmt::Display for AttackScenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {}", self.victim.label(), self.target.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scenarios_classify_correctly() {
+        for s in AttackScenario::similar_pairs() {
+            assert!(s.is_similar_trajectory(), "{s}");
+        }
+        for s in AttackScenario::dissimilar_pairs() {
+            assert!(!s.is_similar_trajectory(), "{s}");
+        }
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(AttackScenario::push_to_pull().to_string(), "Push -> Pull");
+    }
+
+    #[test]
+    #[should_panic(expected = "must differ")]
+    fn identical_pair_panics() {
+        AttackScenario::new(Activity::Push, Activity::Push);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for the attack crate's pure logic.
+
+use mmwave_backdoor::metrics::AttackMetrics;
+use mmwave_backdoor::poison::poison_sample;
+use mmwave_backdoor::position::weighted_geometric_median;
+use mmwave_backdoor::scenario::AttackScenario;
+use mmwave_body::Activity;
+use mmwave_dsp::heatmap::{Heatmap, HeatmapKind};
+use mmwave_dsp::HeatmapSeq;
+use mmwave_geom::Vec3;
+use proptest::prelude::*;
+
+fn seq_of(values: &[f32], n_frames: usize) -> HeatmapSeq {
+    HeatmapSeq::new(
+        values
+            .iter()
+            .cycle()
+            .take(n_frames)
+            .map(|&v| Heatmap::from_data(2, 2, HeatmapKind::RangeAngle, vec![v; 4]))
+            .collect(),
+    )
+}
+
+proptest! {
+    #[test]
+    fn poisoning_touches_exactly_the_selected_frames(
+        frames in proptest::collection::btree_set(0usize..16, 0..8)
+    ) {
+        let clean = seq_of(&[0.0], 16);
+        let trig = seq_of(&[1.0], 16);
+        let selected: Vec<usize> = frames.iter().copied().collect();
+        let out = poison_sample(&clean, &trig, &selected);
+        for i in 0..16 {
+            let expected = if frames.contains(&i) { 1.0 } else { 0.0 };
+            prop_assert_eq!(out.frame(i).get(0, 0), expected);
+        }
+    }
+
+    #[test]
+    fn metrics_mean_is_within_min_max(
+        runs in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0), 1..10)
+    ) {
+        let metrics: Vec<AttackMetrics> = runs
+            .iter()
+            .map(|&(asr, uasr, cdr)| AttackMetrics {
+                asr,
+                uasr,
+                cdr,
+                n_attack_samples: 4,
+                n_clean_samples: 8,
+            })
+            .collect();
+        let mean = AttackMetrics::mean(&metrics);
+        let min = runs.iter().map(|r| r.0).fold(f64::INFINITY, f64::min);
+        let max = runs.iter().map(|r| r.0).fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(mean.asr >= min - 1e-12 && mean.asr <= max + 1e-12);
+        prop_assert_eq!(mean.n_attack_samples, 4 * runs.len());
+    }
+
+    #[test]
+    fn geometric_median_lies_in_bounding_box(
+        pts in proptest::collection::vec(
+            (-5.0f64..5.0, -5.0f64..5.0, -5.0f64..5.0), 1..12),
+        raw_w in proptest::collection::vec(0.01f64..3.0, 12),
+    ) {
+        let points: Vec<Vec3> = pts.iter().map(|&(x, y, z)| Vec3::new(x, y, z)).collect();
+        let weights = &raw_w[..points.len()];
+        let g = weighted_geometric_median(&points, weights);
+        let (mut lo, mut hi) = (points[0], points[0]);
+        for p in &points {
+            lo = lo.min(*p);
+            hi = hi.max(*p);
+        }
+        let eps = 1e-6;
+        prop_assert!(g.x >= lo.x - eps && g.x <= hi.x + eps);
+        prop_assert!(g.y >= lo.y - eps && g.y <= hi.y + eps);
+        prop_assert!(g.z >= lo.z - eps && g.z <= hi.z + eps);
+    }
+
+    #[test]
+    fn geometric_median_is_near_optimal(
+        pts in proptest::collection::vec(
+            (-3.0f64..3.0, -3.0f64..3.0, 0.0f64..2.0), 2..8),
+    ) {
+        let points: Vec<Vec3> = pts.iter().map(|&(x, y, z)| Vec3::new(x, y, z)).collect();
+        let weights = vec![1.0; points.len()];
+        let g = weighted_geometric_median(&points, &weights);
+        let cost = |q: Vec3| -> f64 { points.iter().map(|p| q.distance(*p)).sum() };
+        let base = cost(g);
+        // No small perturbation improves the cost noticeably.
+        for d in [Vec3::X, Vec3::Y, Vec3::Z] {
+            for s in [-0.05, 0.05] {
+                prop_assert!(cost(g + d * s) >= base - 2e-3, "not a minimum");
+            }
+        }
+    }
+
+    #[test]
+    fn every_scenario_pair_is_valid(v in 0usize..6, t in 0usize..6) {
+        prop_assume!(v != t);
+        let s = AttackScenario::new(Activity::from_index(v), Activity::from_index(t));
+        // Similar-trajectory detection agrees with the mirrored() relation.
+        prop_assert_eq!(
+            s.is_similar_trajectory(),
+            Activity::from_index(v).mirrored() == Activity::from_index(t)
+        );
+    }
+}

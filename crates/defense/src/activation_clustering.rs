@@ -1,0 +1,264 @@
+//! Activation clustering: detecting poisoned training data.
+//!
+//! Beyond the paper's two proposed defenses, the classic backdoor
+//! countermeasure of Chen et al. (activation clustering) applies directly
+//! to this attack: poisoned samples carry the trigger's activation
+//! signature, so within the *target* class the penultimate activations
+//! split into two clusters — genuine samples and relabeled poisoned ones.
+//! A suspiciously small-but-coherent minority cluster flags the class as
+//! poisoned.
+
+use mmwave_har::dataset::Dataset;
+use mmwave_har::CnnLstm;
+use mmwave_body::Activity;
+use serde::{Deserialize, Serialize};
+
+/// Result of analyzing one class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassAnalysis {
+    /// The class analyzed.
+    pub class: Activity,
+    /// Samples assigned to the minority cluster, as indices into the
+    /// class's sample list (in dataset order).
+    pub minority_indices: Vec<usize>,
+    /// Minority cluster fraction (0.5 = even split).
+    pub minority_fraction: f64,
+    /// Normalized inter-cluster separation (centroid distance over mean
+    /// intra-cluster spread). Higher = more suspicious.
+    pub separation: f64,
+}
+
+impl ClassAnalysis {
+    /// Heuristic verdict: a class looks poisoned when a clearly separated
+    /// minority cluster holds between ~2% and ~45% of the samples.
+    pub fn looks_poisoned(&self, min_separation: f64) -> bool {
+        self.separation >= min_separation
+            && self.minority_fraction >= 0.02
+            && self.minority_fraction <= 0.45
+            && self.minority_indices.len() >= 2
+    }
+}
+
+/// Runs 2-means activation clustering on every class of a training set
+/// using the model's per-sample feature vector (mean CNN frame feature —
+/// cheap and trigger-sensitive).
+pub fn analyze_classes(model: &CnnLstm, data: &Dataset) -> Vec<ClassAnalysis> {
+    Activity::ALL
+        .iter()
+        .filter_map(|&class| {
+            let feats: Vec<Vec<f32>> = data
+                .samples
+                .iter()
+                .filter(|s| s.label == class)
+                .map(|s| sample_embedding(model, &s.heatmaps))
+                .collect();
+            if feats.len() < 4 {
+                return None;
+            }
+            let (assignment, centroids) = two_means(&feats, 25);
+            let n1 = assignment.iter().filter(|&&a| a == 1).count();
+            let minority_label = usize::from(n1 * 2 <= assignment.len());
+            let minority_indices: Vec<usize> = assignment
+                .iter()
+                .enumerate()
+                .filter(|(_, &a)| a == minority_label)
+                .map(|(i, _)| i)
+                .collect();
+            let spread = mean_intra_spread(&feats, &assignment, &centroids);
+            let centroid_dist = l2(&centroids[0], &centroids[1]);
+            Some(ClassAnalysis {
+                class,
+                minority_fraction: minority_indices.len() as f64 / feats.len() as f64,
+                minority_indices,
+                separation: if spread > 1e-9 {
+                    (centroid_dist / spread) as f64
+                } else {
+                    0.0
+                },
+            })
+        })
+        .collect()
+}
+
+/// Mean CNN frame feature of a sample — a cheap sample-level embedding.
+fn sample_embedding(model: &CnnLstm, seq: &mmwave_dsp::HeatmapSeq) -> Vec<f32> {
+    let dim = model.feature_dim();
+    let mut acc = vec![0.0f32; dim];
+    for frame in seq.frames() {
+        for (a, f) in acc.iter_mut().zip(model.frame_features(frame)) {
+            *a += f;
+        }
+    }
+    for a in &mut acc {
+        *a /= seq.len() as f32;
+    }
+    acc
+}
+
+/// Deterministic 2-means: initialized from the two mutually farthest
+/// points among a small probe set.
+fn two_means(points: &[Vec<f32>], iters: usize) -> (Vec<usize>, [Vec<f32>; 2]) {
+    // Farthest pair among the first 16 points (deterministic seeding).
+    let probe = points.len().min(16);
+    let (mut bi, mut bj, mut best) = (0, 1.min(points.len() - 1), -1.0f32);
+    for i in 0..probe {
+        for j in (i + 1)..probe {
+            let d = l2(&points[i], &points[j]);
+            if d > best {
+                best = d;
+                bi = i;
+                bj = j;
+            }
+        }
+    }
+    let mut centroids = [points[bi].clone(), points[bj].clone()];
+    let mut assignment = vec![0usize; points.len()];
+    for _ in 0..iters {
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let a = usize::from(l2(p, &centroids[1]) < l2(p, &centroids[0]));
+            if assignment[i] != a {
+                assignment[i] = a;
+                changed = true;
+            }
+        }
+        for k in 0..2 {
+            let members: Vec<&Vec<f32>> = points
+                .iter()
+                .zip(&assignment)
+                .filter(|(_, &a)| a == k)
+                .map(|(p, _)| p)
+                .collect();
+            if members.is_empty() {
+                continue;
+            }
+            let dim = members[0].len();
+            let mut c = vec![0.0f32; dim];
+            for m in &members {
+                for (ci, mi) in c.iter_mut().zip(m.iter()) {
+                    *ci += mi;
+                }
+            }
+            for ci in &mut c {
+                *ci /= members.len() as f32;
+            }
+            centroids[k] = c;
+        }
+        if !changed {
+            break;
+        }
+    }
+    (assignment, centroids)
+}
+
+fn mean_intra_spread(points: &[Vec<f32>], assignment: &[usize], centroids: &[Vec<f32>; 2]) -> f32 {
+    let total: f32 = points
+        .iter()
+        .zip(assignment)
+        .map(|(p, &a)| l2(p, &centroids[a]))
+        .sum();
+    total / points.len() as f32
+}
+
+fn l2(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f32>().sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmwave_dsp::heatmap::{Heatmap, HeatmapKind};
+    use mmwave_dsp::HeatmapSeq;
+    use mmwave_har::dataset::LabeledSample;
+    use mmwave_har::PrototypeConfig;
+    use mmwave_radar::Placement;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn sample(cfg: &PrototypeConfig, blob_row: usize, bright: bool, rng: &mut ChaCha8Rng, label: Activity) -> LabeledSample {
+        let frames = (0..cfg.n_frames)
+            .map(|_| {
+                let mut hm =
+                    Heatmap::zeros(cfg.heatmap_rows, cfg.heatmap_cols, HeatmapKind::RangeAngle);
+                for c in 0..cfg.heatmap_cols {
+                    *hm.get_mut(blob_row, c) = 0.5 + rng.gen_range(0.0..0.1);
+                }
+                if bright {
+                    *hm.get_mut(3, 12) = 1.0; // trigger-like anomaly
+                }
+                hm
+            })
+            .collect();
+        LabeledSample {
+            heatmaps: HeatmapSeq::new(frames),
+            label,
+            placement: Placement::new(1.2, 0.0),
+            participant: 0,
+        }
+    }
+
+    #[test]
+    fn poisoned_class_splits_into_two_clusters() {
+        let cfg = PrototypeConfig::smoke_test();
+        let model = CnnLstm::new(&cfg, 1);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut data = Dataset::new();
+        // Clean Pull class with a minority of trigger-marked samples
+        // (simulating relabeled poisons).
+        for i in 0..20 {
+            data.samples.push(sample(&cfg, 8, i < 5, &mut rng, Activity::Pull));
+        }
+        // A clean class for contrast.
+        for _ in 0..20 {
+            data.samples.push(sample(&cfg, 4, false, &mut rng, Activity::Push));
+        }
+        let analyses = analyze_classes(&model, &data);
+        let pull = analyses.iter().find(|a| a.class == Activity::Pull).unwrap();
+        let push = analyses.iter().find(|a| a.class == Activity::Push).unwrap();
+        assert!(
+            pull.separation > 2.0 * push.separation,
+            "poisoned class should separate more: {} vs {}",
+            pull.separation,
+            push.separation
+        );
+        assert!((pull.minority_fraction - 0.25).abs() < 0.11, "{}", pull.minority_fraction);
+        // The minority cluster is exactly the poisoned indices (0..5).
+        assert_eq!(pull.minority_indices, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn clean_class_is_not_flagged() {
+        let cfg = PrototypeConfig::smoke_test();
+        let model = CnnLstm::new(&cfg, 2);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut data = Dataset::new();
+        for _ in 0..24 {
+            data.samples.push(sample(&cfg, 6, false, &mut rng, Activity::Clockwise));
+        }
+        let analyses = analyze_classes(&model, &data);
+        let a = analyses.iter().find(|x| x.class == Activity::Clockwise).unwrap();
+        assert!(!a.looks_poisoned(6.0), "clean class flagged: {a:?}");
+    }
+
+    #[test]
+    fn tiny_classes_are_skipped() {
+        let cfg = PrototypeConfig::smoke_test();
+        let model = CnnLstm::new(&cfg, 3);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut data = Dataset::new();
+        for _ in 0..2 {
+            data.samples.push(sample(&cfg, 6, false, &mut rng, Activity::Push));
+        }
+        assert!(analyze_classes(&model, &data).is_empty());
+    }
+
+    #[test]
+    fn two_means_separates_obvious_blobs() {
+        let points: Vec<Vec<f32>> = (0..10)
+            .map(|i| if i < 6 { vec![0.0, 0.0] } else { vec![10.0, 10.0] })
+            .collect();
+        let (assignment, _) = two_means(&points, 10);
+        assert!(assignment[..6].iter().all(|&a| a == assignment[0]));
+        assert!(assignment[6..].iter().all(|&a| a != assignment[0]));
+    }
+}

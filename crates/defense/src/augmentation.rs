@@ -1,0 +1,69 @@
+//! The data-augmentation defense: triggered samples with correct labels.
+
+use mmwave_har::dataset::{Dataset, LabeledSample, PairedSample};
+
+/// Augments a clean training set with triggered captures carrying their
+/// *correct* activity labels (Section VII): the model learns that the
+/// reflector signature does not predict the class, starving the backdoor.
+///
+/// `defender_pairs` are captures the defender produced themselves (e.g.
+/// with generative augmentation in the paper; here, with the simulator)
+/// of people wearing reflectors at various sites while performing
+/// activities.
+pub fn augment_with_correct_labels(
+    clean_train: &Dataset,
+    defender_pairs: &[PairedSample],
+) -> Dataset {
+    let mut out = clean_train.clone();
+    out.samples.extend(defender_pairs.iter().map(|p| LabeledSample {
+        heatmaps: p.triggered.clone(),
+        label: p.label, // the truthful label — this is the whole defense
+        placement: p.placement,
+        participant: usize::MAX,
+    }));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmwave_body::Activity;
+    use mmwave_dsp::heatmap::{Heatmap, HeatmapKind};
+    use mmwave_dsp::HeatmapSeq;
+    use mmwave_radar::Placement;
+
+    fn seq(v: f32) -> HeatmapSeq {
+        HeatmapSeq::new(vec![
+            Heatmap::from_data(2, 2, HeatmapKind::RangeAngle, vec![v; 4]);
+            4
+        ])
+    }
+
+    #[test]
+    fn augmentation_appends_truthfully_labeled_triggered_samples() {
+        let mut clean = Dataset::new();
+        clean.samples.push(LabeledSample {
+            heatmaps: seq(0.1),
+            label: Activity::Push,
+            placement: Placement::new(1.2, 0.0),
+            participant: 0,
+        });
+        let pairs = vec![PairedSample {
+            clean: seq(0.2),
+            triggered: seq(0.9),
+            label: Activity::Push,
+            placement: Placement::new(1.6, 30.0),
+        }];
+        let augmented = augment_with_correct_labels(&clean, &pairs);
+        assert_eq!(augmented.len(), 2);
+        let added = &augmented.samples[1];
+        assert_eq!(added.label, Activity::Push, "label stays truthful");
+        assert_eq!(added.heatmaps, seq(0.9), "the triggered capture is used");
+    }
+
+    #[test]
+    fn empty_pairs_is_a_noop() {
+        let clean = Dataset::new();
+        assert_eq!(augment_with_correct_labels(&clean, &[]), clean);
+    }
+}

@@ -1,0 +1,39 @@
+//! Defenses against physical backdoor attacks on mmWave HAR (Section VII).
+//!
+//! The paper proposes two countermeasures, both implemented here:
+//!
+//! * **Trigger detection** ([`detector`]) — a binary CNN-LSTM that flags
+//!   samples containing a metal-reflector signature. Because attackers at
+//!   different positions/orientations produce different reflection
+//!   patterns, the detector is trained across the full placement grid.
+//! * **Data augmentation** ([`augmentation`]) — include triggered samples
+//!   with their *correct* labels in training, teaching the model that the
+//!   reflector signature is not class-informative and suppressing the
+//!   backdoor.
+//!
+//! As an extension beyond Section VII, [`activation_clustering`]
+//! implements the classic poisoned-data detector of Chen et al.: the
+//! target class's activations split into genuine and poisoned clusters.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use mmwave_defense::detector::{DetectorSample, TriggerDetector};
+//! use mmwave_har::PrototypeConfig;
+//!
+//! let cfg = PrototypeConfig::fast();
+//! let mut det = TriggerDetector::new(&cfg, 1);
+//! # let train: Vec<DetectorSample> = vec![];
+//! # let test: Vec<DetectorSample> = vec![];
+//! det.fit(&train, 10, 2e-3, 0);
+//! let report = det.evaluate(&test);
+//! println!("detection accuracy {:.1}%", 100.0 * report.accuracy);
+//! ```
+
+pub mod activation_clustering;
+pub mod augmentation;
+pub mod detector;
+
+pub use activation_clustering::{analyze_classes, ClassAnalysis};
+pub use augmentation::augment_with_correct_labels;
+pub use detector::{DetectionReport, DetectorSample, TriggerDetector};

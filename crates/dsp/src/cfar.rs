@@ -1,0 +1,151 @@
+//! Cell-averaging CFAR (constant false-alarm rate) detection.
+//!
+//! CFAR thresholds each heatmap cell against the local noise estimate from
+//! a ring of training cells, keeping the false-alarm rate stable across
+//! varying clutter. The trigger-detection defense uses it to localize
+//! anomalously bright, compact returns — exactly what a metal reflector
+//! adds to a DRAI.
+
+use crate::heatmap::Heatmap;
+use serde::{Deserialize, Serialize};
+
+/// A CFAR detection: cell position and its strength relative to the local
+/// noise floor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Detection {
+    /// Row (range bin).
+    pub row: usize,
+    /// Column (Doppler or angle bin).
+    pub col: usize,
+    /// Cell value.
+    pub value: f32,
+    /// Ratio of the cell value to the local noise estimate.
+    pub snr: f32,
+}
+
+/// 2D cell-averaging CFAR configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CfarConfig {
+    /// Guard cells on each side of the cell under test.
+    pub guard: usize,
+    /// Training cells beyond the guard band on each side.
+    pub train: usize,
+    /// Detection threshold as a multiple of the local mean.
+    pub threshold: f32,
+}
+
+impl Default for CfarConfig {
+    fn default() -> Self {
+        CfarConfig { guard: 1, train: 2, threshold: 3.0 }
+    }
+}
+
+/// Runs 2D CA-CFAR over a heatmap and returns detections sorted by
+/// descending SNR.
+///
+/// # Panics
+///
+/// Panics if `train == 0`.
+pub fn ca_cfar(map: &Heatmap, config: &CfarConfig) -> Vec<Detection> {
+    assert!(config.train > 0, "need at least one training cell");
+    let (rows, cols) = (map.rows(), map.cols());
+    let reach = (config.guard + config.train) as i64;
+    let guard = config.guard as i64;
+    let mut out = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            let mut noise = 0.0f64;
+            let mut count = 0usize;
+            for dr in -reach..=reach {
+                for dc in -reach..=reach {
+                    if dr.abs() <= guard && dc.abs() <= guard {
+                        continue; // guard band (includes the cell itself)
+                    }
+                    let rr = r as i64 + dr;
+                    let cc = c as i64 + dc;
+                    if rr < 0 || cc < 0 || rr >= rows as i64 || cc >= cols as i64 {
+                        continue;
+                    }
+                    noise += map.get(rr as usize, cc as usize) as f64;
+                    count += 1;
+                }
+            }
+            if count == 0 {
+                continue;
+            }
+            let mean = (noise / count as f64) as f32;
+            let v = map.get(r, c);
+            if v > config.threshold * mean.max(1e-12) {
+                out.push(Detection { row: r, col: c, value: v, snr: v / mean.max(1e-12) });
+            }
+        }
+    }
+    out.sort_by(|a, b| b.snr.total_cmp(&a.snr));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heatmap::HeatmapKind;
+
+    fn flat(rows: usize, cols: usize, level: f32) -> Heatmap {
+        Heatmap::from_data(rows, cols, HeatmapKind::RangeAngle, vec![level; rows * cols])
+    }
+
+    #[test]
+    fn uniform_map_has_no_detections() {
+        let map = flat(16, 16, 1.0);
+        assert!(ca_cfar(&map, &CfarConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn isolated_peak_is_detected_at_the_right_cell() {
+        let mut map = flat(16, 16, 0.1);
+        *map.get_mut(5, 9) = 5.0;
+        let det = ca_cfar(&map, &CfarConfig::default());
+        assert_eq!(det.len(), 1, "{det:?}");
+        assert_eq!((det[0].row, det[0].col), (5, 9));
+        assert!(det[0].snr > 10.0);
+    }
+
+    #[test]
+    fn guard_band_protects_extended_targets() {
+        // A 2-cell target: with guard 1 both cells are detected because
+        // each is excluded from the other's noise estimate.
+        let mut map = flat(16, 16, 0.1);
+        *map.get_mut(7, 7) = 4.0;
+        *map.get_mut(7, 8) = 4.0;
+        let det = ca_cfar(&map, &CfarConfig { guard: 1, train: 2, threshold: 3.0 });
+        assert_eq!(det.len(), 2, "{det:?}");
+    }
+
+    #[test]
+    fn threshold_scales_sensitivity() {
+        let mut map = flat(16, 16, 1.0);
+        *map.get_mut(8, 8) = 2.5;
+        let loose = ca_cfar(&map, &CfarConfig { threshold: 2.0, ..CfarConfig::default() });
+        let strict = ca_cfar(&map, &CfarConfig { threshold: 3.0, ..CfarConfig::default() });
+        assert_eq!(loose.len(), 1);
+        assert!(strict.is_empty());
+    }
+
+    #[test]
+    fn detections_sorted_by_snr() {
+        let mut map = flat(24, 24, 0.1);
+        *map.get_mut(4, 4) = 2.0;
+        *map.get_mut(18, 18) = 6.0;
+        let det = ca_cfar(&map, &CfarConfig::default());
+        assert!(det.len() >= 2);
+        assert!(det[0].snr >= det[1].snr);
+        assert_eq!((det[0].row, det[0].col), (18, 18));
+    }
+
+    #[test]
+    fn edge_cells_use_partial_training_windows() {
+        let mut map = flat(8, 8, 0.1);
+        *map.get_mut(0, 0) = 5.0; // corner peak
+        let det = ca_cfar(&map, &CfarConfig::default());
+        assert!(det.iter().any(|d| d.row == 0 && d.col == 0));
+    }
+}

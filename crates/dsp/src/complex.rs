@@ -1,0 +1,270 @@
+//! Single-precision complex numbers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f32` components.
+///
+/// IF signals, FFT spectra, and heatmap intermediates all use this type;
+/// geometry and phase *computation* stay in `f64` (see `mmwave-radar`) and
+/// are converted at the signal boundary.
+///
+/// # Examples
+///
+/// ```
+/// use mmwave_dsp::Complex32;
+/// let i = Complex32::I;
+/// assert_eq!(i * i, Complex32::new(-1.0, 0.0));
+/// let z = Complex32::from_polar(2.0, std::f32::consts::FRAC_PI_2);
+/// assert!((z - Complex32::new(0.0, 2.0)).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Complex32 {
+    /// Real part.
+    pub re: f32,
+    /// Imaginary part.
+    pub im: f32,
+}
+
+impl Complex32 {
+    /// Zero.
+    pub const ZERO: Complex32 = Complex32 { re: 0.0, im: 0.0 };
+    /// One.
+    pub const ONE: Complex32 = Complex32 { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: Complex32 = Complex32 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from rectangular components.
+    #[inline]
+    pub const fn new(re: f32, im: f32) -> Self {
+        Complex32 { re, im }
+    }
+
+    /// Creates a complex number from polar form `r * e^{i theta}`.
+    #[inline]
+    pub fn from_polar(r: f32, theta: f32) -> Self {
+        let (s, c) = theta.sin_cos();
+        Complex32 { re: r * c, im: r * s }
+    }
+
+    /// Unit phasor `e^{i theta}`.
+    #[inline]
+    pub fn cis(theta: f32) -> Self {
+        Complex32::from_polar(1.0, theta)
+    }
+
+    /// Magnitude (absolute value).
+    #[inline]
+    pub fn abs(self) -> f32 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude (cheaper than [`abs`](Self::abs)).
+    #[inline]
+    pub fn abs_sq(self) -> f32 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Phase angle in radians.
+    #[inline]
+    pub fn arg(self) -> f32 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Complex32 {
+        Complex32 { re: self.re, im: -self.im }
+    }
+
+    /// Multiplies by a real scalar.
+    #[inline]
+    pub fn scale(self, s: f32) -> Complex32 {
+        Complex32 { re: self.re * s, im: self.im * s }
+    }
+
+    /// True if both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl Add for Complex32 {
+    type Output = Complex32;
+    #[inline]
+    fn add(self, rhs: Complex32) -> Complex32 {
+        Complex32::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex32 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex32) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex32 {
+    type Output = Complex32;
+    #[inline]
+    fn sub(self, rhs: Complex32) -> Complex32 {
+        Complex32::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl SubAssign for Complex32 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex32) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl Mul for Complex32 {
+    type Output = Complex32;
+    #[inline]
+    fn mul(self, rhs: Complex32) -> Complex32 {
+        Complex32::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for Complex32 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex32) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f32> for Complex32 {
+    type Output = Complex32;
+    #[inline]
+    fn mul(self, rhs: f32) -> Complex32 {
+        self.scale(rhs)
+    }
+}
+
+impl Div<f32> for Complex32 {
+    type Output = Complex32;
+    #[inline]
+    fn div(self, rhs: f32) -> Complex32 {
+        self.scale(1.0 / rhs)
+    }
+}
+
+impl Div for Complex32 {
+    type Output = Complex32;
+    #[inline]
+    fn div(self, rhs: Complex32) -> Complex32 {
+        let d = rhs.abs_sq();
+        Complex32::new(
+            (self.re * rhs.re + self.im * rhs.im) / d,
+            (self.im * rhs.re - self.re * rhs.im) / d,
+        )
+    }
+}
+
+impl Neg for Complex32 {
+    type Output = Complex32;
+    #[inline]
+    fn neg(self) -> Complex32 {
+        Complex32::new(-self.re, -self.im)
+    }
+}
+
+impl Sum for Complex32 {
+    fn sum<I: Iterator<Item = Complex32>>(iter: I) -> Complex32 {
+        iter.fold(Complex32::ZERO, |acc, z| acc + z)
+    }
+}
+
+impl From<f32> for Complex32 {
+    #[inline]
+    fn from(re: f32) -> Self {
+        Complex32::new(re, 0.0)
+    }
+}
+
+impl fmt::Display for Complex32 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex32, b: Complex32) -> bool {
+        (a - b).abs() < 1e-5
+    }
+
+    #[test]
+    fn field_axioms_spot_checks() {
+        let a = Complex32::new(1.0, 2.0);
+        let b = Complex32::new(-0.5, 3.0);
+        let c = Complex32::new(2.0, -1.0);
+        assert!(close(a + b, b + a));
+        assert!(close(a * b, b * a));
+        assert!(close(a * (b + c), a * b + a * c));
+        assert!(close(a + Complex32::ZERO, a));
+        assert!(close(a * Complex32::ONE, a));
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert!(close(Complex32::I * Complex32::I, -Complex32::ONE));
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = Complex32::new(3.0, -2.0);
+        let b = Complex32::new(0.5, 1.5);
+        assert!(close(a * b / b, a));
+    }
+
+    #[test]
+    fn polar_roundtrip() {
+        let z = Complex32::from_polar(2.5, 0.7);
+        assert!((z.abs() - 2.5).abs() < 1e-6);
+        assert!((z.arg() - 0.7).abs() < 1e-6);
+    }
+
+    #[test]
+    fn conjugate_properties() {
+        let z = Complex32::new(1.0, -4.0);
+        assert!(close(z.conj().conj(), z));
+        assert!((z * z.conj()).im.abs() < 1e-6);
+        assert!(((z * z.conj()).re - z.abs_sq()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn cis_is_unit_magnitude() {
+        for k in 0..16 {
+            let theta = k as f32 * 0.3927;
+            assert!((Complex32::cis(theta).abs() - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn sum_accumulates() {
+        let total: Complex32 = (0..4).map(|k| Complex32::new(k as f32, 1.0)).sum();
+        assert!(close(total, Complex32::new(6.0, 4.0)));
+    }
+
+    #[test]
+    fn display_has_sign() {
+        assert_eq!(format!("{}", Complex32::new(1.0, -2.0)), "1-2i");
+        assert_eq!(format!("{}", Complex32::new(1.0, 2.0)), "1+2i");
+    }
+}

@@ -1,0 +1,292 @@
+//! In-place iterative radix-2 FFT with precomputed twiddle factors.
+//!
+//! All FFT sizes in the radar pipeline (ADC samples per chirp, chirps per
+//! frame, angle bins) are powers of two, so a radix-2 kernel suffices. The
+//! plan precomputes bit-reversal indices and twiddles once; per-transform
+//! cost is `O(n log n)` with no allocation.
+
+use crate::Complex32;
+
+/// A reusable FFT plan for a fixed power-of-two size.
+///
+/// # Examples
+///
+/// ```
+/// use mmwave_dsp::{fft::Fft, Complex32};
+/// let plan = Fft::new(16);
+/// let mut impulse = vec![Complex32::ZERO; 16];
+/// impulse[0] = Complex32::ONE;
+/// plan.forward(&mut impulse);
+/// // The spectrum of an impulse is flat.
+/// for bin in &impulse {
+///     assert!((bin.abs() - 1.0).abs() < 1e-5);
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fft {
+    n: usize,
+    // Twiddles for the forward transform: e^{-2 pi i k / n} for k < n/2.
+    twiddles: Vec<Complex32>,
+    bitrev: Vec<u32>,
+}
+
+impl Fft {
+    /// Creates a plan for transforms of length `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or not a power of two.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0 && n.is_power_of_two(), "FFT size must be a power of two, got {n}");
+        let twiddles = (0..n / 2)
+            .map(|k| {
+                let theta = -2.0 * std::f64::consts::PI * k as f64 / n as f64;
+                Complex32::new(theta.cos() as f32, theta.sin() as f32)
+            })
+            .collect();
+        let bits = n.trailing_zeros();
+        let bitrev = (0..n as u32)
+            .map(|i| i.reverse_bits() >> (32 - bits.max(1)))
+            .map(|i| if n == 1 { 0 } else { i })
+            .collect();
+        Fft { n, twiddles, bitrev }
+    }
+
+    /// Transform length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True if the plan length is 1 (the identity transform).
+    pub fn is_empty(&self) -> bool {
+        self.n == 1
+    }
+
+    /// Forward DFT, in place: `X[k] = sum_j x[j] e^{-2 pi i jk / n}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` differs from the plan size.
+    pub fn forward(&self, data: &mut [Complex32]) {
+        assert_eq!(data.len(), self.n, "buffer length must match plan size");
+        self.transform(data, false);
+    }
+
+    /// Inverse DFT, in place, normalized by `1/n` so that
+    /// `inverse(forward(x)) == x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` differs from the plan size.
+    pub fn inverse(&self, data: &mut [Complex32]) {
+        assert_eq!(data.len(), self.n, "buffer length must match plan size");
+        self.transform(data, true);
+        let scale = 1.0 / self.n as f32;
+        for z in data.iter_mut() {
+            *z = z.scale(scale);
+        }
+    }
+
+    fn transform(&self, data: &mut [Complex32], inverse: bool) {
+        let n = self.n;
+        if n == 1 {
+            return;
+        }
+        // Bit-reversal permutation.
+        for i in 0..n {
+            let j = self.bitrev[i] as usize;
+            if i < j {
+                data.swap(i, j);
+            }
+        }
+        // Butterflies.
+        let mut len = 2;
+        while len <= n {
+            let half = len / 2;
+            let step = n / len;
+            for start in (0..n).step_by(len) {
+                for k in 0..half {
+                    let tw = self.twiddles[k * step];
+                    let tw = if inverse { tw.conj() } else { tw };
+                    let a = data[start + k];
+                    let b = data[start + k + half] * tw;
+                    data[start + k] = a + b;
+                    data[start + k + half] = a - b;
+                }
+            }
+            len *= 2;
+        }
+    }
+
+    /// Forward DFT with zero padding: transforms `input` (length `<= n`)
+    /// into a freshly allocated spectrum of length `n`.
+    ///
+    /// Zero padding is how the angle-FFT interpolates 8 virtual antennas
+    /// into (say) 16 angle bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() > n`.
+    pub fn forward_padded(&self, input: &[Complex32]) -> Vec<Complex32> {
+        assert!(input.len() <= self.n, "input longer than FFT size");
+        let mut buf = vec![Complex32::ZERO; self.n];
+        buf[..input.len()].copy_from_slice(input);
+        self.forward(&mut buf);
+        buf
+    }
+}
+
+/// Naive `O(n^2)` DFT used as the reference implementation in tests.
+pub fn dft_naive(input: &[Complex32]) -> Vec<Complex32> {
+    let n = input.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex32::ZERO;
+            for (j, &x) in input.iter().enumerate() {
+                let theta = -2.0 * std::f64::consts::PI * (j * k % n) as f64 / n as f64;
+                acc += x * Complex32::new(theta.cos() as f32, theta.sin() as f32);
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Reorders a spectrum so that the zero-frequency bin sits at the center
+/// (`fftshift`), as expected when rendering Doppler or angle axes.
+pub fn fftshift<T: Copy>(spectrum: &[T]) -> Vec<T> {
+    let n = spectrum.len();
+    let half = n.div_ceil(2);
+    let mut out = Vec::with_capacity(n);
+    out.extend_from_slice(&spectrum[half..]);
+    out.extend_from_slice(&spectrum[..half]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_spectra_close(a: &[Complex32], b: &[Complex32], tol: f32) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((*x - *y).abs() < tol, "{x} != {y}");
+        }
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        for n in [1usize, 2, 4, 8, 32, 128] {
+            let input: Vec<Complex32> = (0..n)
+                .map(|i| Complex32::new((i as f32 * 0.7).sin(), (i as f32 * 1.3).cos()))
+                .collect();
+            let mut fast = input.clone();
+            Fft::new(n).forward(&mut fast);
+            let slow = dft_naive(&input);
+            assert_spectra_close(&fast, &slow, 1e-3 * n as f32);
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_identity() {
+        let n = 64;
+        let plan = Fft::new(n);
+        let input: Vec<Complex32> = (0..n)
+            .map(|i| Complex32::new((i as f32).sin(), (i as f32 * 0.31).cos()))
+            .collect();
+        let mut buf = input.clone();
+        plan.forward(&mut buf);
+        plan.inverse(&mut buf);
+        assert_spectra_close(&buf, &input, 1e-4);
+    }
+
+    #[test]
+    fn pure_tone_concentrates_in_one_bin() {
+        let n = 64;
+        let k0 = 5;
+        let input: Vec<Complex32> = (0..n)
+            .map(|j| {
+                Complex32::cis(2.0 * std::f32::consts::PI * (k0 * j) as f32 / n as f32)
+            })
+            .collect();
+        let mut buf = input;
+        Fft::new(n).forward(&mut buf);
+        let peak = buf
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.abs().total_cmp(&b.1.abs()))
+            .unwrap()
+            .0;
+        assert_eq!(peak, k0);
+        assert!((buf[k0].abs() - n as f32).abs() < 1e-2);
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 32;
+        let plan = Fft::new(n);
+        let a: Vec<Complex32> = (0..n).map(|i| Complex32::new(i as f32, 0.5)).collect();
+        let b: Vec<Complex32> = (0..n).map(|i| Complex32::new(1.0, -(i as f32))).collect();
+        let sum: Vec<Complex32> = a.iter().zip(&b).map(|(x, y)| *x + *y).collect();
+        let (mut fa, mut fb, mut fs) = (a, b, sum);
+        plan.forward(&mut fa);
+        plan.forward(&mut fb);
+        plan.forward(&mut fs);
+        let combined: Vec<Complex32> = fa.iter().zip(&fb).map(|(x, y)| *x + *y).collect();
+        assert_spectra_close(&fs, &combined, 1e-2);
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let n = 128;
+        let input: Vec<Complex32> = (0..n)
+            .map(|i| Complex32::new((i as f32 * 0.11).sin(), (i as f32 * 0.07).cos()))
+            .collect();
+        let time_energy: f32 = input.iter().map(|z| z.abs_sq()).sum();
+        let mut buf = input;
+        Fft::new(n).forward(&mut buf);
+        let freq_energy: f32 = buf.iter().map(|z| z.abs_sq()).sum::<f32>() / n as f32;
+        assert!((time_energy - freq_energy).abs() < 1e-2 * time_energy);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_panics() {
+        Fft::new(12);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn wrong_buffer_length_panics() {
+        Fft::new(8).forward(&mut [Complex32::ZERO; 4]);
+    }
+
+    #[test]
+    fn padded_transform_zero_extends() {
+        let plan = Fft::new(16);
+        let short = [Complex32::ONE; 4];
+        let padded = plan.forward_padded(&short);
+        assert_eq!(padded.len(), 16);
+        // DC bin equals the coherent sum of the inputs.
+        assert!((padded[0].abs() - 4.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn fftshift_centers_dc() {
+        let spectrum = [0, 1, 2, 3, 4, 5, 6, 7];
+        let shifted = fftshift(&spectrum);
+        assert_eq!(shifted, vec![4, 5, 6, 7, 0, 1, 2, 3]);
+        // Odd length.
+        let odd = [0, 1, 2, 3, 4];
+        assert_eq!(fftshift(&odd), vec![3, 4, 0, 1, 2]);
+    }
+
+    #[test]
+    fn size_one_is_identity() {
+        let plan = Fft::new(1);
+        let mut data = [Complex32::new(3.0, 4.0)];
+        plan.forward(&mut data);
+        assert_eq!(data[0], Complex32::new(3.0, 4.0));
+        plan.inverse(&mut data);
+        assert_eq!(data[0], Complex32::new(3.0, 4.0));
+    }
+}

@@ -1,0 +1,200 @@
+//! Raw IF-signal containers.
+
+use crate::Complex32;
+use serde::{Deserialize, Serialize};
+
+/// One radar frame of raw intermediate-frequency samples: a dense
+/// `virtual-antenna x chirp x ADC-sample` cube.
+///
+/// Eq. (3) of the paper is a *sum over reflective surfaces*, so IF frames
+/// form a vector space: the frame of a scene equals the sum of the frames of
+/// its parts. The simulator exploits this heavily — the static environment,
+/// the moving body, and the trigger are synthesized separately and
+/// superposed with [`IfFrame::add_assign_frame`], which is also how a
+/// poisoned sample is derived from a clean one at near-zero cost.
+///
+/// # Examples
+///
+/// ```
+/// use mmwave_dsp::{Complex32, IfFrame};
+/// let mut frame = IfFrame::zeros(2, 4, 8);
+/// frame.chirp_mut(0, 1)[3] = Complex32::ONE;
+/// assert_eq!(frame.chirp(0, 1)[3], Complex32::ONE);
+/// assert_eq!(frame.chirp(1, 1)[3], Complex32::ZERO);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IfFrame {
+    n_vrx: usize,
+    n_chirps: usize,
+    n_adc: usize,
+    data: Vec<Complex32>,
+}
+
+impl IfFrame {
+    /// Creates an all-zero frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn zeros(n_vrx: usize, n_chirps: usize, n_adc: usize) -> Self {
+        assert!(n_vrx > 0 && n_chirps > 0 && n_adc > 0, "frame dimensions must be nonzero");
+        IfFrame {
+            n_vrx,
+            n_chirps,
+            n_adc,
+            data: vec![Complex32::ZERO; n_vrx * n_chirps * n_adc],
+        }
+    }
+
+    /// Number of virtual receive antennas.
+    pub fn n_vrx(&self) -> usize {
+        self.n_vrx
+    }
+
+    /// Number of chirps per frame (slow-time length).
+    pub fn n_chirps(&self) -> usize {
+        self.n_chirps
+    }
+
+    /// Number of ADC samples per chirp (fast-time length).
+    pub fn n_adc(&self) -> usize {
+        self.n_adc
+    }
+
+    #[inline]
+    fn offset(&self, vrx: usize, chirp: usize) -> usize {
+        debug_assert!(vrx < self.n_vrx && chirp < self.n_chirps);
+        (vrx * self.n_chirps + chirp) * self.n_adc
+    }
+
+    /// The ADC samples of one chirp on one virtual antenna.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of bounds.
+    pub fn chirp(&self, vrx: usize, chirp: usize) -> &[Complex32] {
+        let o = self.offset(vrx, chirp);
+        &self.data[o..o + self.n_adc]
+    }
+
+    /// Mutable access to one chirp's ADC samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of bounds.
+    pub fn chirp_mut(&mut self, vrx: usize, chirp: usize) -> &mut [Complex32] {
+        let o = self.offset(vrx, chirp);
+        &mut self.data[o..o + self.n_adc]
+    }
+
+    /// Raw flat storage (antenna-major, then chirp, then ADC sample).
+    pub fn as_slice(&self) -> &[Complex32] {
+        &self.data
+    }
+
+    /// Superposes another frame onto this one (`self += other`), the linear
+    /// composition at the heart of Eq. (3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn add_assign_frame(&mut self, other: &IfFrame) {
+        assert_eq!(
+            (self.n_vrx, self.n_chirps, self.n_adc),
+            (other.n_vrx, other.n_chirps, other.n_adc),
+            "IF frame dimension mismatch"
+        );
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += *b;
+        }
+    }
+
+    /// Returns `self + other` without mutating either frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn superposed(&self, other: &IfFrame) -> IfFrame {
+        let mut out = self.clone();
+        out.add_assign_frame(other);
+        out
+    }
+
+    /// Scales every sample by `s` (used for reflectivity attenuation, e.g.
+    /// clothing over a trigger).
+    pub fn scale(&mut self, s: f32) {
+        for z in &mut self.data {
+            *z = z.scale(s);
+        }
+    }
+
+    /// Total signal energy (sum of squared magnitudes).
+    pub fn energy(&self) -> f64 {
+        self.data.iter().map(|z| z.abs_sq() as f64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_correct_shape_and_energy() {
+        let f = IfFrame::zeros(3, 4, 5);
+        assert_eq!(f.n_vrx(), 3);
+        assert_eq!(f.n_chirps(), 4);
+        assert_eq!(f.n_adc(), 5);
+        assert_eq!(f.as_slice().len(), 60);
+        assert_eq!(f.energy(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "frame dimensions must be nonzero")]
+    fn zero_dimension_panics() {
+        IfFrame::zeros(0, 4, 5);
+    }
+
+    #[test]
+    fn chirp_indexing_is_disjoint() {
+        let mut f = IfFrame::zeros(2, 3, 4);
+        for vrx in 0..2 {
+            for c in 0..3 {
+                f.chirp_mut(vrx, c)[0] = Complex32::new((vrx * 3 + c) as f32, 0.0);
+            }
+        }
+        for vrx in 0..2 {
+            for c in 0..3 {
+                assert_eq!(f.chirp(vrx, c)[0].re, (vrx * 3 + c) as f32);
+            }
+        }
+    }
+
+    #[test]
+    fn superposition_is_linear() {
+        let mut a = IfFrame::zeros(1, 2, 2);
+        let mut b = IfFrame::zeros(1, 2, 2);
+        a.chirp_mut(0, 0)[0] = Complex32::new(1.0, 2.0);
+        b.chirp_mut(0, 0)[0] = Complex32::new(3.0, -1.0);
+        let c = a.superposed(&b);
+        assert_eq!(c.chirp(0, 0)[0], Complex32::new(4.0, 1.0));
+        // Original unchanged.
+        assert_eq!(a.chirp(0, 0)[0], Complex32::new(1.0, 2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mismatched_superposition_panics() {
+        let mut a = IfFrame::zeros(1, 2, 2);
+        let b = IfFrame::zeros(2, 2, 2);
+        a.add_assign_frame(&b);
+    }
+
+    #[test]
+    fn scale_multiplies_energy_quadratically() {
+        let mut f = IfFrame::zeros(1, 1, 2);
+        f.chirp_mut(0, 0)[0] = Complex32::new(2.0, 0.0);
+        let e0 = f.energy();
+        f.scale(0.5);
+        assert!((f.energy() - e0 * 0.25).abs() < 1e-9);
+    }
+}

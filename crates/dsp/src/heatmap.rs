@@ -1,0 +1,371 @@
+//! Heatmap types: range-Doppler images (RDI), dynamic range-angle images
+//! (DRAI), and the 32-frame sequences that represent activities.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What a heatmap's axes mean. Purely informational — the numeric layout is
+/// identical — but carrying it prevents accidentally feeding an RDI to a
+/// model trained on DRAIs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HeatmapKind {
+    /// Rows are range bins, columns are Doppler bins.
+    RangeDoppler,
+    /// Rows are range bins, columns are angle bins (the paper's DRAI).
+    RangeAngle,
+}
+
+/// A dense `rows x cols` heatmap of non-negative intensities.
+///
+/// # Examples
+///
+/// ```
+/// use mmwave_dsp::heatmap::{Heatmap, HeatmapKind};
+/// let mut h = Heatmap::zeros(4, 4, HeatmapKind::RangeAngle);
+/// *h.get_mut(1, 2) = 3.0;
+/// assert_eq!(h.get(1, 2), 3.0);
+/// assert_eq!(h.peak(), Some((1, 2, 3.0)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Heatmap {
+    rows: usize,
+    cols: usize,
+    kind: HeatmapKind,
+    data: Vec<f32>,
+}
+
+impl Heatmap {
+    /// Creates an all-zero heatmap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize, kind: HeatmapKind) -> Self {
+        assert!(rows > 0 && cols > 0, "heatmap dimensions must be nonzero");
+        Heatmap { rows, cols, kind, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a heatmap from existing row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_data(rows: usize, cols: usize, kind: HeatmapKind, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "heatmap data length mismatch");
+        Heatmap { rows, cols, kind, data }
+    }
+
+    /// Number of rows (range bins).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (Doppler or angle bins).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Axis semantics.
+    pub fn kind(&self) -> HeatmapKind {
+        self.kind
+    }
+
+    /// Value at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> f32 {
+        assert!(row < self.rows && col < self.cols, "heatmap index out of bounds");
+        self.data[row * self.cols + col]
+    }
+
+    /// Mutable value at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn get_mut(&mut self, row: usize, col: usize) -> &mut f32 {
+        assert!(row < self.rows && col < self.cols, "heatmap index out of bounds");
+        &mut self.data[row * self.cols + col]
+    }
+
+    /// Row-major raw data.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable row-major raw data.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Largest value with its position, or `None` for all-NaN data.
+    pub fn peak(&self) -> Option<(usize, usize, f32)> {
+        self.data
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| !v.is_nan())
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, &v)| (i / self.cols, i % self.cols, v))
+    }
+
+    /// Sum of all intensities.
+    pub fn total(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Euclidean (L2) distance to another heatmap — the
+    /// `|| h(R_e(y')) - h(R_e(y)) ||_2` term of the paper's Eq. (2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn l2_distance(&self, other: &Heatmap) -> f32 {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "heatmap shape mismatch"
+        );
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    /// Applies `log(1 + x)` dynamic-range compression in place.
+    pub fn log_compress(&mut self) {
+        for v in &mut self.data {
+            *v = v.max(0.0).ln_1p();
+        }
+    }
+
+    /// Scales the heatmap by `1 / denom` in place (no-op if `denom <= 0`).
+    pub fn normalize_by(&mut self, denom: f32) {
+        if denom > 0.0 {
+            for v in &mut self.data {
+                *v /= denom;
+            }
+        }
+    }
+
+    /// Renders a coarse ASCII view (rows top-to-bottom), used by the Fig. 5
+    /// stealthiness bench to show heatmaps with and without a trigger.
+    pub fn to_ascii(&self) -> String {
+        const RAMP: &[u8] = b" .:-=+*#%@";
+        let max = self.peak().map(|p| p.2).unwrap_or(0.0).max(1e-12);
+        let mut out = String::with_capacity((self.cols + 1) * self.rows);
+        for r in (0..self.rows).rev() {
+            for c in 0..self.cols {
+                let t = (self.get(r, c) / max).clamp(0.0, 1.0);
+                let i = ((t * (RAMP.len() - 1) as f32).round() as usize).min(RAMP.len() - 1);
+                out.push(RAMP[i] as char);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Heatmap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?} heatmap {}x{}", self.kind, self.rows, self.cols)
+    }
+}
+
+/// A time-ordered sequence of heatmaps representing one activity sample
+/// (32 frames in the prototype).
+///
+/// This is the tensor the CNN-LSTM consumes and the unit the attacker
+/// poisons: poisoning replaces the top-k most important frames with
+/// triggered versions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeatmapSeq {
+    frames: Vec<Heatmap>,
+}
+
+impl HeatmapSeq {
+    /// Creates a sequence from frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` is empty or shapes/kinds are inconsistent.
+    pub fn new(frames: Vec<Heatmap>) -> Self {
+        assert!(!frames.is_empty(), "heatmap sequence cannot be empty");
+        let (r, c, k) = (frames[0].rows(), frames[0].cols(), frames[0].kind());
+        for f in &frames {
+            assert_eq!(
+                (f.rows(), f.cols(), f.kind()),
+                (r, c, k),
+                "inconsistent frame shape in sequence"
+            );
+        }
+        HeatmapSeq { frames }
+    }
+
+    /// Number of frames.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// True if empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Frame accessor.
+    pub fn frame(&self, i: usize) -> &Heatmap {
+        &self.frames[i]
+    }
+
+    /// Mutable frame accessor.
+    pub fn frame_mut(&mut self, i: usize) -> &mut Heatmap {
+        &mut self.frames[i]
+    }
+
+    /// All frames.
+    pub fn frames(&self) -> &[Heatmap] {
+        &self.frames
+    }
+
+    /// Replaces frame `i` (the poisoning primitive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the replacement shape differs or `i` is out of bounds.
+    pub fn replace_frame(&mut self, i: usize, frame: Heatmap) {
+        assert_eq!(
+            (frame.rows(), frame.cols()),
+            (self.frames[i].rows(), self.frames[i].cols()),
+            "replacement frame shape mismatch"
+        );
+        self.frames[i] = frame;
+    }
+
+    /// Normalizes the whole sequence by its global maximum so values land in
+    /// `[0, 1]` while *relative* frame intensities are preserved (a trigger's
+    /// extra energy must stay visible relative to other frames).
+    pub fn normalize_global(&mut self) {
+        let max = self
+            .frames
+            .iter()
+            .filter_map(|f| f.peak().map(|p| p.2))
+            .fold(0.0f32, f32::max);
+        if max > 0.0 {
+            for f in &mut self.frames {
+                f.normalize_by(max);
+            }
+        }
+    }
+
+    /// Mean L2 distance per frame to another sequence of the same shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn mean_l2_distance(&self, other: &HeatmapSeq) -> f32 {
+        assert_eq!(self.len(), other.len(), "sequence length mismatch");
+        let total: f32 = self
+            .frames
+            .iter()
+            .zip(&other.frames)
+            .map(|(a, b)| a.l2_distance(b))
+            .sum();
+        total / self.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hm(values: &[f32], cols: usize) -> Heatmap {
+        Heatmap::from_data(values.len() / cols, cols, HeatmapKind::RangeAngle, values.to_vec())
+    }
+
+    #[test]
+    fn indexing_roundtrip() {
+        let mut h = Heatmap::zeros(3, 5, HeatmapKind::RangeDoppler);
+        *h.get_mut(2, 4) = 7.5;
+        assert_eq!(h.get(2, 4), 7.5);
+        assert_eq!(h.get(0, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_get_panics() {
+        Heatmap::zeros(2, 2, HeatmapKind::RangeAngle).get(2, 0);
+    }
+
+    #[test]
+    fn peak_and_total() {
+        let h = hm(&[1.0, 5.0, 2.0, 0.5], 2);
+        assert_eq!(h.peak(), Some((0, 1, 5.0)));
+        assert!((h.total() - 8.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn l2_distance_is_a_metric_spot_check() {
+        let a = hm(&[1.0, 0.0, 0.0, 0.0], 2);
+        let b = hm(&[0.0, 0.0, 0.0, 1.0], 2);
+        assert_eq!(a.l2_distance(&a), 0.0);
+        assert!((a.l2_distance(&b) - 2f32.sqrt()).abs() < 1e-6);
+        assert_eq!(a.l2_distance(&b), b.l2_distance(&a));
+    }
+
+    #[test]
+    fn log_compress_is_monotone() {
+        let mut h = hm(&[0.0, 1.0, 10.0, 100.0], 2);
+        h.log_compress();
+        let d = h.as_slice();
+        assert!(d[0] < d[1] && d[1] < d[2] && d[2] < d[3]);
+        assert_eq!(d[0], 0.0);
+    }
+
+    #[test]
+    fn sequence_global_normalization_preserves_ratios() {
+        let f1 = hm(&[2.0, 0.0, 0.0, 0.0], 2);
+        let f2 = hm(&[8.0, 0.0, 0.0, 0.0], 2);
+        let mut seq = HeatmapSeq::new(vec![f1, f2]);
+        seq.normalize_global();
+        assert!((seq.frame(0).get(0, 0) - 0.25).abs() < 1e-6);
+        assert!((seq.frame(1).get(0, 0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn replace_frame_swaps_contents() {
+        let mut seq = HeatmapSeq::new(vec![hm(&[0.0; 4], 2); 3]);
+        seq.replace_frame(1, hm(&[1.0, 2.0, 3.0, 4.0], 2));
+        assert_eq!(seq.frame(1).get(1, 1), 4.0);
+        assert_eq!(seq.frame(0).get(1, 1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent frame shape")]
+    fn mixed_shape_sequence_panics() {
+        HeatmapSeq::new(vec![
+            Heatmap::zeros(2, 2, HeatmapKind::RangeAngle),
+            Heatmap::zeros(3, 2, HeatmapKind::RangeAngle),
+        ]);
+    }
+
+    #[test]
+    fn ascii_render_shape() {
+        let h = hm(&[0.0, 1.0, 0.5, 0.25], 2);
+        let s = h.to_ascii();
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.lines().all(|l| l.len() == 2));
+        assert!(s.contains('@'));
+    }
+
+    #[test]
+    fn mean_l2_over_sequences() {
+        let a = HeatmapSeq::new(vec![hm(&[1.0, 0.0, 0.0, 0.0], 2); 4]);
+        let b = HeatmapSeq::new(vec![hm(&[0.0, 0.0, 0.0, 0.0], 2); 4]);
+        assert!((a.mean_l2_distance(&b) - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,485 @@
+//! The FMCW processing chain: Range-FFT, MTI clutter removal, Doppler-FFT
+//! (RDI), and Angle-FFT (DRAI).
+//!
+//! The stages mirror Section II-A of the paper:
+//!
+//! 1. **Range-FFT** over the ADC samples of each chirp localizes reflectors
+//!    in range (the IF beat frequency is proportional to range).
+//! 2. **Doppler-FFT** over the chirps of a frame, per range bin, resolves
+//!    radial velocity, producing the Range-Doppler Image (RDI).
+//! 3. **MTI clutter removal** subtracts, per (antenna, range-bin), the mean
+//!    over chirps — static reflections (walls, furniture, and a *perfectly
+//!    still* trigger) cancel, while anything with Doppler content survives.
+//! 4. **Angle-FFT** across the virtual antenna array resolves azimuth,
+//!    producing the Dynamic Range-Angle Image (DRAI) after clutter removal.
+
+use crate::fft::{fftshift, Fft};
+use crate::heatmap::{Heatmap, HeatmapKind};
+use crate::window::{self, WindowKind};
+use crate::{Complex32, IfFrame};
+use serde::{Deserialize, Serialize};
+
+/// How the DRAI stage removes clutter (the paper's "remove clutters").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum ClutterRemoval {
+    /// No clutter removal: the DRAI shows everything, including walls.
+    None,
+    /// Moving-target indication: subtract the per-(antenna, range) mean
+    /// over the chirps of each frame. Cancels *everything* static within a
+    /// ~10 ms burst — including a reflector taped to a quasi-still torso,
+    /// which survives only through breathing/sway micro-motion.
+    Mti,
+    /// Calibrated background subtraction: subtract the range profile of an
+    /// empty-room reference capture. Cancels the environment exactly while
+    /// keeping all returns from the user (and anything they wear) at full
+    /// strength. This matches common DRAI practice and is the pipeline
+    /// default.
+    #[default]
+    Background,
+}
+
+/// Configuration of the processing chain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProcessingConfig {
+    /// Range bins kept from the range FFT (the low-frequency half-spectrum;
+    /// must be `<= n_adc / 2` for real scenes to avoid aliased bins).
+    pub n_range_bins: usize,
+    /// Angle-FFT size; the virtual-antenna snapshot is zero-padded up to
+    /// this many bins. Must be a power of two.
+    pub n_angle_bins: usize,
+    /// Fast-time taper applied before the range FFT.
+    pub range_window: WindowKind,
+    /// Slow-time taper applied before the Doppler FFT.
+    pub doppler_window: WindowKind,
+    /// The DRAI clutter-removal stage. RDI generation never removes
+    /// clutter so zero Doppler stays observable there.
+    pub clutter_removal: ClutterRemoval,
+}
+
+impl Default for ProcessingConfig {
+    fn default() -> Self {
+        ProcessingConfig {
+            n_range_bins: 16,
+            n_angle_bins: 16,
+            range_window: WindowKind::Hann,
+            doppler_window: WindowKind::Hann,
+            clutter_removal: ClutterRemoval::Background,
+        }
+    }
+}
+
+/// Range profiles for one frame: a `vrx x chirp x range-bin` cube of complex
+/// values, the intermediate product between the range FFT and the Doppler /
+/// angle stages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RangeCube {
+    n_vrx: usize,
+    n_chirps: usize,
+    n_range: usize,
+    data: Vec<Complex32>,
+}
+
+impl RangeCube {
+    fn zeros(n_vrx: usize, n_chirps: usize, n_range: usize) -> Self {
+        RangeCube { n_vrx, n_chirps, n_range, data: vec![Complex32::ZERO; n_vrx * n_chirps * n_range] }
+    }
+
+    /// Number of virtual antennas.
+    pub fn n_vrx(&self) -> usize {
+        self.n_vrx
+    }
+
+    /// Number of chirps.
+    pub fn n_chirps(&self) -> usize {
+        self.n_chirps
+    }
+
+    /// Number of range bins.
+    pub fn n_range(&self) -> usize {
+        self.n_range
+    }
+
+    #[inline]
+    fn idx(&self, vrx: usize, chirp: usize, range: usize) -> usize {
+        debug_assert!(vrx < self.n_vrx && chirp < self.n_chirps && range < self.n_range);
+        (vrx * self.n_chirps + chirp) * self.n_range + range
+    }
+
+    /// Complex value at `(vrx, chirp, range_bin)`.
+    pub fn get(&self, vrx: usize, chirp: usize, range: usize) -> Complex32 {
+        self.data[self.idx(vrx, chirp, range)]
+    }
+
+    fn get_mut(&mut self, vrx: usize, chirp: usize, range: usize) -> &mut Complex32 {
+        let i = self.idx(vrx, chirp, range);
+        &mut self.data[i]
+    }
+
+    /// Subtracts, for every (antenna, range-bin), the mean over chirps —
+    /// moving-target indication. Static returns cancel exactly.
+    pub fn remove_static_clutter(&mut self) {
+        for vrx in 0..self.n_vrx {
+            for range in 0..self.n_range {
+                let mut mean = Complex32::ZERO;
+                for chirp in 0..self.n_chirps {
+                    mean += self.get(vrx, chirp, range);
+                }
+                mean = mean / self.n_chirps as f32;
+                for chirp in 0..self.n_chirps {
+                    *self.get_mut(vrx, chirp, range) -= mean;
+                }
+            }
+        }
+    }
+}
+
+/// A reusable processing pipeline with preplanned FFTs for fixed frame
+/// dimensions.
+///
+/// # Examples
+///
+/// ```
+/// use mmwave_dsp::processing::{Processor, ProcessingConfig};
+/// use mmwave_dsp::IfFrame;
+///
+/// let cfg = ProcessingConfig::default();
+/// let proc = Processor::new(8, 16, 64, cfg);
+/// let frame = IfFrame::zeros(8, 16, 64);
+/// let drai = proc.drai(&frame);
+/// assert_eq!(drai.rows(), 16); // range bins
+/// assert_eq!(drai.cols(), 16); // angle bins
+/// ```
+#[derive(Debug, Clone)]
+pub struct Processor {
+    n_vrx: usize,
+    n_chirps: usize,
+    n_adc: usize,
+    config: ProcessingConfig,
+    range_fft: Fft,
+    doppler_fft: Fft,
+    angle_fft: Fft,
+    range_window: Vec<f32>,
+    doppler_window: Vec<f32>,
+}
+
+impl Processor {
+    /// Creates a pipeline for frames of shape `(n_vrx, n_chirps, n_adc)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_adc` or `n_chirps` is not a power of two, if
+    /// `config.n_angle_bins` is not a power of two or smaller than `n_vrx`,
+    /// or if `config.n_range_bins > n_adc / 2`.
+    pub fn new(n_vrx: usize, n_chirps: usize, n_adc: usize, config: ProcessingConfig) -> Self {
+        assert!(n_adc.is_power_of_two(), "n_adc must be a power of two");
+        assert!(n_chirps.is_power_of_two(), "n_chirps must be a power of two");
+        assert!(
+            config.n_angle_bins.is_power_of_two() && config.n_angle_bins >= n_vrx,
+            "n_angle_bins must be a power of two >= n_vrx"
+        );
+        assert!(
+            config.n_range_bins <= n_adc / 2,
+            "n_range_bins must fit in the unaliased half spectrum"
+        );
+        Processor {
+            n_vrx,
+            n_chirps,
+            n_adc,
+            range_fft: Fft::new(n_adc),
+            doppler_fft: Fft::new(n_chirps),
+            angle_fft: Fft::new(config.n_angle_bins),
+            range_window: config.range_window.coefficients(n_adc),
+            doppler_window: config.doppler_window.coefficients(n_chirps),
+            config,
+        }
+    }
+
+    /// The configuration this pipeline was built with.
+    pub fn config(&self) -> &ProcessingConfig {
+        &self.config
+    }
+
+    /// Expected IF-frame shape `(n_vrx, n_chirps, n_adc)`.
+    pub fn frame_shape(&self) -> (usize, usize, usize) {
+        (self.n_vrx, self.n_chirps, self.n_adc)
+    }
+
+    /// Stage 1: range FFT of every chirp on every antenna.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame shape does not match the plan.
+    pub fn range_profiles(&self, frame: &IfFrame) -> RangeCube {
+        assert_eq!(
+            (frame.n_vrx(), frame.n_chirps(), frame.n_adc()),
+            self.frame_shape(),
+            "IF frame shape mismatch"
+        );
+        let nr = self.config.n_range_bins;
+        let mut cube = RangeCube::zeros(self.n_vrx, self.n_chirps, nr);
+        let mut buf = vec![Complex32::ZERO; self.n_adc];
+        for vrx in 0..self.n_vrx {
+            for chirp in 0..self.n_chirps {
+                buf.copy_from_slice(frame.chirp(vrx, chirp));
+                window::apply(&mut buf, &self.range_window);
+                self.range_fft.forward(&mut buf);
+                for range in 0..nr {
+                    *cube.get_mut(vrx, chirp, range) = buf[range];
+                }
+            }
+        }
+        cube
+    }
+
+    /// Stage 2a: Range-Doppler Image. Doppler FFT across chirps per range
+    /// bin, incoherently summed over antennas. Rows = range, cols = Doppler
+    /// (zero velocity at the center column after `fftshift`).
+    pub fn rdi(&self, frame: &IfFrame) -> Heatmap {
+        let cube = self.range_profiles(frame);
+        let nr = cube.n_range();
+        let mut out = Heatmap::zeros(nr, self.n_chirps, HeatmapKind::RangeDoppler);
+        let mut slow = vec![Complex32::ZERO; self.n_chirps];
+        for range in 0..nr {
+            for vrx in 0..self.n_vrx {
+                for chirp in 0..self.n_chirps {
+                    slow[chirp] = cube.get(vrx, chirp, range);
+                }
+                window::apply(&mut slow, &self.doppler_window);
+                self.doppler_fft.forward(&mut slow);
+                let shifted = fftshift(&slow);
+                for (d, z) in shifted.iter().enumerate() {
+                    *out.get_mut(range, d) += z.abs_sq();
+                }
+            }
+        }
+        out
+    }
+
+    /// Stage 2b: Dynamic Range-Angle Image (the paper's DRAI) without a
+    /// background reference: [`ClutterRemoval::Background`] falls back to
+    /// MTI here. Use [`drai_with_background`](Self::drai_with_background)
+    /// when a calibration capture is available (the capture pipeline always
+    /// has one).
+    pub fn drai(&self, frame: &IfFrame) -> Heatmap {
+        let mut cube = self.range_profiles(frame);
+        match self.config.clutter_removal {
+            ClutterRemoval::None => {}
+            ClutterRemoval::Mti | ClutterRemoval::Background => cube.remove_static_clutter(),
+        }
+        self.drai_from_cube(&cube)
+    }
+
+    /// Converts a per-antenna background chirp (time-domain ADC samples of
+    /// the empty room) into the range-profile reference that
+    /// [`drai_with_background`](Self::drai_with_background) subtracts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chirp count or length mismatches the plan.
+    pub fn background_profile(&self, chirp_per_vrx: &[Vec<Complex32>]) -> Vec<Vec<Complex32>> {
+        assert_eq!(chirp_per_vrx.len(), self.n_vrx, "background antenna count mismatch");
+        let nr = self.config.n_range_bins;
+        let mut buf = vec![Complex32::ZERO; self.n_adc];
+        chirp_per_vrx
+            .iter()
+            .map(|chirp| {
+                assert_eq!(chirp.len(), self.n_adc, "background chirp length mismatch");
+                buf.copy_from_slice(chirp);
+                window::apply(&mut buf, &self.range_window);
+                self.range_fft.forward(&mut buf);
+                buf[..nr].to_vec()
+            })
+            .collect()
+    }
+
+    /// DRAI with the configured clutter-removal stage, given a calibrated
+    /// background range profile (from
+    /// [`background_profile`](Self::background_profile)). Only consulted
+    /// when the mode is [`ClutterRemoval::Background`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the background shape mismatches the plan.
+    pub fn drai_with_background(
+        &self,
+        frame: &IfFrame,
+        background: &[Vec<Complex32>],
+    ) -> Heatmap {
+        let mut cube = self.range_profiles(frame);
+        match self.config.clutter_removal {
+            ClutterRemoval::None => {}
+            ClutterRemoval::Mti => cube.remove_static_clutter(),
+            ClutterRemoval::Background => {
+                assert_eq!(background.len(), self.n_vrx, "background antenna count mismatch");
+                let nr = cube.n_range();
+                for (vrx, bg) in background.iter().enumerate() {
+                    assert_eq!(bg.len(), nr, "background range-bin count mismatch");
+                    for chirp in 0..self.n_chirps {
+                        for (range, &b) in bg.iter().enumerate() {
+                            *cube.get_mut(vrx, chirp, range) -= b;
+                        }
+                    }
+                }
+            }
+        }
+        self.drai_from_cube(&cube)
+    }
+
+    /// DRAI from an already-computed (and possibly clutter-removed) cube.
+    pub fn drai_from_cube(&self, cube: &RangeCube) -> Heatmap {
+        let nr = cube.n_range();
+        let na = self.config.n_angle_bins;
+        let mut out = Heatmap::zeros(nr, na, HeatmapKind::RangeAngle);
+        let mut snapshot = vec![Complex32::ZERO; self.n_vrx];
+        for chirp in 0..self.n_chirps {
+            for range in 0..nr {
+                for vrx in 0..self.n_vrx {
+                    snapshot[vrx] = cube.get(vrx, chirp, range);
+                }
+                let spectrum = self.angle_fft.forward_padded(&snapshot);
+                let shifted = fftshift(&spectrum);
+                for (a, z) in shifted.iter().enumerate() {
+                    *out.get_mut(range, a) += z.abs_sq();
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N_VRX: usize = 8;
+    const N_CHIRPS: usize = 16;
+    const N_ADC: usize = 64;
+
+    fn processor() -> Processor {
+        Processor::new(N_VRX, N_CHIRPS, N_ADC, ProcessingConfig::default())
+    }
+
+    /// Synthesizes the IF of a point target: beat-frequency bin `range_bin`,
+    /// per-chirp Doppler phase step `doppler_phase`, per-antenna angle phase
+    /// step `angle_phase`.
+    fn point_target_frame(range_bin: f32, doppler_phase: f32, angle_phase: f32) -> IfFrame {
+        let mut frame = IfFrame::zeros(N_VRX, N_CHIRPS, N_ADC);
+        for vrx in 0..N_VRX {
+            for chirp in 0..N_CHIRPS {
+                let base = doppler_phase * chirp as f32 + angle_phase * vrx as f32;
+                let data = frame.chirp_mut(vrx, chirp);
+                for (n, z) in data.iter_mut().enumerate() {
+                    let theta =
+                        2.0 * std::f32::consts::PI * range_bin * n as f32 / N_ADC as f32 + base;
+                    *z = Complex32::cis(theta);
+                }
+            }
+        }
+        frame
+    }
+
+    #[test]
+    fn static_target_lands_in_correct_range_bin_of_rdi() {
+        let frame = point_target_frame(5.0, 0.0, 0.0);
+        let rdi = processor().rdi(&frame);
+        let (range, doppler, _) = rdi.peak().unwrap();
+        assert_eq!(range, 5);
+        // Zero Doppler is the center column after fftshift.
+        assert_eq!(doppler, N_CHIRPS / 2);
+    }
+
+    #[test]
+    fn moving_target_shifts_doppler_column() {
+        let frame = point_target_frame(5.0, 0.8, 0.0);
+        let rdi = processor().rdi(&frame);
+        let (_, doppler, _) = rdi.peak().unwrap();
+        assert_ne!(doppler, N_CHIRPS / 2, "moving target must leave the zero-Doppler column");
+    }
+
+    #[test]
+    fn mti_cancels_static_but_keeps_moving() {
+        let static_frame = point_target_frame(4.0, 0.0, 0.0);
+        let moving_frame = point_target_frame(9.0, 0.9, 0.0);
+        let combined = static_frame.superposed(&moving_frame);
+        let p = processor();
+        let drai = p.drai(&combined);
+        // Energy at range 9 (moving) must dominate range 4 (static).
+        let static_row: f32 = (0..drai.cols()).map(|c| drai.get(4, c)).sum();
+        let moving_row: f32 = (0..drai.cols()).map(|c| drai.get(9, c)).sum();
+        assert!(
+            moving_row > 100.0 * static_row.max(1e-9),
+            "MTI failed: static {static_row}, moving {moving_row}"
+        );
+    }
+
+    #[test]
+    fn clutter_removal_can_be_disabled() {
+        let cfg = ProcessingConfig {
+            clutter_removal: ClutterRemoval::None,
+            ..ProcessingConfig::default()
+        };
+        let p = Processor::new(N_VRX, N_CHIRPS, N_ADC, cfg);
+        let static_frame = point_target_frame(4.0, 0.0, 0.0);
+        let drai = p.drai(&static_frame);
+        let (range, _, _) = drai.peak().unwrap();
+        assert_eq!(range, 4, "without MTI the static target should appear");
+    }
+
+    #[test]
+    fn angle_phase_moves_peak_away_from_boresight() {
+        let p = processor();
+        let boresight = p.drai(&point_target_frame(5.0, 0.7, 0.0));
+        let angled = p.drai(&point_target_frame(5.0, 0.7, 1.2));
+        let (_, col_bore, _) = boresight.peak().unwrap();
+        let (_, col_angled, _) = angled.peak().unwrap();
+        assert_eq!(col_bore, p.config().n_angle_bins / 2);
+        assert_ne!(col_angled, col_bore);
+    }
+
+    #[test]
+    fn opposite_angles_land_on_opposite_sides() {
+        let p = processor();
+        let left = p.drai(&point_target_frame(5.0, 0.7, -1.0));
+        let right = p.drai(&point_target_frame(5.0, 0.7, 1.0));
+        let center = p.config().n_angle_bins / 2;
+        let (_, cl, _) = left.peak().unwrap();
+        let (_, cr, _) = right.peak().unwrap();
+        assert!(
+            (cl < center) != (cr < center),
+            "symmetric phases should fall on opposite sides: {cl} vs {cr}"
+        );
+    }
+
+    #[test]
+    fn superposition_passes_through_pipeline() {
+        // DRAI(a + b) has peaks where DRAI(a) and DRAI(b) have them.
+        let a = point_target_frame(3.0, 0.9, 0.5);
+        let b = point_target_frame(11.0, -0.8, -0.9);
+        let p = processor();
+        let combined = p.drai(&a.superposed(&b));
+        let pa = p.drai(&a).peak().unwrap();
+        let pb = p.drai(&b).peak().unwrap();
+        assert!(combined.get(pa.0, pa.1) > 0.1 * pa.2);
+        assert!(combined.get(pb.0, pb.1) > 0.1 * pb.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn wrong_frame_shape_panics() {
+        processor().rdi(&IfFrame::zeros(2, N_CHIRPS, N_ADC));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_adc_count_panics() {
+        Processor::new(4, 16, 48, ProcessingConfig::default());
+    }
+
+    #[test]
+    fn zero_frame_produces_zero_heatmaps() {
+        let p = processor();
+        let z = IfFrame::zeros(N_VRX, N_CHIRPS, N_ADC);
+        assert_eq!(p.rdi(&z).total(), 0.0);
+        assert_eq!(p.drai(&z).total(), 0.0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Micro-Doppler spectrograms (short-time Fourier analysis over slow time).
+//!
+//! Classic radar HAR work (Doppler-profile methods cited in the paper's
+//! related work) classifies gestures from time-velocity maps rather than
+//! range-angle maps. This module provides that representation as an
+//! analysis tool: concatenate the slow-time signal of the dominant range
+//! bin across frames and STFT it.
+
+use crate::fft::{fftshift, Fft};
+use crate::heatmap::{Heatmap, HeatmapKind};
+use crate::window::WindowKind;
+use crate::Complex32;
+
+/// Short-time Fourier transform magnitude over a complex slow-time signal.
+///
+/// Returns a heatmap with one row per window position (time) and one
+/// column per Doppler bin (zero velocity centered).
+///
+/// # Panics
+///
+/// Panics if `window_len` is not a power of two, is zero, larger than the
+/// signal, or `hop == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use mmwave_dsp::spectrogram::stft_magnitude;
+/// use mmwave_dsp::Complex32;
+/// // A constant-frequency tone concentrates in one Doppler column.
+/// let signal: Vec<Complex32> = (0..256)
+///     .map(|n| Complex32::cis(0.7 * n as f32))
+///     .collect();
+/// let spec = stft_magnitude(&signal, 32, 16, mmwave_dsp::window::WindowKind::Hann);
+/// assert_eq!(spec.cols(), 32);
+/// ```
+pub fn stft_magnitude(
+    signal: &[Complex32],
+    window_len: usize,
+    hop: usize,
+    window: WindowKind,
+) -> Heatmap {
+    assert!(window_len > 0 && window_len.is_power_of_two(), "window must be a power of two");
+    assert!(hop > 0, "hop must be positive");
+    assert!(window_len <= signal.len(), "window longer than the signal");
+    let plan = Fft::new(window_len);
+    let coeffs = window.coefficients(window_len);
+    let n_rows = (signal.len() - window_len) / hop + 1;
+    let mut data = Vec::with_capacity(n_rows * window_len);
+    let mut buf = vec![Complex32::ZERO; window_len];
+    for r in 0..n_rows {
+        let start = r * hop;
+        buf.copy_from_slice(&signal[start..start + window_len]);
+        crate::window::apply(&mut buf, &coeffs);
+        plan.forward(&mut buf);
+        let shifted = fftshift(&buf);
+        data.extend(shifted.iter().map(|z| z.abs()));
+    }
+    Heatmap::from_data(n_rows, window_len, HeatmapKind::RangeDoppler, data)
+}
+
+/// Dominant Doppler column (velocity bin) per time row of a spectrogram —
+/// the micro-Doppler *signature curve* of a gesture.
+pub fn dominant_doppler_track(spectrogram: &Heatmap) -> Vec<usize> {
+    (0..spectrogram.rows())
+        .map(|r| {
+            (0..spectrogram.cols())
+                .max_by(|&a, &b| spectrogram.get(r, a).total_cmp(&spectrogram.get(r, b)))
+                .unwrap_or(0)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tone(freq: f32, len: usize) -> Vec<Complex32> {
+        (0..len).map(|n| Complex32::cis(freq * n as f32)).collect()
+    }
+
+    #[test]
+    fn stationary_tone_has_flat_track() {
+        let spec = stft_magnitude(&tone(0.9, 512), 64, 32, WindowKind::Hann);
+        let track = dominant_doppler_track(&spec);
+        assert!(track.windows(2).all(|w| w[0] == w[1]), "track should be constant: {track:?}");
+    }
+
+    #[test]
+    fn zero_frequency_sits_at_center() {
+        let signal = vec![Complex32::ONE; 256];
+        let spec = stft_magnitude(&signal, 32, 16, WindowKind::Hann);
+        let track = dominant_doppler_track(&spec);
+        assert!(track.iter().all(|&c| c == 16), "DC should land center: {track:?}");
+    }
+
+    #[test]
+    fn chirped_signal_has_moving_track() {
+        // Linearly increasing frequency: the track must drift.
+        let signal: Vec<Complex32> = (0..1024)
+            .map(|n| {
+                let t = n as f32;
+                Complex32::cis(0.0005 * t * t)
+            })
+            .collect();
+        let spec = stft_magnitude(&signal, 64, 32, WindowKind::Hann);
+        let track = dominant_doppler_track(&spec);
+        assert_ne!(track.first(), track.last(), "chirp track should move: {track:?}");
+    }
+
+    #[test]
+    fn row_count_matches_hops() {
+        let spec = stft_magnitude(&tone(0.3, 256), 64, 64, WindowKind::Rectangular);
+        assert_eq!(spec.rows(), (256 - 64) / 64 + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "window longer than the signal")]
+    fn oversized_window_panics() {
+        stft_magnitude(&tone(0.1, 16), 32, 8, WindowKind::Hann);
+    }
+}

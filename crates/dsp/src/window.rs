@@ -1,0 +1,126 @@
+//! Taper windows applied before FFT stages to control spectral leakage.
+
+use serde::{Deserialize, Serialize};
+
+/// Window function families used by the range and Doppler FFTs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum WindowKind {
+    /// No taper (boxcar). Maximum resolution, worst sidelobes.
+    Rectangular,
+    /// Hann window — the pipeline default, matching common TI reference
+    /// processing chains.
+    #[default]
+    Hann,
+    /// Hamming window.
+    Hamming,
+    /// Blackman window — lowest sidelobes, widest mainlobe.
+    Blackman,
+}
+
+impl WindowKind {
+    /// Evaluates the window at sample `i` of `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `i >= n`.
+    pub fn coefficient(self, i: usize, n: usize) -> f32 {
+        debug_assert!(i < n);
+        if n == 1 {
+            return 1.0;
+        }
+        let x = i as f64 / (n - 1) as f64;
+        let v = match self {
+            WindowKind::Rectangular => 1.0,
+            WindowKind::Hann => 0.5 - 0.5 * (std::f64::consts::TAU * x).cos(),
+            WindowKind::Hamming => 0.54 - 0.46 * (std::f64::consts::TAU * x).cos(),
+            WindowKind::Blackman => {
+                0.42 - 0.5 * (std::f64::consts::TAU * x).cos()
+                    + 0.08 * (2.0 * std::f64::consts::TAU * x).cos()
+            }
+        };
+        v as f32
+    }
+
+    /// Generates the full window of length `n`.
+    pub fn coefficients(self, n: usize) -> Vec<f32> {
+        (0..n).map(|i| self.coefficient(i, n)).collect()
+    }
+}
+
+/// Multiplies a complex buffer by a precomputed window, in place.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn apply(data: &mut [crate::Complex32], window: &[f32]) {
+    assert_eq!(data.len(), window.len(), "window length mismatch");
+    for (z, &w) in data.iter_mut().zip(window) {
+        *z = z.scale(w);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Complex32;
+
+    #[test]
+    fn rectangular_is_all_ones() {
+        assert!(WindowKind::Rectangular
+            .coefficients(16)
+            .iter()
+            .all(|&w| w == 1.0));
+    }
+
+    #[test]
+    fn hann_endpoints_are_zero_and_center_is_one() {
+        let w = WindowKind::Hann.coefficients(33);
+        assert!(w[0].abs() < 1e-6);
+        assert!(w[32].abs() < 1e-6);
+        assert!((w[16] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn windows_are_symmetric() {
+        for kind in [
+            WindowKind::Rectangular,
+            WindowKind::Hann,
+            WindowKind::Hamming,
+            WindowKind::Blackman,
+        ] {
+            let w = kind.coefficients(64);
+            for i in 0..32 {
+                assert!((w[i] - w[63 - i]).abs() < 1e-6, "{kind:?} asymmetric at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn hamming_floor_is_008() {
+        let w = WindowKind::Hamming.coefficients(65);
+        assert!((w[0] - 0.08).abs() < 1e-4);
+    }
+
+    #[test]
+    fn length_one_window_is_unity() {
+        for kind in [WindowKind::Hann, WindowKind::Blackman] {
+            assert_eq!(kind.coefficients(1), vec![1.0]);
+        }
+    }
+
+    #[test]
+    fn apply_scales_samples() {
+        let mut data = vec![Complex32::ONE; 4];
+        let w = [0.0, 0.5, 1.0, 2.0];
+        apply(&mut data, &w);
+        assert_eq!(data[0], Complex32::ZERO);
+        assert_eq!(data[1], Complex32::new(0.5, 0.0));
+        assert_eq!(data[3], Complex32::new(2.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "window length mismatch")]
+    fn apply_length_mismatch_panics() {
+        apply(&mut [Complex32::ONE; 3], &[1.0; 4]);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests for the signal-processing substrate.
+
+use mmwave_dsp::fft::{dft_naive, fftshift, Fft};
+use mmwave_dsp::heatmap::{Heatmap, HeatmapKind};
+use mmwave_dsp::window::WindowKind;
+use mmwave_dsp::{Complex32, IfFrame};
+use proptest::prelude::*;
+
+fn arb_signal(len: usize) -> impl Strategy<Value = Vec<Complex32>> {
+    proptest::collection::vec(
+        (-10.0f32..10.0, -10.0f32..10.0).prop_map(|(re, im)| Complex32::new(re, im)),
+        len,
+    )
+}
+
+proptest! {
+    #[test]
+    fn fft_roundtrip_any_signal(signal in arb_signal(32)) {
+        let plan = Fft::new(32);
+        let mut buf = signal.clone();
+        plan.forward(&mut buf);
+        plan.inverse(&mut buf);
+        for (a, b) in buf.iter().zip(&signal) {
+            prop_assert!((*a - *b).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn fft_matches_naive_on_random_input(signal in arb_signal(16)) {
+        let mut fast = signal.clone();
+        Fft::new(16).forward(&mut fast);
+        let slow = dft_naive(&signal);
+        for (a, b) in fast.iter().zip(&slow) {
+            prop_assert!((*a - *b).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn parseval_holds(signal in arb_signal(64)) {
+        let time: f64 = signal.iter().map(|z| z.abs_sq() as f64).sum();
+        let mut buf = signal;
+        Fft::new(64).forward(&mut buf);
+        let freq: f64 = buf.iter().map(|z| z.abs_sq() as f64).sum::<f64>() / 64.0;
+        prop_assert!((time - freq).abs() <= 1e-3 * time.max(1.0));
+    }
+
+    #[test]
+    fn fftshift_is_involution_for_even_lengths(v in proptest::collection::vec(-100i32..100, 64)) {
+        let double = fftshift(&fftshift(&v));
+        prop_assert_eq!(double, v);
+    }
+
+    #[test]
+    fn window_coefficients_bounded(n in 2usize..256) {
+        for kind in [WindowKind::Hann, WindowKind::Hamming, WindowKind::Blackman] {
+            for w in kind.coefficients(n) {
+                prop_assert!((-0.01..=1.01).contains(&w), "{kind:?} out of range: {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn if_superposition_commutes(a in arb_signal(8), b in arb_signal(8)) {
+        let mut fa = IfFrame::zeros(1, 1, 8);
+        let mut fb = IfFrame::zeros(1, 1, 8);
+        fa.chirp_mut(0, 0).copy_from_slice(&a);
+        fb.chirp_mut(0, 0).copy_from_slice(&b);
+        let ab = fa.superposed(&fb);
+        let ba = fb.superposed(&fa);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn heatmap_l2_triangle_inequality(
+        a in proptest::collection::vec(0.0f32..10.0, 16),
+        b in proptest::collection::vec(0.0f32..10.0, 16),
+        c in proptest::collection::vec(0.0f32..10.0, 16),
+    ) {
+        let ha = Heatmap::from_data(4, 4, HeatmapKind::RangeAngle, a);
+        let hb = Heatmap::from_data(4, 4, HeatmapKind::RangeAngle, b);
+        let hc = Heatmap::from_data(4, 4, HeatmapKind::RangeAngle, c);
+        prop_assert!(ha.l2_distance(&hc) <= ha.l2_distance(&hb) + hb.l2_distance(&hc) + 1e-4);
+    }
+
+    #[test]
+    fn normalize_global_caps_at_one(values in proptest::collection::vec(0.0f32..1e6, 16)) {
+        let frame = Heatmap::from_data(4, 4, HeatmapKind::RangeAngle, values);
+        let mut seq = mmwave_dsp::HeatmapSeq::new(vec![frame]);
+        seq.normalize_global();
+        for &v in seq.frame(0).as_slice() {
+            prop_assert!(v <= 1.0 + 1e-6);
+        }
+    }
+}

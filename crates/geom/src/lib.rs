@@ -1,0 +1,42 @@
+//! 3D geometry substrate for the mmWave HAR backdoor reproduction.
+//!
+//! The radar simulator (crate `mmwave-radar`) models the world as collections
+//! of small triangular reflective surfaces, following Eq. (3) of the paper:
+//! every visible triangle contributes one attenuated, phase-shifted complex
+//! exponential to the intermediate-frequency (IF) signal. This crate provides
+//! the geometric vocabulary for that model:
+//!
+//! * [`Vec3`] — double-precision 3D vectors (phase at 77 GHz is sensitive to
+//!   sub-millimeter path-length errors, so geometry is `f64` end to end);
+//! * [`Mat3`] and [`RigidTransform`] — rotations and rigid placements;
+//! * [`TriMesh`] — indexed triangle meshes carrying per-vertex velocities
+//!   (velocities produce Doppler and let MTI clutter removal distinguish the
+//!   moving user from the static environment);
+//! * [`primitives`] — tessellated plates, boxes, cylinders, and ellipsoids
+//!   used to build the human body, triggers, and room clutter;
+//! * [`visibility`] — back-face culling and a coarse angular z-buffer that
+//!   keeps only surfaces the radar can actually illuminate.
+//!
+//! # Examples
+//!
+//! ```
+//! use mmwave_geom::{Vec3, primitives, visibility};
+//!
+//! // A 2x2 inch "credit card" aluminum trigger plate, 1 m in front of origin.
+//! let side = 0.0508; // 2 inches in meters
+//! let plate = primitives::plate(side, side, 2, 2)
+//!     .translated(Vec3::new(0.0, 1.0, 1.0));
+//! let radar = Vec3::new(0.0, 0.0, 1.0);
+//! let visible = visibility::visible_triangles(&plate, radar);
+//! assert!(!visible.is_empty());
+//! ```
+
+pub mod mesh;
+pub mod primitives;
+pub mod transform;
+pub mod vec3;
+pub mod visibility;
+
+pub use mesh::{Triangle, TriMesh};
+pub use transform::{Mat3, RigidTransform};
+pub use vec3::Vec3;

@@ -1,0 +1,388 @@
+//! Indexed triangle meshes with per-vertex velocities.
+
+use crate::{RigidTransform, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// One triangle extracted from a mesh, with the derived quantities the radar
+/// simulator needs: centroid (phase center), outward normal, area, and the
+/// centroid's instantaneous velocity (for intra-frame Doppler).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Triangle {
+    /// Vertex positions in world space.
+    pub vertices: [Vec3; 3],
+    /// Centroid, used as the triangle's phase center in Eq. (3).
+    pub centroid: Vec3,
+    /// Unit outward normal (zero for degenerate triangles).
+    pub normal: Vec3,
+    /// Surface area in square meters (the `A_a` factor of Eq. (3)).
+    pub area: f64,
+    /// Instantaneous velocity of the centroid in m/s.
+    pub velocity: Vec3,
+}
+
+/// An indexed triangle mesh.
+///
+/// Faces are counter-clockwise when viewed from outside (normals point
+/// outward). Each vertex optionally carries a velocity; a mesh without
+/// velocities is static. Velocities are what make a reflector survive
+/// moving-target-indication (MTI) clutter removal: a perfectly static
+/// trigger disappears from the DRAI heatmaps, which is precisely why the
+/// paper's trigger-placement optimization matters.
+///
+/// # Examples
+///
+/// ```
+/// use mmwave_geom::{TriMesh, Vec3};
+/// let mesh = TriMesh::from_faces(
+///     vec![Vec3::ZERO, Vec3::X, Vec3::Z],
+///     vec![[0, 1, 2]],
+/// );
+/// assert_eq!(mesh.triangle_count(), 1);
+/// let tri = mesh.triangle(0);
+/// assert!((tri.area - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TriMesh {
+    vertices: Vec<Vec3>,
+    faces: Vec<[u32; 3]>,
+    velocities: Vec<Vec3>,
+}
+
+impl TriMesh {
+    /// Creates an empty mesh.
+    pub fn new() -> Self {
+        TriMesh::default()
+    }
+
+    /// Creates a static mesh from vertices and faces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any face index is out of bounds.
+    pub fn from_faces(vertices: Vec<Vec3>, faces: Vec<[u32; 3]>) -> Self {
+        let n = vertices.len() as u32;
+        for f in &faces {
+            assert!(
+                f.iter().all(|&i| i < n),
+                "face index out of bounds: {f:?} with {n} vertices"
+            );
+        }
+        let velocities = vec![Vec3::ZERO; vertices.len()];
+        TriMesh { vertices, faces, velocities }
+    }
+
+    /// Creates a mesh with explicit per-vertex velocities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `velocities.len() != vertices.len()` or a face index is out
+    /// of bounds.
+    pub fn with_velocities(
+        vertices: Vec<Vec3>,
+        faces: Vec<[u32; 3]>,
+        velocities: Vec<Vec3>,
+    ) -> Self {
+        assert_eq!(
+            velocities.len(),
+            vertices.len(),
+            "one velocity per vertex required"
+        );
+        let mut mesh = TriMesh::from_faces(vertices, faces);
+        mesh.velocities = velocities;
+        mesh
+    }
+
+    /// Vertex positions.
+    pub fn vertices(&self) -> &[Vec3] {
+        &self.vertices
+    }
+
+    /// Face index triples.
+    pub fn faces(&self) -> &[[u32; 3]] {
+        &self.faces
+    }
+
+    /// Per-vertex velocities (same length as `vertices`).
+    pub fn velocities(&self) -> &[Vec3] {
+        &self.velocities
+    }
+
+    /// Number of triangles.
+    pub fn triangle_count(&self) -> usize {
+        self.faces.len()
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// True if the mesh has no faces.
+    pub fn is_empty(&self) -> bool {
+        self.faces.is_empty()
+    }
+
+    /// Extracts triangle `i` with derived quantities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.triangle_count()`.
+    pub fn triangle(&self, i: usize) -> Triangle {
+        let [a, b, c] = self.faces[i];
+        let (va, vb, vc) = (
+            self.vertices[a as usize],
+            self.vertices[b as usize],
+            self.vertices[c as usize],
+        );
+        let cross = (vb - va).cross(vc - va);
+        let cross_norm = cross.norm();
+        let normal = if cross_norm > 1e-15 {
+            cross / cross_norm
+        } else {
+            Vec3::ZERO
+        };
+        let velocity = (self.velocities[a as usize]
+            + self.velocities[b as usize]
+            + self.velocities[c as usize])
+            / 3.0;
+        Triangle {
+            vertices: [va, vb, vc],
+            centroid: (va + vb + vc) / 3.0,
+            normal,
+            area: 0.5 * cross_norm,
+            velocity,
+        }
+    }
+
+    /// Iterates over all triangles with derived quantities.
+    pub fn triangles(&self) -> impl Iterator<Item = Triangle> + '_ {
+        (0..self.faces.len()).map(move |i| self.triangle(i))
+    }
+
+    /// Total surface area.
+    pub fn surface_area(&self) -> f64 {
+        self.triangles().map(|t| t.area).sum()
+    }
+
+    /// Centroid of all vertices (not area-weighted).
+    pub fn vertex_centroid(&self) -> Vec3 {
+        if self.vertices.is_empty() {
+            return Vec3::ZERO;
+        }
+        let sum = self.vertices.iter().fold(Vec3::ZERO, |acc, &v| acc + v);
+        sum / self.vertices.len() as f64
+    }
+
+    /// Axis-aligned bounding box as `(min, max)`, or `None` when empty.
+    pub fn bounding_box(&self) -> Option<(Vec3, Vec3)> {
+        let first = *self.vertices.first()?;
+        let (mut lo, mut hi) = (first, first);
+        for &v in &self.vertices {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        Some((lo, hi))
+    }
+
+    /// Returns the mesh translated by `t` (velocities unchanged).
+    pub fn translated(&self, t: Vec3) -> TriMesh {
+        let mut out = self.clone();
+        for v in &mut out.vertices {
+            *v += t;
+        }
+        out
+    }
+
+    /// Returns the mesh with a rigid transform applied to the positions and
+    /// the rotational part applied to the velocities.
+    pub fn transformed(&self, xf: &RigidTransform) -> TriMesh {
+        let mut out = self.clone();
+        for v in &mut out.vertices {
+            *v = xf.apply(*v);
+        }
+        for vel in &mut out.velocities {
+            *vel = xf.apply_vector(*vel);
+        }
+        out
+    }
+
+    /// Overwrites every vertex velocity with `v`.
+    pub fn set_uniform_velocity(&mut self, v: Vec3) {
+        for vel in &mut self.velocities {
+            *vel = v;
+        }
+    }
+
+    /// Sets per-vertex velocities by finite difference against a mesh with
+    /// identical topology at time `dt` earlier: `v = (self - prev) / dt`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prev` has a different vertex count or `dt <= 0`.
+    pub fn set_velocities_from_previous(&mut self, prev: &TriMesh, dt: f64) {
+        assert_eq!(
+            self.vertices.len(),
+            prev.vertices.len(),
+            "topology mismatch in finite-difference velocities"
+        );
+        assert!(dt > 0.0, "dt must be positive");
+        for (i, vel) in self.velocities.iter_mut().enumerate() {
+            *vel = (self.vertices[i] - prev.vertices[i]) / dt;
+        }
+    }
+
+    /// Applies a function to every vertex position in place (velocities are
+    /// untouched; recompute them afterwards if the map is time-dependent).
+    pub fn map_vertices(&mut self, mut f: impl FnMut(Vec3) -> Vec3) {
+        for v in &mut self.vertices {
+            *v = f(*v);
+        }
+    }
+
+    /// Appends another mesh, merging vertex and face lists.
+    pub fn merge(&mut self, other: &TriMesh) {
+        let offset = self.vertices.len() as u32;
+        self.vertices.extend_from_slice(&other.vertices);
+        self.velocities.extend_from_slice(&other.velocities);
+        self.faces
+            .extend(other.faces.iter().map(|f| [f[0] + offset, f[1] + offset, f[2] + offset]));
+    }
+
+    /// Finds the vertex nearest to `p` and returns `(index, distance)`.
+    ///
+    /// Used by the trigger-placement optimizer to map candidate positions to
+    /// attachment sites on the body mesh. Returns `None` when empty.
+    pub fn nearest_vertex(&self, p: Vec3) -> Option<(usize, f64)> {
+        self.vertices
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (i, v.distance(p)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+    }
+}
+
+impl Extend<TriMesh> for TriMesh {
+    fn extend<T: IntoIterator<Item = TriMesh>>(&mut self, iter: T) {
+        for m in iter {
+            self.merge(&m);
+        }
+    }
+}
+
+impl FromIterator<TriMesh> for TriMesh {
+    fn from_iter<T: IntoIterator<Item = TriMesh>>(iter: T) -> Self {
+        let mut out = TriMesh::new();
+        out.extend(iter);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Mat3;
+
+    fn unit_triangle() -> TriMesh {
+        TriMesh::from_faces(vec![Vec3::ZERO, Vec3::X, Vec3::Y], vec![[0, 1, 2]])
+    }
+
+    #[test]
+    fn triangle_derived_quantities() {
+        let t = unit_triangle().triangle(0);
+        assert!((t.area - 0.5).abs() < 1e-12);
+        assert!((t.normal - Vec3::Z).norm() < 1e-12);
+        assert!((t.centroid - Vec3::new(1.0 / 3.0, 1.0 / 3.0, 0.0)).norm() < 1e-12);
+        assert_eq!(t.velocity, Vec3::ZERO);
+    }
+
+    #[test]
+    fn degenerate_triangle_has_zero_area_and_normal() {
+        let m = TriMesh::from_faces(vec![Vec3::ZERO, Vec3::X, Vec3::X * 2.0], vec![[0, 1, 2]]);
+        let t = m.triangle(0);
+        assert_eq!(t.area, 0.0);
+        assert_eq!(t.normal, Vec3::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "face index out of bounds")]
+    fn out_of_bounds_face_panics() {
+        TriMesh::from_faces(vec![Vec3::ZERO], vec![[0, 1, 2]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one velocity per vertex")]
+    fn velocity_length_mismatch_panics() {
+        TriMesh::with_velocities(vec![Vec3::ZERO, Vec3::X, Vec3::Y], vec![[0, 1, 2]], vec![Vec3::ZERO]);
+    }
+
+    #[test]
+    fn translation_moves_bbox_not_velocity() {
+        let mut m = unit_triangle();
+        m.set_uniform_velocity(Vec3::Z);
+        let moved = m.translated(Vec3::new(10.0, 0.0, 0.0));
+        let (lo, _) = moved.bounding_box().unwrap();
+        assert!((lo.x - 10.0).abs() < 1e-12);
+        assert_eq!(moved.velocities()[0], Vec3::Z);
+    }
+
+    #[test]
+    fn rigid_transform_rotates_velocities() {
+        let mut m = unit_triangle();
+        m.set_uniform_velocity(Vec3::X);
+        let xf = RigidTransform::rotation(Mat3::rotation_z(std::f64::consts::FRAC_PI_2));
+        let rotated = m.transformed(&xf);
+        assert!((rotated.velocities()[0] - Vec3::Y).norm() < 1e-12);
+    }
+
+    #[test]
+    fn finite_difference_velocities() {
+        let prev = unit_triangle();
+        let mut cur = prev.translated(Vec3::new(0.0, 0.1, 0.0));
+        cur.set_velocities_from_previous(&prev, 0.1);
+        for &v in cur.velocities() {
+            assert!((v - Vec3::new(0.0, 1.0, 0.0)).norm() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn merge_offsets_face_indices() {
+        let mut a = unit_triangle();
+        let b = unit_triangle().translated(Vec3::Z);
+        a.merge(&b);
+        assert_eq!(a.triangle_count(), 2);
+        assert_eq!(a.vertex_count(), 6);
+        assert_eq!(a.faces()[1], [3, 4, 5]);
+        // Total area is the sum of parts.
+        assert!((a.surface_area() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_iterator_collects_meshes() {
+        let combined: TriMesh = vec![unit_triangle(), unit_triangle().translated(Vec3::Z)]
+            .into_iter()
+            .collect();
+        assert_eq!(combined.triangle_count(), 2);
+    }
+
+    #[test]
+    fn nearest_vertex_finds_closest() {
+        let m = unit_triangle();
+        let (i, d) = m.nearest_vertex(Vec3::new(1.1, 0.0, 0.0)).unwrap();
+        assert_eq!(i, 1);
+        assert!((d - 0.1).abs() < 1e-12);
+        assert!(TriMesh::new().nearest_vertex(Vec3::ZERO).is_none());
+    }
+
+    #[test]
+    fn bounding_box_of_empty_mesh_is_none() {
+        assert!(TriMesh::new().bounding_box().is_none());
+    }
+
+    #[test]
+    fn vertex_centroid_averages_positions() {
+        let m = unit_triangle();
+        let c = m.vertex_centroid();
+        assert!((c - Vec3::new(1.0 / 3.0, 1.0 / 3.0, 0.0)).norm() < 1e-12);
+        assert_eq!(TriMesh::new().vertex_centroid(), Vec3::ZERO);
+    }
+}

@@ -1,0 +1,299 @@
+//! Tessellated building blocks: plates, boxes, cylinders, and ellipsoids.
+//!
+//! The human body model in `mmwave-body` is assembled from these primitives
+//! (ellipsoid head/torso/hand, cylinder limbs), environments from boxes and
+//! plates, and the aluminum trigger from a subdivided plate. Tessellation
+//! density trades simulation fidelity against the per-chirp cost of Eq. (3),
+//! which is linear in the number of visible triangles.
+
+use crate::{TriMesh, Vec3};
+
+/// A flat rectangular plate in the `x`–`z` plane, centered at the origin,
+/// facing `-y` (toward a radar placed down `-y`), subdivided into
+/// `nx * nz * 2` triangles.
+///
+/// Trigger reflectors are plates: the paper uses 2x2-inch and 4x4-inch
+/// aluminum sheets.
+///
+/// # Panics
+///
+/// Panics if `width` or `height` is not positive, or a subdivision count is
+/// zero.
+///
+/// # Examples
+///
+/// ```
+/// use mmwave_geom::primitives::plate;
+/// let trigger = plate(0.0508, 0.0508, 2, 2);
+/// assert_eq!(trigger.triangle_count(), 8);
+/// assert!((trigger.surface_area() - 0.0508f64.powi(2)).abs() < 1e-9);
+/// ```
+pub fn plate(width: f64, height: f64, nx: usize, nz: usize) -> TriMesh {
+    assert!(width > 0.0 && height > 0.0, "plate dimensions must be positive");
+    assert!(nx > 0 && nz > 0, "subdivision counts must be nonzero");
+    let mut vertices = Vec::with_capacity((nx + 1) * (nz + 1));
+    for iz in 0..=nz {
+        for ix in 0..=nx {
+            let x = -width / 2.0 + width * ix as f64 / nx as f64;
+            let z = -height / 2.0 + height * iz as f64 / nz as f64;
+            vertices.push(Vec3::new(x, 0.0, z));
+        }
+    }
+    let idx = |ix: usize, iz: usize| (iz * (nx + 1) + ix) as u32;
+    let mut faces = Vec::with_capacity(nx * nz * 2);
+    for iz in 0..nz {
+        for ix in 0..nx {
+            let (a, b, c, d) = (idx(ix, iz), idx(ix + 1, iz), idx(ix + 1, iz + 1), idx(ix, iz + 1));
+            // Winding chosen so normals point toward -y.
+            faces.push([a, b, c]);
+            faces.push([a, c, d]);
+        }
+    }
+    TriMesh::from_faces(vertices, faces)
+}
+
+/// An axis-aligned box centered at the origin with the given full extents,
+/// each face subdivided `n x n`. Used for furniture-style environment
+/// clutter (tables, chairs, televisions).
+///
+/// # Panics
+///
+/// Panics if any extent is not positive or `n == 0`.
+pub fn cuboid(extents: Vec3, n: usize) -> TriMesh {
+    assert!(
+        extents.x > 0.0 && extents.y > 0.0 && extents.z > 0.0,
+        "box extents must be positive"
+    );
+    assert!(n > 0, "subdivision count must be nonzero");
+    let half = extents / 2.0;
+    let mut mesh = TriMesh::new();
+    // Each face: generate a grid in plane coordinates (u, v) then map to 3D.
+    // `map(u, v)` returns the face point; winding makes normals outward.
+    let mut add_face = |map: &dyn Fn(f64, f64) -> Vec3, flip: bool| {
+        let mut vertices = Vec::with_capacity((n + 1) * (n + 1));
+        for iv in 0..=n {
+            for iu in 0..=n {
+                let u = -1.0 + 2.0 * iu as f64 / n as f64;
+                let v = -1.0 + 2.0 * iv as f64 / n as f64;
+                vertices.push(map(u, v));
+            }
+        }
+        let idx = |iu: usize, iv: usize| (iv * (n + 1) + iu) as u32;
+        let mut faces = Vec::with_capacity(n * n * 2);
+        for iv in 0..n {
+            for iu in 0..n {
+                let (a, b, c, d) = (
+                    idx(iu, iv),
+                    idx(iu + 1, iv),
+                    idx(iu + 1, iv + 1),
+                    idx(iu, iv + 1),
+                );
+                if flip {
+                    faces.push([a, c, b]);
+                    faces.push([a, d, c]);
+                } else {
+                    faces.push([a, b, c]);
+                    faces.push([a, c, d]);
+                }
+            }
+        }
+        mesh.merge(&TriMesh::from_faces(vertices, faces));
+    };
+    // +x and -x faces.
+    add_face(&|u, v| Vec3::new(half.x, u * half.y, v * half.z), false);
+    add_face(&|u, v| Vec3::new(-half.x, u * half.y, v * half.z), true);
+    // +y and -y faces.
+    add_face(&|u, v| Vec3::new(u * half.x, half.y, v * half.z), true);
+    add_face(&|u, v| Vec3::new(u * half.x, -half.y, v * half.z), false);
+    // +z and -z faces.
+    add_face(&|u, v| Vec3::new(u * half.x, v * half.y, half.z), false);
+    add_face(&|u, v| Vec3::new(u * half.x, v * half.y, -half.z), true);
+    mesh
+}
+
+/// A cylinder of `radius` and `height` along `z`, centered at the origin,
+/// with `segments` sides and `stacks` vertical subdivisions. Open-ended
+/// (no caps): limb segments connect to neighbors, so caps are never visible.
+///
+/// # Panics
+///
+/// Panics if `radius` or `height` is not positive, `segments < 3`, or
+/// `stacks == 0`.
+pub fn cylinder(radius: f64, height: f64, segments: usize, stacks: usize) -> TriMesh {
+    assert!(radius > 0.0 && height > 0.0, "cylinder dimensions must be positive");
+    assert!(segments >= 3, "cylinder needs at least 3 segments");
+    assert!(stacks > 0, "cylinder needs at least 1 stack");
+    let mut vertices = Vec::with_capacity((segments + 1) * (stacks + 1));
+    for is in 0..=stacks {
+        let z = -height / 2.0 + height * is as f64 / stacks as f64;
+        for ia in 0..=segments {
+            let theta = std::f64::consts::TAU * ia as f64 / segments as f64;
+            vertices.push(Vec3::new(radius * theta.cos(), radius * theta.sin(), z));
+        }
+    }
+    let idx = |ia: usize, is: usize| (is * (segments + 1) + ia) as u32;
+    let mut faces = Vec::with_capacity(segments * stacks * 2);
+    for is in 0..stacks {
+        for ia in 0..segments {
+            let (a, b, c, d) = (
+                idx(ia, is),
+                idx(ia + 1, is),
+                idx(ia + 1, is + 1),
+                idx(ia, is + 1),
+            );
+            faces.push([a, b, c]);
+            faces.push([a, c, d]);
+        }
+    }
+    TriMesh::from_faces(vertices, faces)
+}
+
+/// A UV-tessellated ellipsoid with semi-axes `(rx, ry, rz)` centered at the
+/// origin. `slices` bands of longitude, `stacks` bands of latitude.
+///
+/// # Panics
+///
+/// Panics if any semi-axis is not positive, `slices < 3`, or `stacks < 2`.
+pub fn ellipsoid(rx: f64, ry: f64, rz: f64, slices: usize, stacks: usize) -> TriMesh {
+    assert!(rx > 0.0 && ry > 0.0 && rz > 0.0, "semi-axes must be positive");
+    assert!(slices >= 3 && stacks >= 2, "ellipsoid tessellation too coarse");
+    let mut vertices = Vec::new();
+    for is in 0..=stacks {
+        // Latitude from -pi/2 (south pole) to +pi/2 (north pole).
+        let lat = -std::f64::consts::FRAC_PI_2
+            + std::f64::consts::PI * is as f64 / stacks as f64;
+        let (sl, cl) = lat.sin_cos();
+        for ia in 0..=slices {
+            let lon = std::f64::consts::TAU * ia as f64 / slices as f64;
+            let (slon, clon) = lon.sin_cos();
+            vertices.push(Vec3::new(rx * cl * clon, ry * cl * slon, rz * sl));
+        }
+    }
+    let idx = |ia: usize, is: usize| (is * (slices + 1) + ia) as u32;
+    let mut faces = Vec::new();
+    for is in 0..stacks {
+        for ia in 0..slices {
+            let (a, b, c, d) = (
+                idx(ia, is),
+                idx(ia + 1, is),
+                idx(ia + 1, is + 1),
+                idx(ia, is + 1),
+            );
+            if is != 0 {
+                faces.push([a, b, c]);
+            }
+            if is != stacks - 1 {
+                faces.push([a, c, d]);
+            }
+        }
+    }
+    TriMesh::from_faces(vertices, faces)
+}
+
+/// A capsule-like limb along `z` from `z = 0` to `z = length`, built from a
+/// cylinder (no spherical caps; joints overlap in the body model).
+///
+/// # Panics
+///
+/// Panics if `radius` or `length` is not positive.
+pub fn limb(radius: f64, length: f64, segments: usize) -> TriMesh {
+    assert!(radius > 0.0 && length > 0.0, "limb dimensions must be positive");
+    cylinder(radius, length, segments, 2).translated(Vec3::new(0.0, 0.0, length / 2.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plate_area_and_count() {
+        let p = plate(2.0, 3.0, 4, 6);
+        assert_eq!(p.triangle_count(), 4 * 6 * 2);
+        assert!((p.surface_area() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn plate_normals_face_negative_y() {
+        let p = plate(1.0, 1.0, 2, 2);
+        for t in p.triangles() {
+            assert!(t.normal.y < -0.99, "normal {:?} should face -y", t.normal);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "plate dimensions must be positive")]
+    fn zero_size_plate_panics() {
+        plate(0.0, 1.0, 1, 1);
+    }
+
+    #[test]
+    fn cuboid_area_matches_analytic() {
+        let b = cuboid(Vec3::new(1.0, 2.0, 3.0), 2);
+        let analytic = 2.0 * (1.0 * 2.0 + 2.0 * 3.0 + 1.0 * 3.0);
+        assert!((b.surface_area() - analytic).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cuboid_normals_point_outward() {
+        let b = cuboid(Vec3::splat(2.0), 1);
+        for t in b.triangles() {
+            // For a convex solid centered at the origin, outward normals
+            // satisfy normal . centroid > 0.
+            assert!(
+                t.normal.dot(t.centroid) > 0.0,
+                "inward-facing normal {:?} at {:?}",
+                t.normal,
+                t.centroid
+            );
+        }
+    }
+
+    #[test]
+    fn cylinder_area_approaches_analytic() {
+        let c = cylinder(0.5, 2.0, 64, 4);
+        let analytic = std::f64::consts::TAU * 0.5 * 2.0;
+        assert!((c.surface_area() - analytic).abs() / analytic < 0.01);
+    }
+
+    #[test]
+    fn cylinder_normals_point_outward() {
+        let c = cylinder(1.0, 1.0, 16, 2);
+        for t in c.triangles() {
+            let radial = Vec3::new(t.centroid.x, t.centroid.y, 0.0).normalized();
+            assert!(t.normal.dot(radial) > 0.5);
+        }
+    }
+
+    #[test]
+    fn ellipsoid_area_close_to_sphere_for_equal_axes() {
+        let e = ellipsoid(1.0, 1.0, 1.0, 48, 24);
+        let analytic = 4.0 * std::f64::consts::PI;
+        assert!((e.surface_area() - analytic).abs() / analytic < 0.01);
+    }
+
+    #[test]
+    fn ellipsoid_normals_point_outward() {
+        let e = ellipsoid(0.5, 0.7, 0.9, 12, 8);
+        for t in e.triangles() {
+            if t.area > 1e-12 {
+                assert!(t.normal.dot(t.centroid) > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn ellipsoid_bbox_matches_semiaxes() {
+        let e = ellipsoid(0.5, 1.0, 2.0, 16, 8);
+        let (lo, hi) = e.bounding_box().unwrap();
+        assert!((hi.z - 2.0).abs() < 1e-9 && (lo.z + 2.0).abs() < 1e-9);
+        assert!(hi.x <= 0.5 + 1e-9 && hi.y <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn limb_spans_zero_to_length() {
+        let l = limb(0.05, 0.3, 8);
+        let (lo, hi) = l.bounding_box().unwrap();
+        assert!(lo.z.abs() < 1e-9);
+        assert!((hi.z - 0.3).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,285 @@
+//! Rotation matrices and rigid transforms.
+
+use crate::Vec3;
+use serde::{Deserialize, Serialize};
+use std::ops::Mul;
+
+/// A 3x3 matrix, stored row-major. Used for rotations and scaling of mesh
+/// vertices when posing body segments and placing triggers.
+///
+/// # Examples
+///
+/// ```
+/// use mmwave_geom::{Mat3, Vec3};
+/// let r = Mat3::rotation_z(std::f64::consts::FRAC_PI_2);
+/// let v = r * Vec3::X;
+/// assert!((v - Vec3::Y).norm() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Mat3 {
+    /// Rows of the matrix.
+    pub rows: [[f64; 3]; 3],
+}
+
+impl Default for Mat3 {
+    fn default() -> Self {
+        Mat3::IDENTITY
+    }
+}
+
+impl Mat3 {
+    /// The identity matrix.
+    pub const IDENTITY: Mat3 = Mat3 {
+        rows: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]],
+    };
+
+    /// Builds a matrix from rows.
+    pub const fn from_rows(rows: [[f64; 3]; 3]) -> Self {
+        Mat3 { rows }
+    }
+
+    /// Rotation about the `x` axis by `angle` radians (right-handed).
+    pub fn rotation_x(angle: f64) -> Mat3 {
+        let (s, c) = angle.sin_cos();
+        Mat3::from_rows([[1.0, 0.0, 0.0], [0.0, c, -s], [0.0, s, c]])
+    }
+
+    /// Rotation about the `y` axis by `angle` radians (right-handed).
+    pub fn rotation_y(angle: f64) -> Mat3 {
+        let (s, c) = angle.sin_cos();
+        Mat3::from_rows([[c, 0.0, s], [0.0, 1.0, 0.0], [-s, 0.0, c]])
+    }
+
+    /// Rotation about the `z` axis by `angle` radians (right-handed).
+    ///
+    /// In the radar frame (`z` up), this rotates in the horizontal plane and
+    /// is the rotation used to place a user at an azimuth angle.
+    pub fn rotation_z(angle: f64) -> Mat3 {
+        let (s, c) = angle.sin_cos();
+        Mat3::from_rows([[c, -s, 0.0], [s, c, 0.0], [0.0, 0.0, 1.0]])
+    }
+
+    /// Rotation about an arbitrary unit `axis` by `angle` radians
+    /// (Rodrigues' formula).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `axis` is not unit length.
+    pub fn rotation_axis(axis: Vec3, angle: f64) -> Mat3 {
+        debug_assert!((axis.norm() - 1.0).abs() < 1e-9, "axis must be unit length");
+        let (s, c) = angle.sin_cos();
+        let t = 1.0 - c;
+        let (x, y, z) = (axis.x, axis.y, axis.z);
+        Mat3::from_rows([
+            [t * x * x + c, t * x * y - s * z, t * x * z + s * y],
+            [t * x * y + s * z, t * y * y + c, t * y * z - s * x],
+            [t * x * z - s * y, t * y * z + s * x, t * z * z + c],
+        ])
+    }
+
+    /// Uniform or per-axis scaling matrix.
+    pub fn scaling(sx: f64, sy: f64, sz: f64) -> Mat3 {
+        Mat3::from_rows([[sx, 0.0, 0.0], [0.0, sy, 0.0], [0.0, 0.0, sz]])
+    }
+
+    /// Matrix transpose. For pure rotations this is the inverse.
+    pub fn transpose(&self) -> Mat3 {
+        let r = &self.rows;
+        Mat3::from_rows([
+            [r[0][0], r[1][0], r[2][0]],
+            [r[0][1], r[1][1], r[2][1]],
+            [r[0][2], r[1][2], r[2][2]],
+        ])
+    }
+
+    /// Determinant (used in tests to verify rotations stay orthonormal).
+    pub fn determinant(&self) -> f64 {
+        let r = &self.rows;
+        r[0][0] * (r[1][1] * r[2][2] - r[1][2] * r[2][1])
+            - r[0][1] * (r[1][0] * r[2][2] - r[1][2] * r[2][0])
+            + r[0][2] * (r[1][0] * r[2][1] - r[1][1] * r[2][0])
+    }
+}
+
+impl Mul<Vec3> for Mat3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, v: Vec3) -> Vec3 {
+        let r = &self.rows;
+        Vec3::new(
+            r[0][0] * v.x + r[0][1] * v.y + r[0][2] * v.z,
+            r[1][0] * v.x + r[1][1] * v.y + r[1][2] * v.z,
+            r[2][0] * v.x + r[2][1] * v.y + r[2][2] * v.z,
+        )
+    }
+}
+
+impl Mul<Mat3> for Mat3 {
+    type Output = Mat3;
+    fn mul(self, rhs: Mat3) -> Mat3 {
+        let mut out = [[0.0; 3]; 3];
+        for (i, row) in out.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
+                *cell = (0..3).map(|k| self.rows[i][k] * rhs.rows[k][j]).sum();
+            }
+        }
+        Mat3::from_rows(out)
+    }
+}
+
+/// A rigid placement: rotate then translate (`p' = R p + t`).
+///
+/// Used to pose body segments in world space and to attach trigger plates to
+/// body sites.
+///
+/// # Examples
+///
+/// ```
+/// use mmwave_geom::{Mat3, RigidTransform, Vec3};
+/// let t = RigidTransform::new(
+///     Mat3::rotation_z(std::f64::consts::PI),
+///     Vec3::new(0.0, 2.0, 0.0),
+/// );
+/// let p = t.apply(Vec3::X);
+/// assert!((p - Vec3::new(-1.0, 2.0, 0.0)).norm() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct RigidTransform {
+    /// Rotation applied first.
+    pub rotation: Mat3,
+    /// Translation applied second.
+    pub translation: Vec3,
+}
+
+impl RigidTransform {
+    /// The identity transform.
+    pub const IDENTITY: RigidTransform = RigidTransform {
+        rotation: Mat3::IDENTITY,
+        translation: Vec3::ZERO,
+    };
+
+    /// Creates a transform from a rotation and translation.
+    pub const fn new(rotation: Mat3, translation: Vec3) -> Self {
+        RigidTransform { rotation, translation }
+    }
+
+    /// Pure translation.
+    pub const fn translation(t: Vec3) -> Self {
+        RigidTransform { rotation: Mat3::IDENTITY, translation: t }
+    }
+
+    /// Pure rotation.
+    pub const fn rotation(r: Mat3) -> Self {
+        RigidTransform { rotation: r, translation: Vec3::ZERO }
+    }
+
+    /// Applies the transform to a point.
+    #[inline]
+    pub fn apply(&self, p: Vec3) -> Vec3 {
+        self.rotation * p + self.translation
+    }
+
+    /// Applies only the rotational part (correct for directions/velocities).
+    #[inline]
+    pub fn apply_vector(&self, v: Vec3) -> Vec3 {
+        self.rotation * v
+    }
+
+    /// Composition: `self.then(&g)` applies `self` first, then `g`.
+    pub fn then(&self, g: &RigidTransform) -> RigidTransform {
+        RigidTransform {
+            rotation: g.rotation * self.rotation,
+            translation: g.rotation * self.translation + g.translation,
+        }
+    }
+
+    /// Inverse transform (assumes the rotation part is orthonormal).
+    pub fn inverse(&self) -> RigidTransform {
+        let rt = self.rotation.transpose();
+        RigidTransform {
+            rotation: rt,
+            translation: -(rt * self.translation),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    fn assert_close(a: Vec3, b: Vec3) {
+        assert!((a - b).norm() < 1e-12, "{a} != {b}");
+    }
+
+    #[test]
+    fn axis_rotations_map_basis_vectors() {
+        assert_close(Mat3::rotation_z(FRAC_PI_2) * Vec3::X, Vec3::Y);
+        assert_close(Mat3::rotation_x(FRAC_PI_2) * Vec3::Y, Vec3::Z);
+        assert_close(Mat3::rotation_y(FRAC_PI_2) * Vec3::Z, Vec3::X);
+    }
+
+    #[test]
+    fn rodrigues_matches_axis_rotations() {
+        for angle in [0.3, 1.2, -0.7] {
+            let r1 = Mat3::rotation_z(angle);
+            let r2 = Mat3::rotation_axis(Vec3::Z, angle);
+            let v = Vec3::new(0.3, -1.0, 2.0);
+            assert_close(r1 * v, r2 * v);
+        }
+    }
+
+    #[test]
+    fn rotations_preserve_length_and_orientation() {
+        let r = Mat3::rotation_axis(Vec3::new(1.0, 2.0, -1.0).normalized(), 0.8);
+        let v = Vec3::new(0.5, -0.25, 3.0);
+        assert!(((r * v).norm() - v.norm()).abs() < 1e-12);
+        assert!((r.determinant() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transpose_inverts_rotation() {
+        let r = Mat3::rotation_axis(Vec3::new(0.0, 1.0, 1.0).normalized(), 1.1);
+        let v = Vec3::new(1.0, 2.0, 3.0);
+        assert_close(r.transpose() * (r * v), v);
+    }
+
+    #[test]
+    fn matrix_product_associates_with_application() {
+        let a = Mat3::rotation_x(0.3);
+        let b = Mat3::rotation_z(-0.9);
+        let v = Vec3::new(1.0, -2.0, 0.5);
+        assert_close((a * b) * v, a * (b * v));
+    }
+
+    #[test]
+    fn rigid_transform_composition_and_inverse() {
+        let f = RigidTransform::new(Mat3::rotation_z(0.4), Vec3::new(1.0, 2.0, 3.0));
+        let g = RigidTransform::new(Mat3::rotation_x(-0.2), Vec3::new(-1.0, 0.0, 0.5));
+        let p = Vec3::new(0.2, 0.4, -0.6);
+        // Composition applies f first.
+        assert_close(f.then(&g).apply(p), g.apply(f.apply(p)));
+        // Inverse round-trips.
+        assert_close(f.inverse().apply(f.apply(p)), p);
+        assert_close(f.apply(f.inverse().apply(p)), p);
+    }
+
+    #[test]
+    fn pure_translation_moves_points_not_vectors() {
+        let t = RigidTransform::translation(Vec3::new(5.0, 0.0, 0.0));
+        assert_close(t.apply(Vec3::ZERO), Vec3::new(5.0, 0.0, 0.0));
+        assert_close(t.apply_vector(Vec3::Y), Vec3::Y);
+    }
+
+    #[test]
+    fn rotation_pi_flips_xy() {
+        let t = RigidTransform::rotation(Mat3::rotation_z(PI));
+        assert_close(t.apply(Vec3::new(1.0, 1.0, 0.0)), Vec3::new(-1.0, -1.0, 0.0));
+    }
+
+    #[test]
+    fn scaling_matrix_scales_each_axis() {
+        let s = Mat3::scaling(2.0, 3.0, 4.0);
+        assert_close(s * Vec3::new(1.0, 1.0, 1.0), Vec3::new(2.0, 3.0, 4.0));
+    }
+}

@@ -1,0 +1,212 @@
+//! Radar line-of-sight filtering: back-face culling and coarse occlusion.
+//!
+//! The paper's simulator "determines which triangles on the mesh are visible
+//! from the radar's perspective, filtering out occluded surfaces" and models
+//! only "the single-sided surface that is reachable by the radar" (Fig. 4).
+//! We reproduce that in two stages:
+//!
+//! 1. **Back-face culling** — a triangle whose outward normal points away
+//!    from the radar cannot reflect toward it.
+//! 2. **Angular z-buffer** — triangles are binned by (azimuth, elevation)
+//!    as seen from the radar; within each bin only the nearest surfaces are
+//!    kept, approximating self-occlusion (e.g. the torso hides the far arm)
+//!    at a small fraction of ray-tracing cost.
+
+use crate::{Triangle, TriMesh, Vec3};
+
+/// Returns the triangles of `mesh` that pass back-face culling as seen from
+/// `viewpoint` — i.e. those with `normal . (viewpoint - centroid) > 0`.
+///
+/// Degenerate (zero-area) triangles are dropped.
+///
+/// # Examples
+///
+/// ```
+/// use mmwave_geom::{primitives, visibility, Vec3};
+/// let sphere = primitives::ellipsoid(0.5, 0.5, 0.5, 16, 8)
+///     .translated(Vec3::new(0.0, 2.0, 0.0));
+/// let vis = visibility::visible_triangles(&sphere, Vec3::ZERO);
+/// // Roughly half of a convex body faces any external viewpoint.
+/// assert!(vis.len() < sphere.triangle_count());
+/// assert!(vis.len() > sphere.triangle_count() / 4);
+/// ```
+pub fn visible_triangles(mesh: &TriMesh, viewpoint: Vec3) -> Vec<Triangle> {
+    mesh.triangles()
+        .filter(|t| t.area > 1e-12 && t.normal.dot(viewpoint - t.centroid) > 0.0)
+        .collect()
+}
+
+/// Configuration for [`occlusion_filter`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OcclusionConfig {
+    /// Number of azimuth bins across the +/- 90 degree field of view.
+    pub azimuth_bins: usize,
+    /// Number of elevation bins across the +/- 90 degree field of view.
+    pub elevation_bins: usize,
+    /// A triangle is kept if it is within this distance (meters) of the
+    /// nearest surface in its angular bin. Allows partially-overlapping
+    /// surfaces (e.g. a trigger plate a few millimeters off the chest) to
+    /// coexist rather than being winner-take-all.
+    pub depth_tolerance: f64,
+}
+
+impl Default for OcclusionConfig {
+    fn default() -> Self {
+        OcclusionConfig {
+            azimuth_bins: 64,
+            elevation_bins: 32,
+            depth_tolerance: 0.12,
+        }
+    }
+}
+
+/// Filters back-face-culled triangles through a coarse angular z-buffer as
+/// seen from `viewpoint`.
+///
+/// Within each (azimuth, elevation) bin, only triangles within
+/// `depth_tolerance` of the closest centroid survive. This approximates
+/// self-occlusion: body parts behind the torso do not reach the radar.
+pub fn occlusion_filter(
+    triangles: Vec<Triangle>,
+    viewpoint: Vec3,
+    config: &OcclusionConfig,
+) -> Vec<Triangle> {
+    if triangles.is_empty() {
+        return triangles;
+    }
+    let naz = config.azimuth_bins.max(1);
+    let nel = config.elevation_bins.max(1);
+    let bin_of = |t: &Triangle| -> (usize, f64) {
+        let d = t.centroid - viewpoint;
+        let range = d.norm();
+        let az = d.x.atan2(d.y); // [-pi, pi], but FOV limited to +/- pi/2
+        let el = (d.z / range.max(1e-12)).asin();
+        let half = std::f64::consts::FRAC_PI_2;
+        let ai = (((az + half) / std::f64::consts::PI) * naz as f64)
+            .clamp(0.0, naz as f64 - 1.0) as usize;
+        let ei = (((el + half) / std::f64::consts::PI) * nel as f64)
+            .clamp(0.0, nel as f64 - 1.0) as usize;
+        (ei * naz + ai, range)
+    };
+    // Pass 1: nearest range per bin.
+    let mut nearest = vec![f64::INFINITY; naz * nel];
+    let mut bins = Vec::with_capacity(triangles.len());
+    for t in &triangles {
+        let (bin, range) = bin_of(t);
+        if range < nearest[bin] {
+            nearest[bin] = range;
+        }
+        bins.push((bin, range));
+    }
+    // Pass 2: keep triangles near the front surface of their bin
+    // neighborhood. Comparing against a 3x3 neighborhood of bins makes the
+    // filter robust to tessellations sparser than the bin grid.
+    let front_of = |bin: usize| -> f64 {
+        let (bi, bj) = (bin % naz, bin / naz);
+        let mut best = f64::INFINITY;
+        for dj in -1i64..=1 {
+            for di in -1i64..=1 {
+                let i = bi as i64 + di;
+                let j = bj as i64 + dj;
+                if i >= 0 && (i as usize) < naz && j >= 0 && (j as usize) < nel {
+                    best = best.min(nearest[j as usize * naz + i as usize]);
+                }
+            }
+        }
+        best
+    };
+    triangles
+        .into_iter()
+        .zip(bins)
+        .filter(|(_, (bin, range))| *range <= front_of(*bin) + config.depth_tolerance)
+        .map(|(t, _)| t)
+        .collect()
+}
+
+/// Convenience: back-face culling followed by the angular z-buffer.
+pub fn radar_visible(mesh: &TriMesh, viewpoint: Vec3, config: &OcclusionConfig) -> Vec<Triangle> {
+    occlusion_filter(visible_triangles(mesh, viewpoint), viewpoint, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primitives;
+
+    fn radar() -> Vec3 {
+        Vec3::ZERO
+    }
+
+    #[test]
+    fn backface_culling_keeps_front_of_plate_only() {
+        // Plate faces -y; radar sits at origin, plate at y = 2: front visible.
+        let front = primitives::plate(0.5, 0.5, 2, 2).translated(Vec3::new(0.0, 2.0, 0.0));
+        assert_eq!(visible_triangles(&front, radar()).len(), front.triangle_count());
+        // Rotate the plate in place so it faces away from the radar:
+        // nothing survives back-face culling.
+        let center = Vec3::new(0.0, 2.0, 0.0);
+        let away = front
+            .translated(-center)
+            .transformed(&crate::RigidTransform::rotation(
+                crate::Mat3::rotation_z(std::f64::consts::PI),
+            ))
+            .translated(center);
+        assert!(visible_triangles(&away, radar()).is_empty());
+    }
+
+    #[test]
+    fn convex_body_shows_at_most_half_its_faces() {
+        let sphere =
+            primitives::ellipsoid(0.4, 0.4, 0.4, 24, 12).translated(Vec3::new(0.0, 3.0, 0.0));
+        let vis = visible_triangles(&sphere, radar());
+        assert!(vis.len() <= sphere.triangle_count() / 2 + 24);
+        assert!(!vis.is_empty());
+    }
+
+    #[test]
+    fn occlusion_removes_surface_hidden_behind_another() {
+        // Two parallel plates, both facing the radar; the far one is hidden.
+        let near = primitives::plate(1.0, 1.0, 4, 4).translated(Vec3::new(0.0, 2.0, 0.0));
+        let far = primitives::plate(1.0, 1.0, 4, 4).translated(Vec3::new(0.0, 4.0, 0.0));
+        let mut scene = near.clone();
+        scene.merge(&far);
+        let cfg = OcclusionConfig { depth_tolerance: 0.05, ..OcclusionConfig::default() };
+        let vis = radar_visible(&scene, radar(), &cfg);
+        // All surviving triangles are on the near plate (y ~= 2).
+        assert!(!vis.is_empty());
+        for t in &vis {
+            assert!(t.centroid.y < 3.0, "far-plate triangle survived: {:?}", t.centroid);
+        }
+    }
+
+    #[test]
+    fn occlusion_keeps_laterally_separated_objects() {
+        let a = primitives::plate(0.4, 0.4, 2, 2).translated(Vec3::new(-1.0, 2.0, 0.0));
+        let b = primitives::plate(0.4, 0.4, 2, 2).translated(Vec3::new(1.0, 4.0, 0.0));
+        let mut scene = a.clone();
+        scene.merge(&b);
+        let vis = radar_visible(&scene, radar(), &OcclusionConfig::default());
+        let near_count = vis.iter().filter(|t| t.centroid.y < 3.0).count();
+        let far_count = vis.len() - near_count;
+        assert!(near_count > 0 && far_count > 0, "both plates should be visible");
+    }
+
+    #[test]
+    fn depth_tolerance_allows_trigger_on_chest() {
+        // A small plate 5 mm in front of a big plate: with default tolerance
+        // both survive (the trigger is not swallowed by the body).
+        let body = primitives::plate(0.6, 0.6, 4, 4).translated(Vec3::new(0.0, 2.0, 0.0));
+        let trigger = primitives::plate(0.05, 0.05, 1, 1).translated(Vec3::new(0.0, 1.995, 0.0));
+        let mut scene = body.clone();
+        scene.merge(&trigger);
+        let vis = radar_visible(&scene, radar(), &OcclusionConfig::default());
+        let trigger_tris = vis.iter().filter(|t| t.area < 0.002).count();
+        assert!(trigger_tris >= 2, "trigger should remain visible on the chest");
+    }
+
+    #[test]
+    fn empty_mesh_yields_no_triangles() {
+        let vis = radar_visible(&TriMesh::new(), radar(), &OcclusionConfig::default());
+        assert!(vis.is_empty());
+    }
+}

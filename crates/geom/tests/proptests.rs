@@ -1,0 +1,104 @@
+//! Property-based tests for the geometry substrate.
+
+use mmwave_geom::{primitives, visibility, Mat3, RigidTransform, TriMesh, Vec3};
+use proptest::prelude::*;
+
+fn arb_vec3() -> impl Strategy<Value = Vec3> {
+    (-10.0f64..10.0, -10.0f64..10.0, -10.0f64..10.0).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+fn arb_unit() -> impl Strategy<Value = Vec3> {
+    arb_vec3().prop_filter_map("norm too small", |v| v.try_normalized())
+}
+
+proptest! {
+    #[test]
+    fn rotation_preserves_norm(axis in arb_unit(), angle in -6.28f64..6.28, v in arb_vec3()) {
+        let r = Mat3::rotation_axis(axis, angle);
+        prop_assert!(((r * v).norm() - v.norm()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rotation_determinant_is_one(axis in arb_unit(), angle in -6.28f64..6.28) {
+        let r = Mat3::rotation_axis(axis, angle);
+        prop_assert!((r.determinant() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rigid_inverse_roundtrips(
+        axis in arb_unit(),
+        angle in -3.0f64..3.0,
+        t in arb_vec3(),
+        p in arb_vec3(),
+    ) {
+        let f = RigidTransform::new(Mat3::rotation_axis(axis, angle), t);
+        let q = f.inverse().apply(f.apply(p));
+        prop_assert!((q - p).norm() < 1e-8);
+    }
+
+    #[test]
+    fn composition_matches_sequential_application(
+        a1 in -3.0f64..3.0, a2 in -3.0f64..3.0,
+        t1 in arb_vec3(), t2 in arb_vec3(), p in arb_vec3(),
+    ) {
+        let f = RigidTransform::new(Mat3::rotation_x(a1), t1);
+        let g = RigidTransform::new(Mat3::rotation_z(a2), t2);
+        let lhs = f.then(&g).apply(p);
+        let rhs = g.apply(f.apply(p));
+        prop_assert!((lhs - rhs).norm() < 1e-9);
+    }
+
+    #[test]
+    fn dot_cross_lagrange_identity(a in arb_vec3(), b in arb_vec3()) {
+        // |a x b|^2 + (a.b)^2 = |a|^2 |b|^2
+        let lhs = a.cross(b).norm_sq() + a.dot(b).powi(2);
+        let rhs = a.norm_sq() * b.norm_sq();
+        prop_assert!((lhs - rhs).abs() <= 1e-6 * rhs.max(1.0));
+    }
+
+    #[test]
+    fn surface_area_invariant_under_rigid_motion(
+        axis in arb_unit(), angle in -3.0f64..3.0, t in arb_vec3(),
+        rx in 0.1f64..1.0, ry in 0.1f64..1.0, rz in 0.1f64..1.0,
+    ) {
+        let mesh = primitives::ellipsoid(rx, ry, rz, 8, 4);
+        let moved = mesh.transformed(&RigidTransform::new(Mat3::rotation_axis(axis, angle), t));
+        let (a, b) = (mesh.surface_area(), moved.surface_area());
+        prop_assert!((a - b).abs() < 1e-9 * a.max(1.0));
+    }
+
+    #[test]
+    fn plate_area_matches_dimensions(
+        w in 0.01f64..2.0, h in 0.01f64..2.0,
+        nx in 1usize..6, nz in 1usize..6,
+    ) {
+        let p = primitives::plate(w, h, nx, nz);
+        prop_assert!((p.surface_area() - w * h).abs() < 1e-9);
+        prop_assert_eq!(p.triangle_count(), nx * nz * 2);
+    }
+
+    #[test]
+    fn visible_subset_never_grows(offset_y in 1.0f64..5.0) {
+        let sphere = primitives::ellipsoid(0.3, 0.3, 0.3, 12, 6)
+            .translated(Vec3::new(0.0, offset_y, 0.0));
+        let vis = visibility::visible_triangles(&sphere, Vec3::ZERO);
+        prop_assert!(vis.len() <= sphere.triangle_count());
+        let occluded = visibility::radar_visible(
+            &sphere,
+            Vec3::ZERO,
+            &visibility::OcclusionConfig::default(),
+        );
+        prop_assert!(occluded.len() <= vis.len());
+    }
+
+    #[test]
+    fn merge_preserves_counts(tx in arb_vec3()) {
+        let a = primitives::cuboid(Vec3::splat(1.0), 1);
+        let b = primitives::cylinder(0.2, 1.0, 6, 2).translated(tx);
+        let mut m = TriMesh::new();
+        m.merge(&a);
+        m.merge(&b);
+        prop_assert_eq!(m.triangle_count(), a.triangle_count() + b.triangle_count());
+        prop_assert_eq!(m.vertex_count(), a.vertex_count() + b.vertex_count());
+    }
+}

@@ -1,0 +1,151 @@
+//! Prototype configuration and scale knobs.
+
+use mmwave_radar::capture::CaptureConfig;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the HAR prototype: radar capture plus classifier
+/// architecture.
+///
+/// The paper's prototype uses 32 frames per activity, large DRAI heatmaps,
+/// and a GPU-sized CNN-LSTM; the `fast()` profile keeps the 32-frame
+/// structure (it matters for the SHAP analysis of Fig. 3) but shrinks
+/// spatial dimensions and widths so each training run takes seconds on one
+/// CPU core. Environment variables scale experiments up:
+///
+/// * `MMWAVE_BENCH_REPS` — experiment repetitions (paper: 30; default 1);
+/// * `MMWAVE_BENCH_SCALE` — multiplies dataset sizes (default 1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrototypeConfig {
+    /// Capture pipeline settings (radar + DSP).
+    #[serde(skip, default)]
+    pub capture: CaptureConfigHolder,
+    /// Frames per activity sample (32 in the paper).
+    pub n_frames: usize,
+    /// Heatmap rows (range bins).
+    pub heatmap_rows: usize,
+    /// Heatmap columns (angle bins).
+    pub heatmap_cols: usize,
+    /// First conv layer output channels.
+    pub conv1_channels: usize,
+    /// Second conv layer output channels.
+    pub conv2_channels: usize,
+    /// CNN feature dimension (dense output per frame).
+    pub feature_dim: usize,
+    /// LSTM hidden dimension.
+    pub lstm_hidden: usize,
+    /// Number of activity classes.
+    pub n_classes: usize,
+}
+
+/// Wrapper so `PrototypeConfig` stays serde-friendly while carrying the
+/// non-serializable capture config.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CaptureConfigHolder(pub CaptureConfig);
+
+impl PrototypeConfig {
+    /// The laptop-scale profile used across tests and benches.
+    pub fn fast() -> PrototypeConfig {
+        let capture = CaptureConfig::fast();
+        PrototypeConfig {
+            n_frames: 32,
+            heatmap_rows: capture.processing.n_range_bins,
+            heatmap_cols: capture.processing.n_angle_bins,
+            conv1_channels: 4,
+            conv2_channels: 8,
+            feature_dim: 32,
+            lstm_hidden: 32,
+            n_classes: 6,
+            capture: CaptureConfigHolder(capture),
+        }
+    }
+
+    /// A minimal profile for unit tests (8 frames, tiny dataset budgets).
+    pub fn smoke_test() -> PrototypeConfig {
+        PrototypeConfig { n_frames: 8, ..PrototypeConfig::fast() }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistent field.
+    pub fn validate(&self) -> Result<(), String> {
+        let c = &self.capture.0;
+        if self.heatmap_rows != c.processing.n_range_bins {
+            return Err("heatmap_rows must match the processing config".into());
+        }
+        if self.heatmap_cols != c.processing.n_angle_bins {
+            return Err("heatmap_cols must match the processing config".into());
+        }
+        if self.heatmap_rows % 4 != 0 || self.heatmap_cols % 4 != 0 {
+            return Err("heatmap dims must be divisible by 4 (two 2x2 pools)".into());
+        }
+        if self.n_frames == 0 || self.n_classes == 0 {
+            return Err("frame and class counts must be nonzero".into());
+        }
+        Ok(())
+    }
+
+    /// CNN flat feature size after two conv+pool stages.
+    pub fn cnn_flat_dim(&self) -> usize {
+        self.conv2_channels * (self.heatmap_rows / 4) * (self.heatmap_cols / 4)
+    }
+
+    /// Experiment repetitions from `MMWAVE_BENCH_REPS` (default 1 so the
+    /// full benchmark suite fits a single-core time budget; the paper
+    /// averages 30 — set `MMWAVE_BENCH_REPS=30` to match).
+    pub fn bench_repetitions() -> usize {
+        std::env::var("MMWAVE_BENCH_REPS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(1)
+    }
+
+    /// Dataset scale multiplier from `MMWAVE_BENCH_SCALE` (default 1).
+    pub fn bench_scale() -> usize {
+        std::env::var("MMWAVE_BENCH_SCALE")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(1)
+    }
+}
+
+impl Default for PrototypeConfig {
+    fn default() -> Self {
+        PrototypeConfig::fast()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_profile_is_consistent() {
+        PrototypeConfig::fast().validate().unwrap();
+        assert_eq!(PrototypeConfig::fast().n_frames, 32, "paper uses 32 frames");
+    }
+
+    #[test]
+    fn flat_dim_matches_two_pools() {
+        let c = PrototypeConfig::fast();
+        assert_eq!(c.cnn_flat_dim(), c.conv2_channels * (16 / 4) * (16 / 4));
+    }
+
+    #[test]
+    fn validation_catches_mismatches() {
+        let mut c = PrototypeConfig::fast();
+        c.heatmap_rows = 99;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn env_knobs_have_sane_defaults() {
+        // Do not set the env vars here (tests run in one process); just
+        // check the defaults parse path.
+        assert!(PrototypeConfig::bench_repetitions() >= 1);
+        assert!(PrototypeConfig::bench_scale() >= 1);
+    }
+}

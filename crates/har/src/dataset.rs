@@ -1,0 +1,371 @@
+//! Dataset generation over the experiment grid.
+
+use crate::config::PrototypeConfig;
+use mmwave_body::{Activity, ActivitySampler, Participant, SampleVariation};
+use mmwave_dsp::HeatmapSeq;
+use mmwave_radar::capture::TriggerPlan;
+use mmwave_radar::scene::EnvironmentKind;
+use mmwave_radar::{Capturer, Environment, Placement};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// One labeled activity sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabeledSample {
+    /// The DRAI heatmap sequence the classifier sees.
+    pub heatmaps: HeatmapSeq,
+    /// Ground-truth activity.
+    pub label: Activity,
+    /// Where the user stood.
+    pub placement: Placement,
+    /// Which participant performed it (index into the participant presets).
+    pub participant: usize,
+}
+
+/// A set of labeled samples.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Dataset {
+    /// The samples.
+    pub samples: Vec<LabeledSample>,
+}
+
+impl Dataset {
+    /// An empty dataset.
+    pub fn new() -> Dataset {
+        Dataset::default()
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Samples of one class.
+    pub fn of_class(&self, label: Activity) -> Vec<&LabeledSample> {
+        self.samples.iter().filter(|s| s.label == label).collect()
+    }
+
+    /// Merges another dataset into this one.
+    pub fn extend_from(&mut self, other: Dataset) {
+        self.samples.extend(other.samples);
+    }
+
+    /// Stratified train/test split: `test_fraction` of each class goes to
+    /// the test set. Deterministic for a fixed seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < test_fraction < 1`.
+    pub fn split_stratified(&self, test_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+        assert!(
+            test_fraction > 0.0 && test_fraction < 1.0,
+            "test fraction must be in (0, 1)"
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut train = Dataset::new();
+        let mut test = Dataset::new();
+        for act in Activity::ALL {
+            let mut class: Vec<&LabeledSample> = self.of_class(act);
+            // Fisher-Yates on the class subset.
+            for i in (1..class.len()).rev() {
+                class.swap(i, rng.gen_range(0..=i));
+            }
+            let n_test = ((class.len() as f64) * test_fraction).round() as usize;
+            for (i, s) in class.into_iter().enumerate() {
+                if i < n_test {
+                    test.samples.push(s.clone());
+                } else {
+                    train.samples.push(s.clone());
+                }
+            }
+        }
+        (train, test)
+    }
+
+    /// Class histogram, indexed by [`Activity::index`].
+    pub fn class_counts(&self) -> [usize; 6] {
+        let mut counts = [0usize; 6];
+        for s in &self.samples {
+            counts[s.label.index()] += 1;
+        }
+        counts
+    }
+}
+
+impl FromIterator<LabeledSample> for Dataset {
+    fn from_iter<T: IntoIterator<Item = LabeledSample>>(iter: T) -> Self {
+        Dataset { samples: iter.into_iter().collect() }
+    }
+}
+
+/// What to generate: the cross product of placements, activities,
+/// participants, and repetitions, in a given environment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetSpec {
+    /// User positions.
+    pub placements: Vec<Placement>,
+    /// Activities to record.
+    pub activities: Vec<Activity>,
+    /// Participants (defaults to the three presets).
+    pub participants: Vec<Participant>,
+    /// Repetitions of each (placement, activity, participant) cell.
+    pub repetitions: usize,
+    /// Which room.
+    pub environment: EnvironmentKind,
+}
+
+impl DatasetSpec {
+    /// The paper's full training spec scaled to the compute budget:
+    /// 12 positions x 6 activities x 3 participants x `repetitions`.
+    pub fn training(repetitions: usize) -> DatasetSpec {
+        DatasetSpec {
+            placements: Placement::training_grid(),
+            activities: Activity::ALL.to_vec(),
+            participants: Participant::presets().to_vec(),
+            repetitions,
+            environment: EnvironmentKind::TrainingHallway,
+        }
+    }
+
+    /// A minimal spec for unit tests: 2 positions, 2 activities,
+    /// 1 participant, 1 repetition.
+    pub fn smoke_test() -> DatasetSpec {
+        DatasetSpec {
+            placements: vec![Placement::new(1.2, 0.0), Placement::new(1.6, 30.0)],
+            activities: vec![Activity::Push, Activity::LeftSwipe],
+            participants: vec![Participant::average()],
+            repetitions: 1,
+            environment: EnvironmentKind::TrainingHallway,
+        }
+    }
+
+    /// Total number of samples the spec will produce.
+    pub fn total_samples(&self) -> usize {
+        self.placements.len() * self.activities.len() * self.participants.len() * self.repetitions
+    }
+}
+
+/// A paired capture for the attacker: the same performance with and without
+/// the trigger, used both to poison training frames and as attack test
+/// samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairedSample {
+    /// Without the trigger.
+    pub clean: HeatmapSeq,
+    /// With the trigger (same pose and noise).
+    pub triggered: HeatmapSeq,
+    /// The activity actually performed.
+    pub label: Activity,
+    /// Where the attacker stood.
+    pub placement: Placement,
+}
+
+/// Generates datasets by driving the body sampler and the radar capture
+/// pipeline.
+#[derive(Debug)]
+pub struct DatasetGenerator {
+    config: PrototypeConfig,
+    capturer: Capturer,
+}
+
+impl DatasetGenerator {
+    /// Creates a generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(config: PrototypeConfig) -> DatasetGenerator {
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid prototype config: {e}"));
+        let capturer = Capturer::new(config.capture.0.clone());
+        DatasetGenerator { config, capturer }
+    }
+
+    /// The prototype configuration.
+    pub fn config(&self) -> &PrototypeConfig {
+        &self.config
+    }
+
+    /// The underlying capturer (shared with the attack pipeline).
+    pub fn capturer(&self) -> &Capturer {
+        &self.capturer
+    }
+
+    /// Generates the dataset described by `spec`. Deterministic per seed.
+    pub fn generate(&self, spec: &DatasetSpec, seed: u64) -> Dataset {
+        let env = spec.environment.build();
+        let mut samples = Vec::with_capacity(spec.total_samples());
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for (pi, participant) in spec.participants.iter().enumerate() {
+            let sampler = ActivitySampler::new(
+                *participant,
+                self.config.n_frames,
+                self.capturer.config().frame_rate,
+            );
+            for &placement in &spec.placements {
+                for &activity in &spec.activities {
+                    for _rep in 0..spec.repetitions {
+                        let variation = SampleVariation::random(&mut rng);
+                        let capture_seed: u64 = rng.gen();
+                        let seq = sampler.sample(activity, &variation);
+                        let out = self.capturer.capture_with_scale(
+                            &seq,
+                            placement,
+                            &env,
+                            None,
+                            capture_seed,
+                            participant.reflectivity,
+                        );
+                        samples.push(LabeledSample {
+                            heatmaps: out.clean,
+                            label: activity,
+                            placement,
+                            participant: pi,
+                        });
+                    }
+                }
+            }
+        }
+        Dataset { samples }
+    }
+
+    /// Generates paired clean/triggered captures of `activity` performed by
+    /// `participant` at each placement, `repetitions` times — the
+    /// attacker's own recordings (they wear the trigger; Eq. (3) linearity
+    /// gives us the clean twin for free).
+    #[allow(clippy::too_many_arguments)]
+    pub fn generate_paired(
+        &self,
+        activity: Activity,
+        placements: &[Placement],
+        participant: Participant,
+        plan: &TriggerPlan,
+        environment: &Environment,
+        repetitions: usize,
+        seed: u64,
+    ) -> Vec<PairedSample> {
+        let sampler = ActivitySampler::new(
+            participant,
+            self.config.n_frames,
+            self.capturer.config().frame_rate,
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut out = Vec::with_capacity(placements.len() * repetitions);
+        for &placement in placements {
+            for _ in 0..repetitions {
+                let variation = SampleVariation::random(&mut rng);
+                let capture_seed: u64 = rng.gen();
+                let seq = sampler.sample(activity, &variation);
+                let cap = self.capturer.capture_with_scale(
+                    &seq,
+                    placement,
+                    environment,
+                    Some(plan),
+                    capture_seed,
+                    participant.reflectivity,
+                );
+                out.push(PairedSample {
+                    clean: cap.clean,
+                    triggered: cap.triggered.expect("trigger requested"),
+                    label: activity,
+                    placement,
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmwave_body::SiteId;
+    use mmwave_radar::trigger::{Trigger, TriggerAttachment};
+
+    fn generator() -> DatasetGenerator {
+        DatasetGenerator::new(PrototypeConfig::smoke_test())
+    }
+
+    #[test]
+    fn generate_produces_spec_counts() {
+        let gen = generator();
+        let spec = DatasetSpec::smoke_test();
+        let data = gen.generate(&spec, 1);
+        assert_eq!(data.len(), spec.total_samples());
+        assert_eq!(data.samples[0].heatmaps.len(), gen.config().n_frames);
+        // Both classes present.
+        assert!(!data.of_class(Activity::Push).is_empty());
+        assert!(!data.of_class(Activity::LeftSwipe).is_empty());
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let gen = generator();
+        let spec = DatasetSpec::smoke_test();
+        let a = gen.generate(&spec, 5);
+        let b = gen.generate(&spec, 5);
+        assert_eq!(a, b);
+        let c = gen.generate(&spec, 6);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn stratified_split_keeps_class_balance() {
+        let gen = generator();
+        let mut spec = DatasetSpec::smoke_test();
+        spec.repetitions = 4;
+        let data = gen.generate(&spec, 2);
+        let (train, test) = data.split_stratified(0.25, 3);
+        assert_eq!(train.len() + test.len(), data.len());
+        let (tc, vc) = (train.class_counts(), test.class_counts());
+        // Both classes appear in both splits.
+        assert!(tc[Activity::Push.index()] > 0 && vc[Activity::Push.index()] > 0);
+        assert!(tc[Activity::LeftSwipe.index()] > 0 && vc[Activity::LeftSwipe.index()] > 0);
+    }
+
+    #[test]
+    fn paired_samples_share_shape_and_differ_in_content() {
+        let gen = generator();
+        let plan = TriggerPlan {
+            attachment: TriggerAttachment::new(Trigger::aluminum_2x2()),
+            site: SiteId::RightForearm,
+        };
+        let pairs = gen.generate_paired(
+            Activity::Push,
+            &[Placement::new(1.2, 0.0)],
+            Participant::average(),
+            &plan,
+            &Environment::classroom(),
+            2,
+            9,
+        );
+        assert_eq!(pairs.len(), 2);
+        for p in &pairs {
+            assert_eq!(p.clean.len(), p.triggered.len());
+            assert!(p.clean.mean_l2_distance(&p.triggered) > 0.0);
+        }
+        // Different repetitions differ (random variation).
+        assert_ne!(pairs[0].clean, pairs[1].clean);
+    }
+
+    #[test]
+    fn training_spec_matches_paper_grid() {
+        let spec = DatasetSpec::training(2);
+        assert_eq!(spec.placements.len(), 12);
+        assert_eq!(spec.activities.len(), 6);
+        assert_eq!(spec.participants.len(), 3);
+        assert_eq!(spec.total_samples(), 12 * 6 * 3 * 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "test fraction")]
+    fn bad_split_fraction_panics() {
+        Dataset::new().split_stratified(1.5, 0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Evaluation: accuracy and the confusion matrix of Fig. 7.
+
+use crate::dataset::Dataset;
+use crate::model::CnnLstm;
+use mmwave_body::Activity;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A 6x6 confusion matrix over the activity classes
+/// (`matrix[true][predicted]`).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    counts: [[usize; 6]; 6],
+}
+
+impl ConfusionMatrix {
+    /// An empty matrix.
+    pub fn new() -> ConfusionMatrix {
+        ConfusionMatrix::default()
+    }
+
+    /// Records one prediction.
+    pub fn record(&mut self, truth: Activity, predicted: Activity) {
+        self.counts[truth.index()][predicted.index()] += 1;
+    }
+
+    /// Count at `(true, predicted)`.
+    pub fn get(&self, truth: Activity, predicted: Activity) -> usize {
+        self.counts[truth.index()][predicted.index()]
+    }
+
+    /// Total number of recorded predictions.
+    pub fn total(&self) -> usize {
+        self.counts.iter().flatten().sum()
+    }
+
+    /// Number of correct predictions (trace).
+    pub fn correct(&self) -> usize {
+        (0..6).map(|i| self.counts[i][i]).sum()
+    }
+
+    /// Overall accuracy, or 0 for an empty matrix.
+    pub fn accuracy(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.correct() as f64 / self.total() as f64
+        }
+    }
+
+    /// Per-class recall, indexed by [`Activity::index`].
+    pub fn per_class_recall(&self) -> [f64; 6] {
+        let mut out = [0.0; 6];
+        for (i, row) in self.counts.iter().enumerate() {
+            let total: usize = row.iter().sum();
+            if total > 0 {
+                out[i] = row[i] as f64 / total as f64;
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:>14}", "true \\ pred")?;
+        for a in Activity::ALL {
+            write!(f, "{:>14}", a.label())?;
+        }
+        writeln!(f)?;
+        for (i, row) in self.counts.iter().enumerate() {
+            write!(f, "{:>14}", Activity::from_index(i).label())?;
+            for &v in row {
+                write!(f, "{v:>14}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Result of evaluating a model on a dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalResult {
+    /// Overall accuracy in `[0, 1]`.
+    pub accuracy: f64,
+    /// Full confusion matrix.
+    pub confusion: ConfusionMatrix,
+}
+
+/// Evaluates `model` on every sample of `data`.
+pub fn evaluate(model: &CnnLstm, data: &Dataset) -> EvalResult {
+    let mut confusion = ConfusionMatrix::new();
+    for sample in &data.samples {
+        let pred = Activity::from_index(model.predict(&sample.heatmaps));
+        confusion.record(sample.label, pred);
+    }
+    EvalResult { accuracy: confusion.accuracy(), confusion }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_of_perfect_predictions() {
+        let mut cm = ConfusionMatrix::new();
+        for a in Activity::ALL {
+            for _ in 0..5 {
+                cm.record(a, a);
+            }
+        }
+        assert_eq!(cm.total(), 30);
+        assert_eq!(cm.correct(), 30);
+        assert!((cm.accuracy() - 1.0).abs() < 1e-12);
+        assert!(cm.per_class_recall().iter().all(|&r| (r - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn misclassification_lands_off_diagonal() {
+        let mut cm = ConfusionMatrix::new();
+        cm.record(Activity::Push, Activity::Pull);
+        cm.record(Activity::Push, Activity::Push);
+        assert_eq!(cm.get(Activity::Push, Activity::Pull), 1);
+        assert!((cm.accuracy() - 0.5).abs() < 1e-12);
+        let recall = cm.per_class_recall();
+        assert!((recall[Activity::Push.index()] - 0.5).abs() < 1e-12);
+        assert_eq!(recall[Activity::Pull.index()], 0.0, "no Pull samples yet");
+    }
+
+    #[test]
+    fn empty_matrix_is_harmless() {
+        let cm = ConfusionMatrix::new();
+        assert_eq!(cm.accuracy(), 0.0);
+        assert_eq!(cm.total(), 0);
+    }
+
+    #[test]
+    fn display_contains_all_labels() {
+        let cm = ConfusionMatrix::new();
+        let s = cm.to_string();
+        for a in Activity::ALL {
+            assert!(s.contains(a.label()), "missing {}", a.label());
+        }
+    }
+}

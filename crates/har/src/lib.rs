@@ -1,0 +1,45 @@
+//! The mmWave HAR prototype: dataset generation, the CNN-LSTM classifier,
+//! training, and evaluation (Section II-A and VI-B of the paper).
+//!
+//! This crate assembles the substrates into the victim system:
+//!
+//! * [`config`] — one place for every scale knob (heatmap size, network
+//!   widths, dataset sizes), with environment-variable overrides for
+//!   larger-than-default benchmark runs;
+//! * [`dataset`] — generates labeled DRAI samples over the 12-position
+//!   grid with three participants, in either experiment environment, and
+//!   (for the attacker) paired clean/triggered captures;
+//! * [`model`] — the hybrid [`model::CnnLstm`]: per-frame CNN features,
+//!   LSTM over the 32-frame series, fully-connected classification head;
+//! * [`trainer`] — Adam training loop with gradient clipping;
+//! * [`eval`] — accuracy and the 6x6 confusion matrix (Fig. 7).
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use mmwave_har::config::PrototypeConfig;
+//! use mmwave_har::dataset::{DatasetGenerator, DatasetSpec};
+//! use mmwave_har::model::CnnLstm;
+//! use mmwave_har::trainer::{Trainer, TrainerConfig};
+//!
+//! let cfg = PrototypeConfig::fast();
+//! let gen = DatasetGenerator::new(cfg.clone());
+//! let data = gen.generate(&DatasetSpec::smoke_test(), 42);
+//! let (train, test) = data.split_stratified(0.25, 7);
+//! let mut model = CnnLstm::new(&cfg, 3);
+//! Trainer::new(TrainerConfig::fast()).fit(&mut model, &train);
+//! let eval = mmwave_har::eval::evaluate(&model, &test);
+//! println!("accuracy {:.1}%", eval.accuracy * 100.0);
+//! ```
+
+pub mod config;
+pub mod dataset;
+pub mod eval;
+pub mod model;
+pub mod trainer;
+
+pub use config::PrototypeConfig;
+pub use dataset::{Dataset, DatasetGenerator, DatasetSpec, LabeledSample};
+pub use eval::{evaluate, ConfusionMatrix, EvalResult};
+pub use model::CnnLstm;
+pub use trainer::{Trainer, TrainerConfig};

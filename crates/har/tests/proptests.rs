@@ -1,0 +1,84 @@
+//! Property-based tests for the HAR prototype components.
+
+use mmwave_body::Activity;
+use mmwave_dsp::heatmap::{Heatmap, HeatmapKind};
+use mmwave_dsp::HeatmapSeq;
+use mmwave_har::dataset::{Dataset, LabeledSample};
+use mmwave_har::eval::ConfusionMatrix;
+use mmwave_har::{CnnLstm, PrototypeConfig};
+use mmwave_radar::Placement;
+use proptest::prelude::*;
+
+fn sample_with_label(label: Activity, fill: f32, n_frames: usize) -> LabeledSample {
+    let cfg = PrototypeConfig::fast();
+    LabeledSample {
+        heatmaps: HeatmapSeq::new(vec![
+            Heatmap::from_data(
+                cfg.heatmap_rows,
+                cfg.heatmap_cols,
+                HeatmapKind::RangeAngle,
+                vec![fill; cfg.heatmap_rows * cfg.heatmap_cols],
+            );
+            n_frames
+        ]),
+        label,
+        placement: Placement::new(1.2, 0.0),
+        participant: 0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn stratified_split_partitions_every_class(
+        per_class in 2usize..8,
+        frac in 0.2f64..0.8,
+        seed in 0u64..100,
+    ) {
+        let mut data = Dataset::new();
+        for act in Activity::ALL {
+            for k in 0..per_class {
+                data.samples.push(sample_with_label(act, k as f32 * 0.1, 4));
+            }
+        }
+        let (train, test) = data.split_stratified(frac, seed);
+        prop_assert_eq!(train.len() + test.len(), data.len());
+        let expected_test = ((per_class as f64) * frac).round() as usize;
+        for act in Activity::ALL {
+            prop_assert_eq!(test.of_class(act).len(), expected_test);
+        }
+    }
+
+    #[test]
+    fn model_probabilities_are_valid_for_any_input(fill in 0.0f32..2.0, seed in 0u64..20) {
+        let cfg = PrototypeConfig::smoke_test();
+        let model = CnnLstm::new(&cfg, seed);
+        let s = {
+            let mut s = sample_with_label(Activity::Push, fill, cfg.n_frames);
+            s.heatmaps.frame_mut(0);
+            s
+        };
+        let p = model.probabilities(&s.heatmaps);
+        prop_assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        prop_assert!(p.iter().all(|v| v.is_finite()));
+        prop_assert!(model.predict(&s.heatmaps) < 6);
+    }
+
+    #[test]
+    fn confusion_matrix_accuracy_matches_counts(
+        records in proptest::collection::vec((0usize..6, 0usize..6), 1..60)
+    ) {
+        let mut cm = ConfusionMatrix::new();
+        let mut correct = 0usize;
+        for &(t, p) in &records {
+            cm.record(Activity::from_index(t), Activity::from_index(p));
+            if t == p {
+                correct += 1;
+            }
+        }
+        prop_assert_eq!(cm.total(), records.len());
+        prop_assert_eq!(cm.correct(), correct);
+        prop_assert!((cm.accuracy() - correct as f64 / records.len() as f64).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,159 @@
+//! The Adam optimizer.
+
+use crate::param::ParamTensor;
+use serde::{Deserialize, Serialize};
+
+/// Adam (Kingma & Ba, 2015) with bias correction.
+///
+/// One `Adam` instance drives a whole model: call
+/// [`step`](Adam::step) with the model's parameter tensors *in the same
+/// order every time*; first-call lengths fix the moment-buffer layout.
+///
+/// # Examples
+///
+/// ```
+/// use mmwave_nn::{Adam, ParamTensor};
+/// let mut p = ParamTensor::from_data(vec![1.0]);
+/// p.grad = vec![10.0];
+/// let mut adam = Adam::new(0.1);
+/// adam.step(&mut [&mut p]);
+/// assert!(p.data[0] < 1.0, "gradient descent moves against the gradient");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Denominator fuzz.
+    pub eps: f32,
+    t: u64,
+    moments: Vec<(Vec<f32>, Vec<f32>)>,
+}
+
+impl Adam {
+    /// Creates an optimizer with standard betas (0.9, 0.999).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0`.
+    pub fn new(lr: f32) -> Adam {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, moments: Vec::new() }
+    }
+
+    /// Number of completed steps.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Applies one update to each tensor using its accumulated gradient.
+    /// Gradients are *not* zeroed — call
+    /// [`ParamTensor::zero_grad`] before the next accumulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor count or any tensor length changes between
+    /// calls.
+    pub fn step(&mut self, tensors: &mut [&mut ParamTensor]) {
+        if self.moments.is_empty() {
+            self.moments = tensors
+                .iter()
+                .map(|t| (vec![0.0; t.len()], vec![0.0; t.len()]))
+                .collect();
+        }
+        assert_eq!(self.moments.len(), tensors.len(), "tensor count changed");
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for (tensor, (m, v)) in tensors.iter_mut().zip(&mut self.moments) {
+            assert_eq!(tensor.len(), m.len(), "tensor length changed");
+            for i in 0..tensor.len() {
+                let g = tensor.grad[i];
+                m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * g;
+                v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * g * g;
+                let m_hat = m[i] / b1t;
+                let v_hat = v[i] / b2t;
+                tensor.data[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+
+    /// Resets step count and moments (e.g. between experiment repetitions).
+    pub fn reset(&mut self) {
+        self.t = 0;
+        self.moments.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_a_quadratic() {
+        // f(x) = (x - 3)^2, df = 2(x - 3).
+        let mut p = ParamTensor::from_data(vec![0.0]);
+        let mut adam = Adam::new(0.1);
+        for _ in 0..500 {
+            p.zero_grad();
+            p.grad[0] = 2.0 * (p.data[0] - 3.0);
+            adam.step(&mut [&mut p]);
+        }
+        assert!((p.data[0] - 3.0).abs() < 0.05, "converged to {}", p.data[0]);
+    }
+
+    #[test]
+    fn handles_multiple_tensors() {
+        let mut a = ParamTensor::from_data(vec![1.0]);
+        let mut b = ParamTensor::from_data(vec![-2.0, 4.0]);
+        let mut adam = Adam::new(0.05);
+        for _ in 0..800 {
+            a.zero_grad();
+            b.zero_grad();
+            a.grad[0] = 2.0 * a.data[0];
+            b.grad[0] = 2.0 * (b.data[0] + 1.0);
+            b.grad[1] = 2.0 * (b.data[1] - 1.0);
+            adam.step(&mut [&mut a, &mut b]);
+        }
+        assert!(a.data[0].abs() < 0.05);
+        assert!((b.data[0] + 1.0).abs() < 0.05);
+        assert!((b.data[1] - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn first_step_moves_by_about_lr() {
+        // With bias correction, the first step size is ~lr regardless of
+        // gradient magnitude.
+        for g in [0.001f32, 1.0, 1000.0] {
+            let mut p = ParamTensor::from_data(vec![0.0]);
+            p.grad = vec![g];
+            let mut adam = Adam::new(0.01);
+            adam.step(&mut [&mut p]);
+            assert!((p.data[0].abs() - 0.01).abs() < 1e-4, "grad {g} moved {}", p.data[0]);
+        }
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut p = ParamTensor::from_data(vec![0.0]);
+        p.grad = vec![1.0];
+        let mut adam = Adam::new(0.01);
+        adam.step(&mut [&mut p]);
+        assert_eq!(adam.steps(), 1);
+        adam.reset();
+        assert_eq!(adam.steps(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "tensor count changed")]
+    fn changing_tensor_count_panics() {
+        let mut a = ParamTensor::zeros(1);
+        let mut b = ParamTensor::zeros(1);
+        let mut adam = Adam::new(0.01);
+        adam.step(&mut [&mut a]);
+        adam.step(&mut [&mut a, &mut b]);
+    }
+}

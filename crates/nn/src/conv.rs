@@ -1,0 +1,313 @@
+//! 2D convolution with zero padding.
+
+use crate::init::kaiming_uniform;
+use crate::param::ParamTensor;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A 2D convolution over `C x H x W` inputs (channel-major, row-major
+/// within a channel) with square kernels and symmetric zero padding.
+/// Stride is 1; downsampling is done by [`crate::MaxPool2`].
+///
+/// # Examples
+///
+/// ```
+/// use mmwave_nn::Conv2d;
+/// use rand::SeedableRng;
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+/// let conv = Conv2d::new(1, 4, 3, 1, &mut rng);
+/// let input = vec![0.0_f32; 16 * 16];
+/// let out = conv.forward(&input, 16, 16);
+/// assert_eq!(out.len(), 4 * 16 * 16);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Conv2d {
+    in_c: usize,
+    out_c: usize,
+    k: usize,
+    pad: usize,
+    weights: ParamTensor,
+    bias: ParamTensor,
+}
+
+impl Conv2d {
+    /// Creates a convolution with Kaiming-initialized kernels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or the kernel is even-sized.
+    pub fn new<R: Rng + ?Sized>(
+        in_c: usize,
+        out_c: usize,
+        k: usize,
+        pad: usize,
+        rng: &mut R,
+    ) -> Conv2d {
+        assert!(in_c > 0 && out_c > 0 && k > 0, "dimensions must be nonzero");
+        assert!(k % 2 == 1, "only odd kernel sizes are supported");
+        let fan_in = in_c * k * k;
+        Conv2d {
+            in_c,
+            out_c,
+            k,
+            pad,
+            weights: ParamTensor::from_data(kaiming_uniform(out_c * in_c * k * k, fan_in, rng)),
+            bias: ParamTensor::zeros(out_c),
+        }
+    }
+
+    /// Input channel count.
+    pub fn in_channels(&self) -> usize {
+        self.in_c
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.out_c
+    }
+
+    /// Output spatial size for an `h x w` input (stride 1).
+    pub fn output_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        (h + 2 * self.pad + 1 - self.k, w + 2 * self.pad + 1 - self.k)
+    }
+
+    #[inline]
+    fn weight_at(&self, oc: usize, ic: usize, ky: usize, kx: usize) -> f32 {
+        self.weights.data[((oc * self.in_c + ic) * self.k + ky) * self.k + kx]
+    }
+
+    /// Copies channel `ic` of `input` into a zero-padded `(h+2p) x (w+2p)`
+    /// buffer so the convolution loops run branch-free (and vectorize).
+    fn pad_channel(&self, input: &[f32], ic: usize, h: usize, w: usize, buf: &mut [f32]) {
+        let pw = w + 2 * self.pad;
+        buf.fill(0.0);
+        let chan = &input[ic * h * w..(ic + 1) * h * w];
+        for y in 0..h {
+            let dst = (y + self.pad) * pw + self.pad;
+            buf[dst..dst + w].copy_from_slice(&chan[y * w..(y + 1) * w]);
+        }
+    }
+
+    /// Forward pass over a `C x H x W` input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != in_c * h * w`.
+    pub fn forward(&self, input: &[f32], h: usize, w: usize) -> Vec<f32> {
+        assert_eq!(input.len(), self.in_c * h * w, "conv input size mismatch");
+        let (oh, ow) = self.output_hw(h, w);
+        let pw = w + 2 * self.pad;
+        let mut padded = vec![0.0f32; (h + 2 * self.pad) * pw];
+        let mut out = vec![0.0; self.out_c * oh * ow];
+        // Shifted-accumulate formulation: for each kernel tap, add a
+        // weighted, shifted image row to the output row. The inner loop is
+        // a contiguous FMA over `ow` elements, which the compiler
+        // vectorizes.
+        for ic in 0..self.in_c {
+            self.pad_channel(input, ic, h, w, &mut padded);
+            for oc in 0..self.out_c {
+                let out_chan = &mut out[oc * oh * ow..(oc + 1) * oh * ow];
+                for ky in 0..self.k {
+                    for kx in 0..self.k {
+                        let wgt = self.weight_at(oc, ic, ky, kx);
+                        if wgt == 0.0 {
+                            continue;
+                        }
+                        for oy in 0..oh {
+                            let src = (oy + ky) * pw + kx;
+                            let in_row = &padded[src..src + ow];
+                            let out_row = &mut out_chan[oy * ow..(oy + 1) * ow];
+                            for (o, &x) in out_row.iter_mut().zip(in_row) {
+                                *o += wgt * x;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Bias.
+        for oc in 0..self.out_c {
+            let b = self.bias.data[oc];
+            if b != 0.0 {
+                for o in &mut out[oc * oh * ow..(oc + 1) * oh * ow] {
+                    *o += b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Backward pass: accumulates kernel/bias gradients and returns the
+    /// input gradient. `input` must match the corresponding `forward` call.
+    ///
+    /// # Panics
+    ///
+    /// Panics on size mismatches.
+    pub fn backward(&mut self, input: &[f32], h: usize, w: usize, dout: &[f32]) -> Vec<f32> {
+        assert_eq!(input.len(), self.in_c * h * w, "conv input size mismatch");
+        let (oh, ow) = self.output_hw(h, w);
+        assert_eq!(dout.len(), self.out_c * oh * ow, "conv output-grad size mismatch");
+        let pw = w + 2 * self.pad;
+        let ph = h + 2 * self.pad;
+        let mut padded = vec![0.0f32; ph * pw];
+        // Accumulate input gradients into a padded buffer, then crop — this
+        // keeps the inner loops branch-free, like the forward pass.
+        let mut dpadded = vec![0.0f32; ph * pw];
+        let mut dinput = vec![0.0; input.len()];
+        // Bias gradients: row sums of dout.
+        for oc in 0..self.out_c {
+            self.bias.grad[oc] += dout[oc * oh * ow..(oc + 1) * oh * ow].iter().sum::<f32>();
+        }
+        for ic in 0..self.in_c {
+            self.pad_channel(input, ic, h, w, &mut padded);
+            dpadded.fill(0.0);
+            for oc in 0..self.out_c {
+                let dout_chan = &dout[oc * oh * ow..(oc + 1) * oh * ow];
+                for ky in 0..self.k {
+                    for kx in 0..self.k {
+                        let widx = ((oc * self.in_c + ic) * self.k + ky) * self.k + kx;
+                        let wgt = self.weights.data[widx];
+                        let mut wgrad = 0.0f32;
+                        for oy in 0..oh {
+                            let src = (oy + ky) * pw + kx;
+                            let g_row = &dout_chan[oy * ow..(oy + 1) * ow];
+                            // dW[tap] += <dout row, shifted input row>.
+                            let in_row = &padded[src..src + ow];
+                            let mut acc = 0.0f32;
+                            for (g, x) in g_row.iter().zip(in_row) {
+                                acc += g * x;
+                            }
+                            wgrad += acc;
+                            // dX[shifted] += w[tap] * dout row.
+                            let dx_row = &mut dpadded[src..src + ow];
+                            for (dx, g) in dx_row.iter_mut().zip(g_row) {
+                                *dx += wgt * g;
+                            }
+                        }
+                        self.weights.grad[widx] += wgrad;
+                    }
+                }
+            }
+            // Crop the padded gradient back to the channel.
+            let dchan = &mut dinput[ic * h * w..(ic + 1) * h * w];
+            for y in 0..h {
+                let src = (y + self.pad) * pw + self.pad;
+                for (d, &v) in dchan[y * w..(y + 1) * w].iter_mut().zip(&dpadded[src..src + w]) {
+                    *d += v;
+                }
+            }
+        }
+        dinput
+    }
+
+    /// The layer's parameter tensors (weights, then bias).
+    pub fn param_tensors(&mut self) -> Vec<&mut ParamTensor> {
+        vec![&mut self.weights, &mut self.bias]
+    }
+
+    /// Zeroes all gradient accumulators.
+    pub fn zero_grads(&mut self) {
+        self.weights.zero_grad();
+        self.bias.zero_grad();
+    }
+
+    /// Immutable weight access.
+    pub fn weights(&self) -> &ParamTensor {
+        &self.weights
+    }
+
+    /// Mutable weight access.
+    pub fn weights_mut(&mut self) -> &mut ParamTensor {
+        &mut self.weights
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn identity_kernel_preserves_input() {
+        let mut conv = Conv2d::new(1, 1, 3, 1, &mut ChaCha8Rng::seed_from_u64(0));
+        conv.weights_mut().data = vec![0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0];
+        let input: Vec<f32> = (0..16).map(|i| i as f32).collect();
+        let out = conv.forward(&input, 4, 4);
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn shift_kernel_shifts_image() {
+        let mut conv = Conv2d::new(1, 1, 3, 1, &mut ChaCha8Rng::seed_from_u64(0));
+        // Kernel that picks the left neighbor.
+        conv.weights_mut().data = vec![0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        let input = vec![0.0, 1.0, 0.0, 0.0, 0.0, 2.0, 0.0, 0.0, 0.0];
+        let out = conv.forward(&input, 3, 3);
+        // Pixel values move one to the right.
+        assert_eq!(out[2], 1.0);
+        assert_eq!(out[5], 0.0);
+    }
+
+    #[test]
+    fn output_shape_without_padding_shrinks() {
+        let conv = Conv2d::new(1, 2, 3, 0, &mut ChaCha8Rng::seed_from_u64(0));
+        assert_eq!(conv.output_hw(8, 8), (6, 6));
+        let out = conv.forward(&vec![0.0; 64], 8, 8);
+        assert_eq!(out.len(), 2 * 36);
+    }
+
+    #[test]
+    fn gradient_check_small_conv() {
+        let mut conv = Conv2d::new(2, 2, 3, 1, &mut ChaCha8Rng::seed_from_u64(5));
+        let (h, w) = (4, 4);
+        let input: Vec<f32> = (0..2 * h * w).map(|i| ((i * 7 % 13) as f32 - 6.0) / 6.0).collect();
+        let (oh, ow) = conv.output_hw(h, w);
+        let dout = vec![1.0; 2 * oh * ow];
+        conv.zero_grads();
+        let dinput = conv.backward(&input, h, w, &dout);
+        let loss = |c: &Conv2d, x: &[f32]| c.forward(x, h, w).iter().sum::<f32>();
+        let eps = 1e-2;
+        // Spot-check a spread of weight gradients.
+        for k in (0..conv.weights().len()).step_by(5) {
+            let mut cp = conv.clone();
+            cp.weights_mut().data[k] += eps;
+            let mut cm = conv.clone();
+            cm.weights_mut().data[k] -= eps;
+            let fd = (loss(&cp, &input) - loss(&cm, &input)) / (2.0 * eps);
+            let an = conv.weights().grad[k];
+            assert!((fd - an).abs() < 0.05 * an.abs().max(1.0), "w{k}: {fd} vs {an}");
+        }
+        // Spot-check input gradients.
+        for i in (0..input.len()).step_by(7) {
+            let mut xp = input.clone();
+            xp[i] += eps;
+            let mut xm = input.clone();
+            xm[i] -= eps;
+            let fd = (loss(&conv, &xp) - loss(&conv, &xm)) / (2.0 * eps);
+            assert!((fd - dinput[i]).abs() < 0.05 * dinput[i].abs().max(1.0), "x{i}");
+        }
+    }
+
+    #[test]
+    fn bias_raises_all_outputs() {
+        let mut conv = Conv2d::new(1, 1, 3, 1, &mut ChaCha8Rng::seed_from_u64(0));
+        conv.weights_mut().data = vec![0.0; 9];
+        conv.bias.data[0] = 2.5;
+        let out = conv.forward(&vec![0.0; 25], 5, 5);
+        assert!(out.iter().all(|&v| (v - 2.5).abs() < 1e-6));
+    }
+
+    #[test]
+    #[should_panic(expected = "only odd kernel")]
+    fn even_kernel_panics() {
+        Conv2d::new(1, 1, 4, 1, &mut ChaCha8Rng::seed_from_u64(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "input size mismatch")]
+    fn wrong_input_size_panics() {
+        let conv = Conv2d::new(1, 1, 3, 1, &mut ChaCha8Rng::seed_from_u64(0));
+        conv.forward(&[0.0; 10], 4, 4);
+    }
+}

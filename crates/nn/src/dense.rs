@@ -1,0 +1,188 @@
+//! Fully-connected layer.
+
+use crate::init::xavier_uniform;
+use crate::param::ParamTensor;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A dense (fully-connected) layer: `y = W x + b`.
+///
+/// Weights are stored row-major, one row per output.
+///
+/// # Examples
+///
+/// ```
+/// use mmwave_nn::Dense;
+/// use rand::SeedableRng;
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+/// let layer = Dense::new(3, 2, &mut rng);
+/// let y = layer.forward(&[1.0, 0.0, -1.0]);
+/// assert_eq!(y.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dense {
+    n_in: usize,
+    n_out: usize,
+    weights: ParamTensor,
+    bias: ParamTensor,
+}
+
+impl Dense {
+    /// Creates a layer with Xavier-initialized weights and zero bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new<R: Rng + ?Sized>(n_in: usize, n_out: usize, rng: &mut R) -> Dense {
+        assert!(n_in > 0 && n_out > 0, "layer dimensions must be nonzero");
+        Dense {
+            n_in,
+            n_out,
+            weights: ParamTensor::from_data(xavier_uniform(n_in * n_out, n_in, n_out, rng)),
+            bias: ParamTensor::zeros(n_out),
+        }
+    }
+
+    /// Input dimension.
+    pub fn n_in(&self) -> usize {
+        self.n_in
+    }
+
+    /// Output dimension.
+    pub fn n_out(&self) -> usize {
+        self.n_out
+    }
+
+    /// Forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != n_in`.
+    pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.n_in, "dense input length mismatch");
+        let mut y = self.bias.data.clone();
+        for (o, yo) in y.iter_mut().enumerate() {
+            let row = &self.weights.data[o * self.n_in..(o + 1) * self.n_in];
+            *yo += row.iter().zip(x).map(|(w, xi)| w * xi).sum::<f32>();
+        }
+        y
+    }
+
+    /// Backward pass: accumulates weight/bias gradients and returns `dx`.
+    ///
+    /// `x` must be the same input given to the matching `forward` call.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatches.
+    pub fn backward(&mut self, x: &[f32], dy: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.n_in, "dense input length mismatch");
+        assert_eq!(dy.len(), self.n_out, "dense output-grad length mismatch");
+        let mut dx = vec![0.0; self.n_in];
+        for (o, &g) in dy.iter().enumerate() {
+            self.bias.grad[o] += g;
+            let row_w = &self.weights.data[o * self.n_in..(o + 1) * self.n_in];
+            let row_g = &mut self.weights.grad[o * self.n_in..(o + 1) * self.n_in];
+            for i in 0..self.n_in {
+                row_g[i] += g * x[i];
+                dx[i] += g * row_w[i];
+            }
+        }
+        dx
+    }
+
+    /// The layer's parameter tensors (weights, then bias), for optimizers.
+    pub fn param_tensors(&mut self) -> Vec<&mut ParamTensor> {
+        vec![&mut self.weights, &mut self.bias]
+    }
+
+    /// Zeroes all gradient accumulators.
+    pub fn zero_grads(&mut self) {
+        self.weights.zero_grad();
+        self.bias.zero_grad();
+    }
+
+    /// Immutable weight access (for inspection in tests/analyses).
+    pub fn weights(&self) -> &ParamTensor {
+        &self.weights
+    }
+
+    /// Mutable weight access.
+    pub fn weights_mut(&mut self) -> &mut ParamTensor {
+        &mut self.weights
+    }
+
+    /// Immutable bias access.
+    pub fn bias(&self) -> &ParamTensor {
+        &self.bias
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn layer() -> Dense {
+        Dense::new(4, 3, &mut ChaCha8Rng::seed_from_u64(3))
+    }
+
+    #[test]
+    fn forward_matches_manual_computation() {
+        let mut l = Dense::new(2, 1, &mut ChaCha8Rng::seed_from_u64(0));
+        l.weights_mut().data = vec![2.0, -1.0];
+        let y = l.forward(&[3.0, 4.0]);
+        assert!((y[0] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradient_check_weights_and_input() {
+        let mut l = layer();
+        let x = [0.5, -1.0, 2.0, 0.25];
+        // Loss = sum of outputs (so dy = ones).
+        let dy = [1.0, 1.0, 1.0];
+        l.zero_grads();
+        let dx = l.backward(&x, &dy);
+        let eps = 1e-3;
+        // Weight gradients.
+        for k in 0..l.weights().len() {
+            let mut lp = l.clone();
+            lp.weights_mut().data[k] += eps;
+            let mut lm = l.clone();
+            lm.weights_mut().data[k] -= eps;
+            let fd = (lp.forward(&x).iter().sum::<f32>() - lm.forward(&x).iter().sum::<f32>())
+                / (2.0 * eps);
+            assert!(
+                (fd - l.weights().grad[k]).abs() < 1e-2,
+                "weight {k}: fd {fd} vs analytic {}",
+                l.weights().grad[k]
+            );
+        }
+        // Input gradients.
+        for i in 0..x.len() {
+            let mut xp = x;
+            xp[i] += eps;
+            let mut xm = x;
+            xm[i] -= eps;
+            let fd = (l.forward(&xp).iter().sum::<f32>() - l.forward(&xm).iter().sum::<f32>())
+                / (2.0 * eps);
+            assert!((fd - dx[i]).abs() < 1e-2, "input {i}: fd {fd} vs {}", dx[i]);
+        }
+    }
+
+    #[test]
+    fn bias_gradient_accumulates_dy() {
+        let mut l = layer();
+        l.zero_grads();
+        l.backward(&[0.0; 4], &[1.0, 2.0, 3.0]);
+        l.backward(&[0.0; 4], &[1.0, 0.0, 0.0]);
+        assert_eq!(l.bias().grad, vec![2.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "input length mismatch")]
+    fn wrong_input_length_panics() {
+        layer().forward(&[1.0, 2.0]);
+    }
+}

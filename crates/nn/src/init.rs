@@ -1,0 +1,72 @@
+//! Weight initialization.
+
+use rand::Rng;
+
+/// Uniform Xavier/Glorot initialization: samples `n` weights from
+/// `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+///
+/// # Panics
+///
+/// Panics if either fan is zero.
+pub fn xavier_uniform<R: Rng + ?Sized>(
+    n: usize,
+    fan_in: usize,
+    fan_out: usize,
+    rng: &mut R,
+) -> Vec<f32> {
+    assert!(fan_in > 0 && fan_out > 0, "fans must be nonzero");
+    let a = (6.0 / (fan_in + fan_out) as f64).sqrt() as f32;
+    (0..n).map(|_| rng.gen_range(-a..a)).collect()
+}
+
+/// Kaiming/He uniform initialization for ReLU layers:
+/// `U(-a, a)` with `a = sqrt(6 / fan_in)`.
+///
+/// # Panics
+///
+/// Panics if `fan_in` is zero.
+pub fn kaiming_uniform<R: Rng + ?Sized>(n: usize, fan_in: usize, rng: &mut R) -> Vec<f32> {
+    assert!(fan_in > 0, "fan_in must be nonzero");
+    let a = (6.0 / fan_in as f64).sqrt() as f32;
+    (0..n).map(|_| rng.gen_range(-a..a)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let w = xavier_uniform(1000, 64, 32, &mut rng);
+        let a = (6.0f32 / 96.0).sqrt();
+        assert!(w.iter().all(|&x| x.abs() <= a));
+        // Not degenerate.
+        let mean: f32 = w.iter().sum::<f32>() / w.len() as f32;
+        assert!(mean.abs() < 0.05);
+    }
+
+    #[test]
+    fn kaiming_scales_with_fan_in() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let small_fan = kaiming_uniform(1000, 4, &mut rng);
+        let large_fan = kaiming_uniform(1000, 400, &mut rng);
+        let spread = |w: &[f32]| w.iter().map(|x| x * x).sum::<f32>() / w.len() as f32;
+        assert!(spread(&small_fan) > 10.0 * spread(&large_fan));
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = xavier_uniform(8, 4, 4, &mut ChaCha8Rng::seed_from_u64(7));
+        let b = xavier_uniform(8, 4, 4, &mut ChaCha8Rng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "fans must be nonzero")]
+    fn zero_fan_panics() {
+        xavier_uniform(1, 0, 1, &mut ChaCha8Rng::seed_from_u64(0));
+    }
+}

@@ -1,0 +1,100 @@
+//! Minimal neural-network substrate with hand-written backpropagation.
+//!
+//! The HAR prototype's classifier is a hybrid CNN-LSTM (Section II-A): a
+//! small CNN extracts spatial features from each DRAI heatmap frame, an
+//! LSTM integrates the 32-frame feature series, and a fully-connected layer
+//! classifies. The paper trains it with PyTorch on two RTX 4090s; this
+//! crate provides the same layer vocabulary in pure Rust, sized so a full
+//! backdoor-training experiment fits in seconds on one CPU core:
+//!
+//! * [`Conv2d`] — 2D convolution with zero padding;
+//! * [`MaxPool2`] — 2x2 max pooling with argmax caching;
+//! * [`Dense`] — fully-connected layer;
+//! * [`relu`]/[`relu_backward`] — activation;
+//! * [`Lstm`] — a single-layer LSTM with full backpropagation through time;
+//! * [`softmax_cross_entropy`] — loss and logits gradient;
+//! * [`Adam`] — the Adam optimizer;
+//! * [`ParamTensor`] — a parameter buffer paired with its gradient.
+//!
+//! Every layer exposes `forward` returning whatever caches its `backward`
+//! needs, so training loops stay explicit and allocation-light. Gradients
+//! are validated against finite differences in each module's tests.
+//!
+//! # Examples
+//!
+//! ```
+//! use mmwave_nn::{Dense, Adam, softmax_cross_entropy};
+//! use rand::SeedableRng;
+//!
+//! // A tiny logistic-regression training step.
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+//! let mut layer = Dense::new(4, 3, &mut rng);
+//! let mut adam = Adam::new(1e-2);
+//! let x = [0.5_f32, -1.0, 0.25, 2.0];
+//! let logits = layer.forward(&x);
+//! let (loss, dlogits) = softmax_cross_entropy(&logits, 1);
+//! assert!(loss > 0.0);
+//! let _dx = layer.backward(&x, &dlogits);
+//! adam.step(&mut layer.param_tensors());
+//! ```
+
+pub mod adam;
+pub mod conv;
+pub mod dense;
+pub mod init;
+pub mod loss;
+pub mod lstm;
+pub mod param;
+pub mod persist;
+pub mod pool;
+pub mod sgd;
+
+pub use adam::Adam;
+pub use conv::Conv2d;
+pub use dense::Dense;
+pub use loss::{softmax, softmax_cross_entropy};
+pub use lstm::{Lstm, LstmCache};
+pub use param::ParamTensor;
+pub use pool::MaxPool2;
+pub use sgd::Sgd;
+
+/// Applies ReLU element-wise, returning the activated copy.
+pub fn relu(x: &[f32]) -> Vec<f32> {
+    x.iter().map(|&v| v.max(0.0)).collect()
+}
+
+/// Backpropagates through ReLU: `dx = dy * (x > 0)`.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn relu_backward(x: &[f32], dy: &[f32]) -> Vec<f32> {
+    assert_eq!(x.len(), dy.len(), "relu backward length mismatch");
+    x.iter()
+        .zip(dy)
+        .map(|(&xi, &di)| if xi > 0.0 { di } else { 0.0 })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        assert_eq!(relu(&[-1.0, 0.0, 2.0]), vec![0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn relu_backward_masks_gradient() {
+        let x = [-1.0, 0.5, 0.0, 3.0];
+        let dy = [1.0, 1.0, 1.0, 2.0];
+        assert_eq!(relu_backward(&x, &dy), vec![0.0, 1.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn relu_backward_length_mismatch_panics() {
+        relu_backward(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,94 @@
+//! Softmax and cross-entropy loss.
+
+/// Numerically-stable softmax.
+///
+/// # Panics
+///
+/// Panics if `logits` is empty.
+pub fn softmax(logits: &[f32]) -> Vec<f32> {
+    assert!(!logits.is_empty(), "softmax of empty logits");
+    let max = logits.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+    let exps: Vec<f32> = logits.iter().map(|&z| (z - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// Softmax cross-entropy against an integer target. Returns
+/// `(loss, dlogits)` where `dlogits = softmax(logits) - onehot(target)`.
+///
+/// # Panics
+///
+/// Panics if `target >= logits.len()`.
+pub fn softmax_cross_entropy(logits: &[f32], target: usize) -> (f32, Vec<f32>) {
+    assert!(target < logits.len(), "target class out of range");
+    let probs = softmax(logits);
+    let loss = -(probs[target].max(1e-12)).ln();
+    let mut grad = probs;
+    grad[target] -= 1.0;
+    (loss, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = softmax(&[1.0, 2.0, 3.0]);
+        let b = softmax(&[101.0, 102.0, 103.0]);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_handles_extreme_logits() {
+        let p = softmax(&[1000.0, 0.0, -1000.0]);
+        assert!((p[0] - 1.0).abs() < 1e-6);
+        assert!(p.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn cross_entropy_of_confident_correct_prediction_is_small() {
+        let (loss, _) = softmax_cross_entropy(&[10.0, 0.0, 0.0], 0);
+        assert!(loss < 0.01);
+        let (loss_wrong, _) = softmax_cross_entropy(&[10.0, 0.0, 0.0], 1);
+        assert!(loss_wrong > 5.0);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let logits = [0.5f32, -1.0, 2.0, 0.0];
+        let target = 2;
+        let (_, grad) = softmax_cross_entropy(&logits, target);
+        let eps = 1e-3;
+        for i in 0..logits.len() {
+            let mut lp = logits;
+            lp[i] += eps;
+            let mut lm = logits;
+            lm[i] -= eps;
+            let fd = (softmax_cross_entropy(&lp, target).0 - softmax_cross_entropy(&lm, target).0)
+                / (2.0 * eps);
+            assert!((fd - grad[i]).abs() < 1e-3, "logit {i}: {fd} vs {}", grad[i]);
+        }
+    }
+
+    #[test]
+    fn gradient_sums_to_zero() {
+        let (_, grad) = softmax_cross_entropy(&[1.0, 2.0, -1.0], 0);
+        assert!(grad.iter().sum::<f32>().abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_target_panics() {
+        softmax_cross_entropy(&[1.0, 2.0], 5);
+    }
+}

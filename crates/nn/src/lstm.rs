@@ -1,0 +1,390 @@
+//! A single-layer LSTM with full backpropagation through time.
+
+use crate::init::xavier_uniform;
+use crate::param::ParamTensor;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Long short-term memory layer.
+///
+/// The combined weight matrix has shape `4H x (I + H)` (gate order: input,
+/// forget, cell, output) and the forget-gate bias is initialized to 1, the
+/// standard recipe for stable gradients over 32-step sequences.
+///
+/// # Examples
+///
+/// ```
+/// use mmwave_nn::Lstm;
+/// use rand::SeedableRng;
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+/// let lstm = Lstm::new(8, 16, &mut rng);
+/// let inputs = vec![vec![0.1_f32; 8]; 5];
+/// let cache = lstm.forward(&inputs);
+/// assert_eq!(cache.hidden_states().len(), 5);
+/// assert_eq!(cache.last_hidden().len(), 16);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Lstm {
+    n_in: usize,
+    n_hidden: usize,
+    /// `4H x (I + H)` row-major: row `r` weights gate `r / H` unit `r % H`.
+    weights: ParamTensor,
+    bias: ParamTensor,
+}
+
+/// Per-step quantities needed for backpropagation.
+#[derive(Debug, Clone, PartialEq)]
+struct StepCache {
+    x: Vec<f32>,
+    h_prev: Vec<f32>,
+    c_prev: Vec<f32>,
+    gates: Vec<f32>, // activated [i, f, g, o], length 4H
+    c: Vec<f32>,
+    tanh_c: Vec<f32>,
+}
+
+/// Forward-pass cache: hidden states plus everything `backward` needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LstmCache {
+    steps: Vec<StepCache>,
+    hidden: Vec<Vec<f32>>,
+}
+
+impl LstmCache {
+    /// Hidden state after each step.
+    pub fn hidden_states(&self) -> &[Vec<f32>] {
+        &self.hidden
+    }
+
+    /// Hidden state after the final step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequence was empty.
+    pub fn last_hidden(&self) -> &[f32] {
+        self.hidden.last().expect("empty LSTM sequence")
+    }
+}
+
+#[inline]
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+impl Lstm {
+    /// Creates an LSTM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dimension is zero.
+    pub fn new<R: Rng + ?Sized>(n_in: usize, n_hidden: usize, rng: &mut R) -> Lstm {
+        assert!(n_in > 0 && n_hidden > 0, "dimensions must be nonzero");
+        let cols = n_in + n_hidden;
+        let weights = ParamTensor::from_data(xavier_uniform(
+            4 * n_hidden * cols,
+            cols,
+            n_hidden,
+            rng,
+        ));
+        let mut bias = ParamTensor::zeros(4 * n_hidden);
+        // Forget-gate bias = 1.
+        for b in &mut bias.data[n_hidden..2 * n_hidden] {
+            *b = 1.0;
+        }
+        Lstm { n_in, n_hidden, weights, bias }
+    }
+
+    /// Input dimension.
+    pub fn n_in(&self) -> usize {
+        self.n_in
+    }
+
+    /// Hidden dimension.
+    pub fn n_hidden(&self) -> usize {
+        self.n_hidden
+    }
+
+    /// Runs the sequence and returns the cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty or any step has the wrong length.
+    pub fn forward(&self, inputs: &[Vec<f32>]) -> LstmCache {
+        assert!(!inputs.is_empty(), "LSTM needs at least one step");
+        let hdim = self.n_hidden;
+        let cols = self.n_in + hdim;
+        let mut h = vec![0.0f32; hdim];
+        let mut c = vec![0.0f32; hdim];
+        let mut steps = Vec::with_capacity(inputs.len());
+        let mut hidden = Vec::with_capacity(inputs.len());
+        for x in inputs {
+            assert_eq!(x.len(), self.n_in, "LSTM input length mismatch");
+            let h_prev = h.clone();
+            let c_prev = c.clone();
+            // z = W [x; h_prev] + b.
+            let mut gates = self.bias.data.clone();
+            for (r, g) in gates.iter_mut().enumerate() {
+                let row = &self.weights.data[r * cols..(r + 1) * cols];
+                let mut acc = 0.0;
+                for (i, &xi) in x.iter().enumerate() {
+                    acc += row[i] * xi;
+                }
+                for (j, &hj) in h_prev.iter().enumerate() {
+                    acc += row[self.n_in + j] * hj;
+                }
+                *g += acc;
+            }
+            // Activate gates in place: [i, f, g, o].
+            for u in 0..hdim {
+                gates[u] = sigmoid(gates[u]);
+                gates[hdim + u] = sigmoid(gates[hdim + u]);
+                gates[2 * hdim + u] = gates[2 * hdim + u].tanh();
+                gates[3 * hdim + u] = sigmoid(gates[3 * hdim + u]);
+            }
+            let mut tanh_c = vec![0.0f32; hdim];
+            for u in 0..hdim {
+                c[u] = gates[hdim + u] * c_prev[u] + gates[u] * gates[2 * hdim + u];
+                tanh_c[u] = c[u].tanh();
+                h[u] = gates[3 * hdim + u] * tanh_c[u];
+            }
+            hidden.push(h.clone());
+            steps.push(StepCache {
+                x: x.clone(),
+                h_prev,
+                c_prev,
+                gates: gates.clone(),
+                c: c.clone(),
+                tanh_c,
+            });
+        }
+        LstmCache { steps, hidden }
+    }
+
+    /// Backpropagation through time. `dh_external[t]` is the gradient of
+    /// the loss with respect to the hidden state at step `t` (zero vectors
+    /// for steps without a direct loss contribution). Accumulates parameter
+    /// gradients and returns the per-step input gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dh_external` does not match the cached sequence shape.
+    pub fn backward(&mut self, cache: &LstmCache, dh_external: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        assert_eq!(dh_external.len(), cache.steps.len(), "BPTT length mismatch");
+        let hdim = self.n_hidden;
+        let cols = self.n_in + hdim;
+        let mut dh_next = vec![0.0f32; hdim];
+        let mut dc_next = vec![0.0f32; hdim];
+        let mut dx_all = vec![vec![0.0f32; self.n_in]; cache.steps.len()];
+        for t in (0..cache.steps.len()).rev() {
+            let s = &cache.steps[t];
+            assert_eq!(dh_external[t].len(), hdim, "dh length mismatch at step {t}");
+            let mut dh = dh_next.clone();
+            for (a, b) in dh.iter_mut().zip(&dh_external[t]) {
+                *a += *b;
+            }
+            // Through h = o * tanh(c).
+            let mut dz = vec![0.0f32; 4 * hdim];
+            let mut dc = dc_next.clone();
+            for u in 0..hdim {
+                let (i, f, g, o) = (
+                    s.gates[u],
+                    s.gates[hdim + u],
+                    s.gates[2 * hdim + u],
+                    s.gates[3 * hdim + u],
+                );
+                let do_ = dh[u] * s.tanh_c[u];
+                dc[u] += dh[u] * o * (1.0 - s.tanh_c[u] * s.tanh_c[u]);
+                let di = dc[u] * g;
+                let dg = dc[u] * i;
+                let df = dc[u] * s.c_prev[u];
+                dz[u] = di * i * (1.0 - i);
+                dz[hdim + u] = df * f * (1.0 - f);
+                dz[2 * hdim + u] = dg * (1.0 - g * g);
+                dz[3 * hdim + u] = do_ * o * (1.0 - o);
+                dc_next[u] = dc[u] * f;
+            }
+            // Parameter and upstream gradients.
+            let mut dh_prev = vec![0.0f32; hdim];
+            for (r, &dzr) in dz.iter().enumerate() {
+                if dzr == 0.0 {
+                    continue;
+                }
+                self.bias.grad[r] += dzr;
+                let row_w = &self.weights.data[r * cols..(r + 1) * cols];
+                let row_g = &mut self.weights.grad[r * cols..(r + 1) * cols];
+                for (i, &xi) in s.x.iter().enumerate() {
+                    row_g[i] += dzr * xi;
+                    dx_all[t][i] += dzr * row_w[i];
+                }
+                for (j, &hj) in s.h_prev.iter().enumerate() {
+                    row_g[self.n_in + j] += dzr * hj;
+                    dh_prev[j] += dzr * row_w[self.n_in + j];
+                }
+            }
+            dh_next = dh_prev;
+        }
+        dx_all
+    }
+
+    /// The layer's parameter tensors (weights, then bias).
+    pub fn param_tensors(&mut self) -> Vec<&mut ParamTensor> {
+        vec![&mut self.weights, &mut self.bias]
+    }
+
+    /// Zeroes all gradient accumulators.
+    pub fn zero_grads(&mut self) {
+        self.weights.zero_grad();
+        self.bias.zero_grad();
+    }
+
+    /// Immutable weight access.
+    pub fn weights(&self) -> &ParamTensor {
+        &self.weights
+    }
+
+    /// Mutable weight access.
+    pub fn weights_mut(&mut self) -> &mut ParamTensor {
+        &mut self.weights
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn lstm(n_in: usize, n_h: usize, seed: u64) -> Lstm {
+        Lstm::new(n_in, n_h, &mut ChaCha8Rng::seed_from_u64(seed))
+    }
+
+    fn seq(n_steps: usize, n_in: usize) -> Vec<Vec<f32>> {
+        (0..n_steps)
+            .map(|t| {
+                (0..n_in)
+                    .map(|i| (((t * n_in + i) as f32) * 0.37).sin() * 0.5)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn hidden_states_are_bounded() {
+        let l = lstm(4, 8, 0);
+        let cache = l.forward(&seq(20, 4));
+        for h in cache.hidden_states() {
+            assert!(h.iter().all(|v| v.abs() <= 1.0), "h = o * tanh(c) is in (-1, 1)");
+        }
+    }
+
+    #[test]
+    fn zero_input_zero_state_is_stable() {
+        let l = lstm(4, 8, 1);
+        let cache = l.forward(&vec![vec![0.0; 4]; 3]);
+        // With zero input, the state stays small (biases only).
+        for h in cache.hidden_states() {
+            assert!(h.iter().all(|v| v.abs() < 0.9));
+        }
+    }
+
+    #[test]
+    fn memory_earlier_inputs_affect_later_states() {
+        let l = lstm(2, 6, 2);
+        let mut a = seq(10, 2);
+        let b = a.clone();
+        a[0][0] += 1.0; // perturb only the first step
+        let ha = l.forward(&a);
+        let hb = l.forward(&b);
+        let d: f32 = ha
+            .last_hidden()
+            .iter()
+            .zip(hb.last_hidden())
+            .map(|(x, y)| (x - y).abs())
+            .sum();
+        assert!(d > 1e-4, "the LSTM should remember the first step: {d}");
+    }
+
+    #[test]
+    fn gradient_check_loss_on_last_hidden() {
+        let mut l = lstm(3, 4, 3);
+        let inputs = seq(5, 3);
+        let cache = l.forward(&inputs);
+        // Loss = sum of last hidden.
+        let mut dh = vec![vec![0.0; 4]; 5];
+        dh[4] = vec![1.0; 4];
+        l.zero_grads();
+        let dx = l.backward(&cache, &dh);
+        let loss = |m: &Lstm, xs: &[Vec<f32>]| m.forward(xs).last_hidden().iter().sum::<f32>();
+        let eps = 1e-2;
+        // Weights.
+        for k in (0..l.weights().len()).step_by(11) {
+            let mut lp = l.clone();
+            lp.weights_mut().data[k] += eps;
+            let mut lm = l.clone();
+            lm.weights_mut().data[k] -= eps;
+            let fd = (loss(&lp, &inputs) - loss(&lm, &inputs)) / (2.0 * eps);
+            let an = l.weights().grad[k];
+            assert!(
+                (fd - an).abs() < 2e-2 * an.abs().max(1.0),
+                "weight {k}: fd {fd} vs analytic {an}"
+            );
+        }
+        // Inputs at two different steps (checks BPTT depth).
+        for (t, i) in [(0usize, 1usize), (4, 2)] {
+            let mut xp = inputs.clone();
+            xp[t][i] += eps;
+            let mut xm = inputs.clone();
+            xm[t][i] -= eps;
+            let fd = (loss(&l, &xp) - loss(&l, &xm)) / (2.0 * eps);
+            let an = dx[t][i];
+            assert!((fd - an).abs() < 2e-2 * an.abs().max(1.0), "x[{t}][{i}]: {fd} vs {an}");
+        }
+    }
+
+    #[test]
+    fn gradient_check_per_step_loss() {
+        // Loss spread over all steps exercises the recurrent accumulation.
+        let mut l = lstm(2, 3, 4);
+        let inputs = seq(4, 2);
+        let cache = l.forward(&inputs);
+        let dh = vec![vec![1.0; 3]; 4];
+        l.zero_grads();
+        l.backward(&cache, &dh);
+        let loss = |m: &Lstm, xs: &[Vec<f32>]| {
+            m.forward(xs)
+                .hidden_states()
+                .iter()
+                .map(|h| h.iter().sum::<f32>())
+                .sum::<f32>()
+        };
+        let eps = 1e-2;
+        for k in (0..l.weights().len()).step_by(7) {
+            let mut lp = l.clone();
+            lp.weights_mut().data[k] += eps;
+            let mut lm = l.clone();
+            lm.weights_mut().data[k] -= eps;
+            let fd = (loss(&lp, &inputs) - loss(&lm, &inputs)) / (2.0 * eps);
+            let an = l.weights().grad[k];
+            assert!((fd - an).abs() < 3e-2 * an.abs().max(1.0), "weight {k}: {fd} vs {an}");
+        }
+    }
+
+    #[test]
+    fn forget_bias_initialized_to_one() {
+        let l = lstm(2, 4, 5);
+        assert!(l.bias.data[4..8].iter().all(|&b| b == 1.0));
+        assert!(l.bias.data[0..4].iter().all(|&b| b == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one step")]
+    fn empty_sequence_panics() {
+        lstm(2, 2, 0).forward(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "input length mismatch")]
+    fn wrong_input_size_panics() {
+        lstm(3, 2, 0).forward(&[vec![0.0; 2]]);
+    }
+}

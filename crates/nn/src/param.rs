@@ -1,0 +1,127 @@
+//! Parameter storage.
+
+use serde::{Deserialize, Serialize};
+
+/// A learnable parameter buffer paired with its gradient accumulator.
+///
+/// Layers own one `ParamTensor` per weight matrix / bias vector; training
+/// loops zero the gradients, run `backward` passes that accumulate into
+/// them, and hand the tensors to an optimizer.
+///
+/// # Examples
+///
+/// ```
+/// use mmwave_nn::ParamTensor;
+/// let mut p = ParamTensor::zeros(3);
+/// p.grad[0] = 1.0;
+/// p.zero_grad();
+/// assert_eq!(p.grad, vec![0.0; 3]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParamTensor {
+    /// Parameter values.
+    pub data: Vec<f32>,
+    /// Gradient accumulator, same length as `data`.
+    pub grad: Vec<f32>,
+}
+
+impl ParamTensor {
+    /// All-zero parameters of length `n`.
+    pub fn zeros(n: usize) -> ParamTensor {
+        ParamTensor { data: vec![0.0; n], grad: vec![0.0; n] }
+    }
+
+    /// Parameters from existing values.
+    pub fn from_data(data: Vec<f32>) -> ParamTensor {
+        let n = data.len();
+        ParamTensor { data, grad: vec![0.0; n] }
+    }
+
+    /// Number of parameters.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the tensor holds no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Resets the gradient accumulator to zero.
+    pub fn zero_grad(&mut self) {
+        for g in &mut self.grad {
+            *g = 0.0;
+        }
+    }
+
+    /// L2 norm of the gradient (for clipping / diagnostics).
+    pub fn grad_norm(&self) -> f32 {
+        self.grad.iter().map(|g| g * g).sum::<f32>().sqrt()
+    }
+
+    /// Scales the gradient in place (gradient clipping).
+    pub fn scale_grad(&mut self, s: f32) {
+        for g in &mut self.grad {
+            *g *= s;
+        }
+    }
+}
+
+/// Clips the global gradient norm of a set of tensors to `max_norm`.
+/// Returns the pre-clip norm.
+pub fn clip_global_norm(tensors: &mut [&mut ParamTensor], max_norm: f32) -> f32 {
+    let total: f32 = tensors
+        .iter()
+        .map(|t| t.grad.iter().map(|g| g * g).sum::<f32>())
+        .sum::<f32>()
+        .sqrt();
+    if total > max_norm && total > 0.0 {
+        let s = max_norm / total;
+        for t in tensors.iter_mut() {
+            t.scale_grad(s);
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_lengths() {
+        let p = ParamTensor::zeros(5);
+        assert_eq!(p.len(), 5);
+        assert!(!p.is_empty());
+        assert!(ParamTensor::zeros(0).is_empty());
+    }
+
+    #[test]
+    fn grad_norm_and_scaling() {
+        let mut p = ParamTensor::from_data(vec![0.0; 2]);
+        p.grad = vec![3.0, 4.0];
+        assert!((p.grad_norm() - 5.0).abs() < 1e-6);
+        p.scale_grad(0.5);
+        assert_eq!(p.grad, vec![1.5, 2.0]);
+    }
+
+    #[test]
+    fn global_clip_reduces_norm() {
+        let mut a = ParamTensor::zeros(1);
+        let mut b = ParamTensor::zeros(1);
+        a.grad = vec![3.0];
+        b.grad = vec![4.0];
+        let pre = clip_global_norm(&mut [&mut a, &mut b], 1.0);
+        assert!((pre - 5.0).abs() < 1e-6);
+        let post = (a.grad[0].powi(2) + b.grad[0].powi(2)).sqrt();
+        assert!((post - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn clip_is_noop_below_threshold() {
+        let mut a = ParamTensor::zeros(1);
+        a.grad = vec![0.5];
+        clip_global_norm(&mut [&mut a], 1.0);
+        assert_eq!(a.grad[0], 0.5);
+    }
+}

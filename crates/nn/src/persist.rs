@@ -1,0 +1,89 @@
+//! Model persistence: JSON save/load for anything serde-serializable.
+//!
+//! Every layer in this crate (and the assembled `CnnLstm` in `mmwave-har`)
+//! derives `Serialize`/`Deserialize`, so a trained model round-trips
+//! through these helpers — e.g. train a backdoored model once, persist it,
+//! and reload it for the robustness sweeps.
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Serializes `value` as JSON to `path`, creating parent directories.
+///
+/// # Errors
+///
+/// Returns an error if directory creation, serialization, or the write
+/// fails.
+pub fn save_json<T: Serialize, P: AsRef<Path>>(value: &T, path: P) -> io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    let json = serde_json::to_string(value)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    fs::write(path, json)
+}
+
+/// Deserializes a JSON file written by [`save_json`].
+///
+/// # Errors
+///
+/// Returns an error if the file cannot be read or parsed.
+pub fn load_json<T: DeserializeOwned, P: AsRef<Path>>(path: P) -> io::Result<T> {
+    let json = fs::read_to_string(path)?;
+    serde_json::from_str(&json).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dense, Lstm};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("mmwave_nn_persist_{name}_{}.json", std::process::id()))
+    }
+
+    #[test]
+    fn dense_round_trips() {
+        let layer = Dense::new(4, 3, &mut ChaCha8Rng::seed_from_u64(1));
+        let path = tmp("dense");
+        save_json(&layer, &path).unwrap();
+        let restored: Dense = load_json(&path).unwrap();
+        assert_eq!(layer, restored);
+        let x = [0.1, -0.5, 2.0, 0.0];
+        assert_eq!(layer.forward(&x), restored.forward(&x));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn lstm_round_trips() {
+        let lstm = Lstm::new(3, 5, &mut ChaCha8Rng::seed_from_u64(2));
+        let path = tmp("lstm");
+        save_json(&lstm, &path).unwrap();
+        let restored: Lstm = load_json(&path).unwrap();
+        assert_eq!(lstm, restored);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn load_of_garbage_fails_cleanly() {
+        let path = tmp("garbage");
+        std::fs::write(&path, "not json at all").unwrap();
+        let out: io::Result<Dense> = load_json(&path);
+        assert!(out.is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn load_of_missing_file_fails_cleanly() {
+        let out: io::Result<Dense> = load_json("/nonexistent/definitely/missing.json");
+        assert!(out.is_err());
+    }
+}

@@ -1,0 +1,143 @@
+//! 2x2 max pooling.
+
+use serde::{Deserialize, Serialize};
+
+/// Non-overlapping 2x2 max pooling over `C x H x W` tensors.
+///
+/// `forward` returns the pooled tensor together with the winning indices so
+/// `backward` can route gradients to the argmax positions.
+///
+/// # Examples
+///
+/// ```
+/// use mmwave_nn::MaxPool2;
+/// let pool = MaxPool2;
+/// let input = vec![1.0, 2.0, 3.0, 4.0]; // one 2x2 channel
+/// let (out, idx) = pool.forward(&input, 1, 2, 2);
+/// assert_eq!(out, vec![4.0]);
+/// assert_eq!(idx, vec![3]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct MaxPool2;
+
+impl MaxPool2 {
+    /// Forward pass. Returns `(pooled, argmax_indices)` where indices point
+    /// into the input slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` or `w` is odd, or the input length mismatches.
+    pub fn forward(&self, input: &[f32], c: usize, h: usize, w: usize) -> (Vec<f32>, Vec<u32>) {
+        assert!(h % 2 == 0 && w % 2 == 0, "pooling needs even spatial dims");
+        assert_eq!(input.len(), c * h * w, "pool input size mismatch");
+        let (oh, ow) = (h / 2, w / 2);
+        let mut out = Vec::with_capacity(c * oh * ow);
+        let mut idx = Vec::with_capacity(c * oh * ow);
+        for ch in 0..c {
+            let base = ch * h * w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_i = 0u32;
+                    for dy in 0..2 {
+                        for dx in 0..2 {
+                            let i = base + (oy * 2 + dy) * w + ox * 2 + dx;
+                            if input[i] > best {
+                                best = input[i];
+                                best_i = i as u32;
+                            }
+                        }
+                    }
+                    out.push(best);
+                    idx.push(best_i);
+                }
+            }
+        }
+        (out, idx)
+    }
+
+    /// Backward pass: scatters `dout` to the argmax positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dout.len() != indices.len()`.
+    pub fn backward(&self, dout: &[f32], indices: &[u32], input_len: usize) -> Vec<f32> {
+        assert_eq!(dout.len(), indices.len(), "pool grad/index length mismatch");
+        let mut dinput = vec![0.0; input_len];
+        for (&g, &i) in dout.iter().zip(indices) {
+            dinput[i as usize] += g;
+        }
+        dinput
+    }
+
+    /// Output spatial dimensions.
+    pub fn output_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        (h / 2, w / 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_maximum_per_window() {
+        let pool = MaxPool2;
+        #[rustfmt::skip]
+        let input = vec![
+            1.0, 5.0,  2.0, 0.0,
+            3.0, 4.0,  8.0, 1.0,
+            0.0, 0.0,  1.0, 1.0,
+            9.0, 0.0,  1.0, 1.0,
+        ];
+        let (out, _) = pool.forward(&input, 1, 4, 4);
+        assert_eq!(out, vec![5.0, 8.0, 9.0, 1.0]);
+    }
+
+    #[test]
+    fn backward_routes_to_argmax() {
+        let pool = MaxPool2;
+        let input = vec![1.0, 5.0, 3.0, 4.0];
+        let (_, idx) = pool.forward(&input, 1, 2, 2);
+        let dinput = pool.backward(&[2.0], &idx, 4);
+        assert_eq!(dinput, vec![0.0, 2.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn channels_are_pooled_independently() {
+        let pool = MaxPool2;
+        let input = vec![
+            // Channel 0.
+            1.0, 2.0, 3.0, 4.0, // 2x2
+            // Channel 1.
+            8.0, 7.0, 6.0, 5.0,
+        ];
+        let (out, _) = pool.forward(&input, 2, 2, 2);
+        assert_eq!(out, vec![4.0, 8.0]);
+    }
+
+    #[test]
+    fn gradient_check() {
+        let pool = MaxPool2;
+        let input: Vec<f32> = (0..16).map(|i| (i * 5 % 16) as f32).collect();
+        let (out, idx) = pool.forward(&input, 1, 4, 4);
+        let dout = vec![1.0; out.len()];
+        let dinput = pool.backward(&dout, &idx, input.len());
+        let eps = 1e-2;
+        for i in 0..input.len() {
+            let mut xp = input.clone();
+            xp[i] += eps;
+            let mut xm = input.clone();
+            xm[i] -= eps;
+            let f = |x: &[f32]| pool.forward(x, 1, 4, 4).0.iter().sum::<f32>();
+            let fd = (f(&xp) - f(&xm)) / (2.0 * eps);
+            assert!((fd - dinput[i]).abs() < 1e-3, "input {i}: {fd} vs {}", dinput[i]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even spatial dims")]
+    fn odd_dims_panic() {
+        MaxPool2.forward(&[0.0; 9], 1, 3, 3);
+    }
+}

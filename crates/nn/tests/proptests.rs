@@ -1,0 +1,80 @@
+//! Property-based tests for the neural-network substrate.
+
+use mmwave_nn::{relu, relu_backward, softmax, softmax_cross_entropy, Dense, Lstm, MaxPool2};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn arb_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-5.0f32..5.0, len)
+}
+
+proptest! {
+    #[test]
+    fn softmax_is_a_distribution(logits in arb_vec(6)) {
+        let p = softmax(&logits);
+        prop_assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        prop_assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn cross_entropy_is_nonnegative(logits in arb_vec(6), target in 0usize..6) {
+        let (loss, grad) = softmax_cross_entropy(&logits, target);
+        prop_assert!(loss >= 0.0);
+        prop_assert!(grad.iter().sum::<f32>().abs() < 1e-4, "grad sums to zero");
+        prop_assert!(grad[target] <= 0.0, "target grad is non-positive");
+    }
+
+    #[test]
+    fn relu_backward_zeroes_only_inactive(x in arb_vec(16), dy in arb_vec(16)) {
+        let dx = relu_backward(&x, &dy);
+        for i in 0..16 {
+            if x[i] > 0.0 {
+                prop_assert_eq!(dx[i], dy[i]);
+            } else {
+                prop_assert_eq!(dx[i], 0.0);
+            }
+        }
+        prop_assert!(relu(&x).iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn dense_is_linear(x in arb_vec(8), y in arb_vec(8), a in -2.0f32..2.0) {
+        let layer = Dense::new(8, 4, &mut ChaCha8Rng::seed_from_u64(1));
+        let fx = layer.forward(&x);
+        let fy = layer.forward(&y);
+        let mix: Vec<f32> = x.iter().zip(&y).map(|(xi, yi)| a * xi + (1.0 - a) * yi).collect();
+        let fmix = layer.forward(&mix);
+        for k in 0..4 {
+            let expected = a * fx[k] + (1.0 - a) * fy[k];
+            prop_assert!((fmix[k] - expected).abs() < 1e-2 * expected.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn maxpool_output_dominates_inputs(x in arb_vec(64)) {
+        let (out, idx) = MaxPool2.forward(&x, 1, 8, 8);
+        prop_assert_eq!(out.len(), 16);
+        for (o, &i) in out.iter().zip(&idx) {
+            prop_assert_eq!(*o, x[i as usize]);
+        }
+        // Pooled max equals global max.
+        let global = x.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+        let pooled = out.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+        prop_assert_eq!(global, pooled);
+    }
+
+    #[test]
+    fn lstm_is_deterministic_and_bounded(seed in 0u64..50, steps in 1usize..12) {
+        let lstm = Lstm::new(4, 6, &mut ChaCha8Rng::seed_from_u64(seed));
+        let inputs: Vec<Vec<f32>> = (0..steps)
+            .map(|t| (0..4).map(|i| ((t * 4 + i) as f32 * 0.3).sin()).collect())
+            .collect();
+        let a = lstm.forward(&inputs);
+        let b = lstm.forward(&inputs);
+        prop_assert_eq!(a.hidden_states(), b.hidden_states());
+        for h in a.hidden_states() {
+            prop_assert!(h.iter().all(|v| v.abs() <= 1.0));
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! FMCW waveform and antenna-array configuration.
+
+use mmwave_geom::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// Speed of light in m/s.
+pub const SPEED_OF_LIGHT: f64 = 299_792_458.0;
+
+/// FMCW radar configuration: waveform timing, bandwidth, and the TDM-MIMO
+/// virtual-array geometry.
+///
+/// The default profile is a laptop-scale surrogate for the paper's
+/// TI MMWCAS-RF-EVM: same 77 GHz carrier and the same processing semantics,
+/// but 2 TX x 4 RX = 8 virtual antennas instead of 86 and small FFT sizes so
+/// a full backdoor experiment runs on one CPU core.
+/// [`RadarConfig::mmwcas_like`] scales the array up when fidelity matters
+/// more than wall-clock time.
+///
+/// # Examples
+///
+/// ```
+/// use mmwave_radar::RadarConfig;
+/// let cfg = RadarConfig::default();
+/// assert_eq!(cfg.n_virtual(), 8);
+/// // 1 GHz of sampled bandwidth gives 15 cm range resolution.
+/// assert!((cfg.range_resolution() - 0.15).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RadarConfig {
+    /// Carrier (chirp start) frequency in Hz.
+    pub carrier_hz: f64,
+    /// Bandwidth swept during the sampled portion of a chirp, in Hz.
+    pub bandwidth_hz: f64,
+    /// ADC samples per chirp (power of two).
+    pub n_adc: usize,
+    /// Duration of the sampled portion of a chirp, in seconds.
+    pub adc_duration_s: f64,
+    /// Chirps per frame (power of two).
+    pub n_chirps: usize,
+    /// Chirp repetition interval in seconds.
+    pub chirp_interval_s: f64,
+    /// Radar frames per second.
+    pub frame_rate: f64,
+    /// Number of transmit antennas.
+    pub n_tx: usize,
+    /// Number of receive antennas.
+    pub n_rx: usize,
+    /// Height of the antenna array above the floor, in meters.
+    pub mount_height: f64,
+    /// Overall amplitude gain applied to every return (folds the constant
+    /// `omega / (4 pi)^2` factor of Eq. (3) into a number that keeps `f32`
+    /// signal amplitudes well-scaled).
+    pub gain: f64,
+}
+
+impl Default for RadarConfig {
+    fn default() -> Self {
+        RadarConfig {
+            carrier_hz: 77.0e9,
+            bandwidth_hz: 1.0e9,
+            n_adc: 64,
+            adc_duration_s: 40.0e-6,
+            n_chirps: 16,
+            chirp_interval_s: 0.8e-3,
+            frame_rate: 10.0,
+            n_tx: 2,
+            n_rx: 4,
+            mount_height: 1.0,
+            gain: 1.0e3,
+        }
+    }
+}
+
+impl RadarConfig {
+    /// A configuration resembling the paper's 4-chip AWR2243 cascade: a
+    /// large virtual array (86 elements) and finer range resolution.
+    /// Roughly 10x the simulation cost of the default profile.
+    pub fn mmwcas_like() -> RadarConfig {
+        RadarConfig {
+            carrier_hz: 77.0e9,
+            bandwidth_hz: 2.0e9,
+            n_adc: 128,
+            adc_duration_s: 40.0e-6,
+            n_chirps: 32,
+            chirp_interval_s: 0.4e-3,
+            n_tx: 9,
+            n_rx: 10,
+            ..RadarConfig::default()
+        }
+    }
+
+    /// Wavelength at the carrier frequency, in meters.
+    pub fn wavelength(&self) -> f64 {
+        SPEED_OF_LIGHT / self.carrier_hz
+    }
+
+    /// Chirp slope in Hz/s.
+    pub fn slope(&self) -> f64 {
+        self.bandwidth_hz / self.adc_duration_s
+    }
+
+    /// ADC sampling interval in seconds.
+    pub fn sample_interval(&self) -> f64 {
+        self.adc_duration_s / self.n_adc as f64
+    }
+
+    /// Range resolution `c / (2B)` in meters.
+    pub fn range_resolution(&self) -> f64 {
+        SPEED_OF_LIGHT / (2.0 * self.bandwidth_hz)
+    }
+
+    /// Maximum unambiguous range of the full FFT, in meters.
+    pub fn max_range(&self) -> f64 {
+        self.range_resolution() * self.n_adc as f64 / 2.0
+    }
+
+    /// Unambiguous radial velocity `lambda / (4 T_c)` in m/s.
+    pub fn max_velocity(&self) -> f64 {
+        self.wavelength() / (4.0 * self.chirp_interval_s)
+    }
+
+    /// Number of virtual antennas (`n_tx * n_rx`).
+    pub fn n_virtual(&self) -> usize {
+        self.n_tx * self.n_rx
+    }
+
+    /// Phase center of the radar (array center), in world coordinates.
+    pub fn position(&self) -> Vec3 {
+        Vec3::new(0.0, 0.0, self.mount_height)
+    }
+
+    /// Transmit antenna positions. TX elements are spaced `n_rx * lambda/2`
+    /// apart along `x` so the TDM-MIMO virtual array is a uniform linear
+    /// array at `lambda/2`.
+    pub fn tx_positions(&self) -> Vec<Vec3> {
+        let d = self.wavelength() / 2.0;
+        let span = (self.n_tx - 1) as f64 * self.n_rx as f64 * d;
+        (0..self.n_tx)
+            .map(|i| {
+                Vec3::new(
+                    i as f64 * self.n_rx as f64 * d - span / 2.0,
+                    0.0,
+                    self.mount_height,
+                )
+            })
+            .collect()
+    }
+
+    /// Receive antenna positions, spaced `lambda/2` along `x`.
+    pub fn rx_positions(&self) -> Vec<Vec3> {
+        let d = self.wavelength() / 2.0;
+        let span = (self.n_rx - 1) as f64 * d;
+        (0..self.n_rx)
+            .map(|i| Vec3::new(i as f64 * d - span / 2.0, 0.0, self.mount_height))
+            .collect()
+    }
+
+    /// Validates the waveform parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.n_adc.is_power_of_two() {
+            return Err(format!("n_adc {} must be a power of two", self.n_adc));
+        }
+        if !self.n_chirps.is_power_of_two() {
+            return Err(format!("n_chirps {} must be a power of two", self.n_chirps));
+        }
+        if self.n_tx == 0 || self.n_rx == 0 {
+            return Err("antenna counts must be nonzero".to_string());
+        }
+        if self.carrier_hz <= 0.0 || self.bandwidth_hz <= 0.0 {
+            return Err("carrier and bandwidth must be positive".to_string());
+        }
+        if self.adc_duration_s <= 0.0 || self.chirp_interval_s < self.adc_duration_s {
+            return Err("chirp interval must cover the ADC window".to_string());
+        }
+        if self.n_chirps as f64 * self.chirp_interval_s > 1.0 / self.frame_rate {
+            return Err("chirp burst longer than the frame period".to_string());
+        }
+        Ok(())
+    }
+
+    /// Range-FFT bin (fractional) where a reflector at round-trip delay
+    /// `tau` seconds lands.
+    pub fn range_bin_of_delay(&self, tau: f64) -> f64 {
+        // Beat frequency f_b = slope * tau; bin = f_b * adc_duration.
+        self.slope() * tau * self.adc_duration_s
+    }
+
+    /// Range-FFT bin (fractional) for a target at one-way distance `d`.
+    pub fn range_bin_of_distance(&self, d: f64) -> f64 {
+        self.range_bin_of_delay(2.0 * d / SPEED_OF_LIGHT)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_validates() {
+        RadarConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn mmwcas_like_has_86_plus_virtual_antennas() {
+        let cfg = RadarConfig::mmwcas_like();
+        cfg.validate().unwrap();
+        assert!(cfg.n_virtual() >= 86, "got {}", cfg.n_virtual());
+    }
+
+    #[test]
+    fn wavelength_is_about_3_9_mm() {
+        let cfg = RadarConfig::default();
+        assert!((cfg.wavelength() - 0.0039).abs() < 0.0002);
+    }
+
+    #[test]
+    fn range_bin_mapping_matches_resolution() {
+        let cfg = RadarConfig::default();
+        // A target at exactly k range-resolutions lands on bin k.
+        for k in [1.0, 5.0, 10.0] {
+            let d = k * cfg.range_resolution();
+            assert!((cfg.range_bin_of_distance(d) - k).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn experiment_distances_fit_in_16_bins() {
+        let cfg = RadarConfig::default();
+        // All paper positions (0.8 m to 2 m) must land inside the 16 range
+        // bins the prototype keeps.
+        for d in [0.8, 1.2, 1.6, 2.0] {
+            let bin = cfg.range_bin_of_distance(d);
+            assert!(bin > 2.0 && bin < 15.0, "distance {d} maps to bin {bin}");
+        }
+    }
+
+    #[test]
+    fn virtual_array_is_uniform_half_wavelength() {
+        let cfg = RadarConfig::default();
+        let d = cfg.wavelength() / 2.0;
+        // Virtual positions = tx + rx (relative to center); collect all x.
+        let rx = cfg.rx_positions();
+        let mut xs: Vec<f64> = cfg
+            .tx_positions()
+            .iter()
+            .flat_map(|t| rx.iter().map(move |r| t.x + r.x))
+            .collect();
+        xs.sort_by(f64::total_cmp);
+        for w in xs.windows(2) {
+            assert!((w[1] - w[0] - d).abs() < 1e-9, "non-uniform spacing {}", w[1] - w[0]);
+        }
+    }
+
+    #[test]
+    fn max_velocity_covers_hand_speeds() {
+        let cfg = RadarConfig::default();
+        assert!(cfg.max_velocity() > 1.0, "hand gestures reach ~1 m/s");
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let mut cfg = RadarConfig::default();
+        cfg.n_adc = 48;
+        assert!(cfg.validate().is_err());
+        let mut cfg = RadarConfig::default();
+        cfg.chirp_interval_s = 1e-6;
+        assert!(cfg.validate().is_err());
+        let mut cfg = RadarConfig::default();
+        cfg.n_chirps = 1024;
+        assert!(cfg.validate().is_err(), "burst longer than frame period");
+    }
+}

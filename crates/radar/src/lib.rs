@@ -1,0 +1,60 @@
+//! FMCW mmWave radar simulator and capture pipeline.
+//!
+//! This crate stands in for the paper's TI MMWCAS-RF-EVM radar *and* for the
+//! authors' PyTorch signal simulator (Section VI-D), which are one and the
+//! same model: Eq. (3) sums an attenuated, phase-shifted complex exponential
+//! over every visible triangular surface patch to produce the
+//! intermediate-frequency (IF) signal at each receive antenna.
+//!
+//! Module map:
+//!
+//! * [`config`] — FMCW waveform and TDM-MIMO virtual-array geometry
+//!   (defaults are a laptop-scale profile; [`config::RadarConfig::mmwcas_like`]
+//!   configures the paper's 86-virtual-antenna cascade);
+//! * [`material`] — reflectivity models (skin, aluminum, wood, fabric...);
+//! * [`scene`] — static environment clutter; training-hallway and
+//!   attack-classroom presets (Fig. 6);
+//! * [`simulator`] — the Eq. (3) synthesizer, with an exact per-chirp,
+//!   per-antenna path-length phase model and incremental-phasor inner loop;
+//! * [`trigger`] — aluminum reflector plates and their attachment to body
+//!   sites (including under-clothing attenuation);
+//! * [`placement`] — the 12-position (distance x angle) experiment grid;
+//! * [`capture`] — the end-to-end "perform activity at position, record
+//!   DRAI sequence" pipeline, exploiting IF linearity to emit clean and
+//!   triggered versions of each sample in one pass.
+//!
+//! # Examples
+//!
+//! ```
+//! use mmwave_body::{Activity, ActivitySampler, Participant, SampleVariation};
+//! use mmwave_radar::capture::{CaptureConfig, Capturer};
+//! use mmwave_radar::placement::Placement;
+//! use mmwave_radar::scene::Environment;
+//!
+//! let capturer = Capturer::new(CaptureConfig::fast());
+//! let sampler = ActivitySampler::new(
+//!     Participant::average(),
+//!     8,
+//!     capturer.config().frame_rate,
+//! );
+//! let seq = sampler.sample(Activity::Push, &SampleVariation::nominal());
+//! let placement = Placement::new(1.2, 0.0);
+//! let out = capturer.capture(&seq, placement, &Environment::hallway(), None, 1);
+//! assert_eq!(out.clean.len(), 8);
+//! ```
+
+pub mod capture;
+pub mod config;
+pub mod material;
+pub mod placement;
+pub mod scene;
+pub mod simulator;
+pub mod trigger;
+
+pub use capture::{CaptureConfig, CaptureOutput, Capturer, TriggerPlan};
+pub use config::RadarConfig;
+pub use material::Material;
+pub use placement::Placement;
+pub use scene::Environment;
+pub use simulator::IfSynthesizer;
+pub use trigger::{Trigger, TriggerAttachment};

@@ -1,0 +1,147 @@
+//! User placements: the distance x angle experiment grid.
+
+use mmwave_geom::{Mat3, RigidTransform, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// Where a user stands relative to the radar: ground distance (meters) and
+/// azimuth angle (degrees, positive to the radar's right), facing the radar.
+///
+/// # Examples
+///
+/// ```
+/// use mmwave_radar::Placement;
+/// let grid = Placement::training_grid();
+/// assert_eq!(grid.len(), 12); // 4 distances x 3 angles (Section VI-B)
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    /// Ground-plane distance from the radar, in meters.
+    pub distance: f64,
+    /// Azimuth in degrees; positive is to the radar's right.
+    pub angle_deg: f64,
+}
+
+impl Placement {
+    /// Creates a placement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `distance <= 0` or the angle exceeds +/- 80 degrees.
+    pub fn new(distance: f64, angle_deg: f64) -> Placement {
+        assert!(distance > 0.0, "distance must be positive");
+        assert!(angle_deg.abs() <= 80.0, "angle outside the radar field of view");
+        Placement { distance, angle_deg }
+    }
+
+    /// The paper's 12 training positions: distances {0.8, 1.2, 1.6, 2.0} m
+    /// crossed with angles {-30, 0, 30} degrees.
+    pub fn training_grid() -> Vec<Placement> {
+        let mut out = Vec::with_capacity(12);
+        for &d in &[0.8, 1.2, 1.6, 2.0] {
+            for &a in &[-30.0, 0.0, 30.0] {
+                out.push(Placement::new(d, a));
+            }
+        }
+        out
+    }
+
+    /// The robustness-evaluation angles of Fig. 14 (degrees, distance fixed
+    /// at 1.6 m by the caller). Angles -30, 0, 30 are "seen" (in the
+    /// training grid); the rest are zero-shot.
+    pub fn robustness_angles() -> [f64; 7] {
+        [-30.0, -20.0, -10.0, 0.0, 10.0, 20.0, 30.0]
+    }
+
+    /// The robustness-evaluation distances of Fig. 15 (meters, angle fixed
+    /// at 0 degrees). 0.8, 1.2, 1.6, 2.0 are "seen"; the rest are zero-shot.
+    pub fn robustness_distances() -> [f64; 7] {
+        [0.8, 1.0, 1.2, 1.4, 1.6, 1.8, 2.0]
+    }
+
+    /// True if this placement appears in the training grid.
+    pub fn is_seen(&self) -> bool {
+        Placement::training_grid().iter().any(|p| {
+            (p.distance - self.distance).abs() < 1e-9
+                && (p.angle_deg - self.angle_deg).abs() < 1e-9
+        })
+    }
+
+    /// World position of the point between the user's feet (radar at the
+    /// origin looking down `+y`).
+    pub fn feet_position(&self) -> Vec3 {
+        let az = self.angle_deg.to_radians();
+        Vec3::new(self.distance * az.sin(), self.distance * az.cos(), 0.0)
+    }
+
+    /// Rigid transform taking body-local coordinates (person at the origin
+    /// facing `+y`) to world coordinates: the person stands at
+    /// [`feet_position`](Self::feet_position) facing the radar.
+    pub fn body_to_world(&self) -> RigidTransform {
+        let feet = self.feet_position();
+        // Facing direction: horizontally back toward the radar.
+        let facing = Vec3::new(-feet.x, -feet.y, 0.0).normalized();
+        // Rotation about z taking +y to `facing`.
+        let theta = (-facing.x).atan2(facing.y);
+        RigidTransform::new(Mat3::rotation_z(theta), feet)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn training_grid_matches_paper() {
+        let g = Placement::training_grid();
+        assert_eq!(g.len(), 12);
+        assert!(g.iter().all(|p| p.is_seen()));
+        assert!(!Placement::new(1.0, 0.0).is_seen());
+        assert!(!Placement::new(1.6, 10.0).is_seen());
+    }
+
+    #[test]
+    fn feet_position_geometry() {
+        let p = Placement::new(2.0, 0.0);
+        assert!((p.feet_position() - Vec3::new(0.0, 2.0, 0.0)).norm() < 1e-12);
+        let q = Placement::new(1.0, 30.0);
+        let fp = q.feet_position();
+        assert!(fp.x > 0.0, "positive angle is to the radar's right (+x)");
+        assert!((fp.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn body_to_world_faces_the_radar() {
+        for (d, a) in [(1.2, 0.0), (1.6, 30.0), (0.8, -30.0)] {
+            let p = Placement::new(d, a);
+            let xf = p.body_to_world();
+            // The body-local "front" direction +y must map to a vector
+            // pointing from the feet toward the radar (horizontally).
+            let front_world = xf.apply_vector(Vec3::Y);
+            let toward_radar = (-p.feet_position()).normalized();
+            assert!(
+                front_world.dot(toward_radar) > 0.999,
+                "placement {p:?}: front {front_world} vs {toward_radar}"
+            );
+            // Feet land at the placement position.
+            assert!((xf.apply(Vec3::ZERO) - p.feet_position()).norm() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn robustness_sets_contain_seen_and_unseen() {
+        let seen_angles = [-30.0, 0.0, 30.0];
+        let angles = Placement::robustness_angles();
+        assert!(angles.iter().any(|a| seen_angles.contains(a)));
+        assert!(angles.iter().any(|a| !seen_angles.contains(a)));
+        let seen_d = [0.8, 1.2, 1.6, 2.0];
+        let ds = Placement::robustness_distances();
+        assert!(ds.iter().any(|d| seen_d.contains(d)));
+        assert!(ds.iter().any(|d| !seen_d.contains(d)));
+    }
+
+    #[test]
+    #[should_panic(expected = "field of view")]
+    fn extreme_angle_panics() {
+        Placement::new(1.0, 85.0);
+    }
+}

@@ -1,0 +1,213 @@
+//! Static environment clutter: the training hallway and attack classroom.
+
+use crate::material::Material;
+use mmwave_geom::{primitives, TriMesh, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// One static object in the environment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SceneObject {
+    /// Descriptive name ("left wall", "table"...).
+    pub name: String,
+    /// The object's mesh, in world coordinates (radar at the origin).
+    pub mesh: TriMesh,
+    /// Surface material.
+    pub material: Material,
+}
+
+/// A static environment: background clutter around the user.
+///
+/// The paper trains in a dormitory hallway and attacks in a classroom
+/// (Fig. 6); the two presets here differ in layout and furniture the same
+/// way. All environment objects are static, so MTI clutter removal cancels
+/// them from DRAI heatmaps — but they still shape the raw spectrum and the
+/// RDI, and they differ between training and attack, exercising the paper's
+/// cross-environment setting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Environment {
+    name: String,
+    objects: Vec<SceneObject>,
+}
+
+/// Identifies one of the two experiment environments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EnvironmentKind {
+    /// The dormitory hallway used for prototype training (Fig. 6a).
+    TrainingHallway,
+    /// The classroom used for the attacks (Fig. 6b).
+    AttackClassroom,
+}
+
+impl EnvironmentKind {
+    /// Builds the corresponding environment.
+    pub fn build(self) -> Environment {
+        match self {
+            EnvironmentKind::TrainingHallway => Environment::hallway(),
+            EnvironmentKind::AttackClassroom => Environment::classroom(),
+        }
+    }
+}
+
+impl Environment {
+    /// An empty environment (anechoic — useful in unit tests).
+    pub fn empty() -> Environment {
+        Environment { name: "empty".to_string(), objects: Vec::new() }
+    }
+
+    /// The dormitory hallway: two long side walls, a back wall, and a pair
+    /// of chairs/tables along the sides.
+    pub fn hallway() -> Environment {
+        let mut objects = Vec::new();
+        // Narrow corridor: walls at x = +/- 1.4 m. Tessellation is coarse —
+        // static clutter is cached once per scene.
+        let wall = |name: &str, x: f64| SceneObject {
+            name: name.to_string(),
+            mesh: wall_panel_along_y(x, 4.0, 2.4),
+            material: Material::wall(),
+        };
+        objects.push(wall("left wall", -1.4));
+        objects.push(wall("right wall", 1.4));
+        objects.push(SceneObject {
+            name: "end wall".to_string(),
+            mesh: primitives::plate(2.8, 2.4, 2, 2).translated(Vec3::new(0.0, 3.5, 1.2)),
+            material: Material::wall(),
+        });
+        objects.push(SceneObject {
+            name: "chair".to_string(),
+            mesh: primitives::cuboid(Vec3::new(0.45, 0.45, 0.9), 1)
+                .translated(Vec3::new(-1.0, 2.6, 0.45)),
+            material: Material::wood(),
+        });
+        objects.push(SceneObject {
+            name: "table".to_string(),
+            mesh: primitives::cuboid(Vec3::new(0.9, 0.6, 0.75), 1)
+                .translated(Vec3::new(1.0, 3.0, 0.38)),
+            material: Material::wood(),
+        });
+        Environment { name: "dormitory hallway".to_string(), objects }
+    }
+
+    /// The classroom: wider room, desks, chairs, and a wall-mounted TV.
+    pub fn classroom() -> Environment {
+        let mut objects = Vec::new();
+        let wall = |name: &str, x: f64| SceneObject {
+            name: name.to_string(),
+            mesh: wall_panel_along_y(x, 5.0, 2.6),
+            material: Material::wall(),
+        };
+        objects.push(wall("left wall", -2.6));
+        objects.push(wall("right wall", 2.6));
+        objects.push(SceneObject {
+            name: "front wall".to_string(),
+            mesh: primitives::plate(5.2, 2.6, 3, 2).translated(Vec3::new(0.0, 4.2, 1.3)),
+            material: Material::wall(),
+        });
+        for (i, x) in [-1.6, -0.2, 1.4].iter().enumerate() {
+            objects.push(SceneObject {
+                name: format!("desk {i}"),
+                mesh: primitives::cuboid(Vec3::new(1.1, 0.55, 0.74), 1)
+                    .translated(Vec3::new(*x, 3.1, 0.37)),
+                material: Material::wood(),
+            });
+            objects.push(SceneObject {
+                name: format!("chair {i}"),
+                mesh: primitives::cuboid(Vec3::new(0.4, 0.4, 0.85), 1)
+                    .translated(Vec3::new(*x, 3.6, 0.43)),
+                material: Material::wood(),
+            });
+        }
+        objects.push(SceneObject {
+            name: "television".to_string(),
+            mesh: primitives::plate(1.2, 0.7, 2, 1).translated(Vec3::new(0.8, 4.15, 1.7)),
+            material: Material::electronics(),
+        });
+        Environment { name: "classroom".to_string(), objects }
+    }
+
+    /// Environment name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The static objects.
+    pub fn objects(&self) -> &[SceneObject] {
+        &self.objects
+    }
+
+    /// Total triangle count across objects.
+    pub fn triangle_count(&self) -> usize {
+        self.objects.iter().map(|o| o.mesh.triangle_count()).sum()
+    }
+}
+
+/// A wall running along `y` at lateral offset `x`, of the given length and
+/// height, facing the room center.
+fn wall_panel_along_y(x: f64, length: f64, height: f64) -> TriMesh {
+    // plate() lies in the x-z plane facing -y; rotate 90 degrees about z so
+    // it lies in the y-z plane, facing +/- x toward the center.
+    let sign = if x < 0.0 { 1.0 } else { -1.0 };
+    let rot = mmwave_geom::Mat3::rotation_z(sign * std::f64::consts::FRAC_PI_2);
+    primitives::plate(length, height, 3, 2)
+        .transformed(&mmwave_geom::RigidTransform::rotation(rot))
+        .translated(Vec3::new(x, length / 2.0 - 0.5, height / 2.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmwave_geom::visibility;
+
+    #[test]
+    fn presets_are_nonempty_and_distinct() {
+        let h = Environment::hallway();
+        let c = Environment::classroom();
+        assert!(h.triangle_count() > 0);
+        assert!(c.triangle_count() > 0);
+        assert_ne!(h.name(), c.name());
+        assert_ne!(h.triangle_count(), c.triangle_count());
+    }
+
+    #[test]
+    fn kind_builds_matching_environment() {
+        assert_eq!(EnvironmentKind::TrainingHallway.build().name(), "dormitory hallway");
+        assert_eq!(EnvironmentKind::AttackClassroom.build().name(), "classroom");
+    }
+
+    #[test]
+    fn walls_face_the_radar() {
+        // At least some wall triangles must be visible from the radar at the
+        // origin (otherwise the environment contributes nothing).
+        for env in [Environment::hallway(), Environment::classroom()] {
+            let mut any_visible = false;
+            for obj in env.objects() {
+                let vis =
+                    visibility::visible_triangles(&obj.mesh, Vec3::new(0.0, 0.0, 1.0));
+                if !vis.is_empty() {
+                    any_visible = true;
+                }
+            }
+            assert!(any_visible, "{} invisible to the radar", env.name());
+        }
+    }
+
+    #[test]
+    fn objects_are_in_front_of_the_radar() {
+        for env in [Environment::hallway(), Environment::classroom()] {
+            for obj in env.objects() {
+                let (lo, hi) = obj.mesh.bounding_box().unwrap();
+                assert!(
+                    hi.y > 0.0,
+                    "{} '{}' entirely behind the radar",
+                    env.name(),
+                    obj.name
+                );
+                assert!(lo.y > -1.0, "{} '{}' implausibly placed", env.name(), obj.name);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_environment_has_no_triangles() {
+        assert_eq!(Environment::empty().triangle_count(), 0);
+    }
+}

@@ -1,0 +1,199 @@
+//! Trigger reflectors: the aluminum plates the attacker tapes to their body.
+
+use crate::material::Material;
+use mmwave_body::SitePose;
+use mmwave_geom::{primitives, Mat3, RigidTransform, TriMesh, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// Physical description of a trigger reflector (the `T` of Eq. (2)): a flat
+/// square plate of a given side length and material.
+///
+/// # Examples
+///
+/// ```
+/// use mmwave_radar::Trigger;
+/// let small = Trigger::aluminum_2x2();
+/// let large = Trigger::aluminum_4x4();
+/// assert!(large.side_m > small.side_m);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Trigger {
+    /// Side length of the square plate, in meters.
+    pub side_m: f64,
+    /// Plate material.
+    pub material: Material,
+    /// Amplitude transmission of whatever covers the trigger (1.0 = bare;
+    /// `Material::FABRIC_TRANSMISSION` squared for two-way passage through
+    /// clothing).
+    pub cover_transmission: f64,
+}
+
+impl Trigger {
+    /// The paper's 2x2-inch aluminum trigger ("roughly credit-card sized").
+    pub fn aluminum_2x2() -> Trigger {
+        Trigger {
+            side_m: 0.0508,
+            material: Material::aluminum(),
+            cover_transmission: 1.0,
+        }
+    }
+
+    /// The paper's 4x4-inch aluminum trigger.
+    pub fn aluminum_4x4() -> Trigger {
+        Trigger {
+            side_m: 0.1016,
+            material: Material::aluminum(),
+            cover_transmission: 1.0,
+        }
+    }
+
+    /// The same trigger hidden under clothing: radar passes through the
+    /// fabric twice, so amplitude is scaled by the squared transmission.
+    pub fn under_clothing(mut self) -> Trigger {
+        self.cover_transmission = Material::FABRIC_TRANSMISSION * Material::FABRIC_TRANSMISSION;
+        self
+    }
+
+    /// Effective amplitude scale of the trigger's returns.
+    pub fn amplitude_scale(&self) -> f64 {
+        self.cover_transmission
+    }
+
+    /// Plate area in square meters.
+    pub fn area(&self) -> f64 {
+        self.side_m * self.side_m
+    }
+}
+
+/// A trigger attached to a body site (the `C(y, T, T_p)` of Eq. (2)):
+/// the plate rides the site's position, orientation, and velocity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TriggerAttachment {
+    /// The physical trigger.
+    pub trigger: Trigger,
+    /// Gap between the body surface and the plate, in meters (tape
+    /// thickness plus clothing, if any).
+    pub standoff_m: f64,
+}
+
+impl TriggerAttachment {
+    /// Attaches with the default 5 mm standoff.
+    pub fn new(trigger: Trigger) -> TriggerAttachment {
+        TriggerAttachment { trigger, standoff_m: 0.005 }
+    }
+
+    /// Builds the world-space plate mesh for the trigger at a site pose.
+    /// The plate is centered on the site, offset along the outward normal,
+    /// facing outward, and inherits the site's velocity.
+    pub fn mesh_at(&self, site: &SitePose) -> TriMesh {
+        let side = self.trigger.side_m;
+        // 2x2 subdivision keeps patch size well below typical range
+        // resolution while staying cheap (8 triangles).
+        let plate = primitives::plate(side, side, 2, 2);
+        // plate() faces -y; rotate so the face normal equals the site
+        // normal (i.e. map -y to `normal`).
+        let rot = rotation_from_to(-Vec3::Y, site.normal);
+        let xf = RigidTransform::new(rot, site.position + site.normal * self.standoff_m);
+        let mut plate = plate.transformed(&xf);
+        // The site velocity is already in the same frame as its position —
+        // assign it after posing so the rigid transform does not rotate it.
+        plate.set_uniform_velocity(site.velocity);
+        plate
+    }
+}
+
+/// Rotation taking unit vector `from` to unit vector `to`.
+fn rotation_from_to(from: Vec3, to: Vec3) -> Mat3 {
+    let c = from.dot(to);
+    if c > 1.0 - 1e-9 {
+        return Mat3::IDENTITY;
+    }
+    if c < -1.0 + 1e-9 {
+        // Opposite directions: rotate 180 degrees about any perpendicular.
+        let perp = from
+            .cross(Vec3::Z)
+            .try_normalized()
+            .unwrap_or_else(|| from.cross(Vec3::X).normalized());
+        return Mat3::rotation_axis(perp, std::f64::consts::PI);
+    }
+    let axis = from.cross(to).normalized();
+    Mat3::rotation_axis(axis, c.acos())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmwave_body::SiteId;
+
+    fn site(position: Vec3, normal: Vec3, velocity: Vec3) -> SitePose {
+        SitePose { site: SiteId::Chest, position, normal, velocity }
+    }
+
+    #[test]
+    fn trigger_sizes_match_paper() {
+        assert!((Trigger::aluminum_2x2().side_m - 2.0 * 0.0254).abs() < 1e-9);
+        assert!((Trigger::aluminum_4x4().side_m - 4.0 * 0.0254).abs() < 1e-9);
+        assert!((Trigger::aluminum_4x4().area() / Trigger::aluminum_2x2().area() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn under_clothing_attenuates_but_barely() {
+        let bare = Trigger::aluminum_2x2();
+        let hidden = bare.under_clothing();
+        assert!(hidden.amplitude_scale() < bare.amplitude_scale());
+        assert!(hidden.amplitude_scale() > 0.8, "fabric is nearly transparent at 77 GHz");
+    }
+
+    #[test]
+    fn plate_faces_site_normal() {
+        let n = Vec3::new(0.3, -0.8, 0.2).normalized();
+        let s = site(Vec3::new(0.1, 1.5, 1.1), n, Vec3::ZERO);
+        let mesh = TriggerAttachment::new(Trigger::aluminum_2x2()).mesh_at(&s);
+        for t in mesh.triangles() {
+            assert!(t.normal.dot(n) > 0.99, "plate normal {:?} vs site normal {n}", t.normal);
+        }
+    }
+
+    #[test]
+    fn plate_center_offset_by_standoff() {
+        let n = Vec3::Y;
+        let pos = Vec3::new(0.0, 1.0, 1.2);
+        let att = TriggerAttachment::new(Trigger::aluminum_2x2());
+        let mesh = att.mesh_at(&site(pos, n, Vec3::ZERO));
+        let center = mesh.vertex_centroid();
+        assert!((center - (pos + n * att.standoff_m)).norm() < 1e-9);
+    }
+
+    #[test]
+    fn plate_inherits_site_velocity() {
+        let v = Vec3::new(0.2, -0.1, 0.4);
+        let mesh = TriggerAttachment::new(Trigger::aluminum_4x4())
+            .mesh_at(&site(Vec3::new(0.0, 1.0, 1.0), Vec3::Y, v));
+        for &vel in mesh.velocities() {
+            assert!((vel - v).norm() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn plate_area_preserved_by_attachment() {
+        let t = Trigger::aluminum_4x4();
+        let mesh = TriggerAttachment::new(t)
+            .mesh_at(&site(Vec3::new(0.5, 2.0, 1.0), Vec3::new(0.0, -1.0, 0.0), Vec3::ZERO));
+        assert!((mesh.surface_area() - t.area()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rotation_from_to_handles_all_cases() {
+        let pairs = [
+            (Vec3::X, Vec3::Y),
+            (Vec3::X, Vec3::X),
+            (Vec3::X, -Vec3::X),
+            (Vec3::Z, -Vec3::Z),
+            (Vec3::new(1.0, 1.0, 0.0).normalized(), Vec3::new(0.0, -1.0, 1.0).normalized()),
+        ];
+        for (a, b) in pairs {
+            let r = rotation_from_to(a, b);
+            assert!((r * a - b).norm() < 1e-9, "{a} -> {b}");
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Property-based tests for the radar simulator.
+
+use mmwave_dsp::processing::{ProcessingConfig, Processor};
+use mmwave_geom::{primitives, visibility, Vec3};
+use mmwave_radar::{IfSynthesizer, Material, Placement, RadarConfig};
+use proptest::prelude::*;
+
+fn processor(cfg: &RadarConfig) -> Processor {
+    Processor::new(cfg.n_virtual(), cfg.n_chirps, cfg.n_adc, ProcessingConfig::default())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn point_target_range_bin_tracks_distance(d in 0.7f64..2.2) {
+        let cfg = RadarConfig::default();
+        let synth = IfSynthesizer::new(cfg.clone());
+        let mut mesh = primitives::plate(0.03, 0.03, 1, 1);
+        mesh.set_uniform_velocity(Vec3::new(0.0, -0.3, 0.0));
+        let mesh = mesh.translated(Vec3::new(0.0, d, 1.0));
+        let tris = visibility::visible_triangles(&mesh, cfg.position());
+        let mut frame = synth.empty_frame();
+        synth.add_triangles(&mut frame, &tris, &Material::aluminum(), 1.0);
+        let rdi = processor(&cfg).rdi(&frame);
+        let (bin, _, _) = rdi.peak().expect("nonempty");
+        let expected = cfg.range_bin_of_distance(d);
+        prop_assert!((bin as f64 - expected).abs() <= 1.5, "d {d}: bin {bin} vs {expected:.1}");
+    }
+
+    #[test]
+    fn if_energy_scales_with_squared_amplitude(scale in 0.1f64..1.0) {
+        let cfg = RadarConfig::default();
+        let synth = IfSynthesizer::new(cfg.clone());
+        let mut mesh = primitives::plate(0.05, 0.05, 1, 1);
+        mesh.set_uniform_velocity(Vec3::new(0.0, -0.2, 0.0));
+        let mesh = mesh.translated(Vec3::new(0.0, 1.5, 1.0));
+        let tris = visibility::visible_triangles(&mesh, cfg.position());
+        let mut full = synth.empty_frame();
+        let mut scaled = synth.empty_frame();
+        synth.add_triangles(&mut full, &tris, &Material::skin(), 1.0);
+        synth.add_triangles(&mut scaled, &tris, &Material::skin(), scale);
+        let ratio = scaled.energy() / full.energy().max(1e-30);
+        prop_assert!((ratio - scale * scale).abs() < 1e-3, "ratio {ratio} vs {}", scale * scale);
+    }
+
+    #[test]
+    fn placement_round_trip(d in 0.8f64..2.0, a in -45.0f64..45.0) {
+        let p = Placement::new(d, a);
+        let feet = p.feet_position();
+        prop_assert!((feet.norm() - d).abs() < 1e-9);
+        let xf = p.body_to_world();
+        // Inverse maps feet back to the origin.
+        let back = xf.inverse().apply(feet);
+        prop_assert!(back.norm() < 1e-9);
+    }
+
+    #[test]
+    fn angular_gain_bounded_by_reflectivity(cos_theta in -1.0f64..1.0, r in 0.0f64..50.0, s in 0.5f64..4.0) {
+        let m = Material::new(r, s);
+        let g = m.angular_gain(cos_theta);
+        prop_assert!(g >= 0.0);
+        prop_assert!(g <= r + 1e-9);
+    }
+}

@@ -1,0 +1,334 @@
+//! Shapley-value (SHAP) estimation for sequence models.
+//!
+//! The attack's first stage (Section V-A) asks: *which of the 32 frames
+//! matter most to the classifier?* The paper answers with SHAP values
+//! (Eq. (1)) over per-frame CNN features feeding the LSTM. This crate
+//! provides the estimation machinery, model-agnostic behind the
+//! [`SetFunction`] trait:
+//!
+//! * [`exact_shapley`] — the `O(2^M)` enumeration of Eq. (1), practical for
+//!   `M <= ~20` and used to validate the sampler;
+//! * [`PermutationShap`] — the standard unbiased permutation-sampling
+//!   estimator with antithetic pairs, linear in the number of permutations;
+//! * [`top_k_indices`] — frame selection from the resulting values.
+//!
+//! # Examples
+//!
+//! ```
+//! use mmwave_shap::{exact_shapley, PermutationShap, SetFunction};
+//!
+//! /// A toy additive game: player i contributes i + 1.
+//! struct Additive(usize);
+//! impl SetFunction for Additive {
+//!     fn n_players(&self) -> usize { self.0 }
+//!     fn evaluate(&self, coalition: &[bool]) -> f64 {
+//!         coalition.iter().enumerate()
+//!             .filter(|(_, &p)| p)
+//!             .map(|(i, _)| (i + 1) as f64)
+//!             .sum()
+//!     }
+//! }
+//!
+//! let game = Additive(4);
+//! let exact = exact_shapley(&game);
+//! assert!((exact[2] - 3.0).abs() < 1e-12);
+//! let sampled = PermutationShap::new(64, 7).explain(&game);
+//! for (e, s) in exact.iter().zip(&sampled) {
+//!     assert!((e - s).abs() < 1e-9); // additive games are exact under sampling
+//! }
+//! ```
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A cooperative game over `M` players — for the attack, "players" are the
+/// frames of an activity sample and `evaluate` runs the surrogate LSTM with
+/// absent frames replaced by a baseline.
+///
+/// Implementations should be deterministic: the estimators may call
+/// `evaluate` with the same coalition more than once.
+pub trait SetFunction {
+    /// Number of players `M`.
+    fn n_players(&self) -> usize;
+
+    /// Value of a coalition. `coalition[i]` is true when player `i` is
+    /// present. Length is always `n_players()`.
+    fn evaluate(&self, coalition: &[bool]) -> f64;
+}
+
+/// Exact Shapley values by full enumeration of Eq. (1).
+///
+/// Cost is `O(2^M * M)` evaluations — fine for unit tests and small games,
+/// prohibitive at `M = 32` (use [`PermutationShap`] there).
+///
+/// # Panics
+///
+/// Panics if `M == 0` or `M > 24`.
+pub fn exact_shapley<F: SetFunction + ?Sized>(f: &F) -> Vec<f64> {
+    let m = f.n_players();
+    assert!(m > 0, "game needs at least one player");
+    assert!(m <= 24, "exact enumeration infeasible beyond 24 players");
+    // Precompute weights w(s) = s! (M - s - 1)! / M! for coalition size s.
+    let ln_fact: Vec<f64> = {
+        let mut v = vec![0.0f64; m + 1];
+        for i in 1..=m {
+            v[i] = v[i - 1] + (i as f64).ln();
+        }
+        v
+    };
+    let weight = |s: usize| (ln_fact[s] + ln_fact[m - s - 1] - ln_fact[m]).exp();
+    // Cache all coalition values.
+    let n_sets = 1usize << m;
+    let mut values = vec![0.0f64; n_sets];
+    let mut coalition = vec![false; m];
+    for (mask, value) in values.iter_mut().enumerate() {
+        for (i, c) in coalition.iter_mut().enumerate() {
+            *c = (mask >> i) & 1 == 1;
+        }
+        *value = f.evaluate(&coalition);
+    }
+    let mut phi = vec![0.0f64; m];
+    for (i, phi_i) in phi.iter_mut().enumerate() {
+        let bit = 1usize << i;
+        for mask in 0..n_sets {
+            if mask & bit != 0 {
+                continue;
+            }
+            let s = mask.count_ones() as usize;
+            *phi_i += weight(s) * (values[mask | bit] - values[mask]);
+        }
+    }
+    phi
+}
+
+/// Permutation-sampling Shapley estimator (Castro et al.): for each random
+/// permutation, players enter one at a time and credit their marginal
+/// contribution. Each permutation is paired with its reverse (antithetic
+/// sampling), which cancels a large share of the variance.
+///
+/// The estimator is unbiased and — like the exact values — satisfies the
+/// efficiency axiom for every sample: contributions along one permutation
+/// telescope to `f(full) - f(empty)`.
+#[derive(Debug, Clone)]
+pub struct PermutationShap {
+    n_permutations: usize,
+    seed: u64,
+}
+
+impl PermutationShap {
+    /// Creates an estimator using `n_permutations` permutation pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_permutations == 0`.
+    pub fn new(n_permutations: usize, seed: u64) -> PermutationShap {
+        assert!(n_permutations > 0, "need at least one permutation");
+        PermutationShap { n_permutations, seed }
+    }
+
+    /// Number of permutation pairs sampled.
+    pub fn n_permutations(&self) -> usize {
+        self.n_permutations
+    }
+
+    /// Estimates Shapley values for the game.
+    ///
+    /// Cost: `2 * n_permutations * M` evaluations of `f`.
+    pub fn explain<F: SetFunction + ?Sized>(&self, f: &F) -> Vec<f64> {
+        let m = f.n_players();
+        assert!(m > 0, "game needs at least one player");
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let mut order: Vec<usize> = (0..m).collect();
+        let mut phi = vec![0.0f64; m];
+        let mut total_passes = 0usize;
+        for _ in 0..self.n_permutations {
+            order.shuffle(&mut rng);
+            self.accumulate_walk(f, &order, &mut phi);
+            total_passes += 1;
+            // Antithetic pass: the reversed permutation.
+            let reversed: Vec<usize> = order.iter().rev().copied().collect();
+            self.accumulate_walk(f, &reversed, &mut phi);
+            total_passes += 1;
+        }
+        for p in &mut phi {
+            *p /= total_passes as f64;
+        }
+        phi
+    }
+
+    fn accumulate_walk<F: SetFunction + ?Sized>(&self, f: &F, order: &[usize], phi: &mut [f64]) {
+        let m = order.len();
+        let mut coalition = vec![false; m];
+        let mut prev = f.evaluate(&coalition);
+        for &player in order {
+            coalition[player] = true;
+            let cur = f.evaluate(&coalition);
+            phi[player] += cur - prev;
+            prev = cur;
+        }
+    }
+}
+
+/// Indices of the `k` largest values (by signed value), sorted by
+/// decreasing value. For frame selection the paper keeps the frames with
+/// the largest positive impact on the predicted class.
+///
+/// # Panics
+///
+/// Panics if `k > values.len()`.
+pub fn top_k_indices(values: &[f64], k: usize) -> Vec<usize> {
+    assert!(k <= values.len(), "k exceeds the number of values");
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    idx.sort_by(|&a, &b| values[b].total_cmp(&values[a]));
+    idx.truncate(k);
+    idx
+}
+
+/// Index of the single most important player.
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+pub fn argmax(values: &[f64]) -> usize {
+    assert!(!values.is_empty(), "argmax of empty slice");
+    top_k_indices(values, 1)[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Weighted majority game: coalition wins (value 1) if its total weight
+    /// exceeds half. A classic non-additive test game.
+    struct Majority {
+        weights: Vec<f64>,
+    }
+
+    impl SetFunction for Majority {
+        fn n_players(&self) -> usize {
+            self.weights.len()
+        }
+        fn evaluate(&self, coalition: &[bool]) -> f64 {
+            let total: f64 = self.weights.iter().sum();
+            let have: f64 = self
+                .weights
+                .iter()
+                .zip(coalition)
+                .filter(|(_, &c)| c)
+                .map(|(w, _)| w)
+                .sum();
+            if have > total / 2.0 {
+                1.0
+            } else {
+                0.0
+            }
+        }
+    }
+
+    /// Game with an interaction term: v(S) = sum of members + bonus if both
+    /// player 0 and 1 are present.
+    struct Interaction;
+    impl SetFunction for Interaction {
+        fn n_players(&self) -> usize {
+            4
+        }
+        fn evaluate(&self, c: &[bool]) -> f64 {
+            let base: f64 = c.iter().enumerate().filter(|(_, &p)| p).map(|(i, _)| i as f64).sum();
+            base + if c[0] && c[1] { 10.0 } else { 0.0 }
+        }
+    }
+
+    fn full_value<F: SetFunction>(f: &F) -> f64 {
+        f.evaluate(&vec![true; f.n_players()]) - f.evaluate(&vec![false; f.n_players()])
+    }
+
+    #[test]
+    fn efficiency_axiom_exact() {
+        let g = Majority { weights: vec![3.0, 2.0, 2.0, 1.0] };
+        let phi = exact_shapley(&g);
+        assert!((phi.iter().sum::<f64>() - full_value(&g)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetry_axiom_exact() {
+        // Players 1 and 2 have equal weights: equal Shapley values.
+        let g = Majority { weights: vec![3.0, 2.0, 2.0, 1.0] };
+        let phi = exact_shapley(&g);
+        assert!((phi[1] - phi[2]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dummy_player_gets_zero() {
+        // A zero-weight player never changes the outcome.
+        let g = Majority { weights: vec![3.0, 2.0, 2.0, 0.0] };
+        let phi = exact_shapley(&g);
+        assert!(phi[3].abs() < 1e-12);
+    }
+
+    #[test]
+    fn interaction_is_split_evenly() {
+        let phi = exact_shapley(&Interaction);
+        // The 10-point synergy splits evenly between players 0 and 1.
+        assert!((phi[0] - 5.0).abs() < 1e-9, "phi0 = {}", phi[0]);
+        assert!((phi[1] - 6.0).abs() < 1e-9, "phi1 = {}", phi[1]); // 1 + 5
+        assert!((phi[2] - 2.0).abs() < 1e-9);
+        assert!((phi[3] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampler_converges_to_exact() {
+        let g = Majority { weights: vec![4.0, 3.0, 2.0, 2.0, 1.0] };
+        let exact = exact_shapley(&g);
+        let sampled = PermutationShap::new(2000, 13).explain(&g);
+        for (i, (e, s)) in exact.iter().zip(&sampled).enumerate() {
+            assert!((e - s).abs() < 0.03, "player {i}: exact {e} vs sampled {s}");
+        }
+    }
+
+    #[test]
+    fn sampler_satisfies_efficiency_exactly() {
+        let g = Interaction;
+        let phi = PermutationShap::new(3, 5).explain(&g);
+        assert!((phi.iter().sum::<f64>() - full_value(&g)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampler_is_deterministic_per_seed() {
+        let g = Majority { weights: vec![2.0, 1.0, 1.0] };
+        let a = PermutationShap::new(10, 42).explain(&g);
+        let b = PermutationShap::new(10, 42).explain(&g);
+        assert_eq!(a, b);
+        let c = PermutationShap::new(10, 43).explain(&g);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn top_k_selects_largest() {
+        let values = [0.1, -0.5, 2.0, 1.5, 0.0];
+        assert_eq!(top_k_indices(&values, 2), vec![2, 3]);
+        assert_eq!(argmax(&values), 2);
+        assert_eq!(top_k_indices(&values, 5).len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "k exceeds")]
+    fn top_k_too_large_panics() {
+        top_k_indices(&[1.0], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "infeasible")]
+    fn exact_refuses_huge_games() {
+        struct Big;
+        impl SetFunction for Big {
+            fn n_players(&self) -> usize {
+                32
+            }
+            fn evaluate(&self, _: &[bool]) -> f64 {
+                0.0
+            }
+        }
+        exact_shapley(&Big);
+    }
+}

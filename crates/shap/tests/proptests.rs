@@ -1,0 +1,90 @@
+//! Property-based tests for the Shapley estimators.
+
+use mmwave_shap::{exact_shapley, top_k_indices, PermutationShap, SetFunction};
+use proptest::prelude::*;
+
+/// An additive game with arbitrary per-player weights.
+struct Additive(Vec<f64>);
+impl SetFunction for Additive {
+    fn n_players(&self) -> usize {
+        self.0.len()
+    }
+    fn evaluate(&self, c: &[bool]) -> f64 {
+        self.0.iter().zip(c).filter(|(_, &p)| p).map(|(w, _)| w).sum()
+    }
+}
+
+/// A submodular coverage-style game.
+struct Threshold {
+    weights: Vec<f64>,
+    cap: f64,
+}
+impl SetFunction for Threshold {
+    fn n_players(&self) -> usize {
+        self.weights.len()
+    }
+    fn evaluate(&self, c: &[bool]) -> f64 {
+        let s: f64 = self.weights.iter().zip(c).filter(|(_, &p)| p).map(|(w, _)| w).sum();
+        s.min(self.cap)
+    }
+}
+
+proptest! {
+    #[test]
+    fn additive_games_have_weight_shapley_values(
+        weights in proptest::collection::vec(-3.0f64..3.0, 2..8)
+    ) {
+        let phi = exact_shapley(&Additive(weights.clone()));
+        for (p, w) in phi.iter().zip(&weights) {
+            prop_assert!((p - w).abs() < 1e-9);
+        }
+        // Sampling is exact for additive games, for any permutation count.
+        let sampled = PermutationShap::new(3, 1).explain(&Additive(weights.clone()));
+        for (p, w) in sampled.iter().zip(&weights) {
+            prop_assert!((p - w).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn efficiency_holds_for_threshold_games(
+        weights in proptest::collection::vec(0.0f64..2.0, 2..7),
+        cap in 0.5f64..5.0,
+    ) {
+        let g = Threshold { weights, cap };
+        let full = g.evaluate(&vec![true; g.n_players()]);
+        let phi = exact_shapley(&g);
+        prop_assert!((phi.iter().sum::<f64>() - full).abs() < 1e-9);
+        let sampled = PermutationShap::new(8, 2).explain(&g);
+        prop_assert!((sampled.iter().sum::<f64>() - full).abs() < 1e-9);
+    }
+
+    #[test]
+    fn monotone_games_have_nonnegative_values(
+        weights in proptest::collection::vec(0.0f64..2.0, 2..7),
+        cap in 0.5f64..5.0,
+    ) {
+        let g = Threshold { weights, cap };
+        for phi in exact_shapley(&g) {
+            prop_assert!(phi >= -1e-12);
+        }
+    }
+
+    #[test]
+    fn top_k_returns_sorted_prefix(values in proptest::collection::vec(-10.0f64..10.0, 1..20), k_frac in 0.0f64..1.0) {
+        let k = ((values.len() as f64) * k_frac) as usize;
+        let top = top_k_indices(&values, k);
+        prop_assert_eq!(top.len(), k);
+        // Descending by value.
+        for w in top.windows(2) {
+            prop_assert!(values[w[0]] >= values[w[1]]);
+        }
+        // Everything outside the top-k is no larger than the smallest in it.
+        if let Some(&last) = top.last() {
+            for (i, &v) in values.iter().enumerate() {
+                if !top.contains(&i) {
+                    prop_assert!(v <= values[last] + 1e-12);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Scenario: a trigger hidden under clothing.
+//!
+//! mmWave radar penetrates fabric with little loss, so an aluminum
+//! reflector taped under a shirt reflects almost as strongly as a bare
+//! one — the paper measures 82 % ASR hidden vs. 84 % bare (Table I). This
+//! example compares the physical-layer footprint and the end-to-end attack
+//! for a bare vs. covered trigger.
+//!
+//! ```sh
+//! cargo run --release --example under_clothing
+//! ```
+
+use mmwave_har_backdoor::backdoor::experiment::{
+    AttackSpec, ExperimentContext, ExperimentScale, SiteChoice,
+};
+use mmwave_har_backdoor::body::{
+    Activity, ActivitySampler, Participant, SampleVariation, SiteId,
+};
+use mmwave_har_backdoor::radar::capture::{CaptureConfig, Capturer, TriggerPlan};
+use mmwave_har_backdoor::radar::trigger::{Trigger, TriggerAttachment};
+use mmwave_har_backdoor::radar::{Environment, Placement};
+
+fn main() {
+    // --- Physical layer: how much does fabric attenuate the footprint? ---
+    let capturer = Capturer::new(CaptureConfig::fast());
+    let sampler = ActivitySampler::new(Participant::average(), 16, capturer.config().frame_rate);
+    let gesture = sampler.sample(Activity::Push, &SampleVariation::nominal());
+
+    let footprint = |trigger: Trigger| -> f32 {
+        let plan = TriggerPlan {
+            attachment: TriggerAttachment::new(trigger),
+            site: SiteId::Chest,
+        };
+        let out = capturer.capture(
+            &gesture,
+            Placement::new(1.2, 0.0),
+            &Environment::classroom(),
+            Some(&plan),
+            3,
+        );
+        out.clean.mean_l2_distance(&out.triggered.expect("trigger requested"))
+    };
+    let bare = footprint(Trigger::aluminum_2x2());
+    let hidden = footprint(Trigger::aluminum_2x2().under_clothing());
+    println!("trigger footprint in the DRAI sequence (mean L2 per frame):");
+    println!("  bare trigger:           {bare:.4}");
+    println!("  under clothing:         {hidden:.4}");
+    println!(
+        "  fabric retains {:.0}% of the footprint — mmWave sees through cloth\n",
+        100.0 * hidden / bare
+    );
+
+    // --- End to end: does the hidden trigger still flip the model? -------
+    println!("running bare vs. hidden backdoor experiments (smoke scale)...");
+    let mut ctx = ExperimentContext::new(ExperimentScale::smoke_test(), 23);
+    let base = AttackSpec {
+        injection_rate: 0.5,
+        n_poisoned_frames: 8,
+        site: SiteChoice::Fixed(SiteId::Chest),
+        ..AttackSpec::default()
+    };
+    let bare_metrics = ctx.run_attack(&base);
+    let hidden_metrics = ctx.run_attack(&AttackSpec {
+        trigger: Trigger::aluminum_2x2().under_clothing(),
+        ..base
+    });
+    println!("  bare:           {bare_metrics}");
+    println!("  under clothing: {hidden_metrics}");
+    println!("\npaper's Table I: 84% bare vs 82% hidden — within training noise.");
+}

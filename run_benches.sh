@@ -1,0 +1,13 @@
+#!/bin/sh
+# Remaining paper-reproduction benches, appending to bench_output.txt.
+set -u
+cd /root/repo
+for b in fig08_similar_rate fig09_similar_frames fig07_confusion_matrix \
+         fig03_shap_histogram fig05_heatmap_stealth \
+         fig11_dissimilar_frames fig12_trigger_size_rate fig13_trigger_size_frames \
+         fig14_angle_robustness fig15_distance_robustness defense_eval perf_components ablation_clutter; do
+  echo "================ $b ================" >> bench_output.txt
+  cargo bench -q -p mmwave-bench --bench "$b" >> bench_output.txt 2>&1
+  echo "[runner] $b finished at $(date +%H:%M:%S)" >> bench_output.txt
+done
+echo "[runner] ALL BENCHES DONE" >> bench_output.txt

@@ -1,0 +1,208 @@
+//! `mmwave` — command-line driver for the simulator, the HAR prototype,
+//! and the backdoor attack.
+//!
+//! ```text
+//! mmwave capture [--activity push] [--distance 1.2] [--angle 0] [--trigger chest]
+//! mmwave train   [--reps 2] [--epochs 20]
+//! mmwave attack  [--rate 0.4] [--frames 8] [--scenario push-pull] [--smoke]
+//! ```
+//!
+//! Everything runs at example scale by default; this is a demonstration
+//! driver, not the benchmark harness (see `cargo bench -p mmwave-bench`).
+
+use mmwave_har_backdoor::backdoor::experiment::{
+    AttackSpec, ExperimentContext, ExperimentScale,
+};
+use mmwave_har_backdoor::backdoor::AttackScenario;
+use mmwave_har_backdoor::body::{
+    Activity, ActivitySampler, Participant, SampleVariation, SiteId,
+};
+use mmwave_har_backdoor::har::dataset::{DatasetGenerator, DatasetSpec};
+use mmwave_har_backdoor::har::{CnnLstm, PrototypeConfig, Trainer, TrainerConfig};
+use mmwave_har_backdoor::radar::capture::{CaptureConfig, Capturer, TriggerPlan};
+use mmwave_har_backdoor::radar::trigger::{Trigger, TriggerAttachment};
+use mmwave_har_backdoor::radar::{Environment, Placement};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        print_usage();
+        return ExitCode::FAILURE;
+    };
+    let opts = match parse_flags(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            print_usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    match command.as_str() {
+        "capture" => capture(&opts),
+        "train" => train(&opts),
+        "attack" => attack(&opts),
+        "help" | "--help" | "-h" => {
+            print_usage();
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("error: unknown command `{other}`");
+            print_usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage: mmwave <command> [flags]\n\
+         \n\
+         commands:\n\
+           capture   simulate one radar capture and print its DRAI frames\n\
+                     flags: --activity <push|pull|left|right|cw|acw>\n\
+                            --distance <m> --angle <deg> --trigger <site>\n\
+           train     generate a dataset and train the HAR prototype\n\
+                     flags: --reps <n> --epochs <n>\n\
+           attack    run an end-to-end backdoor experiment\n\
+                     flags: --rate <0..1> --frames <n>\n\
+                            --scenario <push-pull|left-right|push-right|push-acw>\n\
+                            --smoke (tiny scale, default) | --fast (bench scale)"
+    );
+}
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut out = HashMap::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let Some(name) = flag.strip_prefix("--") else {
+            return Err(format!("expected a --flag, got `{flag}`"));
+        };
+        if name == "smoke" || name == "fast" {
+            out.insert(name.to_string(), "true".to_string());
+            continue;
+        }
+        let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+        out.insert(name.to_string(), value.clone());
+    }
+    Ok(out)
+}
+
+fn parse_activity(s: &str) -> Option<Activity> {
+    match s {
+        "push" => Some(Activity::Push),
+        "pull" => Some(Activity::Pull),
+        "left" => Some(Activity::LeftSwipe),
+        "right" => Some(Activity::RightSwipe),
+        "cw" => Some(Activity::Clockwise),
+        "acw" => Some(Activity::Anticlockwise),
+        _ => None,
+    }
+}
+
+fn parse_site(s: &str) -> Option<SiteId> {
+    SiteId::ALL.iter().copied().find(|site| {
+        site.label().replace(' ', "-") == s || site.label() == s
+    })
+}
+
+fn capture(opts: &HashMap<String, String>) -> ExitCode {
+    let activity = opts
+        .get("activity")
+        .map(|s| parse_activity(s).ok_or_else(|| format!("unknown activity `{s}`")))
+        .transpose();
+    let activity = match activity {
+        Ok(a) => a.unwrap_or(Activity::Push),
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let distance: f64 = opts.get("distance").and_then(|s| s.parse().ok()).unwrap_or(1.2);
+    let angle: f64 = opts.get("angle").and_then(|s| s.parse().ok()).unwrap_or(0.0);
+    let trigger_site = opts.get("trigger").map(|s| {
+        parse_site(s).unwrap_or_else(|| {
+            eprintln!("warning: unknown site `{s}`, using chest");
+            SiteId::Chest
+        })
+    });
+
+    let capturer = Capturer::new(CaptureConfig::fast());
+    let sampler =
+        ActivitySampler::new(Participant::average(), 32, capturer.config().frame_rate);
+    let seq = sampler.sample(activity, &SampleVariation::nominal());
+    let plan = trigger_site.map(|site| TriggerPlan {
+        attachment: TriggerAttachment::new(Trigger::aluminum_2x2()),
+        site,
+    });
+    let out = capturer.capture(
+        &seq,
+        Placement::new(distance, angle),
+        &Environment::hallway(),
+        plan.as_ref(),
+        42,
+    );
+    println!("{activity} at {distance} m / {angle} deg — mid-gesture DRAI:");
+    println!("{}", out.clean.frame(16).to_ascii());
+    if let Some(trig) = out.triggered {
+        println!("same frame with the trigger worn:");
+        println!("{}", trig.frame(16).to_ascii());
+        println!("mean per-frame L2 change: {:.4}", out.clean.mean_l2_distance(&trig));
+    }
+    ExitCode::SUCCESS
+}
+
+fn train(opts: &HashMap<String, String>) -> ExitCode {
+    let reps: usize = opts.get("reps").and_then(|s| s.parse().ok()).unwrap_or(1);
+    let epochs: usize = opts.get("epochs").and_then(|s| s.parse().ok()).unwrap_or(20);
+    let cfg = PrototypeConfig::fast();
+    let gen = DatasetGenerator::new(cfg.clone());
+    let mut spec = DatasetSpec::training(reps);
+    spec.participants.truncate(1);
+    println!("generating {} samples...", spec.total_samples());
+    let data = gen.generate(&spec, 42);
+    let (train, test) = data.split_stratified(0.25, 7);
+    println!("training on {} samples for {epochs} epochs...", train.len());
+    let mut model = CnnLstm::new(&cfg, 3);
+    let stats = Trainer::new(TrainerConfig { epochs, ..TrainerConfig::fast() })
+        .fit(&mut model, &train);
+    let last = stats.last().expect("nonempty stats");
+    println!("final train loss {:.3}, accuracy {:.1}%", last.loss, 100.0 * last.accuracy);
+    let eval = mmwave_har_backdoor::har::eval::evaluate(&model, &test);
+    println!("test accuracy {:.1}%", 100.0 * eval.accuracy);
+    println!("{}", eval.confusion);
+    ExitCode::SUCCESS
+}
+
+fn attack(opts: &HashMap<String, String>) -> ExitCode {
+    let rate: f64 = opts.get("rate").and_then(|s| s.parse().ok()).unwrap_or(0.4);
+    let frames: usize = opts.get("frames").and_then(|s| s.parse().ok()).unwrap_or(8);
+    let scenario = match opts.get("scenario").map(String::as_str) {
+        None | Some("push-pull") => AttackScenario::push_to_pull(),
+        Some("left-right") => AttackScenario::left_to_right_swipe(),
+        Some("push-right") => AttackScenario::push_to_right_swipe(),
+        Some("push-acw") => AttackScenario::push_to_anticlockwise(),
+        Some(other) => {
+            eprintln!("error: unknown scenario `{other}`");
+            return ExitCode::FAILURE;
+        }
+    };
+    let scale = if opts.contains_key("fast") {
+        ExperimentScale::fast()
+    } else {
+        ExperimentScale::smoke_test()
+    };
+    println!("scenario {scenario}, rate {rate}, {frames} poisoned frames");
+    println!("building experiment context (this trains a surrogate)...");
+    let mut ctx = ExperimentContext::new(scale, 42);
+    let spec = AttackSpec {
+        scenario,
+        injection_rate: rate,
+        n_poisoned_frames: frames,
+        ..AttackSpec::default()
+    };
+    let metrics = ctx.run_attack(&spec);
+    println!("{metrics}");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,129 @@
+//! Cross-crate integration of the attack pipeline: SHAP frame selection,
+//! Eq. (2)/(4) placement, poisoning, training, and metrics.
+
+use mmwave_har_backdoor::backdoor::experiment::{
+    AttackSpec, ExperimentContext, ExperimentScale, SiteChoice,
+};
+use mmwave_har_backdoor::backdoor::frames::{frame_ranking, FrameStrategy};
+use mmwave_har_backdoor::backdoor::poison::{build_poisoned_dataset, PoisonConfig};
+use mmwave_har_backdoor::backdoor::AttackScenario;
+use mmwave_har_backdoor::body::{Activity, Participant, SiteId};
+use mmwave_har_backdoor::radar::capture::TriggerPlan;
+use mmwave_har_backdoor::radar::trigger::{Trigger, TriggerAttachment};
+use mmwave_har_backdoor::radar::{Environment, Placement};
+
+fn smoke_context(seed: u64) -> ExperimentContext {
+    ExperimentContext::new(ExperimentScale::smoke_test(), seed)
+}
+
+#[test]
+fn full_attack_produces_valid_metrics() {
+    let mut ctx = smoke_context(3);
+    let metrics = ctx.run_attack(&AttackSpec {
+        injection_rate: 0.5,
+        n_poisoned_frames: 8,
+        ..AttackSpec::default()
+    });
+    assert!(metrics.uasr >= metrics.asr);
+    assert!((0.0..=1.0).contains(&metrics.cdr));
+    assert!(metrics.n_attack_samples > 0 && metrics.n_clean_samples > 0);
+}
+
+#[test]
+fn poisoned_dataset_grows_by_rate_times_victim_class() {
+    let mut ctx = smoke_context(5);
+    let scenario = AttackScenario::push_to_pull();
+    let site = ctx.optimal_site(scenario.victim, Trigger::aluminum_2x2());
+    let plan = TriggerPlan { attachment: TriggerAttachment::new(Trigger::aluminum_2x2()), site };
+    let pairs = ctx.generator().generate_paired(
+        scenario.victim,
+        &[Placement::new(1.2, 0.0)],
+        Participant::average(),
+        &plan,
+        &Environment::classroom(),
+        2,
+        7,
+    );
+    let rankings: Vec<Vec<usize>> = pairs
+        .iter()
+        .map(|p| {
+            frame_ranking(
+                FrameStrategy::ShapTopK,
+                ctx.surrogate(),
+                &p.clean,
+                scenario.victim.index(),
+                3,
+                1,
+            )
+        })
+        .collect();
+    let n_victim = ctx.clean_train().of_class(scenario.victim).len();
+    let cfg = PoisonConfig { injection_rate: 0.5, n_poisoned_frames: 4, frame_strategy: FrameStrategy::ShapTopK };
+    let poisoned = build_poisoned_dataset(ctx.clean_train(), &pairs, &rankings, &scenario, &cfg);
+    let expected_extra = (0.5 * n_victim as f64).round() as usize;
+    assert_eq!(poisoned.len(), ctx.clean_train().len() + expected_extra);
+    // All added samples are target-labeled.
+    for s in &poisoned.samples[ctx.clean_train().len()..] {
+        assert_eq!(s.label, scenario.target);
+    }
+}
+
+#[test]
+fn shap_rankings_are_permutations_of_frames() {
+    let ctx = smoke_context(11);
+    let sample = &ctx.clean_test().samples[0];
+    let ranking = frame_ranking(
+        FrameStrategy::ShapTopK,
+        ctx.surrogate(),
+        &sample.heatmaps,
+        sample.label.index(),
+        4,
+        2,
+    );
+    let n = ctx.config().n_frames;
+    assert_eq!(ranking.len(), n);
+    let mut sorted = ranking.clone();
+    sorted.sort_unstable();
+    assert_eq!(sorted, (0..n).collect::<Vec<_>>(), "ranking must be a permutation");
+}
+
+#[test]
+fn optimal_site_is_never_a_leg() {
+    let mut ctx = smoke_context(13);
+    for act in [Activity::Push, Activity::LeftSwipe] {
+        let site = ctx.optimal_site(act, Trigger::aluminum_2x2());
+        assert!(
+            !matches!(
+                site,
+                SiteId::LeftThigh | SiteId::RightThigh | SiteId::LeftShin | SiteId::RightShin
+            ),
+            "{act}: optimizer picked a leg site ({site})"
+        );
+    }
+}
+
+#[test]
+fn under_clothing_trigger_flows_through_the_pipeline() {
+    let mut ctx = smoke_context(17);
+    let metrics = ctx.run_attack(&AttackSpec {
+        trigger: Trigger::aluminum_2x2().under_clothing(),
+        site: SiteChoice::Fixed(SiteId::Chest),
+        injection_rate: 0.5,
+        ..AttackSpec::default()
+    });
+    assert!((0.0..=1.0).contains(&metrics.asr));
+}
+
+#[test]
+fn averaging_runs_uses_distinct_seeds() {
+    let mut ctx = smoke_context(19);
+    let spec = AttackSpec {
+        site: SiteChoice::Fixed(SiteId::Chest),
+        frame_strategy: FrameStrategy::FirstK,
+        injection_rate: 0.5,
+        n_poisoned_frames: 4,
+        ..AttackSpec::default()
+    };
+    let avg = ctx.run_attack_averaged(&spec, 2);
+    assert_eq!(avg.n_attack_samples, 2 * ctx.run_attack(&spec).n_attack_samples);
+}

@@ -1,0 +1,122 @@
+//! End-to-end pipeline integration: body model -> IF synthesis -> DRAI ->
+//! CNN-LSTM, across crate boundaries.
+
+use mmwave_har_backdoor::body::{
+    Activity, ActivitySampler, Participant, SampleVariation, SiteId,
+};
+use mmwave_har_backdoor::har::{CnnLstm, PrototypeConfig};
+use mmwave_har_backdoor::radar::capture::{CaptureConfig, Capturer, TriggerPlan};
+use mmwave_har_backdoor::radar::trigger::{Trigger, TriggerAttachment};
+use mmwave_har_backdoor::radar::{Environment, Placement};
+
+fn capturer() -> Capturer {
+    Capturer::new(CaptureConfig::fast())
+}
+
+fn gesture(activity: Activity, n_frames: usize) -> mmwave_har_backdoor::body::MeshSequence {
+    let sampler = ActivitySampler::new(Participant::average(), n_frames, 10.0);
+    sampler.sample(activity, &SampleVariation::nominal())
+}
+
+#[test]
+fn capture_feeds_model_without_shape_mismatch() {
+    let cap = capturer();
+    let cfg = PrototypeConfig::fast();
+    let seq = gesture(Activity::Push, cfg.n_frames);
+    let out = cap.capture(&seq, Placement::new(1.2, 0.0), &Environment::hallway(), None, 1);
+    let model = CnnLstm::new(&cfg, 0);
+    let probs = model.probabilities(&out.clean);
+    assert_eq!(probs.len(), 6);
+    assert!((probs.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+}
+
+#[test]
+fn different_activities_produce_different_heatmap_sequences() {
+    let cap = capturer();
+    let p = Placement::new(1.2, 0.0);
+    let env = Environment::hallway();
+    let push = cap.capture(&gesture(Activity::Push, 16), p, &env, None, 1).clean;
+    let swipe = cap.capture(&gesture(Activity::LeftSwipe, 16), p, &env, None, 1).clean;
+    assert!(
+        push.mean_l2_distance(&swipe) > 0.1,
+        "distinct gestures must leave distinct radar signatures"
+    );
+}
+
+#[test]
+fn mirrored_activities_differ_in_time_structure() {
+    // Push and Pull visit similar positions in reverse order: per-frame
+    // sequences must differ even though the set of visited frames is
+    // similar.
+    let cap = capturer();
+    let p = Placement::new(1.2, 0.0);
+    let env = Environment::empty();
+    let push = cap.capture(&gesture(Activity::Push, 16), p, &env, None, 1).clean;
+    let pull = cap.capture(&gesture(Activity::Pull, 16), p, &env, None, 1).clean;
+    assert!(push.mean_l2_distance(&pull) > 0.05);
+}
+
+#[test]
+fn user_position_shifts_the_heatmap() {
+    let cap = capturer();
+    let env = Environment::empty();
+    let seq = gesture(Activity::Clockwise, 12);
+    let near = cap.capture(&seq, Placement::new(0.8, 0.0), &env, None, 1).clean;
+    let far = cap.capture(&seq, Placement::new(2.0, 0.0), &env, None, 1).clean;
+    // The dominant range row must differ between 0.8 m and 2.0 m.
+    let row = |s: &mmwave_har_backdoor::dsp::HeatmapSeq| {
+        s.frame(6).peak().map(|p| p.0).unwrap_or(0)
+    };
+    assert!(
+        row(&far) > row(&near),
+        "farther user must appear at a larger range bin ({} vs {})",
+        row(&far),
+        row(&near)
+    );
+}
+
+#[test]
+fn trigger_footprint_is_additive_and_localized_in_time() {
+    let cap = capturer();
+    let seq = gesture(Activity::Push, 16);
+    let plan = TriggerPlan {
+        attachment: TriggerAttachment::new(Trigger::aluminum_2x2()),
+        site: SiteId::Chest,
+    };
+    let out = cap.capture(
+        &seq,
+        Placement::new(1.2, 0.0),
+        &Environment::classroom(),
+        Some(&plan),
+        5,
+    );
+    let trig = out.triggered.expect("trigger requested");
+    // Every frame carries the trigger (the attacker wears it throughout).
+    let mut affected = 0;
+    for i in 0..out.clean.len() {
+        if out.clean.frame(i).l2_distance(trig.frame(i)) > 1e-3 {
+            affected += 1;
+        }
+    }
+    assert!(
+        affected >= out.clean.len() / 2,
+        "trigger should affect most frames, got {affected}/{}",
+        out.clean.len()
+    );
+}
+
+#[test]
+fn cross_environment_captures_share_structure() {
+    // Training hallway vs. attack classroom: the user's signature must
+    // survive the environment change (the paper's cross-environment
+    // setting), because calibration removes the static background.
+    let cap = capturer();
+    let seq = gesture(Activity::RightSwipe, 12);
+    let p = Placement::new(1.6, 0.0);
+    let hall = cap.capture(&seq, p, &Environment::hallway(), None, 9).clean;
+    let class = cap.capture(&seq, p, &Environment::classroom(), None, 9).clean;
+    // Same gesture, same placement: peaks should be in nearby range bins.
+    let (r1, _, _) = hall.frame(6).peak().unwrap();
+    let (r2, _, _) = class.frame(6).peak().unwrap();
+    assert!((r1 as i64 - r2 as i64).abs() <= 2, "rows {r1} vs {r2}");
+}
