@@ -1,0 +1,438 @@
+//! Fault-tolerant experiment campaigns: a persistent state machine around
+//! figure sweeps.
+//!
+//! Reproducing the paper's evaluation means hundreds of
+//! (figure, sweep-point) experiment runs, each minutes of training. A
+//! [`Campaign`] journals every point's outcome to disk the moment it
+//! completes, so
+//!
+//! * a killed process resumes from the journal and re-runs only the
+//!   missing points — and because every `ExperimentContext` point result
+//!   is a pure function of its spec and seeds, the resumed campaign's
+//!   metrics are byte-identical to an uninterrupted run;
+//! * a panicking point is caught, retried with backoff, and finally
+//!   recorded as [`PointOutcome::Failed`] — the sweep continues and the
+//!   [`CampaignReport`] lists the degradation instead of the whole
+//!   campaign aborting.
+//!
+//! The journal is an append-only JSON-lines file (one entry per point), so
+//! a torn write at kill time corrupts at most the trailing line, which
+//! replay tolerates by truncating to the last parseable entry.
+
+use crate::experiment::{AttackSpec, ExperimentContext};
+use crate::metrics::AttackMetrics;
+use serde::de::DeserializeOwned;
+use serde::{Deserialize, Serialize};
+use std::any::Any;
+use std::collections::HashMap;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufRead, BufReader, Write};
+use std::panic::{self, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// How a campaign retries a failing point before recording the failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Total tries per point (first run + retries); at least 1.
+    pub max_attempts: usize,
+    /// Sleep before retry `n` is `backoff * n` (linear backoff).
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 2, backoff: Duration::from_millis(25) }
+    }
+}
+
+/// The journaled outcome of one campaign point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "status")]
+pub enum PointOutcome<T> {
+    /// The point ran to completion.
+    Completed {
+        /// The point's result.
+        result: T,
+    },
+    /// The point panicked on every attempt; the sweep skipped it.
+    Failed {
+        /// Panic message of the last attempt.
+        error: String,
+        /// Attempts consumed.
+        attempts: usize,
+    },
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct JournalEntry<T> {
+    id: String,
+    outcome: PointOutcome<T>,
+}
+
+/// A resumable, failure-isolating experiment sweep.
+///
+/// `T` is the per-point result type — [`AttackMetrics`] for the paper's
+/// figure sweeps, but any serializable result works.
+///
+/// # Examples
+///
+/// ```no_run
+/// use mmwave_backdoor::campaign::Campaign;
+/// use mmwave_backdoor::experiment::{AttackSpec, ExperimentContext, ExperimentScale};
+/// use mmwave_backdoor::metrics::AttackMetrics;
+///
+/// let mut campaign = Campaign::<AttackMetrics>::open("campaigns/fig08").unwrap();
+/// let mut ctx = ExperimentContext::new(ExperimentScale::fast(), 42);
+/// for rate in [0.1, 0.2, 0.4] {
+///     let spec = AttackSpec { injection_rate: rate, ..AttackSpec::default() };
+///     let id = format!("fig08 rate={rate}");
+///     // Journaled points return instantly; a kill between points loses
+///     // nothing.
+///     campaign.run_attack_point(&mut ctx, &id, &spec, 3).unwrap();
+/// }
+/// println!("{}", campaign.report());
+/// ```
+#[derive(Debug)]
+pub struct Campaign<T> {
+    dir: PathBuf,
+    completed: HashMap<String, PointOutcome<T>>,
+    /// Journal replay/insertion order, for stable reporting.
+    order: Vec<String>,
+    retry: RetryPolicy,
+    reused: usize,
+}
+
+impl<T: Serialize + DeserializeOwned + Clone> Campaign<T> {
+    /// Opens (or creates) a campaign directory and replays its journal. A
+    /// corrupt trailing line — the signature of a kill mid-write — is
+    /// tolerated: replay stops at the last parseable entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating the directory or reading the
+    /// journal.
+    pub fn open<P: AsRef<Path>>(dir: P) -> io::Result<Campaign<T>> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let mut campaign = Campaign {
+            dir,
+            completed: HashMap::new(),
+            order: Vec::new(),
+            retry: RetryPolicy::default(),
+            reused: 0,
+        };
+        let path = campaign.journal_path();
+        if path.exists() {
+            let reader = BufReader::new(File::open(&path)?);
+            for line in reader.lines() {
+                let line = line?;
+                if line.trim().is_empty() {
+                    continue;
+                }
+                match serde_json::from_str::<JournalEntry<T>>(&line) {
+                    Ok(entry) => {
+                        if campaign.completed.insert(entry.id.clone(), entry.outcome).is_none() {
+                            campaign.order.push(entry.id);
+                        }
+                    }
+                    // Torn tail from a kill mid-write; everything before it
+                    // is intact.
+                    Err(_) => break,
+                }
+            }
+        }
+        Ok(campaign)
+    }
+
+    /// Overrides the retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Campaign<T> {
+        assert!(retry.max_attempts >= 1, "need at least one attempt");
+        self.retry = retry;
+        self
+    }
+
+    /// The campaign directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The append-only JSON-lines journal inside the campaign directory.
+    pub fn journal_path(&self) -> PathBuf {
+        self.dir.join("journal.jsonl")
+    }
+
+    /// The journaled outcome of a point, if any.
+    pub fn get(&self, id: &str) -> Option<&PointOutcome<T>> {
+        self.completed.get(id)
+    }
+
+    /// True once `id` has a journaled outcome (completed *or* failed).
+    pub fn is_done(&self, id: &str) -> bool {
+        self.completed.contains_key(id)
+    }
+
+    /// Number of points answered from the journal instead of being re-run.
+    pub fn reused_count(&self) -> usize {
+        self.reused
+    }
+
+    /// Runs one sweep point, or returns its journaled outcome without
+    /// running anything. A panicking `point` closure is caught and retried
+    /// per the [`RetryPolicy`]; if every attempt panics the failure is
+    /// journaled and the campaign moves on (skip-with-degradation).
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the journal cannot be appended — resume
+    /// safety would otherwise be silently lost.
+    pub fn run_point<F>(&mut self, id: &str, mut point: F) -> io::Result<PointOutcome<T>>
+    where
+        F: FnMut() -> T,
+    {
+        if let Some(done) = self.completed.get(id) {
+            self.reused += 1;
+            return Ok(done.clone());
+        }
+        let mut last_error = String::new();
+        let mut outcome = None;
+        for attempt in 1..=self.retry.max_attempts {
+            if attempt > 1 {
+                std::thread::sleep(self.retry.backoff.saturating_mul(attempt as u32 - 1));
+            }
+            match panic::catch_unwind(AssertUnwindSafe(&mut point)) {
+                Ok(result) => {
+                    outcome = Some(PointOutcome::Completed { result });
+                    break;
+                }
+                Err(payload) => last_error = panic_message(payload),
+            }
+        }
+        let outcome = outcome.unwrap_or_else(|| PointOutcome::Failed {
+            error: last_error,
+            attempts: self.retry.max_attempts,
+        });
+        self.record(id, outcome.clone())?;
+        Ok(outcome)
+    }
+
+    /// A campaign-wide summary: completed, failed (with messages), and how
+    /// many points were answered from the journal.
+    pub fn report(&self) -> CampaignReport {
+        let mut failed = Vec::new();
+        let mut completed = 0usize;
+        for id in &self.order {
+            match &self.completed[id] {
+                PointOutcome::Completed { .. } => completed += 1,
+                PointOutcome::Failed { error, attempts } => {
+                    failed.push(FailedPoint {
+                        id: id.clone(),
+                        error: error.clone(),
+                        attempts: *attempts,
+                    });
+                }
+            }
+        }
+        CampaignReport { completed, failed, reused: self.reused }
+    }
+
+    fn record(&mut self, id: &str, outcome: PointOutcome<T>) -> io::Result<()> {
+        let entry = JournalEntry { id: id.to_string(), outcome: outcome.clone() };
+        let line = serde_json::to_string(&entry)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let mut file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.journal_path())?;
+        writeln!(file, "{line}")?;
+        file.sync_all()?;
+        if self.completed.insert(id.to_string(), outcome).is_none() {
+            self.order.push(id.to_string());
+        }
+        Ok(())
+    }
+}
+
+impl Campaign<AttackMetrics> {
+    /// The paper-sweep convenience wrapper: runs (or resumes)
+    /// [`ExperimentContext::run_attack_averaged`] as one journaled point.
+    ///
+    /// # Errors
+    ///
+    /// See [`Campaign::run_point`].
+    pub fn run_attack_point(
+        &mut self,
+        ctx: &mut ExperimentContext,
+        id: &str,
+        spec: &AttackSpec,
+        repetitions: usize,
+    ) -> io::Result<PointOutcome<AttackMetrics>> {
+        self.run_point(id, || ctx.run_attack_averaged(spec, repetitions))
+    }
+}
+
+/// One failed point in a [`CampaignReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailedPoint {
+    /// The point's id.
+    pub id: String,
+    /// Panic message of its last attempt.
+    pub error: String,
+    /// Attempts consumed.
+    pub attempts: usize,
+}
+
+/// Summary of a campaign's progress and degradations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignReport {
+    /// Points that completed.
+    pub completed: usize,
+    /// Points that were skipped after exhausting retries.
+    pub failed: Vec<FailedPoint>,
+    /// Points answered from the journal this session.
+    pub reused: usize,
+}
+
+impl fmt::Display for CampaignReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "campaign: {} completed ({} from journal), {} failed",
+            self.completed,
+            self.reused,
+            self.failed.len()
+        )?;
+        for p in &self.failed {
+            writeln!(f, "  FAILED {} after {} attempts: {}", p.id, p.attempts, p.error)?;
+        }
+        Ok(())
+    }
+}
+
+fn panic_message(payload: Box<dyn Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic of unknown type".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("mmwave_campaign_unit_{tag}_{}", std::process::id()))
+    }
+
+    #[test]
+    fn points_journal_and_replay() {
+        let dir = temp_dir("replay");
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut c = Campaign::<f64>::open(&dir).unwrap();
+            let a = c.run_point("a", || 1.5).unwrap();
+            assert_eq!(a, PointOutcome::Completed { result: 1.5 });
+            c.run_point("b", || 2.5).unwrap();
+        }
+        let mut c = Campaign::<f64>::open(&dir).unwrap();
+        let mut calls = 0;
+        let a = c
+            .run_point("a", || {
+                calls += 1;
+                99.0
+            })
+            .unwrap();
+        assert_eq!(calls, 0, "journaled point must not re-run");
+        assert_eq!(a, PointOutcome::Completed { result: 1.5 });
+        assert_eq!(c.reused_count(), 1);
+        assert!(c.is_done("b"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn panicking_point_is_retried_then_skipped() {
+        let dir = temp_dir("panic");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut c = Campaign::<f64>::open(&dir)
+            .unwrap()
+            .with_retry(RetryPolicy { max_attempts: 3, backoff: Duration::from_millis(1) });
+        let mut calls = 0;
+        let outcome = c
+            .run_point("explodes", || {
+                calls += 1;
+                panic!("boom {calls}")
+            })
+            .unwrap();
+        assert_eq!(calls, 3, "every attempt must run");
+        match &outcome {
+            PointOutcome::Failed { error, attempts } => {
+                assert_eq!(*attempts, 3);
+                assert!(error.contains("boom"));
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
+        // The sweep continues past the failure...
+        let next = c.run_point("fine", || 7.0).unwrap();
+        assert_eq!(next, PointOutcome::Completed { result: 7.0 });
+        // ...and on resume the failure is remembered, not re-run.
+        let mut c = Campaign::<f64>::open(&dir).unwrap();
+        let mut resumed_calls = 0;
+        c.run_point("explodes", || {
+            resumed_calls += 1;
+            0.0
+        })
+        .unwrap();
+        assert_eq!(resumed_calls, 0);
+        let report = c.report();
+        assert_eq!(report.completed, 1);
+        assert_eq!(report.failed.len(), 1);
+        assert_eq!(report.failed[0].id, "explodes");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn transient_panic_recovers_on_retry() {
+        let dir = temp_dir("transient");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut c = Campaign::<f64>::open(&dir)
+            .unwrap()
+            .with_retry(RetryPolicy { max_attempts: 2, backoff: Duration::from_millis(1) });
+        let mut calls = 0;
+        let outcome = c
+            .run_point("flaky", || {
+                calls += 1;
+                if calls == 1 {
+                    panic!("transient");
+                }
+                3.25
+            })
+            .unwrap();
+        assert_eq!(outcome, PointOutcome::Completed { result: 3.25 });
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_trailing_journal_line_is_tolerated() {
+        let dir = temp_dir("torn");
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut c = Campaign::<f64>::open(&dir).unwrap();
+            c.run_point("a", || 1.0).unwrap();
+            c.run_point("b", || 2.0).unwrap();
+        }
+        // Simulate a kill mid-append: chop the journal mid-line.
+        let path = dir.join("journal.jsonl");
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.truncate(bytes.len() - 10);
+        std::fs::write(&path, &bytes).unwrap();
+
+        let c = Campaign::<f64>::open(&dir).unwrap();
+        assert!(c.is_done("a"), "intact entries must survive a torn tail");
+        assert!(!c.is_done("b"), "the torn entry must be treated as never-run");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -19,7 +19,9 @@
 //!
 //! [`experiment`] packages the full loop behind one call so every figure
 //! and table of the evaluation section is a parameter sweep over
-//! [`experiment::AttackSpec`].
+//! [`experiment::AttackSpec`]; [`campaign`] wraps those sweeps in a
+//! journaled, resumable, failure-isolating state machine for long
+//! campaigns.
 //!
 //! # Examples
 //!
@@ -39,6 +41,7 @@
 //!     100.0 * metrics.asr, 100.0 * metrics.uasr, 100.0 * metrics.cdr);
 //! ```
 
+pub mod campaign;
 pub mod experiment;
 pub mod frames;
 pub mod metrics;
@@ -46,6 +49,7 @@ pub mod poison;
 pub mod position;
 pub mod scenario;
 
+pub use campaign::{Campaign, CampaignReport, PointOutcome, RetryPolicy};
 pub use experiment::{AttackSpec, ExperimentContext, ExperimentScale};
 pub use frames::{frame_importance, importance_histogram, FrameStrategy};
 pub use metrics::AttackMetrics;

@@ -279,6 +279,54 @@ impl HeatmapSeq {
     }
 }
 
+/// Repairs dropped frames in a heatmap series under construction: each
+/// dropped frame is replaced by the elementwise linear interpolation of its
+/// nearest valid neighbors, or a copy of the single nearest valid frame at
+/// the sequence edges. When *every* frame is dropped the frames are left
+/// untouched (all zeros from the capture path), so the caller still ends up
+/// with a valid — if uninformative — sequence.
+///
+/// This is the DSP half of the sensor fault model: frame dropout upstream
+/// (bus congestion, scheduler hiccups) must degrade the pipeline
+/// gracefully rather than poison it.
+///
+/// # Panics
+///
+/// Panics if `frames` and `dropped` have different lengths or the frames
+/// have inconsistent shapes.
+pub fn repair_dropped_frames(frames: &mut [Heatmap], dropped: &[bool]) {
+    assert_eq!(frames.len(), dropped.len(), "dropped-flag length mismatch");
+    let valid: Vec<usize> = (0..frames.len()).filter(|&i| !dropped[i]).collect();
+    if valid.is_empty() {
+        return;
+    }
+    for i in 0..frames.len() {
+        if !dropped[i] {
+            continue;
+        }
+        let prev = valid.iter().rev().find(|&&v| v < i).copied();
+        let next = valid.iter().find(|&&v| v > i).copied();
+        let repaired = match (prev, next) {
+            (Some(p), Some(n)) => {
+                let t = (i - p) as f32 / (n - p) as f32;
+                let a = &frames[p];
+                let b = &frames[n];
+                let data: Vec<f32> = a
+                    .as_slice()
+                    .iter()
+                    .zip(b.as_slice())
+                    .map(|(&x, &y)| x * (1.0 - t) + y * t)
+                    .collect();
+                Heatmap::from_data(a.rows(), a.cols(), a.kind(), data)
+            }
+            (Some(p), None) => frames[p].clone(),
+            (None, Some(n)) => frames[n].clone(),
+            (None, None) => unreachable!("valid is nonempty"),
+        };
+        frames[i] = repaired;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -367,5 +415,57 @@ mod tests {
         let a = HeatmapSeq::new(vec![hm(&[1.0, 0.0, 0.0, 0.0], 2); 4]);
         let b = HeatmapSeq::new(vec![hm(&[0.0, 0.0, 0.0, 0.0], 2); 4]);
         assert!((a.mean_l2_distance(&b) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn repair_interpolates_interior_drop() {
+        let mut frames = vec![
+            hm(&[0.0, 0.0, 0.0, 0.0], 2),
+            hm(&[99.0; 4], 2), // dropped; content should be replaced
+            hm(&[4.0, 4.0, 4.0, 4.0], 2),
+        ];
+        repair_dropped_frames(&mut frames, &[false, true, false]);
+        for &v in frames[1].as_slice() {
+            assert!((v - 2.0).abs() < 1e-6, "midpoint interpolation expected, got {v}");
+        }
+    }
+
+    #[test]
+    fn repair_copies_nearest_at_edges() {
+        let mut frames = vec![
+            hm(&[0.0; 4], 2), // dropped leading frame
+            hm(&[3.0, 1.0, 2.0, 0.5], 2),
+            hm(&[0.0; 4], 2), // dropped trailing frame
+        ];
+        repair_dropped_frames(&mut frames, &[true, false, true]);
+        assert_eq!(frames[0], frames[1]);
+        assert_eq!(frames[2], frames[1]);
+    }
+
+    #[test]
+    fn repair_weights_by_distance() {
+        let mut frames = vec![
+            hm(&[0.0; 4], 2),
+            hm(&[0.0; 4], 2), // dropped, 1/3 of the way
+            hm(&[0.0; 4], 2), // dropped, 2/3 of the way
+            hm(&[3.0; 4], 2),
+        ];
+        repair_dropped_frames(&mut frames, &[false, true, true, false]);
+        assert!((frames[1].get(0, 0) - 1.0).abs() < 1e-6);
+        assert!((frames[2].get(0, 0) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn repair_leaves_all_dropped_sequence_alone() {
+        let mut frames = vec![hm(&[0.0; 4], 2); 3];
+        repair_dropped_frames(&mut frames, &[true, true, true]);
+        assert!(frames.iter().all(|f| f.as_slice().iter().all(|&v| v == 0.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn repair_length_mismatch_panics() {
+        let mut frames = vec![hm(&[0.0; 4], 2); 2];
+        repair_dropped_frames(&mut frames, &[true]);
     }
 }

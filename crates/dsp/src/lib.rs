@@ -51,4 +51,4 @@ pub mod window;
 
 pub use complex::Complex32;
 pub use frame::IfFrame;
-pub use heatmap::{Heatmap, HeatmapSeq};
+pub use heatmap::{repair_dropped_frames, Heatmap, HeatmapSeq};

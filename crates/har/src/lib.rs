@@ -11,7 +11,8 @@
 //!   (for the attacker) paired clean/triggered captures;
 //! * [`model`] — the hybrid [`model::CnnLstm`]: per-frame CNN features,
 //!   LSTM over the 32-frame series, fully-connected classification head;
-//! * [`trainer`] — Adam training loop with gradient clipping;
+//! * [`trainer`] — Adam training loop with gradient clipping, typed
+//!   errors, non-finite-loss recovery, and epoch checkpoint/resume;
 //! * [`eval`] — accuracy and the 6x6 confusion matrix (Fig. 7).
 //!
 //! # Examples
@@ -42,4 +43,4 @@ pub use config::PrototypeConfig;
 pub use dataset::{Dataset, DatasetGenerator, DatasetSpec, LabeledSample};
 pub use eval::{evaluate, ConfusionMatrix, EvalResult};
 pub use model::CnnLstm;
-pub use trainer::{Trainer, TrainerConfig};
+pub use trainer::{EpochStats, FitCheckpoint, TrainError, Trainer, TrainerConfig};

@@ -1,12 +1,87 @@
-//! Training loop for the CNN-LSTM.
+//! Training loop for the CNN-LSTM: typed errors, divergence recovery, and
+//! epoch-granularity checkpointing.
+//!
+//! The paper's campaigns need many 70-epoch runs; a single NaN or a killed
+//! process must not throw a campaign away. The trainer therefore
+//!
+//! * surfaces failures as [`TrainError`] instead of panicking (the
+//!   panicking [`Trainer::fit`] wrapper remains for benches and examples),
+//! * watches every sample loss and the pre-clip gradient norm for
+//!   non-finite values and, when one appears, rolls the model and optimizer
+//!   back to the last epoch boundary, backs the learning rate off, reseeds
+//!   the shuffle, and retries (bounded by
+//!   [`TrainerConfig::max_recovery_attempts`]),
+//! * optionally checkpoints after every epoch via
+//!   [`Trainer::try_fit_resumable`], so a killed run resumes from disk and
+//!   finishes with results identical to an uninterrupted run.
 
 use crate::dataset::Dataset;
 use crate::model::CnnLstm;
 use mmwave_nn::param::clip_global_norm;
-use mmwave_nn::{softmax_cross_entropy, Adam};
+use mmwave_nn::persist::{load_json, save_json};
+use mmwave_nn::{try_softmax_cross_entropy, Adam, LossError};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Why training failed.
+#[derive(Debug)]
+pub enum TrainError {
+    /// The training set holds no samples.
+    EmptyDataset,
+    /// The trainer configuration (or a resume against an incompatible
+    /// checkpoint) is invalid.
+    InvalidConfig(String),
+    /// Loss or gradients went non-finite and every recovery attempt was
+    /// exhausted.
+    NonFinite {
+        /// Epoch that kept diverging.
+        epoch: usize,
+        /// Rollback-and-reseed attempts consumed.
+        attempts: usize,
+    },
+    /// Reading or writing the checkpoint failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::EmptyDataset => write!(f, "cannot train on an empty dataset"),
+            TrainError::InvalidConfig(msg) => write!(f, "invalid trainer config: {msg}"),
+            TrainError::NonFinite { epoch, attempts } => write!(
+                f,
+                "non-finite loss or gradient at epoch {epoch} after {attempts} recovery attempts"
+            ),
+            TrainError::Io(e) => write!(f, "checkpoint I/O failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TrainError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TrainError {
+    fn from(e: std::io::Error) -> Self {
+        TrainError::Io(e)
+    }
+}
+
+fn default_max_recovery_attempts() -> usize {
+    3
+}
+
+fn default_lr_backoff() -> f32 {
+    0.5
+}
 
 /// Hyperparameters for [`Trainer`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -21,6 +96,14 @@ pub struct TrainerConfig {
     pub clip_norm: f32,
     /// Shuffle seed.
     pub seed: u64,
+    /// Bounded rollback-and-reseed retries after a non-finite loss or
+    /// gradient before training gives up with [`TrainError::NonFinite`].
+    #[serde(default = "default_max_recovery_attempts")]
+    pub max_recovery_attempts: usize,
+    /// Learning-rate multiplier applied on each recovery retry; must lie
+    /// in `(0, 1]`.
+    #[serde(default = "default_lr_backoff")]
+    pub lr_backoff: f32,
 }
 
 impl TrainerConfig {
@@ -32,6 +115,8 @@ impl TrainerConfig {
             learning_rate: 2e-3,
             clip_norm: 5.0,
             seed: 0,
+            max_recovery_attempts: default_max_recovery_attempts(),
+            lr_backoff: default_lr_backoff(),
         }
     }
 }
@@ -51,7 +136,36 @@ pub struct EpochStats {
     pub accuracy: f64,
 }
 
-/// Minibatch trainer with Adam and gradient clipping.
+/// On-disk state written after every completed epoch by
+/// [`Trainer::try_fit_resumable`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FitCheckpoint {
+    /// Configuration the run was started with.
+    pub config: TrainerConfig,
+    /// Next epoch to run (equals the number of completed epochs).
+    pub next_epoch: usize,
+    /// Recovery attempts consumed so far.
+    pub attempts: usize,
+    /// Model weights at the epoch boundary.
+    pub model: CnnLstm,
+    /// Optimizer state at the epoch boundary.
+    pub optimizer: Adam,
+    /// Statistics of the completed epochs.
+    pub stats: Vec<EpochStats>,
+}
+
+/// The checkpoint file a resumable fit keeps inside its directory.
+pub fn checkpoint_path(dir: &Path) -> PathBuf {
+    dir.join("trainer_checkpoint.json")
+}
+
+/// A hook that may perturb the per-sample loss the trainer observes; used
+/// by the robustness harness to force divergence deterministically. The
+/// arguments are `(epoch, recovery_attempt, loss)`.
+pub type LossFaultHook = fn(usize, usize, f32) -> f32;
+
+/// Minibatch trainer with Adam, gradient clipping, divergence recovery,
+/// and optional epoch checkpointing.
 ///
 /// # Examples
 ///
@@ -59,6 +173,7 @@ pub struct EpochStats {
 #[derive(Debug, Clone)]
 pub struct Trainer {
     config: TrainerConfig,
+    loss_fault: Option<LossFaultHook>,
 }
 
 impl Trainer {
@@ -66,11 +181,43 @@ impl Trainer {
     ///
     /// # Panics
     ///
-    /// Panics if epochs or batch size is zero.
+    /// Panics on an invalid configuration; see [`Trainer::try_new`].
     pub fn new(config: TrainerConfig) -> Trainer {
-        assert!(config.epochs > 0, "need at least one epoch");
-        assert!(config.batch_size > 0, "batch size must be nonzero");
-        Trainer { config }
+        Trainer::try_new(config).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Creates a trainer, rejecting invalid configurations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError::InvalidConfig`] if epochs or batch size is
+    /// zero, the learning rate is not positive and finite, or the backoff
+    /// factor lies outside `(0, 1]`.
+    pub fn try_new(config: TrainerConfig) -> Result<Trainer, TrainError> {
+        if config.epochs == 0 {
+            return Err(TrainError::InvalidConfig("need at least one epoch".into()));
+        }
+        if config.batch_size == 0 {
+            return Err(TrainError::InvalidConfig("batch size must be nonzero".into()));
+        }
+        if !(config.learning_rate.is_finite() && config.learning_rate > 0.0) {
+            return Err(TrainError::InvalidConfig(
+                "learning rate must be positive and finite".into(),
+            ));
+        }
+        if !(config.lr_backoff > 0.0 && config.lr_backoff <= 1.0) {
+            return Err(TrainError::InvalidConfig("lr backoff must be in (0, 1]".into()));
+        }
+        Ok(Trainer { config, loss_fault: None })
+    }
+
+    /// Installs a loss fault-injection hook for robustness tests: the hook
+    /// sees `(epoch, recovery_attempt, loss)` and returns the loss the
+    /// trainer should believe. Returning NaN exercises the
+    /// rollback-and-reseed recovery path end to end.
+    pub fn with_loss_fault(mut self, hook: LossFaultHook) -> Trainer {
+        self.loss_fault = Some(hook);
+        self
     }
 
     /// The configuration.
@@ -82,53 +229,204 @@ impl Trainer {
     ///
     /// # Panics
     ///
-    /// Panics if `data` is empty.
+    /// Panics if training fails; see [`Trainer::try_fit`] for the fallible
+    /// variant.
     pub fn fit(&self, model: &mut CnnLstm, data: &Dataset) -> Vec<EpochStats> {
-        assert!(!data.is_empty(), "cannot train on an empty dataset");
-        let mut adam = Adam::new(self.config.learning_rate);
-        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
-        let mut order: Vec<usize> = (0..data.len()).collect();
-        let mut stats = Vec::with_capacity(self.config.epochs);
-        for _epoch in 0..self.config.epochs {
-            // Shuffle.
-            for i in (1..order.len()).rev() {
-                order.swap(i, rng.gen_range(0..=i));
-            }
-            let mut epoch_loss = 0.0f64;
-            let mut correct = 0usize;
-            for batch in order.chunks(self.config.batch_size) {
-                model.zero_grads();
-                for &si in batch {
-                    let sample = &data.samples[si];
-                    let cache = model.forward(&sample.heatmaps);
-                    let target = sample.label.index();
-                    let (loss, dlogits) = softmax_cross_entropy(&cache.logits, target);
-                    epoch_loss += loss as f64;
-                    let pred = cache
-                        .logits
-                        .iter()
-                        .enumerate()
-                        .max_by(|a, b| a.1.total_cmp(b.1))
-                        .map(|(i, _)| i)
-                        .expect("nonempty logits");
-                    if pred == target {
-                        correct += 1;
-                    }
-                    // Scale so the step uses the batch mean gradient.
-                    let scale = 1.0 / batch.len() as f32;
-                    let dlogits: Vec<f32> = dlogits.iter().map(|g| g * scale).collect();
-                    model.backward(&cache, &dlogits);
-                }
-                clip_global_norm(&mut model.param_tensors(), self.config.clip_norm);
-                adam.step(&mut model.param_tensors());
-            }
-            stats.push(EpochStats {
-                loss: epoch_loss / data.len() as f64,
-                accuracy: correct as f64 / data.len() as f64,
-            });
-        }
-        stats
+        self.try_fit(model, data).unwrap_or_else(|e| panic!("{e}"))
     }
+
+    /// Trains `model` on `data`, returning per-epoch statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError::EmptyDataset`] for an empty training set and
+    /// [`TrainError::NonFinite`] when divergence recovery is exhausted.
+    pub fn try_fit(&self, model: &mut CnnLstm, data: &Dataset) -> Result<Vec<EpochStats>, TrainError> {
+        self.run(model, data, None)
+    }
+
+    /// Trains like [`Trainer::try_fit`] but checkpoints to
+    /// `checkpoint_dir` after every epoch and, if a checkpoint is already
+    /// present there, resumes from it instead of starting over. Thanks to
+    /// per-epoch shuffle seeding the resumed run is bit-identical to an
+    /// uninterrupted one. The checkpoint is left in place on completion so
+    /// re-running a finished fit is a cheap no-op.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Trainer::try_fit`] returns, plus [`TrainError::Io`]
+    /// for checkpoint I/O failures and [`TrainError::InvalidConfig`] when
+    /// the on-disk checkpoint was written with an incompatible
+    /// configuration (anything but `epochs` must match).
+    pub fn try_fit_resumable(
+        &self,
+        model: &mut CnnLstm,
+        data: &Dataset,
+        checkpoint_dir: &Path,
+    ) -> Result<Vec<EpochStats>, TrainError> {
+        self.run(model, data, Some(checkpoint_dir))
+    }
+
+    fn run(
+        &self,
+        model: &mut CnnLstm,
+        data: &Dataset,
+        checkpoint_dir: Option<&Path>,
+    ) -> Result<Vec<EpochStats>, TrainError> {
+        if data.is_empty() {
+            return Err(TrainError::EmptyDataset);
+        }
+        let ckpt = checkpoint_dir.map(checkpoint_path);
+        let mut adam = Adam::new(self.config.learning_rate);
+        let mut attempts = 0usize;
+        let mut stats: Vec<EpochStats> = Vec::with_capacity(self.config.epochs);
+        let mut epoch = 0usize;
+        if let Some(path) = ckpt.as_deref() {
+            if path.exists() {
+                let saved: FitCheckpoint = load_json(path)?;
+                self.check_resume_compatible(&saved.config)?;
+                if saved.next_epoch > self.config.epochs {
+                    return Err(TrainError::InvalidConfig(format!(
+                        "checkpoint already holds {} epochs but the trainer wants {}",
+                        saved.next_epoch, self.config.epochs
+                    )));
+                }
+                *model = saved.model;
+                adam = saved.optimizer;
+                attempts = saved.attempts;
+                stats = saved.stats;
+                epoch = saved.next_epoch;
+            }
+        }
+        while epoch < self.config.epochs {
+            let snapshot_model = model.clone();
+            let snapshot_adam = adam.clone();
+            match self.run_epoch(model, &mut adam, data, epoch, attempts) {
+                Some(epoch_stats) => {
+                    stats.push(epoch_stats);
+                    epoch += 1;
+                    if let Some(path) = ckpt.as_deref() {
+                        save_json(
+                            &FitCheckpoint {
+                                config: self.config,
+                                next_epoch: epoch,
+                                attempts,
+                                model: model.clone(),
+                                optimizer: adam.clone(),
+                                stats: stats.clone(),
+                            },
+                            path,
+                        )?;
+                    }
+                }
+                None => {
+                    // Divergence: roll back to the epoch boundary, back the
+                    // learning rate off, and retry with a reseeded shuffle.
+                    attempts += 1;
+                    if attempts > self.config.max_recovery_attempts {
+                        return Err(TrainError::NonFinite {
+                            epoch,
+                            attempts: self.config.max_recovery_attempts,
+                        });
+                    }
+                    *model = snapshot_model;
+                    adam = snapshot_adam;
+                    adam.lr *= self.config.lr_backoff;
+                }
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Runs one epoch, or returns `None` if a non-finite loss or gradient
+    /// norm was observed (the caller rolls back and retries).
+    fn run_epoch(
+        &self,
+        model: &mut CnnLstm,
+        adam: &mut Adam,
+        data: &Dataset,
+        epoch: usize,
+        attempt: usize,
+    ) -> Option<EpochStats> {
+        let mut rng =
+            ChaCha8Rng::seed_from_u64(epoch_shuffle_seed(self.config.seed, epoch, attempt));
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        for i in (1..order.len()).rev() {
+            order.swap(i, rng.gen_range(0..=i));
+        }
+        let mut epoch_loss = 0.0f64;
+        let mut correct = 0usize;
+        for batch in order.chunks(self.config.batch_size) {
+            model.zero_grads();
+            for &si in batch {
+                let sample = &data.samples[si];
+                let cache = model.forward(&sample.heatmaps);
+                let target = sample.label.index();
+                let (mut loss, dlogits) = match try_softmax_cross_entropy(&cache.logits, target) {
+                    Ok(out) => out,
+                    Err(LossError::NonFiniteLogit { .. }) => return None,
+                    // Empty logits / bad target are programming errors, not
+                    // transient divergence — keep the historical panic.
+                    Err(e) => panic!("{e}"),
+                };
+                if let Some(hook) = self.loss_fault {
+                    loss = hook(epoch, attempt, loss);
+                }
+                if !loss.is_finite() {
+                    return None;
+                }
+                epoch_loss += loss as f64;
+                if argmax(&cache.logits) == Some(target) {
+                    correct += 1;
+                }
+                // Scale so the step uses the batch mean gradient.
+                let scale = 1.0 / batch.len() as f32;
+                let dlogits: Vec<f32> = dlogits.iter().map(|g| g * scale).collect();
+                model.backward(&cache, &dlogits);
+            }
+            let grad_norm = clip_global_norm(&mut model.param_tensors(), self.config.clip_norm);
+            if !grad_norm.is_finite() {
+                return None;
+            }
+            adam.step(&mut model.param_tensors());
+        }
+        Some(EpochStats {
+            loss: epoch_loss / data.len() as f64,
+            accuracy: correct as f64 / data.len() as f64,
+        })
+    }
+
+    fn check_resume_compatible(&self, saved: &TrainerConfig) -> Result<(), TrainError> {
+        let mine = &self.config;
+        let compatible = saved.batch_size == mine.batch_size
+            && saved.learning_rate == mine.learning_rate
+            && saved.clip_norm == mine.clip_norm
+            && saved.seed == mine.seed
+            && saved.max_recovery_attempts == mine.max_recovery_attempts
+            && saved.lr_backoff == mine.lr_backoff;
+        if compatible {
+            Ok(())
+        } else {
+            Err(TrainError::InvalidConfig(
+                "checkpoint was written with a different trainer config (only epochs may change)"
+                    .into(),
+            ))
+        }
+    }
+}
+
+/// Deterministic shuffle seed for one `(epoch, recovery attempt)` pair.
+/// Deriving it from the base seed alone — never from run history — is what
+/// makes a resumed run identical to an uninterrupted one.
+fn epoch_shuffle_seed(seed: u64, epoch: usize, attempt: usize) -> u64 {
+    seed ^ (epoch as u64)
+        .wrapping_add(1)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (attempt as u64).wrapping_mul(0xD1B5_4A32_D192_ED03)
+}
+
+fn argmax(xs: &[f32]) -> Option<usize> {
+    xs.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i)
 }
 
 #[cfg(test)]
@@ -175,6 +473,10 @@ mod tests {
         Dataset { samples }
     }
 
+    fn temp_dir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("mmwave_trainer_{tag}_{}", std::process::id()))
+    }
+
     #[test]
     fn learns_a_separable_problem() {
         let cfg = PrototypeConfig::smoke_test();
@@ -215,8 +517,105 @@ mod tests {
     }
 
     #[test]
+    fn empty_dataset_is_a_typed_error() {
+        let cfg = PrototypeConfig::smoke_test();
+        let mut model = CnnLstm::new(&cfg, 0);
+        let err = Trainer::new(TrainerConfig::fast())
+            .try_fit(&mut model, &Dataset::new())
+            .unwrap_err();
+        assert!(matches!(err, TrainError::EmptyDataset));
+    }
+
+    #[test]
     #[should_panic(expected = "at least one epoch")]
     fn zero_epochs_panics() {
         Trainer::new(TrainerConfig { epochs: 0, ..TrainerConfig::fast() });
+    }
+
+    #[test]
+    fn bad_configs_are_typed_errors() {
+        let zero_batch = TrainerConfig { batch_size: 0, ..TrainerConfig::fast() };
+        assert!(matches!(Trainer::try_new(zero_batch), Err(TrainError::InvalidConfig(_))));
+        let nan_lr = TrainerConfig { learning_rate: f32::NAN, ..TrainerConfig::fast() };
+        assert!(matches!(Trainer::try_new(nan_lr), Err(TrainError::InvalidConfig(_))));
+        let bad_backoff = TrainerConfig { lr_backoff: 0.0, ..TrainerConfig::fast() };
+        assert!(matches!(Trainer::try_new(bad_backoff), Err(TrainError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn nan_loss_triggers_rollback_and_run_completes() {
+        let cfg = PrototypeConfig::smoke_test();
+        let data = synthetic_dataset(&cfg, 2, 3);
+        // NaN exactly once: at epoch 1 on the first (untried) attempt.
+        let trainer = Trainer::new(TrainerConfig { epochs: 3, ..TrainerConfig::fast() })
+            .with_loss_fault(|epoch, attempt, loss| {
+                if epoch == 1 && attempt == 0 {
+                    f32::NAN
+                } else {
+                    loss
+                }
+            });
+        let mut model = CnnLstm::new(&cfg, 5);
+        let stats = trainer.try_fit(&mut model, &data).expect("recovery must succeed");
+        assert_eq!(stats.len(), 3, "all epochs must complete despite the injected NaN");
+        assert!(stats.iter().all(|s| s.loss.is_finite()));
+    }
+
+    #[test]
+    fn persistent_nan_exhausts_recovery() {
+        let cfg = PrototypeConfig::smoke_test();
+        let data = synthetic_dataset(&cfg, 1, 2);
+        let trainer = Trainer::new(TrainerConfig { epochs: 2, ..TrainerConfig::fast() })
+            .with_loss_fault(|_, _, _| f32::NAN);
+        let mut model = CnnLstm::new(&cfg, 5);
+        let err = trainer.try_fit(&mut model, &data).unwrap_err();
+        match err {
+            TrainError::NonFinite { epoch, attempts } => {
+                assert_eq!(epoch, 0);
+                assert_eq!(attempts, TrainerConfig::fast().max_recovery_attempts);
+            }
+            other => panic!("expected NonFinite, got {other}"),
+        }
+    }
+
+    #[test]
+    fn resumable_fit_matches_uninterrupted_run() {
+        let cfg = PrototypeConfig::smoke_test();
+        let data = synthetic_dataset(&cfg, 2, 2);
+        let full = TrainerConfig { epochs: 4, ..TrainerConfig::fast() };
+
+        let mut reference = CnnLstm::new(&cfg, 9);
+        let reference_stats = Trainer::new(full).fit(&mut reference, &data);
+
+        let dir = temp_dir("resume");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut resumed = CnnLstm::new(&cfg, 9);
+        let half = TrainerConfig { epochs: 2, ..full };
+        Trainer::new(half).try_fit_resumable(&mut resumed, &data, &dir).unwrap();
+        // "Kill" the process: a fresh model and trainer resume from disk.
+        let mut resumed = CnnLstm::new(&cfg, 9);
+        let stats = Trainer::new(full).try_fit_resumable(&mut resumed, &data, &dir).unwrap();
+
+        assert_eq!(resumed, reference);
+        assert_eq!(stats, reference_stats);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_rejects_incompatible_checkpoint() {
+        let cfg = PrototypeConfig::smoke_test();
+        let data = synthetic_dataset(&cfg, 1, 2);
+        let dir = temp_dir("incompat");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut model = CnnLstm::new(&cfg, 3);
+        let first = TrainerConfig { epochs: 1, ..TrainerConfig::fast() };
+        Trainer::new(first).try_fit_resumable(&mut model, &data, &dir).unwrap();
+
+        let different_seed = TrainerConfig { epochs: 2, seed: 99, ..TrainerConfig::fast() };
+        let err = Trainer::new(different_seed)
+            .try_fit_resumable(&mut model, &data, &dir)
+            .unwrap_err();
+        assert!(matches!(err, TrainError::InvalidConfig(_)), "got {err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

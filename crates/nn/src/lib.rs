@@ -52,7 +52,7 @@ pub mod sgd;
 pub use adam::Adam;
 pub use conv::Conv2d;
 pub use dense::Dense;
-pub use loss::{softmax, softmax_cross_entropy};
+pub use loss::{softmax, softmax_cross_entropy, try_softmax_cross_entropy, LossError};
 pub use lstm::{Lstm, LstmCache};
 pub use param::ParamTensor;
 pub use pool::MaxPool2;

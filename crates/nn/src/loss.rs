@@ -1,5 +1,47 @@
 //! Softmax and cross-entropy loss.
 
+use std::fmt;
+
+/// Why a loss computation was rejected.
+///
+/// Divergent training (exploding weights, corrupt inputs) shows up here
+/// first: a non-finite logit would silently poison the gradient, so the
+/// fallible entry point ([`try_softmax_cross_entropy`]) refuses it and lets
+/// the trainer roll back instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LossError {
+    /// The logit vector was empty.
+    EmptyLogits,
+    /// The target class index does not address a logit.
+    TargetOutOfRange {
+        /// Requested class.
+        target: usize,
+        /// Number of logits available.
+        n_classes: usize,
+    },
+    /// A logit was NaN or infinite.
+    NonFiniteLogit {
+        /// Index of the first offending logit.
+        index: usize,
+    },
+}
+
+impl fmt::Display for LossError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LossError::EmptyLogits => write!(f, "softmax of empty logits"),
+            LossError::TargetOutOfRange { target, n_classes } => {
+                write!(f, "target class out of range: {target} >= {n_classes}")
+            }
+            LossError::NonFiniteLogit { index } => {
+                write!(f, "non-finite logit at index {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LossError {}
+
 /// Numerically-stable softmax.
 ///
 /// # Panics
@@ -13,19 +55,48 @@ pub fn softmax(logits: &[f32]) -> Vec<f32> {
     exps.into_iter().map(|e| e / sum).collect()
 }
 
+/// Fallible softmax cross-entropy: like [`softmax_cross_entropy`] but
+/// returns a typed error instead of panicking or propagating NaN.
+///
+/// # Errors
+///
+/// Returns [`LossError::EmptyLogits`] for an empty logit vector,
+/// [`LossError::TargetOutOfRange`] for a bad target, and
+/// [`LossError::NonFiniteLogit`] when any logit is NaN or infinite.
+pub fn try_softmax_cross_entropy(
+    logits: &[f32],
+    target: usize,
+) -> Result<(f32, Vec<f32>), LossError> {
+    if logits.is_empty() {
+        return Err(LossError::EmptyLogits);
+    }
+    if target >= logits.len() {
+        return Err(LossError::TargetOutOfRange { target, n_classes: logits.len() });
+    }
+    if let Some(index) = logits.iter().position(|z| !z.is_finite()) {
+        return Err(LossError::NonFiniteLogit { index });
+    }
+    let probs = softmax(logits);
+    let loss = -(probs[target].max(1e-12)).ln();
+    let mut grad = probs;
+    grad[target] -= 1.0;
+    Ok((loss, grad))
+}
+
 /// Softmax cross-entropy against an integer target. Returns
 /// `(loss, dlogits)` where `dlogits = softmax(logits) - onehot(target)`.
 ///
 /// # Panics
 ///
-/// Panics if `target >= logits.len()`.
+/// Panics if `logits` is empty, `target >= logits.len()`, or any logit is
+/// non-finite. Use [`try_softmax_cross_entropy`] in loops that must
+/// recover from divergence.
 pub fn softmax_cross_entropy(logits: &[f32], target: usize) -> (f32, Vec<f32>) {
-    assert!(target < logits.len(), "target class out of range");
-    let probs = softmax(logits);
-    let loss = -(probs[target].max(1e-12)).ln();
-    let mut grad = probs;
-    grad[target] -= 1.0;
-    (loss, grad)
+    match try_softmax_cross_entropy(logits, target) {
+        Ok(out) => out,
+        Err(LossError::TargetOutOfRange { .. }) => panic!("target class out of range"),
+        Err(e) => panic!("{e}"),
+    }
 }
 
 #[cfg(test)]
@@ -90,5 +161,43 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn bad_target_panics() {
         softmax_cross_entropy(&[1.0, 2.0], 5);
+    }
+
+    #[test]
+    fn try_rejects_nan_logit() {
+        let err = try_softmax_cross_entropy(&[1.0, f32::NAN, 0.0], 0).unwrap_err();
+        assert_eq!(err, LossError::NonFiniteLogit { index: 1 });
+    }
+
+    #[test]
+    fn try_rejects_infinite_logit() {
+        let err = try_softmax_cross_entropy(&[f32::INFINITY, 0.0], 1).unwrap_err();
+        assert_eq!(err, LossError::NonFiniteLogit { index: 0 });
+        let err = try_softmax_cross_entropy(&[0.0, f32::NEG_INFINITY], 0).unwrap_err();
+        assert_eq!(err, LossError::NonFiniteLogit { index: 1 });
+    }
+
+    #[test]
+    fn try_rejects_empty_and_out_of_range() {
+        assert_eq!(try_softmax_cross_entropy(&[], 0).unwrap_err(), LossError::EmptyLogits);
+        assert_eq!(
+            try_softmax_cross_entropy(&[1.0, 2.0], 5).unwrap_err(),
+            LossError::TargetOutOfRange { target: 5, n_classes: 2 },
+        );
+    }
+
+    #[test]
+    fn try_matches_panicking_version_on_finite_input() {
+        let logits = [0.5f32, -1.0, 2.0];
+        let (loss_a, grad_a) = softmax_cross_entropy(&logits, 2);
+        let (loss_b, grad_b) = try_softmax_cross_entropy(&logits, 2).unwrap();
+        assert_eq!(loss_a, loss_b);
+        assert_eq!(grad_a, grad_b);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite logit")]
+    fn nan_logit_panics_in_strict_version() {
+        softmax_cross_entropy(&[f32::NAN, 1.0], 0);
     }
 }

@@ -8,14 +8,16 @@
 //! separately and superposed.
 
 use crate::config::RadarConfig;
+use crate::faults::FaultInjector;
 use crate::material::Material;
 use crate::placement::Placement;
 use crate::scene::Environment;
 use crate::simulator::IfSynthesizer;
 use crate::trigger::TriggerAttachment;
 use mmwave_body::{MeshSequence, SiteId, SitePose};
+use mmwave_dsp::heatmap::HeatmapKind;
 use mmwave_dsp::processing::{ProcessingConfig, Processor};
-use mmwave_dsp::{Complex32, Heatmap, HeatmapSeq};
+use mmwave_dsp::{repair_dropped_frames, Complex32, Heatmap, HeatmapSeq};
 use mmwave_geom::visibility::{self, OcclusionConfig};
 use parking_lot::Mutex;
 use rand::SeedableRng;
@@ -58,6 +60,11 @@ pub struct CaptureConfig {
     pub log_compress: bool,
     /// How heatmap sequences are normalized.
     pub normalize: Normalization,
+    /// Optional sensor fault injection applied to every captured IF frame
+    /// (clean and triggered twins see the same realization). Dropped
+    /// frames are repaired by neighbor interpolation before finalization,
+    /// so the output is always a valid [`HeatmapSeq`].
+    pub faults: Option<FaultInjector>,
 }
 
 /// Heatmap normalization policy applied after log compression.
@@ -88,6 +95,7 @@ impl CaptureConfig {
             // participants and placements). Keeps reflector returns purely
             // additive; see DESIGN.md.
             normalize: Normalization::Fixed(20.0),
+            faults: None,
         }
     }
 }
@@ -188,6 +196,7 @@ impl Capturer {
 
         let mut clean_frames = Vec::with_capacity(sequence.len());
         let mut trig_frames = trigger.map(|_| Vec::with_capacity(sequence.len()));
+        let mut dropped_flags = Vec::with_capacity(sequence.len());
 
         for (fi, body_frame) in sequence.iter().enumerate() {
             // Body in world coordinates, culled to radar-visible surfaces.
@@ -201,13 +210,43 @@ impl Capturer {
             let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (fi as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
             self.synth.add_noise(&mut base, self.config.noise_sigma, &mut rng);
 
-            clean_frames.push(self.processor.drai_with_background(&base, &env.background));
-
-            if let (Some(plan), Some(frames)) = (trigger, trig_frames.as_mut()) {
+            // Superpose the trigger before fault injection so both twins
+            // pass through the same (deterministic) fault realization.
+            let mut combined = trigger.map(|plan| {
                 let site_world = transform_site(body_frame.site(plan.site), &xf);
-                let trig_if = self.trigger_if(plan, &site_world);
-                let combined = base.superposed(&trig_if);
-                frames.push(self.processor.drai_with_background(&combined, &env.background));
+                base.superposed(&self.trigger_if(plan, &site_world))
+            });
+
+            let mut frame_dropped = false;
+            if let Some(injector) = &self.config.faults {
+                frame_dropped = injector.apply(&mut base, fi);
+                if let Some(c) = combined.as_mut() {
+                    injector.apply(c, fi);
+                }
+            }
+            dropped_flags.push(frame_dropped);
+
+            if frame_dropped {
+                // Placeholder; repaired below by neighbor interpolation.
+                clean_frames.push(self.empty_drai());
+                if let Some(frames) = trig_frames.as_mut() {
+                    frames.push(self.empty_drai());
+                }
+            } else {
+                clean_frames.push(self.processor.drai_with_background(&base, &env.background));
+                if let (Some(frames), Some(c)) = (trig_frames.as_mut(), combined.as_ref()) {
+                    frames.push(self.processor.drai_with_background(c, &env.background));
+                }
+            }
+        }
+
+        // Graceful degradation: dropped frames are interpolated from their
+        // valid neighbors (and stay zero when every frame dropped) so the
+        // pipeline always yields a valid sequence.
+        if dropped_flags.iter().any(|&d| d) {
+            repair_dropped_frames(&mut clean_frames, &dropped_flags);
+            if let Some(frames) = trig_frames.as_mut() {
+                repair_dropped_frames(frames, &dropped_flags);
             }
         }
 
@@ -217,11 +256,23 @@ impl Capturer {
         }
     }
 
+    /// An all-zero DRAI of this pipeline's output shape, standing in for a
+    /// dropped frame until repair.
+    fn empty_drai(&self) -> Heatmap {
+        Heatmap::zeros(
+            self.config.processing.n_range_bins,
+            self.config.processing.n_angle_bins,
+            HeatmapKind::RangeAngle,
+        )
+    }
+
     /// Synthesizes the *base* IF frames of a performance (body + static
     /// environment + noise, no trigger), one per body frame. This is the
     /// expensive part of a capture; the Eq. (2) position optimizer calls it
     /// once and then probes many candidate trigger placements by cheap
-    /// superposition.
+    /// superposition. Fault injection is deliberately *not* applied here:
+    /// the optimizer models the attacker's ideal-conditions planning pass,
+    /// while [`capture`](Self::capture) models the deployed sensor.
     pub fn base_if_frames(
         &self,
         sequence: &MeshSequence,
@@ -499,6 +550,73 @@ mod tests {
         };
         let ratio = sum(&half) / sum(&full);
         assert!((ratio - 0.25).abs() < 0.02, "power scales with the square: {ratio}");
+    }
+
+    #[test]
+    fn faulted_capture_yields_valid_deterministic_output() {
+        let (_, seq) = short_capture_setup();
+        let mut cfg = CaptureConfig::fast();
+        cfg.faults = Some(crate::faults::FaultInjector::severity_profile(0.6, 77));
+        let capturer = Capturer::new(cfg);
+        let p = Placement::new(1.2, 0.0);
+        let a = capturer.capture(&seq, p, &Environment::hallway(), None, 3);
+        assert_eq!(a.clean.len(), 12);
+        assert!(a
+            .clean
+            .frames()
+            .iter()
+            .all(|f| f.as_slice().iter().all(|v| v.is_finite())));
+        let b = capturer.capture(&seq, p, &Environment::hallway(), None, 3);
+        assert_eq!(a.clean, b.clean, "fault realization must be deterministic");
+
+        let pristine = Capturer::new(CaptureConfig::fast())
+            .capture(&seq, p, &Environment::hallway(), None, 3);
+        assert_ne!(a.clean, pristine.clean, "faults must leave a footprint");
+    }
+
+    #[test]
+    fn total_frame_dropout_still_yields_valid_sequence() {
+        let (_, seq) = short_capture_setup();
+        let mut cfg = CaptureConfig::fast();
+        cfg.faults = Some(
+            crate::faults::FaultInjector::new(0)
+                .with(crate::faults::Fault::FrameDropout { probability: 1.0 }),
+        );
+        let capturer = Capturer::new(cfg);
+        let out = capturer.capture(&seq, Placement::new(1.2, 0.0), &Environment::empty(), None, 1);
+        assert_eq!(out.clean.len(), 12);
+        assert!(out
+            .clean
+            .frames()
+            .iter()
+            .all(|f| f.as_slice().iter().all(|&v| v == 0.0)));
+    }
+
+    #[test]
+    fn clean_and_triggered_twins_share_fault_realization() {
+        let (_, seq) = short_capture_setup();
+        let mut cfg = CaptureConfig::fast();
+        // Phase noise only: no dropout, so the trigger footprint survives
+        // and the twins stay comparable.
+        cfg.faults = Some(
+            crate::faults::FaultInjector::new(5)
+                .with(crate::faults::Fault::PhaseNoise { sigma_radians: 0.2 }),
+        );
+        let capturer = Capturer::new(cfg);
+        let plan = TriggerPlan {
+            attachment: TriggerAttachment::new(Trigger::aluminum_2x2()),
+            site: SiteId::RightForearm,
+        };
+        let out = capturer.capture(
+            &seq,
+            Placement::new(1.2, 0.0),
+            &Environment::classroom(),
+            Some(&plan),
+            7,
+        );
+        let trig = out.triggered.expect("requested trigger");
+        let dist = out.clean.mean_l2_distance(&trig);
+        assert!(dist > 1e-4, "trigger footprint must survive faults, got {dist}");
     }
 
     #[test]

@@ -21,7 +21,10 @@
 //! * [`placement`] — the 12-position (distance x angle) experiment grid;
 //! * [`capture`] — the end-to-end "perform activity at position, record
 //!   DRAI sequence" pipeline, exploiting IF linearity to emit clean and
-//!   triggered versions of each sample in one pass.
+//!   triggered versions of each sample in one pass;
+//! * [`faults`] — deterministic sensor fault injection (frame dropout, ADC
+//!   saturation, RF interference bursts, LO phase noise) for robustness
+//!   campaigns.
 //!
 //! # Examples
 //!
@@ -45,6 +48,7 @@
 
 pub mod capture;
 pub mod config;
+pub mod faults;
 pub mod material;
 pub mod placement;
 pub mod scene;
@@ -52,6 +56,7 @@ pub mod simulator;
 pub mod trigger;
 
 pub use capture::{CaptureConfig, CaptureOutput, Capturer, TriggerPlan};
+pub use faults::{Fault, FaultInjector};
 pub use config::RadarConfig;
 pub use material::Material;
 pub use placement::Placement;

@@ -1,13 +1,37 @@
-#!/bin/sh
-# Remaining paper-reproduction benches, appending to bench_output.txt.
-set -u
-cd /root/repo
-for b in fig08_similar_rate fig09_similar_frames fig07_confusion_matrix \
+#!/bin/bash
+# Paper-reproduction benches, appending to bench_output.txt.
+#
+# Fault-tolerant: a failing bench no longer aborts the sweep — every target
+# runs, and a pass/fail summary table is printed (and appended to
+# bench_output.txt) at the end. Exits nonzero if any bench failed.
+set -uo pipefail
+cd /root/repo || exit 1
+
+benches="fig08_similar_rate fig09_similar_frames fig07_confusion_matrix \
          fig03_shap_histogram fig05_heatmap_stealth \
          fig11_dissimilar_frames fig12_trigger_size_rate fig13_trigger_size_frames \
-         fig14_angle_robustness fig15_distance_robustness defense_eval perf_components ablation_clutter; do
+         fig14_angle_robustness fig15_distance_robustness defense_eval \
+         perf_components ablation_clutter robustness_faults"
+
+declare -A status
+failures=0
+for b in $benches; do
   echo "================ $b ================" >> bench_output.txt
-  cargo bench -q -p mmwave-bench --bench "$b" >> bench_output.txt 2>&1
-  echo "[runner] $b finished at $(date +%H:%M:%S)" >> bench_output.txt
+  if cargo bench -q -p mmwave-bench --bench "$b" >> bench_output.txt 2>&1; then
+    status[$b]=PASS
+  else
+    status[$b]=FAIL
+    failures=$((failures + 1))
+  fi
+  echo "[runner] $b ${status[$b]} at $(date +%H:%M:%S)" >> bench_output.txt
 done
-echo "[runner] ALL BENCHES DONE" >> bench_output.txt
+
+{
+  echo "[runner] ALL BENCHES DONE ($failures failed)"
+  printf '%-28s %s\n' "bench" "status"
+  for b in $benches; do
+    printf '%-28s %s\n' "$b" "${status[$b]}"
+  done
+} | tee -a bench_output.txt
+
+exit "$((failures > 0))"

@@ -5,6 +5,7 @@
 //! mmwave capture [--activity push] [--distance 1.2] [--angle 0] [--trigger chest]
 //! mmwave train   [--reps 2] [--epochs 20]
 //! mmwave attack  [--rate 0.4] [--frames 8] [--scenario push-pull] [--smoke]
+//!                [--resume <dir>]
 //! ```
 //!
 //! Everything runs at example scale by default; this is a demonstration
@@ -13,7 +14,7 @@
 use mmwave_har_backdoor::backdoor::experiment::{
     AttackSpec, ExperimentContext, ExperimentScale,
 };
-use mmwave_har_backdoor::backdoor::AttackScenario;
+use mmwave_har_backdoor::backdoor::{AttackMetrics, AttackScenario, Campaign, PointOutcome};
 use mmwave_har_backdoor::body::{
     Activity, ActivitySampler, Participant, SampleVariation, SiteId,
 };
@@ -68,7 +69,9 @@ fn print_usage() {
            attack    run an end-to-end backdoor experiment\n\
                      flags: --rate <0..1> --frames <n>\n\
                             --scenario <push-pull|left-right|push-right|push-acw>\n\
-                            --smoke (tiny scale, default) | --fast (bench scale)"
+                            --smoke (tiny scale, default) | --fast (bench scale)\n\
+                            --resume <dir> (journal the run; a re-run with the\n\
+                                            same flags replays from the journal)"
     );
 }
 
@@ -188,21 +191,58 @@ fn attack(opts: &HashMap<String, String>) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let scale = if opts.contains_key("fast") {
-        ExperimentScale::fast()
-    } else {
-        ExperimentScale::smoke_test()
-    };
+    let fast = opts.contains_key("fast");
+    let scale = if fast { ExperimentScale::fast() } else { ExperimentScale::smoke_test() };
     println!("scenario {scenario}, rate {rate}, {frames} poisoned frames");
-    println!("building experiment context (this trains a surrogate)...");
-    let mut ctx = ExperimentContext::new(scale, 42);
     let spec = AttackSpec {
         scenario,
         injection_rate: rate,
         n_poisoned_frames: frames,
         ..AttackSpec::default()
     };
-    let metrics = ctx.run_attack(&spec);
-    println!("{metrics}");
+
+    let Some(resume_dir) = opts.get("resume") else {
+        println!("building experiment context (this trains a surrogate)...");
+        let mut ctx = ExperimentContext::new(scale, 42);
+        let metrics = ctx.run_attack(&spec);
+        println!("{metrics}");
+        return ExitCode::SUCCESS;
+    };
+
+    // Journaled mode: the result is keyed by every flag that shapes it, so
+    // a re-run after a crash (or just a repeat invocation) replays from the
+    // journal instead of re-training.
+    let mut campaign = match Campaign::<AttackMetrics>::open(resume_dir) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: cannot open campaign dir `{resume_dir}`: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let id = format!(
+        "attack scenario={scenario} rate={rate} frames={frames} scale={}",
+        if fast { "fast" } else { "smoke" }
+    );
+    let outcome = if let Some(done) = campaign.get(&id).cloned() {
+        println!("journaled result found in `{resume_dir}`, skipping the run");
+        done
+    } else {
+        println!("building experiment context (this trains a surrogate)...");
+        let mut ctx = ExperimentContext::new(scale, 42);
+        match campaign.run_attack_point(&mut ctx, &id, &spec, 1) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("error: cannot append to campaign journal: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    match outcome {
+        PointOutcome::Completed { result } => println!("{result}"),
+        PointOutcome::Failed { error, attempts } => {
+            eprintln!("attack point failed after {attempts} attempts: {error}");
+        }
+    }
+    print!("{}", campaign.report());
     ExitCode::SUCCESS
 }

@@ -1,0 +1,78 @@
+//! Fault tolerance: a killed campaign resumes from its journal and
+//! produces byte-identical results to an uninterrupted run.
+
+use mmwave_har_backdoor::backdoor::{
+    AttackMetrics, AttackSpec, Campaign, ExperimentContext, ExperimentScale, FrameStrategy,
+    PointOutcome,
+};
+use mmwave_har_backdoor::backdoor::experiment::SiteChoice;
+use mmwave_har_backdoor::body::SiteId;
+
+fn specs() -> Vec<AttackSpec> {
+    [0.3, 0.5]
+        .into_iter()
+        .map(|rate| AttackSpec {
+            injection_rate: rate,
+            n_poisoned_frames: 2,
+            site: SiteChoice::Fixed(SiteId::RightThigh),
+            frame_strategy: FrameStrategy::FirstK,
+            ..AttackSpec::default()
+        })
+        .collect()
+}
+
+fn point_id(spec: &AttackSpec) -> String {
+    format!(
+        "attack rate={:.2} frames={}",
+        spec.injection_rate, spec.n_poisoned_frames
+    )
+}
+
+#[test]
+fn killed_campaign_resumes_byte_identical() {
+    let pts = specs();
+    let base = std::env::temp_dir().join(format!("mmwave_campaign_{}", std::process::id()));
+    let dir_a = base.join("uninterrupted");
+    let dir_b = base.join("interrupted");
+    let _ = std::fs::remove_dir_all(&base);
+
+    // Reference: the whole sweep in one process lifetime.
+    let mut a = Campaign::<AttackMetrics>::open(&dir_a).expect("open campaign A");
+    for spec in &pts {
+        let mut ctx = ExperimentContext::new(ExperimentScale::smoke_test(), 42);
+        a.run_attack_point(&mut ctx, &point_id(spec), spec, 1)
+            .expect("journal write");
+    }
+
+    // "Killed" run: one point completes, then the process dies (the
+    // campaign value is dropped with the journal already on disk).
+    {
+        let mut b = Campaign::<AttackMetrics>::open(&dir_b).expect("open campaign B");
+        let mut ctx = ExperimentContext::new(ExperimentScale::smoke_test(), 42);
+        b.run_attack_point(&mut ctx, &point_id(&pts[0]), &pts[0], 1)
+            .expect("journal write");
+    }
+
+    // Resume: replay the same sweep; the finished point comes from the
+    // journal, the rest run live.
+    let mut b = Campaign::<AttackMetrics>::open(&dir_b).expect("reopen campaign B");
+    for spec in &pts {
+        let mut ctx = ExperimentContext::new(ExperimentScale::smoke_test(), 42);
+        let outcome = b
+            .run_attack_point(&mut ctx, &point_id(spec), spec, 1)
+            .expect("journal write");
+        assert!(
+            matches!(outcome, PointOutcome::Completed { .. }),
+            "every point must complete"
+        );
+    }
+    assert_eq!(b.reused_count(), 1, "exactly one point must come from the journal");
+
+    let journal_a = std::fs::read(a.journal_path()).expect("read journal A");
+    let journal_b = std::fs::read(b.journal_path()).expect("read journal B");
+    assert_eq!(
+        journal_a, journal_b,
+        "resumed campaign journal must be byte-identical to the uninterrupted run"
+    );
+    std::fs::remove_dir_all(&base).ok();
+}

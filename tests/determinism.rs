@@ -67,6 +67,39 @@ fn shap_explanations_reproduce_across_instances() {
 }
 
 #[test]
+fn checkpointed_training_resumes_identically() {
+    let cfg = PrototypeConfig::smoke_test();
+    let gen = DatasetGenerator::new(cfg.clone());
+    let data = gen.generate(&DatasetSpec::smoke_test(), 21);
+    let full = TrainerConfig { epochs: 4, ..TrainerConfig::fast() };
+
+    // The uninterrupted reference run.
+    let mut reference = CnnLstm::new(&cfg, 9);
+    let reference_stats = Trainer::new(full).fit(&mut reference, &data);
+
+    // The same run, "killed" after epoch 2 (the half-trained model and
+    // trainer are dropped) and resumed from its checkpoint by a fresh
+    // process-equivalent.
+    let dir = std::env::temp_dir().join(format!("mmwave_ckpt_resume_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let mut half_trained = CnnLstm::new(&cfg, 9);
+        let half = TrainerConfig { epochs: 2, ..full };
+        Trainer::new(half)
+            .try_fit_resumable(&mut half_trained, &data, &dir)
+            .expect("first half must train");
+    }
+    let mut resumed = CnnLstm::new(&cfg, 9);
+    let resumed_stats = Trainer::new(full)
+        .try_fit_resumable(&mut resumed, &data, &dir)
+        .expect("resume must succeed");
+
+    assert_eq!(resumed, reference, "resumed model must match the uninterrupted run");
+    assert_eq!(resumed_stats, reference_stats, "resumed stats must match");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn body_sampling_is_pure() {
     let sampler = ActivitySampler::new(Participant::presets()[2], 8, 10.0);
     let v = SampleVariation::nominal();
