@@ -69,6 +69,15 @@ pub enum PointOutcome<T> {
 struct JournalEntry<T> {
     id: String,
     outcome: PointOutcome<T>,
+    /// Wall time the point took, including retries. `None` in journals
+    /// written before this field existed (PR-1 format), which still replay.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    duration_ms: Option<u64>,
+    /// Cumulative telemetry snapshot (counters + per-span totals) taken
+    /// when the point completed. `None` when telemetry is disabled or the
+    /// journal predates the field.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    telemetry: Option<serde_json::Value>,
 }
 
 /// A resumable, failure-isolating experiment sweep.
@@ -98,6 +107,7 @@ struct JournalEntry<T> {
 pub struct Campaign<T> {
     dir: PathBuf,
     completed: HashMap<String, PointOutcome<T>>,
+    durations: HashMap<String, u64>,
     /// Journal replay/insertion order, for stable reporting.
     order: Vec<String>,
     retry: RetryPolicy,
@@ -119,6 +129,7 @@ impl<T: Serialize + DeserializeOwned + Clone> Campaign<T> {
         let mut campaign = Campaign {
             dir,
             completed: HashMap::new(),
+            durations: HashMap::new(),
             order: Vec::new(),
             retry: RetryPolicy::default(),
             reused: 0,
@@ -133,6 +144,9 @@ impl<T: Serialize + DeserializeOwned + Clone> Campaign<T> {
                 }
                 match serde_json::from_str::<JournalEntry<T>>(&line) {
                     Ok(entry) => {
+                        if let Some(ms) = entry.duration_ms {
+                            campaign.durations.insert(entry.id.clone(), ms);
+                        }
                         if campaign.completed.insert(entry.id.clone(), entry.outcome).is_none() {
                             campaign.order.push(entry.id);
                         }
@@ -178,6 +192,13 @@ impl<T: Serialize + DeserializeOwned + Clone> Campaign<T> {
         self.reused
     }
 
+    /// Journaled wall time of a point in milliseconds. `None` for unknown
+    /// points and for entries from journals written before durations were
+    /// recorded.
+    pub fn point_duration_ms(&self, id: &str) -> Option<u64> {
+        self.durations.get(id).copied()
+    }
+
     /// Runs one sweep point, or returns its journaled outcome without
     /// running anything. A panicking `point` closure is caught and retried
     /// per the [`RetryPolicy`]; if every attempt panics the failure is
@@ -195,6 +216,7 @@ impl<T: Serialize + DeserializeOwned + Clone> Campaign<T> {
             self.reused += 1;
             return Ok(done.clone());
         }
+        let start = std::time::Instant::now();
         let mut last_error = String::new();
         let mut outcome = None;
         for attempt in 1..=self.retry.max_attempts {
@@ -213,7 +235,26 @@ impl<T: Serialize + DeserializeOwned + Clone> Campaign<T> {
             error: last_error,
             attempts: self.retry.max_attempts,
         });
-        self.record(id, outcome.clone())?;
+        let duration_ms = start.elapsed().as_millis() as u64;
+        self.record(id, outcome.clone(), duration_ms)?;
+        if mmwave_telemetry::enabled(mmwave_telemetry::Level::Info) {
+            let mut fields = serde_json::Map::new();
+            fields.insert("id".to_string(), serde_json::Value::from(id));
+            fields.insert(
+                "status".to_string(),
+                serde_json::Value::from(match &outcome {
+                    PointOutcome::Completed { .. } => "completed",
+                    PointOutcome::Failed { .. } => "failed",
+                }),
+            );
+            fields.insert("duration_ms".to_string(), serde_json::Value::from(duration_ms));
+            mmwave_telemetry::event(
+                mmwave_telemetry::Level::Info,
+                mmwave_telemetry::EventKind::Point,
+                "campaign.point",
+                fields,
+            );
+        }
         Ok(outcome)
     }
 
@@ -237,8 +278,19 @@ impl<T: Serialize + DeserializeOwned + Clone> Campaign<T> {
         CampaignReport { completed, failed, reused: self.reused }
     }
 
-    fn record(&mut self, id: &str, outcome: PointOutcome<T>) -> io::Result<()> {
-        let entry = JournalEntry { id: id.to_string(), outcome: outcome.clone() };
+    fn record(&mut self, id: &str, outcome: PointOutcome<T>, duration_ms: u64) -> io::Result<()> {
+        let registry = mmwave_telemetry::global();
+        let telemetry = if registry.is_enabled() {
+            Some(registry.snapshot_brief())
+        } else {
+            None
+        };
+        let entry = JournalEntry {
+            id: id.to_string(),
+            outcome: outcome.clone(),
+            duration_ms: Some(duration_ms),
+            telemetry,
+        };
         let line = serde_json::to_string(&entry)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
         let mut file = OpenOptions::new()
@@ -247,6 +299,7 @@ impl<T: Serialize + DeserializeOwned + Clone> Campaign<T> {
             .open(self.journal_path())?;
         writeln!(file, "{line}")?;
         file.sync_all()?;
+        self.durations.insert(id.to_string(), duration_ms);
         if self.completed.insert(id.to_string(), outcome).is_none() {
             self.order.push(id.to_string());
         }
@@ -412,6 +465,47 @@ mod tests {
             })
             .unwrap();
         assert_eq!(outcome, PointOutcome::Completed { result: 3.25 });
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn durations_are_journaled_and_replayed() {
+        let dir = temp_dir("durations");
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut c = Campaign::<f64>::open(&dir).unwrap();
+            c.run_point("a", || 1.0).unwrap();
+            assert!(c.point_duration_ms("a").is_some());
+            assert!(c.point_duration_ms("missing").is_none());
+        }
+        let c = Campaign::<f64>::open(&dir).unwrap();
+        assert!(c.point_duration_ms("a").is_some(), "duration must survive replay");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn old_format_journal_without_durations_still_replays() {
+        // PR-1 journals carry only {id, outcome}; they must keep replaying
+        // after the duration/telemetry fields were added.
+        let dir = temp_dir("oldformat");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("journal.jsonl"),
+            "{\"id\":\"legacy\",\"outcome\":{\"status\":\"Completed\",\"result\":4.5}}\n",
+        )
+        .unwrap();
+        let mut c = Campaign::<f64>::open(&dir).unwrap();
+        assert!(c.is_done("legacy"));
+        assert_eq!(c.point_duration_ms("legacy"), None, "old entries have no duration");
+        let outcome = c.run_point("legacy", || panic!("must not run")).unwrap();
+        assert_eq!(outcome, PointOutcome::Completed { result: 4.5 });
+        // A new point appended to the old journal carries the new fields...
+        c.run_point("fresh", || 2.0).unwrap();
+        assert!(c.point_duration_ms("fresh").is_some());
+        // ...and the mixed-format journal replays in full.
+        let c = Campaign::<f64>::open(&dir).unwrap();
+        assert!(c.is_done("legacy") && c.is_done("fresh"));
         std::fs::remove_dir_all(&dir).ok();
     }
 

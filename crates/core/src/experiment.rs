@@ -176,6 +176,7 @@ impl ExperimentContext {
         scale: ExperimentScale,
         seed: u64,
     ) -> ExperimentContext {
+        let _span = mmwave_telemetry::span_at("context_build", mmwave_telemetry::Level::Debug);
         let generator = DatasetGenerator::new(config.clone());
         let mut train_spec = DatasetSpec::training(scale.train_repetitions);
         train_spec.participants.truncate(scale.participants);
@@ -249,6 +250,7 @@ impl ExperimentContext {
         if let Some(&site) = self.site_cache.get(&key) {
             return site;
         }
+        let _span = mmwave_telemetry::span_at("site_optimization", mmwave_telemetry::Level::Debug);
         // A nominal performance at a central position drives the search.
         let sampler = ActivitySampler::new(
             Participant::average(),
@@ -369,6 +371,7 @@ impl ExperimentContext {
     pub fn train_backdoored(&mut self, spec: &AttackSpec) -> (CnnLstm, SiteId) {
         let site = self.resolve_site(spec);
         let key = self.pair_set(spec.scenario.victim, spec.trigger, site);
+        let poison_span = mmwave_telemetry::span_at("poison", mmwave_telemetry::Level::Debug);
         let pairs = &self.pair_cache[&key];
         let rankings: Vec<Vec<usize>> = match spec.frame_strategy {
             FrameStrategy::ShapTopK => pairs.rankings.clone(),
@@ -390,6 +393,7 @@ impl ExperimentContext {
             &spec.scenario,
             &poison_cfg,
         );
+        drop(poison_span);
         let mut model = CnnLstm::new(&self.config, spec.seed.wrapping_add(100));
         let trainer = Trainer::new(TrainerConfig {
             epochs: self.scale.epochs,
@@ -402,6 +406,7 @@ impl ExperimentContext {
 
     /// Runs one full experiment: poison, train, evaluate.
     pub fn run_attack(&mut self, spec: &AttackSpec) -> AttackMetrics {
+        let _span = mmwave_telemetry::span_at("attack", mmwave_telemetry::Level::Debug);
         let (model, site) = self.train_backdoored(spec);
         let key = self.pair_set(spec.scenario.victim, spec.trigger, site);
         let pairs = &self.pair_cache[&key];

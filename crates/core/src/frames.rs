@@ -73,6 +73,7 @@ pub fn frame_importance(
     n_permutations: usize,
     seed: u64,
 ) -> Vec<f64> {
+    let _span = mmwave_telemetry::span_at("shap_importance", mmwave_telemetry::Level::Debug);
     let features: Vec<Vec<f32>> = sample.frames().iter().map(|f| model.frame_features(f)).collect();
     let game = FrameGame::new(model, &features, class);
     PermutationShap::new(n_permutations, seed).explain(&game)

@@ -48,6 +48,7 @@ impl Default for CfarConfig {
 /// Panics if `train == 0`.
 pub fn ca_cfar(map: &Heatmap, config: &CfarConfig) -> Vec<Detection> {
     assert!(config.train > 0, "need at least one training cell");
+    let _span = mmwave_telemetry::span("cfar");
     let (rows, cols) = (map.rows(), map.cols());
     let reach = (config.guard + config.train) as i64;
     let guard = config.guard as i64;
@@ -81,6 +82,7 @@ pub fn ca_cfar(map: &Heatmap, config: &CfarConfig) -> Vec<Detection> {
         }
     }
     out.sort_by(|a, b| b.snr.total_cmp(&a.snr));
+    mmwave_telemetry::counter("dsp.cfar_detections", out.len() as u64);
     out
 }
 

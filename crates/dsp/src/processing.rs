@@ -215,6 +215,7 @@ impl Processor {
             self.frame_shape(),
             "IF frame shape mismatch"
         );
+        let _span = mmwave_telemetry::span("range_fft");
         let nr = self.config.n_range_bins;
         let mut cube = RangeCube::zeros(self.n_vrx, self.n_chirps, nr);
         let mut buf = vec![Complex32::ZERO; self.n_adc];
@@ -235,6 +236,7 @@ impl Processor {
     /// bin, incoherently summed over antennas. Rows = range, cols = Doppler
     /// (zero velocity at the center column after `fftshift`).
     pub fn rdi(&self, frame: &IfFrame) -> Heatmap {
+        let _span = mmwave_telemetry::span("rdi");
         let cube = self.range_profiles(frame);
         let nr = cube.n_range();
         let mut out = Heatmap::zeros(nr, self.n_chirps, HeatmapKind::RangeDoppler);
@@ -261,6 +263,7 @@ impl Processor {
     /// when a calibration capture is available (the capture pipeline always
     /// has one).
     pub fn drai(&self, frame: &IfFrame) -> Heatmap {
+        let _span = mmwave_telemetry::span("drai");
         let mut cube = self.range_profiles(frame);
         match self.config.clutter_removal {
             ClutterRemoval::None => {}
@@ -305,6 +308,7 @@ impl Processor {
         frame: &IfFrame,
         background: &[Vec<Complex32>],
     ) -> Heatmap {
+        let _span = mmwave_telemetry::span("drai");
         let mut cube = self.range_profiles(frame);
         match self.config.clutter_removal {
             ClutterRemoval::None => {}
@@ -327,6 +331,7 @@ impl Processor {
 
     /// DRAI from an already-computed (and possibly clutter-removed) cube.
     pub fn drai_from_cube(&self, cube: &RangeCube) -> Heatmap {
+        let _span = mmwave_telemetry::span("angle_fft");
         let nr = cube.n_range();
         let na = self.config.n_angle_bins;
         let mut out = Heatmap::zeros(nr, na, HeatmapKind::RangeAngle);

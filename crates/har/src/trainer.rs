@@ -276,6 +276,7 @@ impl Trainer {
         if data.is_empty() {
             return Err(TrainError::EmptyDataset);
         }
+        let _span = mmwave_telemetry::span_at("train_fit", mmwave_telemetry::Level::Debug);
         let ckpt = checkpoint_dir.map(checkpoint_path);
         let mut adam = Adam::new(self.config.learning_rate);
         let mut attempts = 0usize;
@@ -323,6 +324,23 @@ impl Trainer {
                     // Divergence: roll back to the epoch boundary, back the
                     // learning rate off, and retry with a reseeded shuffle.
                     attempts += 1;
+                    mmwave_telemetry::counter("train.recoveries", 1);
+                    if mmwave_telemetry::enabled(mmwave_telemetry::Level::Warn) {
+                        let mut fields = serde_json::Map::new();
+                        fields.insert("epoch".to_string(), serde_json::Value::from(epoch as u64));
+                        fields
+                            .insert("attempt".to_string(), serde_json::Value::from(attempts as u64));
+                        fields.insert(
+                            "exhausted".to_string(),
+                            serde_json::Value::from(attempts > self.config.max_recovery_attempts),
+                        );
+                        mmwave_telemetry::event(
+                            mmwave_telemetry::Level::Warn,
+                            mmwave_telemetry::EventKind::Fault,
+                            "train.recovery",
+                            fields,
+                        );
+                    }
                     if attempts > self.config.max_recovery_attempts {
                         return Err(TrainError::NonFinite {
                             epoch,
@@ -388,12 +406,29 @@ impl Trainer {
             if !grad_norm.is_finite() {
                 return None;
             }
+            mmwave_telemetry::observe("train.grad_norm", grad_norm as f64);
             adam.step(&mut model.param_tensors());
         }
-        Some(EpochStats {
+        let epoch_stats = EpochStats {
             loss: epoch_loss / data.len() as f64,
             accuracy: correct as f64 / data.len() as f64,
-        })
+        };
+        mmwave_telemetry::counter("train.epochs", 1);
+        if mmwave_telemetry::enabled(mmwave_telemetry::Level::Debug) {
+            let mut fields = serde_json::Map::new();
+            fields.insert("epoch".to_string(), serde_json::Value::from(epoch as u64));
+            fields.insert("attempt".to_string(), serde_json::Value::from(attempt as u64));
+            fields.insert("loss".to_string(), serde_json::Value::from(epoch_stats.loss));
+            fields.insert("accuracy".to_string(), serde_json::Value::from(epoch_stats.accuracy));
+            fields.insert("lr".to_string(), serde_json::Value::from(f64::from(adam.lr)));
+            mmwave_telemetry::event(
+                mmwave_telemetry::Level::Debug,
+                mmwave_telemetry::EventKind::Metric,
+                "train.epoch",
+                fields,
+            );
+        }
+        Some(epoch_stats)
     }
 
     fn check_resume_compatible(&self, saved: &TrainerConfig) -> Result<(), TrainError> {

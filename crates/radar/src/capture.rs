@@ -190,6 +190,7 @@ impl Capturer {
         seed: u64,
         body_scale: f64,
     ) -> CaptureOutput {
+        let _capture_span = mmwave_telemetry::span_at("capture", mmwave_telemetry::Level::Debug);
         let xf = placement.body_to_world();
         let radar_pos = self.config.radar.position();
         let env = self.environment_cache(environment);
@@ -199,6 +200,7 @@ impl Capturer {
         let mut dropped_flags = Vec::with_capacity(sequence.len());
 
         for (fi, body_frame) in sequence.iter().enumerate() {
+            let synth_span = mmwave_telemetry::span("synthesis");
             // Body in world coordinates, culled to radar-visible surfaces.
             let world_mesh = body_frame.mesh.transformed(&xf);
             let tris = visibility::radar_visible(&world_mesh, radar_pos, &self.config.occlusion);
@@ -216,6 +218,7 @@ impl Capturer {
                 let site_world = transform_site(body_frame.site(plan.site), &xf);
                 base.superposed(&self.trigger_if(plan, &site_world))
             });
+            drop(synth_span);
 
             let mut frame_dropped = false;
             if let Some(injector) = &self.config.faults {
@@ -225,6 +228,19 @@ impl Capturer {
                 }
             }
             dropped_flags.push(frame_dropped);
+            if frame_dropped {
+                mmwave_telemetry::counter("radar.frames_dropped", 1);
+                if mmwave_telemetry::enabled(mmwave_telemetry::Level::Debug) {
+                    let mut fields = serde_json::Map::new();
+                    fields.insert("frame".to_string(), serde_json::Value::from(fi as u64));
+                    mmwave_telemetry::event(
+                        mmwave_telemetry::Level::Debug,
+                        mmwave_telemetry::EventKind::Fault,
+                        "radar.frame_dropout",
+                        fields,
+                    );
+                }
+            }
 
             if frame_dropped {
                 // Placeholder; repaired below by neighbor interpolation.
@@ -243,11 +259,29 @@ impl Capturer {
         // Graceful degradation: dropped frames are interpolated from their
         // valid neighbors (and stay zero when every frame dropped) so the
         // pipeline always yields a valid sequence.
-        if dropped_flags.iter().any(|&d| d) {
+        let n_dropped = dropped_flags.iter().filter(|&&d| d).count();
+        if n_dropped > 0 {
             repair_dropped_frames(&mut clean_frames, &dropped_flags);
             if let Some(frames) = trig_frames.as_mut() {
                 repair_dropped_frames(frames, &dropped_flags);
             }
+        }
+
+        mmwave_telemetry::counter("radar.frames", sequence.len() as u64);
+        if mmwave_telemetry::enabled(mmwave_telemetry::Level::Trace) {
+            let mut fields = serde_json::Map::new();
+            fields.insert("frames".to_string(), serde_json::Value::from(sequence.len() as u64));
+            fields.insert("dropped".to_string(), serde_json::Value::from(n_dropped as u64));
+            fields.insert(
+                "triggered".to_string(),
+                serde_json::Value::from(trigger.is_some()),
+            );
+            mmwave_telemetry::event(
+                mmwave_telemetry::Level::Trace,
+                mmwave_telemetry::EventKind::Metric,
+                "radar.capture",
+                fields,
+            );
         }
 
         CaptureOutput {

@@ -138,6 +138,7 @@ impl PermutationShap {
     pub fn explain<F: SetFunction + ?Sized>(&self, f: &F) -> Vec<f64> {
         let m = f.n_players();
         assert!(m > 0, "game needs at least one player");
+        let _span = mmwave_telemetry::span("shap_explain");
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
         let mut order: Vec<usize> = (0..m).collect();
         let mut phi = vec![0.0f64; m];
@@ -154,6 +155,8 @@ impl PermutationShap {
         for p in &mut phi {
             *p /= total_passes as f64;
         }
+        // Each walk evaluates the empty coalition plus one set per player.
+        mmwave_telemetry::counter("shap.evaluations", (total_passes * (m + 1)) as u64);
         phi
     }
 

@@ -1,0 +1,196 @@
+//! The structured event type shared by every sink, and its severity level.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Severity / verbosity level. Ordered from least verbose ([`Level::Error`])
+/// to most verbose ([`Level::Trace`]): a sink configured at verbosity `L`
+/// records every event whose level is `<= L`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(rename_all = "lowercase")]
+pub enum Level {
+    /// The run is degraded or failing.
+    Error,
+    /// Something unexpected that the pipeline recovered from.
+    Warn,
+    /// Run-level milestones (campaign points, summaries).
+    Info,
+    /// Stage-level detail (per-capture, per-epoch).
+    Debug,
+    /// Hot-path detail (per-frame spans).
+    Trace,
+}
+
+impl Level {
+    /// All levels, least to most verbose.
+    pub const ALL: [Level; 5] =
+        [Level::Error, Level::Warn, Level::Info, Level::Debug, Level::Trace];
+
+    /// Lowercase name, matching the serialized form.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for Level {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Level, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "error" => Ok(Level::Error),
+            "warn" | "warning" => Ok(Level::Warn),
+            "info" => Ok(Level::Info),
+            "debug" => Ok(Level::Debug),
+            "trace" => Ok(Level::Trace),
+            other => Err(format!(
+                "unknown log level `{other}` (expected error|warn|info|debug|trace)"
+            )),
+        }
+    }
+}
+
+/// What kind of occurrence an [`Event`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum EventKind {
+    /// A human-oriented log line (`fields["message"]`).
+    Log,
+    /// A completed span (`fields["duration_us"]`).
+    Span,
+    /// A structured measurement (epoch stats, capture stats, ...).
+    Metric,
+    /// A fault or recovery occurrence (dropped frame, trainer rollback).
+    Fault,
+    /// A completed campaign point.
+    Point,
+    /// The end-of-run aggregate snapshot.
+    Summary,
+}
+
+/// One structured, self-describing run event. Serialized as a single JSON
+/// line by the JSONL sink; rendered human-readably by the stderr sink.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Event {
+    /// Milliseconds since the Unix epoch.
+    pub ts_ms: u64,
+    /// Severity.
+    pub level: Level,
+    /// Event kind.
+    pub kind: EventKind,
+    /// Event name: a log target, a span path, or a metric name.
+    pub name: String,
+    /// Structured payload.
+    #[serde(default, skip_serializing_if = "serde_json::Map::is_empty")]
+    pub fields: serde_json::Map<String, serde_json::Value>,
+}
+
+impl Event {
+    /// Creates an event stamped with the current wall-clock time.
+    pub fn now(
+        level: Level,
+        kind: EventKind,
+        name: &str,
+        fields: serde_json::Map<String, serde_json::Value>,
+    ) -> Event {
+        Event { ts_ms: unix_millis(), level, kind, name: name.to_string(), fields }
+    }
+
+    /// Renders the event for human eyes: `HH:MM:SS.mmm LEVEL name key=value ...`
+    /// with the `message` field (if any) inlined before the remaining fields.
+    pub fn format_human(&self) -> String {
+        let secs = self.ts_ms / 1000;
+        let (h, m, s, ms) =
+            (secs / 3600 % 24, secs / 60 % 60, secs % 60, self.ts_ms % 1000);
+        let mut out = format!(
+            "{h:02}:{m:02}:{s:02}.{ms:03} {:<5} {}",
+            self.level.as_str().to_ascii_uppercase(),
+            self.name
+        );
+        if let Some(serde_json::Value::String(msg)) = self.fields.get("message") {
+            out.push_str(": ");
+            out.push_str(msg);
+        }
+        for (k, v) in &self.fields {
+            if k == "message" {
+                continue;
+            }
+            out.push(' ');
+            out.push_str(k);
+            out.push('=');
+            out.push_str(&v.to_string());
+        }
+        out
+    }
+}
+
+/// Current wall-clock time in milliseconds since the Unix epoch.
+pub fn unix_millis() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_ordering_is_verbosity() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+        assert!(Level::Debug < Level::Trace);
+    }
+
+    #[test]
+    fn level_roundtrips_through_str() {
+        for level in Level::ALL {
+            assert_eq!(level.as_str().parse::<Level>().unwrap(), level);
+        }
+        assert!("verbose".parse::<Level>().is_err());
+        assert_eq!("WARN".parse::<Level>().unwrap(), Level::Warn);
+    }
+
+    #[test]
+    fn event_serializes_as_compact_json() {
+        let mut fields = serde_json::Map::new();
+        fields.insert("frames".to_string(), serde_json::Value::from(32u64));
+        let e = Event::now(Level::Debug, EventKind::Metric, "capture", fields);
+        let line = serde_json::to_string(&e).unwrap();
+        assert!(line.contains("\"level\":\"debug\""));
+        assert!(line.contains("\"kind\":\"metric\""));
+        assert!(line.contains("\"frames\":32"));
+        let back: Event = serde_json::from_str(&line).unwrap();
+        assert_eq!(back.name, "capture");
+        assert_eq!(back.level, Level::Debug);
+    }
+
+    #[test]
+    fn human_format_inlines_message() {
+        let mut fields = serde_json::Map::new();
+        fields.insert("message".to_string(), serde_json::Value::from("hello"));
+        fields.insert("n".to_string(), serde_json::Value::from(3u64));
+        let e = Event::now(Level::Info, EventKind::Log, "cli", fields);
+        let s = e.format_human();
+        assert!(s.contains("INFO"));
+        assert!(s.contains("cli: hello"));
+        assert!(s.contains("n=3"));
+    }
+}

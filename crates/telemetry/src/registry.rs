@@ -1,0 +1,464 @@
+//! The thread-safe metrics registry and the process-wide global instance.
+
+use crate::event::{Event, EventKind, Level};
+use crate::histogram::{HistogramSnapshot, LogLinearHistogram};
+use crate::sink::{JsonlSink, Sink, StderrSink};
+use parking_lot::{Mutex, RwLock};
+use std::collections::{BTreeMap, HashMap};
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Sentinel for "no sinks installed": no event level passes.
+const NO_SINKS: u8 = u8::MAX;
+
+/// A thread-safe registry of counters, gauges, histograms, span timings,
+/// and event sinks. One process-wide instance lives behind [`global`]; unit
+/// tests can create private instances.
+pub struct Registry {
+    enabled: AtomicBool,
+    /// Cached `max(sink.verbosity())` as a `u8`, or [`NO_SINKS`]; lets the
+    /// hot path skip event construction with one atomic load.
+    max_verbosity: AtomicU8,
+    counters: Mutex<HashMap<String, u64>>,
+    gauges: Mutex<HashMap<String, f64>>,
+    histograms: Mutex<HashMap<String, LogLinearHistogram>>,
+    spans: Mutex<HashMap<String, LogLinearHistogram>>,
+    sinks: RwLock<Vec<Box<dyn Sink>>>,
+    start: Instant,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("enabled", &self.is_enabled())
+            .field("sinks", &self.sinks.read().len())
+            .finish()
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    /// Creates an enabled registry with no sinks.
+    pub fn new() -> Registry {
+        Registry {
+            enabled: AtomicBool::new(true),
+            max_verbosity: AtomicU8::new(NO_SINKS),
+            counters: Mutex::new(HashMap::new()),
+            gauges: Mutex::new(HashMap::new()),
+            histograms: Mutex::new(HashMap::new()),
+            spans: Mutex::new(HashMap::new()),
+            sinks: RwLock::new(Vec::new()),
+            start: Instant::now(),
+        }
+    }
+
+    /// Whether recording is enabled at all. When disabled, every telemetry
+    /// call is a single atomic load and an early return.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Enables or disables all recording.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Installs a sink.
+    pub fn add_sink(&self, sink: Box<dyn Sink>) {
+        let mut sinks = self.sinks.write();
+        sinks.push(sink);
+        let max = sinks.iter().map(|s| s.verbosity() as u8).max().unwrap_or(NO_SINKS);
+        self.max_verbosity.store(max, Ordering::Relaxed);
+    }
+
+    /// Removes every sink (metrics keep accumulating).
+    pub fn clear_sinks(&self) {
+        let mut sinks = self.sinks.write();
+        for sink in sinks.iter() {
+            sink.flush();
+        }
+        sinks.clear();
+        self.max_verbosity.store(NO_SINKS, Ordering::Relaxed);
+    }
+
+    /// True when an event at `level` would reach at least one sink. Cheap:
+    /// two atomic loads, no locks.
+    pub fn would_emit(&self, level: Level) -> bool {
+        if !self.is_enabled() {
+            return false;
+        }
+        let max = self.max_verbosity.load(Ordering::Relaxed);
+        max != NO_SINKS && (level as u8) <= max
+    }
+
+    /// Adds `delta` to the named counter.
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut counters = self.counters.lock();
+        match counters.get_mut(name) {
+            Some(v) => *v += delta,
+            None => {
+                counters.insert(name.to_string(), delta);
+            }
+        }
+    }
+
+    /// Sets the named gauge.
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.gauges.lock().insert(name.to_string(), value);
+    }
+
+    /// Records one sample into the named histogram.
+    pub fn observe(&self, name: &str, value: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut hists = self.histograms.lock();
+        match hists.get_mut(name) {
+            Some(h) => h.record(value),
+            None => {
+                let mut h = LogLinearHistogram::new();
+                h.record(value);
+                hists.insert(name.to_string(), h);
+            }
+        }
+    }
+
+    /// Records one completed span occurrence (seconds) under its full
+    /// hierarchical path, e.g. `"capture/drai/range_fft"`.
+    pub fn record_span(&self, path: &str, seconds: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut spans = self.spans.lock();
+        match spans.get_mut(path) {
+            Some(h) => h.record(seconds),
+            None => {
+                let mut h = LogLinearHistogram::new();
+                h.record(seconds);
+                spans.insert(path.to_string(), h);
+            }
+        }
+    }
+
+    /// Delivers an event to every sink whose verbosity admits it.
+    pub fn emit(
+        &self,
+        level: Level,
+        kind: EventKind,
+        name: &str,
+        fields: serde_json::Map<String, serde_json::Value>,
+    ) {
+        if !self.would_emit(level) {
+            return;
+        }
+        let event = Event::now(level, kind, name, fields);
+        for sink in self.sinks.read().iter() {
+            if level <= sink.verbosity() {
+                sink.record(&event);
+            }
+        }
+    }
+
+    /// Flushes every sink.
+    pub fn flush(&self) {
+        for sink in self.sinks.read().iter() {
+            sink.flush();
+        }
+    }
+
+    /// Counter value (0 when never incremented).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters.lock().get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value, if ever set.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.gauges.lock().get(name).copied()
+    }
+
+    /// Snapshot of one span path's timing histogram (seconds), if recorded.
+    pub fn span_snapshot(&self, path: &str) -> Option<HistogramSnapshot> {
+        self.spans.lock().get(path).map(LogLinearHistogram::snapshot)
+    }
+
+    /// Snapshot of one metric histogram, if recorded.
+    pub fn histogram_snapshot(&self, name: &str) -> Option<HistogramSnapshot> {
+        self.histograms.lock().get(name).map(LogLinearHistogram::snapshot)
+    }
+
+    /// All recorded span paths.
+    pub fn span_paths(&self) -> Vec<String> {
+        let mut paths: Vec<String> = self.spans.lock().keys().cloned().collect();
+        paths.sort();
+        paths
+    }
+
+    /// Full serializable snapshot of everything the registry accumulated:
+    /// counters, gauges, metric histograms, and per-span timing aggregates.
+    pub fn snapshot(&self) -> serde_json::Value {
+        let counters: BTreeMap<String, u64> =
+            self.counters.lock().iter().map(|(k, v)| (k.clone(), *v)).collect();
+        let gauges: BTreeMap<String, f64> =
+            self.gauges.lock().iter().map(|(k, v)| (k.clone(), *v)).collect();
+        let histograms: BTreeMap<String, HistogramSnapshot> = self
+            .histograms
+            .lock()
+            .iter()
+            .map(|(k, h)| (k.clone(), h.snapshot()))
+            .collect();
+        let spans: BTreeMap<String, serde_json::Value> = self
+            .spans
+            .lock()
+            .iter()
+            .map(|(k, h)| {
+                let s = h.snapshot();
+                (
+                    k.clone(),
+                    serde_json::json!({
+                        "calls": s.count,
+                        "total_ms": 1e3 * s.sum,
+                        "mean_ms": 1e3 * s.mean,
+                        "p50_ms": 1e3 * s.p50,
+                        "p95_ms": 1e3 * s.p95,
+                        "p99_ms": 1e3 * s.p99,
+                        "max_ms": 1e3 * s.max,
+                    }),
+                )
+            })
+            .collect();
+        serde_json::json!({
+            "uptime_ms": self.start.elapsed().as_millis() as u64,
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+            "spans": spans,
+        })
+    }
+
+    /// A compact snapshot for embedding in journal entries: counters plus
+    /// per-span call counts and total milliseconds.
+    pub fn snapshot_brief(&self) -> serde_json::Value {
+        let counters: BTreeMap<String, u64> =
+            self.counters.lock().iter().map(|(k, v)| (k.clone(), *v)).collect();
+        let spans: BTreeMap<String, serde_json::Value> = self
+            .spans
+            .lock()
+            .iter()
+            .map(|(k, h)| {
+                (
+                    k.clone(),
+                    serde_json::json!({
+                        "calls": h.count(),
+                        "total_ms": 1e3 * h.sum(),
+                    }),
+                )
+            })
+            .collect();
+        serde_json::json!({ "counters": counters, "spans": spans })
+    }
+
+    /// Renders the end-of-run stage-time table: one row per span path,
+    /// sorted by total wall time, with call counts, quantiles, and
+    /// throughput (`calls / total seconds` — frames/sec for per-frame
+    /// spans). Counters are appended below the table.
+    pub fn summary_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut rows: Vec<(String, HistogramSnapshot)> = self
+            .spans
+            .lock()
+            .iter()
+            .map(|(k, h)| (k.clone(), h.snapshot()))
+            .collect();
+        rows.sort_by(|a, b| b.1.sum.total_cmp(&a.1.sum));
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<44} {:>8} {:>11} {:>9} {:>9} {:>9}",
+            "stage", "calls", "total(ms)", "mean(ms)", "p95(ms)", "rate(/s)"
+        );
+        if rows.is_empty() {
+            let _ = writeln!(out, "(no spans recorded)");
+        }
+        for (path, s) in &rows {
+            let rate = if s.sum > 0.0 { s.count as f64 / s.sum } else { 0.0 };
+            let _ = writeln!(
+                out,
+                "{:<44} {:>8} {:>11.1} {:>9.3} {:>9.3} {:>9.1}",
+                path,
+                s.count,
+                1e3 * s.sum,
+                1e3 * s.mean,
+                1e3 * s.p95,
+                rate
+            );
+        }
+        let counters: BTreeMap<String, u64> =
+            self.counters.lock().iter().map(|(k, v)| (k.clone(), *v)).collect();
+        if !counters.is_empty() {
+            let _ = writeln!(out, "{:<44} {:>8}", "counter", "value");
+            for (name, value) in &counters {
+                let _ = writeln!(out, "{name:<44} {value:>8}");
+            }
+        }
+        out
+    }
+}
+
+/// How [`configure`] sets the global registry up.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetryConfig {
+    /// Disable all recording (the `<1 %` overhead path).
+    pub disabled: bool,
+    /// Verbosity of the human-readable stderr sink; `None` installs no
+    /// stderr sink.
+    pub stderr_verbosity: Option<Level>,
+    /// Path of a JSON-lines metrics file; `None` installs no file sink.
+    pub metrics_out: Option<PathBuf>,
+}
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// The process-wide registry. On first access it configures itself from the
+/// environment, so instrumented libraries need no explicit setup:
+///
+/// * `MMWAVE_TELEMETRY=off|0|false` disables all recording;
+/// * `MMWAVE_LOG_LEVEL=<error|warn|info|debug|trace>` sets the stderr
+///   sink's verbosity (default `warn`);
+/// * `MMWAVE_METRICS_OUT=<path>` additionally streams every event to a
+///   JSON-lines file.
+pub fn global() -> &'static Registry {
+    GLOBAL.get_or_init(|| {
+        let registry = Registry::new();
+        if let Ok(v) = std::env::var("MMWAVE_TELEMETRY") {
+            if matches!(v.to_ascii_lowercase().as_str(), "off" | "0" | "false") {
+                registry.set_enabled(false);
+            }
+        }
+        let stderr_level = std::env::var("MMWAVE_LOG_LEVEL")
+            .ok()
+            .and_then(|v| v.parse::<Level>().ok())
+            .unwrap_or(Level::Warn);
+        registry.add_sink(Box::new(StderrSink::new(stderr_level)));
+        if let Ok(path) = std::env::var("MMWAVE_METRICS_OUT") {
+            if !path.is_empty() {
+                if let Ok(sink) = JsonlSink::create(&path) {
+                    registry.add_sink(Box::new(sink));
+                }
+            }
+        }
+        registry
+    })
+}
+
+/// Reconfigures the global registry's sinks and enablement (the CLI entry
+/// point; wins over the environment-derived defaults).
+///
+/// # Errors
+///
+/// Returns any I/O error from creating the metrics file.
+pub fn configure(config: &TelemetryConfig) -> io::Result<()> {
+    let registry = global();
+    registry.set_enabled(!config.disabled);
+    registry.clear_sinks();
+    if let Some(level) = config.stderr_verbosity {
+        registry.add_sink(Box::new(StderrSink::new(level)));
+    }
+    if let Some(path) = &config.metrics_out {
+        registry.add_sink(Box::new(JsonlSink::create(path)?));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let r = Registry::new();
+        r.counter_add("frames", 3);
+        r.counter_add("frames", 4);
+        assert_eq!(r.counter_value("frames"), 7);
+        assert_eq!(r.counter_value("missing"), 0);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let r = Registry::new();
+        r.gauge_set("lr", 0.1);
+        r.gauge_set("lr", 0.05);
+        assert_eq!(r.gauge_value("lr"), Some(0.05));
+        assert_eq!(r.gauge_value("missing"), None);
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let r = Registry::new();
+        r.set_enabled(false);
+        r.counter_add("frames", 1);
+        r.gauge_set("lr", 1.0);
+        r.observe("loss", 1.0);
+        r.record_span("capture", 0.5);
+        assert_eq!(r.counter_value("frames"), 0);
+        assert_eq!(r.gauge_value("lr"), None);
+        assert!(r.histogram_snapshot("loss").is_none());
+        assert!(r.span_snapshot("capture").is_none());
+        assert!(!r.would_emit(Level::Error));
+    }
+
+    #[test]
+    fn would_emit_respects_sink_verbosity() {
+        let r = Registry::new();
+        assert!(!r.would_emit(Level::Error), "no sinks: nothing passes");
+        r.add_sink(Box::new(StderrSink::new(Level::Info)));
+        assert!(r.would_emit(Level::Warn));
+        assert!(r.would_emit(Level::Info));
+        assert!(!r.would_emit(Level::Debug));
+        r.clear_sinks();
+        assert!(!r.would_emit(Level::Error));
+    }
+
+    #[test]
+    fn snapshot_contains_all_sections() {
+        let r = Registry::new();
+        r.counter_add("frames", 2);
+        r.gauge_set("lr", 0.01);
+        r.observe("loss", 0.7);
+        r.record_span("capture", 0.25);
+        let snap = r.snapshot();
+        assert_eq!(snap["counters"]["frames"], 2);
+        assert_eq!(snap["gauges"]["lr"], 0.01);
+        assert_eq!(snap["histograms"]["loss"]["count"], 1);
+        assert_eq!(snap["spans"]["capture"]["calls"], 1);
+        let brief = r.snapshot_brief();
+        assert_eq!(brief["counters"]["frames"], 2);
+        assert_eq!(brief["spans"]["capture"]["calls"], 1);
+    }
+
+    #[test]
+    fn summary_table_lists_spans_and_counters() {
+        let r = Registry::new();
+        r.record_span("capture", 0.5);
+        r.record_span("capture/drai", 0.1);
+        r.counter_add("radar.frames", 12);
+        let table = r.summary_table();
+        assert!(table.contains("capture"));
+        assert!(table.contains("capture/drai"));
+        assert!(table.contains("radar.frames"));
+        assert!(table.contains("rate(/s)"));
+    }
+}

@@ -1,0 +1,187 @@
+//! Pluggable event sinks: human-readable stderr and machine-readable
+//! JSON-lines files.
+
+use crate::event::{Event, Level};
+use parking_lot::Mutex;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Receives every event whose level passes the sink's verbosity. Sinks must
+/// never panic or block the pipeline on failure: recording errors are
+/// swallowed (telemetry is an observer, not a dependency).
+pub trait Sink: Send + Sync {
+    /// Most verbose level this sink accepts; events with `level <=
+    /// verbosity()` are delivered.
+    fn verbosity(&self) -> Level;
+
+    /// Delivers one event.
+    fn record(&self, event: &Event);
+
+    /// Flushes any buffered output.
+    fn flush(&self) {}
+}
+
+/// Human-readable sink writing to stderr.
+#[derive(Debug, Clone, Copy)]
+pub struct StderrSink {
+    verbosity: Level,
+}
+
+impl StderrSink {
+    /// Creates a stderr sink delivering events up to `verbosity`.
+    pub fn new(verbosity: Level) -> StderrSink {
+        StderrSink { verbosity }
+    }
+}
+
+impl Sink for StderrSink {
+    fn verbosity(&self) -> Level {
+        self.verbosity
+    }
+
+    fn record(&self, event: &Event) {
+        eprintln!("{}", event.format_human());
+    }
+}
+
+/// Machine-readable sink appending one JSON object per line to a file.
+/// Every line is flushed as it is written, so a killed process corrupts at
+/// most the trailing line — which [`read_jsonl_events`] tolerates.
+pub struct JsonlSink {
+    verbosity: Level,
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Creates (or truncates) the file at `path`, creating parent
+    /// directories as needed. Accepts everything up to [`Level::Trace`].
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating the directories or the file.
+    pub fn create<P: AsRef<Path>>(path: P) -> io::Result<JsonlSink> {
+        JsonlSink::with_verbosity(path, Level::Trace)
+    }
+
+    /// Like [`JsonlSink::create`] with an explicit verbosity cap.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating the directories or the file.
+    pub fn with_verbosity<P: AsRef<Path>>(path: P, verbosity: Level) -> io::Result<JsonlSink> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = File::create(path)?;
+        Ok(JsonlSink { verbosity, writer: Mutex::new(BufWriter::new(file)) })
+    }
+}
+
+impl Sink for JsonlSink {
+    fn verbosity(&self) -> Level {
+        self.verbosity
+    }
+
+    fn record(&self, event: &Event) {
+        let Ok(line) = serde_json::to_string(event) else {
+            return;
+        };
+        let mut w = self.writer.lock();
+        let _ = writeln!(w, "{line}");
+        let _ = w.flush();
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().flush();
+    }
+}
+
+/// Reads the events of a JSONL metrics file, tolerating a torn trailing
+/// line (the signature of a process killed mid-write): replay stops at the
+/// first unparseable line and returns the intact prefix.
+///
+/// # Errors
+///
+/// Returns any I/O error from opening or reading the file.
+pub fn read_jsonl_events<P: AsRef<Path>>(path: P) -> io::Result<Vec<Event>> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut out = Vec::new();
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match serde_json::from_str::<Event>(&line) {
+            Ok(event) => out.push(event),
+            Err(_) => break,
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use std::path::PathBuf;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("mmwave_sink_{tag}_{}.jsonl", std::process::id()))
+    }
+
+    fn sample_event(name: &str) -> Event {
+        let mut fields = serde_json::Map::new();
+        fields.insert("value".to_string(), serde_json::Value::from(1.5));
+        Event::now(Level::Info, EventKind::Metric, name, fields)
+    }
+
+    #[test]
+    fn jsonl_sink_roundtrips_events() {
+        let path = temp_path("roundtrip");
+        let sink = JsonlSink::create(&path).unwrap();
+        sink.record(&sample_event("a"));
+        sink.record(&sample_event("b"));
+        sink.flush();
+        let events = read_jsonl_events(&path).unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "a");
+        assert_eq!(events[1].name, "b");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_trailing_line_is_tolerated() {
+        let path = temp_path("torn");
+        let sink = JsonlSink::create(&path).unwrap();
+        for name in ["a", "b", "c"] {
+            sink.record(&sample_event(name));
+        }
+        sink.flush();
+        drop(sink);
+        // Simulate a kill mid-append: chop the file mid-line.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.truncate(bytes.len() - 7);
+        std::fs::write(&path, &bytes).unwrap();
+        let events = read_jsonl_events(&path).unwrap();
+        assert_eq!(events.len(), 2, "intact prefix must survive a torn tail");
+        assert_eq!(events[1].name, "b");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn create_makes_parent_directories() {
+        let dir = std::env::temp_dir()
+            .join(format!("mmwave_sink_nested_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("deep/run_events.jsonl");
+        let sink = JsonlSink::create(&path).unwrap();
+        sink.record(&sample_event("x"));
+        sink.flush();
+        assert_eq!(read_jsonl_events(&path).unwrap().len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,97 @@
+//! Hierarchical span timers with RAII guards.
+//!
+//! A span measures one stage of the pipeline. Spans nest: each thread keeps
+//! a stack of open span names, and a span opened while another is active is
+//! recorded under the `/`-joined path of its ancestors — `"capture"` opened
+//! around `"drai"` yields the path `"capture/drai"`. The stack is
+//! thread-local, so parallel workers (e.g. crossbeam dataset generation)
+//! each attribute their spans independently.
+//!
+//! Timing data goes to the global registry's span histograms; in addition a
+//! [`crate::event::EventKind::Span`] event with the duration is emitted at
+//! the span's level, so sinks verbose enough to care see every occurrence.
+
+use crate::event::{EventKind, Level};
+use crate::registry::{global, Registry};
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard for an open span; records the elapsed time when dropped.
+/// Obtained from [`span`] or [`span_at`].
+#[must_use = "a span measures nothing unless held for the duration of the stage"]
+pub struct SpanGuard {
+    inner: Option<SpanInner>,
+}
+
+struct SpanInner {
+    registry: &'static Registry,
+    path: String,
+    level: Level,
+    start: Instant,
+}
+
+impl SpanGuard {
+    fn open(name: &str, level: Level) -> SpanGuard {
+        let registry = global();
+        if !registry.is_enabled() {
+            return SpanGuard { inner: None };
+        }
+        let path = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let path = if stack.is_empty() {
+                name.to_string()
+            } else {
+                format!("{}/{name}", stack.join("/"))
+            };
+            stack.push(name.to_string());
+            path
+        });
+        SpanGuard {
+            inner: Some(SpanInner { registry, path, level, start: Instant::now() }),
+        }
+    }
+
+    /// Full `/`-joined hierarchical path of this span, or `None` when
+    /// telemetry is disabled.
+    pub fn path(&self) -> Option<&str> {
+        self.inner.as_ref().map(|i| i.path.as_str())
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(inner) = self.inner.take() else {
+            return;
+        };
+        SPAN_STACK.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+        let elapsed = inner.start.elapsed();
+        inner.registry.record_span(&inner.path, elapsed.as_secs_f64());
+        if inner.registry.would_emit(inner.level) {
+            let mut fields = serde_json::Map::new();
+            fields.insert(
+                "duration_us".to_string(),
+                serde_json::Value::from(elapsed.as_micros() as u64),
+            );
+            inner.registry.emit(inner.level, EventKind::Span, &inner.path, fields);
+        }
+    }
+}
+
+/// Opens a hot-path span at [`Level::Trace`] (per-frame granularity; only
+/// very verbose sinks see the individual events, but the timing histogram
+/// always accumulates).
+pub fn span(name: &str) -> SpanGuard {
+    SpanGuard::open(name, Level::Trace)
+}
+
+/// Opens a span at an explicit level — [`Level::Debug`] for stage-level
+/// spans like a whole capture or a training fit.
+pub fn span_at(name: &str, level: Level) -> SpanGuard {
+    SpanGuard::open(name, level)
+}

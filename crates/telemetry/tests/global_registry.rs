@@ -1,0 +1,85 @@
+//! Integration tests exercising the process-wide registry: nested-span
+//! parent attribution and concurrent recording from multiple threads.
+//!
+//! These tests share one global registry with each other (the test harness
+//! runs them on parallel threads in a single process), so every test uses
+//! names unique to itself and only asserts on those.
+
+use mmwave_telemetry::{global, span, span_at, Level};
+
+#[test]
+fn nested_spans_record_under_parent_path() {
+    {
+        let outer = span_at("it_capture", Level::Debug);
+        assert_eq!(outer.path(), Some("it_capture"));
+        {
+            let mid = span("it_drai");
+            assert_eq!(mid.path(), Some("it_capture/it_drai"));
+            let inner = span("it_range_fft");
+            assert_eq!(inner.path(), Some("it_capture/it_drai/it_range_fft"));
+        }
+        // Sibling after the nested block attributes to the outer span only.
+        let sibling = span("it_cfar");
+        assert_eq!(sibling.path(), Some("it_capture/it_cfar"));
+    }
+    let r = global();
+    assert_eq!(r.span_snapshot("it_capture").unwrap().count, 1);
+    assert_eq!(r.span_snapshot("it_capture/it_drai").unwrap().count, 1);
+    assert_eq!(r.span_snapshot("it_capture/it_drai/it_range_fft").unwrap().count, 1);
+    assert_eq!(r.span_snapshot("it_capture/it_cfar").unwrap().count, 1);
+    assert!(
+        r.span_snapshot("it_drai").is_none(),
+        "nested span must not also record under its bare name"
+    );
+    let parent = r.span_snapshot("it_capture").unwrap();
+    let child = r.span_snapshot("it_capture/it_drai").unwrap();
+    assert!(
+        parent.sum >= child.sum,
+        "parent wall time ({}) must cover its child's ({})",
+        parent.sum,
+        child.sum
+    );
+}
+
+#[test]
+fn span_stack_is_per_thread() {
+    let _outer = span_at("it_main_thread", Level::Debug);
+    let handle = std::thread::spawn(|| {
+        let worker = span("it_worker");
+        // A fresh thread has an empty stack: no parent prefix leaks across.
+        assert_eq!(worker.path(), Some("it_worker"));
+    });
+    handle.join().unwrap();
+    drop(_outer);
+    assert_eq!(global().span_snapshot("it_worker").unwrap().count, 1);
+}
+
+#[test]
+fn concurrent_recording_loses_nothing() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 500;
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    mmwave_telemetry::counter("it_conc.frames", 1);
+                    mmwave_telemetry::observe("it_conc.latency", (t as f64 + 1.0) * 1e-3);
+                    let _s = span("it_conc_span");
+                    drop(_s);
+                    mmwave_telemetry::gauge("it_conc.last", i as f64);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let r = global();
+    let expected = (THREADS as u64) * PER_THREAD;
+    assert_eq!(r.counter_value("it_conc.frames"), expected);
+    assert_eq!(r.histogram_snapshot("it_conc.latency").unwrap().count, expected);
+    assert_eq!(r.span_snapshot("it_conc_span").unwrap().count, expected);
+    assert!(r.gauge_value("it_conc.last").is_some());
+    let snap = mmwave_telemetry::snapshot();
+    assert_eq!(snap["counters"]["it_conc.frames"], expected);
+}

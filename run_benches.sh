@@ -4,8 +4,12 @@
 # Fault-tolerant: a failing bench no longer aborts the sweep — every target
 # runs, and a pass/fail summary table is printed (and appended to
 # bench_output.txt) at the end. Exits nonzero if any bench failed.
+#
+# Telemetry: each bench streams its run events to bench_metrics/<bench>.jsonl
+# via MMWAVE_METRICS_OUT (see docs/observability.md).
 set -uo pipefail
 cd /root/repo || exit 1
+mkdir -p bench_metrics
 
 benches="fig08_similar_rate fig09_similar_frames fig07_confusion_matrix \
          fig03_shap_histogram fig05_heatmap_stealth \
@@ -17,7 +21,8 @@ declare -A status
 failures=0
 for b in $benches; do
   echo "================ $b ================" >> bench_output.txt
-  if cargo bench -q -p mmwave-bench --bench "$b" >> bench_output.txt 2>&1; then
+  if MMWAVE_METRICS_OUT="bench_metrics/$b.jsonl" \
+     cargo bench -q -p mmwave-bench --bench "$b" >> bench_output.txt 2>&1; then
     status[$b]=PASS
   else
     status[$b]=FAIL

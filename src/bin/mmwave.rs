@@ -6,7 +6,20 @@
 //! mmwave train   [--reps 2] [--epochs 20]
 //! mmwave attack  [--rate 0.4] [--frames 8] [--scenario push-pull] [--smoke]
 //!                [--resume <dir>]
+//! mmwave demo    (smoke-scale end-to-end attack exercising every stage)
 //! ```
+//!
+//! Global flags, accepted by every command:
+//!
+//! ```text
+//! --log-level <error|warn|info|debug|trace>   stderr verbosity (default info)
+//! --metrics-out <path>   stream every telemetry event to a JSON-lines file
+//! --quiet                suppress stderr diagnostics and the summary table
+//! ```
+//!
+//! Results go to stdout; diagnostics go through the telemetry logger to
+//! stderr. Every pipeline command ends with a stage-time summary table
+//! (suppressed by `--quiet`).
 //!
 //! Everything runs at example scale by default; this is a demonstration
 //! driver, not the benchmark harness (see `cargo bench -p mmwave-bench`).
@@ -23,8 +36,13 @@ use mmwave_har_backdoor::har::{CnnLstm, PrototypeConfig, Trainer, TrainerConfig}
 use mmwave_har_backdoor::radar::capture::{CaptureConfig, Capturer, TriggerPlan};
 use mmwave_har_backdoor::radar::trigger::{Trigger, TriggerAttachment};
 use mmwave_har_backdoor::radar::{Environment, Placement};
+use mmwave_har_backdoor::telemetry;
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
+
+const SCENARIOS: [&str; 4] = ["push-pull", "left-right", "push-right", "push-acw"];
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -32,6 +50,8 @@ fn main() -> ExitCode {
         print_usage();
         return ExitCode::FAILURE;
     };
+    // Flag parsing and telemetry setup happen before the logger exists, so
+    // their own errors fall back to bare stderr.
     let opts = match parse_flags(rest) {
         Ok(o) => o,
         Err(e) => {
@@ -40,20 +60,64 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match command.as_str() {
+    let quiet = opts.contains_key("quiet");
+    if let Err(e) = configure_telemetry(&opts, quiet) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+    let code = match command.as_str() {
         "capture" => capture(&opts),
         "train" => train(&opts),
         "attack" => attack(&opts),
+        "demo" => demo(&opts),
         "help" | "--help" | "-h" => {
             print_usage();
-            ExitCode::SUCCESS
+            return ExitCode::SUCCESS;
         }
         other => {
-            eprintln!("error: unknown command `{other}`");
+            telemetry::error!("unknown command `{other}`");
             print_usage();
-            ExitCode::FAILURE
+            return ExitCode::FAILURE;
         }
+    };
+    // End of run: emit the Summary event, flush every sink, and show the
+    // per-stage wall-time / throughput table.
+    let table = telemetry::finish();
+    if !quiet {
+        println!("\n-- stage-time summary --");
+        print!("{table}");
     }
+    code
+}
+
+/// Builds the telemetry configuration from the global flags (`--log-level`,
+/// `--metrics-out`, `--quiet`) with the `MMWAVE_*` environment variables as
+/// fallback, and installs it.
+fn configure_telemetry(opts: &HashMap<String, String>, quiet: bool) -> Result<(), String> {
+    let disabled = std::env::var("MMWAVE_TELEMETRY")
+        .map(|v| matches!(v.to_ascii_lowercase().as_str(), "off" | "0" | "false"))
+        .unwrap_or(false);
+    let stderr_verbosity = if quiet {
+        None
+    } else {
+        let level = match opts.get("log-level") {
+            Some(s) => s.parse::<telemetry::Level>()?,
+            None => std::env::var("MMWAVE_LOG_LEVEL")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(telemetry::Level::Info),
+        };
+        Some(level)
+    };
+    let metrics_out = opts
+        .get("metrics-out")
+        .cloned()
+        .or_else(|| std::env::var("MMWAVE_METRICS_OUT").ok())
+        .filter(|s| !s.is_empty())
+        .map(PathBuf::from);
+    let config = telemetry::TelemetryConfig { disabled, stderr_verbosity, metrics_out };
+    telemetry::configure(&config)
+        .map_err(|e| format!("cannot open the metrics file: {e}"))
 }
 
 fn print_usage() {
@@ -71,7 +135,14 @@ fn print_usage() {
                             --scenario <push-pull|left-right|push-right|push-acw>\n\
                             --smoke (tiny scale, default) | --fast (bench scale)\n\
                             --resume <dir> (journal the run; a re-run with the\n\
-                                            same flags replays from the journal)"
+                                            same flags replays from the journal)\n\
+           demo      smoke-scale end-to-end attack touching every pipeline\n\
+                     stage (synthesis, DSP, SHAP, training, campaign)\n\
+         \n\
+         global flags:\n\
+           --log-level <error|warn|info|debug|trace>   stderr verbosity\n\
+           --metrics-out <path>   write all telemetry events as JSON lines\n\
+           --quiet                suppress diagnostics and the summary table"
     );
 }
 
@@ -82,7 +153,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         let Some(name) = flag.strip_prefix("--") else {
             return Err(format!("expected a --flag, got `{flag}`"));
         };
-        if name == "smoke" || name == "fast" {
+        if name == "smoke" || name == "fast" || name == "quiet" {
             out.insert(name.to_string(), "true".to_string());
             continue;
         }
@@ -104,6 +175,14 @@ fn parse_activity(s: &str) -> Option<Activity> {
     }
 }
 
+fn site_labels() -> String {
+    SiteId::ALL
+        .iter()
+        .map(|s| s.label().replace(' ', "-"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
 fn parse_site(s: &str) -> Option<SiteId> {
     SiteId::ALL.iter().copied().find(|site| {
         site.label().replace(' ', "-") == s || site.label() == s
@@ -118,7 +197,7 @@ fn capture(opts: &HashMap<String, String>) -> ExitCode {
     let activity = match activity {
         Ok(a) => a.unwrap_or(Activity::Push),
         Err(e) => {
-            eprintln!("error: {e}");
+            telemetry::error!("{e} (expected push|pull|left|right|cw|acw)");
             return ExitCode::FAILURE;
         }
     };
@@ -126,11 +205,15 @@ fn capture(opts: &HashMap<String, String>) -> ExitCode {
     let angle: f64 = opts.get("angle").and_then(|s| s.parse().ok()).unwrap_or(0.0);
     let trigger_site = opts.get("trigger").map(|s| {
         parse_site(s).unwrap_or_else(|| {
-            eprintln!("warning: unknown site `{s}`, using chest");
+            telemetry::warn!(
+                "unknown trigger site `{s}`, falling back to chest (valid sites: {})",
+                site_labels()
+            );
             SiteId::Chest
         })
     });
 
+    telemetry::info!("capturing {activity} at {distance} m / {angle} deg");
     let capturer = Capturer::new(CaptureConfig::fast());
     let sampler =
         ActivitySampler::new(Participant::average(), 32, capturer.config().frame_rate);
@@ -163,10 +246,10 @@ fn train(opts: &HashMap<String, String>) -> ExitCode {
     let gen = DatasetGenerator::new(cfg.clone());
     let mut spec = DatasetSpec::training(reps);
     spec.participants.truncate(1);
-    println!("generating {} samples...", spec.total_samples());
+    telemetry::info!("generating {} samples", spec.total_samples());
     let data = gen.generate(&spec, 42);
     let (train, test) = data.split_stratified(0.25, 7);
-    println!("training on {} samples for {epochs} epochs...", train.len());
+    telemetry::info!("training on {} samples for {epochs} epochs", train.len());
     let mut model = CnnLstm::new(&cfg, 3);
     let stats = Trainer::new(TrainerConfig { epochs, ..TrainerConfig::fast() })
         .fit(&mut model, &train);
@@ -178,33 +261,70 @@ fn train(opts: &HashMap<String, String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn parse_scenario(opts: &HashMap<String, String>) -> Result<AttackScenario, String> {
+    match opts.get("scenario").map(String::as_str) {
+        None | Some("push-pull") => Ok(AttackScenario::push_to_pull()),
+        Some("left-right") => Ok(AttackScenario::left_to_right_swipe()),
+        Some("push-right") => Ok(AttackScenario::push_to_right_swipe()),
+        Some("push-acw") => Ok(AttackScenario::push_to_anticlockwise()),
+        Some(other) => Err(format!(
+            "unknown scenario `{other}` (valid scenarios: {})",
+            SCENARIOS.join(", ")
+        )),
+    }
+}
+
+/// Emits the `campaign.point` event for a directly-run (non-journaled)
+/// attack, so a metrics file always covers the campaign stage.
+fn emit_point_event(id: &str, completed: bool, duration_ms: u64) {
+    if !telemetry::enabled(telemetry::Level::Info) {
+        return;
+    }
+    let mut fields = serde_json::Map::new();
+    fields.insert("id".to_string(), serde_json::Value::from(id));
+    fields.insert(
+        "status".to_string(),
+        serde_json::Value::from(if completed { "completed" } else { "failed" }),
+    );
+    fields.insert("duration_ms".to_string(), serde_json::Value::from(duration_ms));
+    telemetry::event(
+        telemetry::Level::Info,
+        telemetry::EventKind::Point,
+        "campaign.point",
+        fields,
+    );
+}
+
 fn attack(opts: &HashMap<String, String>) -> ExitCode {
     let rate: f64 = opts.get("rate").and_then(|s| s.parse().ok()).unwrap_or(0.4);
     let frames: usize = opts.get("frames").and_then(|s| s.parse().ok()).unwrap_or(8);
-    let scenario = match opts.get("scenario").map(String::as_str) {
-        None | Some("push-pull") => AttackScenario::push_to_pull(),
-        Some("left-right") => AttackScenario::left_to_right_swipe(),
-        Some("push-right") => AttackScenario::push_to_right_swipe(),
-        Some("push-acw") => AttackScenario::push_to_anticlockwise(),
-        Some(other) => {
-            eprintln!("error: unknown scenario `{other}`");
+    let scenario = match parse_scenario(opts) {
+        Ok(s) => s,
+        Err(e) => {
+            telemetry::error!("{e}");
             return ExitCode::FAILURE;
         }
     };
     let fast = opts.contains_key("fast");
     let scale = if fast { ExperimentScale::fast() } else { ExperimentScale::smoke_test() };
-    println!("scenario {scenario}, rate {rate}, {frames} poisoned frames");
+    telemetry::info!("scenario {scenario}, rate {rate}, {frames} poisoned frames");
     let spec = AttackSpec {
         scenario,
         injection_rate: rate,
         n_poisoned_frames: frames,
         ..AttackSpec::default()
     };
+    let id = format!(
+        "attack scenario={scenario} rate={rate} frames={frames} scale={}",
+        if fast { "fast" } else { "smoke" }
+    );
 
     let Some(resume_dir) = opts.get("resume") else {
-        println!("building experiment context (this trains a surrogate)...");
+        telemetry::info!("building experiment context (this trains a surrogate)");
+        let start = Instant::now();
         let mut ctx = ExperimentContext::new(scale, 42);
         let metrics = ctx.run_attack(&spec);
+        emit_point_event(&id, true, start.elapsed().as_millis() as u64);
         println!("{metrics}");
         return ExitCode::SUCCESS;
     };
@@ -215,24 +335,20 @@ fn attack(opts: &HashMap<String, String>) -> ExitCode {
     let mut campaign = match Campaign::<AttackMetrics>::open(resume_dir) {
         Ok(c) => c,
         Err(e) => {
-            eprintln!("error: cannot open campaign dir `{resume_dir}`: {e}");
+            telemetry::error!("cannot open campaign dir `{resume_dir}`: {e}");
             return ExitCode::FAILURE;
         }
     };
-    let id = format!(
-        "attack scenario={scenario} rate={rate} frames={frames} scale={}",
-        if fast { "fast" } else { "smoke" }
-    );
     let outcome = if let Some(done) = campaign.get(&id).cloned() {
-        println!("journaled result found in `{resume_dir}`, skipping the run");
+        telemetry::info!("journaled result found in `{resume_dir}`, skipping the run");
         done
     } else {
-        println!("building experiment context (this trains a surrogate)...");
+        telemetry::info!("building experiment context (this trains a surrogate)");
         let mut ctx = ExperimentContext::new(scale, 42);
         match campaign.run_attack_point(&mut ctx, &id, &spec, 1) {
             Ok(o) => o,
             Err(e) => {
-                eprintln!("error: cannot append to campaign journal: {e}");
+                telemetry::error!("cannot append to campaign journal: {e}");
                 return ExitCode::FAILURE;
             }
         }
@@ -240,9 +356,48 @@ fn attack(opts: &HashMap<String, String>) -> ExitCode {
     match outcome {
         PointOutcome::Completed { result } => println!("{result}"),
         PointOutcome::Failed { error, attempts } => {
-            eprintln!("attack point failed after {attempts} attempts: {error}");
+            telemetry::error!("attack point failed after {attempts} attempts: {error}");
         }
     }
     print!("{}", campaign.report());
     ExitCode::SUCCESS
+}
+
+/// A self-contained smoke-scale run that exercises every pipeline stage —
+/// frame synthesis, the DSP chain, SHAP scoring, training, and a journaled
+/// campaign point — so `mmwave demo --metrics-out events.jsonl` yields a
+/// metrics file that demonstrates the full event vocabulary in under a
+/// minute.
+fn demo(_opts: &HashMap<String, String>) -> ExitCode {
+    let dir = std::env::temp_dir().join(format!("mmwave_demo_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    telemetry::info!("running the smoke-scale demo attack (campaign dir {})", dir.display());
+    let mut campaign = match Campaign::<AttackMetrics>::open(&dir) {
+        Ok(c) => c,
+        Err(e) => {
+            telemetry::error!("cannot open demo campaign dir: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let spec = AttackSpec { injection_rate: 0.5, n_poisoned_frames: 4, ..AttackSpec::default() };
+    let mut ctx = ExperimentContext::new(ExperimentScale::smoke_test(), 42);
+    let outcome = match campaign.run_attack_point(&mut ctx, "demo attack", &spec, 1) {
+        Ok(o) => o,
+        Err(e) => {
+            telemetry::error!("cannot append to demo journal: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let code = match outcome {
+        PointOutcome::Completed { result } => {
+            println!("{result}");
+            ExitCode::SUCCESS
+        }
+        PointOutcome::Failed { error, attempts } => {
+            telemetry::error!("demo attack failed after {attempts} attempts: {error}");
+            ExitCode::FAILURE
+        }
+    };
+    std::fs::remove_dir_all(&dir).ok();
+    code
 }

@@ -19,6 +19,7 @@
 //! | [`har`] | `mmwave-har` | datasets, CNN-LSTM, training, evaluation |
 //! | [`backdoor`] | `mmwave-backdoor` | the attack (frames, position, poison, metrics) |
 //! | [`defense`] | `mmwave-defense` | trigger detection + augmentation |
+//! | [`telemetry`] | `mmwave-telemetry` | spans, metrics, structured run events |
 //!
 //! See `examples/quickstart.rs` for a guided tour, and the `mmwave-bench`
 //! crate for the reproduction of every table and figure in the paper.
@@ -32,3 +33,4 @@ pub use mmwave_har as har;
 pub use mmwave_nn as nn;
 pub use mmwave_radar as radar;
 pub use mmwave_shap as shap;
+pub use mmwave_telemetry as telemetry;
