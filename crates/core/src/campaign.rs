@@ -208,7 +208,7 @@ impl<T: Serialize + DeserializeOwned + Clone> Campaign<T> {
     ///
     /// Returns an I/O error if the journal cannot be appended — resume
     /// safety would otherwise be silently lost.
-    pub fn run_point<F>(&mut self, id: &str, mut point: F) -> io::Result<PointOutcome<T>>
+    pub fn run_point<F>(&mut self, id: &str, point: F) -> io::Result<PointOutcome<T>>
     where
         F: FnMut() -> T,
     {
@@ -216,37 +216,112 @@ impl<T: Serialize + DeserializeOwned + Clone> Campaign<T> {
             self.reused += 1;
             return Ok(done.clone());
         }
+        let (outcome, duration_ms) = Self::evaluate(self.retry, point);
+        self.record_with_event(id, outcome.clone(), duration_ms)?;
+        Ok(outcome)
+    }
+
+    /// Runs a batch of sweep points, evaluating the not-yet-journaled ones
+    /// in parallel on the [`mmwave_exec`] pool while keeping every
+    /// resumability guarantee of [`Campaign::run_point`]:
+    ///
+    /// * each point keeps its own catch-unwind + [`RetryPolicy`] loop, so
+    ///   one panicking point degrades to [`PointOutcome::Failed`] without
+    ///   touching its neighbours;
+    /// * journal entries are appended **in input order**, after all pending
+    ///   points have evaluated, so the journal a parallel batch leaves
+    ///   behind replays identically to a serial sweep over the same points
+    ///   (and is byte-compatible with `run_point` journals);
+    /// * already-journaled ids are answered from the journal without
+    ///   running anything, exactly like `run_point`.
+    ///
+    /// Ids should be distinct within one batch; duplicate pending ids are
+    /// each evaluated (unlike sequential `run_point` calls, where the
+    /// second call would reuse the first's journal entry).
+    ///
+    /// Returned outcomes are in input order, one per point.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the journal cannot be appended.
+    pub fn run_points<F>(&mut self, points: &[(String, F)]) -> io::Result<Vec<PointOutcome<T>>>
+    where
+        T: Send,
+        F: Fn() -> T + Sync,
+    {
+        let mut pending: Vec<usize> = Vec::new();
+        for (i, (id, _)) in points.iter().enumerate() {
+            if self.completed.contains_key(id.as_str()) {
+                self.reused += 1;
+            } else {
+                pending.push(i);
+            }
+        }
+        let retry = self.retry;
+        // Evaluation fans out; journaling stays serial below so append
+        // order — and therefore replay order — matches input order.
+        let evaluated = mmwave_exec::par_map(&pending, |_, &pi| {
+            let _span = mmwave_telemetry::span_at(
+                "campaign.point_eval",
+                mmwave_telemetry::Level::Debug,
+            );
+            Self::evaluate(retry, &points[pi].1)
+        });
+        let mut fresh = pending.iter().copied().zip(evaluated).peekable();
+        let mut results = Vec::with_capacity(points.len());
+        for (i, (id, _)) in points.iter().enumerate() {
+            if fresh.peek().map(|(pi, _)| *pi) == Some(i) {
+                let (_, (outcome, duration_ms)) = fresh.next().expect("peeked entry exists");
+                self.record_with_event(id, outcome.clone(), duration_ms)?;
+                results.push(outcome);
+            } else {
+                results.push(self.completed[id.as_str()].clone());
+            }
+        }
+        Ok(results)
+    }
+
+    /// One point's retry loop: returns the outcome and wall time in
+    /// milliseconds (including retries). Pure with respect to the campaign
+    /// — no journal access — so batch evaluation can run it off-thread.
+    fn evaluate<F>(retry: RetryPolicy, mut point: F) -> (PointOutcome<T>, u64)
+    where
+        F: FnMut() -> T,
+    {
         let start = std::time::Instant::now();
         let mut last_error = String::new();
-        let mut outcome = None;
-        for attempt in 1..=self.retry.max_attempts {
+        for attempt in 1..=retry.max_attempts {
             if attempt > 1 {
-                std::thread::sleep(self.retry.backoff.saturating_mul(attempt as u32 - 1));
+                std::thread::sleep(retry.backoff.saturating_mul(attempt as u32 - 1));
             }
             match panic::catch_unwind(AssertUnwindSafe(&mut point)) {
                 Ok(result) => {
-                    outcome = Some(PointOutcome::Completed { result });
-                    break;
+                    let outcome = PointOutcome::Completed { result };
+                    return (outcome, start.elapsed().as_millis() as u64);
                 }
                 Err(payload) => last_error = panic_message(payload),
             }
         }
-        let outcome = outcome.unwrap_or_else(|| PointOutcome::Failed {
-            error: last_error,
-            attempts: self.retry.max_attempts,
-        });
-        let duration_ms = start.elapsed().as_millis() as u64;
-        self.record(id, outcome.clone(), duration_ms)?;
+        let outcome =
+            PointOutcome::Failed { error: last_error, attempts: retry.max_attempts };
+        (outcome, start.elapsed().as_millis() as u64)
+    }
+
+    fn record_with_event(
+        &mut self,
+        id: &str,
+        outcome: PointOutcome<T>,
+        duration_ms: u64,
+    ) -> io::Result<()> {
+        let status = match &outcome {
+            PointOutcome::Completed { .. } => "completed",
+            PointOutcome::Failed { .. } => "failed",
+        };
+        self.record(id, outcome, duration_ms)?;
         if mmwave_telemetry::enabled(mmwave_telemetry::Level::Info) {
             let mut fields = serde_json::Map::new();
             fields.insert("id".to_string(), serde_json::Value::from(id));
-            fields.insert(
-                "status".to_string(),
-                serde_json::Value::from(match &outcome {
-                    PointOutcome::Completed { .. } => "completed",
-                    PointOutcome::Failed { .. } => "failed",
-                }),
-            );
+            fields.insert("status".to_string(), serde_json::Value::from(status));
             fields.insert("duration_ms".to_string(), serde_json::Value::from(duration_ms));
             mmwave_telemetry::event(
                 mmwave_telemetry::Level::Info,
@@ -255,7 +330,7 @@ impl<T: Serialize + DeserializeOwned + Clone> Campaign<T> {
                 fields,
             );
         }
-        Ok(outcome)
+        Ok(())
     }
 
     /// A campaign-wide summary: completed, failed (with messages), and how
@@ -507,6 +582,91 @@ mod tests {
         let c = Campaign::<f64>::open(&dir).unwrap();
         assert!(c.is_done("legacy") && c.is_done("fresh"));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn batch_points_journal_in_input_order() {
+        let dir = temp_dir("batch_order");
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut c = Campaign::<f64>::open(&dir)
+                .unwrap()
+                .with_retry(RetryPolicy { max_attempts: 1, backoff: Duration::from_millis(1) });
+            let points: Vec<(String, _)> = (0..6)
+                .map(|i| {
+                    (format!("p{i}"), move || {
+                        if i == 2 {
+                            panic!("boom p2");
+                        }
+                        i as f64 * 1.5
+                    })
+                })
+                .collect();
+            let outcomes =
+                mmwave_exec::with_workers(4, || c.run_points(&points)).unwrap();
+            assert_eq!(outcomes.len(), 6);
+            assert!(matches!(outcomes[2], PointOutcome::Failed { .. }));
+            assert_eq!(outcomes[5], PointOutcome::Completed { result: 7.5 });
+        }
+        // The journal must list points in input order, no matter which
+        // worker finished first.
+        let journal = std::fs::read_to_string(dir.join("journal.jsonl")).unwrap();
+        let ids: Vec<String> = journal
+            .lines()
+            .map(|l| {
+                serde_json::from_str::<serde_json::Value>(l).unwrap()["id"]
+                    .as_str()
+                    .unwrap()
+                    .to_string()
+            })
+            .collect();
+        assert_eq!(ids, vec!["p0", "p1", "p2", "p3", "p4", "p5"]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn batch_points_reuse_journaled_outcomes() {
+        let dir = temp_dir("batch_resume");
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut c = Campaign::<f64>::open(&dir).unwrap();
+            c.run_point("p0", || 10.0).unwrap();
+            c.run_point("p2", || 12.0).unwrap();
+        }
+        let mut c = Campaign::<f64>::open(&dir).unwrap();
+        let points: Vec<(String, _)> =
+            (0..4).map(|i| (format!("p{i}"), move || i as f64 + 100.0)).collect();
+        let outcomes = c.run_points(&points).unwrap();
+        assert_eq!(outcomes[0], PointOutcome::Completed { result: 10.0 });
+        assert_eq!(outcomes[1], PointOutcome::Completed { result: 101.0 });
+        assert_eq!(outcomes[2], PointOutcome::Completed { result: 12.0 });
+        assert_eq!(outcomes[3], PointOutcome::Completed { result: 103.0 });
+        assert_eq!(c.reused_count(), 2, "journaled points must not re-run");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn batch_matches_serial_point_by_point_journal() {
+        // A parallel batch and a serial sweep over the same points must
+        // leave journals with identical (id, outcome) sequences.
+        let serial_dir = temp_dir("batch_vs_serial_a");
+        let batch_dir = temp_dir("batch_vs_serial_b");
+        let _ = std::fs::remove_dir_all(&serial_dir);
+        let _ = std::fs::remove_dir_all(&batch_dir);
+        let mut serial = Campaign::<f64>::open(&serial_dir).unwrap();
+        for i in 0..5 {
+            serial.run_point(&format!("p{i}"), || i as f64 * 2.0).unwrap();
+        }
+        let mut batch = Campaign::<f64>::open(&batch_dir).unwrap();
+        let points: Vec<(String, _)> =
+            (0..5).map(|i| (format!("p{i}"), move || i as f64 * 2.0)).collect();
+        mmwave_exec::with_workers(4, || batch.run_points(&points)).unwrap();
+        let key = |c: &Campaign<f64>| -> Vec<(String, PointOutcome<f64>)> {
+            c.order.iter().map(|id| (id.clone(), c.completed[id].clone())).collect()
+        };
+        assert_eq!(key(&serial), key(&batch));
+        std::fs::remove_dir_all(&serial_dir).ok();
+        std::fs::remove_dir_all(&batch_dir).ok();
     }
 
     #[test]

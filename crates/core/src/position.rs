@@ -85,7 +85,7 @@ impl PositionOptimizer {
         // normalization the classifier sees (log + global max of the clean
         // sequence).
         let mut clean_raw: Vec<Heatmap> =
-            base.iter().map(|f| capturer.drai_of(f, environment)).collect();
+            mmwave_exec::par_map(&base, |_, f| capturer.drai_of(f, environment));
         for h in &mut clean_raw {
             h.log_compress();
         }
@@ -103,38 +103,39 @@ impl PositionOptimizer {
             .collect();
 
         let xf = placement.body_to_world();
-        SiteId::ALL
-            .iter()
-            .map(|&site| {
-                let plan = TriggerPlan { site, ..*plan_template };
-                let mut per_frame = Vec::with_capacity(frames.len());
-                let mut feat_sum = 0.0;
-                let mut heat_sum = 0.0;
-                for (k, &fi) in frames.iter().enumerate() {
-                    let site_world =
-                        transform_site(sequence.frame(fi).site(site), &xf);
-                    let trig_if = capturer.trigger_if(&plan, &site_world);
-                    let combined = base[fi].superposed(&trig_if);
-                    let mut poisoned = capturer.drai_of(&combined, environment);
-                    poisoned.log_compress();
-                    poisoned.normalize_by(global_max);
-                    let feat = surrogate.frame_features(&poisoned);
-                    let fd = l2(&feat, &clean_features[k]) as f64;
-                    let hd = poisoned.l2_distance(&clean_raw[fi]) as f64;
-                    feat_sum += fd;
-                    heat_sum += hd;
-                    per_frame.push(self.alpha * (fd - self.beta * hd));
-                }
-                let n = frames.len() as f64;
-                SiteEvaluation {
-                    site,
-                    objective: per_frame.iter().sum::<f64>() / n,
-                    feature_distance: feat_sum / n,
-                    heatmap_distance: heat_sum / n,
-                    per_frame,
-                }
-            })
-            .collect()
+        // Candidate sites are scored in parallel; each site's per-frame
+        // sums still accumulate serially in frame order, and results come
+        // back in `SiteId::ALL` order, so the evaluation is byte-identical
+        // for any worker count.
+        mmwave_exec::par_map(&SiteId::ALL[..], |_, &site| {
+            let plan = TriggerPlan { site, ..*plan_template };
+            let mut per_frame = Vec::with_capacity(frames.len());
+            let mut feat_sum = 0.0;
+            let mut heat_sum = 0.0;
+            for (k, &fi) in frames.iter().enumerate() {
+                let site_world =
+                    transform_site(sequence.frame(fi).site(site), &xf);
+                let trig_if = capturer.trigger_if(&plan, &site_world);
+                let combined = base[fi].superposed(&trig_if);
+                let mut poisoned = capturer.drai_of(&combined, environment);
+                poisoned.log_compress();
+                poisoned.normalize_by(global_max);
+                let feat = surrogate.frame_features(&poisoned);
+                let fd = l2(&feat, &clean_features[k]) as f64;
+                let hd = poisoned.l2_distance(&clean_raw[fi]) as f64;
+                feat_sum += fd;
+                heat_sum += hd;
+                per_frame.push(self.alpha * (fd - self.beta * hd));
+            }
+            let n = frames.len() as f64;
+            SiteEvaluation {
+                site,
+                objective: per_frame.iter().sum::<f64>() / n,
+                feature_distance: feat_sum / n,
+                heatmap_distance: heat_sum / n,
+                per_frame,
+            }
+        })
     }
 
     /// The best site by mean objective.

@@ -329,6 +329,31 @@ impl Processor {
         self.drai_from_cube(&cube)
     }
 
+    /// Batched [`rdi`](Self::rdi) over many frames, fanned out on the
+    /// `mmwave-exec` pool. Each frame runs the exact serial chain and the
+    /// output order matches the input order, so the result is
+    /// byte-identical to mapping [`rdi`](Self::rdi) over `frames` — for
+    /// any worker count.
+    pub fn rdi_batch(&self, frames: &[IfFrame]) -> Vec<Heatmap> {
+        mmwave_exec::par_map(frames, |_, frame| self.rdi(frame))
+    }
+
+    /// Batched [`drai`](Self::drai); see [`rdi_batch`](Self::rdi_batch)
+    /// for the determinism contract.
+    pub fn drai_batch(&self, frames: &[IfFrame]) -> Vec<Heatmap> {
+        mmwave_exec::par_map(frames, |_, frame| self.drai(frame))
+    }
+
+    /// Batched [`drai_with_background`](Self::drai_with_background); see
+    /// [`rdi_batch`](Self::rdi_batch) for the determinism contract.
+    pub fn drai_with_background_batch(
+        &self,
+        frames: &[IfFrame],
+        background: &[Vec<Complex32>],
+    ) -> Vec<Heatmap> {
+        mmwave_exec::par_map(frames, |_, frame| self.drai_with_background(frame, background))
+    }
+
     /// DRAI from an already-computed (and possibly clutter-removed) cube.
     pub fn drai_from_cube(&self, cube: &RangeCube) -> Heatmap {
         let _span = mmwave_telemetry::span("angle_fft");
@@ -478,6 +503,23 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn bad_adc_count_panics() {
         Processor::new(4, 16, 48, ProcessingConfig::default());
+    }
+
+    #[test]
+    fn batched_stages_match_serial_bitwise_for_any_worker_count() {
+        let p = processor();
+        let frames: Vec<IfFrame> = (0..6)
+            .map(|i| point_target_frame(3.0 + i as f32, 0.1 * i as f32, 0.2 * i as f32))
+            .collect();
+        let serial_rdi: Vec<Heatmap> = frames.iter().map(|f| p.rdi(f)).collect();
+        let serial_drai: Vec<Heatmap> = frames.iter().map(|f| p.drai(f)).collect();
+        for workers in [1, 4] {
+            let (rdi, drai) = mmwave_exec::with_workers(workers, || {
+                (p.rdi_batch(&frames), p.drai_batch(&frames))
+            });
+            assert_eq!(rdi, serial_rdi, "rdi_batch diverged at workers={workers}");
+            assert_eq!(drai, serial_drai, "drai_batch diverged at workers={workers}");
+        }
     }
 
     #[test]

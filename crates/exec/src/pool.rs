@@ -1,0 +1,266 @@
+//! The global work-stealing pool behind the `par_*` primitives.
+//!
+//! One process-wide [`Injector`] feeds lazily-spawned worker threads, each
+//! owning a FIFO local deque; idle workers pull batches from the injector
+//! or steal from each other. The thread submitting a job *helps drain the
+//! queue* while it waits, which gives three properties for free:
+//!
+//! * jobs complete even with zero background workers (1-core hosts),
+//! * nested jobs cannot deadlock (the inner caller keeps executing
+//!   tasks instead of blocking a worker slot),
+//! * the caller's stack frame outlives every task of its job, which is
+//!   the lifetime guarantee the scoped pointer-passing below relies on.
+//!
+//! # Safety model
+//!
+//! A [`Task`] is a monomorphized `unsafe fn` pointer plus four plain
+//! `usize` payload words — addresses of the item closure, the result
+//! slots, and the job header on the submitting caller's stack, and the
+//! task's input index. The type is trivially `Send + 'static` (it carries
+//! no lifetimes), so it can cross into long-lived worker threads;
+//! soundness comes from [`run_job`] not returning until the job's
+//! `remaining` counter hits zero (`Release` decrement per task, `Acquire`
+//! load by the caller), so no task can touch those addresses after the
+//! caller's frame unwinds. The `F: Sync` / `R: Send` bounds on the public
+//! API make the cross-thread sharing itself legal.
+
+use crate::FirstPanic;
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use parking_lot::{Condvar, Mutex, RwLock};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+/// One unit of work: `run` is `run_task::<R, F>` monomorphized at the
+/// submitting call site, the payload words are caller-stack addresses
+/// valid until the job's `remaining` counter reaches zero.
+struct Task {
+    run: unsafe fn(usize, usize, usize, usize),
+    f_addr: usize,
+    slots_addr: usize,
+    header_addr: usize,
+    index: usize,
+}
+
+impl Task {
+    fn execute(self) {
+        // SAFETY: the submitting `run_job` frame is still blocked waiting
+        // for this task's sign-off, so every address is live (see the
+        // module-level safety model).
+        unsafe { (self.run)(self.f_addr, self.slots_addr, self.header_addr, self.index) }
+    }
+}
+
+struct Pool {
+    injector: Injector<Task>,
+    stealers: RwLock<Vec<Stealer<Task>>>,
+    /// Count of spawned background threads; the Mutex also serializes
+    /// spawning.
+    spawned: Mutex<usize>,
+    sleep_lock: Mutex<()>,
+    sleep_cv: Condvar,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        injector: Injector::new(),
+        stealers: RwLock::new(Vec::new()),
+        spawned: Mutex::new(0),
+        sleep_lock: Mutex::new(()),
+        sleep_cv: Condvar::new(),
+    })
+}
+
+/// Shared per-job state living on the caller's stack.
+struct JobHeader {
+    remaining: AtomicUsize,
+    /// First-by-index panic payload; later-index panics are discarded so
+    /// the reported failure matches what a serial loop would hit first.
+    panic: Mutex<Option<FirstPanic>>,
+}
+
+/// Executes task `index` of a job: calls the item closure under
+/// `catch_unwind`, stores the result (or panic) in the caller's slots,
+/// and signs off on the `remaining` counter.
+///
+/// # Safety
+///
+/// `f_addr` must point to a live `F`, `slots_addr` to a live
+/// `[Mutex<Option<R>>]` of length > `index`, and `header_addr` to a live
+/// [`JobHeader`], all owned by a `run_job` frame that waits for this
+/// task's `remaining` decrement before returning.
+unsafe fn run_task<R, F>(f_addr: usize, slots_addr: usize, header_addr: usize, index: usize)
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let f = &*(f_addr as *const F);
+    let header = &*(header_addr as *const JobHeader);
+    let started = Instant::now();
+    let span = mmwave_telemetry::span_at("exec.task", mmwave_telemetry::Level::Debug);
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(index)));
+    drop(span);
+    mmwave_telemetry::observe("exec.task_ms", started.elapsed().as_secs_f64() * 1e3);
+    match outcome {
+        Ok(result) => {
+            let slot = &*(slots_addr as *const Mutex<Option<R>>).add(index);
+            *slot.lock() = Some(result);
+        }
+        Err(payload) => {
+            mmwave_telemetry::counter("exec.task_panics", 1);
+            let mut first = header.panic.lock();
+            match &*first {
+                Some((seen, _)) if *seen <= index => {}
+                _ => *first = Some((index, payload)),
+            }
+        }
+    }
+    header.remaining.fetch_sub(1, Ordering::Release);
+}
+
+/// Runs `f(0..n)` on the global pool with `target_workers` total workers
+/// (the caller counts as one), returning results in index order or the
+/// first-by-index panic payload. Called with `n >= 2` and
+/// `target_workers >= 2` (the serial path lives in `lib.rs`).
+pub(crate) fn run_job<R, F>(n: usize, target_workers: usize, f: &F) -> Result<Vec<R>, FirstPanic>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let pool = pool();
+    ensure_workers(pool, target_workers.saturating_sub(1));
+
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let header = JobHeader { remaining: AtomicUsize::new(n), panic: Mutex::new(None) };
+
+    let f_addr = f as *const F as usize;
+    let slots_addr = slots.as_ptr() as usize;
+    let header_addr = &header as *const JobHeader as usize;
+    for index in 0..n {
+        pool.injector.push(Task {
+            run: run_task::<R, F>,
+            f_addr,
+            slots_addr,
+            header_addr,
+            index,
+        });
+    }
+    mmwave_telemetry::counter("exec.jobs", 1);
+    mmwave_telemetry::counter("exec.tasks", n as u64);
+    mmwave_telemetry::gauge("exec.queue_depth", pool.injector.len() as f64);
+    // Taking the sleep lock orders this notify after any in-flight
+    // emptiness check, so no worker can check, miss the new batch, and
+    // then sleep through the wakeup.
+    {
+        let _guard = pool.sleep_lock.lock();
+        pool.sleep_cv.notify_all();
+    }
+
+    // Help drain the queue until every task of this job (plus any tasks
+    // of other jobs we pick up along the way) has signed off.
+    while header.remaining.load(Ordering::Acquire) > 0 {
+        match steal_any(pool) {
+            Some(task) => task.execute(),
+            None => std::thread::yield_now(),
+        }
+    }
+
+    if let Some(first) = header.panic.into_inner() {
+        return Err(first);
+    }
+    let mut out = Vec::with_capacity(n);
+    for slot in slots {
+        out.push(slot.into_inner().expect("task signed off without storing a result"));
+    }
+    Ok(out)
+}
+
+/// Grabs one task from the injector or any worker's local deque; used by
+/// callers helping out (they have no local deque of their own).
+fn steal_any(pool: &Pool) -> Option<Task> {
+    loop {
+        match pool.injector.steal() {
+            Steal::Success(task) => return Some(task),
+            Steal::Empty => break,
+            Steal::Retry => {}
+        }
+    }
+    for stealer in pool.stealers.read().iter() {
+        loop {
+            match stealer.steal() {
+                Steal::Success(task) => return Some(task),
+                Steal::Empty => break,
+                Steal::Retry => {}
+            }
+        }
+    }
+    None
+}
+
+/// Lazily grows the background thread set to `target` threads. Threads
+/// are detached and live for the process; an idle worker parks on the
+/// condvar and costs nothing.
+fn ensure_workers(pool: &'static Pool, target: usize) {
+    let mut spawned = pool.spawned.lock();
+    if *spawned >= target {
+        return;
+    }
+    while *spawned < target {
+        let index = *spawned;
+        let local: Worker<Task> = Worker::new_fifo();
+        pool.stealers.write().push(local.stealer());
+        std::thread::Builder::new()
+            .name(format!("mmwave-exec-{index}"))
+            .spawn(move || worker_loop(pool, local, index))
+            .expect("spawning an mmwave-exec worker thread failed");
+        *spawned += 1;
+    }
+    mmwave_telemetry::gauge("exec.workers", (*spawned + 1) as f64);
+}
+
+fn worker_loop(pool: &'static Pool, local: Worker<Task>, index: usize) {
+    mmwave_telemetry::debug!("mmwave-exec worker {index} online");
+    loop {
+        if let Some(task) = find_task(pool, &local, index) {
+            task.execute();
+            continue;
+        }
+        let mut guard = pool.sleep_lock.lock();
+        // Re-check under the lock: submitters notify while holding it, so
+        // either the queue is visibly non-empty here or the upcoming wait
+        // will be woken. The timeout is belt-and-braces — the caller
+        // helps drain regardless, so a missed wakeup costs latency only.
+        if pool.injector.is_empty() {
+            let _ = pool.sleep_cv.wait_for(&mut guard, Duration::from_millis(50));
+        }
+    }
+}
+
+/// Worker-side task discovery: local deque first, then batches from the
+/// injector, then stealing from sibling workers.
+fn find_task(pool: &Pool, local: &Worker<Task>, index: usize) -> Option<Task> {
+    if let Some(task) = local.pop() {
+        return Some(task);
+    }
+    loop {
+        match pool.injector.steal_batch_and_pop(local) {
+            Steal::Success(task) => return Some(task),
+            Steal::Empty => break,
+            Steal::Retry => {}
+        }
+    }
+    for (si, stealer) in pool.stealers.read().iter().enumerate() {
+        if si == index {
+            continue;
+        }
+        loop {
+            match stealer.steal() {
+                Steal::Success(task) => return Some(task),
+                Steal::Empty => break,
+                Steal::Retry => {}
+            }
+        }
+    }
+    None
+}

@@ -197,41 +197,64 @@ impl DatasetGenerator {
         &self.capturer
     }
 
-    /// Generates the dataset described by `spec`. Deterministic per seed.
+    /// Generates the dataset described by `spec`. Deterministic per seed
+    /// and per worker count: the per-sample random draws (micro-motion
+    /// variation and capture seed) come from one sequential RNG stream, so
+    /// they are hoisted into a serial prologue — in exactly the order the
+    /// historical serial loop drew them — and only the expensive captures
+    /// fan out over the `mmwave-exec` pool, collected in grid order.
     pub fn generate(&self, spec: &DatasetSpec, seed: u64) -> Dataset {
         let env = spec.environment.build();
-        let mut samples = Vec::with_capacity(spec.total_samples());
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        struct SampleJob {
+            pi: usize,
+            participant: Participant,
+            placement: Placement,
+            activity: Activity,
+            variation: SampleVariation,
+            capture_seed: u64,
+        }
+        let mut jobs = Vec::with_capacity(spec.total_samples());
         for (pi, participant) in spec.participants.iter().enumerate() {
-            let sampler = ActivitySampler::new(
-                *participant,
-                self.config.n_frames,
-                self.capturer.config().frame_rate,
-            );
             for &placement in &spec.placements {
                 for &activity in &spec.activities {
                     for _rep in 0..spec.repetitions {
                         let variation = SampleVariation::random(&mut rng);
                         let capture_seed: u64 = rng.gen();
-                        let seq = sampler.sample(activity, &variation);
-                        let out = self.capturer.capture_with_scale(
-                            &seq,
+                        jobs.push(SampleJob {
+                            pi,
+                            participant: *participant,
                             placement,
-                            &env,
-                            None,
+                            activity,
+                            variation,
                             capture_seed,
-                            participant.reflectivity,
-                        );
-                        samples.push(LabeledSample {
-                            heatmaps: out.clean,
-                            label: activity,
-                            placement,
-                            participant: pi,
                         });
                     }
                 }
             }
         }
+        let samples = mmwave_exec::par_map(&jobs, |_, job| {
+            let sampler = ActivitySampler::new(
+                job.participant,
+                self.config.n_frames,
+                self.capturer.config().frame_rate,
+            );
+            let seq = sampler.sample(job.activity, &job.variation);
+            let out = self.capturer.capture_with_scale(
+                &seq,
+                job.placement,
+                &env,
+                None,
+                job.capture_seed,
+                job.participant.reflectivity,
+            );
+            LabeledSample {
+                heatmaps: out.clean,
+                label: job.activity,
+                placement: job.placement,
+                participant: job.pi,
+            }
+        });
         Dataset { samples }
     }
 
@@ -255,30 +278,35 @@ impl DatasetGenerator {
             self.config.n_frames,
             self.capturer.config().frame_rate,
         );
+        // Same structure as [`generate`]: sequential RNG draws first (in
+        // historical order), parallel captures after, results in grid
+        // order — byte-identical for any worker count.
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let mut out = Vec::with_capacity(placements.len() * repetitions);
+        let mut jobs = Vec::with_capacity(placements.len() * repetitions);
         for &placement in placements {
             for _ in 0..repetitions {
                 let variation = SampleVariation::random(&mut rng);
                 let capture_seed: u64 = rng.gen();
-                let seq = sampler.sample(activity, &variation);
-                let cap = self.capturer.capture_with_scale(
-                    &seq,
-                    placement,
-                    environment,
-                    Some(plan),
-                    capture_seed,
-                    participant.reflectivity,
-                );
-                out.push(PairedSample {
-                    clean: cap.clean,
-                    triggered: cap.triggered.expect("trigger requested"),
-                    label: activity,
-                    placement,
-                });
+                jobs.push((placement, variation, capture_seed));
             }
         }
-        out
+        mmwave_exec::par_map(&jobs, |_, (placement, variation, capture_seed)| {
+            let seq = sampler.sample(activity, variation);
+            let cap = self.capturer.capture_with_scale(
+                &seq,
+                *placement,
+                environment,
+                Some(plan),
+                *capture_seed,
+                participant.reflectivity,
+            );
+            PairedSample {
+                clean: cap.clean,
+                triggered: cap.triggered.expect("trigger requested"),
+                label: activity,
+                placement: *placement,
+            }
+        })
     }
 }
 

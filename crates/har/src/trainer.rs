@@ -376,9 +376,19 @@ impl Trainer {
         let mut correct = 0usize;
         for batch in order.chunks(self.config.batch_size) {
             model.zero_grads();
-            for &si in batch {
+            // Forward passes are read-only on the model and independent
+            // per sample, so they fan out over workers; losses and the
+            // backward/gradient accumulation below stay serial in batch
+            // order, which keeps the epoch byte-identical to a serial run
+            // for any worker count.
+            let caches = {
+                let forward_model: &CnnLstm = model;
+                mmwave_exec::par_map(batch, |_, &si| {
+                    forward_model.forward(&data.samples[si].heatmaps)
+                })
+            };
+            for (&si, cache) in batch.iter().zip(&caches) {
                 let sample = &data.samples[si];
-                let cache = model.forward(&sample.heatmaps);
                 let target = sample.label.index();
                 let (mut loss, dlogits) = match try_softmax_cross_entropy(&cache.logits, target) {
                     Ok(out) => out,
@@ -400,7 +410,7 @@ impl Trainer {
                 // Scale so the step uses the batch mean gradient.
                 let scale = 1.0 / batch.len() as f32;
                 let dlogits: Vec<f32> = dlogits.iter().map(|g| g * scale).collect();
-                model.backward(&cache, &dlogits);
+                model.backward(cache, &dlogits);
             }
             let grad_norm = clip_global_norm(&mut model.param_tensors(), self.config.clip_norm);
             if !grad_norm.is_finite() {

@@ -195,11 +195,18 @@ impl Capturer {
         let radar_pos = self.config.radar.position();
         let env = self.environment_cache(environment);
 
-        let mut clean_frames = Vec::with_capacity(sequence.len());
-        let mut trig_frames = trigger.map(|_| Vec::with_capacity(sequence.len()));
-        let mut dropped_flags = Vec::with_capacity(sequence.len());
-
-        for (fi, body_frame) in sequence.iter().enumerate() {
+        // Frames are mutually independent by construction: every per-frame
+        // random stream (noise, faults) is derived from `(seed,
+        // frame_index)`, never drawn sequentially, so fanning the loop out
+        // over workers is byte-identical to the serial loop for any
+        // `MMWAVE_WORKERS` (results are collected in frame order below).
+        let body_frames: Vec<_> = sequence.iter().collect();
+        struct FrameOut {
+            clean: Heatmap,
+            triggered: Option<Heatmap>,
+            dropped: bool,
+        }
+        let outputs = mmwave_exec::par_map(&body_frames, |fi, body_frame| {
             let synth_span = mmwave_telemetry::span("synthesis");
             // Body in world coordinates, culled to radar-visible surfaces.
             let world_mesh = body_frame.mesh.transformed(&xf);
@@ -227,8 +234,29 @@ impl Capturer {
                     injector.apply(c, fi);
                 }
             }
-            dropped_flags.push(frame_dropped);
             if frame_dropped {
+                // Placeholder; repaired below by neighbor interpolation.
+                FrameOut {
+                    clean: self.empty_drai(),
+                    triggered: trigger.map(|_| self.empty_drai()),
+                    dropped: true,
+                }
+            } else {
+                FrameOut {
+                    clean: self.processor.drai_with_background(&base, &env.background),
+                    triggered: combined
+                        .as_ref()
+                        .map(|c| self.processor.drai_with_background(c, &env.background)),
+                    dropped: false,
+                }
+            }
+        });
+
+        let mut clean_frames = Vec::with_capacity(outputs.len());
+        let mut trig_frames = trigger.map(|_| Vec::with_capacity(outputs.len()));
+        let mut dropped_flags = Vec::with_capacity(outputs.len());
+        for (fi, out) in outputs.into_iter().enumerate() {
+            if out.dropped {
                 mmwave_telemetry::counter("radar.frames_dropped", 1);
                 if mmwave_telemetry::enabled(mmwave_telemetry::Level::Debug) {
                     let mut fields = serde_json::Map::new();
@@ -241,18 +269,10 @@ impl Capturer {
                     );
                 }
             }
-
-            if frame_dropped {
-                // Placeholder; repaired below by neighbor interpolation.
-                clean_frames.push(self.empty_drai());
-                if let Some(frames) = trig_frames.as_mut() {
-                    frames.push(self.empty_drai());
-                }
-            } else {
-                clean_frames.push(self.processor.drai_with_background(&base, &env.background));
-                if let (Some(frames), Some(c)) = (trig_frames.as_mut(), combined.as_ref()) {
-                    frames.push(self.processor.drai_with_background(c, &env.background));
-                }
+            dropped_flags.push(out.dropped);
+            clean_frames.push(out.clean);
+            if let Some(frames) = trig_frames.as_mut() {
+                frames.push(out.triggered.expect("triggered twin exists when a plan is given"));
             }
         }
 
@@ -318,24 +338,20 @@ impl Capturer {
         let xf = placement.body_to_world();
         let radar_pos = self.config.radar.position();
         let env = self.environment_cache(environment);
-        sequence
-            .iter()
-            .enumerate()
-            .map(|(fi, body_frame)| {
-                let world_mesh = body_frame.mesh.transformed(&xf);
-                let tris =
-                    visibility::radar_visible(&world_mesh, radar_pos, &self.config.occlusion);
-                let mut base = self.synth.empty_frame();
-                self.synth
-                    .add_triangles(&mut base, &tris, &self.config.body_material, body_scale);
-                self.synth.add_static(&mut base, &env.chirp);
-                let mut rng = ChaCha8Rng::seed_from_u64(
-                    seed ^ (fi as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                );
-                self.synth.add_noise(&mut base, self.config.noise_sigma, &mut rng);
-                base
-            })
-            .collect()
+        let body_frames: Vec<_> = sequence.iter().collect();
+        mmwave_exec::par_map(&body_frames, |fi, body_frame| {
+            let world_mesh = body_frame.mesh.transformed(&xf);
+            let tris = visibility::radar_visible(&world_mesh, radar_pos, &self.config.occlusion);
+            let mut base = self.synth.empty_frame();
+            self.synth
+                .add_triangles(&mut base, &tris, &self.config.body_material, body_scale);
+            self.synth.add_static(&mut base, &env.chirp);
+            let mut rng = ChaCha8Rng::seed_from_u64(
+                seed ^ (fi as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
+            self.synth.add_noise(&mut base, self.config.noise_sigma, &mut rng);
+            base
+        })
     }
 
     /// Applies this capturer's heatmap post-processing (log compression +

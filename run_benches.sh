@@ -7,21 +7,31 @@
 #
 # Telemetry: each bench streams its run events to bench_metrics/<bench>.jsonl
 # via MMWAVE_METRICS_OUT (see docs/observability.md).
+#
+# Parallelism: every bench runs under an explicit MMWAVE_WORKERS (the
+# inherited value, else all cores via nproc) so results are attributable to
+# a worker count; the count is recorded in bench_metrics/<bench>.meta.json
+# next to the event stream. Results are byte-identical across worker counts
+# — the pool only trades wall time (see docs/parallelism.md).
 set -uo pipefail
 cd /root/repo || exit 1
 mkdir -p bench_metrics
+
+workers="${MMWAVE_WORKERS:-$(nproc 2>/dev/null || echo 1)}"
 
 benches="fig08_similar_rate fig09_similar_frames fig07_confusion_matrix \
          fig03_shap_histogram fig05_heatmap_stealth \
          fig11_dissimilar_frames fig12_trigger_size_rate fig13_trigger_size_frames \
          fig14_angle_robustness fig15_distance_robustness defense_eval \
-         perf_components ablation_clutter robustness_faults"
+         perf_components ablation_clutter robustness_faults parallel_speedup"
 
 declare -A status
 failures=0
 for b in $benches; do
-  echo "================ $b ================" >> bench_output.txt
+  echo "================ $b (MMWAVE_WORKERS=$workers) ================" >> bench_output.txt
+  printf '{"bench":"%s","workers":%s}\n' "$b" "$workers" > "bench_metrics/$b.meta.json"
   if MMWAVE_METRICS_OUT="bench_metrics/$b.jsonl" \
+     MMWAVE_WORKERS="$workers" \
      cargo bench -q -p mmwave-bench --bench "$b" >> bench_output.txt 2>&1; then
     status[$b]=PASS
   else
@@ -32,7 +42,7 @@ for b in $benches; do
 done
 
 {
-  echo "[runner] ALL BENCHES DONE ($failures failed)"
+  echo "[runner] ALL BENCHES DONE ($failures failed, MMWAVE_WORKERS=$workers)"
   printf '%-28s %s\n' "bench" "status"
   for b in $benches; do
     printf '%-28s %s\n' "$b" "${status[$b]}"

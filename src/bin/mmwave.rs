@@ -15,6 +15,8 @@
 //! --log-level <error|warn|info|debug|trace>   stderr verbosity (default info)
 //! --metrics-out <path>   stream every telemetry event to a JSON-lines file
 //! --quiet                suppress stderr diagnostics and the summary table
+//! --workers <n>          worker threads for parallel stages (default: the
+//!                        MMWAVE_WORKERS env var, else all cores; 1 = serial)
 //! ```
 //!
 //! Results go to stdout; diagnostics go through the telemetry logger to
@@ -62,6 +64,10 @@ fn main() -> ExitCode {
     };
     let quiet = opts.contains_key("quiet");
     if let Err(e) = configure_telemetry(&opts, quiet) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = configure_workers(&opts) {
         eprintln!("error: {e}");
         return ExitCode::FAILURE;
     }
@@ -120,6 +126,24 @@ fn configure_telemetry(opts: &HashMap<String, String>, quiet: bool) -> Result<()
         .map_err(|e| format!("cannot open the metrics file: {e}"))
 }
 
+/// Pins the `mmwave-exec` worker count from `--workers`. Without the flag
+/// the pool resolves its own default (the `MMWAVE_WORKERS` environment
+/// variable, else all available cores), so nothing needs configuring here.
+/// Results are byte-identical for every worker count; the flag only trades
+/// wall time for cores.
+fn configure_workers(opts: &HashMap<String, String>) -> Result<(), String> {
+    let Some(raw) = opts.get("workers") else {
+        return Ok(());
+    };
+    let n: usize = raw
+        .parse()
+        .ok()
+        .filter(|&n| n >= 1)
+        .ok_or_else(|| format!("--workers needs a positive integer, got `{raw}`"))?;
+    mmwave_har_backdoor::exec::configure_workers(n);
+    Ok(())
+}
+
 fn print_usage() {
     eprintln!(
         "usage: mmwave <command> [flags]\n\
@@ -142,7 +166,9 @@ fn print_usage() {
          global flags:\n\
            --log-level <error|warn|info|debug|trace>   stderr verbosity\n\
            --metrics-out <path>   write all telemetry events as JSON lines\n\
-           --quiet                suppress diagnostics and the summary table"
+           --quiet                suppress diagnostics and the summary table\n\
+           --workers <n>          worker threads for parallel stages\n\
+                                  (default: MMWAVE_WORKERS, else all cores)"
     );
 }
 

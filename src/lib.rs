@@ -20,6 +20,7 @@
 //! | [`backdoor`] | `mmwave-backdoor` | the attack (frames, position, poison, metrics) |
 //! | [`defense`] | `mmwave-defense` | trigger detection + augmentation |
 //! | [`telemetry`] | `mmwave-telemetry` | spans, metrics, structured run events |
+//! | [`exec`] | `mmwave-exec` | deterministic work-stealing parallel runtime |
 //!
 //! See `examples/quickstart.rs` for a guided tour, and the `mmwave-bench`
 //! crate for the reproduction of every table and figure in the paper.
@@ -28,6 +29,7 @@ pub use mmwave_backdoor as backdoor;
 pub use mmwave_body as body;
 pub use mmwave_defense as defense;
 pub use mmwave_dsp as dsp;
+pub use mmwave_exec as exec;
 pub use mmwave_geom as geom;
 pub use mmwave_har as har;
 pub use mmwave_nn as nn;

@@ -1,7 +1,11 @@
 //! Reproducibility: every stage of the stack is deterministic for fixed
-//! seeds, across crate boundaries.
+//! seeds, across crate boundaries — and across worker counts: the
+//! `mmwave-exec` pool promises byte-identical results whether a stage runs
+//! exactly serial (`workers = 1`) or fanned out (`workers = 4`).
 
+use mmwave_har_backdoor::backdoor::{Campaign, PointOutcome};
 use mmwave_har_backdoor::body::{Activity, ActivitySampler, Participant, SampleVariation};
+use mmwave_har_backdoor::exec::with_workers;
 use mmwave_har_backdoor::har::dataset::{DatasetGenerator, DatasetSpec};
 use mmwave_har_backdoor::har::{CnnLstm, PrototypeConfig, Trainer, TrainerConfig};
 use mmwave_har_backdoor::radar::capture::{CaptureConfig, Capturer};
@@ -97,6 +101,103 @@ fn checkpointed_training_resumes_identically() {
     assert_eq!(resumed, reference, "resumed model must match the uninterrupted run");
     assert_eq!(resumed_stats, reference_stats, "resumed stats must match");
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Worker-count matrix: capture DRAIs must be byte-identical whether the
+/// per-frame fan-out runs on 1 worker (exact serial path) or 4.
+#[test]
+fn capture_is_bit_identical_across_worker_counts() {
+    let seq = ActivitySampler::new(Participant::average(), 8, 10.0)
+        .sample(Activity::Push, &SampleVariation::nominal());
+    let capture = |workers: usize| {
+        with_workers(workers, || {
+            Capturer::new(CaptureConfig::fast()).capture(
+                &seq,
+                Placement::new(1.4, 10.0),
+                &Environment::hallway(),
+                None,
+                1234,
+            )
+        })
+    };
+    let serial = capture(1);
+    let parallel = capture(4);
+    assert_eq!(serial.clean, parallel.clean, "DRAIs must not depend on the worker count");
+}
+
+/// Worker-count matrix: dataset generation, training, and prediction must
+/// be byte-identical at 1 and 4 workers.
+#[test]
+fn training_is_bit_identical_across_worker_counts() {
+    let cfg = PrototypeConfig::smoke_test();
+    let run = |workers: usize| {
+        with_workers(workers, || {
+            let data = DatasetGenerator::new(cfg.clone()).generate(&DatasetSpec::smoke_test(), 7);
+            let mut model = CnnLstm::new(&cfg, 5);
+            let stats = Trainer::new(TrainerConfig { epochs: 2, ..TrainerConfig::fast() })
+                .fit(&mut model, &data);
+            (data, model, stats)
+        })
+    };
+    let (data_1, model_1, stats_1) = run(1);
+    let (data_4, model_4, stats_4) = run(4);
+    assert_eq!(data_1, data_4, "generated datasets must not depend on the worker count");
+    assert_eq!(model_1, model_4, "trained weights must not depend on the worker count");
+    assert_eq!(stats_1, stats_4, "loss/accuracy trajectories must not depend on the worker count");
+    for s in &data_1.samples {
+        assert_eq!(model_1.predict(&s.heatmaps), model_4.predict(&s.heatmaps));
+    }
+}
+
+/// Worker-count matrix: SHAP attributions must be byte-identical at 1 and
+/// 4 workers (the permutation walks are pre-drawn serially, then fanned
+/// out).
+#[test]
+fn shap_is_bit_identical_across_worker_counts() {
+    struct Xor;
+    impl mmwave_har_backdoor::shap::SetFunction for Xor {
+        fn n_players(&self) -> usize {
+            6
+        }
+        fn evaluate(&self, c: &[bool]) -> f64 {
+            (c.iter().filter(|&&x| x).count() % 2) as f64
+        }
+    }
+    let serial = with_workers(1, || PermutationShap::new(16, 77).explain(&Xor));
+    let parallel = with_workers(4, || PermutationShap::new(16, 77).explain(&Xor));
+    assert_eq!(serial, parallel);
+}
+
+/// Worker-count matrix: a parallel campaign batch must journal the same
+/// (id, outcome) sequence as the serial one.
+#[test]
+fn campaign_journal_is_identical_across_worker_counts() {
+    let journal_key = |workers: usize| {
+        let dir = std::env::temp_dir().join(format!(
+            "mmwave_campaign_workers_{workers}_{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut campaign = Campaign::<f64>::open(&dir).expect("campaign opens");
+        let points: Vec<(String, _)> = (0..8)
+            .map(|i| (format!("point {i}"), move || (i as f64).sqrt() * 3.0))
+            .collect();
+        let outcomes = with_workers(workers, || campaign.run_points(&points)).expect("batch runs");
+        assert!(outcomes.iter().all(|o| matches!(o, PointOutcome::Completed { .. })));
+        // Compare what replay sees: (id, outcome) per journal line, in
+        // order. Timings and telemetry snapshots legitimately differ.
+        let journal = std::fs::read_to_string(dir.join("journal.jsonl")).expect("journal exists");
+        let key: Vec<(String, String)> = journal
+            .lines()
+            .map(|line| {
+                let v: serde_json::Value = serde_json::from_str(line).expect("valid entry");
+                (v["id"].as_str().expect("id").to_string(), v["outcome"].to_string())
+            })
+            .collect();
+        std::fs::remove_dir_all(&dir).ok();
+        key
+    };
+    assert_eq!(journal_key(1), journal_key(4));
 }
 
 #[test]
