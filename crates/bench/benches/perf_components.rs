@@ -2,7 +2,7 @@
 //! Criterion. These guard against performance regressions in the
 //! substrates that make the paper-scale sweeps feasible on one core.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use mmwave_body::{Activity, ActivitySampler, Participant, SampleVariation};
 use mmwave_dsp::fft::Fft;
 use mmwave_dsp::Complex32;
@@ -98,4 +98,11 @@ criterion_group! {
     config = Criterion::default().sample_size(20);
     targets = bench_fft, bench_if_synthesis, bench_drai, bench_train_step
 }
-criterion_main!(perf);
+
+// Hand-expanded `criterion_main!(perf)` so the run is wrapped in a
+// baseline guard like every other target.
+fn main() {
+    let _baseline = mmwave_bench::baseline::BaselineGuard::new("perf_components");
+    perf();
+    Criterion::default().configure_from_args().final_summary();
+}

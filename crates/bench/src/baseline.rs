@@ -1,0 +1,327 @@
+//! Machine-readable perf baselines.
+//!
+//! Every bench target holds a [`BaselineGuard`] for the duration of its
+//! `main`; when it drops, the guard folds the run's telemetry span profile
+//! into a [`BenchBaseline`] — wall time, per-stage time breakdown,
+//! throughput, worker count, repetitions, git revision — and writes it as
+//! `BENCH_<name>.json` into `MMWAVE_BASELINE_DIR` (default: the current
+//! directory). `mmwave perf-check` (see [`crate::perfcheck`]) compares two
+//! directories of these files and gates regressions.
+
+use mmwave_telemetry::event::unix_millis;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Version stamp for the on-disk format; bump on breaking changes so
+/// `perf-check` can refuse to compare incompatible files.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Env var naming the directory baselines are written to.
+pub const BASELINE_DIR_ENV: &str = "MMWAVE_BASELINE_DIR";
+
+/// One pipeline stage's share of a bench run, taken from the telemetry
+/// span profile (see `mmwave_telemetry::Profile::stage_table`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StageStat {
+    /// Times the stage's span closed.
+    pub calls: u64,
+    /// Inclusive wall time, milliseconds.
+    pub total_ms: f64,
+    /// Exclusive wall time (minus child stages), milliseconds.
+    pub exclusive_ms: f64,
+}
+
+/// The machine-readable result of one bench run: what `BENCH_<name>.json`
+/// holds and what the regression gate compares.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchBaseline {
+    /// On-disk format version ([`SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Bench target name (`fig08_similar_rate`).
+    pub bench: String,
+    /// End-to-end wall time of the bench, milliseconds.
+    pub wall_ms: f64,
+    /// Effective `mmwave-exec` worker count during the run.
+    pub workers: usize,
+    /// Repetitions per data point (`MMWAVE_BENCH_REPS`).
+    pub iterations: usize,
+    /// Items per second, when the bench reported an item count.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub throughput_per_sec: Option<f64>,
+    /// Git revision the run was built from (`unknown` outside a checkout).
+    pub git_sha: String,
+    /// Wall-clock completion time, milliseconds since the Unix epoch.
+    pub timestamp_ms: u64,
+    /// Per-stage time breakdown, keyed by span path.
+    pub stages: BTreeMap<String, StageStat>,
+}
+
+impl BenchBaseline {
+    /// The conventional file name for a bench's baseline.
+    pub fn file_name(bench: &str) -> String {
+        format!("BENCH_{bench}.json")
+    }
+
+    /// Writes the baseline as pretty JSON, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O or serialization error.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let json = serde_json::to_string_pretty(self)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        std::fs::write(path, json)
+    }
+
+    /// Loads one baseline file.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error, a parse error, or
+    /// [`io::ErrorKind::InvalidData`] on a schema-version mismatch.
+    pub fn load<P: AsRef<Path>>(path: P) -> io::Result<BenchBaseline> {
+        let text = std::fs::read_to_string(&path)?;
+        let baseline: BenchBaseline = serde_json::from_str(&text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        if baseline.schema_version != SCHEMA_VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "{}: schema_version {} (this build reads {})",
+                    path.as_ref().display(),
+                    baseline.schema_version,
+                    SCHEMA_VERSION
+                ),
+            ));
+        }
+        Ok(baseline)
+    }
+}
+
+/// Loads every `BENCH_*.json` in a directory, keyed by bench name.
+///
+/// # Errors
+///
+/// Returns any I/O error from listing the directory or reading a file; a
+/// file that fails to parse is an error (a corrupt baseline silently
+/// skipped would make the gate vacuous).
+pub fn load_dir<P: AsRef<Path>>(dir: P) -> io::Result<BTreeMap<String, BenchBaseline>> {
+    let mut out = BTreeMap::new();
+    for entry in std::fs::read_dir(&dir)? {
+        let path = entry?.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if !name.starts_with("BENCH_") || !name.ends_with(".json") {
+            continue;
+        }
+        let baseline = BenchBaseline::load(&path)?;
+        out.insert(baseline.bench.clone(), baseline);
+    }
+    Ok(out)
+}
+
+/// The current git revision: `MMWAVE_GIT_SHA` if set (CI exports it), else
+/// `git rev-parse --short HEAD`, else `"unknown"`.
+pub fn git_sha() -> String {
+    if let Ok(sha) = std::env::var("MMWAVE_GIT_SHA") {
+        let sha = sha.trim().to_string();
+        if !sha.is_empty() {
+            return sha;
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// RAII recorder for one bench run: construct at the top of the bench's
+/// `main`, optionally report an item count, and the drop writes
+/// `BENCH_<name>.json`. Write failures are reported on stderr but never
+/// fail the bench — baselines are an observer.
+pub struct BaselineGuard {
+    bench: String,
+    out_dir: PathBuf,
+    started: Instant,
+    items: Option<u64>,
+}
+
+impl BaselineGuard {
+    /// Starts recording bench `name`, targeting `MMWAVE_BASELINE_DIR`
+    /// (default `.`).
+    pub fn new(name: &str) -> BaselineGuard {
+        let out_dir = std::env::var(BASELINE_DIR_ENV)
+            .ok()
+            .filter(|d| !d.is_empty())
+            .map_or_else(|| PathBuf::from("."), PathBuf::from);
+        BaselineGuard {
+            bench: name.to_string(),
+            out_dir,
+            started: Instant::now(),
+            items: None,
+        }
+    }
+
+    /// Reports how many items (samples, points, frames) the bench
+    /// processed; the drop derives `throughput_per_sec` from it.
+    pub fn set_items(&mut self, items: u64) {
+        self.items = Some(items);
+    }
+
+    /// The file this guard will write on drop.
+    pub fn output_path(&self) -> PathBuf {
+        self.out_dir.join(BenchBaseline::file_name(&self.bench))
+    }
+}
+
+impl Drop for BaselineGuard {
+    fn drop(&mut self) {
+        let wall = self.started.elapsed();
+        let wall_ms = 1e3 * wall.as_secs_f64();
+        let stages: BTreeMap<String, StageStat> = mmwave_telemetry::profile()
+            .stage_table()
+            .into_iter()
+            .map(|(path, (calls, total_ms, exclusive_ms))| {
+                (path, StageStat { calls, total_ms, exclusive_ms })
+            })
+            .collect();
+        let baseline = BenchBaseline {
+            schema_version: SCHEMA_VERSION,
+            bench: self.bench.clone(),
+            wall_ms,
+            workers: mmwave_exec::workers(),
+            iterations: mmwave_har::PrototypeConfig::bench_repetitions(),
+            throughput_per_sec: self.items.and_then(|n| {
+                let secs = wall.as_secs_f64();
+                (secs > 0.0).then(|| n as f64 / secs)
+            }),
+            git_sha: git_sha(),
+            timestamp_ms: unix_millis(),
+            stages,
+        };
+        let path = self.output_path();
+        match baseline.save(&path) {
+            Ok(()) => println!("baseline: wrote {} (wall {:.1}s)", path.display(), wall.as_secs_f64()),
+            Err(e) => eprintln!("baseline: could not write {}: {e}", path.display()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("mmwave_baseline_{tag}_{}", std::process::id()))
+    }
+
+    fn sample(bench: &str, wall_ms: f64) -> BenchBaseline {
+        let mut stages = BTreeMap::new();
+        stages.insert(
+            "capture".to_string(),
+            StageStat { calls: 4, total_ms: wall_ms * 0.6, exclusive_ms: wall_ms * 0.3 },
+        );
+        BenchBaseline {
+            schema_version: SCHEMA_VERSION,
+            bench: bench.to_string(),
+            wall_ms,
+            workers: 4,
+            iterations: 1,
+            throughput_per_sec: Some(12.5),
+            git_sha: "abc1234".to_string(),
+            timestamp_ms: 1_700_000_000_000,
+            stages,
+        }
+    }
+
+    #[test]
+    fn baseline_roundtrips_through_disk() {
+        let dir = temp_dir("roundtrip");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join(BenchBaseline::file_name("fig08_similar_rate"));
+        let original = sample("fig08_similar_rate", 1234.5);
+        original.save(&path).unwrap();
+        let back = BenchBaseline::load(&path).unwrap();
+        assert_eq!(back.bench, "fig08_similar_rate");
+        assert_eq!(back.wall_ms, 1234.5);
+        assert_eq!(back.stages["capture"].calls, 4);
+        assert_eq!(back.throughput_per_sec, Some(12.5));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_dir_collects_only_baseline_files() {
+        let dir = temp_dir("loaddir");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        sample("a", 10.0).save(dir.join(BenchBaseline::file_name("a"))).unwrap();
+        sample("b", 20.0).save(dir.join(BenchBaseline::file_name("b"))).unwrap();
+        std::fs::write(dir.join("notes.txt"), "ignored").unwrap();
+        std::fs::write(dir.join("other.json"), "{}").unwrap();
+        let loaded = load_dir(&dir).unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded["b"].wall_ms, 20.0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wrong_schema_version_is_rejected() {
+        let dir = temp_dir("schema");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join(BenchBaseline::file_name("x"));
+        let mut b = sample("x", 5.0);
+        b.schema_version = SCHEMA_VERSION + 1;
+        // Save bypasses the version check; load must reject.
+        b.save(&path).unwrap();
+        assert!(BenchBaseline::load(&path).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn guard_writes_a_loadable_baseline() {
+        let dir = temp_dir("guard");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = {
+            // Point the guard at the temp dir without touching the global
+            // env (tests run concurrently): build it by hand.
+            let mut guard = BaselineGuard {
+                bench: "unit_guard".to_string(),
+                out_dir: dir.clone(),
+                started: Instant::now(),
+                items: None,
+            };
+            guard.set_items(100);
+            guard.output_path()
+        }; // guard drops here and writes
+        let b = BenchBaseline::load(&path).unwrap();
+        assert_eq!(b.bench, "unit_guard");
+        assert!(b.wall_ms >= 0.0);
+        assert!(b.iterations >= 1);
+        assert!(b.workers >= 1);
+        assert!(b.throughput_per_sec.unwrap_or(0.0) > 0.0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn git_sha_prefers_the_env_override() {
+        // Only assert the fallback contract, not the actual git state:
+        // whatever comes back must be non-empty.
+        assert!(!git_sha().is_empty());
+    }
+}

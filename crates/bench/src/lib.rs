@@ -11,6 +11,13 @@
 //! * `MMWAVE_BENCH_REPS` — repetitions averaged per data point (paper: 30,
 //!   default here: 1);
 //! * `MMWAVE_BENCH_SCALE` — dataset-size multiplier (default 1).
+//!
+//! Every target also records a machine-readable perf baseline
+//! (`BENCH_<name>.json`, see [`baseline`]) that the `mmwave perf-check`
+//! regression gate ([`perfcheck`]) compares across runs.
+
+pub mod baseline;
+pub mod perfcheck;
 
 use mmwave_backdoor::AttackMetrics;
 

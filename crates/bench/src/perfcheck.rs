@@ -1,0 +1,368 @@
+//! The perf regression gate: compares two directories of
+//! `BENCH_<name>.json` baselines (see [`crate::baseline`]) and classifies
+//! each bench as pass / improved / regressed.
+//!
+//! A bench **regresses** when its wall time grows by more than the
+//! relative threshold *and* by more than the absolute noise floor — both
+//! conditions, so microbenches are not failed over scheduler jitter and
+//! long benches are not failed over a fixed few milliseconds. Per-stage
+//! inclusive times are also checked (at twice the threshold), so a stage
+//! blow-up masked by an unrelated speed-up still surfaces. A missing
+//! counterpart on either side is reported but never fails the gate: new
+//! benches appear and old ones retire as the reproduction grows.
+
+use crate::baseline::{load_dir, BenchBaseline};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io;
+use std::path::Path;
+
+/// Tunables of the regression gate.
+#[derive(Debug, Clone, Copy)]
+pub struct PerfCheckConfig {
+    /// Relative wall-time growth that counts as a regression (0.15 = 15 %).
+    /// Stage times are gated at twice this.
+    pub threshold: f64,
+    /// Absolute growth (milliseconds) below which a change is noise.
+    pub noise_floor_ms: f64,
+    /// Report regressions without failing (exit code 0); for CI runs that
+    /// compare against a baseline measured on different hardware.
+    pub report_only: bool,
+}
+
+impl Default for PerfCheckConfig {
+    fn default() -> Self {
+        PerfCheckConfig { threshold: 0.15, noise_floor_ms: 50.0, report_only: false }
+    }
+}
+
+/// Outcome of one bench's old-vs-new comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Within the threshold either way.
+    Pass,
+    /// Faster than the baseline by more than the threshold.
+    Improved,
+    /// Slower than the baseline past threshold and noise floor (wall or a
+    /// stage).
+    Regressed,
+}
+
+impl Verdict {
+    /// Lowercase label for tables.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Verdict::Pass => "pass",
+            Verdict::Improved => "improve",
+            Verdict::Regressed => "REGRESS",
+        }
+    }
+}
+
+/// One bench's comparison row.
+#[derive(Debug, Clone)]
+pub struct BenchComparison {
+    /// Bench target name.
+    pub bench: String,
+    /// Baseline wall time, milliseconds.
+    pub baseline_wall_ms: f64,
+    /// New wall time, milliseconds.
+    pub new_wall_ms: f64,
+    /// `new / baseline` (1.0 when the baseline is zero).
+    pub ratio: f64,
+    /// The classification.
+    pub verdict: Verdict,
+    /// Human-readable reasons (stage regressions, wall growth).
+    pub notes: Vec<String>,
+}
+
+/// The whole gate run: per-bench rows plus the benches that only exist on
+/// one side.
+#[derive(Debug, Clone)]
+pub struct PerfReport {
+    /// One row per bench present in both directories.
+    pub comparisons: Vec<BenchComparison>,
+    /// Benches measured now but absent from the baseline directory.
+    pub missing_baseline: Vec<String>,
+    /// Baseline benches with no fresh measurement.
+    pub missing_result: Vec<String>,
+    /// Copied from the config: regressions reported, exit stays 0.
+    pub report_only: bool,
+}
+
+impl PerfReport {
+    /// True when any bench regressed.
+    pub fn has_regressions(&self) -> bool {
+        self.comparisons.iter().any(|c| c.verdict == Verdict::Regressed)
+    }
+
+    /// Process exit code: nonzero only on a regression outside
+    /// report-only mode.
+    pub fn exit_code(&self) -> i32 {
+        i32::from(self.has_regressions() && !self.report_only)
+    }
+}
+
+impl fmt::Display for PerfReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<28} {:>12} {:>12} {:>7} {:>8}",
+            "bench", "base(ms)", "new(ms)", "ratio", "verdict"
+        )?;
+        for c in &self.comparisons {
+            writeln!(
+                f,
+                "{:<28} {:>12.1} {:>12.1} {:>6.2}x {:>8}",
+                c.bench, c.baseline_wall_ms, c.new_wall_ms, c.ratio, c.verdict.as_str()
+            )?;
+            for note in &c.notes {
+                writeln!(f, "  - {note}")?;
+            }
+        }
+        for bench in &self.missing_baseline {
+            writeln!(f, "{bench:<28} (no baseline; skipped)")?;
+        }
+        for bench in &self.missing_result {
+            writeln!(f, "{bench:<28} (no new result; skipped)")?;
+        }
+        let regressed = self.comparisons.iter().filter(|c| c.verdict == Verdict::Regressed).count();
+        let improved = self.comparisons.iter().filter(|c| c.verdict == Verdict::Improved).count();
+        write!(
+            f,
+            "{} compared, {} regressed, {} improved{}",
+            self.comparisons.len(),
+            regressed,
+            improved,
+            if regressed > 0 && self.report_only { " (report-only: not failing)" } else { "" }
+        )
+    }
+}
+
+fn grew_past(new: f64, old: f64, threshold: f64, noise_floor_ms: f64) -> bool {
+    new > old * (1.0 + threshold) && new - old > noise_floor_ms
+}
+
+/// Compares one bench against its baseline.
+pub fn compare_bench(
+    baseline: &BenchBaseline,
+    new: &BenchBaseline,
+    config: &PerfCheckConfig,
+) -> BenchComparison {
+    let mut notes = Vec::new();
+    let mut verdict = Verdict::Pass;
+    if grew_past(new.wall_ms, baseline.wall_ms, config.threshold, config.noise_floor_ms) {
+        verdict = Verdict::Regressed;
+        notes.push(format!(
+            "wall time {:.1}ms -> {:.1}ms (+{:.0}%, threshold {:.0}%)",
+            baseline.wall_ms,
+            new.wall_ms,
+            100.0 * (new.wall_ms / baseline.wall_ms - 1.0),
+            100.0 * config.threshold
+        ));
+    }
+    // Stage checks at a doubled threshold: stage timings are noisier than
+    // end-to-end wall time, but a big single-stage blow-up should fail the
+    // gate even when other stages got faster.
+    for (path, new_stage) in &new.stages {
+        let Some(old_stage) = baseline.stages.get(path) else {
+            continue;
+        };
+        if grew_past(
+            new_stage.total_ms,
+            old_stage.total_ms,
+            2.0 * config.threshold,
+            config.noise_floor_ms,
+        ) {
+            verdict = Verdict::Regressed;
+            notes.push(format!(
+                "stage `{path}` {:.1}ms -> {:.1}ms (+{:.0}%)",
+                old_stage.total_ms,
+                new_stage.total_ms,
+                100.0 * (new_stage.total_ms / old_stage.total_ms - 1.0)
+            ));
+        }
+    }
+    if verdict == Verdict::Pass
+        && baseline.wall_ms > new.wall_ms * (1.0 + config.threshold)
+        && baseline.wall_ms - new.wall_ms > config.noise_floor_ms
+    {
+        verdict = Verdict::Improved;
+    }
+    if baseline.workers != new.workers {
+        notes.push(format!(
+            "worker count changed ({} -> {}); times are not like-for-like",
+            baseline.workers, new.workers
+        ));
+    }
+    BenchComparison {
+        bench: new.bench.clone(),
+        baseline_wall_ms: baseline.wall_ms,
+        new_wall_ms: new.wall_ms,
+        ratio: if baseline.wall_ms > 0.0 { new.wall_ms / baseline.wall_ms } else { 1.0 },
+        verdict,
+        notes,
+    }
+}
+
+/// Compares every bench present in both maps.
+pub fn compare(
+    baselines: &BTreeMap<String, BenchBaseline>,
+    results: &BTreeMap<String, BenchBaseline>,
+    config: &PerfCheckConfig,
+) -> PerfReport {
+    let comparisons = results
+        .iter()
+        .filter_map(|(bench, new)| {
+            baselines.get(bench).map(|old| compare_bench(old, new, config))
+        })
+        .collect();
+    PerfReport {
+        comparisons,
+        missing_baseline: results.keys().filter(|b| !baselines.contains_key(*b)).cloned().collect(),
+        missing_result: baselines.keys().filter(|b| !results.contains_key(*b)).cloned().collect(),
+        report_only: config.report_only,
+    }
+}
+
+/// Loads both directories and compares them — the `mmwave perf-check`
+/// entry point.
+///
+/// # Errors
+///
+/// Returns any I/O error from reading either directory, and
+/// [`io::ErrorKind::InvalidData`] when the results directory holds no
+/// `BENCH_*.json` at all (an empty gate must not silently pass).
+pub fn run<P: AsRef<Path>, Q: AsRef<Path>>(
+    results_dir: P,
+    baseline_dir: Q,
+    config: &PerfCheckConfig,
+) -> io::Result<PerfReport> {
+    let results = load_dir(&results_dir)?;
+    if results.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("no BENCH_*.json files in {}", results_dir.as_ref().display()),
+        ));
+    }
+    let baselines = load_dir(&baseline_dir)?;
+    Ok(compare(&baselines, &results, config))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::{StageStat, SCHEMA_VERSION};
+    use std::path::PathBuf;
+
+    fn make(bench: &str, wall_ms: f64, stage_ms: f64) -> BenchBaseline {
+        let mut stages = BTreeMap::new();
+        stages.insert(
+            "capture".to_string(),
+            StageStat { calls: 8, total_ms: stage_ms, exclusive_ms: stage_ms * 0.5 },
+        );
+        BenchBaseline {
+            schema_version: SCHEMA_VERSION,
+            bench: bench.to_string(),
+            wall_ms,
+            workers: 4,
+            iterations: 1,
+            throughput_per_sec: None,
+            git_sha: "test".to_string(),
+            timestamp_ms: 0,
+            stages,
+        }
+    }
+
+    fn dir_of(tag: &str, baselines: &[BenchBaseline]) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("mmwave_perfcheck_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        for b in baselines {
+            b.save(dir.join(BenchBaseline::file_name(&b.bench))).unwrap();
+        }
+        dir
+    }
+
+    #[test]
+    fn self_comparison_passes_with_exit_zero() {
+        let dir = dir_of("self", &[make("a", 1000.0, 600.0), make("b", 2000.0, 900.0)]);
+        let report = run(&dir, &dir, &PerfCheckConfig::default()).unwrap();
+        assert_eq!(report.comparisons.len(), 2);
+        assert!(!report.has_regressions());
+        assert_eq!(report.exit_code(), 0);
+        assert!(report.comparisons.iter().all(|c| c.verdict == Verdict::Pass));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn inflated_wall_time_fails_the_gate() {
+        let base = dir_of("wall_base", &[make("a", 1000.0, 600.0)]);
+        let new = dir_of("wall_new", &[make("a", 1400.0, 600.0)]);
+        let report = run(&new, &base, &PerfCheckConfig::default()).unwrap();
+        assert!(report.has_regressions());
+        assert_eq!(report.exit_code(), 1);
+        assert_eq!(report.comparisons[0].verdict, Verdict::Regressed);
+        assert!(report.comparisons[0].notes[0].contains("wall time"));
+        std::fs::remove_dir_all(&base).ok();
+        std::fs::remove_dir_all(&new).ok();
+    }
+
+    #[test]
+    fn growth_under_the_noise_floor_is_not_a_regression() {
+        // +40% relative but only +40ms absolute: under the 50ms floor.
+        let base = dir_of("noise_base", &[make("tiny", 100.0, 60.0)]);
+        let new = dir_of("noise_new", &[make("tiny", 140.0, 60.0)]);
+        let report = run(&new, &base, &PerfCheckConfig::default()).unwrap();
+        assert!(!report.has_regressions());
+        std::fs::remove_dir_all(&base).ok();
+        std::fs::remove_dir_all(&new).ok();
+    }
+
+    #[test]
+    fn stage_blowup_fails_even_with_flat_wall_time() {
+        let base = dir_of("stage_base", &[make("a", 1000.0, 300.0)]);
+        let new = dir_of("stage_new", &[make("a", 1010.0, 800.0)]);
+        let report = run(&new, &base, &PerfCheckConfig::default()).unwrap();
+        assert!(report.has_regressions());
+        assert!(report.comparisons[0].notes.iter().any(|n| n.contains("stage `capture`")));
+        std::fs::remove_dir_all(&base).ok();
+        std::fs::remove_dir_all(&new).ok();
+    }
+
+    #[test]
+    fn report_only_reports_but_exits_zero() {
+        let base = dir_of("ro_base", &[make("a", 1000.0, 600.0)]);
+        let new = dir_of("ro_new", &[make("a", 2000.0, 600.0)]);
+        let config = PerfCheckConfig { report_only: true, ..PerfCheckConfig::default() };
+        let report = run(&new, &base, &config).unwrap();
+        assert!(report.has_regressions());
+        assert_eq!(report.exit_code(), 0, "report-only must not fail the build");
+        assert!(report.to_string().contains("report-only"));
+        std::fs::remove_dir_all(&base).ok();
+        std::fs::remove_dir_all(&new).ok();
+    }
+
+    #[test]
+    fn improvement_and_missing_counterparts_are_reported() {
+        let base = dir_of("imp_base", &[make("a", 2000.0, 600.0), make("gone", 10.0, 5.0)]);
+        let new = dir_of("imp_new", &[make("a", 1000.0, 600.0), make("fresh", 10.0, 5.0)]);
+        let report = run(&new, &base, &PerfCheckConfig::default()).unwrap();
+        assert_eq!(report.comparisons[0].verdict, Verdict::Improved);
+        assert_eq!(report.missing_baseline, vec!["fresh".to_string()]);
+        assert_eq!(report.missing_result, vec!["gone".to_string()]);
+        assert_eq!(report.exit_code(), 0, "missing counterparts never fail the gate");
+        std::fs::remove_dir_all(&base).ok();
+        std::fs::remove_dir_all(&new).ok();
+    }
+
+    #[test]
+    fn empty_results_directory_is_an_error() {
+        let base = dir_of("empty_base", &[make("a", 1000.0, 600.0)]);
+        let empty = dir_of("empty_new", &[]);
+        assert!(run(&empty, &base, &PerfCheckConfig::default()).is_err());
+        std::fs::remove_dir_all(&base).ok();
+        std::fs::remove_dir_all(&empty).ok();
+    }
+}

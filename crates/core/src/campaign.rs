@@ -30,7 +30,9 @@ use std::fs::{File, OpenOptions};
 use std::io::{self, BufRead, BufReader, Write};
 use std::panic::{self, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// How a campaign retries a failing point before recording the failure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -44,6 +46,118 @@ pub struct RetryPolicy {
 impl Default for RetryPolicy {
     fn default() -> Self {
         RetryPolicy { max_attempts: 2, backoff: Duration::from_millis(25) }
+    }
+}
+
+/// Default stall threshold: `MMWAVE_STALL_TIMEOUT_SECS` if set (0 disables
+/// the watchdog), else 300 s — generous against the paper sweeps' slowest
+/// points, tight enough to flag a hung sensor replay or a livelocked fit.
+fn default_stall_timeout() -> Duration {
+    match std::env::var("MMWAVE_STALL_TIMEOUT_SECS") {
+        Ok(raw) => match raw.trim().parse::<u64>() {
+            Ok(secs) => Duration::from_secs(secs),
+            Err(_) => {
+                mmwave_telemetry::warn!(
+                    "ignoring invalid MMWAVE_STALL_TIMEOUT_SECS={raw:?}; using 300s"
+                );
+                Duration::from_secs(300)
+            }
+        },
+        Err(_) => Duration::from_secs(300),
+    }
+}
+
+/// Background watchdog that flags a stalled sweep: while a point batch is
+/// in flight, no [`StallWatchdog::touch`] for the configured interval logs
+/// a warning (once per stall episode), bumps the `campaign.stalled`
+/// counter, and publishes the current stall length on the
+/// `campaign.stall_seconds` gauge. A zero timeout disables it entirely.
+struct StallWatchdog {
+    inner: Arc<WatchdogInner>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+struct WatchdogInner {
+    campaign: String,
+    timeout: Duration,
+    last_progress: Mutex<Instant>,
+    /// Set once per stall episode so the warning does not repeat every
+    /// poll; cleared by `touch`.
+    warned: AtomicBool,
+    stop: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl WatchdogInner {
+    fn watch(&self) {
+        let interval = (self.timeout / 4).max(Duration::from_millis(10));
+        let mut stop = self.stop.lock().expect("watchdog lock poisoned");
+        while !*stop {
+            let (guard, _) = self
+                .cv
+                .wait_timeout(stop, interval)
+                .expect("watchdog lock poisoned");
+            stop = guard;
+            if *stop {
+                return;
+            }
+            let stalled_for =
+                self.last_progress.lock().expect("watchdog lock poisoned").elapsed();
+            if stalled_for < self.timeout {
+                continue;
+            }
+            mmwave_telemetry::gauge("campaign.stall_seconds", stalled_for.as_secs_f64());
+            if !self.warned.swap(true, Ordering::Relaxed) {
+                mmwave_telemetry::counter("campaign.stalled", 1);
+                mmwave_telemetry::warn!(
+                    "campaign `{}`: no point completed for {:.1}s (threshold {:.0}s) — \
+                     a point may be hung",
+                    self.campaign,
+                    stalled_for.as_secs_f64(),
+                    self.timeout.as_secs_f64()
+                );
+            }
+        }
+    }
+}
+
+impl StallWatchdog {
+    fn start(campaign: &str, timeout: Duration) -> StallWatchdog {
+        let inner = Arc::new(WatchdogInner {
+            campaign: campaign.to_string(),
+            timeout,
+            last_progress: Mutex::new(Instant::now()),
+            warned: AtomicBool::new(false),
+            stop: Mutex::new(false),
+            cv: Condvar::new(),
+        });
+        let handle = if timeout.is_zero() {
+            None
+        } else {
+            let watcher = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("mmwave-campaign-watchdog".to_string())
+                .spawn(move || watcher.watch())
+                .ok()
+        };
+        StallWatchdog { inner, handle }
+    }
+
+    /// Reports progress (a point completed), resetting the stall clock and
+    /// re-arming the once-per-episode warning.
+    fn touch(&self) {
+        *self.inner.last_progress.lock().expect("watchdog lock poisoned") = Instant::now();
+        self.inner.warned.store(false, Ordering::Relaxed);
+    }
+}
+
+impl Drop for StallWatchdog {
+    fn drop(&mut self) {
+        *self.inner.stop.lock().expect("watchdog lock poisoned") = true;
+        self.inner.cv.notify_all();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
     }
 }
 
@@ -111,6 +225,9 @@ pub struct Campaign<T> {
     /// Journal replay/insertion order, for stable reporting.
     order: Vec<String>,
     retry: RetryPolicy,
+    /// No-progress interval after which the stall watchdog warns; zero
+    /// disables the watchdog.
+    stall_timeout: Duration,
     reused: usize,
 }
 
@@ -132,6 +249,7 @@ impl<T: Serialize + DeserializeOwned + Clone> Campaign<T> {
             durations: HashMap::new(),
             order: Vec::new(),
             retry: RetryPolicy::default(),
+            stall_timeout: default_stall_timeout(),
             reused: 0,
         };
         let path = campaign.journal_path();
@@ -164,6 +282,14 @@ impl<T: Serialize + DeserializeOwned + Clone> Campaign<T> {
     pub fn with_retry(mut self, retry: RetryPolicy) -> Campaign<T> {
         assert!(retry.max_attempts >= 1, "need at least one attempt");
         self.retry = retry;
+        self
+    }
+
+    /// Overrides the stall-watchdog threshold (default:
+    /// `MMWAVE_STALL_TIMEOUT_SECS`, else 300 s). [`Duration::ZERO`]
+    /// disables the watchdog.
+    pub fn with_stall_timeout(mut self, timeout: Duration) -> Campaign<T> {
+        self.stall_timeout = timeout;
         self
     }
 
@@ -216,7 +342,10 @@ impl<T: Serialize + DeserializeOwned + Clone> Campaign<T> {
             self.reused += 1;
             return Ok(done.clone());
         }
+        let watchdog =
+            StallWatchdog::start(&self.dir.display().to_string(), self.stall_timeout);
         let (outcome, duration_ms) = Self::evaluate(self.retry, point);
+        drop(watchdog);
         self.record_with_event(id, outcome.clone(), duration_ms)?;
         Ok(outcome)
     }
@@ -258,15 +387,22 @@ impl<T: Serialize + DeserializeOwned + Clone> Campaign<T> {
             }
         }
         let retry = self.retry;
+        let watchdog =
+            StallWatchdog::start(&self.dir.display().to_string(), self.stall_timeout);
         // Evaluation fans out; journaling stays serial below so append
-        // order — and therefore replay order — matches input order.
+        // order — and therefore replay order — matches input order. Each
+        // completed point feeds the stall watchdog, so a sweep only counts
+        // as stalled when *no* worker finishes anything.
         let evaluated = mmwave_exec::par_map(&pending, |_, &pi| {
             let _span = mmwave_telemetry::span_at(
                 "campaign.point_eval",
                 mmwave_telemetry::Level::Debug,
             );
-            Self::evaluate(retry, &points[pi].1)
+            let result = Self::evaluate(retry, &points[pi].1);
+            watchdog.touch();
+            result
         });
+        drop(watchdog);
         let mut fresh = pending.iter().copied().zip(evaluated).peekable();
         let mut results = Vec::with_capacity(points.len());
         for (i, (id, _)) in points.iter().enumerate() {
@@ -667,6 +803,49 @@ mod tests {
         assert_eq!(key(&serial), key(&batch));
         std::fs::remove_dir_all(&serial_dir).ok();
         std::fs::remove_dir_all(&batch_dir).ok();
+    }
+
+    #[test]
+    fn stall_watchdog_flags_a_hung_point() {
+        let registry = mmwave_telemetry::global();
+        let dir = temp_dir("stall");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut c = Campaign::<f64>::open(&dir)
+            .unwrap()
+            .with_stall_timeout(Duration::from_millis(40));
+        let before = registry.counter_value("campaign.stalled");
+        let outcome = c
+            .run_point("slow", || {
+                std::thread::sleep(Duration::from_millis(250));
+                9.0
+            })
+            .unwrap();
+        assert_eq!(outcome, PointOutcome::Completed { result: 9.0 });
+        if registry.is_enabled() {
+            assert!(
+                registry.counter_value("campaign.stalled") > before,
+                "a 250ms point against a 40ms threshold must trip the watchdog"
+            );
+            assert!(registry.gauge_value("campaign.stall_seconds").is_some());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stall_watchdog_stays_quiet_for_fast_points_and_zero_disables_it() {
+        let dir = temp_dir("nostall");
+        let _ = std::fs::remove_dir_all(&dir);
+        // Generous threshold, instant point: the watchdog arms and
+        // disarms without firing.
+        let mut c = Campaign::<f64>::open(&dir)
+            .unwrap()
+            .with_stall_timeout(Duration::from_secs(30));
+        c.run_point("fast", || 1.0).unwrap();
+        // Zero timeout: no watchdog thread at all, the sweep still runs.
+        let mut c = c.with_stall_timeout(Duration::ZERO);
+        let outcome = c.run_point("unwatched", || 2.0).unwrap();
+        assert_eq!(outcome, PointOutcome::Completed { result: 2.0 });
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

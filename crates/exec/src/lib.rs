@@ -46,9 +46,13 @@
 //! # Telemetry
 //!
 //! The pool reports `exec.workers` / `exec.queue_depth` gauges, an
-//! `exec.task_ms` latency histogram, `exec.jobs` / `exec.tasks` /
-//! `exec.task_panics` counters, and a per-task `exec.task` span (debug
-//! level) that nests under whatever span the worker is draining for.
+//! `exec.task_ms` latency histogram, and `exec.jobs` / `exec.tasks` /
+//! `exec.task_panics` counters. Each job captures the submitting thread's
+//! open span path (`mmwave_telemetry::current_path`) and every task
+//! replays it on its executing thread (`enter_context`), so spans opened
+//! inside a task nest under the same `/`-joined path they would in a
+//! serial run — span profiles and trace timelines are worker-count-stable
+//! in structure.
 
 mod pool;
 
@@ -408,6 +412,28 @@ mod tests {
             }
         }
         assert_eq!(derive_seed(7, 3), derive_seed(7, 3));
+    }
+
+    #[test]
+    fn tasks_inherit_the_submitters_span_context() {
+        let outer = mmwave_telemetry::span_at("exec_ctx_test", mmwave_telemetry::Level::Debug);
+        // Only assert when telemetry is enabled in this environment.
+        if outer.path().is_some() {
+            let paths = with_workers(4, || {
+                par_map_range(8, |_| {
+                    let inner = mmwave_telemetry::span("exec_ctx_inner");
+                    inner.path().map(str::to_string)
+                })
+            });
+            for path in paths {
+                assert_eq!(
+                    path.as_deref(),
+                    Some("exec_ctx_test/exec_ctx_inner"),
+                    "pool tasks must nest spans under the submitter's path"
+                );
+            }
+        }
+        drop(outer);
     }
 
     #[test]

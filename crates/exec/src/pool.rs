@@ -78,6 +78,11 @@ struct JobHeader {
     /// First-by-index panic payload; later-index panics are discarded so
     /// the reported failure matches what a serial loop would hit first.
     panic: Mutex<Option<FirstPanic>>,
+    /// The submitting thread's open span path, replayed onto whichever
+    /// thread executes each task so spans opened inside the closure nest
+    /// exactly as they would in a serial run — the profile tree and trace
+    /// span paths come out identical at any worker count.
+    span_ctx: Option<String>,
 }
 
 /// Executes task `index` of a job: calls the item closure under
@@ -98,9 +103,13 @@ where
     let f = &*(f_addr as *const F);
     let header = &*(header_addr as *const JobHeader);
     let started = Instant::now();
-    let span = mmwave_telemetry::span_at("exec.task", mmwave_telemetry::Level::Debug);
+    // Adopt the submitting thread's span context for the duration of the
+    // task (the guard restores the previous stack even on panic). On the
+    // caller helping drain its own job this is a no-op swap; on a worker
+    // it makes nested spans record under the caller's path.
+    let ctx = mmwave_telemetry::enter_context(header.span_ctx.as_deref());
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(index)));
-    drop(span);
+    drop(ctx);
     mmwave_telemetry::observe("exec.task_ms", started.elapsed().as_secs_f64() * 1e3);
     match outcome {
         Ok(result) => {
@@ -132,7 +141,11 @@ where
     ensure_workers(pool, target_workers.saturating_sub(1));
 
     let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let header = JobHeader { remaining: AtomicUsize::new(n), panic: Mutex::new(None) };
+    let header = JobHeader {
+        remaining: AtomicUsize::new(n),
+        panic: Mutex::new(None),
+        span_ctx: mmwave_telemetry::current_path(),
+    };
 
     let f_addr = f as *const F as usize;
     let slots_addr = slots.as_ptr() as usize;

@@ -71,10 +71,17 @@ impl FromStr for Level {
 pub enum EventKind {
     /// A human-oriented log line (`fields["message"]`).
     Log,
-    /// A completed span (`fields["duration_us"]`).
+    /// A completed span (`fields["duration_us"]`, `fields["start_us"]`,
+    /// `fields["tid"]`).
     Span,
     /// A structured measurement (epoch stats, capture stats, ...).
     Metric,
+    /// A counter increment (`fields["delta"]`, `fields["value"]`); only
+    /// emitted when a trace-verbosity sink is installed.
+    Counter,
+    /// A gauge update (`fields["value"]`); only emitted when a
+    /// trace-verbosity sink is installed.
+    Gauge,
     /// A fault or recovery occurrence (dropped frame, trainer rollback).
     Fault,
     /// A completed campaign point.
@@ -147,6 +154,28 @@ pub fn unix_millis() -> u64 {
         .unwrap_or(0)
 }
 
+/// Microseconds since this process first touched the telemetry clock — a
+/// monotonic timestamp shared by every thread, which is what trace
+/// timelines need (wall-clock `ts_ms` only has millisecond resolution).
+pub fn process_micros() -> u64 {
+    use std::sync::OnceLock;
+    use std::time::Instant;
+    static ANCHOR: OnceLock<Instant> = OnceLock::new();
+    ANCHOR.get_or_init(Instant::now).elapsed().as_micros() as u64
+}
+
+/// A small, stable id for the calling thread, assigned on first use. Used
+/// to attribute trace events to the `mmwave-exec` worker (or main) thread
+/// that produced them; ids are process-local and dense (0, 1, 2, ...).
+pub fn thread_id() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    thread_local! {
+        static TID: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    TID.with(|t| *t)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -180,6 +209,31 @@ mod tests {
         let back: Event = serde_json::from_str(&line).unwrap();
         assert_eq!(back.name, "capture");
         assert_eq!(back.level, Level::Debug);
+    }
+
+    #[test]
+    fn counter_and_gauge_kinds_roundtrip() {
+        for (kind, tag) in [(EventKind::Counter, "\"counter\""), (EventKind::Gauge, "\"gauge\"")] {
+            let line = serde_json::to_string(&kind).unwrap();
+            assert_eq!(line, tag);
+            let back: EventKind = serde_json::from_str(&line).unwrap();
+            assert_eq!(back, kind);
+        }
+    }
+
+    #[test]
+    fn thread_ids_are_stable_and_distinct_across_threads() {
+        let here = thread_id();
+        assert_eq!(here, thread_id(), "a thread's id must not change");
+        let there = std::thread::spawn(thread_id).join().unwrap();
+        assert_ne!(here, there, "different threads need different ids");
+    }
+
+    #[test]
+    fn process_micros_is_monotonic() {
+        let a = process_micros();
+        let b = process_micros();
+        assert!(b >= a);
     }
 
     #[test]

@@ -16,17 +16,22 @@
 //!   [`summary_table`].
 //! * **Events** ([`log`], [`event`], and the [`error!`] / [`warn!`] /
 //!   [`info!`] / [`debug!`] / [`trace!`] macros) stream to every installed
-//!   [`Sink`] whose verbosity admits them: a human-readable stderr sink
-//!   and/or a JSON-lines file ([`read_jsonl_events`] parses it back,
-//!   tolerating a torn tail).
+//!   [`Sink`] whose verbosity admits them: a human-readable stderr sink,
+//!   a JSON-lines file ([`read_jsonl_events`] parses it back, tolerating a
+//!   torn tail), and/or a Chrome/Perfetto [`TraceSink`] timeline.
+//! * **Profiles** ([`profile`]) fold the flat span table into a merged
+//!   call tree with inclusive/exclusive wall time; the end-of-run
+//!   [`summary_table`] appends its top hotspots and [`snapshot`] carries
+//!   the full tree under `"profile"`.
 //!
 //! # Configuration
 //!
 //! The registry self-configures from the environment on first use
 //! (`MMWAVE_TELEMETRY=off`, `MMWAVE_LOG_LEVEL=<level>`,
-//! `MMWAVE_METRICS_OUT=<path>`); a CLI overrides that with [`configure`].
-//! When disabled, every instrumentation call is one relaxed atomic load —
-//! the pipeline's hot path pays well under 1 % overhead.
+//! `MMWAVE_METRICS_OUT=<path>`, `MMWAVE_TRACE_OUT=<path>`); a CLI
+//! overrides that with [`configure`]. When disabled, every
+//! instrumentation call is one relaxed atomic load — the pipeline's hot
+//! path pays well under 1 % overhead.
 //!
 //! # Examples
 //!
@@ -41,15 +46,25 @@
 
 pub mod event;
 pub mod histogram;
+pub mod profile;
 pub mod registry;
 pub mod sink;
 pub mod span;
+pub mod trace;
 
-pub use event::{Event, EventKind, Level};
+pub use event::{process_micros, thread_id, Event, EventKind, Level};
 pub use histogram::{HistogramSnapshot, LogLinearHistogram};
+pub use profile::{Profile, ProfileNode};
 pub use registry::{configure, global, Registry, TelemetryConfig};
 pub use sink::{read_jsonl_events, JsonlSink, Sink, StderrSink};
-pub use span::{span, span_at, SpanGuard};
+pub use span::{current_path, enter_context, span, span_at, ContextGuard, SpanGuard};
+pub use trace::{read_trace_file, TraceSink};
+
+/// The merged span call tree (inclusive / exclusive time, call counts,
+/// quantiles) aggregated from everything recorded so far.
+pub fn profile() -> Profile {
+    registry::global().profile()
+}
 
 /// Adds `delta` to a named monotonically increasing counter.
 pub fn counter(name: &str, delta: u64) {

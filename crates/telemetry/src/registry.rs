@@ -2,7 +2,9 @@
 
 use crate::event::{Event, EventKind, Level};
 use crate::histogram::{HistogramSnapshot, LogLinearHistogram};
+use crate::profile::Profile;
 use crate::sink::{JsonlSink, Sink, StderrSink};
+use crate::trace::TraceSink;
 use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeMap, HashMap};
 use std::io;
@@ -99,26 +101,47 @@ impl Registry {
         max != NO_SINKS && (level as u8) <= max
     }
 
-    /// Adds `delta` to the named counter.
+    /// Adds `delta` to the named counter. When a trace-verbosity sink is
+    /// installed, the increment is also emitted as an
+    /// [`EventKind::Counter`] event (the trace sink renders those as
+    /// counter tracks); otherwise this stays a mutex-guarded add.
     pub fn counter_add(&self, name: &str, delta: u64) {
         if !self.is_enabled() {
             return;
         }
-        let mut counters = self.counters.lock();
-        match counters.get_mut(name) {
-            Some(v) => *v += delta,
-            None => {
-                counters.insert(name.to_string(), delta);
+        let value = {
+            let mut counters = self.counters.lock();
+            match counters.get_mut(name) {
+                Some(v) => {
+                    *v += delta;
+                    *v
+                }
+                None => {
+                    counters.insert(name.to_string(), delta);
+                    delta
+                }
             }
+        };
+        if self.would_emit(Level::Trace) {
+            let mut fields = serde_json::Map::new();
+            fields.insert("delta".to_string(), serde_json::Value::from(delta));
+            fields.insert("value".to_string(), serde_json::Value::from(value));
+            self.emit(Level::Trace, EventKind::Counter, name, fields);
         }
     }
 
-    /// Sets the named gauge.
+    /// Sets the named gauge. Like [`Registry::counter_add`], trace-level
+    /// sinks additionally receive an [`EventKind::Gauge`] event per update.
     pub fn gauge_set(&self, name: &str, value: f64) {
         if !self.is_enabled() {
             return;
         }
         self.gauges.lock().insert(name.to_string(), value);
+        if self.would_emit(Level::Trace) {
+            let mut fields = serde_json::Map::new();
+            fields.insert("value".to_string(), serde_json::Value::from(value));
+            self.emit(Level::Trace, EventKind::Gauge, name, fields);
+        }
     }
 
     /// Records one sample into the named histogram.
@@ -207,8 +230,24 @@ impl Registry {
         paths
     }
 
+    /// The merged span call tree: inclusive/exclusive wall time, call
+    /// counts, and per-node quantiles, aggregated from every span path
+    /// recorded so far. The tree *structure* is worker-count-stable (the
+    /// `mmwave-exec` pool propagates span context onto its workers); only
+    /// the times vary run to run.
+    pub fn profile(&self) -> Profile {
+        let spans: BTreeMap<String, HistogramSnapshot> = self
+            .spans
+            .lock()
+            .iter()
+            .map(|(k, h)| (k.clone(), h.snapshot()))
+            .collect();
+        Profile::from_spans(&spans)
+    }
+
     /// Full serializable snapshot of everything the registry accumulated:
-    /// counters, gauges, metric histograms, and per-span timing aggregates.
+    /// counters, gauges, metric histograms, per-span timing aggregates,
+    /// and the merged [`Registry::profile`] call tree.
     pub fn snapshot(&self) -> serde_json::Value {
         let counters: BTreeMap<String, u64> =
             self.counters.lock().iter().map(|(k, v)| (k.clone(), *v)).collect();
@@ -246,6 +285,7 @@ impl Registry {
             "gauges": gauges,
             "histograms": histograms,
             "spans": spans,
+            "profile": self.profile().to_json(),
         })
     }
 
@@ -314,6 +354,10 @@ impl Registry {
                 let _ = writeln!(out, "{name:<44} {value:>8}");
             }
         }
+        if !rows.is_empty() {
+            out.push('\n');
+            out.push_str(&self.profile().hotspot_table(12));
+        }
         out
     }
 }
@@ -328,6 +372,10 @@ pub struct TelemetryConfig {
     pub stderr_verbosity: Option<Level>,
     /// Path of a JSON-lines metrics file; `None` installs no file sink.
     pub metrics_out: Option<PathBuf>,
+    /// Path of a Chrome/Perfetto `trace.json` file; `None` installs no
+    /// trace sink. Installing one raises the effective verbosity to
+    /// trace, so every span occurrence is captured.
+    pub trace_out: Option<PathBuf>,
 }
 
 static GLOBAL: OnceLock<Registry> = OnceLock::new();
@@ -339,7 +387,9 @@ static GLOBAL: OnceLock<Registry> = OnceLock::new();
 /// * `MMWAVE_LOG_LEVEL=<error|warn|info|debug|trace>` sets the stderr
 ///   sink's verbosity (default `warn`);
 /// * `MMWAVE_METRICS_OUT=<path>` additionally streams every event to a
-///   JSON-lines file.
+///   JSON-lines file;
+/// * `MMWAVE_TRACE_OUT=<path>` additionally records a Chrome/Perfetto
+///   `trace.json` timeline.
 pub fn global() -> &'static Registry {
     GLOBAL.get_or_init(|| {
         let registry = Registry::new();
@@ -356,6 +406,13 @@ pub fn global() -> &'static Registry {
         if let Ok(path) = std::env::var("MMWAVE_METRICS_OUT") {
             if !path.is_empty() {
                 if let Ok(sink) = JsonlSink::create(&path) {
+                    registry.add_sink(Box::new(sink));
+                }
+            }
+        }
+        if let Ok(path) = std::env::var("MMWAVE_TRACE_OUT") {
+            if !path.is_empty() {
+                if let Ok(sink) = TraceSink::create(&path) {
                     registry.add_sink(Box::new(sink));
                 }
             }
@@ -379,6 +436,9 @@ pub fn configure(config: &TelemetryConfig) -> io::Result<()> {
     }
     if let Some(path) = &config.metrics_out {
         registry.add_sink(Box::new(JsonlSink::create(path)?));
+    }
+    if let Some(path) = &config.trace_out {
+        registry.add_sink(Box::new(TraceSink::create(path)?));
     }
     Ok(())
 }
@@ -450,7 +510,7 @@ mod tests {
     }
 
     #[test]
-    fn summary_table_lists_spans_and_counters() {
+    fn summary_table_lists_spans_counters_and_hotspots() {
         let r = Registry::new();
         r.record_span("capture", 0.5);
         r.record_span("capture/drai", 0.1);
@@ -460,5 +520,52 @@ mod tests {
         assert!(table.contains("capture/drai"));
         assert!(table.contains("radar.frames"));
         assert!(table.contains("rate(/s)"));
+        assert!(table.contains("hotspot (exclusive time)"));
+        assert!(table.contains("excl%"));
+    }
+
+    #[test]
+    fn snapshot_contains_the_profile_tree() {
+        let r = Registry::new();
+        r.record_span("capture", 0.5);
+        r.record_span("capture/drai", 0.1);
+        let snap = r.snapshot();
+        let profile = snap["profile"].as_array().expect("profile is an array of roots");
+        assert_eq!(profile[0]["path"], "capture");
+        assert_eq!(profile[0]["children"][0]["path"], "capture/drai");
+        assert!(profile[0]["exclusive_ms"].as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn counters_and_gauges_emit_events_for_trace_sinks() {
+        use crate::sink::read_jsonl_events;
+        let r = Registry::new();
+        let path = std::env::temp_dir()
+            .join(format!("mmwave_registry_counter_events_{}.jsonl", std::process::id()));
+        r.add_sink(Box::new(JsonlSink::create(&path).unwrap()));
+        r.counter_add("frames", 2);
+        r.counter_add("frames", 3);
+        r.gauge_set("workers", 4.0);
+        r.flush();
+        let events = read_jsonl_events(&path).unwrap();
+        let counters: Vec<_> =
+            events.iter().filter(|e| e.kind == EventKind::Counter).collect();
+        assert_eq!(counters.len(), 2);
+        assert_eq!(counters[1].fields["delta"], 3);
+        assert_eq!(counters[1].fields["value"], 5, "value is the post-increment total");
+        let gauge = events.iter().find(|e| e.kind == EventKind::Gauge).expect("gauge event");
+        assert_eq!(gauge.fields["value"], 4.0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn counters_emit_nothing_without_a_trace_sink() {
+        // A warn-verbosity sink must not trigger counter events (nor pay
+        // for building them): would_emit(Trace) is false.
+        let r = Registry::new();
+        r.add_sink(Box::new(StderrSink::new(Level::Warn)));
+        assert!(!r.would_emit(Level::Trace));
+        r.counter_add("frames", 1);
+        assert_eq!(r.counter_value("frames"), 1);
     }
 }

@@ -100,6 +100,15 @@ impl Sink for JsonlSink {
     }
 }
 
+impl Drop for JsonlSink {
+    /// Belt-and-braces: the registry flushes sinks on reconfiguration and
+    /// `finish()`, but a sink dropped outside that lifecycle (tests,
+    /// ad-hoc tooling) must still leave complete lines behind.
+    fn drop(&mut self) {
+        let _ = self.writer.lock().flush();
+    }
+}
+
 /// Reads the events of a JSONL metrics file, tolerating a torn trailing
 /// line (the signature of a process killed mid-write): replay stops at the
 /// first unparseable line and returns the intact prefix.
@@ -169,6 +178,40 @@ mod tests {
         let events = read_jsonl_events(&path).unwrap();
         assert_eq!(events.len(), 2, "intact prefix must survive a torn tail");
         assert_eq!(events[1].name, "b");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn drop_without_explicit_flush_loses_nothing() {
+        let path = temp_path("drop_flush");
+        {
+            let sink = JsonlSink::create(&path).unwrap();
+            sink.record(&sample_event("a"));
+            sink.record(&sample_event("b"));
+            // No flush() call: Drop must drain the buffer.
+        }
+        let events = read_jsonl_events(&path).unwrap();
+        assert_eq!(events.len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn killed_writer_leaves_at_most_one_torn_line() {
+        // Per-record flushing means an abrupt stop (simulated by chopping
+        // the file at an arbitrary byte) can tear at most the final line;
+        // everything before it parses.
+        let path = temp_path("kill");
+        let sink = JsonlSink::create(&path).unwrap();
+        for i in 0..20 {
+            sink.record(&sample_event(&format!("event_{i}")));
+        }
+        drop(sink);
+        let bytes = std::fs::read(&path).unwrap();
+        let cut = bytes.len() - 11; // mid-way through the last line
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+        let events = read_jsonl_events(&path).unwrap();
+        assert_eq!(events.len(), 19, "only the torn tail line may be lost");
+        assert_eq!(events.last().unwrap().name, "event_18");
         std::fs::remove_file(&path).ok();
     }
 

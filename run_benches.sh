@@ -6,7 +6,10 @@
 # bench_output.txt) at the end. Exits nonzero if any bench failed.
 #
 # Telemetry: each bench streams its run events to bench_metrics/<bench>.jsonl
-# via MMWAVE_METRICS_OUT (see docs/observability.md).
+# via MMWAVE_METRICS_OUT (see docs/observability.md), and writes a perf
+# baseline to bench_metrics/BENCH_<bench>.json via MMWAVE_BASELINE_DIR —
+# compare two runs with `mmwave perf-check` (see docs/observability.md,
+# "Perf baselines & the regression gate").
 #
 # Parallelism: every bench runs under an explicit MMWAVE_WORKERS (the
 # inherited value, else all cores via nproc) so results are attributable to
@@ -18,31 +21,58 @@ cd /root/repo || exit 1
 mkdir -p bench_metrics
 
 workers="${MMWAVE_WORKERS:-$(nproc 2>/dev/null || echo 1)}"
+git_sha="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+export MMWAVE_GIT_SHA="$git_sha"
+export MMWAVE_BASELINE_DIR="bench_metrics"
 
 benches="fig08_similar_rate fig09_similar_frames fig07_confusion_matrix \
          fig03_shap_histogram fig05_heatmap_stealth \
-         fig11_dissimilar_frames fig12_trigger_size_rate fig13_trigger_size_frames \
+         fig10_dissimilar_rate fig11_dissimilar_frames \
+         fig12_trigger_size_rate fig13_trigger_size_frames \
          fig14_angle_robustness fig15_distance_robustness defense_eval \
-         perf_components ablation_clutter robustness_faults parallel_speedup"
+         table1_ablation perf_components ablation_clutter \
+         robustness_faults parallel_speedup"
 
 declare -A status
 failures=0
 for b in $benches; do
   echo "================ $b (MMWAVE_WORKERS=$workers) ================" >> bench_output.txt
-  printf '{"bench":"%s","workers":%s}\n' "$b" "$workers" > "bench_metrics/$b.meta.json"
+  started_ms="$(date +%s%3N)"
   if MMWAVE_METRICS_OUT="bench_metrics/$b.jsonl" \
      MMWAVE_WORKERS="$workers" \
      cargo bench -q -p mmwave-bench --bench "$b" >> bench_output.txt 2>&1; then
+    rc=0
     status[$b]=PASS
   else
+    rc=$?
     status[$b]=FAIL
     failures=$((failures + 1))
   fi
+  printf '{"bench":"%s","workers":%s,"git_sha":"%s","started_ms":%s,"finished_ms":%s,"exit_status":%s}\n' \
+    "$b" "$workers" "$git_sha" "$started_ms" "$(date +%s%3N)" "$rc" \
+    > "bench_metrics/$b.meta.json"
   echo "[runner] $b ${status[$b]} at $(date +%H:%M:%S)" >> bench_output.txt
 done
 
+# Machine-readable sweep summary next to the per-bench baselines, so CI (or
+# a later perf-check) can see at a glance what ran and what failed.
 {
-  echo "[runner] ALL BENCHES DONE ($failures failed, MMWAVE_WORKERS=$workers)"
+  echo '{'
+  printf '  "git_sha": "%s",\n' "$git_sha"
+  printf '  "workers": %s,\n' "$workers"
+  printf '  "timestamp_ms": %s,\n' "$(date +%s%3N)"
+  printf '  "failures": %s,\n' "$failures"
+  echo '  "benches": {'
+  sep=''
+  for b in $benches; do
+    printf '%s    "%s": "%s"' "$sep" "$b" "${status[$b]}"
+    sep=$',\n'
+  done
+  printf '\n  }\n}\n'
+} > bench_metrics/summary.json
+
+{
+  echo "[runner] ALL BENCHES DONE ($failures failed, MMWAVE_WORKERS=$workers, git=$git_sha)"
   printf '%-28s %s\n' "bench" "status"
   for b in $benches; do
     printf '%-28s %s\n' "$b" "${status[$b]}"

@@ -7,6 +7,8 @@
 //! mmwave attack  [--rate 0.4] [--frames 8] [--scenario push-pull] [--smoke]
 //!                [--resume <dir>]
 //! mmwave demo    (smoke-scale end-to-end attack exercising every stage)
+//! mmwave perf-check <results-dir> --baseline <dir> [--threshold 0.15]
+//!                [--noise-ms 50] [--report-only]
 //! ```
 //!
 //! Global flags, accepted by every command:
@@ -14,6 +16,7 @@
 //! ```text
 //! --log-level <error|warn|info|debug|trace>   stderr verbosity (default info)
 //! --metrics-out <path>   stream every telemetry event to a JSON-lines file
+//! --trace-out <path>     write a Chrome/Perfetto trace.json timeline
 //! --quiet                suppress stderr diagnostics and the summary table
 //! --workers <n>          worker threads for parallel stages (default: the
 //!                        MMWAVE_WORKERS env var, else all cores; 1 = serial)
@@ -54,7 +57,7 @@ fn main() -> ExitCode {
     };
     // Flag parsing and telemetry setup happen before the logger exists, so
     // their own errors fall back to bare stderr.
-    let opts = match parse_flags(rest) {
+    let (opts, positionals) = match parse_flags(rest) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}");
@@ -62,6 +65,11 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if !positionals.is_empty() && command != "perf-check" {
+        eprintln!("error: unexpected argument `{}`", positionals[0]);
+        print_usage();
+        return ExitCode::FAILURE;
+    }
     let quiet = opts.contains_key("quiet");
     if let Err(e) = configure_telemetry(&opts, quiet) {
         eprintln!("error: {e}");
@@ -76,6 +84,9 @@ fn main() -> ExitCode {
         "train" => train(&opts),
         "attack" => attack(&opts),
         "demo" => demo(&opts),
+        // The gate compares existing baseline files; it runs no pipeline,
+        // so the stage-time summary below would only be noise.
+        "perf-check" => return perf_check(&opts, &positionals),
         "help" | "--help" | "-h" => {
             print_usage();
             return ExitCode::SUCCESS;
@@ -121,9 +132,16 @@ fn configure_telemetry(opts: &HashMap<String, String>, quiet: bool) -> Result<()
         .or_else(|| std::env::var("MMWAVE_METRICS_OUT").ok())
         .filter(|s| !s.is_empty())
         .map(PathBuf::from);
-    let config = telemetry::TelemetryConfig { disabled, stderr_verbosity, metrics_out };
+    let trace_out = opts
+        .get("trace-out")
+        .cloned()
+        .or_else(|| std::env::var("MMWAVE_TRACE_OUT").ok())
+        .filter(|s| !s.is_empty())
+        .map(PathBuf::from);
+    let config =
+        telemetry::TelemetryConfig { disabled, stderr_verbosity, metrics_out, trace_out };
     telemetry::configure(&config)
-        .map_err(|e| format!("cannot open the metrics file: {e}"))
+        .map_err(|e| format!("cannot open the metrics or trace file: {e}"))
 }
 
 /// Pins the `mmwave-exec` worker count from `--workers`. Without the flag
@@ -162,31 +180,39 @@ fn print_usage() {
                                             same flags replays from the journal)\n\
            demo      smoke-scale end-to-end attack touching every pipeline\n\
                      stage (synthesis, DSP, SHAP, training, campaign)\n\
+           perf-check <results-dir>  compare BENCH_*.json perf baselines\n\
+                     against --baseline <dir>; nonzero exit on regression\n\
+                     flags: --threshold <frac> (default 0.15)\n\
+                            --noise-ms <ms> (default 50)\n\
+                            --report-only (report regressions, exit 0)\n\
          \n\
          global flags:\n\
            --log-level <error|warn|info|debug|trace>   stderr verbosity\n\
            --metrics-out <path>   write all telemetry events as JSON lines\n\
+           --trace-out <path>     write a Chrome/Perfetto trace.json timeline\n\
            --quiet                suppress diagnostics and the summary table\n\
            --workers <n>          worker threads for parallel stages\n\
                                   (default: MMWAVE_WORKERS, else all cores)"
     );
 }
 
-fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+fn parse_flags(args: &[String]) -> Result<(HashMap<String, String>, Vec<String>), String> {
     let mut out = HashMap::new();
+    let mut positionals = Vec::new();
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let Some(name) = flag.strip_prefix("--") else {
-            return Err(format!("expected a --flag, got `{flag}`"));
+            positionals.push(flag.clone());
+            continue;
         };
-        if name == "smoke" || name == "fast" || name == "quiet" {
+        if name == "smoke" || name == "fast" || name == "quiet" || name == "report-only" {
             out.insert(name.to_string(), "true".to_string());
             continue;
         }
         let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
         out.insert(name.to_string(), value.clone());
     }
-    Ok(out)
+    Ok((out, positionals))
 }
 
 fn parse_activity(s: &str) -> Option<Activity> {
@@ -387,6 +413,55 @@ fn attack(opts: &HashMap<String, String>) -> ExitCode {
     }
     print!("{}", campaign.report());
     ExitCode::SUCCESS
+}
+
+/// The perf regression gate: `mmwave perf-check <results-dir> --baseline
+/// <dir>` compares the `BENCH_*.json` files two bench runs wrote (see
+/// `mmwave-bench::baseline`) and exits nonzero when anything regressed.
+fn perf_check(opts: &HashMap<String, String>, positionals: &[String]) -> ExitCode {
+    use mmwave_har_backdoor::bench::perfcheck::{self, PerfCheckConfig};
+    let [results_dir] = positionals else {
+        eprintln!("error: perf-check needs exactly one <results-dir> argument");
+        print_usage();
+        return ExitCode::FAILURE;
+    };
+    let Some(baseline_dir) = opts.get("baseline") else {
+        eprintln!("error: perf-check needs --baseline <dir>");
+        print_usage();
+        return ExitCode::FAILURE;
+    };
+    let defaults = PerfCheckConfig::default();
+    let threshold = match opts.get("threshold").map(|s| s.parse::<f64>()) {
+        None => defaults.threshold,
+        Some(Ok(t)) if t > 0.0 => t,
+        Some(_) => {
+            eprintln!("error: --threshold needs a positive fraction (e.g. 0.15)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let noise_floor_ms = match opts.get("noise-ms").map(|s| s.parse::<f64>()) {
+        None => defaults.noise_floor_ms,
+        Some(Ok(n)) if n >= 0.0 => n,
+        Some(_) => {
+            eprintln!("error: --noise-ms needs a non-negative number of milliseconds");
+            return ExitCode::FAILURE;
+        }
+    };
+    let config = PerfCheckConfig {
+        threshold,
+        noise_floor_ms,
+        report_only: opts.contains_key("report-only"),
+    };
+    match perfcheck::run(results_dir, baseline_dir, &config) {
+        Ok(report) => {
+            println!("{report}");
+            if report.exit_code() == 0 { ExitCode::SUCCESS } else { ExitCode::FAILURE }
+        }
+        Err(e) => {
+            eprintln!("error: perf-check failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// A self-contained smoke-scale run that exercises every pipeline stage —

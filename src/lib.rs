@@ -19,13 +19,15 @@
 //! | [`har`] | `mmwave-har` | datasets, CNN-LSTM, training, evaluation |
 //! | [`backdoor`] | `mmwave-backdoor` | the attack (frames, position, poison, metrics) |
 //! | [`defense`] | `mmwave-defense` | trigger detection + augmentation |
-//! | [`telemetry`] | `mmwave-telemetry` | spans, metrics, structured run events |
+//! | [`telemetry`] | `mmwave-telemetry` | spans, metrics, traces, profiles, run events |
 //! | [`exec`] | `mmwave-exec` | deterministic work-stealing parallel runtime |
+//! | [`bench`] | `mmwave-bench` | bench harness, perf baselines, regression gate |
 //!
 //! See `examples/quickstart.rs` for a guided tour, and the `mmwave-bench`
 //! crate for the reproduction of every table and figure in the paper.
 
 pub use mmwave_backdoor as backdoor;
+pub use mmwave_bench as bench;
 pub use mmwave_body as body;
 pub use mmwave_defense as defense;
 pub use mmwave_dsp as dsp;

@@ -1,0 +1,108 @@
+//! Trace-export contract: the same seeded workload traced at 1 worker and
+//! at 4 workers must produce *identical multisets of span names* — the
+//! `mmwave-exec` pool replays the submitter's span context onto its
+//! workers, so the timeline's structure (and the profile tree built from
+//! it) is worker-count-stable; only which thread row a span lands on and
+//! its wall time vary. Also asserts the file is a well-formed Chrome trace
+//! (JSON array; every entry has `ph`/`pid`/`tid`/`name`, timed entries
+//! have `ts`).
+//!
+//! One `#[test]` only: the telemetry registry is process-global, and this
+//! file owns its sink configuration for the whole process.
+
+use mmwave_har_backdoor::body::{Activity, ActivitySampler, Participant, SampleVariation};
+use mmwave_har_backdoor::radar::capture::{CaptureConfig, Capturer};
+use mmwave_har_backdoor::radar::{Environment, Placement};
+use mmwave_har_backdoor::telemetry;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// The seeded workload: one capture under a named root span, so every span
+/// path in the trace hangs off `trace_test_root`.
+fn workload() {
+    let _root = telemetry::span_at("trace_test_root", telemetry::Level::Debug);
+    let capturer = Capturer::new(CaptureConfig::fast());
+    let sampler = ActivitySampler::new(Participant::average(), 8, 10.0);
+    let seq = sampler.sample(Activity::Push, &SampleVariation::nominal());
+    let out = capturer.capture(&seq, Placement::new(1.2, 0.0), &Environment::hallway(), None, 42);
+    assert_eq!(out.clean.len(), 8);
+}
+
+/// Records the workload's trace at `workers` workers into `path` (the
+/// reconfiguration flushes and detaches any previous trace sink).
+fn record_trace(path: &Path, workers: usize) -> Vec<serde_json::Value> {
+    telemetry::configure(&telemetry::TelemetryConfig {
+        disabled: false,
+        stderr_verbosity: None,
+        metrics_out: None,
+        trace_out: Some(path.to_path_buf()),
+    })
+    .unwrap();
+    mmwave_har_backdoor::exec::with_workers(workers, workload);
+    // Detach the sink (flushing it) so the next configuration cannot bleed
+    // events into this file.
+    telemetry::configure(&telemetry::TelemetryConfig::default()).unwrap();
+    telemetry::read_trace_file(path).unwrap()
+}
+
+/// The multiset of span names: `ph:"X"` entries only — counter tracks like
+/// `exec.queue_depth` legitimately differ across worker counts.
+fn span_name_counts(entries: &[serde_json::Value]) -> BTreeMap<String, usize> {
+    let mut counts = BTreeMap::new();
+    for e in entries.iter().filter(|e| e["ph"] == "X") {
+        let name = e["name"].as_str().expect("span entries carry a name").to_string();
+        *counts.entry(name).or_insert(0) += 1;
+    }
+    counts
+}
+
+#[test]
+fn traces_are_valid_and_span_multisets_are_worker_count_stable() {
+    let dir = std::env::temp_dir().join(format!("mmwave_trace_export_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let serial = record_trace(&dir.join("w1.trace.json"), 1);
+    let parallel = record_trace(&dir.join("w4.trace.json"), 4);
+
+    // Both traces are well-formed Chrome traces.
+    for (tag, entries) in [("w1", &serial), ("w4", &parallel)] {
+        assert!(!entries.is_empty(), "{tag}: trace must not be empty");
+        for e in entries.iter() {
+            let ph = e["ph"].as_str().unwrap_or_else(|| panic!("{tag}: entry lacks ph: {e}"));
+            assert!(
+                matches!(ph, "X" | "i" | "C" | "M"),
+                "{tag}: unexpected phase `{ph}` in {e}"
+            );
+            for key in ["pid", "tid", "name"] {
+                assert!(!e[key].is_null(), "{tag}: entry lacks `{key}`: {e}");
+            }
+            if ph != "M" {
+                assert!(e["ts"].as_u64().is_some(), "{tag}: timed entry lacks `ts`: {e}");
+            }
+            if ph == "X" {
+                assert!(e["dur"].as_u64().is_some(), "{tag}: span lacks `dur`: {e}");
+            }
+        }
+    }
+
+    // The workload's spans are present and rooted where the caller opened
+    // them — worker threads inherit the submitter's span context.
+    let serial_spans = span_name_counts(&serial);
+    let parallel_spans = span_name_counts(&parallel);
+    assert!(serial_spans.contains_key("trace_test_root"), "saw {serial_spans:?}");
+    assert!(
+        serial_spans.keys().any(|n| n != "trace_test_root" && n.starts_with("trace_test_root/")),
+        "capture stages must nest under the root span, saw {serial_spans:?}"
+    );
+
+    // The contract: identical span-name multisets at 1 and 4 workers.
+    // (Which *threads* the spans land on is scheduling-dependent — the
+    // caller may drain its own jobs — so thread placement is not asserted.)
+    assert_eq!(
+        serial_spans, parallel_spans,
+        "span multisets must not depend on the worker count"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
