@@ -65,33 +65,31 @@ impl BenchBaseline {
         format!("BENCH_{bench}.json")
     }
 
-    /// Writes the baseline as pretty JSON, creating parent directories.
+    /// Writes the baseline atomically (temp file + rename) inside a
+    /// checksummed `mmwave-store` envelope, creating parent directories,
+    /// so a kill mid-write can never leave a half-baseline that poisons a
+    /// later perf comparison.
     ///
     /// # Errors
     ///
     /// Returns any I/O or serialization error.
     pub fn save<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
-        let path = path.as_ref();
-        if let Some(parent) = path.parent() {
-            if !parent.as_os_str().is_empty() {
-                std::fs::create_dir_all(parent)?;
-            }
-        }
-        let json = serde_json::to_string_pretty(self)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-        std::fs::write(path, json)
+        mmwave_store::crash_point("bench.baseline.pre_save");
+        mmwave_store::save_json_atomic(path.as_ref(), self).map_err(io::Error::from)
     }
 
-    /// Loads one baseline file.
+    /// Loads one baseline file — enveloped, or bare JSON written by a
+    /// pre-envelope release. A torn or bit-flipped baseline is quarantined
+    /// to `<path>.quarantine-<n>` and reported as an error naming both
+    /// paths; rerunning the bench regenerates it.
     ///
     /// # Errors
     ///
-    /// Returns any I/O error, a parse error, or
+    /// Returns any I/O error, a corruption error, or
     /// [`io::ErrorKind::InvalidData`] on a schema-version mismatch.
     pub fn load<P: AsRef<Path>>(path: P) -> io::Result<BenchBaseline> {
-        let text = std::fs::read_to_string(&path)?;
-        let baseline: BenchBaseline = serde_json::from_str(&text)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let baseline: BenchBaseline =
+            mmwave_store::load_json(path.as_ref()).map(|l| l.value).map_err(io::Error::from)?;
         if baseline.schema_version != SCHEMA_VERSION {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -108,12 +106,14 @@ impl BenchBaseline {
 }
 
 /// Loads every `BENCH_*.json` in a directory, keyed by bench name.
+/// Quarantined siblings (`*.quarantine-*`) are skipped.
 ///
 /// # Errors
 ///
 /// Returns any I/O error from listing the directory or reading a file; a
-/// file that fails to parse is an error (a corrupt baseline silently
-/// skipped would make the gate vacuous).
+/// torn or corrupt file is an error (a corrupt baseline silently skipped
+/// would make the gate vacuous), but it is quarantined first and the
+/// error names both paths, so rerunning the bench regenerates it cleanly.
 pub fn load_dir<P: AsRef<Path>>(dir: P) -> io::Result<BTreeMap<String, BenchBaseline>> {
     let mut out = BTreeMap::new();
     for entry in std::fs::read_dir(&dir)? {
@@ -121,6 +121,8 @@ pub fn load_dir<P: AsRef<Path>>(dir: P) -> io::Result<BTreeMap<String, BenchBase
         let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
             continue;
         };
+        // `.quarantine-<n>` siblings don't end in ".json", so they are
+        // naturally excluded here.
         if !name.starts_with("BENCH_") || !name.ends_with(".json") {
             continue;
         }
@@ -315,6 +317,47 @@ mod tests {
         assert!(b.iterations >= 1);
         assert!(b.workers >= 1);
         assert!(b.throughput_per_sec.unwrap_or(0.0) > 0.0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_baseline_is_quarantined_and_error_names_it() {
+        let dir = temp_dir("corrupt");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join(BenchBaseline::file_name("x"));
+        sample("x", 5.0).save(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let err = load_dir(&dir).unwrap_err();
+        assert!(err.to_string().contains("BENCH_x.json"), "{err}");
+        assert!(!path.exists(), "corrupt baseline must be moved aside");
+        let quarantined = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .any(|e| e.file_name().to_string_lossy().contains(".quarantine-"));
+        assert!(quarantined);
+
+        // Re-running the bench (re-saving) heals the directory.
+        sample("x", 6.0).save(&path).unwrap();
+        let loaded = load_dir(&dir).unwrap();
+        assert_eq!(loaded["x"].wall_ms, 6.0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn legacy_bare_json_baseline_still_loads() {
+        let dir = temp_dir("legacy");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(BenchBaseline::file_name("old"));
+        std::fs::write(&path, serde_json::to_string_pretty(&sample("old", 7.5)).unwrap())
+            .unwrap();
+        let b = BenchBaseline::load(&path).unwrap();
+        assert_eq!(b.wall_ms, 7.5);
+        assert_eq!(load_dir(&dir).unwrap().len(), 1);
         std::fs::remove_dir_all(&dir).ok();
     }
 

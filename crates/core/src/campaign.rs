@@ -15,9 +15,18 @@
 //!   [`CampaignReport`] lists the degradation instead of the whole
 //!   campaign aborting.
 //!
-//! The journal is an append-only JSON-lines file (one entry per point), so
-//! a torn write at kill time corrupts at most the trailing line, which
-//! replay tolerates by truncating to the last parseable entry.
+//! The journal is an append-only JSON-lines file (one entry per point)
+//! written through `mmwave-store`'s CRC-per-line framing: every entry is
+//! individually checksummed, a torn trailing line from a kill mid-append
+//! is truncated away on open, and mid-file corruption is quarantined to a
+//! `.quarantine-*` sibling while replay keeps the intact prefix. The
+//! campaign report is persisted as a checksummed `report.json` via
+//! [`Campaign::save_report`]. Unframed journals from earlier releases
+//! still replay. Setting `MMWAVE_JOURNAL_DETERMINISTIC=1` (or
+//! [`Campaign::with_deterministic_journal`]) omits wall-clock and
+//! telemetry fields from journal entries, making the journal and report a
+//! pure function of the point outcomes — the property the `mmwave chaos`
+//! kill-and-resume matrix asserts byte-for-byte.
 
 use crate::experiment::{AttackSpec, ExperimentContext};
 use crate::metrics::AttackMetrics;
@@ -26,8 +35,7 @@ use serde::{Deserialize, Serialize};
 use std::any::Any;
 use std::collections::HashMap;
 use std::fmt;
-use std::fs::{File, OpenOptions};
-use std::io::{self, BufRead, BufReader, Write};
+use std::io;
 use std::panic::{self, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -228,18 +236,34 @@ pub struct Campaign<T> {
     /// No-progress interval after which the stall watchdog warns; zero
     /// disables the watchdog.
     stall_timeout: Duration,
+    /// Omit wall-clock and telemetry fields from journal entries so the
+    /// journal is a pure function of point outcomes (chaos testing).
+    deterministic: bool,
     reused: usize,
 }
 
+/// Default for [`Campaign::with_deterministic_journal`]: the
+/// `MMWAVE_JOURNAL_DETERMINISTIC` environment variable (`1` or `true`).
+fn default_deterministic_journal() -> bool {
+    std::env::var("MMWAVE_JOURNAL_DETERMINISTIC")
+        .map(|v| {
+            let v = v.trim();
+            v == "1" || v.eq_ignore_ascii_case("true")
+        })
+        .unwrap_or(false)
+}
+
 impl<T: Serialize + DeserializeOwned + Clone> Campaign<T> {
-    /// Opens (or creates) a campaign directory and replays its journal. A
-    /// corrupt trailing line — the signature of a kill mid-write — is
-    /// tolerated: replay stops at the last parseable entry.
+    /// Opens (or creates) a campaign directory and replays its journal,
+    /// repairing it on disk first: a corrupt trailing line — the
+    /// signature of a kill mid-append — is truncated away, and mid-file
+    /// corruption is quarantined to a `.quarantine-*` sibling while
+    /// replay keeps the intact prefix (the damaged points simply re-run).
     ///
     /// # Errors
     ///
-    /// Returns any I/O error from creating the directory or reading the
-    /// journal.
+    /// Returns any I/O error from creating the directory or reading or
+    /// repairing the journal.
     pub fn open<P: AsRef<Path>>(dir: P) -> io::Result<Campaign<T>> {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
@@ -250,29 +274,25 @@ impl<T: Serialize + DeserializeOwned + Clone> Campaign<T> {
             order: Vec::new(),
             retry: RetryPolicy::default(),
             stall_timeout: default_stall_timeout(),
+            deterministic: default_deterministic_journal(),
             reused: 0,
         };
-        let path = campaign.journal_path();
-        if path.exists() {
-            let reader = BufReader::new(File::open(&path)?);
-            for line in reader.lines() {
-                let line = line?;
-                if line.trim().is_empty() {
-                    continue;
-                }
-                match serde_json::from_str::<JournalEntry<T>>(&line) {
-                    Ok(entry) => {
-                        if let Some(ms) = entry.duration_ms {
-                            campaign.durations.insert(entry.id.clone(), ms);
-                        }
-                        if campaign.completed.insert(entry.id.clone(), entry.outcome).is_none() {
-                            campaign.order.push(entry.id);
-                        }
+        let replay = mmwave_store::read_jsonl_repair(&campaign.journal_path())
+            .map_err(io::Error::from)?;
+        for line in &replay.lines {
+            match serde_json::from_str::<JournalEntry<T>>(line) {
+                Ok(entry) => {
+                    if let Some(ms) = entry.duration_ms {
+                        campaign.durations.insert(entry.id.clone(), ms);
                     }
-                    // Torn tail from a kill mid-write; everything before it
-                    // is intact.
-                    Err(_) => break,
+                    if campaign.completed.insert(entry.id.clone(), entry.outcome).is_none() {
+                        campaign.order.push(entry.id);
+                    }
                 }
+                // Valid JSON but not a journal entry for this result type:
+                // trust nothing from here on, exactly like the torn-tail
+                // case — the affected points re-run.
+                Err(_) => break,
             }
         }
         Ok(campaign)
@@ -293,6 +313,17 @@ impl<T: Serialize + DeserializeOwned + Clone> Campaign<T> {
         self
     }
 
+    /// Overrides deterministic-journal mode (default: the
+    /// `MMWAVE_JOURNAL_DETERMINISTIC` environment variable). When on,
+    /// journal entries omit wall-clock durations and telemetry snapshots,
+    /// so the journal and report bytes are a pure function of the point
+    /// outcomes — the invariant the `mmwave chaos` kill-and-resume matrix
+    /// compares byte for byte.
+    pub fn with_deterministic_journal(mut self, deterministic: bool) -> Campaign<T> {
+        self.deterministic = deterministic;
+        self
+    }
+
     /// The campaign directory.
     pub fn dir(&self) -> &Path {
         &self.dir
@@ -301,6 +332,12 @@ impl<T: Serialize + DeserializeOwned + Clone> Campaign<T> {
     /// The append-only JSON-lines journal inside the campaign directory.
     pub fn journal_path(&self) -> PathBuf {
         self.dir.join("journal.jsonl")
+    }
+
+    /// The persisted campaign report inside the campaign directory,
+    /// written by [`Campaign::save_report`].
+    pub fn report_path(&self) -> PathBuf {
+        self.dir.join("report.json")
     }
 
     /// The journaled outcome of a point, if any.
@@ -489,27 +526,63 @@ impl<T: Serialize + DeserializeOwned + Clone> Campaign<T> {
         CampaignReport { completed, failed, reused: self.reused }
     }
 
+    /// Computes the report and persists it atomically (checksummed
+    /// envelope) as `report.json` in the campaign directory, so the
+    /// campaign's outcome survives the process and a torn report from a
+    /// kill mid-write is detectable on load.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the write fails.
+    pub fn save_report(&self) -> io::Result<CampaignReport> {
+        let report = self.report();
+        mmwave_store::crash_point("campaign.report.pre_save");
+        mmwave_store::save_json_atomic(&self.report_path(), &report)
+            .map_err(io::Error::from)?;
+        Ok(report)
+    }
+
+    /// Loads a report persisted by [`Campaign::save_report`] from a
+    /// campaign directory. Torn or corrupt reports are quarantined; the
+    /// caller regenerates by reopening the campaign and calling
+    /// [`Campaign::save_report`] again.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error naming the path if the report is missing,
+    /// torn, corrupt, or incompatible.
+    pub fn load_report<P: AsRef<Path>>(dir: P) -> io::Result<CampaignReport> {
+        mmwave_store::load_json(&dir.as_ref().join("report.json"))
+            .map(|loaded| loaded.value)
+            .map_err(io::Error::from)
+    }
+
     fn record(&mut self, id: &str, outcome: PointOutcome<T>, duration_ms: u64) -> io::Result<()> {
-        let registry = mmwave_telemetry::global();
-        let telemetry = if registry.is_enabled() {
-            Some(registry.snapshot_brief())
-        } else {
+        let telemetry = if self.deterministic {
             None
+        } else {
+            let registry = mmwave_telemetry::global();
+            if registry.is_enabled() {
+                Some(registry.snapshot_brief())
+            } else {
+                None
+            }
         };
         let entry = JournalEntry {
             id: id.to_string(),
             outcome: outcome.clone(),
-            duration_ms: Some(duration_ms),
+            duration_ms: if self.deterministic { None } else { Some(duration_ms) },
             telemetry,
         };
         let line = serde_json::to_string(&entry)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-        let mut file = OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(self.journal_path())?;
-        writeln!(file, "{line}")?;
-        file.sync_all()?;
+        mmwave_store::crash_point("campaign.journal.pre_append");
+        mmwave_store::append_jsonl(
+            &self.journal_path(),
+            &line,
+            Some("campaign.journal.torn_append"),
+        )?;
+        mmwave_store::crash_point("campaign.journal.post_append");
         self.durations.insert(id.to_string(), duration_ms);
         if self.completed.insert(id.to_string(), outcome).is_none() {
             self.order.push(id.to_string());
@@ -537,7 +610,7 @@ impl Campaign<AttackMetrics> {
 }
 
 /// One failed point in a [`CampaignReport`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FailedPoint {
     /// The point's id.
     pub id: String,
@@ -548,13 +621,17 @@ pub struct FailedPoint {
 }
 
 /// Summary of a campaign's progress and degradations.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CampaignReport {
     /// Points that completed.
     pub completed: usize,
     /// Points that were skipped after exhausting retries.
     pub failed: Vec<FailedPoint>,
-    /// Points answered from the journal this session.
+    /// Points answered from the journal this session. Session-local by
+    /// definition — an interrupted-then-resumed run reuses points where an
+    /// uninterrupted one does not — so it is deliberately not persisted:
+    /// the saved `report.json` stays byte-identical either way.
+    #[serde(skip)]
     pub reused: usize,
 }
 
@@ -845,6 +922,98 @@ mod tests {
         let mut c = c.with_stall_timeout(Duration::ZERO);
         let outcome = c.run_point("unwatched", || 2.0).unwrap();
         assert_eq!(outcome, PointOutcome::Completed { result: 2.0 });
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn deterministic_journal_omits_volatile_fields_and_replays() {
+        let dir = temp_dir("deterministic");
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut c =
+                Campaign::<f64>::open(&dir).unwrap().with_deterministic_journal(true);
+            c.run_point("a", || 1.5).unwrap();
+            c.run_point("b", || 2.5).unwrap();
+        }
+        let journal = std::fs::read_to_string(dir.join("journal.jsonl")).unwrap();
+        assert!(
+            !journal.contains("duration_ms") && !journal.contains("telemetry"),
+            "deterministic journals must not carry volatile fields: {journal}"
+        );
+        let c = Campaign::<f64>::open(&dir).unwrap();
+        assert!(c.is_done("a") && c.is_done("b"));
+        assert_eq!(c.point_duration_ms("a"), None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn report_round_trips_through_disk_without_reused() {
+        let dir = temp_dir("report");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut c = Campaign::<f64>::open(&dir)
+            .unwrap()
+            .with_retry(RetryPolicy { max_attempts: 1, backoff: Duration::from_millis(1) });
+        c.run_point("ok", || 1.0).unwrap();
+        c.run_point("bad", || panic!("boom")).unwrap();
+        let saved = c.save_report().unwrap();
+        assert_eq!(saved.completed, 1);
+        assert_eq!(saved.failed.len(), 1);
+
+        let loaded = Campaign::<f64>::load_report(&dir).unwrap();
+        assert_eq!(loaded.completed, saved.completed);
+        assert_eq!(loaded.failed, saved.failed);
+        assert_eq!(loaded.reused, 0, "reused is session-local, never persisted");
+
+        // The persisted report carries the store envelope.
+        let raw = std::fs::read_to_string(dir.join("report.json")).unwrap();
+        assert!(raw.starts_with("MMWVSTORE"), "report must be enveloped: {raw}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn journal_entries_are_crc_framed() {
+        let dir = temp_dir("framed");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut c = Campaign::<f64>::open(&dir).unwrap();
+        c.run_point("a", || 1.0).unwrap();
+        let journal = std::fs::read_to_string(dir.join("journal.jsonl")).unwrap();
+        let line = journal.lines().next().unwrap();
+        assert_eq!(line.as_bytes()[8], b' ');
+        assert!(line[..8].bytes().all(|b| b.is_ascii_hexdigit()), "frame: {line}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mid_journal_bit_flip_is_quarantined_and_prefix_survives() {
+        let dir = temp_dir("bitflip");
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut c = Campaign::<f64>::open(&dir).unwrap();
+            c.run_point("a", || 1.0).unwrap();
+            c.run_point("b", || 2.0).unwrap();
+            c.run_point("c", || 3.0).unwrap();
+        }
+        // Flip a byte inside entry b (the second line).
+        let path = dir.join("journal.jsonl");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let first_nl = bytes.iter().position(|&b| b == b'\n').unwrap();
+        bytes[first_nl + 15] ^= 0x08;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let mut c = Campaign::<f64>::open(&dir).unwrap();
+        assert!(c.is_done("a"), "prefix before the damage must survive");
+        assert!(!c.is_done("b") && !c.is_done("c"), "damage and after must re-run");
+        let quarantined = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .any(|e| e.file_name().to_string_lossy().contains(".quarantine-"));
+        assert!(quarantined, "original damaged journal must be preserved");
+
+        // Re-running the lost points heals the campaign.
+        c.run_point("b", || 2.0).unwrap();
+        c.run_point("c", || 3.0).unwrap();
+        let healed = Campaign::<f64>::open(&dir).unwrap();
+        assert!(healed.is_done("a") && healed.is_done("b") && healed.is_done("c"));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -468,4 +468,66 @@ mod tests {
         let mut frames = vec![hm(&[0.0; 4], 2); 2];
         repair_dropped_frames(&mut frames, &[true]);
     }
+
+    #[test]
+    fn repair_of_leading_and_trailing_runs_copies_the_nearest_valid_frame() {
+        // A *run* of drops at each edge, not just one frame: every dropped
+        // frame has a valid neighbor on only one side, so all of them must
+        // become copies of the single surviving frame.
+        let survivor = hm(&[3.0, 1.0, 2.0, 0.5], 2);
+        let mut frames = vec![
+            hm(&[99.0; 4], 2),
+            hm(&[99.0; 4], 2),
+            survivor.clone(),
+            hm(&[99.0; 4], 2),
+            hm(&[99.0; 4], 2),
+        ];
+        repair_dropped_frames(&mut frames, &[true, true, false, true, true]);
+        for f in &frames {
+            assert_eq!(*f, survivor);
+        }
+    }
+
+    #[test]
+    fn repair_output_is_finite_for_adjacent_drops_between_extreme_frames() {
+        // Two adjacent interior drops between frames at the extremes of the
+        // representable range: interpolation must stay finite (no overflow
+        // to inf, no 0/0 NaN from the weight arithmetic).
+        let mut frames = vec![
+            hm(&[f32::MAX / 4.0; 4], 2),
+            hm(&[0.0; 4], 2),
+            hm(&[0.0; 4], 2),
+            hm(&[-f32::MAX / 4.0; 4], 2),
+        ];
+        repair_dropped_frames(&mut frames, &[false, true, true, false]);
+        for f in &frames {
+            assert!(f.as_slice().iter().all(|v| v.is_finite()), "non-finite repair output");
+        }
+        // And the interpolation is ordered: frame 1 sits nearer the large
+        // endpoint than frame 2.
+        assert!(frames[1].get(0, 0) > frames[2].get(0, 0));
+    }
+
+    #[test]
+    fn repair_of_all_dropped_capture_yields_the_all_zero_sequence() {
+        // The capture path hands over zeroed frames for drops; when every
+        // frame dropped there is no donor, so the repaired sequence is the
+        // valid-but-uninformative all-zero one — finite, not NaN-filled.
+        let mut frames = vec![hm(&[0.0; 4], 2); 4];
+        repair_dropped_frames(&mut frames, &[true; 4]);
+        for f in &frames {
+            assert!(f.as_slice().iter().all(|&v| v == 0.0 && v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn repair_of_a_single_all_dropped_frame_is_a_no_op() {
+        let mut frames = vec![hm(&[0.0; 4], 2)];
+        repair_dropped_frames(&mut frames, &[true]);
+        assert!(frames[0].as_slice().iter().all(|&v| v == 0.0));
+        // ...and a single *valid* frame needs no repair either.
+        let mut frames = vec![hm(&[1.5; 4], 2)];
+        repair_dropped_frames(&mut frames, &[false]);
+        assert!(frames[0].as_slice().iter().all(|&v| v == 1.5));
+    }
 }

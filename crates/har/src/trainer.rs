@@ -18,7 +18,6 @@
 use crate::dataset::Dataset;
 use crate::model::CnnLstm;
 use mmwave_nn::param::clip_global_norm;
-use mmwave_nn::persist::{load_json, save_json};
 use mmwave_nn::{try_softmax_cross_entropy, Adam, LossError};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -154,9 +153,21 @@ pub struct FitCheckpoint {
     pub stats: Vec<EpochStats>,
 }
 
-/// The checkpoint file a resumable fit keeps inside its directory.
+/// How many epoch checkpoints a resumable fit retains: if the newest is
+/// torn or corrupt it is quarantined and the next-older one resumes the
+/// run (re-doing at most this many epochs).
+pub const CHECKPOINT_KEEP: usize = 3;
+
+/// The pre-envelope single checkpoint file inside a fit directory; still
+/// read (in compatibility mode) when no numbered checkpoint exists.
 pub fn checkpoint_path(dir: &Path) -> PathBuf {
     dir.join("trainer_checkpoint.json")
+}
+
+/// The rotating checkpoint set a resumable fit keeps inside `dir`:
+/// `trainer_checkpoint.<epoch>.json`, newest [`CHECKPOINT_KEEP`] retained.
+pub fn checkpoint_set(dir: &Path) -> mmwave_store::CheckpointSet {
+    mmwave_store::CheckpointSet::new(dir, "trainer_checkpoint", CHECKPOINT_KEEP)
 }
 
 /// A hook that may perturb the per-sample loss the trainer observes; used
@@ -277,14 +288,19 @@ impl Trainer {
             return Err(TrainError::EmptyDataset);
         }
         let _span = mmwave_telemetry::span_at("train_fit", mmwave_telemetry::Level::Debug);
-        let ckpt = checkpoint_dir.map(checkpoint_path);
+        let ckpt = checkpoint_dir.map(checkpoint_set);
         let mut adam = Adam::new(self.config.learning_rate);
         let mut attempts = 0usize;
         let mut stats: Vec<EpochStats> = Vec::with_capacity(self.config.epochs);
         let mut epoch = 0usize;
-        if let Some(path) = ckpt.as_deref() {
-            if path.exists() {
-                let saved: FitCheckpoint = load_json(path)?;
+        if let Some(set) = ckpt.as_ref() {
+            // A torn or corrupt newest checkpoint is quarantined by the
+            // store layer and the next-older one loads instead, re-doing
+            // at most CHECKPOINT_KEEP epochs.
+            if let Some(loaded) =
+                set.load_latest::<FitCheckpoint>().map_err(|e| TrainError::Io(e.into_io()))?
+            {
+                let saved = loaded.value;
                 self.check_resume_compatible(&saved.config)?;
                 if saved.next_epoch > self.config.epochs {
                     return Err(TrainError::InvalidConfig(format!(
@@ -306,8 +322,10 @@ impl Trainer {
                 Some(epoch_stats) => {
                     stats.push(epoch_stats);
                     epoch += 1;
-                    if let Some(path) = ckpt.as_deref() {
-                        save_json(
+                    if let Some(set) = ckpt.as_ref() {
+                        mmwave_store::crash_point("har.checkpoint.pre_save");
+                        set.save(
+                            epoch as u64,
                             &FitCheckpoint {
                                 config: self.config,
                                 next_epoch: epoch,
@@ -316,8 +334,8 @@ impl Trainer {
                                 optimizer: adam.clone(),
                                 stats: stats.clone(),
                             },
-                            path,
-                        )?;
+                        )
+                        .map_err(|e| TrainError::Io(e.into_io()))?;
                     }
                 }
                 None => {
@@ -641,6 +659,71 @@ mod tests {
         let mut resumed = CnnLstm::new(&cfg, 9);
         let stats = Trainer::new(full).try_fit_resumable(&mut resumed, &data, &dir).unwrap();
 
+        assert_eq!(resumed, reference);
+        assert_eq!(stats, reference_stats);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_newest_checkpoint_falls_back_and_matches_reference() {
+        let cfg = PrototypeConfig::smoke_test();
+        let data = synthetic_dataset(&cfg, 2, 2);
+        let full = TrainerConfig { epochs: 4, ..TrainerConfig::fast() };
+
+        let mut reference = CnnLstm::new(&cfg, 11);
+        let reference_stats = Trainer::new(full).fit(&mut reference, &data);
+
+        let dir = temp_dir("ckpt_fallback");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut partial = CnnLstm::new(&cfg, 11);
+        let three = TrainerConfig { epochs: 3, ..full };
+        Trainer::new(three).try_fit_resumable(&mut partial, &data, &dir).unwrap();
+
+        // Tear the newest checkpoint (epoch 3) in half.
+        let set = checkpoint_set(&dir);
+        let newest = set.path_for(3);
+        let bytes = std::fs::read(&newest).unwrap();
+        std::fs::write(&newest, &bytes[..bytes.len() / 2]).unwrap();
+
+        // Resume falls back to the epoch-2 checkpoint, re-runs epochs 2-3,
+        // and still matches the uninterrupted reference bit for bit.
+        let mut resumed = CnnLstm::new(&cfg, 11);
+        let stats = Trainer::new(full).try_fit_resumable(&mut resumed, &data, &dir).unwrap();
+        assert_eq!(resumed, reference);
+        assert_eq!(stats, reference_stats);
+        assert!(!newest.exists(), "torn checkpoint must be quarantined");
+        let quarantined = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .any(|e| e.file_name().to_string_lossy().contains(".quarantine-"));
+        assert!(quarantined, "torn checkpoint bytes must be preserved");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn legacy_single_file_checkpoint_resumes_in_compat_mode() {
+        let cfg = PrototypeConfig::smoke_test();
+        let data = synthetic_dataset(&cfg, 2, 2);
+        let full = TrainerConfig { epochs: 4, ..TrainerConfig::fast() };
+
+        let mut reference = CnnLstm::new(&cfg, 13);
+        let reference_stats = Trainer::new(full).fit(&mut reference, &data);
+
+        let dir = temp_dir("ckpt_legacy");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut partial = CnnLstm::new(&cfg, 13);
+        let half = TrainerConfig { epochs: 2, ..full };
+        Trainer::new(half).try_fit_resumable(&mut partial, &data, &dir).unwrap();
+
+        // Rewrite the state as a pre-envelope run would have left it: one
+        // bare-JSON trainer_checkpoint.json and no numbered files.
+        let set = checkpoint_set(&dir);
+        let saved = set.load_latest::<FitCheckpoint>().unwrap().unwrap().value;
+        set.clear();
+        std::fs::write(checkpoint_path(&dir), serde_json::to_string(&saved).unwrap()).unwrap();
+
+        let mut resumed = CnnLstm::new(&cfg, 13);
+        let stats = Trainer::new(full).try_fit_resumable(&mut resumed, &data, &dir).unwrap();
         assert_eq!(resumed, reference);
         assert_eq!(stats, reference_stats);
         std::fs::remove_dir_all(&dir).ok();

@@ -4,39 +4,42 @@
 //! derives `Serialize`/`Deserialize`, so a trained model round-trips
 //! through these helpers — e.g. train a backdoored model once, persist it,
 //! and reload it for the robustness sweeps.
+//!
+//! Persistence is backed by `mmwave-store`: saves are atomic (temp file +
+//! rename) inside a checksummed envelope, and loads verify the checksum,
+//! quarantining torn or corrupt files to `<path>.quarantine-<n>`. Bare
+//! JSON written by earlier releases still loads. All errors name the
+//! offending path, so a failed model load inside a 200-point campaign is
+//! attributable from the message alone.
 
 use serde::de::DeserializeOwned;
 use serde::Serialize;
-use std::fs;
 use std::io;
 use std::path::Path;
 
-/// Serializes `value` as JSON to `path`, creating parent directories.
+/// Serializes `value` as JSON to `path` atomically, creating parent
+/// directories, with a checksummed envelope for load-time verification.
 ///
 /// # Errors
 ///
-/// Returns an error if directory creation, serialization, or the write
-/// fails.
+/// Returns an error (naming `path`) if directory creation, serialization,
+/// or the write fails.
 pub fn save_json<T: Serialize, P: AsRef<Path>>(value: &T, path: P) -> io::Result<()> {
-    let path = path.as_ref();
-    if let Some(parent) = path.parent() {
-        if !parent.as_os_str().is_empty() {
-            fs::create_dir_all(parent)?;
-        }
-    }
-    let json = serde_json::to_string(value)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-    fs::write(path, json)
+    mmwave_store::save_json_atomic(path.as_ref(), value).map_err(io::Error::from)
 }
 
-/// Deserializes a JSON file written by [`save_json`].
+/// Deserializes a JSON file written by [`save_json`] (or bare JSON from a
+/// pre-envelope release), verifying the checksum when present.
 ///
 /// # Errors
 ///
-/// Returns an error if the file cannot be read or parsed.
+/// Returns an error naming the offending path if the file is missing,
+/// torn, corrupt, or does not match `T`. Torn and corrupt files are moved
+/// to `<path>.quarantine-<n>` first so the caller can regenerate them.
 pub fn load_json<T: DeserializeOwned, P: AsRef<Path>>(path: P) -> io::Result<T> {
-    let json = fs::read_to_string(path)?;
-    serde_json::from_str(&json).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    mmwave_store::load_json(path.as_ref())
+        .map(|loaded| loaded.value)
+        .map_err(io::Error::from)
 }
 
 #[cfg(test)]
@@ -73,17 +76,43 @@ mod tests {
     }
 
     #[test]
-    fn load_of_garbage_fails_cleanly() {
-        let path = tmp("garbage");
-        std::fs::write(&path, "not json at all").unwrap();
-        let out: io::Result<Dense> = load_json(&path);
-        assert!(out.is_err());
+    fn legacy_bare_json_still_loads() {
+        let layer = Dense::new(2, 2, &mut ChaCha8Rng::seed_from_u64(3));
+        let path = tmp("legacy");
+        std::fs::write(&path, serde_json::to_string(&layer).unwrap()).unwrap();
+        let restored: Dense = load_json(&path).unwrap();
+        assert_eq!(layer, restored);
         std::fs::remove_file(path).ok();
     }
 
     #[test]
-    fn load_of_missing_file_fails_cleanly() {
+    fn load_of_garbage_fails_with_path_in_error() {
+        let path = tmp("garbage");
+        std::fs::write(&path, "not json at all").unwrap();
+        let out: io::Result<Dense> = load_json(&path);
+        let err = out.unwrap_err();
+        assert!(
+            err.to_string().contains("garbage"),
+            "error must name the path: {err}"
+        );
+        // The corrupt file was quarantined, not left in place.
+        assert!(!path.exists());
+        for entry in std::fs::read_dir(std::env::temp_dir()).unwrap().flatten() {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.starts_with(&format!(
+                "mmwave_nn_persist_garbage_{}.json.quarantine-",
+                std::process::id()
+            )) {
+                std::fs::remove_file(entry.path()).ok();
+            }
+        }
+    }
+
+    #[test]
+    fn load_of_missing_file_fails_with_path_in_error() {
         let out: io::Result<Dense> = load_json("/nonexistent/definitely/missing.json");
-        assert!(out.is_err());
+        let err = out.unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+        assert!(err.to_string().contains("missing.json"), "{err}");
     }
 }

@@ -1,0 +1,84 @@
+//! Crash-safe whole-file writes: sibling temp file, fsync, rename.
+
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::crash::crash_point;
+
+/// Per-process counter so concurrent writers to the same target never
+/// collide on a temp name.
+static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Writes `bytes` to `path` atomically: the bytes go to a sibling
+/// `.tmp-<pid>-<seq>` file which is fsynced and then renamed over the
+/// target, so a kill at any instant leaves either the previous file or
+/// the complete new one. Parent directories are created as needed and the
+/// parent directory is fsynced (best effort) after the rename so the new
+/// entry survives a power cut.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => {
+            std::fs::create_dir_all(p)?;
+            Some(p)
+        }
+        _ => None,
+    };
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::other(format!("{}: not a file path", path.display())))?;
+    let mut temp_name = file_name.to_os_string();
+    temp_name.push(format!(
+        ".tmp-{}-{}",
+        std::process::id(),
+        TEMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let temp = path.with_file_name(temp_name);
+
+    crash_point("store.atomic.pre_temp");
+    let result = (|| {
+        let mut file = std::fs::File::create(&temp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+        drop(file);
+        crash_point("store.atomic.pre_rename");
+        std::fs::rename(&temp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&temp);
+        return result;
+    }
+    if let Some(parent) = parent {
+        // Directory fsync is advisory on some filesystems; ignore failures.
+        if let Ok(dir) = std::fs::File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_atomic_creates_parents_and_replaces() {
+        let dir = std::env::temp_dir().join(format!("mmwave-store-a-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested/deep/out.json");
+
+        write_atomic(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        write_atomic(&path, b"second, longer payload").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second, longer payload");
+
+        // No temp litter left behind.
+        let siblings: Vec<_> = std::fs::read_dir(path.parent().unwrap())
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .collect();
+        assert_eq!(siblings, vec![std::ffi::OsString::from("out.json")]);
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

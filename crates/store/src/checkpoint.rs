@@ -1,0 +1,250 @@
+//! Last-K numbered checkpoints with automatic fallback on corruption.
+//!
+//! A [`CheckpointSet`] owns files named `<base>.<seq>.json` inside one
+//! directory, each an enveloped JSON artifact. Saving sequence `n` prunes
+//! everything older than the newest `keep` files; loading tries the
+//! newest first and, when it is torn or corrupt (already quarantined by
+//! the envelope loader), silently falls back to the next-older one. A
+//! legacy bare `<base>.json` (pre-envelope single checkpoint) is tried
+//! last, in read-only compatibility mode.
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::path::{Path, PathBuf};
+
+use crate::envelope::{load_json, save_json_atomic, Format};
+use crate::StoreError;
+
+/// A rotating set of `<base>.<seq>.json` checkpoints under one directory.
+#[derive(Debug, Clone)]
+pub struct CheckpointSet {
+    dir: PathBuf,
+    base: String,
+    keep: usize,
+}
+
+/// A checkpoint recovered by [`CheckpointSet::load_latest`].
+#[derive(Debug)]
+pub struct LoadedCheckpoint<T> {
+    /// The deserialized checkpoint.
+    pub value: T,
+    /// Its sequence number; `None` for the legacy un-numbered file.
+    pub seq: Option<u64>,
+    /// How it was stored on disk.
+    pub format: Format,
+    /// How many newer checkpoints were corrupt and skipped over.
+    pub fallbacks: usize,
+}
+
+impl CheckpointSet {
+    /// A checkpoint set rooted at `dir` using `base` as the filename stem,
+    /// retaining the newest `keep` files (minimum 1).
+    pub fn new(dir: impl Into<PathBuf>, base: impl Into<String>, keep: usize) -> CheckpointSet {
+        CheckpointSet { dir: dir.into(), base: base.into(), keep: keep.max(1) }
+    }
+
+    /// Path of the checkpoint with sequence number `seq`.
+    pub fn path_for(&self, seq: u64) -> PathBuf {
+        self.dir.join(format!("{}.{seq}.json", self.base))
+    }
+
+    /// Path of the pre-envelope single-file checkpoint, read for
+    /// compatibility and removed by [`Self::clear`].
+    pub fn legacy_path(&self) -> PathBuf {
+        self.dir.join(format!("{}.json", self.base))
+    }
+
+    /// Saves `value` as sequence `seq` (atomic, enveloped) and prunes
+    /// checkpoints beyond the newest `keep`.
+    pub fn save<T: Serialize>(&self, seq: u64, value: &T) -> Result<(), StoreError> {
+        save_json_atomic(&self.path_for(seq), value)?;
+        self.prune();
+        Ok(())
+    }
+
+    /// Loads the newest readable checkpoint, quarantining and skipping
+    /// corrupt ones. `Ok(None)` when no checkpoint exists at all.
+    /// Version-mismatch and schema errors propagate — they mean an
+    /// incompatible writer, not disk damage, and skipping them would
+    /// silently resume from stale state.
+    pub fn load_latest<T: DeserializeOwned>(
+        &self,
+    ) -> Result<Option<LoadedCheckpoint<T>>, StoreError> {
+        let mut fallbacks = 0usize;
+        for seq in self.sequences() {
+            match load_json::<T>(&self.path_for(seq)) {
+                Ok(loaded) => {
+                    return Ok(Some(LoadedCheckpoint {
+                        value: loaded.value,
+                        seq: Some(seq),
+                        format: loaded.format,
+                        fallbacks,
+                    }))
+                }
+                Err(err) if err.is_recoverable() => {
+                    mmwave_telemetry::counter("store.checkpoint_fallback", 1);
+                    mmwave_telemetry::warn!("checkpoint fallback: {err}");
+                    fallbacks += 1;
+                }
+                Err(StoreError::Missing { .. }) => {}
+                Err(err) => return Err(err),
+            }
+        }
+        let legacy = self.legacy_path();
+        match load_json::<T>(&legacy) {
+            Ok(loaded) => Ok(Some(LoadedCheckpoint {
+                value: loaded.value,
+                seq: None,
+                format: loaded.format,
+                fallbacks,
+            })),
+            Err(StoreError::Missing { .. }) => Ok(None),
+            Err(err) if err.is_recoverable() => {
+                mmwave_telemetry::counter("store.checkpoint_fallback", 1);
+                mmwave_telemetry::warn!("legacy checkpoint unreadable: {err}");
+                Ok(None)
+            }
+            Err(err) => Err(err),
+        }
+    }
+
+    /// Removes every checkpoint in the set (numbered and legacy) — called
+    /// when the guarded computation completes and the checkpoints are no
+    /// longer needed. Quarantined files are left for inspection.
+    pub fn clear(&self) {
+        for seq in self.sequences() {
+            let _ = std::fs::remove_file(self.path_for(seq));
+        }
+        let _ = std::fs::remove_file(self.legacy_path());
+    }
+
+    /// Existing sequence numbers, newest first.
+    fn sequences(&self) -> Vec<u64> {
+        let Ok(entries) = std::fs::read_dir(&self.dir) else { return Vec::new() };
+        let prefix = format!("{}.", self.base);
+        let mut seqs: Vec<u64> = entries
+            .filter_map(|e| e.ok())
+            .filter_map(|e| e.file_name().into_string().ok())
+            .filter_map(|name| {
+                let stem = name.strip_prefix(&prefix)?.strip_suffix(".json")?;
+                stem.parse::<u64>().ok()
+            })
+            .collect();
+        seqs.sort_unstable_by(|a, b| b.cmp(a));
+        seqs
+    }
+
+    fn prune(&self) {
+        for seq in self.sequences().into_iter().skip(self.keep) {
+            let _ = std::fs::remove_file(self.path_for(seq));
+        }
+    }
+}
+
+/// Is this path inside `dir` a quarantined sibling (kept by
+/// [`CheckpointSet::clear`])? Exposed for tests and diagnostics.
+pub fn is_quarantine_file(path: &Path) -> bool {
+    path.file_name()
+        .and_then(|n| n.to_str())
+        .is_some_and(|n| n.contains(".quarantine-"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("mmwave-store-ck-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[derive(Serialize, serde::Deserialize, Debug, PartialEq)]
+    struct Ck {
+        epoch: u64,
+        loss: f64,
+    }
+
+    #[test]
+    fn save_prunes_to_last_k_and_loads_newest() {
+        let dir = temp_dir("prune");
+        let set = CheckpointSet::new(&dir, "ck", 3);
+        for epoch in 0..6u64 {
+            set.save(epoch, &Ck { epoch, loss: 1.0 / (epoch + 1) as f64 }).unwrap();
+        }
+        assert_eq!(set.sequences(), vec![5, 4, 3]);
+
+        let loaded = set.load_latest::<Ck>().unwrap().unwrap();
+        assert_eq!(loaded.seq, Some(5));
+        assert_eq!(loaded.value.epoch, 5);
+        assert_eq!(loaded.fallbacks, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_newest_falls_back_and_quarantines() {
+        let dir = temp_dir("fallback");
+        let set = CheckpointSet::new(&dir, "ck", 3);
+        for epoch in 0..3u64 {
+            set.save(epoch, &Ck { epoch, loss: 0.5 }).unwrap();
+        }
+        // Tear the newest checkpoint.
+        let newest = set.path_for(2);
+        let bytes = std::fs::read(&newest).unwrap();
+        std::fs::write(&newest, &bytes[..bytes.len() / 2]).unwrap();
+
+        let loaded = set.load_latest::<Ck>().unwrap().unwrap();
+        assert_eq!(loaded.seq, Some(1));
+        assert_eq!(loaded.fallbacks, 1);
+        assert!(!newest.exists(), "torn checkpoint moved aside");
+        assert!(dir
+            .read_dir()
+            .unwrap()
+            .any(|e| is_quarantine_file(&e.unwrap().path())));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn all_corrupt_yields_none() {
+        let dir = temp_dir("allbad");
+        let set = CheckpointSet::new(&dir, "ck", 3);
+        set.save(0, &Ck { epoch: 0, loss: 0.5 }).unwrap();
+        std::fs::write(set.path_for(0), b"\x00garbage").unwrap();
+        assert!(set.load_latest::<Ck>().unwrap().is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn legacy_single_file_checkpoint_is_tried_last() {
+        let dir = temp_dir("legacy");
+        let set = CheckpointSet::new(&dir, "trainer_checkpoint", 3);
+        std::fs::write(
+            set.legacy_path(),
+            serde_json::to_vec_pretty(&Ck { epoch: 7, loss: 0.25 }).unwrap(),
+        )
+        .unwrap();
+
+        let loaded = set.load_latest::<Ck>().unwrap().unwrap();
+        assert_eq!(loaded.seq, None);
+        assert_eq!(loaded.format, Format::LegacyBare);
+        assert_eq!(loaded.value.epoch, 7);
+
+        // A numbered save takes precedence on the next load.
+        set.save(8, &Ck { epoch: 8, loss: 0.2 }).unwrap();
+        let loaded = set.load_latest::<Ck>().unwrap().unwrap();
+        assert_eq!(loaded.seq, Some(8));
+
+        set.clear();
+        assert!(set.load_latest::<Ck>().unwrap().is_none());
+        assert!(!set.legacy_path().exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_directory_yields_none() {
+        let set = CheckpointSet::new("/nonexistent/surely/absent", "ck", 2);
+        assert!(set.load_latest::<Ck>().unwrap().is_none());
+    }
+}

@@ -1,0 +1,94 @@
+//! Named crash points: deterministic kill sites for chaos testing.
+//!
+//! Every artifact boundary in the pipeline calls
+//! [`crash_point("stage.name")`](crash_point). In a normal process the call
+//! is a no-op costing one relaxed atomic load. Two environment variables
+//! turn the hooks on:
+//!
+//! * `MMWAVE_CRASH_AT=<name>[:<nth>]` — abort the process (simulating a
+//!   `kill -9` mid-write) the `nth` time the named point is reached
+//!   (default: the first). The abort bypasses destructors and `Drop`
+//!   flushes, exactly like a real crash.
+//! * `MMWAVE_CRASH_LOG=<path>` — append every crash-point name the process
+//!   passes to `path`, one per line. The `mmwave chaos` driver uses a
+//!   reference run's log to discover the kill matrix, so new crash points
+//!   are picked up without registering them anywhere else.
+//!
+//! Both hooks are read once per process; changing the variables after the
+//! first `crash_point` call has no effect.
+
+use std::fs::OpenOptions;
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+struct CrashConfig {
+    /// Armed point name and the 1-based hit count that triggers the abort.
+    armed: Option<(String, u64)>,
+    /// Path every passed point name is appended to.
+    log: Option<std::path::PathBuf>,
+    /// Hits of the armed point so far.
+    hits: AtomicU64,
+    /// Serializes log appends across threads.
+    log_lock: Mutex<()>,
+}
+
+fn config() -> &'static CrashConfig {
+    static CONFIG: OnceLock<CrashConfig> = OnceLock::new();
+    CONFIG.get_or_init(|| {
+        let armed = std::env::var("MMWAVE_CRASH_AT").ok().filter(|s| !s.is_empty()).map(|raw| {
+            match raw.rsplit_once(':') {
+                Some((name, nth)) => match nth.parse::<u64>() {
+                    Ok(n) if n >= 1 => (name.to_string(), n),
+                    _ => (raw.clone(), 1),
+                },
+                None => (raw.clone(), 1),
+            }
+        });
+        let log = std::env::var("MMWAVE_CRASH_LOG")
+            .ok()
+            .filter(|s| !s.is_empty())
+            .map(std::path::PathBuf::from);
+        CrashConfig { armed, log, hits: AtomicU64::new(0), log_lock: Mutex::new(()) }
+    })
+}
+
+/// A named, environment-armed kill site. No-op unless `MMWAVE_CRASH_AT`
+/// names this point (then the process aborts on the configured hit) or
+/// `MMWAVE_CRASH_LOG` is set (then the name is appended to the log).
+pub fn crash_point(name: &str) {
+    let cfg = config();
+    if let Some(log) = &cfg.log {
+        // Both Ok and Err of a poisoned lock hold the guard, so the append
+        // stays serialized either way.
+        let _guard = cfg.log_lock.lock();
+        let append = OpenOptions::new().create(true).append(true).open(log);
+        if let Ok(mut file) = append {
+            let _ = writeln!(file, "{name}");
+        }
+    }
+    if let Some((armed, nth)) = &cfg.armed {
+        if armed == name {
+            let hit = cfg.hits.fetch_add(1, Ordering::SeqCst) + 1;
+            if hit == *nth {
+                eprintln!("crash_point `{name}` armed (hit {hit}): aborting");
+                std::process::abort();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_crash_point_is_a_no_op() {
+        // The test process never sets MMWAVE_CRASH_AT for its own points;
+        // this must simply return. (The armed path is exercised end to end
+        // by `mmwave chaos` and tests/chaos_matrix.rs, which kill real
+        // child processes.)
+        crash_point("store.test.noop");
+        crash_point("store.test.noop");
+    }
+}

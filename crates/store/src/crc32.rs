@@ -1,0 +1,54 @@
+//! CRC-32 (IEEE 802.3 polynomial, the zlib/`crc32` convention) with a
+//! lazily built lookup table. Zero dependencies; checksums here guard
+//! artifact payloads against bit rot and torn writes, not adversaries.
+
+use std::sync::OnceLock;
+
+const POLY: u32 = 0xEDB8_8320;
+
+fn table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            }
+            *entry = crc;
+        }
+        table
+    })
+}
+
+/// CRC-32 of `bytes` (IEEE, reflected, init/xorout `0xFFFF_FFFF`) —
+/// bit-compatible with zlib's `crc32()` and Python's `zlib.crc32`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let table = table();
+    let mut crc = u32::MAX;
+    for &b in bytes {
+        crc = (crc >> 8) ^ table[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn single_bit_flip_changes_the_checksum() {
+        let a = b"the journal line".to_vec();
+        let mut b = a.clone();
+        b[3] ^= 0x01;
+        assert_ne!(crc32(&a), crc32(&b));
+    }
+}

@@ -1,0 +1,366 @@
+//! The checksummed, versioned envelope for whole-file JSON artifacts.
+//!
+//! On-disk layout — one header line, then the payload bytes verbatim:
+//!
+//! ```text
+//! MMWVSTORE1 {"len":123,"crc32":"89abcdef","git_sha":"1a2b3c4"}\n
+//! {"the": "payload", ...}
+//! ```
+//!
+//! The header names everything verification needs: `len` is the exact
+//! payload byte count (shorter on disk ⇒ torn write), `crc32` is the
+//! payload checksum in lowercase hex (mismatch ⇒ bit rot), and `git_sha`
+//! records the writing build for provenance. The magic's trailing digits
+//! are the schema version; a bigger number than [`SCHEMA_VERSION`] is a
+//! file from the future and loads refuse to touch it.
+//!
+//! Files that predate the envelope (PR 1–4 artifacts) start with `{` or
+//! `[`; if the whole file parses as JSON it loads in read-only
+//! compatibility mode, flagged [`Format::LegacyBare`].
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::path::Path;
+
+use crate::atomic::write_atomic;
+use crate::crc32::crc32;
+use crate::quarantine::quarantine_best_effort;
+use crate::StoreError;
+
+/// Magic prefix of an enveloped artifact, without the version digits.
+pub const MAGIC_PREFIX: &str = "MMWVSTORE";
+
+/// Envelope schema version this build reads and writes.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// How a successfully loaded artifact was stored on disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// Checksummed envelope written by this layer; integrity verified.
+    Enveloped,
+    /// Pre-envelope bare JSON from earlier releases; parsed but not
+    /// checksum-verified. Re-saving upgrades it to the envelope.
+    LegacyBare,
+}
+
+/// A loaded artifact plus how it was stored.
+#[derive(Debug)]
+pub struct Loaded<T> {
+    /// The deserialized payload.
+    pub value: T,
+    /// Envelope or legacy bare JSON.
+    pub format: Format,
+}
+
+#[derive(Serialize, serde::Deserialize)]
+struct Header {
+    len: u64,
+    crc32: String,
+    git_sha: String,
+}
+
+/// The git sha recorded in envelopes: `MMWAVE_GIT_SHA` if set, else the
+/// repository HEAD, else `"unknown"`.
+fn git_sha() -> String {
+    if let Ok(sha) = std::env::var("MMWAVE_GIT_SHA") {
+        if !sha.is_empty() {
+            return sha;
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Serializes `value` as pretty JSON and writes it to `path` atomically
+/// inside a checksummed envelope.
+pub fn save_json_atomic<T: Serialize>(path: &Path, value: &T) -> Result<(), StoreError> {
+    let payload = serde_json::to_vec_pretty(value).map_err(|e| StoreError::Schema {
+        path: path.to_path_buf(),
+        detail: e.to_string(),
+    })?;
+    let header = Header {
+        len: payload.len() as u64,
+        crc32: format!("{:08x}", crc32(&payload)),
+        git_sha: git_sha(),
+    };
+    let header_json = serde_json::to_string(&header).map_err(|e| StoreError::Schema {
+        path: path.to_path_buf(),
+        detail: e.to_string(),
+    })?;
+    let mut bytes = Vec::with_capacity(payload.len() + header_json.len() + 16);
+    bytes.extend_from_slice(MAGIC_PREFIX.as_bytes());
+    bytes.extend_from_slice(SCHEMA_VERSION.to_string().as_bytes());
+    bytes.push(b' ');
+    bytes.extend_from_slice(header_json.as_bytes());
+    bytes.push(b'\n');
+    bytes.extend_from_slice(&payload);
+    write_atomic(path, &bytes).map_err(|e| StoreError::io(path, e))
+}
+
+/// Loads and verifies an artifact written by [`save_json_atomic`], or a
+/// pre-envelope bare JSON file in read-only compatibility mode.
+///
+/// Torn and corrupt files are quarantined to `<path>.quarantine-<n>`
+/// before the error returns, so the caller can immediately regenerate or
+/// fall back; [`StoreError::quarantined`] says where the bytes went.
+/// Version mismatches and schema drift leave the file untouched.
+pub fn load_json<T: DeserializeOwned>(path: &Path) -> Result<Loaded<T>, StoreError> {
+    let bytes = std::fs::read(path).map_err(|e| StoreError::io(path, e))?;
+    match classify(path, &bytes) {
+        Ok((payload, format)) => match serde_json::from_slice::<T>(payload) {
+            Ok(value) => Ok(Loaded { value, format }),
+            Err(e) => Err(StoreError::Schema { path: path.to_path_buf(), detail: e.to_string() }),
+        },
+        Err(Classified::Torn(detail)) => Err(StoreError::Torn {
+            path: path.to_path_buf(),
+            detail,
+            quarantined: quarantine_best_effort(path),
+        }),
+        Err(Classified::Corrupt(detail)) => Err(StoreError::CorruptPayload {
+            path: path.to_path_buf(),
+            detail,
+            quarantined: quarantine_best_effort(path),
+        }),
+        Err(Classified::Version(found)) => Err(StoreError::VersionMismatch {
+            path: path.to_path_buf(),
+            found,
+            supported: SCHEMA_VERSION,
+        }),
+    }
+}
+
+enum Classified {
+    Torn(String),
+    Corrupt(String),
+    Version(u32),
+}
+
+/// Splits `bytes` into the verified payload slice, or classifies why it
+/// cannot be trusted.
+fn classify<'a>(path: &Path, bytes: &'a [u8]) -> Result<(&'a [u8], Format), Classified> {
+    if bytes.is_empty() {
+        return Err(Classified::Torn("file is empty".to_string()));
+    }
+    if !bytes.starts_with(MAGIC_PREFIX.as_bytes()) {
+        // Legacy compatibility: a pre-envelope artifact is bare JSON.
+        if matches!(bytes[0], b'{' | b'[') && serde_json::from_slice::<serde_json::Value>(bytes).is_ok()
+        {
+            mmwave_telemetry::counter("store.legacy_loaded", 1);
+            mmwave_telemetry::debug!(
+                "loaded pre-envelope artifact {} in compatibility mode",
+                path.display()
+            );
+            return Ok((bytes, Format::LegacyBare));
+        }
+        if matches!(bytes[0], b'{' | b'[') {
+            // Started like JSON but does not parse: a torn legacy write.
+            return Err(Classified::Torn("bare JSON is truncated or malformed".to_string()));
+        }
+        return Err(Classified::Corrupt("no envelope magic and not JSON".to_string()));
+    }
+    let Some(newline) = bytes.iter().position(|&b| b == b'\n') else {
+        return Err(Classified::Torn("header line has no terminating newline".to_string()));
+    };
+    let header_line = &bytes[MAGIC_PREFIX.len()..newline];
+    let Some(space) = header_line.iter().position(|&b| b == b' ') else {
+        return Err(Classified::Torn("header missing version/body separator".to_string()));
+    };
+    let version_digits = &header_line[..space];
+    let version = match std::str::from_utf8(version_digits).ok().and_then(|s| s.parse::<u32>().ok())
+    {
+        Some(v) => v,
+        None => return Err(Classified::Corrupt("unparseable envelope version".to_string())),
+    };
+    if version != SCHEMA_VERSION {
+        return Err(Classified::Version(version));
+    }
+    let header: Header = match serde_json::from_slice(&header_line[space + 1..]) {
+        Ok(h) => h,
+        Err(e) => return Err(Classified::Torn(format!("unparseable header: {e}"))),
+    };
+    let payload = &bytes[newline + 1..];
+    let expected_len = header.len as usize;
+    if payload.len() < expected_len {
+        return Err(Classified::Torn(format!(
+            "payload is {} bytes, header promises {expected_len}",
+            payload.len()
+        )));
+    }
+    if payload.len() > expected_len {
+        return Err(Classified::Corrupt(format!(
+            "payload is {} bytes, header promises {expected_len}",
+            payload.len()
+        )));
+    }
+    let actual = format!("{:08x}", crc32(payload));
+    if actual != header.crc32 {
+        return Err(Classified::Corrupt(format!(
+            "crc32 mismatch: file says {}, payload hashes to {actual}",
+            header.crc32
+        )));
+    }
+    Ok((payload, Format::Enveloped))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("mmwave-store-env-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[derive(Serialize, serde::Deserialize, Debug, PartialEq)]
+    struct Doc {
+        name: String,
+        values: Vec<f64>,
+    }
+
+    fn doc() -> Doc {
+        Doc { name: "baseline".to_string(), values: vec![1.0, 2.5, -3.25] }
+    }
+
+    #[test]
+    fn round_trip_is_enveloped_and_verified() {
+        let dir = temp_dir("rt");
+        let path = dir.join("doc.json");
+        save_json_atomic(&path, &doc()).unwrap();
+
+        let raw = std::fs::read_to_string(&path).unwrap();
+        assert!(raw.starts_with("MMWVSTORE1 "), "header missing: {raw}");
+
+        let loaded: Loaded<Doc> = load_json(&path).unwrap();
+        assert_eq!(loaded.value, doc());
+        assert_eq!(loaded.format, Format::Enveloped);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn legacy_bare_json_loads_in_compat_mode() {
+        let dir = temp_dir("legacy");
+        let path = dir.join("old.json");
+        std::fs::write(&path, serde_json::to_vec_pretty(&doc()).unwrap()).unwrap();
+        let loaded: Loaded<Doc> = load_json(&path).unwrap();
+        assert_eq!(loaded.value, doc());
+        assert_eq!(loaded.format, Format::LegacyBare);
+        // The original file is untouched by a read.
+        assert!(path.exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_missing_not_io() {
+        let dir = temp_dir("missing");
+        let err = load_json::<Doc>(&dir.join("absent.json")).unwrap_err();
+        assert!(matches!(err, StoreError::Missing { .. }), "{err}");
+        assert!(err.to_string().contains("absent.json"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_envelope_is_torn_and_quarantined() {
+        let dir = temp_dir("torn");
+        let path = dir.join("doc.json");
+        save_json_atomic(&path, &doc()).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+
+        let err = load_json::<Doc>(&path).unwrap_err();
+        assert!(matches!(err, StoreError::Torn { .. }), "{err}");
+        assert!(err.is_recoverable());
+        let q = err.quarantined().expect("quarantined").to_path_buf();
+        assert!(!path.exists());
+        assert_eq!(std::fs::read(&q).unwrap(), bytes[..bytes.len() - 7]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_file_is_torn() {
+        let dir = temp_dir("empty");
+        let path = dir.join("doc.json");
+        std::fs::write(&path, b"").unwrap();
+        let err = load_json::<Doc>(&path).unwrap_err();
+        assert!(matches!(err, StoreError::Torn { .. }), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bit_flip_is_corrupt_and_quarantined() {
+        let dir = temp_dir("flip");
+        let path = dir.join("doc.json");
+        save_json_atomic(&path, &doc()).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 2;
+        bytes[last] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let err = load_json::<Doc>(&path).unwrap_err();
+        assert!(matches!(err, StoreError::CorruptPayload { .. }), "{err}");
+        assert!(err.is_recoverable());
+        assert!(err.quarantined().is_some());
+        assert!(!path.exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn future_version_is_refused_and_left_in_place() {
+        let dir = temp_dir("ver");
+        let path = dir.join("doc.json");
+        std::fs::write(&path, b"MMWVSTORE99 {\"len\":2,\"crc32\":\"00000000\",\"git_sha\":\"x\"}\n{}")
+            .unwrap();
+        let err = load_json::<Doc>(&path).unwrap_err();
+        match err {
+            StoreError::VersionMismatch { found, supported, .. } => {
+                assert_eq!(found, 99);
+                assert_eq!(supported, SCHEMA_VERSION);
+            }
+            other => panic!("expected VersionMismatch, got {other}"),
+        }
+        assert!(path.exists(), "version mismatch must not quarantine");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn schema_drift_is_reported_with_path_and_not_quarantined() {
+        let dir = temp_dir("schema");
+        let path = dir.join("doc.json");
+        save_json_atomic(&path, &serde_json::json!({"unexpected": true})).unwrap();
+        let err = load_json::<Doc>(&path).unwrap_err();
+        assert!(matches!(err, StoreError::Schema { .. }), "{err}");
+        assert!(err.to_string().contains("doc.json"));
+        assert!(path.exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn non_json_garbage_is_corrupt() {
+        let dir = temp_dir("garbage");
+        let path = dir.join("doc.json");
+        std::fs::write(&path, b"\x00\x01\x02 binary junk").unwrap();
+        let err = load_json::<Doc>(&path).unwrap_err();
+        assert!(matches!(err, StoreError::CorruptPayload { .. }), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_legacy_json_is_torn() {
+        let dir = temp_dir("legacy-torn");
+        let path = dir.join("old.json");
+        std::fs::write(&path, b"{\"name\": \"basel").unwrap();
+        let err = load_json::<Doc>(&path).unwrap_err();
+        assert!(matches!(err, StoreError::Torn { .. }), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,332 @@
+//! CRC-per-line framing for append-only JSONL journals.
+//!
+//! Each appended record is one line of the form
+//!
+//! ```text
+//! <8 lowercase hex digits of crc32(json)> <json>\n
+//! ```
+//!
+//! so replay can verify every line independently. Replay repair handles
+//! the two ways an append-only file goes bad:
+//!
+//! * **Torn tail** — the last line is incomplete (kill mid-append). The
+//!   file is truncated back to the end of the last valid line so later
+//!   appends continue from a clean boundary instead of concatenating onto
+//!   partial bytes.
+//! * **Mid-file corruption** — a line that is neither framed nor valid
+//!   JSON appears before the end. The whole file is copied to quarantine
+//!   and the valid *prefix* is rewritten atomically; lines after the
+//!   damage are dropped (their order can no longer be trusted).
+//!
+//! Unframed lines that parse as JSON are accepted as-is (pre-envelope
+//! journals from earlier releases) and counted in
+//! [`JsonlReplay::legacy_lines`].
+
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use crate::crash::crash_point;
+use crate::crc32::crc32;
+use crate::quarantine::quarantine_best_effort;
+use crate::StoreError;
+
+/// Appends one JSON record (a single line, no trailing newline) to `path`
+/// with a CRC frame, then fsyncs.
+///
+/// `torn_crash_point`, when given, names a [`crash_point`] fired after
+/// roughly half the framed line has reached the file — arming it
+/// simulates a kill mid-append and must leave a tail that replay repairs.
+pub fn append_jsonl(path: &Path, json: &str, torn_crash_point: Option<&str>) -> io::Result<()> {
+    debug_assert!(!json.contains('\n'), "JSONL records must be single-line");
+    let mut frame = format!("{:08x} ", crc32(json.as_bytes()));
+    frame.push_str(json);
+    frame.push('\n');
+    let bytes = frame.as_bytes();
+
+    let mut file = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+    match torn_crash_point {
+        Some(name) => {
+            let split = bytes.len() / 2;
+            file.write_all(&bytes[..split])?;
+            crash_point(name);
+            file.write_all(&bytes[split..])?;
+        }
+        None => file.write_all(bytes)?,
+    }
+    file.sync_all()
+}
+
+/// Result of [`read_jsonl_repair`]: the trusted records plus what repair
+/// had to do to get them.
+#[derive(Debug, Default)]
+pub struct JsonlReplay {
+    /// The JSON text of each valid record, frame stripped, in file order.
+    pub lines: Vec<String>,
+    /// Count of accepted unframed (pre-envelope) lines.
+    pub legacy_lines: usize,
+    /// True when an incomplete last line was truncated away.
+    pub torn_tail_truncated: bool,
+    /// Where the original file was preserved when mid-file corruption
+    /// forced a prefix rewrite.
+    pub quarantined: Option<PathBuf>,
+    /// Count of lines dropped after a mid-file corruption.
+    pub dropped_lines: usize,
+}
+
+enum Line<'a> {
+    Framed(&'a str),
+    Legacy(&'a str),
+    Invalid,
+}
+
+fn classify_line(line: &str) -> Line<'_> {
+    if line.len() > 9 && line.as_bytes()[8] == b' ' {
+        let (crc_hex, rest) = (&line[..8], &line[9..]);
+        if crc_hex.bytes().all(|b| b.is_ascii_hexdigit())
+            && u32::from_str_radix(crc_hex, 16).map(|c| c == crc32(rest.as_bytes())).unwrap_or(false)
+        {
+            return Line::Framed(rest);
+        }
+    }
+    if serde_json::from_str::<serde_json::Value>(line).is_ok() {
+        return Line::Legacy(line);
+    }
+    Line::Invalid
+}
+
+/// Reads a (possibly damaged) CRC-framed JSONL file, repairing it on disk
+/// as described in the module docs, and returns the trusted records.
+/// A missing file yields an empty replay.
+pub fn read_jsonl_repair(path: &Path) -> Result<JsonlReplay, StoreError> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(JsonlReplay::default()),
+        Err(e) => return Err(StoreError::io(path, e)),
+    };
+    let text = String::from_utf8_lossy(&bytes);
+
+    let mut replay = JsonlReplay::default();
+    // Byte offset just past the newline of the last valid line seen so
+    // far — the truncation point if damage follows.
+    let mut valid_end = 0usize;
+    let mut offset = 0usize;
+    let mut first_invalid: Option<usize> = None;
+
+    for segment in text.split_inclusive('\n') {
+        let start = offset;
+        offset += segment.len();
+        let terminated = segment.ends_with('\n');
+        let line = segment.trim_end_matches('\n').trim_end_matches('\r');
+        if line.is_empty() && terminated {
+            // A blank line is tolerated noise, not damage.
+            valid_end = offset;
+            continue;
+        }
+        match classify_line(line) {
+            Line::Framed(json) if terminated => {
+                replay.lines.push(json.to_string());
+                valid_end = offset;
+            }
+            Line::Legacy(json) if terminated => {
+                replay.lines.push(json.to_string());
+                replay.legacy_lines += 1;
+                valid_end = offset;
+            }
+            // An unterminated final line is torn even if its content
+            // happens to verify — the newline is part of the frame.
+            _ => {
+                first_invalid = Some(start);
+                break;
+            }
+        }
+    }
+
+    let Some(invalid_at) = first_invalid else {
+        return Ok(replay);
+    };
+
+    let tail_only = invalid_at == valid_end && {
+        // The invalid region is the final line iff nothing follows its
+        // own (missing or damaged) line terminator.
+        let rest = &text[invalid_at..];
+        match rest.find('\n') {
+            None => true,
+            Some(nl) => rest[nl + 1..].trim().is_empty(),
+        }
+    };
+
+    if tail_only {
+        // Kill-mid-append signature: truncate back to the last clean line.
+        let file = std::fs::OpenOptions::new()
+            .write(true)
+            .open(path)
+            .map_err(|e| StoreError::io(path, e))?;
+        file.set_len(valid_end as u64).map_err(|e| StoreError::io(path, e))?;
+        file.sync_all().map_err(|e| StoreError::io(path, e))?;
+        replay.torn_tail_truncated = true;
+        mmwave_telemetry::counter("store.torn_truncated", 1);
+        mmwave_telemetry::warn!(
+            "{}: truncated torn trailing line at byte {valid_end}",
+            path.display()
+        );
+        return Ok(replay);
+    }
+
+    // Mid-file corruption: preserve the original, rewrite the prefix.
+    let quarantine_copy = path.with_extension("jsonl.pre-repair");
+    let quarantined = match std::fs::copy(path, &quarantine_copy) {
+        Ok(_) => quarantine_best_effort(&quarantine_copy),
+        Err(_) => None,
+    };
+    crate::atomic::write_atomic(path, text[..valid_end].as_bytes())
+        .map_err(|e| StoreError::io(path, e))?;
+    replay.dropped_lines =
+        text[invalid_at..].split('\n').filter(|l| !l.trim().is_empty()).count();
+    replay.quarantined = quarantined;
+    mmwave_telemetry::counter("store.jsonl_repaired", 1);
+    mmwave_telemetry::warn!(
+        "{}: mid-file corruption; kept {} lines, dropped {}",
+        path.display(),
+        replay.lines.len(),
+        replay.dropped_lines
+    );
+    Ok(replay)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("mmwave-store-jl-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn append_and_replay_round_trip() {
+        let dir = temp_dir("rt");
+        let path = dir.join("journal.jsonl");
+        append_jsonl(&path, r#"{"id":"a","v":1}"#, None).unwrap();
+        append_jsonl(&path, r#"{"id":"b","v":2}"#, None).unwrap();
+
+        let raw = std::fs::read_to_string(&path).unwrap();
+        for line in raw.lines() {
+            assert_eq!(line.as_bytes()[8], b' ', "line not framed: {line}");
+        }
+
+        let replay = read_jsonl_repair(&path).unwrap();
+        assert_eq!(replay.lines, vec![r#"{"id":"a","v":1}"#, r#"{"id":"b","v":2}"#]);
+        assert_eq!(replay.legacy_lines, 0);
+        assert!(!replay.torn_tail_truncated);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_an_empty_replay() {
+        let dir = temp_dir("missing");
+        let replay = read_jsonl_repair(&dir.join("absent.jsonl")).unwrap();
+        assert!(replay.lines.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn legacy_unframed_lines_are_accepted() {
+        let dir = temp_dir("legacy");
+        let path = dir.join("journal.jsonl");
+        std::fs::write(&path, "{\"id\":\"old\"}\n").unwrap();
+        append_jsonl(&path, r#"{"id":"new"}"#, None).unwrap();
+
+        let replay = read_jsonl_repair(&path).unwrap();
+        assert_eq!(replay.lines, vec![r#"{"id":"old"}"#, r#"{"id":"new"}"#]);
+        assert_eq!(replay.legacy_lines, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appends_resume_cleanly() {
+        let dir = temp_dir("torn");
+        let path = dir.join("journal.jsonl");
+        append_jsonl(&path, r#"{"id":"a"}"#, None).unwrap();
+        let clean_len = std::fs::metadata(&path).unwrap().len();
+
+        // Simulate a kill mid-append: half a framed line, no newline.
+        let mut file = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+        file.write_all(b"deadbeef {\"id\":\"b\"").unwrap();
+        drop(file);
+
+        let replay = read_jsonl_repair(&path).unwrap();
+        assert_eq!(replay.lines, vec![r#"{"id":"a"}"#]);
+        assert!(replay.torn_tail_truncated);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), clean_len);
+
+        // The next append lands on a clean boundary.
+        append_jsonl(&path, r#"{"id":"c"}"#, None).unwrap();
+        let replay = read_jsonl_repair(&path).unwrap();
+        assert_eq!(replay.lines, vec![r#"{"id":"a"}"#, r#"{"id":"c"}"#]);
+        assert!(!replay.torn_tail_truncated);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn complete_final_line_with_bad_crc_is_treated_as_tail_damage() {
+        let dir = temp_dir("badcrc");
+        let path = dir.join("journal.jsonl");
+        append_jsonl(&path, r#"{"id":"a"}"#, None).unwrap();
+        // Framed line whose crc does not match its json — not valid JSON
+        // by itself either (the frame prefix), so it cannot be legacy.
+        let mut file = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+        file.write_all(b"00000000 {\"id\":\"b\"}\n").unwrap();
+        drop(file);
+
+        let replay = read_jsonl_repair(&path).unwrap();
+        assert_eq!(replay.lines, vec![r#"{"id":"a"}"#]);
+        assert!(replay.torn_tail_truncated);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mid_file_corruption_quarantines_and_keeps_prefix() {
+        let dir = temp_dir("mid");
+        let path = dir.join("journal.jsonl");
+        append_jsonl(&path, r#"{"id":"a"}"#, None).unwrap();
+        append_jsonl(&path, r#"{"id":"b"}"#, None).unwrap();
+        append_jsonl(&path, r#"{"id":"c"}"#, None).unwrap();
+
+        // Flip a byte inside line b's JSON.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let raw = String::from_utf8(bytes.clone()).unwrap();
+        let line_b_start = raw.find("\n").unwrap() + 1;
+        bytes[line_b_start + 12] ^= 0x20;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let replay = read_jsonl_repair(&path).unwrap();
+        assert_eq!(replay.lines, vec![r#"{"id":"a"}"#]);
+        assert_eq!(replay.dropped_lines, 2);
+        let q = replay.quarantined.clone().expect("quarantined copy");
+        assert_eq!(std::fs::read(&q).unwrap(), bytes, "original bytes preserved");
+
+        // The on-disk file is now the clean prefix; a re-read is clean.
+        let replay2 = read_jsonl_repair(&path).unwrap();
+        assert_eq!(replay2.lines, vec![r#"{"id":"a"}"#]);
+        assert!(replay2.quarantined.is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn blank_lines_are_tolerated() {
+        let dir = temp_dir("blank");
+        let path = dir.join("journal.jsonl");
+        append_jsonl(&path, r#"{"id":"a"}"#, None).unwrap();
+        let mut file = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+        file.write_all(b"\n").unwrap();
+        drop(file);
+        append_jsonl(&path, r#"{"id":"b"}"#, None).unwrap();
+
+        let replay = read_jsonl_repair(&path).unwrap();
+        assert_eq!(replay.lines, vec![r#"{"id":"a"}"#, r#"{"id":"b"}"#]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,79 @@
+//! Moving bad artifacts aside instead of deleting them.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Moves `path` to the first free `<path>.quarantine-<n>` sibling and
+/// returns the destination. The original bytes are preserved for
+/// post-mortem inspection; the original path is freed so the caller can
+/// regenerate the artifact or fall back to an earlier one.
+pub fn quarantine_file(path: &Path) -> io::Result<PathBuf> {
+    let mut name = path.as_os_str().to_os_string();
+    name.push(".quarantine-");
+    for n in 0u32..10_000 {
+        let mut candidate = name.clone();
+        candidate.push(n.to_string());
+        let candidate = PathBuf::from(candidate);
+        if candidate.exists() {
+            continue;
+        }
+        std::fs::rename(path, &candidate)?;
+        mmwave_telemetry::counter("store.quarantined", 1);
+        mmwave_telemetry::warn!(
+            "quarantined corrupt artifact {} -> {}",
+            path.display(),
+            candidate.display()
+        );
+        return Ok(candidate);
+    }
+    Err(io::Error::other(format!(
+        "{}: exhausted quarantine slots (10000 siblings exist)",
+        path.display()
+    )))
+}
+
+/// Quarantines `path`, swallowing (but logging) failures — used on load
+/// paths where the quarantine is best-effort and the classified error is
+/// what the caller needs.
+pub(crate) fn quarantine_best_effort(path: &Path) -> Option<PathBuf> {
+    match quarantine_file(path) {
+        Ok(dest) => Some(dest),
+        Err(err) => {
+            mmwave_telemetry::warn!("failed to quarantine {}: {err}", path.display());
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quarantine_moves_and_numbers_sequentially() {
+        let dir = std::env::temp_dir().join(format!("mmwave-store-q-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("artifact.json");
+
+        std::fs::write(&path, b"bad one").unwrap();
+        let q0 = quarantine_file(&path).unwrap();
+        assert_eq!(q0, dir.join("artifact.json.quarantine-0"));
+        assert!(!path.exists());
+        assert_eq!(std::fs::read(&q0).unwrap(), b"bad one");
+
+        std::fs::write(&path, b"bad two").unwrap();
+        let q1 = quarantine_file(&path).unwrap();
+        assert_eq!(q1, dir.join("artifact.json.quarantine-1"));
+        assert_eq!(std::fs::read(&q1).unwrap(), b"bad two");
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn quarantine_of_missing_file_errors() {
+        let dir = std::env::temp_dir().join(format!("mmwave-store-qm-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(quarantine_file(&dir.join("nope.json")).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

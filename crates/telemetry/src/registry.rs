@@ -10,7 +10,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::io;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 /// Sentinel for "no sinks installed": no event level passes.
@@ -28,7 +28,11 @@ pub struct Registry {
     gauges: Mutex<HashMap<String, f64>>,
     histograms: Mutex<HashMap<String, LogLinearHistogram>>,
     spans: Mutex<HashMap<String, LogLinearHistogram>>,
-    sinks: RwLock<Vec<Box<dyn Sink>>>,
+    /// `Arc` rather than `Box` so flushing can iterate a cloned list with
+    /// the lock released — a sink's `flush` may itself emit telemetry
+    /// (e.g. the trace sink reporting a failed write), which re-enters the
+    /// registry and would deadlock against a held write lock.
+    sinks: RwLock<Vec<Arc<dyn Sink>>>,
     start: Instant,
 }
 
@@ -76,19 +80,23 @@ impl Registry {
     /// Installs a sink.
     pub fn add_sink(&self, sink: Box<dyn Sink>) {
         let mut sinks = self.sinks.write();
-        sinks.push(sink);
+        sinks.push(Arc::from(sink));
         let max = sinks.iter().map(|s| s.verbosity() as u8).max().unwrap_or(NO_SINKS);
         self.max_verbosity.store(max, Ordering::Relaxed);
     }
 
-    /// Removes every sink (metrics keep accumulating).
+    /// Removes every sink (metrics keep accumulating). The drained sinks
+    /// are flushed *after* the write lock is released, so a flush that
+    /// emits telemetry (a failed trace write, say) cannot deadlock.
     pub fn clear_sinks(&self) {
-        let mut sinks = self.sinks.write();
-        for sink in sinks.iter() {
+        let drained: Vec<Arc<dyn Sink>> = {
+            let mut sinks = self.sinks.write();
+            self.max_verbosity.store(NO_SINKS, Ordering::Relaxed);
+            std::mem::take(&mut *sinks)
+        };
+        for sink in &drained {
             sink.flush();
         }
-        sinks.clear();
-        self.max_verbosity.store(NO_SINKS, Ordering::Relaxed);
     }
 
     /// True when an event at `level` would reach at least one sink. Cheap:
@@ -196,9 +204,12 @@ impl Registry {
         }
     }
 
-    /// Flushes every sink.
+    /// Flushes every sink. The sink list is cloned and the lock released
+    /// before any `flush` runs, so sinks are free to emit telemetry from
+    /// their flush paths.
     pub fn flush(&self) {
-        for sink in self.sinks.read().iter() {
+        let sinks: Vec<Arc<dyn Sink>> = self.sinks.read().clone();
+        for sink in &sinks {
             sink.flush();
         }
     }
@@ -556,6 +567,35 @@ mod tests {
         let gauge = events.iter().find(|e| e.kind == EventKind::Gauge).expect("gauge event");
         assert_eq!(gauge.fields["value"], 4.0);
         std::fs::remove_file(&path).ok();
+    }
+
+    /// A sink whose `flush` re-enters the registry, as the trace sink does
+    /// when reporting a failed write.
+    struct EmittingSink(Arc<Registry>);
+
+    impl Sink for EmittingSink {
+        fn verbosity(&self) -> Level {
+            Level::Trace
+        }
+
+        fn record(&self, _event: &Event) {}
+
+        fn flush(&self) {
+            self.0.emit(Level::Warn, EventKind::Log, "from-flush", serde_json::Map::new());
+            self.0.counter_add("flush.reentry", 1);
+        }
+    }
+
+    #[test]
+    fn sinks_may_emit_telemetry_from_flush_without_deadlocking() {
+        let r = Arc::new(Registry::new());
+        r.add_sink(Box::new(EmittingSink(Arc::clone(&r))));
+        // Under the old flush-under-lock scheme, `clear_sinks` held the
+        // write lock across `flush`, so the re-entrant `emit` deadlocked.
+        r.flush();
+        r.clear_sinks();
+        assert_eq!(r.counter_value("flush.reentry"), 2);
+        assert!(!r.would_emit(Level::Error), "sinks really were drained");
     }
 
     #[test]

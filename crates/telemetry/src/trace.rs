@@ -20,15 +20,47 @@
 //! JSON array on every [`Sink::flush`] — the registry flushes on
 //! reconfiguration and at `finish()`, so a run that ends normally always
 //! leaves a well-formed file, while a killed run leaves whatever the last
-//! flush wrote (still a valid array). A cap of [`TraceSink::MAX_EVENTS`]
-//! entries bounds memory; overflow is counted and reported once.
+//! flush wrote (still a valid array). The rewrite goes through a sibling
+//! temp file and an atomic rename, so even a kill *mid-flush* cannot tear
+//! the trace; a flush that fails to write reports itself via `stderr`, a
+//! `trace.write_failed` counter, and a warn-level event rather than
+//! silently dropping the trace. A cap of [`TraceSink::MAX_EVENTS`] entries
+//! bounds memory; overflow is counted and reported once.
 
 use crate::event::{process_micros, thread_id, Event, EventKind, Level};
 use crate::sink::Sink;
 use parking_lot::Mutex;
 use std::collections::HashSet;
-use std::io::{self, BufWriter, Write};
+use std::io::{self, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Distinguishes concurrent flushes' temp files (the serialize step runs
+/// under the state lock, but the write itself deliberately does not).
+static FLUSH_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Writes `bytes` to `path` via a same-directory temp file, fsync, and
+/// rename, so readers only ever observe the old or the new trace in full.
+/// (`mmwave-store` owns the general-purpose version of this; telemetry
+/// sits below it in the crate graph and keeps a private copy.)
+fn write_file_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("trace.json");
+    let tmp = path.with_file_name(format!(
+        "{name}.tmp-{}-{}",
+        std::process::id(),
+        FLUSH_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let result = (|| {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
 
 /// Buffers trace entries and writes them as a Chrome-trace JSON array.
 pub struct TraceSink {
@@ -186,24 +218,32 @@ impl Sink for TraceSink {
     }
 
     fn flush(&self) {
-        let state = self.state.lock();
-        let Ok(file) = std::fs::File::create(&self.path) else {
-            return;
-        };
-        let mut w = BufWriter::new(file);
-        let _ = w.write_all(b"[");
-        for (i, entry) in state.entries.iter().enumerate() {
-            if i > 0 {
-                let _ = w.write_all(b",\n");
+        // Serialize under the state lock, then write with the lock released:
+        // the failure path below emits telemetry, which must be able to
+        // re-enter this sink's `record` without deadlocking.
+        let (bytes, dropped) = {
+            let state = self.state.lock();
+            let mut buf = Vec::with_capacity(2 + 64 * state.entries.len());
+            buf.push(b'[');
+            for (i, entry) in state.entries.iter().enumerate() {
+                if i > 0 {
+                    buf.extend_from_slice(b",\n");
+                }
+                // Infallible: `serde_json::Value` into a Vec cannot error.
+                let _ = serde_json::to_writer(&mut buf, entry);
             }
-            let _ = serde_json::to_writer(&mut w, entry);
+            buf.push(b']');
+            (buf, state.dropped)
+        };
+        if let Err(err) = write_file_atomic(&self.path, &bytes) {
+            eprintln!("trace sink: failed to write {}: {err}", self.path.display());
+            crate::counter("trace.write_failed", 1);
+            crate::warn!("trace export to {} failed: {err}", self.path.display());
+            return;
         }
-        let _ = w.write_all(b"]");
-        let _ = w.flush();
-        if state.dropped > 0 {
+        if dropped > 0 {
             eprintln!(
-                "trace sink: dropped {} events past the {}-event cap ({})",
-                state.dropped,
+                "trace sink: dropped {dropped} events past the {}-event cap ({})",
                 TraceSink::MAX_EVENTS,
                 self.path.display()
             );
@@ -304,5 +344,44 @@ mod tests {
         drop(sink); // Drop flushes.
         assert_eq!(read_trace_file(&path).unwrap().iter().filter(|e| e["ph"] == "X").count(), 1);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn flush_leaves_no_temp_files_behind() {
+        let dir = std::env::temp_dir().join(format!("mmwave_trace_tmp_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        let sink = TraceSink::create(&path).unwrap();
+        sink.record(&span_event("s", 0, 1, 0));
+        sink.flush();
+        sink.flush();
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["trace.json".to_string()], "temp files must not linger: {names:?}");
+        drop(sink);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn flush_failure_is_counted_not_silent() {
+        let dir = std::env::temp_dir().join(format!("mmwave_trace_fail_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        let sink = TraceSink::create(&path).unwrap();
+        sink.record(&span_event("s", 0, 1, 0));
+        // Replace the parent directory with a plain file so the temp-file
+        // create inside it must fail.
+        std::fs::remove_dir_all(&dir).unwrap();
+        std::fs::write(&dir, b"not a directory").unwrap();
+        let before = crate::registry::global().counter_value("trace.write_failed");
+        sink.flush();
+        let after = crate::registry::global().counter_value("trace.write_failed");
+        assert!(after > before, "a failed trace write must bump trace.write_failed");
+        std::fs::remove_file(&dir).ok();
+        // Dropping the sink flushes once more; with the path gone that is
+        // another counted failure, not a panic.
+        drop(sink);
     }
 }

@@ -9,6 +9,7 @@
 //! mmwave demo    (smoke-scale end-to-end attack exercising every stage)
 //! mmwave perf-check <results-dir> --baseline <dir> [--threshold 0.15]
 //!                [--noise-ms 50] [--report-only]
+//! mmwave chaos   [--dir <dir>] [--keep]   kill-and-resume crash matrix
 //! ```
 //!
 //! Global flags, accepted by every command:
@@ -43,7 +44,8 @@ use mmwave_har_backdoor::radar::trigger::{Trigger, TriggerAttachment};
 use mmwave_har_backdoor::radar::{Environment, Placement};
 use mmwave_har_backdoor::telemetry;
 use std::collections::HashMap;
-use std::path::PathBuf;
+use std::io;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -87,6 +89,10 @@ fn main() -> ExitCode {
         // The gate compares existing baseline files; it runs no pipeline,
         // so the stage-time summary below would only be noise.
         "perf-check" => return perf_check(&opts, &positionals),
+        "chaos" => chaos(&opts),
+        // Hidden helper: the small journaled campaign the chaos driver
+        // kills and resumes (spawned via `current_exe`, not user-facing).
+        "chaos-child" => chaos_child(&opts),
         "help" | "--help" | "-h" => {
             print_usage();
             return ExitCode::SUCCESS;
@@ -185,6 +191,12 @@ fn print_usage() {
                      flags: --threshold <frac> (default 0.15)\n\
                             --noise-ms <ms> (default 50)\n\
                             --report-only (report regressions, exit 0)\n\
+           chaos     kill-and-resume crash matrix: aborts a journaled\n\
+                     campaign at every registered crash point, resumes it,\n\
+                     and asserts the journal and report are byte-identical\n\
+                     to an uninterrupted run; nonzero exit on any mismatch\n\
+                     flags: --dir <dir> (work dir, default: a temp dir)\n\
+                            --keep (keep per-point artifacts on success)\n\
          \n\
          global flags:\n\
            --log-level <error|warn|info|debug|trace>   stderr verbosity\n\
@@ -205,7 +217,12 @@ fn parse_flags(args: &[String]) -> Result<(HashMap<String, String>, Vec<String>)
             positionals.push(flag.clone());
             continue;
         };
-        if name == "smoke" || name == "fast" || name == "quiet" || name == "report-only" {
+        if name == "smoke"
+            || name == "fast"
+            || name == "quiet"
+            || name == "report-only"
+            || name == "keep"
+        {
             out.insert(name.to_string(), "true".to_string());
             continue;
         }
@@ -501,4 +518,192 @@ fn demo(_opts: &HashMap<String, String>) -> ExitCode {
     };
     std::fs::remove_dir_all(&dir).ok();
     code
+}
+
+/// Spawns one `mmwave chaos-child` run against `dir`. Every child gets the
+/// deterministic journal and a pinned envelope git sha, so its artifact
+/// bytes are a pure function of the campaign outcomes; `envs` adds the
+/// per-run extras (the crash-point log, or an armed `MMWAVE_CRASH_AT`).
+fn run_chaos_child(
+    exe: &Path,
+    dir: &Path,
+    envs: &[(&str, String)],
+) -> io::Result<std::process::ExitStatus> {
+    let mut cmd = std::process::Command::new(exe);
+    cmd.arg("chaos-child").arg("--dir").arg(dir).arg("--quiet");
+    // The driver's own environment must not leak an armed crash point or
+    // a crash log into children that did not ask for one.
+    cmd.env_remove("MMWAVE_CRASH_AT");
+    cmd.env_remove("MMWAVE_CRASH_LOG");
+    cmd.env("MMWAVE_JOURNAL_DETERMINISTIC", "1");
+    cmd.env("MMWAVE_GIT_SHA", "chaos");
+    for (key, value) in envs {
+        cmd.env(key, value);
+    }
+    cmd.stdout(std::process::Stdio::null());
+    cmd.stderr(std::process::Stdio::null());
+    cmd.status()
+}
+
+/// One cell of the chaos matrix: a child armed to abort at `point`, then a
+/// plain resume run in the same directory, then a byte comparison of the
+/// journal and report against the uninterrupted reference.
+fn chaos_one_point(
+    exe: &Path,
+    dir: &Path,
+    point: &str,
+    reference_journal: &[u8],
+    reference_report: &[u8],
+) -> Result<(), String> {
+    match run_chaos_child(exe, dir, &[("MMWAVE_CRASH_AT", point.to_string())]) {
+        Ok(status) if !status.success() => {}
+        Ok(_) => return Err("armed child exited cleanly; the crash point never fired".into()),
+        Err(e) => return Err(format!("cannot spawn the armed child: {e}")),
+    }
+    match run_chaos_child(exe, dir, &[]) {
+        Ok(status) if status.success() => {}
+        Ok(status) => return Err(format!("resume run failed with {status}")),
+        Err(e) => return Err(format!("cannot spawn the resume child: {e}")),
+    }
+    let journal = std::fs::read(dir.join("journal.jsonl")).unwrap_or_default();
+    let report = std::fs::read(dir.join("report.json")).unwrap_or_default();
+    if journal != reference_journal {
+        return Err("journal differs from the uninterrupted run".into());
+    }
+    if report != reference_report {
+        return Err("report differs from the uninterrupted run".into());
+    }
+    Ok(())
+}
+
+/// `mmwave chaos`: the kill-and-resume crash matrix. A reference child run
+/// discovers every crash point registered along the campaign's artifact
+/// paths (via `MMWAVE_CRASH_LOG`); then, for each point, a fresh child is
+/// killed there (`MMWAVE_CRASH_AT`), resumed, and its journal and report
+/// must come out byte-identical to the uninterrupted reference.
+fn chaos(opts: &HashMap<String, String>) -> ExitCode {
+    let keep = opts.contains_key("keep");
+    let root = opts.get("dir").map(PathBuf::from).unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("mmwave_chaos_{}", std::process::id()))
+    });
+    let exe = match std::env::current_exe() {
+        Ok(p) => p,
+        Err(e) => {
+            telemetry::error!("cannot locate the mmwave binary: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let _ = std::fs::remove_dir_all(&root);
+    if let Err(e) = std::fs::create_dir_all(&root) {
+        telemetry::error!("cannot create chaos work dir {}: {e}", root.display());
+        return ExitCode::FAILURE;
+    }
+
+    let log_path = root.join("crash_points.log");
+    let ref_dir = root.join("reference");
+    telemetry::info!("chaos: reference run in {}", ref_dir.display());
+    match run_chaos_child(
+        &exe,
+        &ref_dir,
+        &[("MMWAVE_CRASH_LOG", log_path.display().to_string())],
+    ) {
+        Ok(status) if status.success() => {}
+        Ok(status) => {
+            telemetry::error!("chaos: reference run failed with {status}");
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            telemetry::error!("chaos: cannot spawn the reference child: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let (reference_journal, reference_report) = match (
+        std::fs::read(ref_dir.join("journal.jsonl")),
+        std::fs::read(ref_dir.join("report.json")),
+    ) {
+        (Ok(j), Ok(r)) => (j, r),
+        _ => {
+            telemetry::error!("chaos: the reference run left no journal or report");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The crash log lists points in execution order, once per pass; keep
+    // first-seen order and drop repeats (the campaign passes the journal
+    // points once per appended entry).
+    let mut points: Vec<String> = Vec::new();
+    match std::fs::read_to_string(&log_path) {
+        Ok(log) => {
+            for line in log.lines().map(str::trim).filter(|l| !l.is_empty()) {
+                if !points.iter().any(|p| p == line) {
+                    points.push(line.to_string());
+                }
+            }
+        }
+        Err(e) => {
+            telemetry::error!("chaos: cannot read the crash-point log: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if points.is_empty() {
+        telemetry::error!("chaos: the reference run passed no crash points");
+        return ExitCode::FAILURE;
+    }
+    telemetry::info!("chaos: {} crash points discovered", points.len());
+
+    let mut failures = 0usize;
+    for (i, point) in points.iter().enumerate() {
+        let dir = root.join(format!("point-{i:02}"));
+        match chaos_one_point(&exe, &dir, point, &reference_journal, &reference_report) {
+            Ok(()) => println!("chaos: kill at {point} -> resume is byte-identical"),
+            Err(e) => {
+                failures += 1;
+                println!("chaos: kill at {point} -> FAIL: {e}");
+            }
+        }
+    }
+    println!("chaos: {}/{} crash points pass", points.len() - failures, points.len());
+    if failures > 0 {
+        telemetry::error!("chaos: artifacts kept in {}", root.display());
+        return ExitCode::FAILURE;
+    }
+    if keep {
+        println!("chaos: artifacts kept in {}", root.display());
+    } else {
+        std::fs::remove_dir_all(&root).ok();
+    }
+    ExitCode::SUCCESS
+}
+
+/// Hidden helper behind `mmwave chaos`: a five-point journaled campaign of
+/// fixed arithmetic results plus a saved report — every value deterministic
+/// so kill-and-resume comparisons can demand byte identity.
+fn chaos_child(opts: &HashMap<String, String>) -> ExitCode {
+    let Some(dir) = opts.get("dir") else {
+        eprintln!("error: chaos-child needs --dir <dir>");
+        return ExitCode::FAILURE;
+    };
+    let mut campaign = match Campaign::<f64>::open(dir) {
+        Ok(c) => c,
+        Err(e) => {
+            telemetry::error!("cannot open chaos campaign dir `{dir}`: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for i in 0..5u32 {
+        let id = format!("chaos p{i}");
+        if let Err(e) = campaign.run_point(&id, || f64::from(i) * 1.25 + 0.5) {
+            telemetry::error!("cannot journal chaos point `{id}`: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    match campaign.save_report() {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            telemetry::error!("cannot save the chaos report: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }

@@ -21,6 +21,7 @@
 //! | [`defense`] | `mmwave-defense` | trigger detection + augmentation |
 //! | [`telemetry`] | `mmwave-telemetry` | spans, metrics, traces, profiles, run events |
 //! | [`exec`] | `mmwave-exec` | deterministic work-stealing parallel runtime |
+//! | [`store`] | `mmwave-store` | atomic checksummed artifact I/O, quarantine, crash points |
 //! | [`bench`] | `mmwave-bench` | bench harness, perf baselines, regression gate |
 //!
 //! See `examples/quickstart.rs` for a guided tour, and the `mmwave-bench`
@@ -37,4 +38,5 @@ pub use mmwave_har as har;
 pub use mmwave_nn as nn;
 pub use mmwave_radar as radar;
 pub use mmwave_shap as shap;
+pub use mmwave_store as store;
 pub use mmwave_telemetry as telemetry;

@@ -1,0 +1,193 @@
+//! End-to-end durability of persisted artifacts across the workspace:
+//! checksummed envelopes detect tearing and bit rot, corrupt files are
+//! quarantined (never silently read, never destroyed), checkpoint sets
+//! fall back to older generations, and pre-envelope artifacts from
+//! earlier releases still load read-only.
+
+use mmwave_har_backdoor::backdoor::{Campaign, PointOutcome};
+use mmwave_har_backdoor::store::{self, CheckpointSet, Format, StoreError};
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Artifact {
+    name: String,
+    values: Vec<f64>,
+}
+
+fn artifact() -> Artifact {
+    Artifact { name: "sweep".to_string(), values: vec![0.5, -1.25, 3.0] }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("mmwave_durability_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn quarantine_files(dir: &Path) -> Vec<PathBuf> {
+    std::fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.file_name().unwrap().to_string_lossy().contains(".quarantine-"))
+        .collect()
+}
+
+#[test]
+fn bit_flipped_artifact_is_detected_quarantined_and_recoverable() {
+    let dir = temp_dir("flip");
+    let path = dir.join("artifact.json");
+    store::save_json_atomic(&path, &artifact()).unwrap();
+
+    // Flip one payload bit, as bit rot or a bad sector would.
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() - 10;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&path, &bytes).unwrap();
+
+    let err = store::load_json::<Artifact>(&path).unwrap_err();
+    assert!(matches!(err, StoreError::CorruptPayload { .. }), "{err}");
+    assert!(err.to_string().contains("artifact.json"), "error names the path: {err}");
+
+    // The damaged original is preserved aside, not destroyed...
+    let quarantined = quarantine_files(&dir);
+    assert_eq!(quarantined.len(), 1, "exactly one quarantine file");
+    assert_eq!(std::fs::read(&quarantined[0]).unwrap(), bytes);
+    assert!(!path.exists(), "the corrupt file must be moved out of the way");
+
+    // ...and regeneration heals without a panic anywhere.
+    store::save_json_atomic(&path, &artifact()).unwrap();
+    assert_eq!(store::load_json::<Artifact>(&path).unwrap().value, artifact());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_write_is_detected_and_quarantined() {
+    let dir = temp_dir("torn");
+    let path = dir.join("artifact.json");
+    store::save_json_atomic(&path, &artifact()).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+
+    let err = store::load_json::<Artifact>(&path).unwrap_err();
+    assert!(matches!(err, StoreError::Torn { .. }), "{err}");
+    assert!(err.is_recoverable());
+    assert!(err.quarantined().is_some());
+    assert!(!path.exists());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn pre_envelope_bare_json_loads_read_only() {
+    // Migration/back-compat: artifacts written before the envelope existed
+    // are bare JSON; the loader accepts them flagged as legacy, and a
+    // re-save upgrades them in place.
+    let dir = temp_dir("legacy");
+    let path = dir.join("artifact.json");
+    std::fs::write(&path, serde_json::to_vec_pretty(&artifact()).unwrap()).unwrap();
+
+    let loaded = store::load_json::<Artifact>(&path).unwrap();
+    assert_eq!(loaded.value, artifact());
+    assert_eq!(loaded.format, Format::LegacyBare);
+    assert!(path.exists(), "a legacy read must not modify the file");
+
+    store::save_json_atomic(&path, &loaded.value).unwrap();
+    let upgraded = store::load_json::<Artifact>(&path).unwrap();
+    assert_eq!(upgraded.format, Format::Enveloped, "re-save upgrades to the envelope");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn pre_envelope_unframed_journal_replays_and_new_entries_are_framed() {
+    // A journal written before CRC framing: plain JSON lines. It must
+    // replay, and entries appended by this build get the frame.
+    let dir = temp_dir("legacy-journal");
+    std::fs::write(
+        dir.join("journal.jsonl"),
+        "{\"id\":\"old\",\"outcome\":{\"status\":\"Completed\",\"result\":4.5}}\n",
+    )
+    .unwrap();
+
+    let mut campaign = Campaign::<f64>::open(&dir).unwrap();
+    assert!(campaign.is_done("old"), "legacy entries must replay");
+    let outcome = campaign.run_point("old", || panic!("must not re-run")).unwrap();
+    assert_eq!(outcome, PointOutcome::Completed { result: 4.5 });
+
+    campaign.run_point("new", || 7.25).unwrap();
+    let journal = std::fs::read_to_string(dir.join("journal.jsonl")).unwrap();
+    let last = journal.lines().last().unwrap();
+    assert_eq!(last.as_bytes()[8], b' ', "new entries are CRC-framed: {last}");
+    assert!(last[..8].bytes().all(|b| b.is_ascii_hexdigit()));
+
+    // The mixed-format journal replays in full.
+    let campaign = Campaign::<f64>::open(&dir).unwrap();
+    assert!(campaign.is_done("old") && campaign.is_done("new"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn checkpoint_set_falls_back_past_a_corrupt_newest_generation() {
+    let dir = temp_dir("ckpt");
+    let set = CheckpointSet::new(&dir, "state", 3);
+    for seq in 1..=3u64 {
+        set.save(seq, &Artifact { name: format!("gen{seq}"), values: vec![seq as f64] })
+            .unwrap();
+    }
+
+    // Corrupt the newest generation; loading falls back to the previous
+    // one instead of failing or returning garbage.
+    let newest = set.path_for(3);
+    let mut bytes = std::fs::read(&newest).unwrap();
+    let len = bytes.len();
+    bytes.truncate(len / 2);
+    std::fs::write(&newest, &bytes).unwrap();
+
+    let loaded = set.load_latest::<Artifact>().unwrap().expect("an older generation loads");
+    assert_eq!(loaded.value.name, "gen2");
+    assert_eq!(loaded.seq, Some(2));
+    assert_eq!(loaded.fallbacks, 1, "one generation was skipped");
+    assert!(!quarantine_files(&dir).is_empty(), "the bad generation is preserved aside");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn checkpoint_set_keeps_only_the_newest_k_generations() {
+    let dir = temp_dir("prune");
+    let set = CheckpointSet::new(&dir, "state", 2);
+    for seq in 1..=5u64 {
+        set.save(seq, &artifact()).unwrap();
+    }
+    assert!(!set.path_for(3).exists(), "generation 3 must be pruned");
+    assert!(set.path_for(4).exists() && set.path_for(5).exists());
+    let loaded = set.load_latest::<Artifact>().unwrap().unwrap();
+    assert_eq!(loaded.seq, Some(5));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn campaign_report_corruption_is_not_fatal() {
+    // A corrupt report.json is quarantined on load; re-saving from the
+    // (intact) journal regenerates it.
+    let dir = temp_dir("report");
+    let mut campaign = Campaign::<f64>::open(&dir).unwrap();
+    campaign.run_point("a", || 1.0).unwrap();
+    let saved = campaign.save_report().unwrap();
+
+    let path = dir.join("report.json");
+    let mut bytes = std::fs::read(&path).unwrap();
+    let len = bytes.len();
+    bytes[len - 3] ^= 0x20;
+    std::fs::write(&path, &bytes).unwrap();
+
+    let err = Campaign::<f64>::load_report(&dir).unwrap_err();
+    assert!(err.to_string().contains("report.json"), "{err}");
+
+    let reopened = Campaign::<f64>::open(&dir).unwrap();
+    let regenerated = reopened.save_report().unwrap();
+    assert_eq!(regenerated.completed, saved.completed);
+    assert_eq!(Campaign::<f64>::load_report(&dir).unwrap().completed, saved.completed);
+    let _ = std::fs::remove_dir_all(&dir);
+}
