@@ -61,17 +61,27 @@ impl Default for RetryPolicy {
 /// the watchdog), else 300 s — generous against the paper sweeps' slowest
 /// points, tight enough to flag a hung sensor replay or a livelocked fit.
 fn default_stall_timeout() -> Duration {
-    match std::env::var("MMWAVE_STALL_TIMEOUT_SECS") {
-        Ok(raw) => match raw.trim().parse::<u64>() {
+    parse_stall_timeout(std::env::var("MMWAVE_STALL_TIMEOUT_SECS").ok().as_deref())
+}
+
+/// Parses a raw `MMWAVE_STALL_TIMEOUT_SECS` value. Invalid values fall
+/// back to the 300 s default — and are *counted* on the
+/// `campaign.config_invalid` counter as well as warned about, so a fleet
+/// of workers with a typoed environment shows up in metrics, not just in
+/// scrollback.
+fn parse_stall_timeout(raw: Option<&str>) -> Duration {
+    match raw {
+        Some(raw) => match raw.trim().parse::<u64>() {
             Ok(secs) => Duration::from_secs(secs),
             Err(_) => {
+                mmwave_telemetry::counter("campaign.config_invalid", 1);
                 mmwave_telemetry::warn!(
                     "ignoring invalid MMWAVE_STALL_TIMEOUT_SECS={raw:?}; using 300s"
                 );
                 Duration::from_secs(300)
             }
         },
-        Err(_) => Duration::from_secs(300),
+        None => Duration::from_secs(300),
     }
 }
 
@@ -99,18 +109,26 @@ struct WatchdogInner {
 impl WatchdogInner {
     fn watch(&self) {
         let interval = (self.timeout / 4).max(Duration::from_millis(10));
-        let mut stop = self.stop.lock().expect("watchdog lock poisoned");
+        // The watchdog ignores lock poisoning throughout: a panicking
+        // point batch must degrade the *watchdog* gracefully, not take the
+        // whole campaign process down with a second panic. The guarded
+        // data (an `Instant`, a `bool`) is always valid, so the poison
+        // carries no torn state.
+        let mut stop = self.stop.lock().unwrap_or_else(|e| e.into_inner());
         while !*stop {
             let (guard, _) = self
                 .cv
                 .wait_timeout(stop, interval)
-                .expect("watchdog lock poisoned");
+                .unwrap_or_else(|e| e.into_inner());
             stop = guard;
             if *stop {
                 return;
             }
-            let stalled_for =
-                self.last_progress.lock().expect("watchdog lock poisoned").elapsed();
+            let stalled_for = self
+                .last_progress
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .elapsed();
             if stalled_for < self.timeout {
                 continue;
             }
@@ -154,14 +172,15 @@ impl StallWatchdog {
     /// Reports progress (a point completed), resetting the stall clock and
     /// re-arming the once-per-episode warning.
     fn touch(&self) {
-        *self.inner.last_progress.lock().expect("watchdog lock poisoned") = Instant::now();
+        *self.inner.last_progress.lock().unwrap_or_else(|e| e.into_inner()) =
+            Instant::now();
         self.inner.warned.store(false, Ordering::Relaxed);
     }
 }
 
 impl Drop for StallWatchdog {
     fn drop(&mut self) {
-        *self.inner.stop.lock().expect("watchdog lock poisoned") = true;
+        *self.inner.stop.lock().unwrap_or_else(|e| e.into_inner()) = true;
         self.inner.cv.notify_all();
         if let Some(handle) = self.handle.take() {
             let _ = handle.join();
@@ -1036,5 +1055,81 @@ mod tests {
         assert!(c.is_done("a"), "intact entries must survive a torn tail");
         assert!(!c.is_done("b"), "the torn entry must be treated as never-run");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn watchdog_survives_a_poisoned_lock() {
+        let watchdog = StallWatchdog::start("poison-test", Duration::from_millis(30));
+
+        // Poison the progress lock the way a panicking holder would.
+        let inner = Arc::clone(&watchdog.inner);
+        let _ = std::thread::spawn(move || {
+            let _guard = inner.last_progress.lock().unwrap();
+            panic!("poison the watchdog progress lock");
+        })
+        .join();
+        assert!(
+            watchdog.inner.last_progress.lock().is_err(),
+            "the lock must actually be poisoned for this test to mean anything"
+        );
+
+        // touch() must keep working through the poison...
+        watchdog.touch();
+
+        // ...and so must the watcher thread: after the timeout the stall
+        // must still be detected (counter bumped), not a secondary panic.
+        let registry = mmwave_telemetry::global();
+        let before = registry.counter_value("campaign.stalled");
+        std::thread::sleep(Duration::from_millis(150));
+        assert!(
+            registry.counter_value("campaign.stalled") > before,
+            "a poisoned lock must not blind the stall detector"
+        );
+
+        // Drop joins the watcher; a panic here would poison the test.
+        drop(watchdog);
+    }
+
+    #[test]
+    fn panicking_batch_leaves_the_watchdog_and_campaign_functional() {
+        let dir = temp_dir("poisonbatch");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut c = Campaign::<f64>::open(&dir)
+            .unwrap()
+            .with_retry(RetryPolicy { max_attempts: 1, backoff: Duration::ZERO })
+            .with_stall_timeout(Duration::from_millis(40));
+
+        // A batch whose points all panic: the watchdog running alongside
+        // must start, observe, and tear down without a secondary panic.
+        let batch: Vec<(String, Box<dyn Fn() -> f64 + Sync>)> = vec![
+            ("bad-0".to_string(), Box::new(|| panic!("batch bomb 0")) as _),
+            ("bad-1".to_string(), Box::new(|| panic!("batch bomb 1")) as _),
+        ];
+        let outcomes = c.run_points(&batch).unwrap();
+        assert!(outcomes
+            .iter()
+            .all(|o| matches!(o, PointOutcome::Failed { .. })));
+
+        // The campaign (and a fresh watchdog) must still work after.
+        let healed = c.run_point("good", || 4.25).unwrap();
+        assert_eq!(healed, PointOutcome::Completed { result: 4.25 });
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stall_timeout_parsing_counts_invalid_values() {
+        assert_eq!(parse_stall_timeout(None), Duration::from_secs(300));
+        assert_eq!(parse_stall_timeout(Some("120")), Duration::from_secs(120));
+        assert_eq!(parse_stall_timeout(Some(" 0 ")), Duration::ZERO, "0 disables");
+        let registry = mmwave_telemetry::global();
+        let before = registry.counter_value("campaign.config_invalid");
+        assert_eq!(parse_stall_timeout(Some("five minutes")), Duration::from_secs(300));
+        assert_eq!(parse_stall_timeout(Some("-1")), Duration::from_secs(300));
+        // `>=`: the counter is process-global and other tests may bump it
+        // concurrently.
+        assert!(
+            registry.counter_value("campaign.config_invalid") >= before + 2,
+            "invalid stall timeouts must be counted, not just warned about"
+        );
     }
 }

@@ -1,0 +1,812 @@
+//! Campaigns as dependency graphs: the distributed successor to the flat
+//! point list in [`crate::campaign`].
+//!
+//! The paper's Table-1/Fig-14–15 sweeps are really DAGs — synthesize a
+//! dataset, train a baseline, poison variants, evaluate, aggregate — with
+//! *shared upstream artifacts*: two sweep points that need the same
+//! trained baseline should train it once. A [`CampaignDag`] makes that
+//! structure explicit:
+//!
+//! * **Typed task nodes** ([`TaskNode`]) with explicit `deps` edges. The
+//!   graph is validated (unique ids, known deps, acyclic — Kahn's
+//!   algorithm) on [`CampaignDag::save`] *and* [`CampaignDag::load`], so
+//!   a hand-edited `dag.json` with a cycle is rejected before any worker
+//!   runs.
+//! * **Content-addressed artifact keys** ([`CampaignDag::artifact_keys`]):
+//!   each task's key hashes its kind, its params, and its *dependencies'
+//!   keys* — two tasks whose entire upstream specification matches get the
+//!   same key and share one artifact in `artifacts/<key>.json`, no matter
+//!   what their ids are. This is the dedupe primitive the `dag.dedupe_hit`
+//!   counter observes.
+//! * **Gate nodes** ([`Gate`]): a task with a gate only becomes ready once
+//!   every dependency's result passes the predicate (e.g. a baseline
+//!   accuracy floor before poison variants run); a failing predicate
+//!   permanently fails the task (and, transitively, its dependents) with
+//!   a recorded reason instead of wedging the campaign.
+//!
+//! All campaign state lives in one directory of durable `mmwave-store`
+//! artifacts — `dag.json`, `tasks/<id>.done.json`, `tasks/<id>.failed.json`,
+//! `claims/<id>.claim`, `artifacts/<key>.json`, `report.json` — so N
+//! independent worker processes (see [`crate::worker`]) coordinate through
+//! the filesystem alone, and `kill -9` at any instant loses at most one
+//! in-flight task, which survivors reclaim after the TTL.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// A predicate over a task's dependency results that must pass before the
+/// task becomes ready. `metric` names a field of each dependency's output
+/// object (dotted paths descend into nested objects); every dependency
+/// must report `metric >= min`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Gate {
+    /// Output field the predicate reads, e.g. `"cdr"` or `"value"`.
+    pub metric: String,
+    /// Inclusive floor the metric must reach on every dependency.
+    pub min: f64,
+}
+
+impl Gate {
+    /// Evaluates the predicate against one dependency's output. Returns
+    /// `Err` with a human-readable reason when the gate fails, including
+    /// the missing-metric case (a gate on a field the upstream task never
+    /// produces is a configuration error, surfaced as a gate failure, not
+    /// silently passed).
+    pub fn check(&self, dep_id: &str, output: &serde_json::Value) -> Result<(), String> {
+        let mut cursor = output;
+        for part in self.metric.split('.') {
+            match cursor.get(part) {
+                Some(next) => cursor = next,
+                None => {
+                    return Err(format!(
+                        "gate metric `{}` missing from `{dep_id}` output",
+                        self.metric
+                    ))
+                }
+            }
+        }
+        match cursor.as_f64() {
+            Some(v) if v >= self.min => Ok(()),
+            Some(v) => Err(format!(
+                "gate failed: `{dep_id}`.{} = {v} < required {}",
+                self.metric, self.min
+            )),
+            None => Err(format!(
+                "gate metric `{}` on `{dep_id}` is not a number",
+                self.metric
+            )),
+        }
+    }
+}
+
+/// One node of a campaign DAG: a typed, parameterized task plus its
+/// dependency edges.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskNode {
+    /// Unique id within the DAG; also the task's file stem, so only
+    /// `[A-Za-z0-9._-]` characters are allowed.
+    pub id: String,
+    /// Executor dispatch key (`"const"`, `"sum"`, `"attack"`,
+    /// `"aggregate"`, or anything a custom [`crate::worker::TaskExecutor`]
+    /// understands).
+    pub kind: String,
+    /// Kind-specific parameters, hashed into the artifact key.
+    #[serde(default)]
+    pub params: serde_json::Value,
+    /// Ids of tasks whose outputs this task consumes.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub deps: Vec<String>,
+    /// Optional readiness predicate over the dependencies' outputs.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub gate: Option<Gate>,
+}
+
+/// A campaign as a validated dependency graph, persisted as `dag.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignDag {
+    /// Campaign name, recorded in the report.
+    pub name: String,
+    /// The task nodes. Order is presentation order; execution order is
+    /// topological.
+    pub tasks: Vec<TaskNode>,
+}
+
+/// Why a DAG failed validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DagError {
+    /// Two tasks share an id.
+    DuplicateId(String),
+    /// A task id contains characters outside `[A-Za-z0-9._-]` (ids double
+    /// as file stems) or is empty.
+    BadId(String),
+    /// A task depends on an id that does not exist.
+    UnknownDep {
+        /// The depending task.
+        task: String,
+        /// The missing dependency id.
+        dep: String,
+    },
+    /// The dependency graph has a cycle through these task ids.
+    Cycle(Vec<String>),
+}
+
+impl fmt::Display for DagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DagError::DuplicateId(id) => write!(f, "duplicate task id `{id}`"),
+            DagError::BadId(id) => write!(
+                f,
+                "bad task id `{id}`: ids are file stems, use only [A-Za-z0-9._-]"
+            ),
+            DagError::UnknownDep { task, dep } => {
+                write!(f, "task `{task}` depends on unknown task `{dep}`")
+            }
+            DagError::Cycle(ids) => {
+                write!(f, "dependency cycle through tasks: {}", ids.join(", "))
+            }
+        }
+    }
+}
+
+impl std::error::Error for DagError {}
+
+impl From<DagError> for io::Error {
+    fn from(e: DagError) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+    }
+}
+
+fn valid_id(id: &str) -> bool {
+    !id.is_empty()
+        && id
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_' || b == b'.')
+}
+
+impl CampaignDag {
+    /// An empty campaign graph.
+    pub fn new(name: &str) -> CampaignDag {
+        CampaignDag { name: name.to_string(), tasks: Vec::new() }
+    }
+
+    /// The node with this id, if any.
+    pub fn task(&self, id: &str) -> Option<&TaskNode> {
+        self.tasks.iter().find(|t| t.id == id)
+    }
+
+    /// Ids of tasks no other task depends on — the campaign's outputs,
+    /// reported in `report.json`. Sorted for determinism.
+    pub fn terminal_ids(&self) -> Vec<&str> {
+        let consumed: HashSet<&str> =
+            self.tasks.iter().flat_map(|t| t.deps.iter().map(String::as_str)).collect();
+        let mut out: Vec<&str> = self
+            .tasks
+            .iter()
+            .map(|t| t.id.as_str())
+            .filter(|id| !consumed.contains(id))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Validates ids, edges, and acyclicity (Kahn's algorithm).
+    ///
+    /// # Errors
+    ///
+    /// The first [`DagError`] found.
+    pub fn validate(&self) -> Result<(), DagError> {
+        let mut index: HashMap<&str, usize> = HashMap::with_capacity(self.tasks.len());
+        for (i, task) in self.tasks.iter().enumerate() {
+            if !valid_id(&task.id) {
+                return Err(DagError::BadId(task.id.clone()));
+            }
+            if index.insert(task.id.as_str(), i).is_some() {
+                return Err(DagError::DuplicateId(task.id.clone()));
+            }
+        }
+        let mut indegree = vec![0usize; self.tasks.len()];
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); self.tasks.len()];
+        for (i, task) in self.tasks.iter().enumerate() {
+            for dep in &task.deps {
+                let Some(&d) = index.get(dep.as_str()) else {
+                    return Err(DagError::UnknownDep {
+                        task: task.id.clone(),
+                        dep: dep.clone(),
+                    });
+                };
+                indegree[i] += 1;
+                dependents[d].push(i);
+            }
+        }
+        let mut queue: Vec<usize> =
+            (0..self.tasks.len()).filter(|&i| indegree[i] == 0).collect();
+        let mut visited = 0usize;
+        while let Some(i) = queue.pop() {
+            visited += 1;
+            for &j in &dependents[i] {
+                indegree[j] -= 1;
+                if indegree[j] == 0 {
+                    queue.push(j);
+                }
+            }
+        }
+        if visited != self.tasks.len() {
+            let mut cycle: Vec<String> = self
+                .tasks
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| indegree[*i] > 0)
+                .map(|(_, t)| t.id.clone())
+                .collect();
+            cycle.sort_unstable();
+            return Err(DagError::Cycle(cycle));
+        }
+        Ok(())
+    }
+
+    /// Content-addressed artifact key per task id. A task's key is the
+    /// [`mmwave_store::content_key`] of `(kind, params, sorted dep keys)`,
+    /// computed bottom-up — so identical sub-graphs share keys regardless
+    /// of task ids, and any change anywhere upstream changes every
+    /// downstream key.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation error for an invalid graph.
+    pub fn artifact_keys(&self) -> Result<BTreeMap<String, String>, DagError> {
+        self.validate()?;
+        let mut keys: BTreeMap<String, String> = BTreeMap::new();
+        // Iterate until fixpoint in dependency order: validate() proved
+        // acyclicity, so a simple multi-pass resolve terminates.
+        let mut remaining: Vec<&TaskNode> = self.tasks.iter().collect();
+        while !remaining.is_empty() {
+            let before = remaining.len();
+            remaining.retain(|task| {
+                let mut dep_keys: Vec<&str> = Vec::with_capacity(task.deps.len());
+                for dep in &task.deps {
+                    match keys.get(dep) {
+                        Some(k) => dep_keys.push(k),
+                        None => return true, // dep unresolved; keep for next pass
+                    }
+                }
+                dep_keys.sort_unstable();
+                // serde_json maps serialize with sorted keys (BTreeMap
+                // backing), so this spec string is canonical.
+                let spec = serde_json::json!({
+                    "kind": task.kind,
+                    "params": task.params,
+                    "inputs": dep_keys,
+                });
+                keys.insert(task.id.clone(), mmwave_store::content_key(spec.to_string().as_bytes()));
+                false
+            });
+            debug_assert!(remaining.len() < before, "acyclic graph must make progress");
+        }
+        Ok(keys)
+    }
+
+    /// Persists the graph (validated first) as `dag.json` in `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Validation or I/O errors.
+    pub fn save(&self, dir: &Path) -> io::Result<()> {
+        self.validate()?;
+        mmwave_store::save_json_atomic(&paths::dag(dir), self).map_err(io::Error::from)
+    }
+
+    /// Loads and validates `dag.json` from `dir` — cycle detection happens
+    /// here, before any worker claims anything.
+    ///
+    /// # Errors
+    ///
+    /// Store errors (missing, torn, corrupt) or validation errors.
+    pub fn load(dir: &Path) -> io::Result<CampaignDag> {
+        let dag: CampaignDag = mmwave_store::load_json(&paths::dag(dir))
+            .map(|loaded| loaded.value)
+            .map_err(io::Error::from)?;
+        dag.validate()?;
+        Ok(dag)
+    }
+}
+
+/// Canonical locations of every campaign artifact inside the campaign
+/// directory. All coordination between workers goes through these paths.
+pub mod paths {
+    use super::*;
+
+    /// The persisted graph.
+    pub fn dag(dir: &Path) -> PathBuf {
+        dir.join("dag.json")
+    }
+
+    /// A completed task's durable result record.
+    pub fn done(dir: &Path, id: &str) -> PathBuf {
+        dir.join("tasks").join(format!("{id}.done.json"))
+    }
+
+    /// A permanently failed task's record.
+    pub fn failed(dir: &Path, id: &str) -> PathBuf {
+        dir.join("tasks").join(format!("{id}.failed.json"))
+    }
+
+    /// A task's claim file.
+    pub fn claim(dir: &Path, id: &str) -> PathBuf {
+        dir.join("claims").join(format!("{id}.claim"))
+    }
+
+    /// A content-addressed artifact.
+    pub fn artifact(dir: &Path, key: &str) -> PathBuf {
+        dir.join("artifacts").join(format!("{key}.json"))
+    }
+
+    /// The campaign-complete report.
+    pub fn report(dir: &Path) -> PathBuf {
+        dir.join("report.json")
+    }
+}
+
+/// A completed task's durable record (`tasks/<id>.done.json`). The
+/// content is a pure function of the task's spec and inputs, so records
+/// from interrupted-and-resumed campaigns are byte-identical to
+/// uninterrupted ones.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskRecord {
+    /// The task id.
+    pub id: String,
+    /// The content-addressed key its artifact lives under.
+    pub artifact_key: String,
+    /// The task's output object.
+    pub output: serde_json::Value,
+}
+
+/// A permanently failed task's record (`tasks/<id>.failed.json`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskFailure {
+    /// The task id.
+    pub id: String,
+    /// Why it failed: executor error, exhausted retries, a failed gate,
+    /// or a failed upstream dependency.
+    pub error: String,
+}
+
+/// One task's current state, as read from the campaign directory.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TaskState {
+    /// No result and no claim yet (may or may not be ready).
+    Pending,
+    /// A worker holds the claim.
+    Claimed {
+        /// Claim owner, when the claim body was readable.
+        owner: Option<mmwave_store::ClaimInfo>,
+        /// Time since the claim's last heartbeat.
+        age: Duration,
+        /// True when `age` exceeds the scanner's TTL — reclaim-eligible.
+        stale: bool,
+    },
+    /// A durable result exists.
+    Done,
+    /// A durable failure record exists.
+    Failed,
+}
+
+/// Point-in-time view of every task's state. Produced by [`scan`]; purely
+/// read-only (no locks taken, no files written), so it is safe to run
+/// beside active workers — the basis of `mmwave campaign-status`.
+#[derive(Debug)]
+pub struct DagStatus {
+    /// State per task id, in DAG presentation order.
+    pub tasks: Vec<(String, TaskState)>,
+}
+
+impl DagStatus {
+    /// The state of one task. Unknown ids read as `Pending`.
+    pub fn state(&self, id: &str) -> &TaskState {
+        self.tasks
+            .iter()
+            .find(|(tid, _)| tid == id)
+            .map(|(_, s)| s)
+            .unwrap_or(&TaskState::Pending)
+    }
+
+    /// True once every task is `Done` or `Failed`.
+    pub fn all_resolved(&self) -> bool {
+        self.tasks
+            .iter()
+            .all(|(_, s)| matches!(s, TaskState::Done | TaskState::Failed))
+    }
+
+    /// Counts of (done, failed, claimed, pending).
+    pub fn counts(&self) -> (usize, usize, usize, usize) {
+        let mut done = 0;
+        let mut failed = 0;
+        let mut claimed = 0;
+        let mut pending = 0;
+        for (_, s) in &self.tasks {
+            match s {
+                TaskState::Done => done += 1,
+                TaskState::Failed => failed += 1,
+                TaskState::Claimed { .. } => claimed += 1,
+                TaskState::Pending => pending += 1,
+            }
+        }
+        (done, failed, claimed, pending)
+    }
+}
+
+/// Reads every task's state from `dir` without writing anything. A claim
+/// alongside a done/failed record means the owner crashed between
+/// persisting the result and releasing — the result wins and the claim is
+/// reported as part of the `Done`/`Failed` state (workers garbage-collect
+/// it).
+///
+/// # Errors
+///
+/// I/O errors from the scans; torn claim bodies are tolerated (anonymous
+/// owner), not errors.
+pub fn scan(dir: &Path, dag: &CampaignDag, ttl: Duration) -> io::Result<DagStatus> {
+    let mut tasks = Vec::with_capacity(dag.tasks.len());
+    for task in &dag.tasks {
+        let state = if paths::done(dir, &task.id).exists() {
+            TaskState::Done
+        } else if paths::failed(dir, &task.id).exists() {
+            TaskState::Failed
+        } else {
+            let claim_path = paths::claim(dir, &task.id);
+            match mmwave_store::read_claim_age(&claim_path) {
+                Ok(Some(age)) => {
+                    let owner = mmwave_store::read_claim(&claim_path)
+                        .ok()
+                        .flatten()
+                        .map(|(info, _)| info);
+                    TaskState::Claimed { owner, age, stale: age > ttl }
+                }
+                Ok(None) => TaskState::Pending,
+                Err(e) => return Err(e.into()),
+            }
+        };
+        tasks.push((task.id.clone(), state));
+    }
+    Ok(DagStatus { tasks })
+}
+
+/// Loads a completed task's output from its durable record.
+///
+/// # Errors
+///
+/// Store errors when the record is missing, torn, or corrupt.
+pub fn load_output(dir: &Path, id: &str) -> io::Result<serde_json::Value> {
+    mmwave_store::load_json::<TaskRecord>(&paths::done(dir, id))
+        .map(|loaded| loaded.value.output)
+        .map_err(io::Error::from)
+}
+
+/// The campaign-complete summary persisted as `report.json` once every
+/// task is resolved. Deterministic: failed tasks sorted by id, outputs
+/// keyed by terminal task id in sorted order — so a crashed-and-reclaimed
+/// multi-worker campaign reports byte-identically to an uninterrupted
+/// single-worker one.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DagReport {
+    /// The campaign name from the DAG.
+    pub name: String,
+    /// Total tasks in the graph.
+    pub total: usize,
+    /// Tasks that completed.
+    pub completed: usize,
+    /// Failure records, sorted by task id.
+    pub failed: Vec<TaskFailure>,
+    /// Terminal (un-consumed) tasks' outputs, keyed by id.
+    pub outputs: BTreeMap<String, serde_json::Value>,
+}
+
+impl fmt::Display for DagReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "campaign `{}`: {}/{} tasks completed, {} failed",
+            self.name,
+            self.completed,
+            self.total,
+            self.failed.len()
+        )?;
+        for failure in &self.failed {
+            writeln!(f, "  FAILED {}: {}", failure.id, failure.error)?;
+        }
+        for (id, output) in &self.outputs {
+            writeln!(f, "  {id} -> {output}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Builds the deterministic report for a fully resolved campaign.
+///
+/// # Errors
+///
+/// I/O errors reading the task records.
+pub fn build_report(dir: &Path, dag: &CampaignDag, status: &DagStatus) -> io::Result<DagReport> {
+    let mut completed = 0usize;
+    let mut failed: Vec<TaskFailure> = Vec::new();
+    for (id, state) in &status.tasks {
+        match state {
+            TaskState::Done => completed += 1,
+            TaskState::Failed => {
+                let record = mmwave_store::load_json::<TaskFailure>(&paths::failed(dir, id))
+                    .map(|loaded| loaded.value)
+                    .unwrap_or_else(|_| TaskFailure {
+                        id: id.clone(),
+                        error: "failure record unreadable".to_string(),
+                    });
+                failed.push(record);
+            }
+            _ => {}
+        }
+    }
+    failed.sort_by(|a, b| a.id.cmp(&b.id));
+    let mut outputs = BTreeMap::new();
+    for id in dag.terminal_ids() {
+        if matches!(status.state(id), TaskState::Done) {
+            outputs.insert(id.to_string(), load_output(dir, id)?);
+        }
+    }
+    Ok(DagReport {
+        name: dag.name.clone(),
+        total: dag.tasks.len(),
+        completed,
+        failed,
+        outputs,
+    })
+}
+
+/// The built-in demonstration DAG: a miniature of the paper's sweep shape
+/// with every orchestration feature on display —
+///
+/// ```text
+/// synth ──> baseline-a ──> variant-0..2 (gated on baseline value) ──┐
+///      └──> baseline-b ──> eval-b ─────────────────────────────────aggregate
+/// ```
+///
+/// `baseline-a` and `baseline-b` carry *identical* specs, so they share a
+/// content-addressed artifact key: whichever worker runs first trains the
+/// "baseline", and the other records a `dag.dedupe_hit`. Every output is
+/// fixed arithmetic, so the final report is byte-deterministic — the
+/// property the multi-process chaos matrix (`mmwave dag-chaos`) asserts.
+pub fn demo_dag() -> CampaignDag {
+    let mut dag = CampaignDag::new("demo");
+    dag.tasks.push(TaskNode {
+        id: "synth".to_string(),
+        kind: "const".to_string(),
+        params: serde_json::json!({"value": 2.0}),
+        deps: vec![],
+        gate: None,
+    });
+    for suffix in ["a", "b"] {
+        dag.tasks.push(TaskNode {
+            id: format!("baseline-{suffix}"),
+            kind: "sum".to_string(),
+            params: serde_json::json!({"offset": 1.0}),
+            deps: vec!["synth".to_string()],
+            gate: None,
+        });
+    }
+    for i in 0..3 {
+        dag.tasks.push(TaskNode {
+            id: format!("variant-{i}"),
+            kind: "sum".to_string(),
+            params: serde_json::json!({"offset": f64::from(i), "scale": 1.5}),
+            deps: vec!["baseline-a".to_string()],
+            // The baseline floor: poison variants only run once the
+            // baseline is good enough (3.0 here, floor 2.5 — passes).
+            gate: Some(Gate { metric: "value".to_string(), min: 2.5 }),
+        });
+    }
+    dag.tasks.push(TaskNode {
+        id: "eval-b".to_string(),
+        kind: "sum".to_string(),
+        params: serde_json::json!({"scale": 2.0}),
+        deps: vec!["baseline-b".to_string()],
+        gate: None,
+    });
+    dag.tasks.push(TaskNode {
+        id: "aggregate".to_string(),
+        kind: "aggregate".to_string(),
+        params: serde_json::Value::Null,
+        deps: vec![
+            "variant-0".to_string(),
+            "variant-1".to_string(),
+            "variant-2".to_string(),
+            "eval-b".to_string(),
+        ],
+        gate: None,
+    });
+    dag
+}
+
+/// A paper-shaped attack sweep as a DAG: one `attack` task per sweep point
+/// (smoke scale), all feeding one `aggregate`. Points that share a
+/// `(scenario, rate, frames, seed)` specification share an artifact key
+/// and run once.
+pub fn attack_sweep_dag(
+    name: &str,
+    points: &[(String, String, f64, usize, u64)],
+) -> CampaignDag {
+    let mut dag = CampaignDag::new(name);
+    let mut point_ids = Vec::with_capacity(points.len());
+    for (id, scenario, rate, frames, seed) in points {
+        dag.tasks.push(TaskNode {
+            id: id.clone(),
+            kind: "attack".to_string(),
+            params: serde_json::json!({
+                "scenario": scenario,
+                "rate": rate,
+                "frames": frames,
+                "seed": seed,
+            }),
+            deps: vec![],
+            gate: None,
+        });
+        point_ids.push(id.clone());
+    }
+    dag.tasks.push(TaskNode {
+        id: "aggregate".to_string(),
+        kind: "aggregate".to_string(),
+        params: serde_json::Value::Null,
+        deps: point_ids,
+        gate: None,
+    });
+    dag
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(id: &str, deps: &[&str]) -> TaskNode {
+        TaskNode {
+            id: id.to_string(),
+            kind: "const".to_string(),
+            params: serde_json::json!({"value": 1.0}),
+            deps: deps.iter().map(|d| d.to_string()).collect(),
+            gate: None,
+        }
+    }
+
+    #[test]
+    fn validation_catches_cycles_dupes_and_unknown_deps() {
+        let mut dag = CampaignDag::new("t");
+        dag.tasks.push(node("a", &[]));
+        dag.tasks.push(node("b", &["a"]));
+        assert!(dag.validate().is_ok());
+
+        let mut cyclic = dag.clone();
+        cyclic.tasks.push(node("c", &["d"]));
+        cyclic.tasks.push(node("d", &["c"]));
+        assert!(matches!(cyclic.validate(), Err(DagError::Cycle(ids)) if ids == ["c", "d"]));
+
+        let mut duped = dag.clone();
+        duped.tasks.push(node("a", &[]));
+        assert!(matches!(duped.validate(), Err(DagError::DuplicateId(_))));
+
+        let mut dangling = dag.clone();
+        dangling.tasks.push(node("c", &["ghost"]));
+        assert!(matches!(dangling.validate(), Err(DagError::UnknownDep { .. })));
+
+        let mut bad_id = dag;
+        bad_id.tasks.push(node("no/slashes", &[]));
+        assert!(matches!(bad_id.validate(), Err(DagError::BadId(_))));
+    }
+
+    #[test]
+    fn identical_subgraphs_share_artifact_keys() {
+        let dag = demo_dag();
+        let keys = dag.artifact_keys().unwrap();
+        assert_eq!(
+            keys["baseline-a"], keys["baseline-b"],
+            "identical specs must share one artifact"
+        );
+        assert_ne!(keys["variant-0"], keys["variant-1"], "params differ");
+        assert_ne!(keys["baseline-a"], keys["synth"], "deps differ");
+        // Key count: every task has a key.
+        assert_eq!(keys.len(), dag.tasks.len());
+    }
+
+    #[test]
+    fn upstream_change_propagates_to_downstream_keys() {
+        let mut a = CampaignDag::new("t");
+        a.tasks.push(node("root", &[]));
+        a.tasks.push(node("leaf", &["root"]));
+        let mut b = a.clone();
+        b.tasks[0].params = serde_json::json!({"value": 9.0});
+        let ka = a.artifact_keys().unwrap();
+        let kb = b.artifact_keys().unwrap();
+        assert_ne!(ka["root"], kb["root"]);
+        assert_ne!(ka["leaf"], kb["leaf"], "a changed upstream must change the leaf key");
+    }
+
+    #[test]
+    fn save_load_round_trips_and_load_rejects_cycles() {
+        let dir = std::env::temp_dir()
+            .join(format!("mmwave_dag_unit_rt_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let dag = demo_dag();
+        dag.save(&dir).unwrap();
+        let loaded = CampaignDag::load(&dir).unwrap();
+        assert_eq!(loaded, dag);
+
+        // Hand-edit a cycle into the persisted file: load must reject it.
+        let mut bad = dag.clone();
+        bad.tasks[0].deps = vec!["aggregate".to_string()];
+        mmwave_store::save_json_atomic(&paths::dag(&dir), &bad).unwrap();
+        let err = CampaignDag::load(&dir).unwrap_err();
+        assert!(err.to_string().contains("cycle"), "got: {err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gate_checks_paths_floors_and_missing_metrics() {
+        let gate = Gate { metric: "metrics.cdr".to_string(), min: 0.8 };
+        let good = serde_json::json!({"metrics": {"cdr": 0.93}});
+        let bad = serde_json::json!({"metrics": {"cdr": 0.5}});
+        let missing = serde_json::json!({"metrics": {}});
+        assert!(gate.check("t", &good).is_ok());
+        assert!(gate.check("t", &bad).unwrap_err().contains("gate failed"));
+        assert!(gate.check("t", &missing).unwrap_err().contains("missing"));
+    }
+
+    #[test]
+    fn terminal_ids_are_the_unconsumed_tasks() {
+        let dag = demo_dag();
+        assert_eq!(dag.terminal_ids(), vec!["aggregate"]);
+    }
+
+    #[test]
+    fn scan_reads_states_without_writing() {
+        let dir = std::env::temp_dir()
+            .join(format!("mmwave_dag_unit_scan_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut dag = CampaignDag::new("t");
+        dag.tasks.push(node("a", &[]));
+        dag.tasks.push(node("b", &["a"]));
+        dag.tasks.push(node("c", &["a"]));
+
+        // a done, b claimed, c pending.
+        mmwave_store::save_json_atomic(
+            &paths::done(&dir, "a"),
+            &TaskRecord {
+                id: "a".to_string(),
+                artifact_key: "k".to_string(),
+                output: serde_json::json!({"value": 1.0}),
+            },
+        )
+        .unwrap();
+        let info = mmwave_store::ClaimInfo {
+            worker_id: "w0".to_string(),
+            pid: std::process::id(),
+            task_id: "b".to_string(),
+        };
+        mmwave_store::acquire_claim(&paths::claim(&dir, "b"), &info).unwrap();
+
+        let status = scan(&dir, &dag, Duration::from_secs(3600)).unwrap();
+        assert!(matches!(status.state("a"), TaskState::Done));
+        assert!(
+            matches!(status.state("b"), TaskState::Claimed { stale: false, .. }),
+            "fresh claim must not read stale"
+        );
+        assert!(matches!(status.state("c"), TaskState::Pending));
+        assert!(!status.all_resolved());
+        assert_eq!(status.counts(), (1, 0, 1, 1));
+
+        // With a zero TTL the same claim reads stale.
+        std::thread::sleep(Duration::from_millis(20));
+        let status = scan(&dir, &dag, Duration::ZERO).unwrap();
+        assert!(matches!(status.state("b"), TaskState::Claimed { stale: true, .. }));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -21,7 +21,9 @@
 //! and table of the evaluation section is a parameter sweep over
 //! [`experiment::AttackSpec`]; [`campaign`] wraps those sweeps in a
 //! journaled, resumable, failure-isolating state machine for long
-//! campaigns.
+//! campaigns; [`dag`] generalizes campaigns into dependency graphs with
+//! content-addressed artifacts, which N crash-safe [`worker`] processes
+//! drain concurrently via atomic claims (scheduled by [`scheduler`]).
 //!
 //! # Examples
 //!
@@ -42,14 +44,19 @@
 //! ```
 
 pub mod campaign;
+pub mod dag;
 pub mod experiment;
 pub mod frames;
 pub mod metrics;
 pub mod poison;
 pub mod position;
 pub mod scenario;
+pub mod scheduler;
+pub mod worker;
 
 pub use campaign::{Campaign, CampaignReport, PointOutcome, RetryPolicy};
+pub use dag::{CampaignDag, DagReport, Gate, TaskNode, TaskState};
+pub use worker::{run_worker, PipelineExecutor, TaskExecutor, WorkerConfig, WorkerSummary};
 pub use experiment::{AttackSpec, ExperimentContext, ExperimentScale};
 pub use frames::{frame_importance, importance_histogram, FrameStrategy};
 pub use metrics::AttackMetrics;

@@ -1,0 +1,267 @@
+//! Readiness classification and work sharding for campaign DAG workers.
+//!
+//! The scheduler is deliberately stateless: every decision is a pure
+//! function of the [`crate::dag::DagStatus`] snapshot a worker just
+//! scanned. There is no queue service and no leader — N workers each
+//! classify the same snapshot, then visit ready tasks in a
+//! *worker-specific* order ([`shard_order`]) so they mostly try different
+//! tasks first and the atomic claim in `mmwave-store` settles the rare
+//! collisions.
+
+use crate::dag::{self, CampaignDag, DagStatus, TaskNode, TaskState};
+use std::path::Path;
+
+/// What a worker may do with a task right now.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Readiness {
+    /// All dependencies done, gate (if any) passed: claimable.
+    Ready,
+    /// Some dependency is still pending or claimed: check again later.
+    Blocked,
+    /// Every dependency resolved but the gate predicate failed — the task
+    /// (and transitively its dependents) permanently fails with this
+    /// reason.
+    GateFailed(String),
+    /// A dependency permanently failed, so this task can never run.
+    UpstreamFailed(String),
+}
+
+/// Classifies one task against the current status snapshot.
+///
+/// Failure is decided eagerly: as soon as *any* dependency is `Failed`
+/// the task is [`Readiness::UpstreamFailed`] even if other dependencies
+/// are still running — the task can never become ready, and recording the
+/// cascade immediately keeps campaigns terminating instead of wedging on
+/// forever-blocked tasks.
+///
+/// # Errors
+///
+/// I/O errors reading dependency outputs for gate evaluation.
+pub fn classify(
+    dir: &Path,
+    task: &TaskNode,
+    status: &DagStatus,
+) -> std::io::Result<Readiness> {
+    for dep in &task.deps {
+        match status.state(dep) {
+            TaskState::Failed => {
+                return Ok(Readiness::UpstreamFailed(format!(
+                    "upstream task `{dep}` failed"
+                )));
+            }
+            TaskState::Done => {}
+            TaskState::Pending | TaskState::Claimed { .. } => {
+                return Ok(Readiness::Blocked);
+            }
+        }
+    }
+    if let Some(gate) = &task.gate {
+        for dep in &task.deps {
+            let output = dag::load_output(dir, dep)?;
+            if let Err(reason) = gate.check(dep, &output) {
+                return Ok(Readiness::GateFailed(reason));
+            }
+        }
+    }
+    Ok(Readiness::Ready)
+}
+
+/// All tasks currently [`Readiness::Ready`], plus the cascades
+/// ([`Readiness::GateFailed`] / [`Readiness::UpstreamFailed`]) that should
+/// be recorded as failures now.
+#[derive(Debug, Default)]
+pub struct ReadySet {
+    /// Claimable task ids.
+    pub ready: Vec<String>,
+    /// `(task id, failure reason)` pairs to persist as failed.
+    pub doomed: Vec<(String, String)>,
+    /// True while at least one task is pending or claimed — i.e. the
+    /// campaign may still make progress without our help.
+    pub in_flight: bool,
+}
+
+/// Classifies every unresolved task in the snapshot.
+///
+/// # Errors
+///
+/// I/O errors from gate evaluation.
+pub fn ready_set(
+    dir: &Path,
+    dag: &CampaignDag,
+    status: &DagStatus,
+) -> std::io::Result<ReadySet> {
+    let mut set = ReadySet::default();
+    for task in &dag.tasks {
+        match status.state(&task.id) {
+            TaskState::Done | TaskState::Failed => continue,
+            TaskState::Claimed { .. } => {
+                set.in_flight = true;
+                continue;
+            }
+            TaskState::Pending => {}
+        }
+        match classify(dir, task, status)? {
+            Readiness::Ready => set.ready.push(task.id.clone()),
+            Readiness::Blocked => set.in_flight = true,
+            Readiness::GateFailed(reason) | Readiness::UpstreamFailed(reason) => {
+                set.doomed.push((task.id.clone(), reason));
+            }
+        }
+    }
+    Ok(set)
+}
+
+/// Orders `ready` task ids for one worker so that concurrent workers
+/// spread across the ready frontier instead of racing on the same task.
+///
+/// With an explicit shard (`Some((index, count))`, from
+/// `MMWAVE_WORKER_SHARD=i/n`), tasks whose id hashes into the worker's
+/// shard come first — a deterministic partition where each ready task has
+/// exactly one preferred worker. Without a shard, tasks sort by
+/// `hash(worker_id ++ task_id)`, which spreads workers pseudo-randomly but
+/// deterministically for a given worker id. Ties break by id, so the
+/// order is total and stable.
+pub fn shard_order(ready: &mut [String], worker_id: &str, shard: Option<(usize, usize)>) {
+    match shard {
+        Some((index, count)) if count > 0 => {
+            let index = index % count;
+            ready.sort_by(|a, b| {
+                let a_mine = mmwave_store::fnv1a64(a.as_bytes()) as usize % count == index;
+                let b_mine = mmwave_store::fnv1a64(b.as_bytes()) as usize % count == index;
+                b_mine.cmp(&a_mine).then_with(|| a.cmp(b))
+            });
+        }
+        _ => {
+            ready.sort_by(|a, b| {
+                let ha = mmwave_store::fnv1a64(format!("{worker_id}\u{0}{a}").as_bytes());
+                let hb = mmwave_store::fnv1a64(format!("{worker_id}\u{0}{b}").as_bytes());
+                ha.cmp(&hb).then_with(|| a.cmp(b))
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::{demo_dag, paths, CampaignDag, Gate, TaskRecord};
+    use std::time::Duration;
+
+    fn tmp(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("mmwave_sched_unit_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn mark_done(dir: &std::path::Path, id: &str, output: serde_json::Value) {
+        mmwave_store::save_json_atomic(
+            &paths::done(dir, id),
+            &TaskRecord { id: id.to_string(), artifact_key: "k".to_string(), output },
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn classification_follows_dependency_states() {
+        let dir = tmp("classify");
+        let dag = demo_dag();
+        // Nothing done: synth ready, everything downstream blocked.
+        let status = dag::scan(&dir, &dag, Duration::from_secs(60)).unwrap();
+        let set = ready_set(&dir, &dag, &status).unwrap();
+        assert_eq!(set.ready, vec!["synth".to_string()]);
+        assert!(set.doomed.is_empty());
+        assert!(set.in_flight, "downstream tasks are blocked, not doomed");
+
+        // synth + baseline-a done with a passing gate value: variants ready.
+        mark_done(&dir, "synth", serde_json::json!({"value": 2.0}));
+        mark_done(&dir, "baseline-a", serde_json::json!({"value": 3.0}));
+        let status = dag::scan(&dir, &dag, Duration::from_secs(60)).unwrap();
+        let set = ready_set(&dir, &dag, &status).unwrap();
+        assert!(set.ready.iter().any(|id| id == "variant-0"));
+        assert!(set.ready.iter().any(|id| id == "baseline-b"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_gate_dooms_the_task_and_failure_cascades() {
+        let dir = tmp("gate");
+        let mut dag = CampaignDag::new("t");
+        dag.tasks.push(crate::dag::TaskNode {
+            id: "base".to_string(),
+            kind: "const".to_string(),
+            params: serde_json::json!({"value": 0.1}),
+            deps: vec![],
+            gate: None,
+        });
+        dag.tasks.push(crate::dag::TaskNode {
+            id: "gated".to_string(),
+            kind: "sum".to_string(),
+            params: serde_json::Value::Null,
+            deps: vec!["base".to_string()],
+            gate: Some(Gate { metric: "value".to_string(), min: 0.5 }),
+        });
+        dag.tasks.push(crate::dag::TaskNode {
+            id: "leaf".to_string(),
+            kind: "sum".to_string(),
+            params: serde_json::Value::Null,
+            deps: vec!["gated".to_string()],
+            gate: None,
+        });
+        mark_done(&dir, "base", serde_json::json!({"value": 0.1}));
+        let status = dag::scan(&dir, &dag, Duration::from_secs(60)).unwrap();
+        let set = ready_set(&dir, &dag, &status).unwrap();
+        assert!(set.ready.is_empty());
+        assert_eq!(set.doomed.len(), 1);
+        assert_eq!(set.doomed[0].0, "gated");
+        assert!(set.doomed[0].1.contains("gate failed"), "got: {}", set.doomed[0].1);
+
+        // Record the gate failure; the leaf now cascades to UpstreamFailed.
+        mmwave_store::save_json_atomic(
+            &paths::failed(&dir, "gated"),
+            &crate::dag::TaskFailure { id: "gated".to_string(), error: "gate".to_string() },
+        )
+        .unwrap();
+        let status = dag::scan(&dir, &dag, Duration::from_secs(60)).unwrap();
+        let set = ready_set(&dir, &dag, &status).unwrap();
+        assert_eq!(set.doomed.len(), 1);
+        assert_eq!(set.doomed[0].0, "leaf");
+        assert!(set.doomed[0].1.contains("upstream"));
+        assert!(!set.in_flight, "nothing left that could still run");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shard_order_is_deterministic_and_worker_dependent() {
+        let ids = || {
+            vec![
+                "a".to_string(),
+                "b".to_string(),
+                "c".to_string(),
+                "d".to_string(),
+                "e".to_string(),
+                "f".to_string(),
+            ]
+        };
+        let mut w0 = ids();
+        let mut w0_again = ids();
+        shard_order(&mut w0, "w0", None);
+        shard_order(&mut w0_again, "w0", None);
+        assert_eq!(w0, w0_again, "same worker, same order");
+
+        let mut sharded = ids();
+        shard_order(&mut sharded, "w1", Some((1, 3)));
+        // Every id belonging to shard 1 of 3 must precede every id that
+        // does not.
+        let mine: Vec<bool> = sharded
+            .iter()
+            .map(|id| mmwave_store::fnv1a64(id.as_bytes()) as usize % 3 == 1)
+            .collect();
+        let first_other = mine.iter().position(|m| !m).unwrap_or(mine.len());
+        assert!(
+            mine[first_other..].iter().all(|m| !m),
+            "preferred-shard tasks must form a prefix: {sharded:?}"
+        );
+    }
+}

@@ -1,0 +1,741 @@
+//! The campaign DAG worker: claim → execute → persist → release, in a
+//! loop, until every task in the campaign directory is resolved.
+//!
+//! N worker processes (started with `mmwave worker --dir <dir>`) can point
+//! at the same campaign directory with **no coordinator**: all mutual
+//! exclusion is the `O_EXCL` claim protocol in [`mmwave_store::claim`],
+//! all state is durable store artifacts, and all ordering comes from the
+//! stateless [`crate::scheduler`]. The loop is crash-safe by construction:
+//!
+//! * a worker killed *before* persisting a result leaves only a claim
+//!   file, which goes stale after [`WorkerConfig::ttl`] without heartbeats
+//!   and is reclaimed (atomically, exactly one winner) by a survivor;
+//! * a worker killed *after* persisting the result but before releasing
+//!   the claim leaves an orphan claim next to a done record — the record
+//!   wins, and any worker garbage-collects the claim;
+//! * a *live* worker heartbeats its claim every `ttl / 4`, so its tasks
+//!   are never reclaimed or double-executed while it is making progress.
+//!
+//! Task outputs are pure functions of their spec and inputs, and every
+//! artifact goes through the deterministic store writers — which is why
+//! the chaos matrix (`mmwave dag-chaos`) can demand *byte-identical*
+//! reports between an uninterrupted single-worker run and a
+//! three-workers-one-murdered run.
+
+use crate::dag::{self, paths, CampaignDag, TaskFailure, TaskNode, TaskRecord, TaskState};
+use crate::experiment::{AttackSpec, ExperimentContext, ExperimentScale};
+use crate::scenario::AttackScenario;
+use crate::scheduler::{self, ReadySet};
+use mmwave_store::{acquire_claim, crash_point, ClaimAttempt, ClaimInfo};
+use std::collections::BTreeMap;
+use std::io;
+use std::panic::AssertUnwindSafe;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Default claim TTL when `MMWAVE_CLAIM_TTL_SECS` is unset.
+pub const DEFAULT_CLAIM_TTL: Duration = Duration::from_secs(30);
+
+/// Default idle poll interval between scans.
+pub const DEFAULT_POLL: Duration = Duration::from_millis(200);
+
+/// How a worker identifies itself, how fast it gives up on the dead, and
+/// how it spreads over the ready frontier.
+#[derive(Debug, Clone)]
+pub struct WorkerConfig {
+    /// Claim owner id recorded in claim files (`MMWAVE_WORKER_ID`,
+    /// default `w<pid>`).
+    pub worker_id: String,
+    /// A claim without heartbeats for longer than this is considered
+    /// abandoned and reclaimed (`MMWAVE_CLAIM_TTL_SECS`, default 30s).
+    pub ttl: Duration,
+    /// Sleep between scans when nothing is claimable.
+    pub poll: Duration,
+    /// Optional `(index, count)` shard from `MMWAVE_WORKER_SHARD=i/n`.
+    pub shard: Option<(usize, usize)>,
+}
+
+impl Default for WorkerConfig {
+    fn default() -> Self {
+        WorkerConfig {
+            worker_id: format!("w{}", std::process::id()),
+            ttl: DEFAULT_CLAIM_TTL,
+            poll: DEFAULT_POLL,
+            shard: None,
+        }
+    }
+}
+
+/// Parses a claim TTL from the raw `MMWAVE_CLAIM_TTL_SECS` value.
+/// Non-numeric or non-positive values fall back to the default, warn, and
+/// bump the `campaign.config_invalid` counter — misconfiguration is
+/// observable, never silent, and never fatal.
+pub fn parse_claim_ttl(raw: Option<&str>) -> Duration {
+    match raw {
+        None => DEFAULT_CLAIM_TTL,
+        Some(text) => match text.trim().parse::<f64>() {
+            Ok(secs) if secs > 0.0 && secs.is_finite() => Duration::from_secs_f64(secs),
+            _ => {
+                mmwave_telemetry::counter("campaign.config_invalid", 1);
+                mmwave_telemetry::warn!(
+                    "ignoring invalid MMWAVE_CLAIM_TTL_SECS={text:?}; using default {}s",
+                    DEFAULT_CLAIM_TTL.as_secs()
+                );
+                eprintln!(
+                    "mmwave: ignoring invalid MMWAVE_CLAIM_TTL_SECS={text:?}; using default {}s",
+                    DEFAULT_CLAIM_TTL.as_secs()
+                );
+                DEFAULT_CLAIM_TTL
+            }
+        },
+    }
+}
+
+/// Parses an `i/n` shard spec. Invalid specs warn and disable sharding.
+pub fn parse_shard(raw: Option<&str>) -> Option<(usize, usize)> {
+    let text = raw?;
+    let parsed = text.split_once('/').and_then(|(i, n)| {
+        let i = i.trim().parse::<usize>().ok()?;
+        let n = n.trim().parse::<usize>().ok()?;
+        (n > 0 && i < n).then_some((i, n))
+    });
+    if parsed.is_none() {
+        mmwave_telemetry::counter("campaign.config_invalid", 1);
+        mmwave_telemetry::warn!("ignoring invalid MMWAVE_WORKER_SHARD={text:?} (want i/n, i < n)");
+        eprintln!("mmwave: ignoring invalid MMWAVE_WORKER_SHARD={text:?} (want i/n, i < n)");
+    }
+    parsed
+}
+
+impl WorkerConfig {
+    /// Builds a config from `MMWAVE_WORKER_ID`, `MMWAVE_CLAIM_TTL_SECS`,
+    /// and `MMWAVE_WORKER_SHARD`.
+    pub fn from_env() -> WorkerConfig {
+        let mut config = WorkerConfig::default();
+        if let Ok(id) = std::env::var("MMWAVE_WORKER_ID") {
+            if !id.trim().is_empty() {
+                config.worker_id = id.trim().to_string();
+            }
+        }
+        config.ttl = parse_claim_ttl(std::env::var("MMWAVE_CLAIM_TTL_SECS").ok().as_deref());
+        config.shard = parse_shard(std::env::var("MMWAVE_WORKER_SHARD").ok().as_deref());
+        config
+    }
+}
+
+/// What one worker did before the campaign resolved.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerSummary {
+    /// Tasks this worker executed to completion.
+    pub executed: usize,
+    /// Tasks satisfied by an existing content-addressed artifact.
+    pub deduped: usize,
+    /// Stale claims this worker reclaimed from dead owners.
+    pub reclaimed: usize,
+    /// Tasks that failed under this worker (executor errors, panics,
+    /// gates, upstream cascades).
+    pub failed: usize,
+}
+
+/// Executes one kind of task. Implementations must be deterministic in
+/// `(task.kind, task.params, inputs)` for the campaign's byte-identical
+/// crash-equivalence guarantee to hold.
+pub trait TaskExecutor {
+    /// Runs `task` against its dependencies' outputs (keyed by dependency
+    /// id). `Err` permanently fails the task.
+    fn execute(
+        &self,
+        task: &TaskNode,
+        inputs: &BTreeMap<String, serde_json::Value>,
+    ) -> Result<serde_json::Value, String>;
+}
+
+/// The built-in executor for the pipeline's task kinds:
+///
+/// * `"const"` — output is `params`, verbatim (synthetic roots).
+/// * `"sum"` — sums the `value` field of every input, adds
+///   `params.offset` (default 0), multiplies by `params.scale`
+///   (default 1): `{"value": x}`.
+/// * `"attack"` — one smoke-scale end-to-end attack point:
+///   `params = {scenario, rate, frames, seed}` → the run's
+///   [`crate::metrics::AttackMetrics`] as JSON.
+/// * `"aggregate"` — collects every input under
+///   `{"points": {dep_id: output}}` (sorted by id).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PipelineExecutor;
+
+fn num_param(params: &serde_json::Value, field: &str, default: f64) -> f64 {
+    params.get(field).and_then(serde_json::Value::as_f64).unwrap_or(default)
+}
+
+fn scenario_by_name(name: &str) -> Result<AttackScenario, String> {
+    match name {
+        "push-pull" => Ok(AttackScenario::push_to_pull()),
+        "left-right" => Ok(AttackScenario::left_to_right_swipe()),
+        "push-right" => Ok(AttackScenario::push_to_right_swipe()),
+        "push-acw" => Ok(AttackScenario::push_to_anticlockwise()),
+        other => Err(format!(
+            "unknown scenario `{other}` (want push-pull|left-right|push-right|push-acw)"
+        )),
+    }
+}
+
+impl TaskExecutor for PipelineExecutor {
+    fn execute(
+        &self,
+        task: &TaskNode,
+        inputs: &BTreeMap<String, serde_json::Value>,
+    ) -> Result<serde_json::Value, String> {
+        match task.kind.as_str() {
+            "const" => Ok(task.params.clone()),
+            "sum" => {
+                let total: f64 = inputs
+                    .values()
+                    .map(|v| v.get("value").and_then(serde_json::Value::as_f64).unwrap_or(0.0))
+                    .sum();
+                let offset = num_param(&task.params, "offset", 0.0);
+                let scale = num_param(&task.params, "scale", 1.0);
+                Ok(serde_json::json!({ "value": (total + offset) * scale }))
+            }
+            "attack" => {
+                let scenario_name = task
+                    .params
+                    .get("scenario")
+                    .and_then(serde_json::Value::as_str)
+                    .ok_or_else(|| "attack task missing string param `scenario`".to_string())?;
+                let seed = task
+                    .params
+                    .get("seed")
+                    .and_then(serde_json::Value::as_u64)
+                    .unwrap_or(0);
+                let spec = AttackSpec {
+                    scenario: scenario_by_name(scenario_name)?,
+                    injection_rate: num_param(&task.params, "rate", 0.4),
+                    n_poisoned_frames: task
+                        .params
+                        .get("frames")
+                        .and_then(serde_json::Value::as_u64)
+                        .unwrap_or(8) as usize,
+                    seed,
+                    ..AttackSpec::default()
+                };
+                let mut ctx = ExperimentContext::new(ExperimentScale::smoke_test(), seed);
+                let metrics = ctx.run_attack(&spec);
+                serde_json::to_value(metrics).map_err(|e| format!("metrics serialize: {e}"))
+            }
+            "aggregate" => Ok(serde_json::json!({ "points": inputs })),
+            other => Err(format!("no executor for task kind `{other}`")),
+        }
+    }
+}
+
+/// A heartbeat thread that refreshes one claim's mtime every `ttl / 4`
+/// (floor 10ms) until dropped — the "I am alive" signal that keeps
+/// [`mmwave_store::reclaim_stale`] off a live worker's task.
+struct Heartbeat {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Heartbeat {
+    fn start(claim_path: std::path::PathBuf, info: ClaimInfo, ttl: Duration) -> Heartbeat {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let interval = (ttl / 4).max(Duration::from_millis(10));
+        let handle = std::thread::spawn(move || {
+            while !stop_flag.load(Ordering::Relaxed) {
+                std::thread::sleep(interval);
+                if stop_flag.load(Ordering::Relaxed) {
+                    break;
+                }
+                // A failed refresh (e.g. disk pressure) is survivable: the
+                // worst case is a spurious reclaim, which the done-record
+                // check below resolves in the reclaimer's favor safely.
+                let _ = mmwave_store::refresh_claim(&claim_path, &info);
+            }
+        });
+        Heartbeat { stop, handle: Some(handle) }
+    }
+}
+
+impl Drop for Heartbeat {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn record_failure(dir: &Path, id: &str, error: String) -> io::Result<()> {
+    mmwave_telemetry::counter("dag.task_failed", 1);
+    mmwave_telemetry::warn!("task `{id}` failed: {error}");
+    mmwave_store::save_json_atomic(
+        &paths::failed(dir, id),
+        &TaskFailure { id: id.to_string(), error },
+    )
+    .map_err(io::Error::from)
+}
+
+/// Claims and runs one ready task end to end. Returns `Ok(true)` when the
+/// task was resolved by this worker (including dedupe hits and recorded
+/// failures), `Ok(false)` when another worker won the claim.
+fn run_one(
+    dir: &Path,
+    task: &TaskNode,
+    artifact_key: &str,
+    executor: &dyn TaskExecutor,
+    config: &WorkerConfig,
+    summary: &mut WorkerSummary,
+) -> io::Result<bool> {
+    let claim_path = paths::claim(dir, &task.id);
+    let info = ClaimInfo {
+        worker_id: config.worker_id.clone(),
+        pid: std::process::id(),
+        task_id: task.id.clone(),
+    };
+    match acquire_claim(&claim_path, &info).map_err(io::Error::from)? {
+        ClaimAttempt::Held { .. } => return Ok(false),
+        ClaimAttempt::Acquired => {}
+    }
+    mmwave_telemetry::counter("dag.claimed", 1);
+    let _span = mmwave_telemetry::span_at("dag.task", mmwave_telemetry::Level::Debug);
+    let _heartbeat = Heartbeat::start(claim_path.clone(), info, config.ttl);
+
+    // Between our scan and our claim another worker may have finished the
+    // task and released; the durable record is authoritative.
+    if paths::done(dir, &task.id).exists() || paths::failed(dir, &task.id).exists() {
+        mmwave_store::release_claim(&claim_path)?;
+        return Ok(true);
+    }
+
+    // Dedupe: an identical spec (same content-addressed key) already
+    // produced this artifact — adopt it instead of recomputing.
+    let artifact_path = paths::artifact(dir, artifact_key);
+    let output = match mmwave_store::load_json::<serde_json::Value>(&artifact_path) {
+        Ok(loaded) => {
+            mmwave_telemetry::counter("dag.dedupe_hit", 1);
+            summary.deduped += 1;
+            Some(loaded.value)
+        }
+        Err(mmwave_store::StoreError::Missing { .. }) => None,
+        // A torn/corrupt artifact was quarantined by the loader;
+        // recompute it.
+        Err(e) if e.is_recoverable() => None,
+        Err(e) => {
+            mmwave_store::release_claim(&claim_path)?;
+            return Err(e.into());
+        }
+    };
+
+    let output = match output {
+        Some(output) => output,
+        None => {
+            let mut inputs = BTreeMap::new();
+            for dep in &task.deps {
+                inputs.insert(dep.clone(), dag::load_output(dir, dep)?);
+            }
+            crash_point("dag.task.pre_execute");
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                executor.execute(task, &inputs)
+            }))
+            .unwrap_or_else(|panic| {
+                let reason = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "opaque panic payload".to_string());
+                Err(format!("task panicked: {reason}"))
+            });
+            match result {
+                Ok(output) => {
+                    crash_point("dag.artifact.pre_save");
+                    mmwave_store::save_json_atomic(&artifact_path, &output)
+                        .map_err(io::Error::from)?;
+                    summary.executed += 1;
+                    mmwave_telemetry::counter("dag.executed", 1);
+                    output
+                }
+                Err(error) => {
+                    record_failure(dir, &task.id, error)?;
+                    summary.failed += 1;
+                    mmwave_store::release_claim(&claim_path)?;
+                    return Ok(true);
+                }
+            }
+        }
+    };
+
+    crash_point("dag.task.pre_done");
+    mmwave_store::save_json_atomic(
+        &paths::done(dir, &task.id),
+        &TaskRecord {
+            id: task.id.clone(),
+            artifact_key: artifact_key.to_string(),
+            output,
+        },
+    )
+    .map_err(io::Error::from)?;
+    mmwave_store::release_claim(&claim_path)?;
+    Ok(true)
+}
+
+/// Removes claims left beside already-resolved tasks by workers killed
+/// between persisting the result and releasing — the durable record is
+/// authoritative, the claim is garbage.
+fn collect_orphan_claims(dir: &Path, status: &dag::DagStatus) -> io::Result<()> {
+    for (id, state) in &status.tasks {
+        if matches!(state, TaskState::Done | TaskState::Failed) {
+            let claim_path = paths::claim(dir, id);
+            if claim_path.exists() {
+                mmwave_store::release_claim(&claim_path)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Runs the claim/execute loop against the campaign in `dir` until every
+/// task is done or failed, then writes `report.json` (idempotently — the
+/// report is deterministic, so concurrent finishers write identical
+/// bytes) and returns this worker's tally.
+///
+/// # Errors
+///
+/// I/O and store errors. A worker that errors out simply stops
+/// heartbeating; its in-flight task (if any) goes stale and is reclaimed.
+pub fn run_worker(
+    dir: &Path,
+    config: &WorkerConfig,
+    executor: &dyn TaskExecutor,
+) -> io::Result<WorkerSummary> {
+    let dag = CampaignDag::load(dir)?;
+    let keys = dag.artifact_keys().map_err(io::Error::from)?;
+    let mut summary = WorkerSummary::default();
+    loop {
+        let status = dag::scan(dir, &dag, config.ttl)?;
+        collect_orphan_claims(dir, &status)?;
+        if status.all_resolved() {
+            let report = dag::build_report(dir, &dag, &status)?;
+            crash_point("dag.report.pre_save");
+            mmwave_store::save_json_atomic(&paths::report(dir), &report)
+                .map_err(io::Error::from)?;
+            return Ok(summary);
+        }
+
+        let ReadySet { mut ready, doomed, in_flight } =
+            scheduler::ready_set(dir, &dag, &status)?;
+
+        // Record gate failures and upstream cascades durably. Racing
+        // workers write byte-identical records, so this is idempotent.
+        let mut progressed = false;
+        for (id, reason) in doomed {
+            record_failure(dir, &id, reason)?;
+            summary.failed += 1;
+            progressed = true;
+        }
+
+        scheduler::shard_order(&mut ready, &config.worker_id, config.shard);
+        for id in &ready {
+            let task = dag
+                .task(id)
+                .ok_or_else(|| io::Error::other(format!("ready task `{id}` not in dag")))?;
+            let key = keys
+                .get(id)
+                .ok_or_else(|| io::Error::other(format!("no artifact key for `{id}`")))?;
+            if run_one(dir, task, key, executor, config, &mut summary)? {
+                progressed = true;
+                break;
+            }
+        }
+        if progressed {
+            continue;
+        }
+
+        // Nothing claimable: evict the dead. Reclaiming renames the stale
+        // claim aside (exactly one winner across all workers), after which
+        // the task is Pending again on the next scan.
+        let mut reclaimed_any = false;
+        for (id, state) in &status.tasks {
+            if let TaskState::Claimed { stale: true, .. } = state {
+                if mmwave_store::reclaim_stale(&paths::claim(dir, id), config.ttl)
+                    .map_err(io::Error::from)?
+                    .is_some()
+                {
+                    mmwave_telemetry::counter("dag.reclaimed", 1);
+                    mmwave_telemetry::warn!(
+                        "reclaimed stale claim on `{id}` (ttl {:?})",
+                        config.ttl
+                    );
+                    summary.reclaimed += 1;
+                    reclaimed_any = true;
+                }
+            }
+        }
+        if reclaimed_any {
+            continue;
+        }
+
+        if in_flight || status.tasks.iter().any(|(_, s)| matches!(s, TaskState::Claimed { .. })) {
+            std::thread::sleep(config.poll);
+            continue;
+        }
+        // No ready tasks, nothing in flight, not resolved: impossible for
+        // a validated DAG (cascades above resolve blocked-forever tasks),
+        // but never spin silently if it happens.
+        std::thread::sleep(config.poll);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::demo_dag;
+
+    fn tmp(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("mmwave_worker_unit_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn claim_ttl_parsing_accepts_seconds_and_rejects_garbage() {
+        assert_eq!(parse_claim_ttl(None), DEFAULT_CLAIM_TTL);
+        assert_eq!(parse_claim_ttl(Some("2.5")), Duration::from_millis(2500));
+        assert_eq!(parse_claim_ttl(Some(" 7 ")), Duration::from_secs(7));
+        let registry = mmwave_telemetry::global();
+        let before = registry.counter_value("campaign.config_invalid");
+        assert_eq!(parse_claim_ttl(Some("soon")), DEFAULT_CLAIM_TTL);
+        assert_eq!(parse_claim_ttl(Some("-3")), DEFAULT_CLAIM_TTL);
+        assert_eq!(parse_claim_ttl(Some("0")), DEFAULT_CLAIM_TTL);
+        // `>=`: the counter is process-global and other tests may bump it
+        // concurrently.
+        assert!(
+            registry.counter_value("campaign.config_invalid") >= before + 3,
+            "each invalid TTL must be counted"
+        );
+    }
+
+    #[test]
+    fn shard_parsing() {
+        assert_eq!(parse_shard(None), None);
+        assert_eq!(parse_shard(Some("1/3")), Some((1, 3)));
+        assert_eq!(parse_shard(Some("0/1")), Some((0, 1)));
+        assert_eq!(parse_shard(Some("3/3")), None, "index must be < count");
+        assert_eq!(parse_shard(Some("x/y")), None);
+        assert_eq!(parse_shard(Some("2")), None);
+    }
+
+    #[test]
+    fn pipeline_executor_kinds() {
+        let exec = PipelineExecutor;
+        let constant = TaskNode {
+            id: "c".to_string(),
+            kind: "const".to_string(),
+            params: serde_json::json!({"value": 2.0}),
+            deps: vec![],
+            gate: None,
+        };
+        let empty = BTreeMap::new();
+        assert_eq!(
+            exec.execute(&constant, &empty).unwrap(),
+            serde_json::json!({"value": 2.0})
+        );
+
+        let mut inputs = BTreeMap::new();
+        inputs.insert("a".to_string(), serde_json::json!({"value": 2.0}));
+        inputs.insert("b".to_string(), serde_json::json!({"value": 3.0}));
+        let sum = TaskNode {
+            id: "s".to_string(),
+            kind: "sum".to_string(),
+            params: serde_json::json!({"offset": 1.0, "scale": 2.0}),
+            deps: vec!["a".to_string(), "b".to_string()],
+            gate: None,
+        };
+        assert_eq!(
+            exec.execute(&sum, &inputs).unwrap(),
+            serde_json::json!({"value": 12.0})
+        );
+
+        let agg = TaskNode {
+            id: "g".to_string(),
+            kind: "aggregate".to_string(),
+            params: serde_json::Value::Null,
+            deps: vec!["a".to_string(), "b".to_string()],
+            gate: None,
+        };
+        let out = exec.execute(&agg, &inputs).unwrap();
+        assert_eq!(out["points"]["a"]["value"], 2.0);
+
+        let unknown = TaskNode {
+            id: "u".to_string(),
+            kind: "warp".to_string(),
+            params: serde_json::Value::Null,
+            deps: vec![],
+            gate: None,
+        };
+        assert!(exec.execute(&unknown, &empty).unwrap_err().contains("no executor"));
+    }
+
+    #[test]
+    fn attack_kind_runs_a_smoke_point_deterministically() {
+        let exec = PipelineExecutor;
+        let task = TaskNode {
+            id: "pt".to_string(),
+            kind: "attack".to_string(),
+            params: serde_json::json!({"scenario": "push-pull", "rate": 0.4, "frames": 8, "seed": 7}),
+            deps: vec![],
+            gate: None,
+        };
+        let empty = BTreeMap::new();
+        let a = exec.execute(&task, &empty).unwrap();
+        let b = exec.execute(&task, &empty).unwrap();
+        assert_eq!(a, b, "same spec must produce identical metrics");
+        assert!(a.get("asr").and_then(serde_json::Value::as_f64).is_some());
+
+        let bad = TaskNode {
+            id: "pt2".to_string(),
+            kind: "attack".to_string(),
+            params: serde_json::json!({"scenario": "moonwalk"}),
+            deps: vec![],
+            gate: None,
+        };
+        assert!(exec.execute(&bad, &empty).unwrap_err().contains("unknown scenario"));
+    }
+
+    #[test]
+    fn single_worker_drains_the_demo_dag_with_dedupe() {
+        let dir = tmp("drain");
+        demo_dag().save(&dir).unwrap();
+        let config = WorkerConfig {
+            worker_id: "unit".to_string(),
+            ttl: Duration::from_secs(30),
+            poll: Duration::from_millis(5),
+            shard: None,
+        };
+        let registry = mmwave_telemetry::global();
+        let dedupe_before = registry.counter_value("dag.dedupe_hit");
+        let summary = run_worker(&dir, &config, &PipelineExecutor).unwrap();
+
+        // 8 tasks; baseline-b shares baseline-a's key, so 7 executions +
+        // 1 dedupe hit and exactly 7 distinct artifacts.
+        assert_eq!(summary.executed, 7, "summary: {summary:?}");
+        assert_eq!(summary.deduped, 1);
+        assert_eq!(summary.failed, 0);
+        assert!(registry.counter_value("dag.dedupe_hit") >= dedupe_before + 1);
+        let artifacts = std::fs::read_dir(dir.join("artifacts")).unwrap().count();
+        assert_eq!(artifacts, 7, "shared baseline must be stored once");
+
+        let report: crate::dag::DagReport =
+            mmwave_store::load_json(&paths::report(&dir)).unwrap().value;
+        assert_eq!(report.completed, 8);
+        assert!(report.failed.is_empty());
+        // demo arithmetic: synth=2, baseline=3, variant-i=(3+i)*1.5,
+        // eval-b=3*2=6.
+        assert_eq!(report.outputs["aggregate"]["points"]["eval-b"]["value"], 6.0);
+        assert_eq!(report.outputs["aggregate"]["points"]["variant-2"]["value"], 7.5);
+
+        // Running again over the resolved directory is a no-op with an
+        // identical report.
+        let before = std::fs::read(paths::report(&dir)).unwrap();
+        let summary2 = run_worker(&dir, &config, &PipelineExecutor).unwrap();
+        assert_eq!(summary2, WorkerSummary::default());
+        assert_eq!(std::fs::read(paths::report(&dir)).unwrap(), before);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn executor_panic_fails_the_task_and_cascades() {
+        struct Bomb;
+        impl TaskExecutor for Bomb {
+            fn execute(
+                &self,
+                task: &TaskNode,
+                _inputs: &BTreeMap<String, serde_json::Value>,
+            ) -> Result<serde_json::Value, String> {
+                if task.id == "boom" {
+                    panic!("simulated executor panic");
+                }
+                Ok(serde_json::json!({"value": 1.0}))
+            }
+        }
+        let dir = tmp("panic");
+        let mut dag = CampaignDag::new("t");
+        dag.tasks.push(TaskNode {
+            id: "boom".to_string(),
+            kind: "const".to_string(),
+            params: serde_json::Value::Null,
+            deps: vec![],
+            gate: None,
+        });
+        dag.tasks.push(TaskNode {
+            id: "after".to_string(),
+            kind: "const".to_string(),
+            params: serde_json::Value::Null,
+            deps: vec!["boom".to_string()],
+            gate: None,
+        });
+        dag.save(&dir).unwrap();
+        let config = WorkerConfig {
+            worker_id: "unit".to_string(),
+            ttl: Duration::from_secs(30),
+            poll: Duration::from_millis(5),
+            shard: None,
+        };
+        let summary = run_worker(&dir, &config, &Bomb).unwrap();
+        assert_eq!(summary.failed, 2, "panic + cascade: {summary:?}");
+        let report: crate::dag::DagReport =
+            mmwave_store::load_json(&paths::report(&dir)).unwrap().value;
+        assert_eq!(report.completed, 0);
+        assert_eq!(report.failed.len(), 2);
+        assert!(report.failed[0].error.contains("panicked"), "{:?}", report.failed);
+        assert!(report.failed[1].error.contains("upstream"), "{:?}", report.failed);
+        assert!(
+            !paths::claim(&dir, "boom").exists(),
+            "claim must be released after a failure"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_claim_is_reclaimed_and_the_task_reexecutes() {
+        let dir = tmp("reclaim");
+        let mut dag = CampaignDag::new("t");
+        dag.tasks.push(TaskNode {
+            id: "only".to_string(),
+            kind: "const".to_string(),
+            params: serde_json::json!({"value": 5.0}),
+            deps: vec![],
+            gate: None,
+        });
+        dag.save(&dir).unwrap();
+
+        // A dead worker's claim: created, never heartbeated.
+        std::fs::create_dir_all(dir.join("claims")).unwrap();
+        let ghost = ClaimInfo {
+            worker_id: "ghost".to_string(),
+            pid: 1,
+            task_id: "only".to_string(),
+        };
+        acquire_claim(&paths::claim(&dir, "only"), &ghost).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+
+        let config = WorkerConfig {
+            worker_id: "unit".to_string(),
+            ttl: Duration::from_millis(20),
+            poll: Duration::from_millis(5),
+            shard: None,
+        };
+        let summary = run_worker(&dir, &config, &PipelineExecutor).unwrap();
+        assert_eq!(summary.reclaimed, 1, "{summary:?}");
+        assert_eq!(summary.executed, 1);
+        let report: crate::dag::DagReport =
+            mmwave_store::load_json(&paths::report(&dir)).unwrap().value;
+        assert_eq!(report.completed, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

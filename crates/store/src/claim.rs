@@ -1,0 +1,323 @@
+//! Atomic task claims: the cross-process mutual-exclusion primitive for
+//! distributed campaign execution.
+//!
+//! A *claim file* marks one task as owned by one worker process. The
+//! protocol uses only primitives that are atomic on POSIX filesystems, so
+//! it needs no daemon, no lock server, and survives `kill -9` at any
+//! instant:
+//!
+//! * **Acquire** ([`acquire_claim`]) — `O_CREAT|O_EXCL` creation of
+//!   `claims/<task>.claim`. Exactly one of N racing workers wins; the
+//!   file body records the owner (worker id, pid, task) as JSON.
+//! * **Heartbeat** ([`refresh_claim`]) — the owner periodically rewrites
+//!   the claim through [`write_atomic`], bumping the file's mtime. The
+//!   mtime *is* the heartbeat timestamp: liveness needs no clock agreement
+//!   between workers beyond the shared filesystem's.
+//! * **Reclaim** ([`reclaim_stale`]) — a claim whose mtime is older than
+//!   the TTL belongs to a dead worker (a live owner refreshes every
+//!   TTL/4). Reclaiming *renames* the stale claim to a unique
+//!   `.stale-<pid>-<seq>` sibling: rename is atomic, so of N racing
+//!   reclaimers exactly one wins and the loser sees `NotFound`. The
+//!   renamed file is kept as evidence of the death, quarantine-style.
+//! * **Release** ([`release_claim`]) — the owner deletes the claim after
+//!   persisting the task's result. A crash *between* result write and
+//!   release leaves a claim for a finished task; scanners treat the result
+//!   file as authoritative and garbage-collect the orphan claim.
+
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, SystemTime};
+
+use crate::atomic::write_atomic;
+use crate::crash::crash_point;
+use crate::StoreError;
+
+/// Uniquifies stale-claim rename targets within one process.
+static STALE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Who owns a claim: persisted as the claim file's JSON body.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClaimInfo {
+    /// Stable worker identity (`MMWAVE_WORKER_ID` or host-pid derived).
+    pub worker_id: String,
+    /// The owning process id, for post-mortem correlation.
+    pub pid: u32,
+    /// The claimed task's id.
+    pub task_id: String,
+}
+
+/// Outcome of an [`acquire_claim`] attempt.
+#[derive(Debug)]
+pub enum ClaimAttempt {
+    /// This process now owns the claim.
+    Acquired,
+    /// Another claim already exists.
+    Held {
+        /// The recorded owner, when the claim body is readable. `None`
+        /// for a claim torn by a crash between create and write — still
+        /// a valid (aging) claim, just anonymous.
+        owner: Option<ClaimInfo>,
+        /// Time since the claim's last heartbeat (mtime).
+        age: Duration,
+    },
+}
+
+/// Tries to acquire `path` for `info` via `O_CREAT|O_EXCL`: exactly one of
+/// N concurrent callers wins. Parent directories are created as needed.
+///
+/// # Errors
+///
+/// Returns an I/O [`StoreError`] for anything other than losing the race.
+pub fn acquire_claim(path: &Path, info: &ClaimInfo) -> Result<ClaimAttempt, StoreError> {
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent).map_err(|e| StoreError::io(path, e))?;
+    }
+    crash_point("store.claim.pre_create");
+    let created = std::fs::OpenOptions::new().write(true).create_new(true).open(path);
+    let mut file = match created {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+            let (owner, age) = match read_claim(path) {
+                Ok(Some((info, age))) => (Some(info), age),
+                // Torn or vanished-while-reading claims still count as
+                // held; the caller retries or waits out the TTL.
+                _ => (None, Duration::ZERO),
+            };
+            return Ok(ClaimAttempt::Held { owner, age });
+        }
+        Err(e) => return Err(StoreError::io(path, e)),
+    };
+    let body = serde_json::to_vec(info).map_err(|e| StoreError::Schema {
+        path: path.to_path_buf(),
+        detail: e.to_string(),
+    })?;
+    file.write_all(&body).map_err(|e| StoreError::io(path, e))?;
+    file.sync_all().map_err(|e| StoreError::io(path, e))?;
+    crash_point("store.claim.post_create");
+    Ok(ClaimAttempt::Acquired)
+}
+
+/// Reads a claim's owner and age (time since last heartbeat). `None` if no
+/// claim exists. A claim whose body is unreadable (crash between create
+/// and write) reports an owner of `None` inside the tuple's place — the
+/// caller sees `Ok(None)` only for a *missing* file; a torn body yields an
+/// [`StoreError::CorruptPayload`]-free `Ok(Some)` with the age intact via
+/// [`read_claim_age`]. Use [`read_claim_age`] when only liveness matters.
+///
+/// # Errors
+///
+/// Returns an I/O [`StoreError`] on metadata or read failures other than
+/// `NotFound`.
+pub fn read_claim(path: &Path) -> Result<Option<(ClaimInfo, Duration)>, StoreError> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(StoreError::io(path, e)),
+    };
+    let info = serde_json::from_slice::<ClaimInfo>(&bytes).map_err(|e| {
+        StoreError::CorruptPayload {
+            path: path.to_path_buf(),
+            detail: format!("claim body is not valid JSON: {e}"),
+            quarantined: None,
+        }
+    })?;
+    let age = read_claim_age(path)?.unwrap_or(Duration::ZERO);
+    Ok(Some((info, age)))
+}
+
+/// Time since the claim's last heartbeat (file mtime), or `None` if the
+/// claim does not exist. A future mtime (clock skew) reads as zero age.
+///
+/// # Errors
+///
+/// Returns an I/O [`StoreError`] on metadata failures other than
+/// `NotFound`.
+pub fn read_claim_age(path: &Path) -> Result<Option<Duration>, StoreError> {
+    let meta = match std::fs::metadata(path) {
+        Ok(m) => m,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(StoreError::io(path, e)),
+    };
+    let modified = meta.modified().map_err(|e| StoreError::io(path, e))?;
+    Ok(Some(SystemTime::now().duration_since(modified).unwrap_or(Duration::ZERO)))
+}
+
+/// Heartbeat: atomically rewrites the claim body, bumping its mtime so the
+/// TTL clock restarts. Only the owner should call this; the rewrite goes
+/// through the temp+fsync+rename path, so a reader never sees a torn body.
+///
+/// # Errors
+///
+/// Returns any I/O error from the atomic write.
+pub fn refresh_claim(path: &Path, info: &ClaimInfo) -> std::io::Result<()> {
+    let body = serde_json::to_vec(info)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    write_atomic(path, &body)
+}
+
+/// Releases a claim by deleting its file. Idempotent: a missing file (the
+/// claim was reclaimed, or released twice) is success.
+///
+/// # Errors
+///
+/// Returns any I/O error other than `NotFound`.
+pub fn release_claim(path: &Path) -> std::io::Result<()> {
+    crash_point("store.claim.pre_release");
+    match std::fs::remove_file(path) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+        Err(e) => Err(e),
+    }
+}
+
+/// Takes a stale claim away from a dead worker. Returns the evidence path
+/// if *this* caller won the reclaim; `Ok(None)` when the claim is missing,
+/// still fresh (age ≤ `ttl`), or lost to a concurrent reclaimer.
+///
+/// The reclaim renames the claim to `<path>.stale-<pid>-<seq>`: atomic, so
+/// one winner; preserved, so the dead worker's identity survives for the
+/// recovery log.
+///
+/// # Errors
+///
+/// Returns an I/O [`StoreError`] on failures other than losing the race.
+pub fn reclaim_stale(path: &Path, ttl: Duration) -> Result<Option<PathBuf>, StoreError> {
+    match read_claim_age(path)? {
+        None => return Ok(None),
+        Some(age) if age <= ttl => return Ok(None),
+        Some(_) => {}
+    }
+    let mut name = path.as_os_str().to_os_string();
+    name.push(format!(
+        ".stale-{}-{}",
+        std::process::id(),
+        STALE_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let evidence = PathBuf::from(name);
+    crash_point("store.claim.pre_reclaim");
+    match std::fs::rename(path, &evidence) {
+        Ok(()) => {
+            mmwave_telemetry::counter("store.claim_reclaimed", 1);
+            mmwave_telemetry::warn!(
+                "reclaimed stale claim {} (evidence at {})",
+                path.display(),
+                evidence.display()
+            );
+            Ok(Some(evidence))
+        }
+        // A concurrent reclaimer (or the resurrected owner's release) got
+        // there first: not an error, just not our win.
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(StoreError::io(path, e)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("mmwave-store-claim-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn info(task: &str) -> ClaimInfo {
+        ClaimInfo {
+            worker_id: "w0".to_string(),
+            pid: std::process::id(),
+            task_id: task.to_string(),
+        }
+    }
+
+    #[test]
+    fn second_acquire_loses_and_sees_the_owner() {
+        let dir = temp_dir("race");
+        let path = dir.join("claims/t1.claim");
+        assert!(matches!(acquire_claim(&path, &info("t1")).unwrap(), ClaimAttempt::Acquired));
+        match acquire_claim(&path, &info("t1")).unwrap() {
+            ClaimAttempt::Held { owner, .. } => {
+                assert_eq!(owner.unwrap().worker_id, "w0");
+            }
+            other => panic!("expected Held, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn release_frees_the_claim_and_is_idempotent() {
+        let dir = temp_dir("release");
+        let path = dir.join("t.claim");
+        acquire_claim(&path, &info("t")).unwrap();
+        release_claim(&path).unwrap();
+        release_claim(&path).unwrap();
+        assert!(matches!(acquire_claim(&path, &info("t")).unwrap(), ClaimAttempt::Acquired));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fresh_claims_are_not_reclaimable_stale_ones_are() {
+        let dir = temp_dir("stale");
+        let path = dir.join("t.claim");
+        acquire_claim(&path, &info("t")).unwrap();
+        // Fresh: a generous TTL refuses the reclaim.
+        assert!(reclaim_stale(&path, Duration::from_secs(3600)).unwrap().is_none());
+        // Zero TTL makes any heartbeat age stale.
+        std::thread::sleep(Duration::from_millis(30));
+        let evidence = reclaim_stale(&path, Duration::ZERO).unwrap().expect("reclaim wins");
+        assert!(evidence.exists(), "evidence file preserved");
+        assert!(!path.exists(), "claim path freed");
+        // The loser of the race sees NotFound -> Ok(None).
+        assert!(reclaim_stale(&path, Duration::ZERO).unwrap().is_none());
+        // And the task is claimable again.
+        assert!(matches!(acquire_claim(&path, &info("t")).unwrap(), ClaimAttempt::Acquired));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn refresh_resets_the_heartbeat_age() {
+        let dir = temp_dir("refresh");
+        let path = dir.join("t.claim");
+        acquire_claim(&path, &info("t")).unwrap();
+        std::thread::sleep(Duration::from_millis(60));
+        let aged = read_claim_age(&path).unwrap().unwrap();
+        assert!(aged >= Duration::from_millis(40), "age accumulates: {aged:?}");
+        refresh_claim(&path, &info("t")).unwrap();
+        let refreshed = read_claim_age(&path).unwrap().unwrap();
+        assert!(refreshed < aged, "refresh must reset the mtime clock");
+        // A refreshed claim survives a TTL that would have reclaimed it.
+        assert!(reclaim_stale(&path, Duration::from_millis(40)).unwrap().is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_claim_body_reads_as_corrupt_but_age_still_works() {
+        let dir = temp_dir("torn");
+        let path = dir.join("t.claim");
+        std::fs::write(&path, b"{half a claim").unwrap();
+        assert!(matches!(
+            read_claim(&path),
+            Err(StoreError::CorruptPayload { .. })
+        ));
+        assert!(read_claim_age(&path).unwrap().is_some(), "liveness survives a torn body");
+        // Acquire still reports Held (anonymous owner).
+        match acquire_claim(&path, &info("t")).unwrap() {
+            ClaimAttempt::Held { owner, .. } => assert!(owner.is_none()),
+            other => panic!("expected Held, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_claim_reads_as_none() {
+        let dir = temp_dir("missing");
+        assert!(read_claim(&dir.join("absent.claim")).unwrap().is_none());
+        assert!(read_claim_age(&dir.join("absent.claim")).unwrap().is_none());
+        assert!(reclaim_stale(&dir.join("absent.claim"), Duration::ZERO).unwrap().is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,54 @@
+//! Content-addressed artifact keys.
+//!
+//! A key is the FNV-1a 64-bit hash of an artifact's *specification* bytes
+//! (not its output), rendered as 16 lowercase hex digits. Two tasks whose
+//! specifications hash to the same key are interchangeable: whichever runs
+//! first persists the artifact under `artifacts/<key>.json`, and the other
+//! loads it instead of recomputing — the dedupe primitive behind shared
+//! campaign prefixes (e.g. two sweep points needing the same trained
+//! baseline).
+//!
+//! FNV-1a is not cryptographic; it defends against accidental collisions
+//! in small campaign matrices, not adversarial ones. The input is expected
+//! to be a canonical serialization (stable field order), which
+//! `serde_json::to_string` of a struct provides.
+
+/// FNV-1a 64-bit hash of `bytes`.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// The content-addressed key for a specification: 16 lowercase hex digits
+/// of [`fnv1a64`].
+pub fn content_key(spec_bytes: &[u8]) -> String {
+    format!("{:016x}", fnv1a64(spec_bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_stable_and_spec_sensitive() {
+        let a = content_key(b"train baseline seed=42");
+        assert_eq!(a, content_key(b"train baseline seed=42"), "same spec, same key");
+        assert_ne!(a, content_key(b"train baseline seed=43"), "different spec, different key");
+        assert_eq!(a.len(), 16);
+        assert!(a.bytes().all(|b| b.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn known_fnv_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+}

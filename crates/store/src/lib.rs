@@ -26,6 +26,11 @@
 //! * **Last-K checkpoints** ([`CheckpointSet`]): numbered checkpoint files
 //!   with automatic fallback — if the newest is torn or corrupt it is
 //!   quarantined and the next-older one loads instead.
+//! * **Atomic claims** ([`claim`]): `O_EXCL`-create claim files with
+//!   mtime heartbeats and rename-based stale reclaim — the cross-process
+//!   mutual exclusion under `mmwave worker` campaign DAGs.
+//! * **Content-addressed keys** ([`content_key`]): FNV-1a keys over task
+//!   specifications, the dedupe primitive for shared campaign prefixes.
 //! * **Crash points** ([`crash_point`]): named kill sites at every
 //!   artifact boundary, armed via `MMWAVE_CRASH_AT` and enumerated via
 //!   `MMWAVE_CRASH_LOG`, which the `mmwave chaos` subcommand turns into a
@@ -41,16 +46,23 @@ mod crash;
 mod crc32;
 mod envelope;
 mod jsonl;
+mod key;
 mod quarantine;
 
 pub mod checkpoint;
+pub mod claim;
 
 pub use atomic::write_atomic;
 pub use checkpoint::{CheckpointSet, LoadedCheckpoint};
+pub use claim::{
+    acquire_claim, read_claim, read_claim_age, reclaim_stale, refresh_claim, release_claim,
+    ClaimAttempt, ClaimInfo,
+};
 pub use crash::crash_point;
 pub use crc32::crc32;
 pub use envelope::{load_json, save_json_atomic, Format, Loaded, MAGIC_PREFIX, SCHEMA_VERSION};
 pub use jsonl::{append_jsonl, read_jsonl_repair, JsonlReplay};
+pub use key::{content_key, fnv1a64};
 pub use quarantine::quarantine_file;
 
 use std::fmt;

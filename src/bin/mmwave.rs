@@ -10,6 +10,11 @@
 //! mmwave perf-check <results-dir> --baseline <dir> [--threshold 0.15]
 //!                [--noise-ms 50] [--report-only]
 //! mmwave chaos   [--dir <dir>] [--keep]   kill-and-resume crash matrix
+//! mmwave campaign-init --dir <dir> [--preset demo|sweep]
+//! mmwave worker  --dir <dir> [--ttl <secs>] [--poll-ms <ms>]
+//!                [--worker-id <id>] [--shard <i/n>]
+//! mmwave campaign-status <dir> [--ttl <secs>]
+//! mmwave dag-chaos [--dir <dir>] [--procs 3] [--keep]
 //! ```
 //!
 //! Global flags, accepted by every command:
@@ -67,7 +72,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    if !positionals.is_empty() && command != "perf-check" {
+    if !positionals.is_empty() && command != "perf-check" && command != "campaign-status" {
         eprintln!("error: unexpected argument `{}`", positionals[0]);
         print_usage();
         return ExitCode::FAILURE;
@@ -90,6 +95,12 @@ fn main() -> ExitCode {
         // so the stage-time summary below would only be noise.
         "perf-check" => return perf_check(&opts, &positionals),
         "chaos" => chaos(&opts),
+        "campaign-init" => campaign_init(&opts),
+        "worker" => worker_cmd(&opts),
+        // Read-only inspector: takes no locks and runs no pipeline, so it
+        // skips the stage-time summary like perf-check does.
+        "campaign-status" => return campaign_status(&opts, &positionals),
+        "dag-chaos" => dag_chaos(&opts),
         // Hidden helper: the small journaled campaign the chaos driver
         // kills and resumes (spawned via `current_exe`, not user-facing).
         "chaos-child" => chaos_child(&opts),
@@ -197,6 +208,28 @@ fn print_usage() {
                      to an uninterrupted run; nonzero exit on any mismatch\n\
                      flags: --dir <dir> (work dir, default: a temp dir)\n\
                             --keep (keep per-point artifacts on success)\n\
+           campaign-init  write a campaign DAG into a directory\n\
+                     flags: --dir <dir> (required)\n\
+                            --preset <demo|sweep> (default demo)\n\
+           worker    claim and execute ready tasks of a campaign DAG in a\n\
+                     loop until every task is done or failed; any number\n\
+                     of workers may share one campaign directory\n\
+                     flags: --dir <dir> (required)\n\
+                            --ttl <secs> (stale-claim TTL, default\n\
+                                          MMWAVE_CLAIM_TTL_SECS or 30)\n\
+                            --poll-ms <ms> (idle poll, default 200)\n\
+                            --worker-id <id> (default MMWAVE_WORKER_ID\n\
+                                              or w<pid>)\n\
+                            --shard <i/n> (prefer tasks hashing to shard i)\n\
+           campaign-status <dir>  read-only campaign inspector: per-task\n\
+                     state, live vs stale claims, dedupe hits; takes no\n\
+                     locks, safe beside running workers\n\
+                     flags: --ttl <secs> (staleness horizon)\n\
+           dag-chaos multi-process crash matrix: N workers per cell, one\n\
+                     killed at a named crash point; survivors must finish\n\
+                     with a report byte-identical to an uninterrupted\n\
+                     single-worker run; nonzero exit on any mismatch\n\
+                     flags: --dir <dir> --procs <n> (default 3) --keep\n\
          \n\
          global flags:\n\
            --log-level <error|warn|info|debug|trace>   stderr verbosity\n\
@@ -706,4 +739,427 @@ fn chaos_child(opts: &HashMap<String, String>) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// `mmwave campaign-init`: writes a campaign DAG into a directory for
+/// `mmwave worker` processes to drain.
+fn campaign_init(opts: &HashMap<String, String>) -> ExitCode {
+    use mmwave_har_backdoor::backdoor::dag;
+    let Some(dir) = opts.get("dir") else {
+        eprintln!("error: campaign-init needs --dir <dir>");
+        return ExitCode::FAILURE;
+    };
+    let preset = opts.get("preset").map(String::as_str).unwrap_or("demo");
+    let graph = match preset {
+        "demo" => dag::demo_dag(),
+        "sweep" => {
+            // A small paper-shaped sweep: two scenarios at two injection
+            // rates. Smoke scale, so `mmwave worker` drains it in minutes.
+            let mut points = Vec::new();
+            for scenario in ["push-pull", "left-right"] {
+                for rate in [0.2_f64, 0.4] {
+                    points.push((
+                        format!("{scenario}-r{:02.0}", rate * 100.0),
+                        scenario.to_string(),
+                        rate,
+                        8usize,
+                        42u64,
+                    ));
+                }
+            }
+            dag::attack_sweep_dag("sweep", &points)
+        }
+        other => {
+            eprintln!("error: unknown preset `{other}` (want demo|sweep)");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        telemetry::error!("cannot create campaign dir `{dir}`: {e}");
+        return ExitCode::FAILURE;
+    }
+    match graph.save(Path::new(dir)) {
+        Ok(()) => {
+            println!(
+                "campaign `{}` initialised in {dir} ({} tasks)",
+                graph.name,
+                graph.tasks.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            telemetry::error!("cannot save the campaign DAG: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `mmwave worker`: the claim/execute loop over a campaign DAG directory.
+/// Safe to run N at a time; exits once every task is done or failed.
+fn worker_cmd(opts: &HashMap<String, String>) -> ExitCode {
+    use mmwave_har_backdoor::backdoor::worker as dagworker;
+    let Some(dir) = opts.get("dir") else {
+        eprintln!("error: worker needs --dir <dir>");
+        return ExitCode::FAILURE;
+    };
+    let mut config = dagworker::WorkerConfig::from_env();
+    if let Some(id) = opts.get("worker-id") {
+        config.worker_id = id.clone();
+    }
+    if let Some(raw) = opts.get("ttl") {
+        config.ttl = dagworker::parse_claim_ttl(Some(raw));
+    }
+    if let Some(raw) = opts.get("poll-ms") {
+        match raw.parse::<u64>() {
+            Ok(ms) if ms > 0 => config.poll = std::time::Duration::from_millis(ms),
+            _ => {
+                eprintln!("error: --poll-ms needs a positive integer, got `{raw}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(raw) = opts.get("shard") {
+        config.shard = dagworker::parse_shard(Some(raw));
+    }
+    telemetry::info!(
+        "worker `{}` draining campaign {dir} (ttl {:?})",
+        config.worker_id,
+        config.ttl
+    );
+    match dagworker::run_worker(Path::new(dir), &config, &dagworker::PipelineExecutor) {
+        Ok(summary) => {
+            println!(
+                "worker `{}`: executed {}, deduped {}, reclaimed {}, failed {}",
+                config.worker_id,
+                summary.executed,
+                summary.deduped,
+                summary.reclaimed,
+                summary.failed
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            telemetry::error!("worker failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `mmwave campaign-status <dir>`: read-only campaign inspector. Scans
+/// task records and claim files without taking any locks or writing
+/// anything, so it is safe to run beside active workers.
+fn campaign_status(opts: &HashMap<String, String>, positionals: &[String]) -> ExitCode {
+    use mmwave_har_backdoor::backdoor::dag::{self, TaskState};
+    use mmwave_har_backdoor::backdoor::worker as dagworker;
+    let [dir] = positionals else {
+        eprintln!("error: campaign-status needs exactly one <dir> argument");
+        print_usage();
+        return ExitCode::FAILURE;
+    };
+    let dir = Path::new(dir);
+    let ttl = match opts.get("ttl") {
+        Some(raw) => dagworker::parse_claim_ttl(Some(raw)),
+        None => dagworker::parse_claim_ttl(
+            std::env::var("MMWAVE_CLAIM_TTL_SECS").ok().as_deref(),
+        ),
+    };
+    let graph = match dag::CampaignDag::load(dir) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("error: cannot load the campaign DAG: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let status = match dag::scan(dir, &graph, ttl) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot scan the campaign dir: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (done, failed, claimed, pending) = status.counts();
+    println!(
+        "campaign `{}` in {}: {done}/{} done, {failed} failed, {claimed} claimed, {pending} pending",
+        graph.name,
+        dir.display(),
+        graph.tasks.len()
+    );
+    let mut distinct_keys = std::collections::HashSet::new();
+    let mut done_records = 0usize;
+    for (id, state) in &status.tasks {
+        match state {
+            TaskState::Done => {
+                let mut key_note = String::new();
+                if let Ok(loaded) = mmwave_har_backdoor::store::load_json::<dag::TaskRecord>(
+                    &dag::paths::done(dir, id),
+                ) {
+                    done_records += 1;
+                    key_note = format!("  artifact {}", loaded.value.artifact_key);
+                    distinct_keys.insert(loaded.value.artifact_key);
+                }
+                println!("  [done    ] {id}{key_note}");
+            }
+            TaskState::Failed => {
+                let reason = mmwave_har_backdoor::store::load_json::<dag::TaskFailure>(
+                    &dag::paths::failed(dir, id),
+                )
+                .map(|loaded| loaded.value.error)
+                .unwrap_or_else(|_| "failure record unreadable".to_string());
+                println!("  [failed  ] {id}  {reason}");
+            }
+            TaskState::Claimed { owner, age, stale } => {
+                let owner_note = owner
+                    .as_ref()
+                    .map(|o| format!("{} pid {}", o.worker_id, o.pid))
+                    .unwrap_or_else(|| "unknown owner".to_string());
+                println!(
+                    "  [claimed ] {id}  {owner_note}, heartbeat {:.1}s ago ({})",
+                    age.as_secs_f64(),
+                    if *stale { "STALE, reclaim-eligible" } else { "live" }
+                );
+            }
+            TaskState::Pending => println!("  [pending ] {id}"),
+        }
+    }
+    if done_records > 0 {
+        println!(
+            "dedupe: {done_records} done tasks share {} artifacts ({} hits)",
+            distinct_keys.len(),
+            done_records - distinct_keys.len()
+        );
+    }
+    println!(
+        "report: {}",
+        if dag::paths::report(dir).exists() { "present" } else { "not yet written" }
+    );
+    ExitCode::SUCCESS
+}
+
+/// Spawns one `mmwave worker` child over `dir`. Every child gets a pinned
+/// envelope git sha and a short claim TTL so the cell's artifacts are
+/// byte-deterministic and stale reclaim happens within the test's
+/// patience; `envs` adds per-child extras (a crash log, or an armed
+/// `MMWAVE_CRASH_AT`).
+fn spawn_dag_worker(
+    exe: &Path,
+    dir: &Path,
+    worker_id: &str,
+    envs: &[(&str, String)],
+) -> io::Result<std::process::Child> {
+    let mut cmd = std::process::Command::new(exe);
+    cmd.arg("worker")
+        .arg("--dir")
+        .arg(dir)
+        .arg("--worker-id")
+        .arg(worker_id)
+        .arg("--ttl")
+        .arg("1")
+        .arg("--poll-ms")
+        .arg("50")
+        .arg("--quiet");
+    cmd.env_remove("MMWAVE_CRASH_AT");
+    cmd.env_remove("MMWAVE_CRASH_LOG");
+    cmd.env_remove("MMWAVE_WORKER_SHARD");
+    cmd.env("MMWAVE_JOURNAL_DETERMINISTIC", "1");
+    cmd.env("MMWAVE_GIT_SHA", "chaos");
+    for (key, value) in envs {
+        cmd.env(key, value);
+    }
+    cmd.stdout(std::process::Stdio::null());
+    cmd.stderr(std::process::Stdio::null());
+    cmd.spawn()
+}
+
+/// Waits for a child with a wall-clock deadline, killing it on timeout so
+/// a wedged worker fails the chaos cell instead of hanging the driver.
+fn wait_with_deadline(
+    child: &mut std::process::Child,
+    deadline: std::time::Duration,
+) -> io::Result<Option<std::process::ExitStatus>> {
+    let start = Instant::now();
+    loop {
+        if let Some(status) = child.try_wait()? {
+            return Ok(Some(status));
+        }
+        if start.elapsed() > deadline {
+            child.kill().ok();
+            child.wait().ok();
+            return Ok(None);
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+}
+
+/// One dag-chaos cell: a fresh campaign, `procs` workers, one of them
+/// armed to abort at `point`; the survivors must finish the campaign with
+/// a report byte-identical to the uninterrupted reference.
+fn dag_chaos_one_point(
+    exe: &Path,
+    dir: &Path,
+    procs: usize,
+    point: &str,
+    reference_report: &[u8],
+) -> Result<(), String> {
+    use mmwave_har_backdoor::backdoor::dag;
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create cell dir: {e}"))?;
+    dag::demo_dag().save(dir).map_err(|e| format!("cannot init cell dag: {e}"))?;
+    let mut children = Vec::with_capacity(procs);
+    for i in 0..procs {
+        // Worker 0 carries the bomb; the rest run clean.
+        let envs: Vec<(&str, String)> = if i == 0 {
+            vec![("MMWAVE_CRASH_AT", point.to_string())]
+        } else {
+            Vec::new()
+        };
+        let child = spawn_dag_worker(exe, dir, &format!("w{i}"), &envs)
+            .map_err(|e| format!("cannot spawn worker {i}: {e}"))?;
+        children.push(child);
+    }
+    let mut survivors_ok = 0usize;
+    let mut armed_died = false;
+    for (i, child) in children.iter_mut().enumerate() {
+        match wait_with_deadline(child, std::time::Duration::from_secs(120)) {
+            Ok(Some(status)) if status.success() => survivors_ok += 1,
+            Ok(Some(_)) if i == 0 => armed_died = true,
+            Ok(Some(status)) => return Err(format!("clean worker {i} failed with {status}")),
+            Ok(None) => return Err(format!("worker {i} wedged past the deadline")),
+            Err(e) => return Err(format!("cannot wait for worker {i}: {e}")),
+        }
+    }
+    // The armed worker only dies if it personally passes the point; losing
+    // every claim race is a legitimate (vacuous) outcome, but at least one
+    // worker must have finished the campaign cleanly.
+    if survivors_ok == 0 {
+        return Err("no worker finished the campaign".into());
+    }
+    let report = std::fs::read(dag::paths::report(dir)).map_err(|e| {
+        format!("survivors finished but left no report: {e}")
+    })?;
+    if report != reference_report {
+        return Err("report differs from the uninterrupted single-worker run".into());
+    }
+    if !armed_died {
+        telemetry::debug!("dag-chaos: `{point}` never fired in the armed worker (claim race)");
+    }
+    Ok(())
+}
+
+/// `mmwave dag-chaos`: the multi-process crash matrix over the campaign
+/// DAG runtime. A reference single-worker run over the demo DAG records
+/// every crash point it passes (`MMWAVE_CRASH_LOG`); then, for each
+/// point, a fresh campaign is drained by `--procs` workers with one armed
+/// to abort there (`MMWAVE_CRASH_AT`). Survivors must reclaim the dead
+/// worker's stale claims and finish with a `report.json` byte-identical
+/// to the reference.
+fn dag_chaos(opts: &HashMap<String, String>) -> ExitCode {
+    use mmwave_har_backdoor::backdoor::dag;
+    let keep = opts.contains_key("keep");
+    let procs: usize = match opts.get("procs").map(|s| s.parse::<usize>()) {
+        None => 3,
+        Some(Ok(n)) if n >= 2 => n,
+        Some(_) => {
+            eprintln!("error: --procs needs an integer >= 2");
+            return ExitCode::FAILURE;
+        }
+    };
+    let root = opts.get("dir").map(PathBuf::from).unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("mmwave_dag_chaos_{}", std::process::id()))
+    });
+    let exe = match std::env::current_exe() {
+        Ok(p) => p,
+        Err(e) => {
+            telemetry::error!("cannot locate the mmwave binary: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let _ = std::fs::remove_dir_all(&root);
+    if let Err(e) = std::fs::create_dir_all(&root) {
+        telemetry::error!("cannot create dag-chaos work dir {}: {e}", root.display());
+        return ExitCode::FAILURE;
+    }
+
+    // Reference: one worker, uninterrupted, logging every crash point it
+    // passes. Its report is the byte-identity oracle for every cell.
+    let ref_dir = root.join("reference");
+    let log_path = root.join("crash_points.log");
+    telemetry::info!("dag-chaos: reference run in {}", ref_dir.display());
+    if let Err(e) = std::fs::create_dir_all(&ref_dir) {
+        telemetry::error!("cannot create the reference dir: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = dag::demo_dag().save(&ref_dir) {
+        telemetry::error!("cannot init the reference dag: {e}");
+        return ExitCode::FAILURE;
+    }
+    let reference_ok = spawn_dag_worker(
+        &exe,
+        &ref_dir,
+        "ref",
+        &[("MMWAVE_CRASH_LOG", log_path.display().to_string())],
+    )
+    .map_err(|e| e.to_string())
+    .and_then(|mut child| {
+        match wait_with_deadline(&mut child, std::time::Duration::from_secs(120)) {
+            Ok(Some(status)) if status.success() => Ok(()),
+            Ok(Some(status)) => Err(format!("reference worker failed with {status}")),
+            Ok(None) => Err("reference worker wedged past the deadline".to_string()),
+            Err(e) => Err(e.to_string()),
+        }
+    });
+    if let Err(e) = reference_ok {
+        telemetry::error!("dag-chaos: {e}");
+        return ExitCode::FAILURE;
+    }
+    let reference_report = match std::fs::read(dag::paths::report(&ref_dir)) {
+        Ok(bytes) => bytes,
+        Err(e) => {
+            telemetry::error!("dag-chaos: the reference run left no report: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut points: Vec<String> = Vec::new();
+    match std::fs::read_to_string(&log_path) {
+        Ok(log) => {
+            for line in log.lines().map(str::trim).filter(|l| !l.is_empty()) {
+                if !points.iter().any(|p| p == line) {
+                    points.push(line.to_string());
+                }
+            }
+        }
+        Err(e) => {
+            telemetry::error!("dag-chaos: cannot read the crash-point log: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if points.is_empty() {
+        telemetry::error!("dag-chaos: the reference run passed no crash points");
+        return ExitCode::FAILURE;
+    }
+    telemetry::info!(
+        "dag-chaos: {} crash points x {procs} workers per cell",
+        points.len()
+    );
+
+    let mut failures = 0usize;
+    for (i, point) in points.iter().enumerate() {
+        let dir = root.join(format!("point-{i:02}"));
+        match dag_chaos_one_point(&exe, &dir, procs, point, &reference_report) {
+            Ok(()) => println!("dag-chaos: kill at {point} -> report is byte-identical"),
+            Err(e) => {
+                failures += 1;
+                println!("dag-chaos: kill at {point} -> FAIL: {e}");
+            }
+        }
+    }
+    println!("dag-chaos: {}/{} crash points pass", points.len() - failures, points.len());
+    if failures > 0 {
+        telemetry::error!("dag-chaos: artifacts kept in {}", root.display());
+        return ExitCode::FAILURE;
+    }
+    if keep {
+        println!("dag-chaos: artifacts kept in {}", root.display());
+    } else {
+        std::fs::remove_dir_all(&root).ok();
+    }
+    ExitCode::SUCCESS
 }

@@ -1,0 +1,275 @@
+//! Distributed campaign orchestration, end to end: real `mmwave worker`
+//! processes draining one campaign DAG directory concurrently, with
+//! genuine `abort()` kills, stale-claim reclaim, and content-addressed
+//! dedupe — the multi-process acceptance properties of the DAG runtime.
+//!
+//! Byte-identity discipline matches the chaos matrix: every worker runs
+//! with a pinned envelope git sha, so `report.json` is a pure function of
+//! the campaign outcomes no matter how many workers ran or died.
+
+use mmwave_har_backdoor::store;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+fn mmwave() -> &'static str {
+    env!("CARGO_BIN_EXE_mmwave")
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("mmwave_dagit_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn init_demo(dir: &Path) {
+    let out = Command::new(mmwave())
+        .arg("campaign-init")
+        .arg("--dir")
+        .arg(dir)
+        .arg("--quiet")
+        .output()
+        .expect("spawn mmwave campaign-init");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+}
+
+/// A `mmwave worker` command over `dir` with deterministic artifacts, a
+/// 1 s claim TTL, and a fast idle poll.
+fn worker_cmd(dir: &Path, worker_id: &str, envs: &[(&str, &str)]) -> Command {
+    let mut cmd = Command::new(mmwave());
+    cmd.arg("worker")
+        .arg("--dir")
+        .arg(dir)
+        .arg("--worker-id")
+        .arg(worker_id)
+        .arg("--ttl")
+        .arg("1")
+        .arg("--poll-ms")
+        .arg("25")
+        .arg("--quiet");
+    cmd.env_remove("MMWAVE_CRASH_AT");
+    cmd.env_remove("MMWAVE_CRASH_LOG");
+    cmd.env_remove("MMWAVE_WORKER_SHARD");
+    cmd.env("MMWAVE_JOURNAL_DETERMINISTIC", "1");
+    cmd.env("MMWAVE_GIT_SHA", "dag-test");
+    for (key, value) in envs {
+        cmd.env(key, value);
+    }
+    cmd
+}
+
+fn run_worker(dir: &Path, worker_id: &str, envs: &[(&str, &str)]) -> std::process::Output {
+    worker_cmd(dir, worker_id, envs).output().expect("spawn mmwave worker")
+}
+
+#[test]
+fn three_workers_produce_the_same_report_bytes_as_one() {
+    let root = temp_dir("equiv");
+    let solo = root.join("solo");
+    let fleet = root.join("fleet");
+    init_demo(&solo);
+    init_demo(&fleet);
+
+    let out = run_worker(&solo, "w0", &[]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let children: Vec<_> = (0..3)
+        .map(|i| {
+            worker_cmd(&fleet, &format!("w{i}"), &[])
+                .spawn()
+                .expect("spawn fleet worker")
+        })
+        .collect();
+    for mut child in children {
+        let status = child.wait().expect("wait fleet worker");
+        assert!(status.success(), "fleet worker failed: {status}");
+    }
+
+    let solo_report = std::fs::read(solo.join("report.json")).expect("solo report");
+    let fleet_report = std::fs::read(fleet.join("report.json")).expect("fleet report");
+    assert_eq!(
+        solo_report, fleet_report,
+        "three concurrent workers must reach the byte-identical report"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn shared_specs_are_trained_once_and_deduped() {
+    let dir = temp_dir("dedupe");
+    init_demo(&dir);
+    let out = run_worker(&dir, "w0", &[]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("deduped 1"),
+        "the twin baseline must be a dedupe hit: {stdout}"
+    );
+
+    // 8 done records share 7 content-addressed artifacts: the identical
+    // baseline-a / baseline-b specs map to one key, stored once.
+    let artifacts = std::fs::read_dir(dir.join("artifacts")).expect("artifacts dir").count();
+    assert_eq!(artifacts, 7, "the shared baseline must be stored exactly once");
+    let done = std::fs::read_dir(dir.join("tasks"))
+        .expect("tasks dir")
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().ends_with(".done.json"))
+        .count();
+    assert_eq!(done, 8, "every task must still get its own done record");
+
+    // The read-only inspector reports the same story without locking.
+    let status = Command::new(mmwave())
+        .arg("campaign-status")
+        .arg(&dir)
+        .arg("--quiet")
+        .output()
+        .expect("spawn mmwave campaign-status");
+    assert!(status.status.success(), "{}", String::from_utf8_lossy(&status.stderr));
+    let text = String::from_utf8_lossy(&status.stdout);
+    assert!(text.contains("8/8 done"), "inspector sees completion: {text}");
+    assert!(text.contains("share 7 artifacts (1 hits)"), "inspector sees dedupe: {text}");
+    assert!(text.contains("report: present"), "inspector sees the report: {text}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn killed_worker_is_reclaimed_and_the_campaign_still_finishes_identically() {
+    let root = temp_dir("kill");
+    let reference = root.join("reference");
+    let killed = root.join("killed");
+    init_demo(&reference);
+    init_demo(&killed);
+
+    let out = run_worker(&reference, "w0", &[]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // Worker 0 aborts mid-task (after claiming, before persisting any
+    // result), leaving a claim file with no heartbeat behind.
+    let out = run_worker(&killed, "w0", &[("MMWAVE_CRASH_AT", "dag.task.pre_execute")]);
+    assert!(!out.status.success(), "armed worker must abort");
+    let claims: Vec<String> = std::fs::read_dir(killed.join("claims"))
+        .map(|rd| {
+            rd.filter_map(|e| e.ok())
+                .map(|e| e.file_name().to_string_lossy().into_owned())
+                .collect()
+        })
+        .unwrap_or_default();
+    assert!(
+        claims.iter().any(|name| name.ends_with(".claim")),
+        "the dead worker must leave its claim behind: {claims:?}"
+    );
+
+    // A clean worker must reclaim the stale claim (TTL 1 s) and finish
+    // the whole campaign to the byte-identical report.
+    let out = run_worker(&killed, "w1", &[]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("reclaimed 1"),
+        "the survivor must report the reclaim: {stdout}"
+    );
+    assert_eq!(
+        std::fs::read(reference.join("report.json")).expect("reference report"),
+        std::fs::read(killed.join("report.json")).expect("killed report"),
+        "a murdered worker must not change a single report byte"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn heartbeats_protect_a_live_claim_from_reclaim() {
+    // Store-level property behind "never double-executed while the owner
+    // is live": as long as the owner refreshes faster than the TTL, no
+    // amount of reclaim pressure wins; once heartbeats stop, reclaim
+    // succeeds within one TTL window.
+    let dir = temp_dir("heartbeat");
+    std::fs::create_dir_all(&dir).unwrap();
+    let claim = dir.join("task.claim");
+    let ttl = Duration::from_millis(200);
+    let info = store::ClaimInfo {
+        worker_id: "live".to_string(),
+        pid: std::process::id(),
+        task_id: "task".to_string(),
+    };
+    assert!(matches!(
+        store::acquire_claim(&claim, &info).expect("acquire"),
+        store::ClaimAttempt::Acquired
+    ));
+
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let beat_stop = std::sync::Arc::clone(&stop);
+    let beat_claim = claim.clone();
+    let beat_info = info.clone();
+    let heart = std::thread::spawn(move || {
+        while !beat_stop.load(std::sync::atomic::Ordering::Relaxed) {
+            store::refresh_claim(&beat_claim, &beat_info).expect("refresh");
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    });
+
+    // Hammer reclaim for 3+ TTL windows: it must never succeed.
+    let pressure_until = Instant::now() + Duration::from_millis(700);
+    while Instant::now() < pressure_until {
+        let won = store::reclaim_stale(&claim, ttl).expect("reclaim attempt");
+        assert!(won.is_none(), "a heartbeating claim must never be reclaimed");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    // Owner dies: heartbeats stop, and one TTL later the claim falls.
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    heart.join().expect("heartbeat thread");
+    let deadline = Instant::now() + 2 * ttl + Duration::from_millis(500);
+    let mut reclaimed = None;
+    while Instant::now() < deadline {
+        reclaimed = store::reclaim_stale(&claim, ttl).expect("reclaim attempt");
+        if reclaimed.is_some() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    let stale_copy = reclaimed.expect("a dead claim must be reclaimed within ~one TTL");
+    assert!(stale_copy.exists(), "reclaim preserves the stale claim for forensics");
+    assert!(!claim.exists(), "the claim path must be free after reclaim");
+
+    // And the freed path is immediately claimable by the next worker.
+    let next = store::ClaimInfo {
+        worker_id: "next".to_string(),
+        pid: std::process::id(),
+        task_id: "task".to_string(),
+    };
+    assert!(matches!(
+        store::acquire_claim(&claim, &next).expect("re-acquire"),
+        store::ClaimAttempt::Acquired
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn dag_chaos_driver_passes_its_matrix() {
+    // The full multi-process crash matrix: every named crash point along
+    // the worker's artifact paths, three workers per cell, one murdered.
+    // The driver's exit code is the verdict.
+    let dir = temp_dir("matrix");
+    let out = Command::new(mmwave())
+        .arg("dag-chaos")
+        .arg("--dir")
+        .arg(&dir)
+        .arg("--quiet")
+        .env_remove("MMWAVE_CRASH_AT")
+        .env_remove("MMWAVE_CRASH_LOG")
+        .output()
+        .expect("spawn mmwave dag-chaos");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "dag-chaos matrix failed:\n{stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        stdout.contains("crash points pass"),
+        "driver must report its verdict: {stdout}"
+    );
+    assert!(!stdout.contains("FAIL"), "no cell may fail: {stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
