@@ -1,0 +1,775 @@
+//! Fleet observability on top of the durable store: workers ship their
+//! telemetry into per-worker shards under the campaign directory, and
+//! aggregators (`mmwave top`, `mmwave fleet-export`) merge them into one
+//! live view of the whole fleet.
+//!
+//! The pure merge/stitch logic lives in [`mmwave_telemetry::fleet`]; this
+//! module binds it to the store and the campaign directory layout:
+//!
+//! ```text
+//! <campaign>/fleet/<worker>.shard.json   checksummed WorkerShard envelope
+//! <campaign>/fleet/<worker>.trace.json   Chrome-trace array (atomic write)
+//! <campaign>/fleet/export/               merged artifacts (fleet-export)
+//! ```
+//!
+//! Shipping is cheap (one registry export + one atomic write) and never
+//! fatal: a worker that cannot ship keeps draining tasks and bumps
+//! `fleet.ship_failed`. Shards are advisory observability data — the
+//! campaign's correctness never depends on them.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use crate::dag::{self, CampaignDag, DagStatus, TaskState};
+use mmwave_telemetry::fleet::{
+    merge_shards, robust_threshold, stitch_traces, FleetMetrics, WorkerShard, WorkerTrace,
+};
+use mmwave_telemetry::{process_micros, unix_millis};
+use serde::{Deserialize, Serialize};
+
+/// Default shipping period when `MMWAVE_FLEET_SHIP_SECS` is unset.
+pub const DEFAULT_SHIP_SECS: f64 = 5.0;
+
+/// Canonical fleet-file locations inside a campaign directory.
+pub mod paths {
+    use super::*;
+
+    /// The per-campaign fleet directory holding every worker's shards.
+    pub fn fleet_dir(dir: &Path) -> PathBuf {
+        dir.join("fleet")
+    }
+
+    /// A worker's telemetry shard (checksummed store envelope).
+    pub fn shard(dir: &Path, worker_id: &str) -> PathBuf {
+        fleet_dir(dir).join(format!("{}.shard.json", sanitize_worker_id(worker_id)))
+    }
+
+    /// A worker's Chrome-trace event file (bare JSON array).
+    pub fn trace(dir: &Path, worker_id: &str) -> PathBuf {
+        fleet_dir(dir).join(format!("{}.trace.json", sanitize_worker_id(worker_id)))
+    }
+
+    /// Where `mmwave fleet-export` writes merged artifacts by default.
+    pub fn export_dir(dir: &Path) -> PathBuf {
+        fleet_dir(dir).join("export")
+    }
+}
+
+/// Maps a worker id onto a safe file stem: anything outside
+/// `[A-Za-z0-9._-]` becomes `_`, and an empty id becomes `worker`.
+pub fn sanitize_worker_id(worker_id: &str) -> String {
+    let cleaned: String = worker_id
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') { c } else { '_' })
+        .collect();
+    if cleaned.is_empty() {
+        "worker".to_string()
+    } else {
+        cleaned
+    }
+}
+
+/// Parses the raw `MMWAVE_FLEET_SHIP_SECS` value. `None` (unset) means
+/// the default period; `0`/`off`/`false`/`no` disables shipping entirely;
+/// anything else non-positive or non-numeric warns, bumps
+/// `campaign.config_invalid`, and falls back to the default — consistent
+/// with every other knob, misconfiguration is observable, never fatal.
+pub fn parse_ship_interval(raw: Option<&str>) -> Option<Duration> {
+    let default = Duration::from_secs_f64(DEFAULT_SHIP_SECS);
+    match raw {
+        None => Some(default),
+        Some(text) => {
+            let trimmed = text.trim();
+            if matches!(trimmed.to_ascii_lowercase().as_str(), "0" | "off" | "false" | "no") {
+                return None;
+            }
+            match trimmed.parse::<f64>() {
+                Ok(secs) if secs > 0.0 && secs.is_finite() => {
+                    Some(Duration::from_secs_f64(secs))
+                }
+                _ => {
+                    mmwave_telemetry::counter("campaign.config_invalid", 1);
+                    mmwave_telemetry::warn!(
+                        "ignoring invalid MMWAVE_FLEET_SHIP_SECS={text:?}; using default {DEFAULT_SHIP_SECS}s"
+                    );
+                    eprintln!(
+                        "mmwave: ignoring invalid MMWAVE_FLEET_SHIP_SECS={text:?}; using default {DEFAULT_SHIP_SECS}s"
+                    );
+                    Some(default)
+                }
+            }
+        }
+    }
+}
+
+/// Cheap check (no warnings, no counters) of whether fleet shipping is on
+/// at all — the CLI uses this to decide whether to install the per-worker
+/// trace sink before the worker loop starts.
+pub fn shipping_enabled() -> bool {
+    match std::env::var("MMWAVE_FLEET_SHIP_SECS") {
+        Err(_) => true,
+        Ok(v) => !matches!(
+            v.trim().to_ascii_lowercase().as_str(),
+            "0" | "off" | "false" | "no"
+        ),
+    }
+}
+
+/// Ships this worker's registry into its shard file: periodically, after
+/// every completed task, and once more (with `exited = true`) when the
+/// campaign resolves.
+pub struct FleetShipper {
+    dir: PathBuf,
+    worker_id: String,
+    /// `None` when shipping is disabled.
+    interval: Option<Duration>,
+    last: Option<Instant>,
+    last_task: Option<String>,
+    git_sha: String,
+}
+
+impl FleetShipper {
+    /// Builds a shipper for the worker draining `dir`, reading
+    /// `MMWAVE_FLEET_SHIP_SECS` (period, `0`/`off` disables) and
+    /// `MMWAVE_GIT_SHA` (shard tag, default `unknown`).
+    pub fn from_env(dir: &Path, worker_id: &str) -> FleetShipper {
+        FleetShipper {
+            dir: dir.to_path_buf(),
+            worker_id: worker_id.to_string(),
+            interval: parse_ship_interval(
+                std::env::var("MMWAVE_FLEET_SHIP_SECS").ok().as_deref(),
+            ),
+            last: None,
+            last_task: None,
+            git_sha: std::env::var("MMWAVE_GIT_SHA")
+                .ok()
+                .filter(|s| !s.trim().is_empty())
+                .unwrap_or_else(|| "unknown".to_string()),
+        }
+    }
+
+    /// Ships when the period elapsed (and immediately on the first call,
+    /// so a shard exists from worker startup — even a worker killed on
+    /// its very first task leaves one behind).
+    pub fn maybe_ship(&mut self) {
+        let Some(interval) = self.interval else { return };
+        let due = match self.last {
+            None => true,
+            Some(at) => at.elapsed() >= interval,
+        };
+        if due {
+            self.ship(false);
+        }
+    }
+
+    /// Records `task_id` as the last completed task and ships right away,
+    /// so `campaign-status` / `top` see task attribution promptly.
+    pub fn task_completed(&mut self, task_id: &str) {
+        self.last_task = Some(task_id.to_string());
+        if self.interval.is_some() {
+            self.ship(false);
+        }
+    }
+
+    /// The final ship before a clean exit, marking the shard `exited` so
+    /// aggregators can tell a finished worker from a dead one.
+    pub fn ship_final(&mut self) {
+        if self.interval.is_some() {
+            self.ship(true);
+        }
+    }
+
+    fn ship(&mut self, exited: bool) {
+        // Stamp `last` first: a failing disk must not turn every loop
+        // iteration into a write attempt.
+        self.last = Some(Instant::now());
+        let registry = mmwave_telemetry::global();
+        // Flushing first updates the per-worker trace file alongside the
+        // shard, so a later SIGKILL loses at most one period of events.
+        registry.flush();
+        let ts_ms = unix_millis();
+        let uptime_ms = process_micros() / 1000;
+        let shard = WorkerShard {
+            worker_id: self.worker_id.clone(),
+            pid: std::process::id(),
+            git_sha: self.git_sha.clone(),
+            ts_ms,
+            uptime_ms,
+            clock_anchor_unix_ms: ts_ms.saturating_sub(uptime_ms),
+            exited,
+            last_task: self.last_task.clone(),
+            metrics: registry.export_metrics(),
+        };
+        match mmwave_store::save_json_atomic(&paths::shard(&self.dir, &self.worker_id), &shard)
+        {
+            Ok(()) => mmwave_telemetry::counter("fleet.shipped", 1),
+            Err(e) => {
+                mmwave_telemetry::counter("fleet.ship_failed", 1);
+                mmwave_telemetry::warn!("fleet shard ship failed: {e}");
+            }
+        }
+    }
+}
+
+/// Loads every readable worker shard under `dir`, sorted by worker id.
+/// Torn or corrupt shards (a worker killed mid-rename, a truncated disk)
+/// are skipped with a `fleet.shard_corrupt` bump — observability must
+/// degrade, not fail, when a worker died messily.
+///
+/// # Errors
+///
+/// Only unrecoverable I/O errors (permissions, metadata failures); a
+/// missing fleet directory is an empty fleet, not an error.
+pub fn load_shards(dir: &Path) -> io::Result<Vec<WorkerShard>> {
+    let fleet = paths::fleet_dir(dir);
+    let entries = match std::fs::read_dir(&fleet) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    let mut shards = Vec::new();
+    for entry in entries {
+        let path = entry?.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
+        if !name.ends_with(".shard.json") {
+            continue;
+        }
+        match mmwave_store::load_json::<WorkerShard>(&path) {
+            Ok(loaded) => shards.push(loaded.value),
+            Err(mmwave_store::StoreError::Missing { .. }) => {}
+            Err(e) if e.is_recoverable() => {
+                mmwave_telemetry::counter("fleet.shard_corrupt", 1);
+                mmwave_telemetry::warn!("skipping unreadable fleet shard {}: {e}", path.display());
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    shards.sort_by(|a, b| a.worker_id.cmp(&b.worker_id));
+    Ok(shards)
+}
+
+/// Loads the trace events shipped beside each shard. Workers without a
+/// readable, non-empty trace file are simply absent from the stitched
+/// timeline.
+pub fn load_traces(dir: &Path, shards: &[WorkerShard]) -> Vec<WorkerTrace> {
+    shards
+        .iter()
+        .filter_map(|shard| {
+            let path = paths::trace(dir, &shard.worker_id);
+            match mmwave_telemetry::read_trace_file(&path) {
+                Ok(events) if !events.is_empty() => Some(WorkerTrace {
+                    worker_id: shard.worker_id.clone(),
+                    pid: shard.pid,
+                    clock_anchor_unix_ms: shard.clock_anchor_unix_ms,
+                    events,
+                }),
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+/// Worker ids that left reclaim evidence behind: `reclaim_stale` renames
+/// a dead worker's claim to `<claim>.stale-<pid>-<seq>` with the owner's
+/// `ClaimInfo` still in the body, which is exactly a death certificate.
+pub fn reclaim_evidence_owners(dir: &Path) -> BTreeSet<String> {
+    let mut owners = BTreeSet::new();
+    let Ok(entries) = std::fs::read_dir(dir.join("claims")) else {
+        return owners;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        if !name.to_string_lossy().contains(".stale-") {
+            continue;
+        }
+        if let Ok(bytes) = std::fs::read(entry.path()) {
+            if let Ok(info) = serde_json::from_slice::<mmwave_store::ClaimInfo>(&bytes) {
+                owners.insert(info.worker_id);
+            }
+        }
+    }
+    owners
+}
+
+/// One worker's liveness classification in a [`FleetHealth`] report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WorkerStatus {
+    /// Fresh heartbeat or shard: making progress.
+    Active,
+    /// Its newest signal (claim heartbeat or shard) is older than the
+    /// straggler threshold, but there is no proof of death yet.
+    Stale,
+    /// Reclaim evidence exists and the worker never shipped a clean
+    /// exit: it died mid-task.
+    Dead,
+    /// Shipped a final shard after the campaign resolved for it.
+    Exited,
+}
+
+/// One worker's row in the fleet health report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkerHealth {
+    /// Worker id.
+    pub worker_id: String,
+    /// OS pid (0 when only known from a torn claim).
+    pub pid: u32,
+    /// Liveness classification.
+    pub status: WorkerStatus,
+    /// Age of the worker's freshest claim heartbeat, if it holds any.
+    pub heartbeat_age_ms: Option<u64>,
+    /// Age of the worker's last shipped shard, if it shipped one.
+    pub ship_age_ms: Option<u64>,
+    /// `dag.executed` from the worker's shard.
+    pub tasks_done: u64,
+    /// `dag.task_failed` from the worker's shard.
+    pub tasks_failed: u64,
+    /// `dag.dedupe_hit` from the worker's shard.
+    pub tasks_deduped: u64,
+    /// Last task the worker completed, if any.
+    pub last_task: Option<String>,
+    /// Mean `dag.task` span duration in milliseconds (0 when none ran).
+    pub mean_task_ms: f64,
+    /// True when this worker trips the straggler/stall detector.
+    pub straggler: bool,
+    /// Human-readable reasons behind `straggler`.
+    pub reasons: Vec<String>,
+}
+
+/// The fleet-wide health report: per-worker rows plus the robust
+/// thresholds they were judged against.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetHealth {
+    /// Per-worker health, sorted by worker id.
+    pub workers: Vec<WorkerHealth>,
+    /// Liveness-signal threshold: `max(median_signal_age * factor, ttl)`.
+    pub heartbeat_threshold_ms: u64,
+    /// Per-task-duration threshold: `median_mean_task_ms * factor`.
+    pub task_threshold_ms: f64,
+    /// The multiplier both thresholds used.
+    pub straggler_factor: f64,
+}
+
+/// Per-claim signal extracted from a [`DagStatus`] for one worker.
+#[derive(Default)]
+struct ClaimSignal {
+    min_age: Option<Duration>,
+    any_live: bool,
+    any_stale: bool,
+    pid: u32,
+}
+
+/// Classifies every known worker (shards ∪ claim owners ∪ reclaim
+/// evidence) as active / stale / dead / exited and flags stragglers via
+/// the robust `median × factor` threshold (floored at `ttl`, the claim
+/// protocol's own staleness horizon). Pure: `now_ms` is passed in so
+/// tests can pin the clock.
+pub fn fleet_health(
+    status: &DagStatus,
+    shards: &[WorkerShard],
+    evidence: &BTreeSet<String>,
+    now_ms: u64,
+    ttl: Duration,
+    factor: f64,
+) -> FleetHealth {
+    let mut claims: BTreeMap<String, ClaimSignal> = BTreeMap::new();
+    for (_, state) in &status.tasks {
+        if let TaskState::Claimed { owner: Some(info), age, stale } = state {
+            let signal = claims.entry(info.worker_id.clone()).or_default();
+            signal.min_age = Some(signal.min_age.map_or(*age, |a| a.min(*age)));
+            signal.any_live |= !stale;
+            signal.any_stale |= stale;
+            signal.pid = info.pid;
+        }
+    }
+
+    let mut ids: BTreeSet<String> = claims.keys().cloned().collect();
+    ids.extend(shards.iter().map(|s| s.worker_id.clone()));
+    ids.extend(evidence.iter().cloned());
+
+    // The liveness signal per worker: claim-heartbeat age when it holds a
+    // claim (the strongest signal), else shard age. Collected across the
+    // whole fleet to form the robust threshold.
+    let mut signals_ms: Vec<f64> = Vec::new();
+    let mut mean_task_samples: Vec<f64> = Vec::new();
+    let mut rows: Vec<(WorkerHealth, Option<f64>)> = Vec::new();
+    for id in &ids {
+        let shard = shards.iter().find(|s| &s.worker_id == id);
+        let claim = claims.get(id);
+        let heartbeat_age_ms = claim.and_then(|c| c.min_age).map(|a| a.as_millis() as u64);
+        let ship_age_ms = shard.map(|s| now_ms.saturating_sub(s.ts_ms));
+        let signal_ms = heartbeat_age_ms.or(ship_age_ms).map(|ms| ms as f64);
+        if let Some(ms) = signal_ms {
+            signals_ms.push(ms);
+        }
+        let mean_task_ms = shard
+            .and_then(|s| s.metrics.spans.get("dag.task"))
+            .filter(|e| e.count > 0)
+            .map_or(0.0, |e| 1e3 * e.sum / e.count as f64);
+        if mean_task_ms > 0.0 {
+            mean_task_samples.push(mean_task_ms);
+        }
+        let counter = |name: &str| {
+            shard.map_or(0, |s| s.metrics.counters.get(name).copied().unwrap_or(0))
+        };
+        rows.push((
+            WorkerHealth {
+                worker_id: id.clone(),
+                pid: shard.map(|s| s.pid).or(claim.map(|c| c.pid)).unwrap_or(0),
+                status: WorkerStatus::Active, // classified below
+                heartbeat_age_ms,
+                ship_age_ms,
+                tasks_done: counter("dag.executed"),
+                tasks_failed: counter("dag.task_failed"),
+                tasks_deduped: counter("dag.dedupe_hit"),
+                last_task: shard.and_then(|s| s.last_task.clone()),
+                mean_task_ms,
+                straggler: false,
+                reasons: Vec::new(),
+            },
+            signal_ms,
+        ));
+    }
+
+    let ttl_ms = ttl.as_millis() as f64;
+    let heartbeat_threshold_ms = robust_threshold(&signals_ms, factor, ttl_ms);
+    let task_threshold_ms = robust_threshold(&mean_task_samples, factor, 0.0);
+
+    let mut workers = Vec::with_capacity(rows.len());
+    for (mut row, signal_ms) in rows {
+        let shard = shards.iter().find(|s| s.worker_id == row.worker_id);
+        let claim = claims.get(&row.worker_id);
+        let exited = shard.is_some_and(|s| s.exited);
+        let holds_live = claim.is_some_and(|c| c.any_live);
+        let holds_only_stale = claim.is_some_and(|c| c.any_stale && !c.any_live);
+        row.status = if holds_live {
+            WorkerStatus::Active
+        } else if holds_only_stale {
+            WorkerStatus::Stale
+        } else if evidence.contains(&row.worker_id) && !exited {
+            WorkerStatus::Dead
+        } else if exited {
+            WorkerStatus::Exited
+        } else if signal_ms.is_some_and(|ms| ms > heartbeat_threshold_ms) {
+            WorkerStatus::Stale
+        } else {
+            WorkerStatus::Active
+        };
+        match row.status {
+            WorkerStatus::Dead => row.reasons.push("claim reclaimed after death".to_string()),
+            WorkerStatus::Stale => row.reasons.push(format!(
+                "liveness signal {}ms exceeds threshold {}ms",
+                signal_ms.unwrap_or(0.0) as u64,
+                heartbeat_threshold_ms as u64
+            )),
+            WorkerStatus::Active | WorkerStatus::Exited => {}
+        }
+        if task_threshold_ms > 0.0 && row.mean_task_ms > task_threshold_ms {
+            row.reasons.push(format!(
+                "mean task {:.0}ms exceeds threshold {:.0}ms",
+                row.mean_task_ms, task_threshold_ms
+            ));
+        }
+        row.straggler = !row.reasons.is_empty();
+        workers.push(row);
+    }
+
+    FleetHealth {
+        workers,
+        heartbeat_threshold_ms: heartbeat_threshold_ms as u64,
+        task_threshold_ms,
+        straggler_factor: factor,
+    }
+}
+
+/// Loads everything `top` and `fleet-export` need from a campaign
+/// directory in one read-only sweep.
+///
+/// # Errors
+///
+/// I/O and store errors from the DAG load or the status scan.
+pub fn observe_fleet(
+    dir: &Path,
+    ttl: Duration,
+    factor: f64,
+) -> io::Result<(DagStatus, Vec<WorkerShard>, FleetMetrics, FleetHealth)> {
+    let dag = CampaignDag::load(dir)?;
+    let status = dag::scan(dir, &dag, ttl)?;
+    let shards = load_shards(dir)?;
+    let merged = merge_shards(&shards);
+    let evidence = reclaim_evidence_owners(dir);
+    let health = fleet_health(&status, &shards, &evidence, unix_millis(), ttl, factor);
+    Ok((status, shards, merged, health))
+}
+
+/// What [`export_fleet`] wrote and verified.
+#[derive(Debug)]
+pub struct FleetExportSummary {
+    /// Merged metrics artifact (store envelope).
+    pub metrics_path: PathBuf,
+    /// Health report artifact (store envelope).
+    pub health_path: PathBuf,
+    /// Stitched Perfetto trace (bare JSON array, Perfetto-loadable).
+    pub trace_path: PathBuf,
+    /// Worker shards merged.
+    pub workers: usize,
+    /// Events in the stitched trace.
+    pub trace_events: usize,
+    /// Distinct counters in the merged metrics.
+    pub counters: usize,
+}
+
+/// Merges every shard under `dir` and writes the three durable artifacts
+/// into `out`: `fleet_metrics.json` and `fleet_health.json` through the
+/// store's checksummed envelope (then loaded back, verifying checksums),
+/// and `fleet_trace.json` as a bare Chrome-trace array via the atomic
+/// writer (an envelope header would make Perfetto reject it).
+///
+/// # Errors
+///
+/// I/O and store errors from loading, writing, or the verification
+/// round-trip.
+pub fn export_fleet(
+    dir: &Path,
+    out: &Path,
+    ttl: Duration,
+    factor: f64,
+) -> io::Result<FleetExportSummary> {
+    let (_, shards, merged, health) = observe_fleet(dir, ttl, factor)?;
+    let stitched = stitch_traces(&load_traces(dir, &shards));
+
+    let metrics_path = out.join("fleet_metrics.json");
+    let health_path = out.join("fleet_health.json");
+    let trace_path = out.join("fleet_trace.json");
+    mmwave_store::save_json_atomic(&metrics_path, &merged).map_err(io::Error::from)?;
+    mmwave_store::save_json_atomic(&health_path, &health).map_err(io::Error::from)?;
+    let trace_bytes = serde_json::to_vec(&stitched)?;
+    mmwave_store::write_atomic(&trace_path, &trace_bytes)?;
+
+    // Round-trip through the verifying loader: a checksum mismatch here
+    // means the export is unusable and must fail loudly now, not when
+    // someone opens it next week.
+    let verified: FleetMetrics =
+        mmwave_store::load_json(&metrics_path).map_err(io::Error::from)?.value;
+    let _: FleetHealth = mmwave_store::load_json(&health_path).map_err(io::Error::from)?.value;
+    mmwave_telemetry::counter("fleet.exported", 1);
+
+    Ok(FleetExportSummary {
+        metrics_path,
+        health_path,
+        trace_path,
+        workers: verified.workers.len(),
+        trace_events: stitched.len(),
+        counters: verified.merged.counters.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmwave_telemetry::fleet::MetricsExport;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("mmwave_fleet_unit_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn shard(worker_id: &str, ts_ms: u64, exited: bool) -> WorkerShard {
+        WorkerShard {
+            worker_id: worker_id.to_string(),
+            pid: 1234,
+            git_sha: "test".to_string(),
+            ts_ms,
+            uptime_ms: 10,
+            clock_anchor_unix_ms: ts_ms.saturating_sub(10),
+            exited,
+            last_task: Some("synth".to_string()),
+            metrics: MetricsExport::default(),
+        }
+    }
+
+    #[test]
+    fn ship_interval_parsing() {
+        assert_eq!(
+            parse_ship_interval(None),
+            Some(Duration::from_secs_f64(DEFAULT_SHIP_SECS))
+        );
+        assert_eq!(parse_ship_interval(Some("2.5")), Some(Duration::from_millis(2500)));
+        assert_eq!(parse_ship_interval(Some("0")), None);
+        assert_eq!(parse_ship_interval(Some("off")), None);
+        assert_eq!(parse_ship_interval(Some(" OFF ")), None);
+        let registry = mmwave_telemetry::global();
+        let before = registry.counter_value("campaign.config_invalid");
+        assert_eq!(
+            parse_ship_interval(Some("soon")),
+            Some(Duration::from_secs_f64(DEFAULT_SHIP_SECS))
+        );
+        assert_eq!(
+            parse_ship_interval(Some("-1")),
+            Some(Duration::from_secs_f64(DEFAULT_SHIP_SECS))
+        );
+        assert!(registry.counter_value("campaign.config_invalid") >= before + 2);
+    }
+
+    #[test]
+    fn worker_id_sanitization() {
+        assert_eq!(sanitize_worker_id("w0"), "w0");
+        assert_eq!(sanitize_worker_id("host-3.shard_1"), "host-3.shard_1");
+        assert_eq!(sanitize_worker_id("../../etc/passwd"), ".._.._etc_passwd");
+        assert_eq!(sanitize_worker_id(""), "worker");
+    }
+
+    #[test]
+    fn shipper_writes_a_loadable_shard() {
+        let dir = tmp("ship");
+        let mut shipper = FleetShipper {
+            dir: dir.clone(),
+            worker_id: "unit-a".to_string(),
+            interval: Some(Duration::from_secs(3600)),
+            last: None,
+            last_task: None,
+            git_sha: "deadbee".to_string(),
+        };
+        shipper.maybe_ship();
+        // A long interval means the second call must not rewrite.
+        let first = std::fs::metadata(paths::shard(&dir, "unit-a")).unwrap().modified().unwrap();
+        shipper.maybe_ship();
+        assert_eq!(
+            std::fs::metadata(paths::shard(&dir, "unit-a")).unwrap().modified().unwrap(),
+            first
+        );
+        shipper.task_completed("synth");
+        shipper.ship_final();
+        let shards = load_shards(&dir).unwrap();
+        assert_eq!(shards.len(), 1);
+        assert_eq!(shards[0].worker_id, "unit-a");
+        assert_eq!(shards[0].git_sha, "deadbee");
+        assert_eq!(shards[0].last_task.as_deref(), Some("synth"));
+        assert!(shards[0].exited);
+        assert!(shards[0].ts_ms >= shards[0].uptime_ms);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn disabled_shipper_writes_nothing() {
+        let dir = tmp("disabled");
+        let mut shipper = FleetShipper {
+            dir: dir.clone(),
+            worker_id: "unit-b".to_string(),
+            interval: None,
+            last: None,
+            last_task: None,
+            git_sha: "x".to_string(),
+        };
+        shipper.maybe_ship();
+        shipper.task_completed("synth");
+        shipper.ship_final();
+        assert!(!paths::fleet_dir(&dir).exists() || load_shards(&dir).unwrap().is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_shards_are_skipped_not_fatal() {
+        let dir = tmp("corrupt");
+        let mut shipper = FleetShipper {
+            dir: dir.clone(),
+            worker_id: "good".to_string(),
+            interval: Some(Duration::from_secs(1)),
+            last: None,
+            last_task: None,
+            git_sha: "x".to_string(),
+        };
+        shipper.maybe_ship();
+        std::fs::write(paths::shard(&dir, "bad"), b"MMWVSTORE1 not really\n{garbage").unwrap();
+        let shards = load_shards(&dir).unwrap();
+        assert_eq!(shards.len(), 1);
+        assert_eq!(shards[0].worker_id, "good");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn health_classifies_dead_stale_and_exited() {
+        use mmwave_store::ClaimInfo;
+        let status = DagStatus {
+            tasks: vec![
+                ("a".to_string(), TaskState::Done),
+                (
+                    "b".to_string(),
+                    TaskState::Claimed {
+                        owner: Some(ClaimInfo {
+                            worker_id: "active".to_string(),
+                            pid: 7,
+                            task_id: "b".to_string(),
+                        }),
+                        age: Duration::from_millis(100),
+                        stale: false,
+                    },
+                ),
+                (
+                    "c".to_string(),
+                    TaskState::Claimed {
+                        owner: Some(ClaimInfo {
+                            worker_id: "stuck".to_string(),
+                            pid: 8,
+                            task_id: "c".to_string(),
+                        }),
+                        age: Duration::from_secs(600),
+                        stale: true,
+                    },
+                ),
+            ],
+        };
+        let now = 1_000_000;
+        let shards = vec![shard("active", now - 200, false), shard("done", now - 300, true)];
+        let evidence: BTreeSet<String> = ["ghost".to_string()].into();
+        let health = fleet_health(
+            &status,
+            &shards,
+            &evidence,
+            now,
+            Duration::from_secs(1),
+            4.0,
+        );
+        let by_id = |id: &str| health.workers.iter().find(|w| w.worker_id == id).unwrap();
+        assert_eq!(by_id("active").status, WorkerStatus::Active);
+        assert_eq!(by_id("active").heartbeat_age_ms, Some(100));
+        assert_eq!(by_id("stuck").status, WorkerStatus::Stale);
+        assert!(by_id("stuck").straggler);
+        assert_eq!(by_id("ghost").status, WorkerStatus::Dead);
+        assert!(by_id("ghost").straggler);
+        assert_eq!(by_id("done").status, WorkerStatus::Exited);
+        assert!(!by_id("done").straggler);
+        assert!(health.heartbeat_threshold_ms >= 1000, "floored at ttl");
+    }
+
+    #[test]
+    fn export_round_trips_through_the_store() {
+        let dir = tmp("export");
+        crate::dag::demo_dag().save(&dir).unwrap();
+        let mut shipper = FleetShipper {
+            dir: dir.clone(),
+            worker_id: "exp-a".to_string(),
+            interval: Some(Duration::from_secs(1)),
+            last: None,
+            last_task: None,
+            git_sha: "x".to_string(),
+        };
+        shipper.maybe_ship();
+        let out = paths::export_dir(&dir);
+        let summary =
+            export_fleet(&dir, &out, Duration::from_secs(30), 4.0).unwrap();
+        assert_eq!(summary.workers, 1);
+        assert!(summary.metrics_path.exists());
+        assert!(summary.health_path.exists());
+        assert!(summary.trace_path.exists());
+        // The trace artifact is a bare JSON array, not an envelope.
+        let trace: Vec<serde_json::Value> =
+            serde_json::from_slice(&std::fs::read(&summary.trace_path).unwrap()).unwrap();
+        assert_eq!(trace.len(), summary.trace_events);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -46,6 +46,7 @@
 pub mod campaign;
 pub mod dag;
 pub mod experiment;
+pub mod fleet;
 pub mod frames;
 pub mod metrics;
 pub mod poison;
@@ -56,6 +57,7 @@ pub mod worker;
 
 pub use campaign::{Campaign, CampaignReport, PointOutcome, RetryPolicy};
 pub use dag::{CampaignDag, DagReport, Gate, TaskNode, TaskState};
+pub use fleet::{export_fleet, load_shards, FleetHealth, FleetShipper, WorkerHealth, WorkerStatus};
 pub use worker::{run_worker, PipelineExecutor, TaskExecutor, WorkerConfig, WorkerSummary};
 pub use experiment::{AttackSpec, ExperimentContext, ExperimentScale};
 pub use frames::{frame_importance, importance_histogram, FrameStrategy};

@@ -414,7 +414,11 @@ pub fn run_worker(
     let dag = CampaignDag::load(dir)?;
     let keys = dag.artifact_keys().map_err(io::Error::from)?;
     let mut summary = WorkerSummary::default();
+    let mut shipper = crate::fleet::FleetShipper::from_env(dir, &config.worker_id);
     loop {
+        // Ships immediately on the first pass (so a shard exists from
+        // startup), then every MMWAVE_FLEET_SHIP_SECS.
+        shipper.maybe_ship();
         let status = dag::scan(dir, &dag, config.ttl)?;
         collect_orphan_claims(dir, &status)?;
         if status.all_resolved() {
@@ -422,6 +426,7 @@ pub fn run_worker(
             crash_point("dag.report.pre_save");
             mmwave_store::save_json_atomic(&paths::report(dir), &report)
                 .map_err(io::Error::from)?;
+            shipper.ship_final();
             return Ok(summary);
         }
 
@@ -447,6 +452,7 @@ pub fn run_worker(
                 .ok_or_else(|| io::Error::other(format!("no artifact key for `{id}`")))?;
             if run_one(dir, task, key, executor, config, &mut summary)? {
                 progressed = true;
+                shipper.task_completed(id);
                 break;
             }
         }
@@ -638,6 +644,15 @@ mod tests {
         // eval-b=3*2=6.
         assert_eq!(report.outputs["aggregate"]["points"]["eval-b"]["value"], 6.0);
         assert_eq!(report.outputs["aggregate"]["points"]["variant-2"]["value"], 7.5);
+
+        // The worker shipped its telemetry shard on the way out.
+        let shards = crate::fleet::load_shards(&dir).unwrap();
+        assert_eq!(shards.len(), 1);
+        assert_eq!(shards[0].worker_id, "unit");
+        assert!(shards[0].exited, "final ship must mark a clean exit");
+        // The registry is process-global, so other tests may have bumped
+        // the counter too; this worker alone contributed 7.
+        assert!(shards[0].metrics.counters.get("dag.executed").copied().unwrap_or(0) >= 7);
 
         // Running again over the resolved directory is a no-op with an
         // identical report.

@@ -1,0 +1,472 @@
+//! Fleet-level telemetry: serde shapes for per-worker metric shards and
+//! the pure merge/stitch logic that folds N worker processes into one
+//! view.
+//!
+//! This module holds no I/O. Workers export their registry through
+//! [`crate::registry::Registry::export_metrics`] into a [`MetricsExport`],
+//! wrap it in a [`WorkerShard`], and persist it however they like (the
+//! `mmwave-store` crate sits *above* telemetry in the crate graph and owns
+//! the durable writers). Aggregators load the shards back and call
+//! [`merge_shards`] / [`stitch_traces`].
+//!
+//! Merge semantics:
+//!
+//! * **counters** sum;
+//! * **gauges** keep the sample with the latest timestamp (ties keep the
+//!   first shard's value, and shards arrive sorted by worker id, so the
+//!   outcome is deterministic);
+//! * **histograms and spans** merge bucket-wise via
+//!   [`LogLinearHistogram::merge`] — exact, not approximated, because
+//!   every process shares the same fixed bucket layout;
+//! * **traces** stitch into one Chrome/Perfetto timeline where each
+//!   worker becomes its own process lane (`pid` = lane index) named via a
+//!   `process_name` metadata event, with per-shard clock anchors aligning
+//!   the process-relative timestamps onto one axis.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+use serde_json::{json, Value};
+
+use crate::histogram::{HistogramExport, HistogramSnapshot, LogLinearHistogram};
+use crate::profile::Profile;
+
+/// A gauge value paired with the unix-millisecond timestamp of its last
+/// `gauge_set`, so fleet merges can take latest-by-timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GaugeSample {
+    /// Latest value set.
+    pub value: f64,
+    /// Unix milliseconds when the value was set.
+    pub ts_ms: u64,
+}
+
+/// Full-fidelity export of one registry: everything needed to merge this
+/// process's telemetry into a fleet view without loss.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsExport {
+    /// Monotonic counters by name.
+    #[serde(default)]
+    pub counters: BTreeMap<String, u64>,
+    /// Timestamped gauges by name.
+    #[serde(default)]
+    pub gauges: BTreeMap<String, GaugeSample>,
+    /// Value histograms by name, in lossless wire form.
+    #[serde(default)]
+    pub histograms: BTreeMap<String, HistogramExport>,
+    /// Span-duration histograms by `/`-joined span path (seconds).
+    #[serde(default)]
+    pub spans: BTreeMap<String, HistogramExport>,
+}
+
+/// One worker's shipped telemetry shard: its metrics export plus enough
+/// identity and clock metadata to merge and stitch it fleet-wide.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkerShard {
+    /// Worker id (`--worker-id` / `MMWAVE_WORKER_ID`).
+    pub worker_id: String,
+    /// OS process id of the worker.
+    pub pid: u32,
+    /// Git sha the worker was built from (`MMWAVE_GIT_SHA`, or
+    /// `"unknown"`).
+    pub git_sha: String,
+    /// Unix milliseconds when this shard was written.
+    pub ts_ms: u64,
+    /// Process uptime in milliseconds at write time.
+    pub uptime_ms: u64,
+    /// `ts_ms - uptime_ms`: the unix time of the process's monotonic
+    /// zero, used to align per-process trace timestamps onto one axis.
+    pub clock_anchor_unix_ms: u64,
+    /// True on the final ship before a clean exit.
+    #[serde(default)]
+    pub exited: bool,
+    /// Id of the last task this worker completed, if any.
+    #[serde(default)]
+    pub last_task: Option<String>,
+    /// The worker's full registry export.
+    #[serde(default)]
+    pub metrics: MetricsExport,
+}
+
+/// Identity row for one worker in a merged fleet view.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkerMeta {
+    /// Worker id.
+    pub worker_id: String,
+    /// OS process id.
+    pub pid: u32,
+    /// Git sha the worker reported.
+    pub git_sha: String,
+    /// Unix milliseconds of the worker's last shipped shard.
+    pub ts_ms: u64,
+    /// True when the worker shipped a final (clean-exit) shard.
+    pub exited: bool,
+    /// Last task the worker completed, if any.
+    pub last_task: Option<String>,
+}
+
+/// The merged telemetry of a whole fleet: one row of identity metadata
+/// per worker plus the exact merge of every shard's metrics.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FleetMetrics {
+    /// One row per merged worker shard, sorted by worker id.
+    pub workers: Vec<WorkerMeta>,
+    /// The exact merge of all shards' metrics.
+    pub merged: MetricsExport,
+}
+
+/// Merges `other` into `acc`: counters sum, gauges take
+/// latest-by-timestamp (first wins ties), histograms and spans merge
+/// bucket-wise and exactly.
+pub fn merge_metrics(acc: &mut MetricsExport, other: &MetricsExport) {
+    for (name, delta) in &other.counters {
+        *acc.counters.entry(name.clone()).or_insert(0) += delta;
+    }
+    for (name, sample) in &other.gauges {
+        match acc.gauges.get_mut(name) {
+            Some(existing) => {
+                if sample.ts_ms > existing.ts_ms {
+                    *existing = *sample;
+                }
+            }
+            None => {
+                acc.gauges.insert(name.clone(), *sample);
+            }
+        }
+    }
+    for (dst, src) in [
+        (&mut acc.histograms, &other.histograms),
+        (&mut acc.spans, &other.spans),
+    ] {
+        for (name, export) in src {
+            match dst.get_mut(name) {
+                Some(existing) => {
+                    let mut merged = LogLinearHistogram::from_export(existing);
+                    merged.merge(&LogLinearHistogram::from_export(export));
+                    *existing = merged.export();
+                }
+                None => {
+                    dst.insert(name.clone(), export.clone());
+                }
+            }
+        }
+    }
+}
+
+/// Folds worker shards into one [`FleetMetrics`]. Shards are merged in
+/// worker-id order regardless of input order, so the result is
+/// deterministic.
+pub fn merge_shards(shards: &[WorkerShard]) -> FleetMetrics {
+    let mut ordered: Vec<&WorkerShard> = shards.iter().collect();
+    ordered.sort_by(|a, b| a.worker_id.cmp(&b.worker_id).then(a.ts_ms.cmp(&b.ts_ms)));
+    let mut fleet = FleetMetrics::default();
+    for shard in ordered {
+        fleet.workers.push(WorkerMeta {
+            worker_id: shard.worker_id.clone(),
+            pid: shard.pid,
+            git_sha: shard.git_sha.clone(),
+            ts_ms: shard.ts_ms,
+            exited: shard.exited,
+            last_task: shard.last_task.clone(),
+        });
+        merge_metrics(&mut fleet.merged, &shard.metrics);
+    }
+    fleet
+}
+
+/// Snapshots of the merged span histograms, keyed by span path.
+pub fn span_snapshots(merged: &MetricsExport) -> BTreeMap<String, HistogramSnapshot> {
+    merged
+        .spans
+        .iter()
+        .map(|(path, export)| (path.clone(), LogLinearHistogram::from_export(export).snapshot()))
+        .collect()
+}
+
+/// Folds the merged span table into one fleet-wide call-tree
+/// [`Profile`] (inclusive/exclusive time, hotspot table).
+pub fn merged_profile(merged: &MetricsExport) -> Profile {
+    Profile::from_spans(&span_snapshots(merged))
+}
+
+/// One worker's raw Chrome-trace events plus the clock anchor needed to
+/// place them on the fleet-wide time axis.
+#[derive(Debug, Clone)]
+pub struct WorkerTrace {
+    /// Worker id (becomes the process lane name).
+    pub worker_id: String,
+    /// The worker's real OS pid (shown in the lane name).
+    pub pid: u32,
+    /// Unix milliseconds of the worker's monotonic zero.
+    pub clock_anchor_unix_ms: u64,
+    /// The worker's trace events as written by its `TraceSink`.
+    pub events: Vec<Value>,
+}
+
+/// Stitches per-worker traces into one Chrome/Perfetto event array.
+///
+/// Each worker becomes its own process lane: lane `pid` is the worker's
+/// 1-based index in worker-id order (stable across runs, unlike OS pids,
+/// which can collide across hosts), named `worker <id> (pid <os pid>)`
+/// via a `process_name` metadata event. Timestamps are shifted by each
+/// worker's clock anchor relative to the earliest anchor, so lanes share
+/// one time axis. Every `ph:"X"` span is tagged with a unique
+/// `args.span_id` of the form `<lane>-<seq>`.
+pub fn stitch_traces(traces: &[WorkerTrace]) -> Vec<Value> {
+    let mut ordered: Vec<&WorkerTrace> = traces.iter().collect();
+    ordered.sort_by(|a, b| a.worker_id.cmp(&b.worker_id));
+    let min_anchor = ordered
+        .iter()
+        .map(|t| t.clock_anchor_unix_ms)
+        .min()
+        .unwrap_or(0);
+
+    let mut stitched = Vec::new();
+    for (idx, trace) in ordered.iter().enumerate() {
+        let lane = (idx + 1) as u64;
+        let offset_us = (trace.clock_anchor_unix_ms - min_anchor) * 1000;
+        stitched.push(json!({
+            "ph": "M",
+            "name": "process_name",
+            "pid": lane,
+            "tid": 0,
+            "ts": 0,
+            "args": {"name": format!("worker {} (pid {})", trace.worker_id, trace.pid)},
+        }));
+        // Metadata first, then events by shifted timestamp: per-lane
+        // timestamps come out monotonic for any input order.
+        let mut lane_events: Vec<Value> = trace.events.clone();
+        lane_events.sort_by_key(|e| e.get("ts").and_then(Value::as_u64).unwrap_or(0));
+        let mut seq = 0u64;
+        for mut event in lane_events {
+            if let Some(obj) = event.as_object_mut() {
+                if let Some(ts) = obj.get("ts").and_then(Value::as_u64) {
+                    obj.insert("ts".to_string(), json!(ts + offset_us));
+                }
+                obj.insert("pid".to_string(), json!(lane));
+                if obj.get("ph").and_then(Value::as_str) == Some("X") {
+                    seq += 1;
+                    let args = obj
+                        .entry("args".to_string())
+                        .or_insert_with(|| json!({}));
+                    if let Some(args) = args.as_object_mut() {
+                        args.insert("span_id".to_string(), json!(format!("{lane}-{seq}")));
+                    }
+                }
+            }
+            stitched.push(event);
+        }
+    }
+    stitched
+}
+
+/// A robust outlier threshold: `median(values) * factor`, floored at
+/// `floor`. With no values the floor alone decides. Used by the
+/// straggler detector: a worker whose heartbeat age (or per-task time)
+/// exceeds the threshold computed over the whole fleet is flagged.
+pub fn robust_threshold(values: &[f64], factor: f64, floor: f64) -> f64 {
+    if values.is_empty() {
+        return floor;
+    }
+    let mut sorted: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if sorted.is_empty() {
+        return floor;
+    }
+    sorted.sort_by(f64::total_cmp);
+    let mid = sorted.len() / 2;
+    let median = if sorted.len() % 2 == 0 {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    } else {
+        sorted[mid]
+    };
+    (median * factor).max(floor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shard(worker_id: &str, ts_ms: u64, metrics: MetricsExport) -> WorkerShard {
+        WorkerShard {
+            worker_id: worker_id.to_string(),
+            pid: 100,
+            git_sha: "test".to_string(),
+            ts_ms,
+            uptime_ms: 50,
+            clock_anchor_unix_ms: ts_ms - 50,
+            exited: false,
+            last_task: None,
+            metrics,
+        }
+    }
+
+    #[test]
+    fn counters_sum_across_shards() {
+        let mut a = MetricsExport::default();
+        a.counters.insert("dag.executed".to_string(), 3);
+        a.counters.insert("only.a".to_string(), 1);
+        let mut b = MetricsExport::default();
+        b.counters.insert("dag.executed".to_string(), 4);
+        let fleet = merge_shards(&[shard("w1", 10, a), shard("w0", 20, b)]);
+        assert_eq!(fleet.merged.counters["dag.executed"], 7);
+        assert_eq!(fleet.merged.counters["only.a"], 1);
+        // Workers come out sorted by id regardless of input order.
+        let ids: Vec<&str> = fleet.workers.iter().map(|w| w.worker_id.as_str()).collect();
+        assert_eq!(ids, ["w0", "w1"]);
+    }
+
+    #[test]
+    fn gauges_take_latest_by_timestamp() {
+        let mut a = MetricsExport::default();
+        a.gauges.insert(
+            "queue.depth".to_string(),
+            GaugeSample { value: 5.0, ts_ms: 100 },
+        );
+        let mut b = MetricsExport::default();
+        b.gauges.insert(
+            "queue.depth".to_string(),
+            GaugeSample { value: 2.0, ts_ms: 200 },
+        );
+        // Input order must not matter: the later timestamp wins both ways.
+        for shards in [
+            [shard("w0", 1, a.clone()), shard("w1", 2, b.clone())],
+            [shard("w0", 1, b.clone()), shard("w1", 2, a.clone())],
+        ] {
+            let fleet = merge_shards(&shards);
+            assert_eq!(fleet.merged.gauges["queue.depth"].value, 2.0);
+            assert_eq!(fleet.merged.gauges["queue.depth"].ts_ms, 200);
+        }
+    }
+
+    #[test]
+    fn gauge_timestamp_ties_are_deterministic() {
+        let mut a = MetricsExport::default();
+        a.gauges
+            .insert("g".to_string(), GaugeSample { value: 1.0, ts_ms: 100 });
+        let mut b = MetricsExport::default();
+        b.gauges
+            .insert("g".to_string(), GaugeSample { value: 9.0, ts_ms: 100 });
+        // Shards merge in worker-id order, and on a timestamp tie the
+        // earlier-merged (smaller worker id) sample is kept.
+        let fleet = merge_shards(&[shard("w1", 1, b), shard("w0", 1, a)]);
+        assert_eq!(fleet.merged.gauges["g"].value, 1.0);
+    }
+
+    #[test]
+    fn histograms_merge_exactly() {
+        let mut h1 = LogLinearHistogram::new();
+        let mut h2 = LogLinearHistogram::new();
+        let mut all = LogLinearHistogram::new();
+        for v in [1.0, 2.0, 3.0] {
+            h1.record(v);
+            all.record(v);
+        }
+        for v in [4.0, 5.0] {
+            h2.record(v);
+            all.record(v);
+        }
+        let mut a = MetricsExport::default();
+        a.spans.insert("dag.task".to_string(), h1.export());
+        let mut b = MetricsExport::default();
+        b.spans.insert("dag.task".to_string(), h2.export());
+        let fleet = merge_shards(&[shard("w0", 1, a), shard("w1", 2, b)]);
+        assert_eq!(fleet.merged.spans["dag.task"], all.export());
+        let snaps = span_snapshots(&fleet.merged);
+        assert_eq!(snaps["dag.task"], all.snapshot());
+        assert!(merged_profile(&fleet.merged).hotspot_table(4).contains("dag.task"));
+    }
+
+    #[test]
+    fn stitch_assigns_one_lane_per_worker_and_aligns_clocks() {
+        let w0 = WorkerTrace {
+            worker_id: "w0".to_string(),
+            pid: 111,
+            clock_anchor_unix_ms: 1000,
+            events: vec![
+                json!({"ph": "X", "name": "b", "pid": 111, "tid": 1, "ts": 500, "dur": 10}),
+                json!({"ph": "X", "name": "a", "pid": 111, "tid": 1, "ts": 100, "dur": 10}),
+            ],
+        };
+        let w1 = WorkerTrace {
+            worker_id: "w1".to_string(),
+            pid: 222,
+            // Started 2ms after w0: its ts values shift by 2000us.
+            clock_anchor_unix_ms: 1002,
+            events: vec![json!({"ph": "X", "name": "c", "pid": 222, "tid": 1, "ts": 100, "dur": 5})],
+        };
+        let stitched = stitch_traces(&[w1, w0]);
+
+        let lanes: Vec<(u64, String)> = stitched
+            .iter()
+            .filter(|e| e["ph"] == "M" && e["name"] == "process_name")
+            .map(|e| {
+                (
+                    e["pid"].as_u64().unwrap(),
+                    e["args"]["name"].as_str().unwrap().to_string(),
+                )
+            })
+            .collect();
+        assert_eq!(lanes.len(), 2);
+        assert_eq!(lanes[0], (1, "worker w0 (pid 111)".to_string()));
+        assert_eq!(lanes[1], (2, "worker w1 (pid 222)".to_string()));
+
+        let spans: Vec<&Value> = stitched.iter().filter(|e| e["ph"] == "X").collect();
+        assert_eq!(spans.len(), 3);
+        // w0's events are sorted into monotonic order and keep their ts
+        // (earliest anchor); w1's event is shifted by 2000us.
+        assert_eq!(spans[0]["name"], "a");
+        assert_eq!(spans[0]["ts"], 100);
+        assert_eq!(spans[1]["ts"], 500);
+        assert_eq!(spans[2]["name"], "c");
+        assert_eq!(spans[2]["ts"], 2100);
+        // Lane pids were rewritten and span ids are unique.
+        assert_eq!(spans[0]["pid"], 1);
+        assert_eq!(spans[2]["pid"], 2);
+        let mut ids: Vec<&str> = spans
+            .iter()
+            .map(|s| s["args"]["span_id"].as_str().unwrap())
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 3);
+    }
+
+    #[test]
+    fn robust_threshold_flags_only_outliers() {
+        let values = [1.0, 1.1, 0.9, 1.0, 20.0];
+        let t = robust_threshold(&values, 4.0, 0.5);
+        assert!((t - 4.0).abs() < 1e-9, "threshold = {t}");
+        assert!(values.iter().filter(|&&v| v > t).count() == 1);
+        // Empty and non-finite inputs fall back to the floor.
+        assert_eq!(robust_threshold(&[], 4.0, 2.5), 2.5);
+        assert_eq!(robust_threshold(&[f64::NAN], 4.0, 2.5), 2.5);
+        // The floor dominates tiny medians.
+        assert_eq!(robust_threshold(&[0.001], 4.0, 2.5), 2.5);
+    }
+
+    #[test]
+    fn shard_serde_round_trips() {
+        let mut metrics = MetricsExport::default();
+        metrics.counters.insert("dag.executed".to_string(), 2);
+        metrics
+            .gauges
+            .insert("g".to_string(), GaugeSample { value: 1.5, ts_ms: 7 });
+        let mut h = LogLinearHistogram::new();
+        h.record(0.25);
+        metrics.spans.insert("dag.task".to_string(), h.export());
+        let s = WorkerShard {
+            worker_id: "w0".to_string(),
+            pid: 42,
+            git_sha: "abc1234".to_string(),
+            ts_ms: 1000,
+            uptime_ms: 100,
+            clock_anchor_unix_ms: 900,
+            exited: true,
+            last_task: Some("synth".to_string()),
+            metrics,
+        };
+        let json = serde_json::to_string(&s).expect("serialize");
+        let back: WorkerShard = serde_json::from_str(&json).expect("parse");
+        assert_eq!(back, s);
+    }
+}

@@ -8,7 +8,7 @@
 //! about 1.6 % with 32 sub-buckets, regardless of how many values were
 //! recorded or how skewed they are.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// Linear sub-buckets per octave; bounds the relative quantile error at
 /// `1 / (2 * SUBBUCKETS)`.
@@ -176,6 +176,63 @@ impl LogLinearHistogram {
         self.max()
     }
 
+    /// Merges `other` into `self`, bucket by bucket. Because both sides
+    /// share the same fixed bucket layout the merge is exact: the result
+    /// is indistinguishable from one histogram that recorded both sample
+    /// streams (the `sum` field is the only f64 accumulation, and it adds
+    /// in the same order as sequential recording of `self` then `other`).
+    pub fn merge(&mut self, other: &LogLinearHistogram) {
+        self.underflow += other.underflow;
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        // The empty sentinels (min = +inf, max = -inf) are absorbing under
+        // min/max, so merging an empty side is a no-op.
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Full-fidelity export of the histogram state for shipping between
+    /// processes. Only non-empty buckets are listed, so the export stays
+    /// small; [`LogLinearHistogram::from_export`] round-trips it exactly.
+    pub fn export(&self) -> HistogramExport {
+        HistogramExport {
+            count: self.count,
+            sum: self.sum,
+            // JSON cannot carry the infinity sentinels of an empty
+            // histogram, so min/max travel as Option.
+            min: (self.count > 0).then_some(self.min),
+            max: (self.count > 0).then_some(self.max),
+            underflow: self.underflow,
+            buckets: self
+                .counts
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(b, &c)| (b as u32, c))
+                .collect(),
+        }
+    }
+
+    /// Rebuilds a histogram from an [`export`](Self::export). Bucket
+    /// indices outside the fixed layout are clamped into range (they can
+    /// only appear in hand-edited or corrupted shards).
+    pub fn from_export(export: &HistogramExport) -> LogLinearHistogram {
+        let mut h = LogLinearHistogram::new();
+        h.count = export.count;
+        h.sum = export.sum;
+        h.min = export.min.unwrap_or(f64::INFINITY);
+        h.max = export.max.unwrap_or(f64::NEG_INFINITY);
+        h.underflow = export.underflow;
+        let last = OCTAVES * SUBBUCKETS - 1;
+        for &(b, c) in &export.buckets {
+            h.counts[(b as usize).min(last)] += c;
+        }
+        h
+    }
+
     /// A serializable summary of this histogram.
     pub fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {
@@ -189,6 +246,32 @@ impl LogLinearHistogram {
             max: self.max(),
         }
     }
+}
+
+/// Lossless wire form of a [`LogLinearHistogram`]: everything needed to
+/// rebuild the exact bucket state on another process, with empty buckets
+/// elided. Produced by [`LogLinearHistogram::export`], consumed by
+/// [`LogLinearHistogram::from_export`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramExport {
+    /// Number of samples.
+    #[serde(default)]
+    pub count: u64,
+    /// Sum of samples.
+    #[serde(default)]
+    pub sum: f64,
+    /// Exact minimum; `None` when empty (JSON has no infinities).
+    #[serde(default)]
+    pub min: Option<f64>,
+    /// Exact maximum; `None` when empty.
+    #[serde(default)]
+    pub max: Option<f64>,
+    /// Samples below the smallest representable bucket.
+    #[serde(default)]
+    pub underflow: u64,
+    /// `(bucket_index, count)` pairs for every non-empty bucket.
+    #[serde(default)]
+    pub buckets: Vec<(u32, u64)>,
 }
 
 /// Point-in-time summary of a [`LogLinearHistogram`].
@@ -285,6 +368,83 @@ mod tests {
                 "q = {q}: exact {exact}, approx {approx}, rel err {rel}"
             );
         }
+    }
+
+    #[test]
+    fn merge_equals_sequential_recording() {
+        let left_samples = [0.5, 3.0, 0.0, 128.0, 7.25];
+        let right_samples = [2.0, -1.0, 1e6, 0.125];
+        let (mut left, mut right, mut both) = (
+            LogLinearHistogram::new(),
+            LogLinearHistogram::new(),
+            LogLinearHistogram::new(),
+        );
+        for v in left_samples {
+            left.record(v);
+            both.record(v);
+        }
+        for v in right_samples {
+            right.record(v);
+            both.record(v);
+        }
+        left.merge(&right);
+        assert_eq!(left.export(), both.export());
+        assert_eq!(left.snapshot(), both.snapshot());
+    }
+
+    #[test]
+    fn merging_an_empty_histogram_is_a_noop() {
+        let mut h = LogLinearHistogram::new();
+        h.record(4.0);
+        let before = h.export();
+        h.merge(&LogLinearHistogram::new());
+        assert_eq!(h.export(), before);
+
+        let mut empty = LogLinearHistogram::new();
+        empty.merge(&h);
+        assert_eq!(empty.export(), before);
+    }
+
+    #[test]
+    fn export_round_trips_exactly_through_json() {
+        let mut h = LogLinearHistogram::new();
+        for v in [1e-12, 0.0, 0.25, 1.0, 3.5, 1e18] {
+            h.record(v);
+        }
+        let json = serde_json::to_string(&h.export()).expect("serialize");
+        let back: HistogramExport = serde_json::from_str(&json).expect("parse");
+        assert_eq!(back, h.export());
+        let rebuilt = LogLinearHistogram::from_export(&back);
+        assert_eq!(rebuilt.export(), h.export());
+        assert_eq!(rebuilt.snapshot(), h.snapshot());
+    }
+
+    #[test]
+    fn empty_export_round_trips() {
+        let h = LogLinearHistogram::new();
+        let e = h.export();
+        assert_eq!(e.min, None);
+        assert_eq!(e.max, None);
+        let rebuilt = LogLinearHistogram::from_export(&e);
+        assert_eq!(rebuilt.count(), 0);
+        assert_eq!(rebuilt.min(), 0.0);
+        assert_eq!(rebuilt.max(), 0.0);
+    }
+
+    #[test]
+    fn from_export_clamps_out_of_range_buckets() {
+        let e = HistogramExport {
+            count: 1,
+            sum: 1.0,
+            min: Some(1.0),
+            max: Some(1.0),
+            underflow: 0,
+            buckets: vec![(u32::MAX, 1)],
+        };
+        let h = LogLinearHistogram::from_export(&e);
+        assert_eq!(h.count(), 1);
+        // The stray bucket landed in the top slot rather than panicking.
+        assert_eq!(h.quantile(0.5), 1.0);
     }
 
     #[test]

@@ -45,6 +45,7 @@
 //! ```
 
 pub mod event;
+pub mod fleet;
 pub mod histogram;
 pub mod profile;
 pub mod registry;
@@ -52,8 +53,12 @@ pub mod sink;
 pub mod span;
 pub mod trace;
 
-pub use event::{process_micros, thread_id, Event, EventKind, Level};
-pub use histogram::{HistogramSnapshot, LogLinearHistogram};
+pub use event::{process_micros, thread_id, unix_millis, Event, EventKind, Level};
+pub use fleet::{
+    merge_metrics, merge_shards, merged_profile, robust_threshold, stitch_traces, FleetMetrics,
+    GaugeSample, MetricsExport, WorkerShard, WorkerTrace,
+};
+pub use histogram::{HistogramExport, HistogramSnapshot, LogLinearHistogram};
 pub use profile::{Profile, ProfileNode};
 pub use registry::{configure, global, Registry, TelemetryConfig};
 pub use sink::{read_jsonl_events, JsonlSink, Sink, StderrSink};

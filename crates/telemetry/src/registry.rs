@@ -1,6 +1,7 @@
 //! The thread-safe metrics registry and the process-wide global instance.
 
-use crate::event::{Event, EventKind, Level};
+use crate::event::{unix_millis, Event, EventKind, Level};
+use crate::fleet::{GaugeSample, MetricsExport};
 use crate::histogram::{HistogramSnapshot, LogLinearHistogram};
 use crate::profile::Profile;
 use crate::sink::{JsonlSink, Sink, StderrSink};
@@ -25,7 +26,9 @@ pub struct Registry {
     /// hot path skip event construction with one atomic load.
     max_verbosity: AtomicU8,
     counters: Mutex<HashMap<String, u64>>,
-    gauges: Mutex<HashMap<String, f64>>,
+    /// Gauge values paired with the unix-ms timestamp of their last set,
+    /// so fleet merges can take latest-by-timestamp across workers.
+    gauges: Mutex<HashMap<String, (f64, u64)>>,
     histograms: Mutex<HashMap<String, LogLinearHistogram>>,
     spans: Mutex<HashMap<String, LogLinearHistogram>>,
     /// `Arc` rather than `Box` so flushing can iterate a cloned list with
@@ -144,7 +147,7 @@ impl Registry {
         if !self.is_enabled() {
             return;
         }
-        self.gauges.lock().insert(name.to_string(), value);
+        self.gauges.lock().insert(name.to_string(), (value, unix_millis()));
         if self.would_emit(Level::Trace) {
             let mut fields = serde_json::Map::new();
             fields.insert("value".to_string(), serde_json::Value::from(value));
@@ -221,7 +224,29 @@ impl Registry {
 
     /// Gauge value, if ever set.
     pub fn gauge_value(&self, name: &str) -> Option<f64> {
-        self.gauges.lock().get(name).copied()
+        self.gauges.lock().get(name).map(|(v, _)| *v)
+    }
+
+    /// Full-fidelity export of every counter, gauge, histogram, and span
+    /// for fleet shipping: unlike [`Registry::snapshot`], histograms
+    /// travel in lossless bucket form so they can be merged exactly.
+    pub fn export_metrics(&self) -> MetricsExport {
+        MetricsExport {
+            counters: self.counters.lock().iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .iter()
+                .map(|(k, &(value, ts_ms))| (k.clone(), GaugeSample { value, ts_ms }))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .iter()
+                .map(|(k, h)| (k.clone(), h.export()))
+                .collect(),
+            spans: self.spans.lock().iter().map(|(k, h)| (k.clone(), h.export())).collect(),
+        }
     }
 
     /// Snapshot of one span path's timing histogram (seconds), if recorded.
@@ -263,7 +288,7 @@ impl Registry {
         let counters: BTreeMap<String, u64> =
             self.counters.lock().iter().map(|(k, v)| (k.clone(), *v)).collect();
         let gauges: BTreeMap<String, f64> =
-            self.gauges.lock().iter().map(|(k, v)| (k.clone(), *v)).collect();
+            self.gauges.lock().iter().map(|(k, &(v, _))| (k.clone(), v)).collect();
         let histograms: BTreeMap<String, HistogramSnapshot> = self
             .histograms
             .lock()
@@ -518,6 +543,23 @@ mod tests {
         let brief = r.snapshot_brief();
         assert_eq!(brief["counters"]["frames"], 2);
         assert_eq!(brief["spans"]["capture"]["calls"], 1);
+    }
+
+    #[test]
+    fn export_metrics_is_lossless() {
+        let r = Registry::new();
+        r.counter_add("frames", 2);
+        r.gauge_set("lr", 0.01);
+        r.observe("loss", 0.7);
+        r.record_span("capture", 0.25);
+        r.record_span("capture", 0.5);
+        let export = r.export_metrics();
+        assert_eq!(export.counters["frames"], 2);
+        assert_eq!(export.gauges["lr"].value, 0.01);
+        assert!(export.gauges["lr"].ts_ms > 0);
+        assert_eq!(export.histograms["loss"].count, 1);
+        let rebuilt = LogLinearHistogram::from_export(&export.spans["capture"]);
+        assert_eq!(Some(rebuilt.snapshot()), r.span_snapshot("capture"));
     }
 
     #[test]

@@ -7,6 +7,54 @@ use std::fs::File;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
 
+/// CRC-32 (IEEE 802.3, reflected) over `bytes` — byte-compatible with the
+/// framing in `mmwave-store`'s JSONL writer, so metrics files written here
+/// are also readable by the store's torn-tail repair. `mmwave-store` owns
+/// the general-purpose version of this; telemetry sits below it in the
+/// crate graph and keeps a private copy.
+fn crc32(bytes: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        const POLY: u32 = 0xEDB8_8320;
+        let mut table = [0u32; 256];
+        let mut i = 0u32;
+        while i < 256 {
+            let mut crc = i;
+            let mut bit = 0;
+            while bit < 8 {
+                crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+                bit += 1;
+            }
+            table[i as usize] = crc;
+            i += 1;
+        }
+        table
+    });
+    let mut crc = u32::MAX;
+    for &b in bytes {
+        crc = (crc >> 8) ^ table[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Parses one metrics line, accepting both the CRC-framed form
+/// (`<8-hex-crc><space><json>`) and legacy bare JSON lines.
+fn parse_line(line: &str) -> Option<Event> {
+    let bytes = line.as_bytes();
+    if bytes.len() > 9 && bytes[8] == b' ' && line[..8].bytes().all(|b| b.is_ascii_hexdigit()) {
+        if let Ok(crc) = u32::from_str_radix(&line[..8], 16) {
+            let body = &line[9..];
+            if crc == crc32(body.as_bytes()) {
+                return serde_json::from_str::<Event>(body).ok();
+            }
+            // A framed line with a bad checksum is torn or corrupt, not
+            // legacy: don't let the whole-line fallback mis-parse it.
+            return None;
+        }
+    }
+    serde_json::from_str::<Event>(line).ok()
+}
+
 /// Receives every event whose level passes the sink's verbosity. Sinks must
 /// never panic or block the pipeline on failure: recording errors are
 /// swallowed (telemetry is an observer, not a dependency).
@@ -45,9 +93,12 @@ impl Sink for StderrSink {
     }
 }
 
-/// Machine-readable sink appending one JSON object per line to a file.
-/// Every line is flushed as it is written, so a killed process corrupts at
-/// most the trailing line — which [`read_jsonl_events`] tolerates.
+/// Machine-readable sink appending one JSON object per line to a file,
+/// each line prefixed with its CRC-32 in the same `<8-hex> <json>` frame
+/// the `mmwave-store` journal writer uses (so metric streams get the same
+/// torn-tail repair as journals). Every line is flushed as it is written,
+/// so a killed process corrupts at most the trailing line — which
+/// [`read_jsonl_events`] tolerates.
 pub struct JsonlSink {
     verbosity: Level,
     writer: Mutex<BufWriter<File>>,
@@ -90,8 +141,9 @@ impl Sink for JsonlSink {
         let Ok(line) = serde_json::to_string(event) else {
             return;
         };
+        let crc = crc32(line.as_bytes());
         let mut w = self.writer.lock();
-        let _ = writeln!(w, "{line}");
+        let _ = writeln!(w, "{crc:08x} {line}");
         let _ = w.flush();
     }
 
@@ -111,7 +163,9 @@ impl Drop for JsonlSink {
 
 /// Reads the events of a JSONL metrics file, tolerating a torn trailing
 /// line (the signature of a process killed mid-write): replay stops at the
-/// first unparseable line and returns the intact prefix.
+/// first unparseable line and returns the intact prefix. Both CRC-framed
+/// lines (what [`JsonlSink`] writes) and legacy bare JSON lines parse, so
+/// metrics files from older builds stay readable.
 ///
 /// # Errors
 ///
@@ -124,9 +178,9 @@ pub fn read_jsonl_events<P: AsRef<Path>>(path: P) -> io::Result<Vec<Event>> {
         if line.trim().is_empty() {
             continue;
         }
-        match serde_json::from_str::<Event>(&line) {
-            Ok(event) => out.push(event),
-            Err(_) => break,
+        match parse_line(&line) {
+            Some(event) => out.push(event),
+            None => break,
         }
     }
     Ok(out)
@@ -212,6 +266,64 @@ mod tests {
         let events = read_jsonl_events(&path).unwrap();
         assert_eq!(events.len(), 19, "only the torn tail line may be lost");
         assert_eq!(events.last().unwrap().name, "event_18");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn crc32_matches_the_zlib_check_value() {
+        // Same convention (and thus the same frames) as mmwave-store.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn written_lines_carry_a_valid_crc_frame() {
+        let path = temp_path("framed");
+        let sink = JsonlSink::create(&path).unwrap();
+        sink.record(&sample_event("a"));
+        drop(sink);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let line = text.lines().next().unwrap();
+        assert_eq!(line.as_bytes()[8], b' ');
+        let crc = u32::from_str_radix(&line[..8], 16).unwrap();
+        assert_eq!(crc, crc32(line[9..].as_bytes()));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn legacy_bare_json_lines_still_parse() {
+        let path = temp_path("legacy");
+        let framed_line = {
+            let json = serde_json::to_string(&sample_event("framed")).unwrap();
+            format!("{:08x} {json}", crc32(json.as_bytes()))
+        };
+        let legacy_line = serde_json::to_string(&sample_event("legacy")).unwrap();
+        // A pre-framing file, plus one framed line mixed in (as a partial
+        // rewrite by a newer build would leave behind).
+        std::fs::write(&path, format!("{legacy_line}\n{framed_line}\n")).unwrap();
+        let events = read_jsonl_events(&path).unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "legacy");
+        assert_eq!(events[1].name, "framed");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_crc_stops_the_replay() {
+        let path = temp_path("badcrc");
+        let sink = JsonlSink::create(&path).unwrap();
+        for name in ["a", "b", "c"] {
+            sink.record(&sample_event(name));
+        }
+        drop(sink);
+        // Flip a payload byte of the middle line: its crc no longer
+        // matches, and the reader must not fall back to bare-JSON parsing.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<String> = text.lines().map(String::from).collect();
+        lines[1] = lines[1].replace("\"b\"", "\"x\"");
+        std::fs::write(&path, lines.join("\n")).unwrap();
+        let events = read_jsonl_events(&path).unwrap();
+        assert_eq!(events.len(), 1, "replay stops at the corrupt line");
+        assert_eq!(events[0].name, "a");
         std::fs::remove_file(&path).ok();
     }
 

@@ -14,6 +14,8 @@
 //! mmwave worker  --dir <dir> [--ttl <secs>] [--poll-ms <ms>]
 //!                [--worker-id <id>] [--shard <i/n>]
 //! mmwave campaign-status <dir> [--ttl <secs>]
+//! mmwave top <dir> [--ttl <secs>] [--factor 4.0] [--refresh-secs 2.0] [--once]
+//! mmwave fleet-export <dir> [--out <dir>] [--ttl <secs>] [--factor 4.0]
 //! mmwave dag-chaos [--dir <dir>] [--procs 3] [--keep]
 //! ```
 //!
@@ -72,7 +74,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    if !positionals.is_empty() && command != "perf-check" && command != "campaign-status" {
+    if !positionals.is_empty()
+        && command != "perf-check"
+        && command != "campaign-status"
+        && command != "top"
+        && command != "fleet-export"
+    {
         eprintln!("error: unexpected argument `{}`", positionals[0]);
         print_usage();
         return ExitCode::FAILURE;
@@ -100,6 +107,10 @@ fn main() -> ExitCode {
         // Read-only inspector: takes no locks and runs no pipeline, so it
         // skips the stage-time summary like perf-check does.
         "campaign-status" => return campaign_status(&opts, &positionals),
+        // Fleet observers: they aggregate other workers' telemetry, so
+        // their own stage-time summary would only be noise.
+        "top" => return top_cmd(&opts, &positionals),
+        "fleet-export" => return fleet_export_cmd(&opts, &positionals),
         "dag-chaos" => dag_chaos(&opts),
         // Hidden helper: the small journaled campaign the chaos driver
         // kills and resumes (spawned via `current_exe`, not user-facing).
@@ -225,6 +236,19 @@ fn print_usage() {
                      state, live vs stale claims, dedupe hits; takes no\n\
                      locks, safe beside running workers\n\
                      flags: --ttl <secs> (staleness horizon)\n\
+           top <dir> live fleet view: per-worker liveness from claim\n\
+                     heartbeats and telemetry shards, campaign progress,\n\
+                     merged hotspots, straggler/stall detection\n\
+                     flags: --ttl <secs> --factor <f> (straggler\n\
+                            multiplier, default 4.0)\n\
+                            --refresh-secs <s> (default 2.0)\n\
+                            --once (render once and exit; for CI)\n\
+           fleet-export <dir>  merge every worker's telemetry shard into\n\
+                     durable artifacts: fleet_metrics.json,\n\
+                     fleet_health.json, and a stitched Perfetto\n\
+                     fleet_trace.json with one lane per worker\n\
+                     flags: --out <dir> (default <dir>/fleet/export)\n\
+                            --ttl <secs> --factor <f>\n\
            dag-chaos multi-process crash matrix: N workers per cell, one\n\
                      killed at a named crash point; survivors must finish\n\
                      with a report byte-identical to an uninterrupted\n\
@@ -255,6 +279,7 @@ fn parse_flags(args: &[String]) -> Result<(HashMap<String, String>, Vec<String>)
             || name == "quiet"
             || name == "report-only"
             || name == "keep"
+            || name == "once"
         {
             out.insert(name.to_string(), "true".to_string());
             continue;
@@ -797,6 +822,7 @@ fn campaign_init(opts: &HashMap<String, String>) -> ExitCode {
 /// `mmwave worker`: the claim/execute loop over a campaign DAG directory.
 /// Safe to run N at a time; exits once every task is done or failed.
 fn worker_cmd(opts: &HashMap<String, String>) -> ExitCode {
+    use mmwave_har_backdoor::backdoor::fleet;
     use mmwave_har_backdoor::backdoor::worker as dagworker;
     let Some(dir) = opts.get("dir") else {
         eprintln!("error: worker needs --dir <dir>");
@@ -820,6 +846,18 @@ fn worker_cmd(opts: &HashMap<String, String>) -> ExitCode {
     }
     if let Some(raw) = opts.get("shard") {
         config.shard = dagworker::parse_shard(Some(raw));
+    }
+    // With fleet shipping on, every worker also streams its span events to
+    // a per-worker trace file beside its shard, so `fleet-export` can
+    // stitch the whole fleet into one Perfetto timeline.
+    if fleet::shipping_enabled() {
+        match telemetry::TraceSink::create(fleet::paths::trace(
+            Path::new(dir),
+            &config.worker_id,
+        )) {
+            Ok(sink) => telemetry::global().add_sink(Box::new(sink)),
+            Err(e) => telemetry::warn!("cannot open the fleet trace file: {e}"),
+        }
     }
     telemetry::info!(
         "worker `{}` draining campaign {dir} (ttl {:?})",
@@ -884,6 +922,14 @@ fn campaign_status(opts: &HashMap<String, String>, positionals: &[String]) -> Ex
         dir.display(),
         graph.tasks.len()
     );
+    // Telemetry shards attribute each claim's owner to the last task it
+    // finished; a worker that never shipped simply gets no note.
+    let last_tasks: std::collections::HashMap<String, String> =
+        mmwave_har_backdoor::backdoor::fleet::load_shards(dir)
+            .unwrap_or_default()
+            .into_iter()
+            .filter_map(|s| s.last_task.map(|t| (s.worker_id, t)))
+            .collect();
     let mut distinct_keys = std::collections::HashSet::new();
     let mut done_records = 0usize;
     for (id, state) in &status.tasks {
@@ -912,8 +958,13 @@ fn campaign_status(opts: &HashMap<String, String>, positionals: &[String]) -> Ex
                     .as_ref()
                     .map(|o| format!("{} pid {}", o.worker_id, o.pid))
                     .unwrap_or_else(|| "unknown owner".to_string());
+                let last_note = owner
+                    .as_ref()
+                    .and_then(|o| last_tasks.get(&o.worker_id))
+                    .map(|t| format!(", last completed {t}"))
+                    .unwrap_or_default();
                 println!(
-                    "  [claimed ] {id}  {owner_note}, heartbeat {:.1}s ago ({})",
+                    "  [claimed ] {id}  {owner_note}, heartbeat {:.1}s ago ({}){last_note}",
                     age.as_secs_f64(),
                     if *stale { "STALE, reclaim-eligible" } else { "live" }
                 );
@@ -933,6 +984,201 @@ fn campaign_status(opts: &HashMap<String, String>, positionals: &[String]) -> Ex
         if dag::paths::report(dir).exists() { "present" } else { "not yet written" }
     );
     ExitCode::SUCCESS
+}
+
+/// Shared argument parsing for the fleet observers: the campaign dir
+/// (positional or `--dir`), the claim TTL, and the straggler factor.
+fn fleet_args(
+    opts: &HashMap<String, String>,
+    positionals: &[String],
+    command: &str,
+) -> Result<(PathBuf, std::time::Duration, f64), String> {
+    use mmwave_har_backdoor::backdoor::worker as dagworker;
+    let dir = match (positionals, opts.get("dir")) {
+        ([dir], None) => PathBuf::from(dir),
+        ([], Some(dir)) => PathBuf::from(dir),
+        _ => return Err(format!("{command} needs exactly one <dir> argument")),
+    };
+    let ttl = match opts.get("ttl") {
+        Some(raw) => dagworker::parse_claim_ttl(Some(raw)),
+        None => dagworker::parse_claim_ttl(
+            std::env::var("MMWAVE_CLAIM_TTL_SECS").ok().as_deref(),
+        ),
+    };
+    let factor = match opts.get("factor").map(|s| s.parse::<f64>()) {
+        None => 4.0,
+        Some(Ok(f)) if f > 0.0 && f.is_finite() => f,
+        Some(_) => return Err("--factor needs a positive number".to_string()),
+    };
+    Ok((dir, ttl, factor))
+}
+
+/// Renders one `mmwave top` frame. Returns the frame text and whether the
+/// campaign is fully resolved (the live loop exits then).
+fn render_top(
+    dir: &Path,
+    ttl: std::time::Duration,
+    factor: f64,
+) -> Result<(String, bool), String> {
+    use mmwave_har_backdoor::backdoor::fleet;
+    use std::fmt::Write as _;
+    let (status, shards, merged, health) =
+        fleet::observe_fleet(dir, ttl, factor).map_err(|e| e.to_string())?;
+    let (done, failed, claimed, pending) = status.counts();
+    let total = status.tasks.len();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "fleet @ {}: {done}/{total} done, {failed} failed, {claimed} claimed, {pending} pending",
+        dir.display()
+    );
+    let _ = writeln!(
+        out,
+        "workers: {} shards, liveness threshold {}ms (factor {:.1}, ttl floor {:.0}s)",
+        shards.len(),
+        health.heartbeat_threshold_ms,
+        health.straggler_factor,
+        ttl.as_secs_f64()
+    );
+    let _ = writeln!(
+        out,
+        "  {:<12} {:>7} {:<7} {:>8} {:>8} {:>5} {:>5} {:>6}  {}",
+        "worker", "pid", "status", "hb-age", "ship-age", "done", "fail", "dedup", "last task"
+    );
+    let fmt_age = |ms: Option<u64>| {
+        ms.map(|ms| format!("{:.1}s", ms as f64 / 1e3)).unwrap_or_else(|| "-".to_string())
+    };
+    let mut stragglers = 0usize;
+    for w in &health.workers {
+        let status_label = match w.status {
+            fleet::WorkerStatus::Active => "active",
+            fleet::WorkerStatus::Stale => "STALE",
+            fleet::WorkerStatus::Dead => "DEAD",
+            fleet::WorkerStatus::Exited => "exited",
+        };
+        let straggler_note = if w.straggler {
+            stragglers += 1;
+            telemetry::counter("fleet.straggler", 1);
+            format!("  <- STRAGGLER: {}", w.reasons.join("; "))
+        } else {
+            String::new()
+        };
+        let _ = writeln!(
+            out,
+            "  {:<12} {:>7} {:<7} {:>8} {:>8} {:>5} {:>5} {:>6}  {}{straggler_note}",
+            w.worker_id,
+            w.pid,
+            status_label,
+            fmt_age(w.heartbeat_age_ms),
+            fmt_age(w.ship_age_ms),
+            w.tasks_done,
+            w.tasks_failed,
+            w.tasks_deduped,
+            w.last_task.as_deref().unwrap_or("-"),
+        );
+    }
+    if stragglers > 0 {
+        let _ = writeln!(out, "stragglers: {stragglers} worker(s) flagged");
+    }
+    let interesting: Vec<_> = merged
+        .merged
+        .counters
+        .iter()
+        .filter(|(k, _)| {
+            k.starts_with("dag.") || k.starts_with("store.claim.") || k.starts_with("fleet.")
+        })
+        .collect();
+    if !interesting.is_empty() {
+        let _ = writeln!(out, "merged counters:");
+        for (k, v) in interesting {
+            let _ = writeln!(out, "  {k:<28} {v}");
+        }
+    }
+    let hotspots = telemetry::merged_profile(&merged.merged).hotspot_table(8);
+    if !hotspots.trim().is_empty() {
+        let _ = writeln!(out, "merged hotspots:");
+        out.push_str(&hotspots);
+    }
+    Ok((out, status.all_resolved()))
+}
+
+/// `mmwave top <dir>`: live fleet view over a campaign directory. Reads
+/// claim heartbeats, telemetry shards, and the DAG state; never writes
+/// into the campaign dir, so it is safe beside running workers.
+fn top_cmd(opts: &HashMap<String, String>, positionals: &[String]) -> ExitCode {
+    let (dir, ttl, factor) = match fleet_args(opts, positionals, "top") {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            print_usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    let once = opts.contains_key("once");
+    let refresh = match opts.get("refresh-secs").map(|s| s.parse::<f64>()) {
+        None => 2.0,
+        Some(Ok(s)) if s > 0.0 && s.is_finite() => s,
+        Some(_) => {
+            eprintln!("error: --refresh-secs needs a positive number of seconds");
+            return ExitCode::FAILURE;
+        }
+    };
+    loop {
+        let (frame, resolved) = match render_top(&dir, ttl, factor) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("error: cannot observe the fleet: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if once {
+            print!("{frame}");
+            return ExitCode::SUCCESS;
+        }
+        // Clear the terminal and repaint, `watch`-style.
+        print!("\x1b[2J\x1b[H{frame}");
+        use std::io::Write as _;
+        io::stdout().flush().ok();
+        if resolved {
+            println!("campaign resolved; exiting");
+            return ExitCode::SUCCESS;
+        }
+        std::thread::sleep(std::time::Duration::from_secs_f64(refresh));
+    }
+}
+
+/// `mmwave fleet-export <dir>`: merges every worker's telemetry shard
+/// into durable artifacts under `--out` (default `<dir>/fleet/export`):
+/// checksummed merged metrics and health reports, plus a stitched
+/// Perfetto trace with one process lane per worker.
+fn fleet_export_cmd(opts: &HashMap<String, String>, positionals: &[String]) -> ExitCode {
+    use mmwave_har_backdoor::backdoor::fleet;
+    let (dir, ttl, factor) = match fleet_args(opts, positionals, "fleet-export") {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            print_usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    let out =
+        opts.get("out").map(PathBuf::from).unwrap_or_else(|| fleet::paths::export_dir(&dir));
+    match fleet::export_fleet(&dir, &out, ttl, factor) {
+        Ok(summary) => {
+            println!(
+                "fleet-export: merged {} worker shard(s) ({} counters, {} trace events)",
+                summary.workers, summary.counters, summary.trace_events
+            );
+            println!("  metrics  {}", summary.metrics_path.display());
+            println!("  health   {}", summary.health_path.display());
+            println!("  trace    {}", summary.trace_path.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: fleet-export failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// Spawns one `mmwave worker` child over `dir`. Every child gets a pinned

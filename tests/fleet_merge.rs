@@ -1,0 +1,132 @@
+//! Fleet-aggregation exactness: merging K per-worker telemetry shards
+//! must be indistinguishable from one worker having recorded everything.
+//!
+//! The histogram property is the load-bearing one — `mmwave top` and
+//! `fleet-export` quote p50/p95/p99 from merged shards, and the log-linear
+//! representation merges bucket-wise, so the merged histogram is
+//! *bit-identical* to the concatenated feed, not an approximation of it.
+//! Samples are integer-valued, keeping the f64 sums exact under any
+//! association (every partial sum fits a 53-bit mantissa).
+
+use mmwave_har_backdoor::telemetry::{
+    merge_metrics, merge_shards, GaugeSample, HistogramExport, LogLinearHistogram,
+    MetricsExport, WorkerShard,
+};
+use proptest::prelude::*;
+
+fn shard(worker_id: &str, ts_ms: u64, metrics: MetricsExport) -> WorkerShard {
+    WorkerShard {
+        worker_id: worker_id.to_string(),
+        pid: 1,
+        git_sha: "test".to_string(),
+        ts_ms,
+        uptime_ms: 1,
+        clock_anchor_unix_ms: ts_ms.saturating_sub(1),
+        exited: false,
+        last_task: None,
+        metrics,
+    }
+}
+
+proptest! {
+    #[test]
+    fn merging_k_histograms_matches_the_concatenated_feed(
+        chunks in prop::collection::vec(
+            prop::collection::vec(0u32..1_000_000u32, 0..40),
+            1..6,
+        )
+    ) {
+        let mut reference = LogLinearHistogram::new();
+        let mut merged = LogLinearHistogram::new();
+        for chunk in &chunks {
+            let mut worker = LogLinearHistogram::new();
+            for &v in chunk {
+                worker.record(f64::from(v));
+                reference.record(f64::from(v));
+            }
+            merged.merge(&worker);
+        }
+        prop_assert_eq!(merged.export(), reference.export());
+        let (m, r) = (merged.snapshot(), reference.snapshot());
+        prop_assert_eq!(m.count, r.count);
+        prop_assert_eq!(m.sum, r.sum);
+        prop_assert_eq!(m.mean, r.mean);
+        prop_assert_eq!(m.min, r.min);
+        prop_assert_eq!(m.max, r.max);
+        prop_assert_eq!(m.p50, r.p50);
+        prop_assert_eq!(m.p95, r.p95);
+        prop_assert_eq!(m.p99, r.p99);
+    }
+
+    #[test]
+    fn export_import_survives_a_merge_round_trip(
+        samples in prop::collection::vec(0u32..1_000_000u32, 0..80)
+    ) {
+        let mut direct = LogLinearHistogram::new();
+        for &v in &samples {
+            direct.record(f64::from(v));
+        }
+        // Export -> import -> merge into an empty histogram must preserve
+        // the representation exactly (this is the shard-loading path).
+        let mut via_export = LogLinearHistogram::new();
+        via_export.merge(&LogLinearHistogram::from_export(&direct.export()));
+        prop_assert_eq!(via_export.export(), direct.export());
+    }
+}
+
+#[test]
+fn merged_counters_are_the_sum_over_shards() {
+    let mut a = MetricsExport::default();
+    a.counters.insert("dag.executed".to_string(), 5);
+    a.counters.insert("store.claim.acquired".to_string(), 7);
+    let mut b = MetricsExport::default();
+    b.counters.insert("dag.executed".to_string(), 3);
+    b.counters.insert("dag.dedupe_hit".to_string(), 1);
+
+    let fleet = merge_shards(&[shard("w0", 10, a), shard("w1", 20, b)]);
+    assert_eq!(fleet.merged.counters.get("dag.executed"), Some(&8));
+    assert_eq!(fleet.merged.counters.get("store.claim.acquired"), Some(&7));
+    assert_eq!(fleet.merged.counters.get("dag.dedupe_hit"), Some(&1));
+    assert_eq!(fleet.workers.len(), 2);
+}
+
+#[test]
+fn merged_gauges_keep_the_latest_sample_by_timestamp() {
+    let mut newer = MetricsExport::default();
+    newer.gauges.insert("queue.depth".to_string(), GaugeSample { value: 2.0, ts_ms: 200 });
+    let mut older = MetricsExport::default();
+    older.gauges.insert("queue.depth".to_string(), GaugeSample { value: 9.0, ts_ms: 100 });
+
+    // Merge order must not matter: the newest timestamp wins both ways.
+    let mut forward = MetricsExport::default();
+    merge_metrics(&mut forward, &newer);
+    merge_metrics(&mut forward, &older);
+    let mut backward = MetricsExport::default();
+    merge_metrics(&mut backward, &older);
+    merge_metrics(&mut backward, &newer);
+    assert_eq!(forward.gauges["queue.depth"].value, 2.0);
+    assert_eq!(backward.gauges["queue.depth"].value, 2.0);
+}
+
+#[test]
+fn merged_span_histograms_accumulate_bucket_wise() {
+    let mut h0 = LogLinearHistogram::new();
+    let mut h1 = LogLinearHistogram::new();
+    let mut all = LogLinearHistogram::new();
+    for v in [1.0_f64, 4.0, 16.0] {
+        h0.record(v);
+        all.record(v);
+    }
+    for v in [2.0_f64, 8.0, 32.0] {
+        h1.record(v);
+        all.record(v);
+    }
+    let mut a = MetricsExport::default();
+    a.spans.insert("dag.task".to_string(), h0.export());
+    let mut b = MetricsExport::default();
+    b.spans.insert("dag.task".to_string(), h1.export());
+
+    let fleet = merge_shards(&[shard("w0", 1, a), shard("w1", 2, b)]);
+    let merged: &HistogramExport = &fleet.merged.spans["dag.task"];
+    assert_eq!(merged, &all.export());
+}

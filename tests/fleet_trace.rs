@@ -1,0 +1,198 @@
+//! Fleet observability acceptance: a 3-worker campaign with one worker
+//! killed by a crash point must still yield (a) per-worker telemetry
+//! shards whose `dag.*` / `store.claim.*` counters sum into the merged
+//! export, (b) a `top --once` view that flags the dead worker, and (c) a
+//! stitched Perfetto trace with one process lane per worker, monotonic
+//! timestamps within each lane, and globally unique span ids.
+
+use mmwave_har_backdoor::backdoor::fleet;
+use mmwave_har_backdoor::{store, telemetry};
+use std::collections::{BTreeMap, HashSet};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+fn mmwave() -> &'static str {
+    env!("CARGO_BIN_EXE_mmwave")
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("mmwave_fleet_it_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn init_demo(dir: &Path) {
+    let out = Command::new(mmwave())
+        .arg("campaign-init")
+        .arg("--dir")
+        .arg(dir)
+        .arg("--quiet")
+        .output()
+        .expect("spawn mmwave campaign-init");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+}
+
+/// A worker command with deterministic artifacts, a 1 s claim TTL, fleet
+/// shipping on (the default), and a fast idle poll.
+fn worker_cmd(dir: &Path, worker_id: &str, envs: &[(&str, &str)]) -> Command {
+    let mut cmd = Command::new(mmwave());
+    cmd.arg("worker")
+        .arg("--dir")
+        .arg(dir)
+        .arg("--worker-id")
+        .arg(worker_id)
+        .arg("--ttl")
+        .arg("1")
+        .arg("--poll-ms")
+        .arg("25")
+        .arg("--quiet");
+    cmd.env_remove("MMWAVE_CRASH_AT");
+    cmd.env_remove("MMWAVE_CRASH_LOG");
+    cmd.env_remove("MMWAVE_WORKER_SHARD");
+    cmd.env_remove("MMWAVE_FLEET_SHIP_SECS");
+    cmd.env("MMWAVE_JOURNAL_DETERMINISTIC", "1");
+    cmd.env("MMWAVE_GIT_SHA", "fleet-test");
+    for (key, value) in envs {
+        cmd.env(key, value);
+    }
+    cmd
+}
+
+fn wait_with_deadline(child: &mut std::process::Child, secs: u64) -> std::process::ExitStatus {
+    let start = Instant::now();
+    loop {
+        if let Some(status) = child.try_wait().expect("wait for worker") {
+            return status;
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(secs),
+            "worker wedged past the {secs}s deadline"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+#[test]
+fn killed_worker_fleet_merges_stitches_and_flags_the_straggler() {
+    let dir = temp_dir("kill3");
+    init_demo(&dir);
+
+    // Worker 0 runs alone first and is armed to abort right after
+    // acquiring its first claim — running solo means the crash point
+    // cannot be dodged by losing the claim race. Its startup ship has
+    // already left a shard and a trace behind.
+    let out = worker_cmd(&dir, "w0", &[("MMWAVE_CRASH_AT", "dag.task.pre_execute")])
+        .output()
+        .expect("spawn armed worker");
+    assert!(!out.status.success(), "the armed worker must die at the crash point");
+
+    // Three clean workers drain the rest, reclaiming w0's stale claim.
+    let mut children: Vec<_> = (1..=3)
+        .map(|i| worker_cmd(&dir, &format!("w{i}"), &[]).spawn().expect("spawn worker"))
+        .collect();
+    for child in &mut children {
+        let status = wait_with_deadline(child, 180);
+        assert!(status.success(), "clean workers must finish the campaign");
+    }
+
+    // Every worker shipped a shard; only the survivors shipped `exited`.
+    let shards = fleet::load_shards(&dir).expect("load shards");
+    let ids: Vec<&str> = shards.iter().map(|s| s.worker_id.as_str()).collect();
+    assert_eq!(ids, ["w0", "w1", "w2", "w3"]);
+    for shard in &shards {
+        assert_eq!(shard.exited, shard.worker_id != "w0", "{}", shard.worker_id);
+        assert_eq!(shard.git_sha, "fleet-test");
+    }
+
+    // `top --once` exits 0 and reports the killed worker as a dead
+    // straggler (its reclaimed claim is the death certificate).
+    let top = Command::new(mmwave())
+        .arg("top")
+        .arg(&dir)
+        .arg("--ttl")
+        .arg("1")
+        .arg("--once")
+        .output()
+        .expect("spawn mmwave top");
+    let stdout = String::from_utf8_lossy(&top.stdout);
+    assert!(top.status.success(), "{stdout}\n{}", String::from_utf8_lossy(&top.stderr));
+    assert!(stdout.contains("w0"), "top must list the dead worker: {stdout}");
+    assert!(stdout.contains("DEAD"), "top must mark w0 dead: {stdout}");
+    assert!(stdout.contains("STRAGGLER"), "top must flag w0 a straggler: {stdout}");
+
+    // `fleet-export` writes the three merged artifacts and verifies their
+    // checksums by round-tripping through the store loader.
+    let export = Command::new(mmwave())
+        .arg("fleet-export")
+        .arg(&dir)
+        .arg("--ttl")
+        .arg("1")
+        .output()
+        .expect("spawn mmwave fleet-export");
+    assert!(export.status.success(), "{}", String::from_utf8_lossy(&export.stderr));
+    let out_dir = dir.join("fleet").join("export");
+    let metrics: telemetry::FleetMetrics =
+        store::load_json(&out_dir.join("fleet_metrics.json")).expect("load metrics").value;
+    let health: serde_json::Value =
+        store::load_json(&out_dir.join("fleet_health.json")).expect("load health").value;
+    assert!(health["workers"].as_array().is_some_and(|w| w.len() >= 4));
+
+    // Every dag.* / store.claim.* counter in the merged export equals the
+    // sum over the shipped shards — aggregation is exact, not sampled.
+    let mut expected: BTreeMap<String, u64> = BTreeMap::new();
+    for shard in &shards {
+        for (key, value) in &shard.metrics.counters {
+            if key.starts_with("dag.") || key.starts_with("store.claim.") {
+                *expected.entry(key.clone()).or_insert(0) += value;
+            }
+        }
+    }
+    assert!(expected.get("dag.executed").copied().unwrap_or(0) >= 7, "{expected:?}");
+    for (key, value) in &expected {
+        assert_eq!(metrics.merged.counters.get(key), Some(value), "counter {key}");
+    }
+    assert_eq!(metrics.workers.len(), 4);
+
+    // The stitched trace: one process lane per worker (all four shipped a
+    // trace at startup), monotonic timestamps within each lane, and no
+    // duplicate span ids across the whole timeline.
+    let trace: Vec<serde_json::Value> =
+        serde_json::from_slice(&std::fs::read(out_dir.join("fleet_trace.json")).unwrap())
+            .expect("parse stitched trace");
+    let lanes: Vec<&serde_json::Value> = trace
+        .iter()
+        .filter(|e| e["ph"] == "M" && e["name"] == "process_name")
+        .collect();
+    assert_eq!(lanes.len(), 4, "one process lane per worker");
+    let lane_pids: HashSet<u64> =
+        lanes.iter().map(|e| e["pid"].as_u64().expect("lane pid")).collect();
+    assert_eq!(lane_pids.len(), 4, "lane pids must be distinct");
+    for (i, id) in ["w0", "w1", "w2", "w3"].iter().enumerate() {
+        let name = lanes[i]["args"]["name"].as_str().unwrap_or_default();
+        assert!(name.contains(id), "lane {i} should name {id}, got `{name}`");
+    }
+
+    let mut last_ts: BTreeMap<u64, f64> = BTreeMap::new();
+    let mut span_ids = HashSet::new();
+    for event in &trace {
+        if event["ph"] == "M" {
+            continue;
+        }
+        let pid = event["pid"].as_u64().expect("event pid");
+        assert!(lane_pids.contains(&pid), "event outside every lane: {event}");
+        let ts = event["ts"].as_f64().expect("event ts");
+        if let Some(prev) = last_ts.get(&pid) {
+            assert!(ts >= *prev, "lane {pid} timestamps must be monotonic");
+        }
+        last_ts.insert(pid, ts);
+        if event["ph"] == "X" {
+            let span_id = event["args"]["span_id"].as_str().expect("span id").to_string();
+            assert!(span_ids.insert(span_id), "duplicate span id in {event}");
+        }
+    }
+    assert!(!span_ids.is_empty(), "the survivors must have recorded spans");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
