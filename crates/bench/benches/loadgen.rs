@@ -1,0 +1,57 @@
+//! Engineering benchmark (not from the paper): sustained throughput of
+//! the `mmwave-serve` streaming inference service under firehose load.
+//!
+//! Replays a seeded multi-session stream (smoke-scale model so the bench
+//! finishes in seconds) as fast as the service can drain it, asserts the
+//! frame-conservation invariant held, and reports inferences/s and
+//! end-to-end latency percentiles. The `BaselineGuard` writes
+//! `BENCH_loadgen.json` for `mmwave perf-check` to gate.
+
+use mmwave_har::PrototypeConfig;
+use mmwave_radar::Environment;
+use mmwave_serve::{loadgen, LoadgenConfig, ServeConfig};
+
+const SESSIONS: usize = 16;
+const SECONDS: f64 = 4.0;
+
+fn main() {
+    let mut baseline = mmwave_bench::baseline::BaselineGuard::new("loadgen");
+    let proto = PrototypeConfig::smoke_test();
+    let serve_cfg = ServeConfig {
+        clip_len: proto.n_frames,
+        ring_capacity: proto.n_frames * 2,
+        ..ServeConfig::default()
+    };
+    let lg = LoadgenConfig {
+        sessions: SESSIONS,
+        seconds: SECONDS,
+        seed: 42,
+        ..LoadgenConfig::default()
+    };
+
+    println!("\n=== loadgen: mmwave-serve firehose throughput ===");
+    println!(
+        "workload: {SESSIONS} sessions x {SECONDS}s @ {:.0} fps, clip {} frames",
+        lg.fps, serve_cfg.clip_len
+    );
+
+    let report = loadgen::run(&lg, serve_cfg, &proto, Environment::hallway())
+        .expect("loadgen config is valid");
+    assert!(
+        report.is_clean(),
+        "frame accounting imbalance: {} frame(s) unaccounted",
+        report.unaccounted
+    );
+    baseline.set_items(report.verdicts);
+
+    println!("{:<20}{:>12}", "wall ms", format!("{:.0}", report.wall_ms));
+    println!("{:<20}{:>12.2}", "sessions/s", report.sessions_per_sec);
+    println!("{:<20}{:>12.2}", "inferences/s", report.inferences_per_sec);
+    println!("{:<20}{:>12.0}", "frames/s", report.frames_per_sec);
+    println!(
+        "{:<20}{:>6.1}/{:>6.1}/{:>6.1}",
+        "latency p50/95/99", report.latency_p50_ms, report.latency_p95_ms, report.latency_p99_ms
+    );
+    println!("{:<20}{:>11.2}%", "drop rate", report.drop_rate * 100.0);
+    let _ = mmwave_telemetry::finish();
+}

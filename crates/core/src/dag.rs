@@ -132,6 +132,12 @@ pub enum DagError {
     },
     /// The dependency graph has a cycle through these task ids.
     Cycle(Vec<String>),
+    /// The directory holds no campaign: its `dag.json` does not exist.
+    /// Distinct from a *corrupt* DAG — pointing `mmwave top`,
+    /// `fleet-export`, or `campaign-status` at the wrong directory is an
+    /// operator mistake that deserves a direct message, not a raw store
+    /// error.
+    NotACampaign(PathBuf),
 }
 
 impl fmt::Display for DagError {
@@ -148,6 +154,12 @@ impl fmt::Display for DagError {
             DagError::Cycle(ids) => {
                 write!(f, "dependency cycle through tasks: {}", ids.join(", "))
             }
+            DagError::NotACampaign(dir) => write!(
+                f,
+                "`{}` is not a campaign directory (no dag.json found; run \
+                 `mmwave campaign-init --dir <dir>` to create one)",
+                dir.display()
+            ),
         }
     }
 }
@@ -156,7 +168,11 @@ impl std::error::Error for DagError {}
 
 impl From<DagError> for io::Error {
     fn from(e: DagError) -> io::Error {
-        io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+        let kind = match &e {
+            DagError::NotACampaign(_) => io::ErrorKind::NotFound,
+            _ => io::ErrorKind::InvalidData,
+        };
+        io::Error::new(kind, e.to_string())
     }
 }
 
@@ -306,9 +322,16 @@ impl CampaignDag {
     ///
     /// Store errors (missing, torn, corrupt) or validation errors.
     pub fn load(dir: &Path) -> io::Result<CampaignDag> {
-        let dag: CampaignDag = mmwave_store::load_json(&paths::dag(dir))
-            .map(|loaded| loaded.value)
-            .map_err(io::Error::from)?;
+        let dag: CampaignDag = match mmwave_store::load_json(&paths::dag(dir)) {
+            Ok(loaded) => loaded.value,
+            // A missing dag.json means this was never a campaign
+            // directory at all; say so directly instead of surfacing a
+            // bare missing-artifact store error.
+            Err(mmwave_store::StoreError::Missing { .. }) => {
+                return Err(DagError::NotACampaign(dir.to_path_buf()).into())
+            }
+            Err(e) => return Err(io::Error::from(e)),
+        };
         dag.validate()?;
         Ok(dag)
     }
@@ -699,6 +722,32 @@ mod tests {
         let mut bad_id = dag;
         bad_id.tasks.push(node("no/slashes", &[]));
         assert!(matches!(bad_id.validate(), Err(DagError::BadId(_))));
+    }
+
+    #[test]
+    fn loading_a_non_campaign_dir_is_a_clear_typed_error() {
+        // Regression: `mmwave top` / `fleet-export` / `campaign-status`
+        // pointed at a directory without a dag.json used to surface a raw
+        // missing-artifact store error; operators deserve a direct
+        // "not a campaign directory" message with the fix-it command.
+        let dir = std::env::temp_dir()
+            .join(format!("mmwave_dag_notacampaign_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let err = CampaignDag::load(&dir).expect_err("no dag.json present");
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+        let msg = err.to_string();
+        assert!(msg.contains("not a campaign directory"), "got: {msg}");
+        assert!(msg.contains("campaign-init"), "must name the fix: {msg}");
+        // A *corrupt* dag.json is a different failure and must keep its
+        // store-level diagnosis.
+        std::fs::write(paths::dag(&dir), b"{ not json").unwrap();
+        let err = CampaignDag::load(&dir).expect_err("corrupt dag.json");
+        assert!(
+            !err.to_string().contains("not a campaign directory"),
+            "corruption must not be misreported as a missing campaign: {err}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,119 @@
+//! Fixed-capacity ingress ring with a shed-oldest overflow policy.
+//!
+//! Every per-session ingress queue in the service is a [`FrameRing`]: a
+//! bounded FIFO that **never blocks and never grows**. When a frame
+//! arrives at a full ring the *oldest* buffered frame is shed to make
+//! room — under overload the service keeps the freshest window of each
+//! stream, which is the only window still worth classifying, and the
+//! caller gets the shed item back so every drop is accounted.
+
+use std::collections::VecDeque;
+
+/// A bounded FIFO that sheds its oldest element instead of growing.
+#[derive(Debug, Clone)]
+pub struct FrameRing<T> {
+    buf: VecDeque<T>,
+    capacity: usize,
+    shed: u64,
+}
+
+impl<T> FrameRing<T> {
+    /// Creates a ring holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (a zero-capacity ingress queue could
+    /// never assemble a clip; [`crate::ServeConfig::validate`] rejects it
+    /// before any ring is built).
+    pub fn new(capacity: usize) -> FrameRing<T> {
+        assert!(capacity > 0, "ring capacity must be positive");
+        FrameRing { buf: VecDeque::with_capacity(capacity), capacity, shed: 0 }
+    }
+
+    /// Appends `item`, shedding and returning the oldest buffered item
+    /// when the ring is full. Never blocks, never exceeds capacity.
+    pub fn push(&mut self, item: T) -> Option<T> {
+        let shed = if self.buf.len() == self.capacity {
+            self.shed += 1;
+            self.buf.pop_front()
+        } else {
+            None
+        };
+        self.buf.push_back(item);
+        debug_assert!(self.buf.len() <= self.capacity);
+        shed
+    }
+
+    /// Removes and returns the oldest `n` items when at least `n` are
+    /// buffered, else leaves the ring untouched and returns `None`.
+    pub fn take_front(&mut self, n: usize) -> Option<Vec<T>> {
+        if self.buf.len() < n {
+            return None;
+        }
+        Some(self.buf.drain(..n).collect())
+    }
+
+    /// Buffered item count.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items shed by overflow over the ring's lifetime.
+    pub fn shed_total(&self) -> u64 {
+        self.shed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_within_capacity_sheds_nothing() {
+        let mut ring = FrameRing::new(3);
+        assert_eq!(ring.push(1), None);
+        assert_eq!(ring.push(2), None);
+        assert_eq!(ring.push(3), None);
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.shed_total(), 0);
+    }
+
+    #[test]
+    fn overflow_sheds_oldest_first() {
+        let mut ring = FrameRing::new(2);
+        ring.push(1);
+        ring.push(2);
+        assert_eq!(ring.push(3), Some(1));
+        assert_eq!(ring.push(4), Some(2));
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.shed_total(), 2);
+        assert_eq!(ring.take_front(2), Some(vec![3, 4]));
+    }
+
+    #[test]
+    fn take_front_is_all_or_nothing() {
+        let mut ring = FrameRing::new(4);
+        ring.push(7);
+        assert_eq!(ring.take_front(2), None);
+        assert_eq!(ring.len(), 1);
+        ring.push(8);
+        assert_eq!(ring.take_front(2), Some(vec![7, 8]));
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "ring capacity must be positive")]
+    fn zero_capacity_is_rejected() {
+        let _ = FrameRing::<u8>::new(0);
+    }
+}

@@ -1,0 +1,302 @@
+//! The streaming inference service: ingest → assemble → micro-batch →
+//! verdict, with explicit backpressure and exact frame accounting.
+//!
+//! The service is deliberately caller-pumped and single-threaded at the
+//! control layer: [`Service::ingest`] only appends to a per-session ring
+//! (cheap, never blocks), and [`Service::pump`] does the heavy lifting —
+//! windowing rings into clips, coalescing ready clips across sessions
+//! into micro-batches, and fanning each batch across `exec`'s
+//! deterministic pool. Because batches are formed in session-id order
+//! from a FIFO ready queue and `par_map` preserves input order, the
+//! per-session verdict stream is byte-identical for any worker count.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::time::Instant;
+
+use mmwave_dsp::IfFrame;
+use mmwave_har::{CnnLstm, PrototypeConfig};
+use mmwave_radar::{Capturer, Environment};
+use mmwave_telemetry::{counter, gauge, observe, span};
+use serde::{Deserialize, Serialize};
+
+use crate::batcher;
+use crate::session::{PendingFrame, SessionState};
+use crate::{ServeConfig, ServeError};
+use mmwave_defense::TriggerDetector;
+
+/// A fixed-length window of raw frames, assembled from one session's
+/// ring and waiting in the ready queue for the next micro-batch.
+#[derive(Debug, Clone)]
+pub struct ReadyClip {
+    /// Owning session.
+    pub session: u64,
+    /// Monotone per-session clip number (assigned at assembly).
+    pub clip_index: u64,
+    /// Sequence number of the oldest frame in the clip.
+    pub first_seq: u64,
+    /// Sequence number of the newest frame in the clip.
+    pub last_seq: u64,
+    /// Ingest timestamp (ms since service epoch) of the newest frame;
+    /// end-to-end latency is measured from here.
+    pub last_ingest_ms: f64,
+    /// Exactly `clip_len` raw IF frames, oldest first.
+    pub frames: Vec<IfFrame>,
+}
+
+/// One classification result for one clip of one session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Verdict {
+    /// Owning session.
+    pub session: u64,
+    /// Per-session clip number.
+    pub clip_index: u64,
+    /// Oldest frame sequence number in the clip.
+    pub first_seq: u64,
+    /// Newest frame sequence number in the clip.
+    pub last_seq: u64,
+    /// Predicted class index.
+    pub label: usize,
+    /// Human-readable activity label for `label`.
+    pub activity: String,
+    /// Softmax probability of the predicted class.
+    pub confidence: f32,
+    /// Trigger-detector anomaly score from the `defense` crate.
+    pub defense_score: f64,
+    /// Newest-frame-ingest → verdict-emit latency in milliseconds.
+    /// Wall-clock, so excluded from determinism comparisons.
+    pub latency_ms: f64,
+}
+
+/// A frame-conservation snapshot across every session the service has
+/// ever seen. [`Accounting::balanced`] is the core backpressure
+/// invariant: every ingested frame is inferred, shed, or still in
+/// flight — nothing is silently lost.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Accounting {
+    /// Frames ever accepted by `ingest`.
+    pub ingested: u64,
+    /// Frames consumed by emitted verdicts.
+    pub inferred_frames: u64,
+    /// Frames shed by ring overflow or ready-queue overflow.
+    pub shed_frames: u64,
+    /// Frames buffered in rings plus frames inside ready clips.
+    pub in_flight_frames: u64,
+    /// Verdicts emitted.
+    pub verdicts: u64,
+    /// Sessions ever opened.
+    pub sessions: u64,
+    /// Highest single-ring depth ever observed.
+    pub peak_ring_depth: usize,
+}
+
+impl Accounting {
+    /// True when `ingested == inferred + shed + in_flight`.
+    pub fn balanced(&self) -> bool {
+        self.ingested == self.inferred_frames + self.shed_frames + self.in_flight_frames
+    }
+}
+
+/// The streaming inference service. See the module docs for the
+/// pump-driven execution model.
+pub struct Service {
+    config: ServeConfig,
+    capturer: Capturer,
+    environment: Environment,
+    model: CnnLstm,
+    detector: TriggerDetector,
+    sessions: BTreeMap<u64, SessionState>,
+    ready: VecDeque<ReadyClip>,
+    /// Frames currently buffered across all rings (incremental mirror
+    /// of `sum(ring.len())`, kept so the queue-depth gauge is O(1)).
+    ring_frames: u64,
+    verdict_total: u64,
+    epoch: Instant,
+}
+
+impl Service {
+    /// Builds a service around a freshly seeded model + detector pair.
+    ///
+    /// `config.clip_len` must match `proto.n_frames` — the CNN-LSTM was
+    /// shaped for exactly that many frames per clip — and the capture
+    /// pipeline is taken from `proto` so loadgen-synthesized frames have
+    /// matching dimensions.
+    pub fn new(
+        config: ServeConfig,
+        proto: &PrototypeConfig,
+        environment: Environment,
+        seed: u64,
+    ) -> Result<Service, ServeError> {
+        config.validate()?;
+        if config.clip_len != proto.n_frames {
+            return Err(ServeError::Config(format!(
+                "clip_len {} does not match the model's n_frames {}",
+                config.clip_len, proto.n_frames
+            )));
+        }
+        let _span = span("serve.init");
+        let capturer = Capturer::new(proto.capture.0.clone());
+        let model = CnnLstm::new(proto, seed);
+        let detector = TriggerDetector::new(proto, seed ^ 0x5e7e_c7ed);
+        Ok(Service {
+            config,
+            capturer,
+            environment,
+            model,
+            detector,
+            sessions: BTreeMap::new(),
+            ready: VecDeque::new(),
+            ring_frames: 0,
+            verdict_total: 0,
+            epoch: Instant::now(),
+        })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Milliseconds elapsed since the service was built.
+    pub fn now_ms(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64() * 1e3
+    }
+
+    /// Accepts one raw frame for `session`. Never blocks and never
+    /// grows a queue: a full ring sheds its oldest frame (counted in
+    /// `serve.shed_total` and the session's accounting).
+    pub fn ingest(&mut self, session: u64, seq: u64, frame: IfFrame) {
+        let now = self.now_ms();
+        let ring_capacity = self.config.ring_capacity;
+        let state = self.sessions.entry(session).or_insert_with(|| {
+            counter("serve.sessions_opened", 1);
+            SessionState::new(session, ring_capacity)
+        });
+        let shed = state.accept(PendingFrame { seq, ingest_ms: now, frame });
+        self.ring_frames = self.ring_frames + 1 - shed;
+        counter("serve.ingested", 1);
+        if shed > 0 {
+            counter("serve.shed_total", shed);
+        }
+        gauge("serve.queue_depth", self.queue_depth() as f64);
+    }
+
+    /// Frames currently held by the service: buffered in rings plus
+    /// inside ready clips. This is what the `serve.queue_depth` gauge
+    /// reports.
+    pub fn queue_depth(&self) -> u64 {
+        self.ring_frames + (self.ready.len() * self.config.clip_len) as u64
+    }
+
+    /// Clips assembled and waiting for the next micro-batch.
+    pub fn ready_clips(&self) -> usize {
+        self.ready.len()
+    }
+
+    /// Windows every ring holding at least `clip_len` frames into ready
+    /// clips, shedding the *oldest* ready clip when the ready queue is
+    /// at capacity (freshest work wins under overload, and every shed
+    /// frame stays accounted to its session).
+    fn assemble(&mut self) {
+        let clip_len = self.config.clip_len;
+        let ready_capacity = self.config.ready_capacity;
+        let mut queue_sheds: Vec<(u64, usize)> = Vec::new();
+        for (&id, state) in self.sessions.iter_mut() {
+            while let Some(frames) = state.ring.take_front(clip_len) {
+                self.ring_frames -= clip_len as u64;
+                let first = &frames[0];
+                let last = &frames[clip_len - 1];
+                let clip = ReadyClip {
+                    session: id,
+                    clip_index: state.clips,
+                    first_seq: first.seq,
+                    last_seq: last.seq,
+                    last_ingest_ms: last.ingest_ms,
+                    frames: frames.into_iter().map(|f| f.frame).collect(),
+                };
+                state.clips += 1;
+                counter("serve.clips_assembled", 1);
+                if self.ready.len() == ready_capacity {
+                    if let Some(old) = self.ready.pop_front() {
+                        queue_sheds.push((old.session, old.frames.len()));
+                    }
+                }
+                self.ready.push_back(clip);
+            }
+        }
+        for (session, frames) in queue_sheds {
+            counter("serve.shed_total", frames as u64);
+            counter("serve.shed_clips", 1);
+            if let Some(state) = self.sessions.get_mut(&session) {
+                state.shed += frames as u64;
+            }
+        }
+    }
+
+    /// Assembles ready clips, then drains the ready queue in
+    /// micro-batches of at most `max_batch` clips, running each batch's
+    /// DSP → CNN-LSTM → detector work on `exec`'s pool. Returns every
+    /// verdict produced, in deterministic (queue) order.
+    pub fn pump(&mut self) -> Vec<Verdict> {
+        let _span = span("serve.pump");
+        self.assemble();
+        let clip_len = self.config.clip_len as u64;
+        let mut verdicts = Vec::new();
+        while !self.ready.is_empty() {
+            let take = self.ready.len().min(self.config.max_batch);
+            let batch: Vec<ReadyClip> = self.ready.drain(..take).collect();
+            let now = self.now_ms();
+            let out = batcher::infer_batch(
+                &self.capturer,
+                &self.environment,
+                &self.model,
+                &self.detector,
+                &batch,
+                now,
+            );
+            for v in &out {
+                if let Some(state) = self.sessions.get_mut(&v.session) {
+                    state.inferred += clip_len;
+                }
+                observe("serve.latency_ms", v.latency_ms);
+            }
+            self.verdict_total += out.len() as u64;
+            counter("serve.verdicts", out.len() as u64);
+            verdicts.extend(out);
+        }
+        gauge("serve.queue_depth", self.queue_depth() as f64);
+        verdicts
+    }
+
+    /// Graceful shutdown: pumps until the ready queue is empty and every
+    /// assemblable clip has been inferred. Frames left in rings (fewer
+    /// than `clip_len` per session) stay in flight and remain visible in
+    /// [`Service::accounting`].
+    pub fn drain(&mut self) -> Vec<Verdict> {
+        let _span = span("serve.drain");
+        let out = self.pump();
+        counter("serve.drains", 1);
+        gauge("serve.queue_depth", self.queue_depth() as f64);
+        out
+    }
+
+    /// Snapshot of the frame-conservation ledger across all sessions.
+    pub fn accounting(&self) -> Accounting {
+        let mut acc = Accounting {
+            ingested: 0,
+            inferred_frames: 0,
+            shed_frames: 0,
+            in_flight_frames: (self.ready.len() * self.config.clip_len) as u64,
+            verdicts: self.verdict_total,
+            sessions: self.sessions.len() as u64,
+            peak_ring_depth: 0,
+        };
+        for state in self.sessions.values() {
+            acc.ingested += state.ingested;
+            acc.inferred_frames += state.inferred;
+            acc.shed_frames += state.shed;
+            acc.in_flight_frames += state.ring.len() as u64;
+            acc.peak_ring_depth = acc.peak_ring_depth.max(state.peak_ring_depth);
+        }
+        acc
+    }
+}

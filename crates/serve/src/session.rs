@@ -1,0 +1,92 @@
+//! Per-session stream state: the ingress ring plus exact frame
+//! accounting.
+//!
+//! A *session* is one sensor's live stream. Frames land in the session's
+//! [`FrameRing`] at ingest (cheap, never blocking); the service's pump
+//! later windows them into fixed-length clips. Every frame a session has
+//! ever accepted is, at any instant, in exactly one of four places —
+//! still buffered, inside a pending clip, inferred, or shed — and the
+//! per-session counters here are what the service's global
+//! [`crate::Accounting`] invariant sums over.
+
+use crate::ring::FrameRing;
+use mmwave_dsp::IfFrame;
+
+/// One raw frame buffered inside a session ring.
+#[derive(Debug, Clone)]
+pub struct PendingFrame {
+    /// Sender-assigned sequence number (monotone per session).
+    pub seq: u64,
+    /// Milliseconds since the service epoch when the frame was ingested;
+    /// end-to-end latency is measured from here.
+    pub ingest_ms: f64,
+    /// The raw IF cube.
+    pub frame: IfFrame,
+}
+
+/// The state and lifetime accounting of one sensor stream.
+#[derive(Debug)]
+pub struct SessionState {
+    /// The session id.
+    pub id: u64,
+    /// Bounded ingress ring of raw frames.
+    pub ring: FrameRing<PendingFrame>,
+    /// Frames ever accepted into the ring.
+    pub ingested: u64,
+    /// Frames shed (ring overflow plus any clips of this session shed
+    /// from the ready queue).
+    pub shed: u64,
+    /// Frames consumed by emitted verdicts.
+    pub inferred: u64,
+    /// Clips emitted so far (the next verdict's `clip_index`).
+    pub clips: u64,
+    /// Highest ring depth ever observed (the backpressure test reads
+    /// this to pin the never-exceeds-capacity invariant).
+    pub peak_ring_depth: usize,
+}
+
+impl SessionState {
+    /// Creates an empty session with a ring of `ring_capacity` frames.
+    pub fn new(id: u64, ring_capacity: usize) -> SessionState {
+        SessionState {
+            id,
+            ring: FrameRing::new(ring_capacity),
+            ingested: 0,
+            shed: 0,
+            inferred: 0,
+            clips: 0,
+            peak_ring_depth: 0,
+        }
+    }
+
+    /// Accepts one frame into the ring, shedding the oldest buffered
+    /// frame when full. Returns the number of frames shed (0 or 1).
+    pub fn accept(&mut self, frame: PendingFrame) -> u64 {
+        self.ingested += 1;
+        let shed = u64::from(self.ring.push(frame).is_some());
+        self.shed += shed;
+        self.peak_ring_depth = self.peak_ring_depth.max(self.ring.len());
+        shed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(seq: u64) -> PendingFrame {
+        PendingFrame { seq, ingest_ms: seq as f64, frame: IfFrame::zeros(1, 1, 2) }
+    }
+
+    #[test]
+    fn accept_tracks_ingest_shed_and_peak() {
+        let mut s = SessionState::new(7, 2);
+        assert_eq!(s.accept(frame(0)), 0);
+        assert_eq!(s.accept(frame(1)), 0);
+        assert_eq!(s.accept(frame(2)), 1);
+        assert_eq!((s.ingested, s.shed, s.peak_ring_depth), (3, 1, 2));
+        // The survivors are the freshest contiguous window.
+        let kept = s.ring.take_front(2).expect("two frames buffered");
+        assert_eq!(kept.iter().map(|f| f.seq).collect::<Vec<_>>(), vec![1, 2]);
+    }
+}

@@ -17,6 +17,9 @@
 //! mmwave top <dir> [--ttl <secs>] [--factor 4.0] [--refresh-secs 2.0] [--once]
 //! mmwave fleet-export <dir> [--out <dir>] [--ttl <secs>] [--factor 4.0]
 //! mmwave dag-chaos [--dir <dir>] [--procs 3] [--keep]
+//! mmwave serve   [--sessions 4] [--seconds 10] [--fps 10] [--seed 7]
+//! mmwave loadgen [--sessions 8] [--seconds 5] [--fps 10] [--jitter 0.2]
+//!                [--burst 1] [--seed 7] [--paced] [--out <dir>]
 //! ```
 //!
 //! Global flags, accepted by every command:
@@ -49,6 +52,7 @@ use mmwave_har_backdoor::har::{CnnLstm, PrototypeConfig, Trainer, TrainerConfig}
 use mmwave_har_backdoor::radar::capture::{CaptureConfig, Capturer, TriggerPlan};
 use mmwave_har_backdoor::radar::trigger::{Trigger, TriggerAttachment};
 use mmwave_har_backdoor::radar::{Environment, Placement};
+use mmwave_har_backdoor::serve;
 use mmwave_har_backdoor::telemetry;
 use std::collections::HashMap;
 use std::io;
@@ -111,6 +115,8 @@ fn main() -> ExitCode {
         // their own stage-time summary would only be noise.
         "top" => return top_cmd(&opts, &positionals),
         "fleet-export" => return fleet_export_cmd(&opts, &positionals),
+        "serve" => serve_cmd(&opts),
+        "loadgen" => loadgen_cmd(&opts),
         "dag-chaos" => dag_chaos(&opts),
         // Hidden helper: the small journaled campaign the chaos driver
         // kills and resumes (spawned via `current_exe`, not user-facing).
@@ -254,6 +260,24 @@ fn print_usage() {
                      with a report byte-identical to an uninterrupted\n\
                      single-worker run; nonzero exit on any mismatch\n\
                      flags: --dir <dir> --procs <n> (default 3) --keep\n\
+           serve     run the streaming inference service over a paced\n\
+                     simulated multi-sensor feed, printing one line per\n\
+                     verdict (activity, confidence, defense score,\n\
+                     latency) and the closing frame accounting\n\
+                     flags: --sessions <n> (default 4) --seconds <s>\n\
+                            (default 10) --fps <f> --jitter <0..1>\n\
+                            --burst <n> --seed <n>\n\
+                     env:   MMWAVE_SERVE_CLIP_LEN / _RING_CAP /\n\
+                            _READY_CAP / _BATCH_MAX (see docs/serving.md)\n\
+           loadgen   replay N seeded sensor streams against the service\n\
+                     as fast as possible and write the throughput /\n\
+                     latency report as a checksummed artifact plus a\n\
+                     BENCH_loadgen.json baseline for perf-check;\n\
+                     nonzero exit on any unaccounted frame\n\
+                     flags: --sessions <n> (default 8) --seconds <s>\n\
+                            (default 5) --fps <f> --jitter <0..1>\n\
+                            --burst <n> --seed <n> --paced\n\
+                            --out <dir> (default loadgen-results)\n\
          \n\
          global flags:\n\
            --log-level <error|warn|info|debug|trace>   stderr verbosity\n\
@@ -280,6 +304,7 @@ fn parse_flags(args: &[String]) -> Result<(HashMap<String, String>, Vec<String>)
             || name == "report-only"
             || name == "keep"
             || name == "once"
+            || name == "paced"
         {
             out.insert(name.to_string(), "true".to_string());
             continue;
@@ -1085,13 +1110,31 @@ fn render_top(
         .counters
         .iter()
         .filter(|(k, _)| {
-            k.starts_with("dag.") || k.starts_with("store.claim.") || k.starts_with("fleet.")
+            k.starts_with("dag.")
+                || k.starts_with("store.claim.")
+                || k.starts_with("fleet.")
+                || k.starts_with("serve.")
         })
         .collect();
     if !interesting.is_empty() {
         let _ = writeln!(out, "merged counters:");
         for (k, v) in interesting {
             let _ = writeln!(out, "  {k:<28} {v}");
+        }
+    }
+    // Service saturation is a gauge, not a counter: surface the latest
+    // per-worker `serve.*` gauges (queue depth, anything else the service
+    // publishes) so a backlogged server is visible fleet-wide.
+    let serve_gauges: Vec<_> = merged
+        .merged
+        .gauges
+        .iter()
+        .filter(|(k, _)| k.starts_with("serve."))
+        .collect();
+    if !serve_gauges.is_empty() {
+        let _ = writeln!(out, "serve gauges:");
+        for (k, g) in serve_gauges {
+            let _ = writeln!(out, "  {k:<28} {:.0}", g.value);
         }
     }
     let hotspots = telemetry::merged_profile(&merged.merged).hotspot_table(8);
@@ -1179,6 +1222,200 @@ fn fleet_export_cmd(opts: &HashMap<String, String>, positionals: &[String]) -> E
             ExitCode::FAILURE
         }
     }
+}
+
+/// Parses the stream-shape flags shared by `serve` and `loadgen`
+/// (`--sessions --seconds --fps --jitter --burst --seed --paced`) on top
+/// of per-command defaults.
+fn loadgen_config(
+    opts: &HashMap<String, String>,
+    defaults: serve::LoadgenConfig,
+) -> Result<serve::LoadgenConfig, String> {
+    let mut cfg = defaults;
+    if let Some(raw) = opts.get("sessions") {
+        cfg.sessions = raw
+            .parse()
+            .map_err(|_| format!("--sessions needs a positive integer, got `{raw}`"))?;
+    }
+    if let Some(raw) = opts.get("seconds") {
+        cfg.seconds =
+            raw.parse().map_err(|_| format!("--seconds needs a number, got `{raw}`"))?;
+    }
+    if let Some(raw) = opts.get("fps") {
+        cfg.fps = raw.parse().map_err(|_| format!("--fps needs a number, got `{raw}`"))?;
+    }
+    if let Some(raw) = opts.get("jitter") {
+        cfg.jitter =
+            raw.parse().map_err(|_| format!("--jitter needs a number, got `{raw}`"))?;
+    }
+    if let Some(raw) = opts.get("burst") {
+        cfg.burst = raw
+            .parse()
+            .map_err(|_| format!("--burst needs a positive integer, got `{raw}`"))?;
+    }
+    if let Some(raw) = opts.get("seed") {
+        cfg.seed =
+            raw.parse().map_err(|_| format!("--seed needs an integer, got `{raw}`"))?;
+    }
+    if opts.contains_key("paced") {
+        cfg.paced = true;
+    }
+    cfg.validate().map_err(|e| e.to_string())?;
+    Ok(cfg)
+}
+
+/// `mmwave serve`: the live-service demonstrator. Runs the streaming
+/// inference service over a paced, simulated multi-sensor feed and
+/// prints one line per verdict plus the closing frame accounting;
+/// `loadgen` is the throughput harness over the same machinery.
+fn serve_cmd(opts: &HashMap<String, String>) -> ExitCode {
+    let defaults = serve::LoadgenConfig {
+        sessions: 4,
+        seconds: 10.0,
+        paced: true,
+        ..serve::LoadgenConfig::default()
+    };
+    let lg = match loadgen_config(opts, defaults) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let serve_cfg = serve::ServeConfig::from_env();
+    let proto = PrototypeConfig::fast();
+    println!(
+        "serve: {} session(s) at {:.1} fps for {:.0}s (clip {} frames, ring {}, batch <= {})",
+        lg.sessions,
+        lg.fps,
+        lg.seconds,
+        serve_cfg.clip_len,
+        serve_cfg.ring_capacity,
+        serve_cfg.max_batch
+    );
+    let run = serve::loadgen::run_with(&lg, serve_cfg, &proto, Environment::hallway(), |v| {
+        println!(
+            "  s{:<3} clip {:<3} [{:>4}..{:>4}]  {:<14} p={:.2}  defense={:.2}  {:>7.1}ms",
+            v.session,
+            v.clip_index,
+            v.first_seq,
+            v.last_seq,
+            v.activity,
+            v.confidence,
+            v.defense_score,
+            v.latency_ms
+        );
+    });
+    let report = match run {
+        Ok(r) => r,
+        Err(e) => {
+            telemetry::error!("serve failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "drained: {} verdicts from {} session(s); {} frames ingested, {} shed, {} still buffered",
+        report.verdicts,
+        report.sessions_served,
+        report.ingested,
+        report.shed_frames,
+        report.in_flight_frames
+    );
+    if !report.is_clean() {
+        telemetry::error!(
+            "frame accounting imbalance: {} frame(s) unaccounted",
+            report.unaccounted
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// `mmwave loadgen`: replays N seeded sensor streams against a fresh
+/// service (firehose by default, `--paced` to honor arrival times) and
+/// writes the throughput/latency report as a checksummed artifact plus
+/// a `BENCH_loadgen.json` baseline `mmwave perf-check` can gate.
+/// Nonzero exit if any ingested frame ends up unaccounted.
+fn loadgen_cmd(opts: &HashMap<String, String>) -> ExitCode {
+    use mmwave_har_backdoor::bench::baseline::{self, BenchBaseline};
+    let lg = match loadgen_config(opts, serve::LoadgenConfig::default()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let serve_cfg = serve::ServeConfig::from_env();
+    let proto = PrototypeConfig::fast();
+    let out_dir =
+        PathBuf::from(opts.get("out").map(String::as_str).unwrap_or("loadgen-results"));
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        telemetry::error!("cannot create `{}`: {e}", out_dir.display());
+        return ExitCode::FAILURE;
+    }
+    let report = match serve::loadgen::run(&lg, serve_cfg, &proto, Environment::hallway()) {
+        Ok(r) => r,
+        Err(e) => {
+            telemetry::error!("loadgen failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "loadgen: {} session(s) x {:.0}s @ {:.1} fps, burst {}, jitter {:.2} ({})",
+        lg.sessions,
+        lg.seconds,
+        lg.fps,
+        lg.burst,
+        lg.jitter,
+        if lg.paced { "paced" } else { "firehose" }
+    );
+    println!("  wall            {:.0} ms ({} workers)", report.wall_ms, report.workers);
+    println!("  sessions/sec    {:.2}", report.sessions_per_sec);
+    println!("  inferences/sec  {:.2}", report.inferences_per_sec);
+    println!("  frames/sec      {:.0}", report.frames_per_sec);
+    println!(
+        "  latency ms      p50 {:.1} / p95 {:.1} / p99 {:.1} / max {:.1}",
+        report.latency_p50_ms, report.latency_p95_ms, report.latency_p99_ms, report.latency_max_ms
+    );
+    println!(
+        "  drop rate       {:.2}% ({} of {} frames shed; peak ring {} / queue {})",
+        report.drop_rate * 100.0,
+        report.shed_frames,
+        report.ingested,
+        report.peak_ring_depth,
+        report.peak_queue_depth
+    );
+    let report_path = out_dir.join("loadgen_report.json");
+    if let Err(e) = report.save(&report_path) {
+        telemetry::error!("cannot save the loadgen report: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("  report          {}", report_path.display());
+    let bench = BenchBaseline {
+        schema_version: baseline::SCHEMA_VERSION,
+        bench: "loadgen".to_string(),
+        wall_ms: report.wall_ms,
+        workers: report.workers,
+        iterations: 1,
+        throughput_per_sec: Some(report.inferences_per_sec),
+        git_sha: baseline::git_sha(),
+        timestamp_ms: telemetry::event::unix_millis(),
+        stages: std::collections::BTreeMap::new(),
+    };
+    let bench_path = out_dir.join(BenchBaseline::file_name("loadgen"));
+    if let Err(e) = bench.save(&bench_path) {
+        telemetry::error!("cannot save the loadgen perf baseline: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("  baseline        {}", bench_path.display());
+    if !report.is_clean() {
+        telemetry::error!(
+            "frame accounting imbalance: {} frame(s) unaccounted",
+            report.unaccounted
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }
 
 /// Spawns one `mmwave worker` child over `dir`. Every child gets a pinned

@@ -22,6 +22,7 @@
 //! | [`telemetry`] | `mmwave-telemetry` | spans, metrics, traces, profiles, run events |
 //! | [`exec`] | `mmwave-exec` | deterministic work-stealing parallel runtime |
 //! | [`store`] | `mmwave-store` | atomic checksummed artifact I/O, quarantine, crash points |
+//! | [`serve`] | `mmwave-serve` | streaming inference service + load generator |
 //! | [`bench`] | `mmwave-bench` | bench harness, perf baselines, regression gate |
 //!
 //! See `examples/quickstart.rs` for a guided tour, and the `mmwave-bench`
@@ -37,6 +38,7 @@ pub use mmwave_geom as geom;
 pub use mmwave_har as har;
 pub use mmwave_nn as nn;
 pub use mmwave_radar as radar;
+pub use mmwave_serve as serve;
 pub use mmwave_shap as shap;
 pub use mmwave_store as store;
 pub use mmwave_telemetry as telemetry;

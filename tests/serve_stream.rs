@@ -1,0 +1,137 @@
+//! Backpressure and determinism contracts of the `mmwave-serve`
+//! streaming service.
+//!
+//! 1. Under *any* arrival pattern, a session ring never exceeds its
+//!    capacity and the frame-conservation ledger balances at every
+//!    step: `ingested == inferred + shed + in_flight`. Sheds are exact,
+//!    not estimates.
+//! 2. The verdict stream is byte-identical at 1 worker and at 4
+//!    workers: micro-batches are formed deterministically and
+//!    `exec::par_map` preserves input order, so parallelism only trades
+//!    wall time.
+
+use mmwave_har_backdoor::dsp::IfFrame;
+use mmwave_har_backdoor::har::PrototypeConfig;
+use mmwave_har_backdoor::radar::Environment;
+use mmwave_har_backdoor::serve::{loadgen, LoadgenConfig, ServeConfig, Service, Verdict};
+use proptest::prelude::*;
+
+const RING_CAP: usize = 10;
+const READY_CAP: usize = 2;
+
+/// A blank frame matching the smoke capture pipeline's dimensions (the
+/// invariants do not depend on frame content).
+fn blank_frame(proto: &PrototypeConfig) -> IfFrame {
+    let radar = &proto.capture.0.radar;
+    IfFrame::zeros(radar.n_virtual(), radar.n_chirps, radar.n_adc)
+}
+
+proptest! {
+    // Each case runs real DSP + model inference per assembled clip, so
+    // keep the case count modest; the arrival-pattern space is still
+    // explored across sessions, burst sizes, and pump placements.
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+    #[test]
+    fn backpressure_invariants_hold_under_any_arrival_pattern(
+        groups in prop::collection::vec((0u64..3u64, 1usize..16usize, any::<bool>()), 1..10)
+    ) {
+        let proto = PrototypeConfig::smoke_test();
+        let cfg = ServeConfig {
+            clip_len: proto.n_frames,
+            ring_capacity: RING_CAP,
+            ready_capacity: READY_CAP,
+            max_batch: 2,
+        };
+        let mut service =
+            Service::new(cfg, &proto, Environment::hallway(), 7).expect("valid config");
+        let mut next_seq = [0u64; 3];
+        let mut sent = 0u64;
+        for (session, count, pump_after) in groups {
+            for _ in 0..count {
+                let seq = next_seq[session as usize];
+                next_seq[session as usize] += 1;
+                service.ingest(session, seq, blank_frame(&proto));
+                sent += 1;
+                let acc = service.accounting();
+                prop_assert!(acc.balanced(), "imbalance after ingest: {acc:?}");
+                prop_assert!(
+                    acc.peak_ring_depth <= RING_CAP,
+                    "ring exceeded capacity: {acc:?}"
+                );
+            }
+            if pump_after {
+                let _ = service.pump();
+                let acc = service.accounting();
+                prop_assert!(acc.balanced(), "imbalance after pump: {acc:?}");
+            }
+        }
+        let _ = service.drain();
+        let acc = service.accounting();
+        prop_assert!(acc.balanced(), "imbalance at drain: {acc:?}");
+        prop_assert_eq!(acc.ingested, sent, "every sent frame must be counted");
+        prop_assert!(acc.peak_ring_depth <= RING_CAP);
+        prop_assert_eq!(service.ready_clips(), 0, "drain must empty the ready queue");
+        // After a drain only sub-clip ring remainders may stay in flight.
+        prop_assert!(
+            acc.in_flight_frames < (3 * proto.n_frames) as u64,
+            "post-drain in-flight must be < one clip per session: {acc:?}"
+        );
+    }
+}
+
+/// Everything about a verdict except wall-clock latency, bit-exact.
+type VerdictKey = (u64, u64, u64, u64, usize, String, u32, u64);
+
+fn verdict_key(v: &Verdict) -> VerdictKey {
+    (
+        v.session,
+        v.clip_index,
+        v.first_seq,
+        v.last_seq,
+        v.label,
+        v.activity.clone(),
+        v.confidence.to_bits(),
+        v.defense_score.to_bits(),
+    )
+}
+
+fn run_at(workers: usize) -> (loadgen::LoadgenReport, Vec<VerdictKey>) {
+    let proto = PrototypeConfig::smoke_test();
+    let serve_cfg = ServeConfig {
+        clip_len: proto.n_frames,
+        ring_capacity: proto.n_frames * 2,
+        ready_capacity: 8,
+        max_batch: 4,
+    };
+    let lg = LoadgenConfig {
+        sessions: 4,
+        seconds: 2.0,
+        fps: 20.0,
+        burst: 3,
+        seed: 99,
+        ..LoadgenConfig::default()
+    };
+    let mut verdicts = Vec::new();
+    let report = mmwave_har_backdoor::exec::with_workers(workers, || {
+        loadgen::run_with(&lg, serve_cfg, &proto, Environment::hallway(), |v| {
+            verdicts.push(verdict_key(v));
+        })
+    })
+    .expect("loadgen config is valid");
+    (report, verdicts)
+}
+
+#[test]
+fn verdict_streams_are_identical_at_one_and_four_workers() {
+    let (report_serial, serial) = run_at(1);
+    let (report_parallel, parallel) = run_at(4);
+    assert!(!serial.is_empty(), "the run must produce verdicts");
+    assert_eq!(
+        serial, parallel,
+        "per-session verdict streams must not depend on the worker count"
+    );
+    assert!(report_serial.is_clean() && report_parallel.is_clean());
+    assert_eq!(report_serial.ingested, report_parallel.ingested);
+    assert_eq!(report_serial.shed_frames, report_parallel.shed_frames);
+    assert_eq!(report_serial.verdicts, report_parallel.verdicts);
+}

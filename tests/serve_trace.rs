@@ -1,0 +1,66 @@
+//! `serve.*` observability contract: a loadgen run traced through the
+//! Chrome/Perfetto exporter must contain the service's spans — the
+//! service is born observable, not instrumented after the fact.
+//!
+//! One `#[test]` only: the telemetry registry is process-global, and this
+//! file owns its sink configuration for the whole process.
+
+use mmwave_har_backdoor::har::PrototypeConfig;
+use mmwave_har_backdoor::radar::Environment;
+use mmwave_har_backdoor::serve::{loadgen, LoadgenConfig, ServeConfig};
+use mmwave_har_backdoor::telemetry;
+use std::collections::BTreeSet;
+
+#[test]
+fn loadgen_traces_contain_serve_spans() {
+    let dir = std::env::temp_dir().join(format!("mmwave_serve_trace_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace_path = dir.join("serve.trace.json");
+
+    telemetry::configure(&telemetry::TelemetryConfig {
+        disabled: false,
+        stderr_verbosity: None,
+        metrics_out: None,
+        trace_out: Some(trace_path.clone()),
+    })
+    .unwrap();
+
+    let proto = PrototypeConfig::smoke_test();
+    let serve_cfg = ServeConfig {
+        clip_len: proto.n_frames,
+        ring_capacity: proto.n_frames * 2,
+        ..ServeConfig::default()
+    };
+    let lg = LoadgenConfig { sessions: 2, seconds: 1.0, seed: 5, ..LoadgenConfig::default() };
+    let report =
+        loadgen::run(&lg, serve_cfg, &proto, Environment::hallway()).expect("valid config");
+    assert!(report.is_clean(), "unaccounted frames: {}", report.unaccounted);
+    assert!(report.verdicts > 0, "the run must infer at least one clip");
+
+    // Detach the sink (flushing it) so later configuration cannot bleed
+    // events into this file.
+    telemetry::configure(&telemetry::TelemetryConfig::default()).unwrap();
+
+    let entries = telemetry::read_trace_file(&trace_path).unwrap();
+    let span_names: BTreeSet<String> = entries
+        .iter()
+        .filter(|e| e["ph"] == "X")
+        .filter_map(|e| e["name"].as_str().map(String::from))
+        .collect();
+    for required in ["serve.loadgen", "serve.pump", "serve.infer_batch"] {
+        assert!(
+            span_names.iter().any(|n| n.contains(required)),
+            "trace must contain a `{required}` span, saw: {span_names:?}"
+        );
+    }
+    // The latency histogram made it into the registry as well.
+    let export = telemetry::global().export_metrics();
+    assert!(
+        export.histograms.contains_key("serve.latency_ms"),
+        "serve.latency_ms histogram must be populated"
+    );
+    assert!(export.counters.get("serve.ingested").copied().unwrap_or(0) > 0);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
