@@ -1,0 +1,77 @@
+//! Engineering benchmark (not from the paper): overhead of attaching
+//! the `mmwave-monitor` model-health engine to the streaming service.
+//!
+//! Runs the same seeded firehose workload twice — bare `loadgen::run`,
+//! then `run_monitored` with a captured reference profile and an
+//! `alerts.jsonl` sink — and reports the inferences/s delta. The
+//! monitor folds each verdict into O(bins) counters and scores one
+//! window every `2 x sessions` verdicts, so the target is < 5%
+//! regression. The `BaselineGuard` writes `BENCH_monitor_overhead.json`
+//! (items = monitored-run verdicts) for `mmwave perf-check` to gate.
+
+use mmwave_har::PrototypeConfig;
+use mmwave_monitor::{self as monitor, MonitorConfig};
+use mmwave_radar::Environment;
+use mmwave_serve::{loadgen, LoadgenConfig, ServeConfig};
+
+const SESSIONS: usize = 16;
+const SECONDS: f64 = 4.0;
+
+fn main() {
+    let mut baseline = mmwave_bench::baseline::BaselineGuard::new("monitor_overhead");
+    let proto = PrototypeConfig::smoke_test();
+    let serve_cfg = ServeConfig {
+        clip_len: proto.n_frames,
+        ring_capacity: proto.n_frames * 2,
+        ..ServeConfig::default()
+    };
+    let lg = LoadgenConfig {
+        sessions: SESSIONS,
+        seconds: SECONDS,
+        seed: 42,
+        ..LoadgenConfig::default()
+    };
+
+    println!("\n=== monitor_overhead: drift scoring on the hot path ===");
+    println!(
+        "workload: {SESSIONS} sessions x {SECONDS}s @ {:.0} fps, clip {} frames",
+        lg.fps, serve_cfg.clip_len
+    );
+
+    let bare = loadgen::run(&lg, serve_cfg.clone(), &proto, Environment::hallway())
+        .expect("loadgen config is valid");
+    assert!(bare.is_clean(), "bare run must account every frame");
+
+    let (reference, _) =
+        monitor::capture_profile(&lg, serve_cfg.clone(), &proto, Environment::hallway())
+            .expect("reference capture succeeds");
+    let alerts_path = std::env::temp_dir()
+        .join(format!("mmwave_bench_monitor_overhead_{}.jsonl", std::process::id()));
+    let outcome = monitor::run_monitored(
+        &lg,
+        serve_cfg,
+        &proto,
+        Environment::hallway(),
+        &MonitorConfig::default(),
+        reference,
+        Some(&alerts_path),
+        |_| {},
+    )
+    .expect("monitored run succeeds");
+    let _ = std::fs::remove_file(&alerts_path);
+    assert!(outcome.report.is_clean(), "monitored run must account every frame");
+    assert_eq!(outcome.report.verdicts, bare.verdicts, "same workload, same verdicts");
+    baseline.set_items(outcome.report.verdicts);
+
+    let overhead = if outcome.report.inferences_per_sec > 0.0 {
+        (bare.inferences_per_sec / outcome.report.inferences_per_sec - 1.0) * 100.0
+    } else {
+        f64::NAN
+    };
+    println!("{:<24}{:>12.2}", "bare inferences/s", bare.inferences_per_sec);
+    println!("{:<24}{:>12.2}", "monitored inferences/s", outcome.report.inferences_per_sec);
+    println!("{:<24}{:>11.2}%", "overhead", overhead);
+    println!("{:<24}{:>12}", "windows scored", outcome.windows);
+    println!("{:<24}{:>12}", "alerts fired", outcome.alerts.len());
+    let _ = mmwave_telemetry::finish();
+}

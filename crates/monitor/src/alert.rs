@@ -1,0 +1,98 @@
+//! Typed alert records for the `alerts.jsonl` audit sink.
+//!
+//! Alerts deliberately carry **no wall-clock fields**: every field is a
+//! deterministic function of the (seeded) verdict stream, so for a
+//! fixed seed the audit log is bit-identical at any worker count — the
+//! same contract the serve layer makes for verdicts. Position in the
+//! stream is expressed by window index and cumulative verdict count.
+
+use serde::{Deserialize, Serialize};
+
+/// Which alert rule fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum AlertKind {
+    /// Per-class prediction rates diverged (PSI over threshold).
+    ClassDrift,
+    /// The confidence distribution moved (total variation over
+    /// threshold).
+    ConfidenceDrift,
+    /// Trigger-detector scores are landing in bins clean traffic never
+    /// produced.
+    TriggerTail,
+    /// The backdoor heuristic: a target-class rate spike co-occurring
+    /// with trigger-score tail inflation.
+    Backdoor,
+}
+
+impl AlertKind {
+    /// Stable snake_case name, used for `monitor.alerts.<kind>`
+    /// counters and log lines.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AlertKind::ClassDrift => "class_drift",
+            AlertKind::ConfidenceDrift => "confidence_drift",
+            AlertKind::TriggerTail => "trigger_tail",
+            AlertKind::Backdoor => "backdoor",
+        }
+    }
+}
+
+/// One fired alert, as appended (CRC-framed) to `alerts.jsonl`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Alert {
+    /// Alert schema version (bumped on incompatible changes).
+    pub schema_version: u32,
+    /// The rule that fired.
+    pub kind: AlertKind,
+    /// Window whose evaluation completed the sustain streak.
+    pub window_index: u64,
+    /// Cumulative verdicts observed when the alert fired.
+    pub verdicts_seen: u64,
+    /// The rule's observed value in the firing window.
+    pub value: f64,
+    /// The threshold it exceeded.
+    pub threshold: f64,
+    /// Consecutive over-threshold windows behind this alert.
+    pub sustained: usize,
+    /// Human-readable context (spiking class, co-occurring tail mass).
+    pub detail: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_serializes_snake_case_and_matches_name() {
+        for kind in [
+            AlertKind::ClassDrift,
+            AlertKind::ConfidenceDrift,
+            AlertKind::TriggerTail,
+            AlertKind::Backdoor,
+        ] {
+            let json = serde_json::to_string(&kind).expect("serializes");
+            assert_eq!(json, format!("\"{}\"", kind.name()));
+            let back: AlertKind = serde_json::from_str(&json).expect("parses");
+            assert_eq!(back, kind);
+        }
+    }
+
+    #[test]
+    fn alert_round_trips_and_is_single_line() {
+        let alert = Alert {
+            schema_version: 1,
+            kind: AlertKind::Backdoor,
+            window_index: 3,
+            verdicts_seen: 80,
+            value: 0.1,
+            threshold: 0.08,
+            sustained: 2,
+            detail: "class 2 rate +0.100 with trigger tail 0.40".into(),
+        };
+        let json = serde_json::to_string(&alert).expect("serializes");
+        assert!(!json.contains('\n'), "JSONL records must be single-line");
+        let back: Alert = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back, alert);
+    }
+}

@@ -1,0 +1,228 @@
+//! Pure drift arithmetic: how far a window's verdict distribution has
+//! moved from the clean reference.
+//!
+//! Three families of signal, because the attack and benign drift leave
+//! different fingerprints:
+//!
+//! - **Class-rate divergence** (PSI, chi-square): the backdoor's whole
+//!   point is to move mass onto the target class, but environment shift
+//!   also perturbs rates, so this alone cannot convict.
+//! - **Confidence distance** (total variation): poisoned models stay
+//!   *confident* in the flipped label, so a rate spike with an unmoved
+//!   confidence distribution is more suspicious than one accompanied by
+//!   a collapse (which smells like domain shift).
+//! - **Trigger-score tail mass**: the fraction of a window's
+//!   trigger-detector scores landing in bins the clean reference left
+//!   *empty*. A worn reflector pushes scores into score territory clean
+//!   traffic never visits; benign drift mostly reshuffles mass among
+//!   already-populated bins.
+//!
+//! The backdoor heuristic in [`crate::Monitor`] requires the spike and
+//! the tail together.
+
+use serde::{Deserialize, Serialize};
+
+use crate::profile::ReferenceProfile;
+
+/// Floor applied to reference probabilities so empty reference bins do
+/// not blow PSI/chi-square up to infinity.
+const EPS: f64 = 1e-6;
+
+/// One window's divergence from the reference profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DriftScores {
+    /// Zero-based index of the window (windows close every `window`
+    /// verdicts).
+    pub window_index: u64,
+    /// Verdicts in this window.
+    pub verdicts: u64,
+    /// Population-stability index over per-class prediction rates.
+    pub class_psi: f64,
+    /// Chi-square statistic over per-class prediction counts.
+    pub class_chi2: f64,
+    /// Total-variation distance between confidence distributions.
+    pub confidence_tv: f64,
+    /// Fraction of trigger scores in bins the reference never touched.
+    pub trigger_tail: f64,
+    /// Class with the largest rate increase over the reference, if any
+    /// class rate rose at all.
+    pub spike_class: Option<usize>,
+    /// That largest rate increase (0 when no class rose).
+    pub spike_delta: f64,
+}
+
+/// Scores one closed window (class counts, confidence bins, score bins)
+/// against the reference.
+pub fn score_window(
+    reference: &ReferenceProfile,
+    class_counts: &[u64],
+    confidence_bins: &[u64],
+    score_bins: &[u64],
+    window_index: u64,
+) -> DriftScores {
+    let verdicts: u64 = class_counts.iter().sum();
+    let win_rates = normalized(class_counts, verdicts);
+    let ref_rates = reference.class_rates();
+    let (spike_class, spike_delta) = largest_spike(&ref_rates, &win_rates);
+    DriftScores {
+        window_index,
+        verdicts,
+        class_psi: psi(&ref_rates, &win_rates),
+        class_chi2: chi_square(&ref_rates, &win_rates, verdicts),
+        confidence_tv: total_variation(
+            &reference.confidence_dist(),
+            &normalized(confidence_bins, verdicts),
+        ),
+        trigger_tail: tail_mass(&reference.score_bins, score_bins),
+        spike_class,
+        spike_delta,
+    }
+}
+
+/// Population-stability index: `Σ (p_w - p_r) * ln(p_w / p_r)` with
+/// probabilities floored at [`EPS`]. Zero iff the distributions match.
+pub fn psi(reference: &[f64], window: &[f64]) -> f64 {
+    reference
+        .iter()
+        .zip(window)
+        .map(|(&r, &w)| {
+            let r = r.max(EPS);
+            let w = w.max(EPS);
+            (w - r) * (w / r).ln()
+        })
+        .sum()
+}
+
+/// Chi-square statistic `n * Σ (p_w - p_r)^2 / max(p_r, EPS)`.
+pub fn chi_square(reference: &[f64], window: &[f64], n: u64) -> f64 {
+    let sum: f64 = reference
+        .iter()
+        .zip(window)
+        .map(|(&r, &w)| (w - r) * (w - r) / r.max(EPS))
+        .sum();
+    n as f64 * sum
+}
+
+/// Total-variation distance `0.5 * Σ |p - q|` between two distributions.
+pub fn total_variation(p: &[f64], q: &[f64]) -> f64 {
+    0.5 * p.iter().zip(q).map(|(&a, &b)| (a - b).abs()).sum::<f64>()
+}
+
+/// Fraction of the window's score mass in bins whose *reference* count
+/// is zero — exactly 0.0 when the window only visits score territory
+/// the clean baseline has seen.
+pub fn tail_mass(reference_bins: &[u64], window_bins: &[u64]) -> f64 {
+    let total: u64 = window_bins.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let novel: u64 = reference_bins
+        .iter()
+        .zip(window_bins)
+        .filter(|(&r, _)| r == 0)
+        .map(|(_, &w)| w)
+        .sum();
+    novel as f64 / total as f64
+}
+
+/// The class whose rate rose the most over the reference, with the
+/// increase; `(None, 0.0)` when no class rose.
+pub fn largest_spike(reference: &[f64], window: &[f64]) -> (Option<usize>, f64) {
+    let mut best: Option<usize> = None;
+    let mut best_delta = 0.0;
+    for (class, (&r, &w)) in reference.iter().zip(window).enumerate() {
+        let delta = w - r;
+        if delta > best_delta {
+            best_delta = delta;
+            best = Some(class);
+        }
+    }
+    (best, best_delta)
+}
+
+/// Counts divided by `total` (zeros when the window was empty).
+fn normalized(counts: &[u64], total: u64) -> Vec<f64> {
+    if total == 0 {
+        return vec![0.0; counts.len()];
+    }
+    counts.iter().map(|&c| c as f64 / total as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_distributions_score_zero() {
+        let p = [0.25, 0.25, 0.5];
+        assert_eq!(psi(&p, &p), 0.0);
+        assert_eq!(chi_square(&p, &p, 100), 0.0);
+        assert_eq!(total_variation(&p, &p), 0.0);
+    }
+
+    #[test]
+    fn psi_and_chi2_grow_with_divergence() {
+        let r = [0.5, 0.5];
+        let near = [0.55, 0.45];
+        let far = [0.9, 0.1];
+        assert!(psi(&r, &near) > 0.0);
+        assert!(psi(&r, &far) > psi(&r, &near));
+        assert!(chi_square(&r, &far, 100) > chi_square(&r, &near, 100));
+    }
+
+    #[test]
+    fn total_variation_is_half_l1() {
+        let p = [1.0, 0.0];
+        let q = [0.0, 1.0];
+        assert!((total_variation(&p, &q) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tail_mass_counts_only_reference_empty_bins() {
+        let reference = [10, 5, 0, 0];
+        // All window mass in populated bins → no tail.
+        assert_eq!(tail_mass(&reference, &[3, 2, 0, 0]), 0.0);
+        // Half the window mass in reference-empty bins.
+        assert!((tail_mass(&reference, &[1, 1, 1, 1]) - 0.5).abs() < 1e-12);
+        // Empty window → no tail, no NaN.
+        assert_eq!(tail_mass(&reference, &[0, 0, 0, 0]), 0.0);
+    }
+
+    #[test]
+    fn largest_spike_finds_the_inflated_class() {
+        let r = [0.3, 0.3, 0.4];
+        let w = [0.2, 0.55, 0.25];
+        let (class, delta) = largest_spike(&r, &w);
+        assert_eq!(class, Some(1));
+        assert!((delta - 0.25).abs() < 1e-12);
+        // No class rose.
+        assert_eq!(largest_spike(&r, &r), (None, 0.0));
+    }
+
+    #[test]
+    fn score_window_on_matching_window_is_all_zero() {
+        let mut reference = ReferenceProfile::new(7, 4, 3);
+        for _ in 0..10 {
+            reference.observe(0, 0.85, 0.2);
+            reference.observe(1, 0.75, 0.3);
+        }
+        let mut class = vec![0u64; 3];
+        let mut conf = vec![0u64; crate::CONF_BINS];
+        let mut score = vec![0u64; crate::SCORE_BINS];
+        for _ in 0..5 {
+            for (label, c, s) in [(0usize, 0.85, 0.2), (1, 0.75, 0.3)] {
+                class[label] += 1;
+                conf[crate::profile::bin_of(c, crate::CONF_BINS)] += 1;
+                score[crate::profile::bin_of(s, crate::SCORE_BINS)] += 1;
+            }
+        }
+        let d = score_window(&reference, &class, &conf, &score, 3);
+        assert_eq!(d.window_index, 3);
+        assert_eq!(d.verdicts, 10);
+        assert_eq!(d.class_psi, 0.0);
+        assert_eq!(d.class_chi2, 0.0);
+        assert_eq!(d.confidence_tv, 0.0);
+        assert_eq!(d.trigger_tail, 0.0);
+        assert_eq!(d.spike_delta, 0.0);
+    }
+}

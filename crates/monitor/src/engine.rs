@@ -1,0 +1,339 @@
+//! The online monitoring engine: fold verdicts in, get drift scores and
+//! alerts out.
+//!
+//! Windowing is count-based — every `window` verdicts a window closes,
+//! is scored against the reference ([`crate::drift`]), and runs through
+//! the alert rules. Each rule keeps a *sustain streak*: an alert fires
+//! only on the `sustain`-th consecutive over-threshold window, and can
+//! fire again only after the streak breaks and rebuilds. Rules are
+//! evaluated in a fixed order, so the alert stream is as deterministic
+//! as the verdict stream feeding it.
+
+use mmwave_body::Activity;
+use mmwave_telemetry::{counter, gauge, WindowedHistogram};
+
+use crate::alert::{Alert, AlertKind};
+use crate::drift::{score_window, DriftScores};
+use crate::profile::{bin_of, ReferenceProfile, CONF_BINS, SCORE_BINS};
+use crate::{MonitorConfig, MonitorError};
+
+/// Monitor windows the trigger-score [`WindowedHistogram`] spans: the
+/// `monitor.score_p99` gauge reflects the last four windows, not the
+/// whole run.
+const SCORE_HISTORY_WINDOWS: usize = 4;
+
+/// Rules in evaluation (and therefore alert-emission) order.
+const RULES: [AlertKind; 4] = [
+    AlertKind::ClassDrift,
+    AlertKind::ConfidenceDrift,
+    AlertKind::TriggerTail,
+    AlertKind::Backdoor,
+];
+
+/// The online model-health engine. Construct via [`Monitor::new`], feed
+/// every verdict to [`Monitor::observe`], and collect the alerts it
+/// returns as windows close.
+#[derive(Debug)]
+pub struct Monitor {
+    cfg: MonitorConfig,
+    reference: ReferenceProfile,
+    class_counts: Vec<u64>,
+    confidence_bins: Vec<u64>,
+    score_bins: Vec<u64>,
+    in_window: u64,
+    verdicts_seen: u64,
+    windows_closed: u64,
+    streaks: [usize; RULES.len()],
+    score_history: WindowedHistogram,
+    last_drift: Option<DriftScores>,
+}
+
+impl Monitor {
+    /// Builds an engine for a validated config (with `window` already
+    /// resolved to a positive count — 0 is the harness's auto sentinel,
+    /// not a runnable value) and a validated reference profile.
+    pub fn new(cfg: MonitorConfig, reference: ReferenceProfile) -> Result<Monitor, MonitorError> {
+        cfg.validate()?;
+        if cfg.window == 0 {
+            return Err(MonitorError::Config(
+                "window 0 (auto) must be resolved to a verdict count before monitoring".into(),
+            ));
+        }
+        reference.validate()?;
+        let n_classes = reference.n_classes;
+        Ok(Monitor {
+            cfg,
+            reference,
+            class_counts: vec![0; n_classes],
+            confidence_bins: vec![0; CONF_BINS],
+            score_bins: vec![0; SCORE_BINS],
+            in_window: 0,
+            verdicts_seen: 0,
+            windows_closed: 0,
+            streaks: [0; RULES.len()],
+            score_history: WindowedHistogram::new(SCORE_HISTORY_WINDOWS),
+            last_drift: None,
+        })
+    }
+
+    /// Folds one verdict in. Returns the alerts fired by the window this
+    /// verdict closed — almost always empty.
+    pub fn observe(&mut self, label: usize, confidence: f64, score: f64) -> Vec<Alert> {
+        counter("monitor.verdicts", 1);
+        self.class_counts[label.min(self.reference.n_classes - 1)] += 1;
+        self.confidence_bins[bin_of(confidence, CONF_BINS)] += 1;
+        self.score_bins[bin_of(score, SCORE_BINS)] += 1;
+        self.score_history.record(score);
+        self.in_window += 1;
+        self.verdicts_seen += 1;
+        if self.in_window < self.cfg.window as u64 {
+            return Vec::new();
+        }
+        self.close_window()
+    }
+
+    /// Drift scores of the most recently closed window.
+    pub fn last_drift(&self) -> Option<&DriftScores> {
+        self.last_drift.as_ref()
+    }
+
+    /// Windows scored so far.
+    pub fn windows_closed(&self) -> u64 {
+        self.windows_closed
+    }
+
+    /// Verdicts observed so far (including the open window).
+    pub fn verdicts_seen(&self) -> u64 {
+        self.verdicts_seen
+    }
+
+    /// The engine's (resolved) configuration.
+    pub fn config(&self) -> &MonitorConfig {
+        &self.cfg
+    }
+
+    /// The reference profile the engine scores against.
+    pub fn reference(&self) -> &ReferenceProfile {
+        &self.reference
+    }
+
+    fn close_window(&mut self) -> Vec<Alert> {
+        let drift = score_window(
+            &self.reference,
+            &self.class_counts,
+            &self.confidence_bins,
+            &self.score_bins,
+            self.windows_closed,
+        );
+        counter("monitor.windows", 1);
+        gauge("monitor.class_psi", drift.class_psi);
+        gauge("monitor.confidence_tv", drift.confidence_tv);
+        gauge("monitor.trigger_tail", drift.trigger_tail);
+        gauge("monitor.spike_delta", drift.spike_delta);
+        gauge("monitor.score_p99", self.score_history.quantile(0.99));
+        self.score_history.advance();
+
+        let mut alerts = Vec::new();
+        for (slot, kind) in RULES.iter().enumerate() {
+            let (value, threshold, over, detail) = self.evaluate(*kind, &drift);
+            if !over {
+                self.streaks[slot] = 0;
+                continue;
+            }
+            self.streaks[slot] += 1;
+            if self.streaks[slot] != self.cfg.sustain {
+                continue;
+            }
+            counter("monitor.alerts", 1);
+            counter(&format!("monitor.alerts.{}", kind.name()), 1);
+            mmwave_telemetry::warn!(
+                "monitor alert {}: {detail} (window {}, {} verdicts)",
+                kind.name(),
+                drift.window_index,
+                self.verdicts_seen
+            );
+            alerts.push(Alert {
+                schema_version: 1,
+                kind: *kind,
+                window_index: drift.window_index,
+                verdicts_seen: self.verdicts_seen,
+                value,
+                threshold,
+                sustained: self.streaks[slot],
+                detail,
+            });
+        }
+
+        self.class_counts.iter_mut().for_each(|c| *c = 0);
+        self.confidence_bins.iter_mut().for_each(|c| *c = 0);
+        self.score_bins.iter_mut().for_each(|c| *c = 0);
+        self.in_window = 0;
+        self.windows_closed += 1;
+        self.last_drift = Some(drift);
+        alerts
+    }
+
+    /// One rule's (value, threshold, over?, detail) for a scored window.
+    fn evaluate(&self, kind: AlertKind, drift: &DriftScores) -> (f64, f64, bool, String) {
+        match kind {
+            AlertKind::ClassDrift => (
+                drift.class_psi,
+                self.cfg.psi_threshold,
+                drift.class_psi >= self.cfg.psi_threshold,
+                format!("class-rate PSI {:.4} (chi2 {:.2})", drift.class_psi, drift.class_chi2),
+            ),
+            AlertKind::ConfidenceDrift => (
+                drift.confidence_tv,
+                self.cfg.conf_threshold,
+                drift.confidence_tv >= self.cfg.conf_threshold,
+                format!("confidence TV distance {:.4}", drift.confidence_tv),
+            ),
+            AlertKind::TriggerTail => (
+                drift.trigger_tail,
+                self.cfg.tail_threshold,
+                drift.trigger_tail >= self.cfg.tail_threshold,
+                format!("trigger-score tail mass {:.4}", drift.trigger_tail),
+            ),
+            AlertKind::Backdoor => {
+                let over = drift.spike_delta >= self.cfg.spike_threshold
+                    && drift.trigger_tail >= self.cfg.tail_threshold;
+                let class = drift
+                    .spike_class
+                    .map(|c| {
+                        if c < Activity::ALL.len() {
+                            Activity::from_index(c).label().to_string()
+                        } else {
+                            format!("class {c}")
+                        }
+                    })
+                    .unwrap_or_else(|| "no class".to_string());
+                (
+                    drift.spike_delta,
+                    self.cfg.spike_threshold,
+                    over,
+                    format!(
+                        "{class} rate +{:.4} with trigger tail {:.4}",
+                        drift.spike_delta, drift.trigger_tail
+                    ),
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A reference where class 0 and 1 split evenly, confidence sits at
+    /// 0.8, and trigger scores sit at 0.2.
+    fn reference() -> ReferenceProfile {
+        let mut p = ReferenceProfile::new(7, 4, 3);
+        for _ in 0..50 {
+            p.observe(0, 0.8, 0.2);
+            p.observe(1, 0.8, 0.2);
+        }
+        p
+    }
+
+    fn config(window: usize, sustain: usize) -> MonitorConfig {
+        MonitorConfig { window, sustain, ..Default::default() }
+    }
+
+    #[test]
+    fn construction_rejects_unresolved_window_and_empty_reference() {
+        assert!(Monitor::new(config(0, 2), reference()).is_err());
+        let empty = ReferenceProfile::new(7, 4, 3);
+        assert!(Monitor::new(config(10, 2), empty).is_err());
+    }
+
+    #[test]
+    fn matching_stream_scores_zero_and_stays_quiet() {
+        let mut m = Monitor::new(config(10, 1), reference()).expect("monitor builds");
+        let mut fired = 0;
+        for _ in 0..3 {
+            for _ in 0..5 {
+                fired += m.observe(0, 0.8, 0.2).len();
+                fired += m.observe(1, 0.8, 0.2).len();
+            }
+        }
+        assert_eq!(fired, 0, "clean replay of the reference mix must not alert");
+        assert_eq!(m.windows_closed(), 3);
+        let d = m.last_drift().expect("window closed");
+        assert_eq!(d.class_psi, 0.0);
+        assert_eq!(d.confidence_tv, 0.0);
+        assert_eq!(d.trigger_tail, 0.0);
+        assert_eq!(d.spike_delta, 0.0);
+    }
+
+    #[test]
+    fn backdoor_fires_only_on_spike_with_tail() {
+        // Flip 30% of verdicts to class 2 *and* push their trigger
+        // scores into reference-empty territory (0.9).
+        let mut m = Monitor::new(config(10, 2), reference()).expect("monitor builds");
+        let mut backdoor = 0;
+        let mut first_fire_window = None;
+        for w in 0..4 {
+            for i in 0..10 {
+                let alerts = if i < 3 {
+                    m.observe(2, 0.8, 0.9)
+                } else if i % 2 == 0 {
+                    m.observe(0, 0.8, 0.2)
+                } else {
+                    m.observe(1, 0.8, 0.2)
+                };
+                for a in alerts {
+                    if a.kind == AlertKind::Backdoor {
+                        backdoor += 1;
+                        first_fire_window.get_or_insert(w);
+                        assert!(a.value >= a.threshold);
+                        assert_eq!(a.sustained, 2);
+                        assert!(a.detail.contains("Left Swipe"), "detail: {}", a.detail);
+                    }
+                }
+            }
+        }
+        assert_eq!(backdoor, 1, "sustained streak fires exactly once");
+        assert_eq!(first_fire_window, Some(1), "fires on the sustain-th window");
+    }
+
+    #[test]
+    fn spike_without_tail_does_not_convict() {
+        // Rate spike to class 2 but scores stay in clean territory:
+        // class drift may trip, the backdoor rule must not.
+        let mut m = Monitor::new(config(10, 1), reference()).expect("monitor builds");
+        for _ in 0..3 {
+            for i in 0..10 {
+                let alerts =
+                    if i < 3 { m.observe(2, 0.8, 0.2) } else { m.observe(0, 0.8, 0.2) };
+                assert!(
+                    alerts.iter().all(|a| a.kind != AlertKind::Backdoor),
+                    "no tail inflation → no backdoor alert"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn streak_resets_when_a_window_recovers() {
+        let mut m = Monitor::new(config(10, 2), reference()).expect("monitor builds");
+        let poisoned = |m: &mut Monitor| -> usize {
+            let mut fired = 0;
+            for i in 0..10 {
+                let obs = if i < 3 { m.observe(2, 0.8, 0.9) } else { m.observe(0, 0.8, 0.2) };
+                fired += obs.iter().filter(|a| a.kind == AlertKind::Backdoor).count();
+            }
+            fired
+        };
+        let clean = |m: &mut Monitor| {
+            for _ in 0..5 {
+                assert!(m.observe(0, 0.8, 0.2).is_empty());
+                assert!(m.observe(1, 0.8, 0.2).is_empty());
+            }
+        };
+        assert_eq!(poisoned(&mut m), 0, "streak 1 of 2: no alert yet");
+        clean(&mut m); // streak broken
+        assert_eq!(poisoned(&mut m), 0, "streak rebuilt to 1: still quiet");
+        assert_eq!(poisoned(&mut m), 1, "streak reaches sustain again: fires");
+    }
+}

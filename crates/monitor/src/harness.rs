@@ -1,0 +1,130 @@
+//! Glue between the load generator and the monitoring engine: capture a
+//! clean reference profile, or replay traffic with a monitor attached
+//! and an `alerts.jsonl` audit log.
+
+use std::path::{Path, PathBuf};
+
+use mmwave_har::PrototypeConfig;
+use mmwave_radar::Environment;
+use mmwave_serve::loadgen::{self, LoadgenConfig, LoadgenReport};
+use mmwave_serve::{ServeConfig, Verdict};
+use mmwave_store::{append_jsonl, StoreError};
+
+use crate::alert::Alert;
+use crate::drift::DriftScores;
+use crate::engine::Monitor;
+use crate::profile::ReferenceProfile;
+use crate::{MonitorConfig, MonitorError};
+
+/// What a monitored loadgen run produced.
+#[derive(Debug)]
+pub struct MonitorOutcome {
+    /// The load generator's throughput/latency/accounting report.
+    pub report: LoadgenReport,
+    /// Every alert fired, in firing order (same order as the audit log).
+    pub alerts: Vec<Alert>,
+    /// Windows scored.
+    pub windows: u64,
+    /// Drift scores of the last closed window, if any window closed.
+    pub last_drift: Option<DriftScores>,
+}
+
+/// Captures a clean reference profile by replaying `lg` with
+/// `poison_frac` forced to zero — the baseline is clean *by
+/// construction*, whatever the caller's config says. Returns the
+/// profile together with the capture run's loadgen report so callers
+/// can verify the run itself was healthy (no shed frames, accounted).
+pub fn capture_profile(
+    lg: &LoadgenConfig,
+    serve_cfg: ServeConfig,
+    proto: &PrototypeConfig,
+    environment: Environment,
+) -> Result<(ReferenceProfile, LoadgenReport), MonitorError> {
+    let clean = LoadgenConfig { poison_frac: 0.0, ..lg.clone() };
+    let mut profile = ReferenceProfile::new(clean.seed, clean.sessions, proto.n_classes);
+    let report = loadgen::run_with(&clean, serve_cfg, proto, environment, |v| {
+        profile.observe(v.label, v.confidence as f64, v.defense_score);
+    })?;
+    profile.validate()?;
+    Ok((profile, report))
+}
+
+/// Runs the load generator with a [`Monitor`] folding in every verdict.
+///
+/// `cfg.window == 0` (the auto sentinel) resolves to `2 * lg.sessions`:
+/// on an unshed round-aligned stream every window then contains each
+/// session exactly twice, so a clean run's windows reproduce the
+/// reference mix exactly and drift scores are identically zero.
+///
+/// When `alerts_path` is given, the file is created (or truncated) up
+/// front — a quiet run leaves an empty file as positive evidence that
+/// monitoring ran — and each alert is appended CRC-framed as it fires.
+/// `on_verdict` observes the verdict stream like `loadgen::run_with`.
+pub fn run_monitored(
+    lg: &LoadgenConfig,
+    serve_cfg: ServeConfig,
+    proto: &PrototypeConfig,
+    environment: Environment,
+    cfg: &MonitorConfig,
+    reference: ReferenceProfile,
+    alerts_path: Option<&Path>,
+    mut on_verdict: impl FnMut(&Verdict),
+) -> Result<MonitorOutcome, MonitorError> {
+    let resolved = MonitorConfig {
+        window: if cfg.window == 0 { 2 * lg.sessions } else { cfg.window },
+        ..cfg.clone()
+    };
+    let mut monitor = Monitor::new(resolved, reference)?;
+    if let Some(path) = alerts_path {
+        std::fs::write(path, b"").map_err(|e| io_store(path, e))?;
+    }
+
+    let mut alerts: Vec<Alert> = Vec::new();
+    let mut sink_error: Option<StoreError> = None;
+    let report = loadgen::run_with(lg, serve_cfg, proto, environment, |v| {
+        on_verdict(v);
+        for alert in monitor.observe(v.label, v.confidence as f64, v.defense_score) {
+            if let Some(path) = alerts_path {
+                if sink_error.is_none() {
+                    let line = serde_json::to_string(&alert)
+                        .expect("alerts contain no non-serializable values");
+                    if let Err(e) = append_jsonl(path, &line, None) {
+                        mmwave_telemetry::counter("monitor.alert_write_failed", 1);
+                        sink_error = Some(io_store(path, e));
+                    }
+                }
+            }
+            alerts.push(alert);
+        }
+    })?;
+    if let Some(e) = sink_error {
+        return Err(MonitorError::Store(e));
+    }
+    Ok(MonitorOutcome {
+        report,
+        alerts,
+        windows: monitor.windows_closed(),
+        last_drift: monitor.last_drift().cloned(),
+    })
+}
+
+/// Wraps an I/O failure on the alert sink with its path.
+fn io_store(path: &Path, source: std::io::Error) -> StoreError {
+    StoreError::Io { path: PathBuf::from(path), source }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_window_resolves_to_twice_the_sessions() {
+        // Resolution logic only; end-to-end runs live in
+        // tests/monitor_alarms.rs at the workspace root.
+        let cfg = MonitorConfig::default();
+        assert_eq!(cfg.window, 0, "default is the auto sentinel");
+        let lg = LoadgenConfig { sessions: 10, ..Default::default() };
+        let resolved = if cfg.window == 0 { 2 * lg.sessions } else { cfg.window };
+        assert_eq!(resolved, 20);
+    }
+}

@@ -1,0 +1,292 @@
+//! Model-health monitoring for the streaming inference service: is the
+//! deployed HAR model behaving the way it did when it was known-clean?
+//!
+//! The serve layer (`mmwave-serve`) streams verdicts but nothing watches
+//! *what the model is doing* — a physically triggered session (the
+//! paper's worn-reflector threat) silently flips predictions to the
+//! target class with no operational signal, even though the Section VII
+//! trigger detector scores every clip. This crate closes that loop:
+//!
+//! - [`ReferenceProfile`]: a clean baseline captured by `mmwave profile`
+//!   — per-class prediction rates, a binned confidence distribution, and
+//!   the trigger-detector score distribution — persisted as a
+//!   checksummed `store` artifact.
+//! - [`DriftScores`]: per-window divergence from the reference —
+//!   per-class rate PSI and chi-square, confidence total-variation
+//!   distance, trigger-score *tail mass* (fraction of scores landing in
+//!   bins the clean reference never touched), and the largest per-class
+//!   rate spike.
+//! - [`Monitor`]: the online engine. Feed it every verdict; each closed
+//!   window is scored against the reference and run through the typed
+//!   alert rules in [`MonitorConfig`]. The dedicated **backdoor rule**
+//!   fires only when a target-class rate spike *co-occurs* with
+//!   trigger-score tail inflation — benign environment drift moves one
+//!   signal, a physical trigger moves both.
+//! - [`Alert`]: what fires. Records carry no wall-clock fields, so the
+//!   `alerts.jsonl` audit log (CRC-framed via `store`) is bit-identical
+//!   across worker counts for a fixed seed.
+//! - [`harness`]: glue that runs the load generator with a monitor
+//!   attached ([`run_monitored`]) or captures a reference profile from
+//!   provably clean traffic ([`capture_profile`]).
+//!
+//! Windowing is **count-based** (every `window` verdicts), never
+//! wall-clock, inheriting the serve layer's determinism guarantees; the
+//! sliding-window primitives live in `mmwave_telemetry::window`.
+//!
+//! # Environment
+//!
+//! | Variable | Effect |
+//! |---|---|
+//! | `MMWAVE_MONITOR_WINDOW` | Verdicts per scoring window (0 = auto: 2× sessions) |
+//! | `MMWAVE_MONITOR_SUSTAIN` | Consecutive over-threshold windows before an alert fires (default 2) |
+//! | `MMWAVE_MONITOR_PSI_THR` | Class-rate PSI alert threshold (default 0.2) |
+//! | `MMWAVE_MONITOR_CONF_THR` | Confidence total-variation threshold (default 0.2) |
+//! | `MMWAVE_MONITOR_TAIL_THR` | Trigger-score tail-mass threshold (default 0.05) |
+//! | `MMWAVE_MONITOR_SPIKE_THR` | Per-class rate-spike threshold for the backdoor rule (default 0.08) |
+//!
+//! Invalid values fall back to defaults, warn, and bump
+//! `monitor.config_invalid` — the same contract as `MMWAVE_SERVE_*`.
+
+pub mod alert;
+pub mod drift;
+pub mod engine;
+pub mod harness;
+pub mod profile;
+
+pub use alert::{Alert, AlertKind};
+pub use drift::DriftScores;
+pub use engine::Monitor;
+pub use harness::{capture_profile, run_monitored, MonitorOutcome};
+pub use profile::{ReferenceProfile, CONF_BINS, SCORE_BINS};
+
+use std::fmt;
+
+use mmwave_serve::ServeError;
+use mmwave_store::StoreError;
+
+/// Alert-rule knobs. Build with [`MonitorConfig::default`] or
+/// [`MonitorConfig::from_env`]; the engine validates on construction.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MonitorConfig {
+    /// Verdicts per scoring window. 0 means "auto": the harness resolves
+    /// it to twice the session count, which makes every window contain
+    /// each session the same number of times on an unshed stream.
+    pub window: usize,
+    /// Consecutive over-threshold windows a rule must see before its
+    /// alert fires (debounces single-window blips).
+    pub sustain: usize,
+    /// Class-rate PSI above this sustains the class-drift rule.
+    pub psi_threshold: f64,
+    /// Confidence total-variation distance above this sustains the
+    /// confidence-drift rule.
+    pub conf_threshold: f64,
+    /// Trigger-score tail mass above this sustains the trigger-tail
+    /// rule (and is the backdoor rule's co-occurrence requirement).
+    pub tail_threshold: f64,
+    /// Largest single-class rate increase over the reference that,
+    /// together with tail inflation, fires the backdoor rule.
+    pub spike_threshold: f64,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> MonitorConfig {
+        MonitorConfig {
+            window: 0,
+            sustain: 2,
+            psi_threshold: 0.2,
+            conf_threshold: 0.2,
+            tail_threshold: 0.05,
+            spike_threshold: 0.08,
+        }
+    }
+}
+
+impl MonitorConfig {
+    /// Reads `MMWAVE_MONITOR_*` overrides on top of the defaults.
+    /// Invalid values keep the default, warn, and bump
+    /// `monitor.config_invalid`.
+    pub fn from_env() -> MonitorConfig {
+        let d = MonitorConfig::default();
+        MonitorConfig {
+            window: env_usize("MMWAVE_MONITOR_WINDOW", d.window, true),
+            sustain: env_usize("MMWAVE_MONITOR_SUSTAIN", d.sustain, false),
+            psi_threshold: env_f64("MMWAVE_MONITOR_PSI_THR", d.psi_threshold),
+            conf_threshold: env_f64("MMWAVE_MONITOR_CONF_THR", d.conf_threshold),
+            tail_threshold: env_f64("MMWAVE_MONITOR_TAIL_THR", d.tail_threshold),
+            spike_threshold: env_f64("MMWAVE_MONITOR_SPIKE_THR", d.spike_threshold),
+        }
+    }
+
+    /// Rejects configurations no rule could ever evaluate sanely.
+    pub fn validate(&self) -> Result<(), MonitorError> {
+        if self.sustain == 0 {
+            return Err(MonitorError::Config("sustain must be at least 1".into()));
+        }
+        for (name, v) in [
+            ("psi_threshold", self.psi_threshold),
+            ("conf_threshold", self.conf_threshold),
+            ("tail_threshold", self.tail_threshold),
+            ("spike_threshold", self.spike_threshold),
+        ] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(MonitorError::Config(format!(
+                    "{name} {v} must be finite and positive"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Parses a non-negative-integer env override, falling back to
+/// `default` (with a warning and a `monitor.config_invalid` bump) on
+/// junk — and on zero too unless `allow_zero`.
+fn env_usize(var: &str, default: usize, allow_zero: bool) -> usize {
+    match std::env::var(var) {
+        Ok(raw) => match raw.trim().parse::<usize>() {
+            Ok(v) if v > 0 || allow_zero => v,
+            _ => {
+                mmwave_telemetry::counter("monitor.config_invalid", 1);
+                mmwave_telemetry::warn!("ignoring invalid {var}={raw:?}; using {default}");
+                default
+            }
+        },
+        Err(_) => default,
+    }
+}
+
+/// Parses a finite positive float env override, falling back to
+/// `default` (with a warning and a `monitor.config_invalid` bump) on
+/// junk, zero, negatives, or non-finite values.
+fn env_f64(var: &str, default: f64) -> f64 {
+    match std::env::var(var) {
+        Ok(raw) => match raw.trim().parse::<f64>() {
+            Ok(v) if v.is_finite() && v > 0.0 => v,
+            _ => {
+                mmwave_telemetry::counter("monitor.config_invalid", 1);
+                mmwave_telemetry::warn!("ignoring invalid {var}={raw:?}; using {default}");
+                default
+            }
+        },
+        Err(_) => default,
+    }
+}
+
+/// Why monitoring could not run.
+#[derive(Debug)]
+pub enum MonitorError {
+    /// An alert-rule knob is impossible (zero sustain, non-positive
+    /// threshold).
+    Config(String),
+    /// The reference profile is unusable (empty, shape mismatch with
+    /// the deployed model).
+    Profile(String),
+    /// A durable artifact (profile, alert log) failed to read or write.
+    Store(StoreError),
+    /// The underlying service or load generator rejected its config.
+    Serve(ServeError),
+}
+
+impl fmt::Display for MonitorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MonitorError::Config(detail) => write!(f, "invalid monitor config: {detail}"),
+            MonitorError::Profile(detail) => write!(f, "unusable reference profile: {detail}"),
+            MonitorError::Store(e) => write!(f, "monitor store error: {e}"),
+            MonitorError::Serve(e) => write!(f, "monitor serve error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MonitorError {}
+
+impl From<StoreError> for MonitorError {
+    fn from(e: StoreError) -> MonitorError {
+        MonitorError::Store(e)
+    }
+}
+
+impl From<ServeError> for MonitorError {
+    fn from(e: ServeError) -> MonitorError {
+        MonitorError::Serve(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_validates() {
+        assert!(MonitorConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let bad = MonitorConfig { sustain: 0, ..Default::default() };
+        assert!(bad.validate().is_err());
+        let bad = MonitorConfig { psi_threshold: 0.0, ..Default::default() };
+        assert!(bad.validate().is_err());
+        let bad = MonitorConfig { tail_threshold: f64::NAN, ..Default::default() };
+        assert!(bad.validate().is_err());
+        let bad = MonitorConfig { spike_threshold: -1.0, ..Default::default() };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn config_round_trips_through_json() {
+        let cfg = MonitorConfig { window: 20, ..Default::default() };
+        let json = serde_json::to_string(&cfg).expect("serializes");
+        let back: MonitorConfig = serde_json::from_str(&json).expect("parses");
+        assert_eq!(cfg, back);
+    }
+
+    #[test]
+    fn env_usize_respects_the_allow_zero_branches() {
+        let registry = mmwave_telemetry::global();
+        let before = registry.counter_value("monitor.config_invalid");
+        // Zero is the window's auto sentinel but nonsense for sustain.
+        std::env::set_var("MMWAVE_MONITOR_TEST_USIZE", "0");
+        assert_eq!(env_usize("MMWAVE_MONITOR_TEST_USIZE", 5, true), 0);
+        assert_eq!(env_usize("MMWAVE_MONITOR_TEST_USIZE", 5, false), 5);
+        std::env::set_var("MMWAVE_MONITOR_TEST_USIZE", " 3 ");
+        assert_eq!(env_usize("MMWAVE_MONITOR_TEST_USIZE", 5, false), 3);
+        std::env::remove_var("MMWAVE_MONITOR_TEST_USIZE");
+        assert_eq!(env_usize("MMWAVE_MONITOR_TEST_USIZE", 5, false), 5);
+        assert!(
+            registry.counter_value("monitor.config_invalid") >= before + 1,
+            "zero-for-sustain must be counted as invalid"
+        );
+    }
+
+    #[test]
+    fn env_parsers_survive_every_edge_case_without_panicking() {
+        let registry = mmwave_telemetry::global();
+        let before = registry.counter_value("monitor.config_invalid");
+        // Empty, whitespace, junk, overflow, sign errors, non-finite:
+        // everything keeps the default and is counted, never panics.
+        let bad_usize = ["", "   ", "99999999999999999999999", "2.5", "-1", "junk"];
+        for raw in bad_usize {
+            std::env::set_var("MMWAVE_MONITOR_EDGE_USIZE", raw);
+            assert_eq!(env_usize("MMWAVE_MONITOR_EDGE_USIZE", 9, false), 9, "raw: {raw:?}");
+        }
+        std::env::remove_var("MMWAVE_MONITOR_EDGE_USIZE");
+        // "NaN"/"inf"/"1e999" *parse* as f64 but are rejected by the
+        // finite-and-positive guard; "0" and negatives likewise.
+        let bad_f64 = ["", "   ", "junk", "0", "0.0", "-0.3", "NaN", "inf", "-inf", "1e999"];
+        for raw in bad_f64 {
+            std::env::set_var("MMWAVE_MONITOR_EDGE_F64", raw);
+            let got = env_f64("MMWAVE_MONITOR_EDGE_F64", 0.25);
+            assert_eq!(got, 0.25, "raw: {raw:?}");
+        }
+        std::env::set_var("MMWAVE_MONITOR_EDGE_F64", " 0.5 ");
+        assert_eq!(env_f64("MMWAVE_MONITOR_EDGE_F64", 0.25), 0.5);
+        std::env::remove_var("MMWAVE_MONITOR_EDGE_F64");
+        assert_eq!(env_f64("MMWAVE_MONITOR_EDGE_F64", 0.25), 0.25);
+        assert!(
+            registry.counter_value("monitor.config_invalid")
+                >= before + (bad_usize.len() + bad_f64.len()) as u64,
+            "every poisoned value must bump monitor.config_invalid"
+        );
+    }
+}

@@ -1,0 +1,192 @@
+//! The clean reference profile: what the model's verdict stream looks
+//! like when nobody is wearing a trigger.
+//!
+//! Captured once by `mmwave profile` from traffic that is clean by
+//! construction ([`crate::capture_profile`] forces `poison_frac = 0`),
+//! then persisted through the `store` envelope so a corrupt or stale
+//! baseline fails loudly instead of silently mis-scoring drift.
+
+use std::path::Path;
+
+use mmwave_store::{load_json, save_json_atomic, StoreError};
+use serde::{Deserialize, Serialize};
+
+/// Bins for the confidence distribution over [0, 1].
+pub const CONF_BINS: usize = 32;
+
+/// Bins for the trigger-detector score distribution over [0, 1]. Finer
+/// than confidence because the backdoor heuristic keys on *tail* bins
+/// the clean reference never populated.
+pub const SCORE_BINS: usize = 64;
+
+/// Bins a value in [0, 1] into one of `bins` equal-width buckets
+/// (clamping out-of-range and NaN to the edges).
+pub fn bin_of(value: f64, bins: usize) -> usize {
+    if !(value > 0.0) {
+        return 0; // negatives and NaN clamp to the first bin
+    }
+    ((value * bins as f64) as usize).min(bins - 1)
+}
+
+/// Per-class rates, confidence histogram, and trigger-score histogram
+/// of a known-clean verdict stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReferenceProfile {
+    /// Profile schema version (bumped on incompatible changes).
+    pub schema_version: u32,
+    /// Loadgen seed the baseline was captured with.
+    pub seed: u64,
+    /// Sessions in the capture run.
+    pub sessions: usize,
+    /// Total verdicts observed.
+    pub verdicts: u64,
+    /// Classes the deployed model predicts over.
+    pub n_classes: usize,
+    /// Verdict count per predicted class.
+    pub class_counts: Vec<u64>,
+    /// Binned softmax-confidence counts ([`CONF_BINS`] over [0, 1]).
+    pub confidence_bins: Vec<u64>,
+    /// Binned trigger-detector score counts ([`SCORE_BINS`] over [0, 1]).
+    pub score_bins: Vec<u64>,
+}
+
+impl ReferenceProfile {
+    /// An empty profile ready to observe a clean stream.
+    pub fn new(seed: u64, sessions: usize, n_classes: usize) -> ReferenceProfile {
+        ReferenceProfile {
+            schema_version: 1,
+            seed,
+            sessions,
+            verdicts: 0,
+            n_classes: n_classes.max(1),
+            class_counts: vec![0; n_classes.max(1)],
+            confidence_bins: vec![0; CONF_BINS],
+            score_bins: vec![0; SCORE_BINS],
+        }
+    }
+
+    /// Folds one verdict into the baseline.
+    pub fn observe(&mut self, label: usize, confidence: f64, score: f64) {
+        self.verdicts += 1;
+        self.class_counts[label.min(self.n_classes - 1)] += 1;
+        self.confidence_bins[bin_of(confidence, CONF_BINS)] += 1;
+        self.score_bins[bin_of(score, SCORE_BINS)] += 1;
+    }
+
+    /// Per-class prediction rates (all zeros before any verdict).
+    pub fn class_rates(&self) -> Vec<f64> {
+        normalized(&self.class_counts, self.verdicts)
+    }
+
+    /// Normalized confidence distribution.
+    pub fn confidence_dist(&self) -> Vec<f64> {
+        normalized(&self.confidence_bins, self.verdicts)
+    }
+
+    /// Normalized trigger-score distribution.
+    pub fn score_dist(&self) -> Vec<f64> {
+        normalized(&self.score_bins, self.verdicts)
+    }
+
+    /// Rejects profiles that cannot score a stream: empty captures or
+    /// histograms whose shape disagrees with this build's binning.
+    pub fn validate(&self) -> Result<(), crate::MonitorError> {
+        if self.verdicts == 0 {
+            return Err(crate::MonitorError::Profile(
+                "reference profile observed zero verdicts".into(),
+            ));
+        }
+        if self.n_classes == 0 || self.class_counts.len() != self.n_classes {
+            return Err(crate::MonitorError::Profile(format!(
+                "class histogram has {} bins for {} classes",
+                self.class_counts.len(),
+                self.n_classes
+            )));
+        }
+        if self.confidence_bins.len() != CONF_BINS || self.score_bins.len() != SCORE_BINS {
+            return Err(crate::MonitorError::Profile(format!(
+                "histogram shape {}/{} does not match this build's {}/{} binning",
+                self.confidence_bins.len(),
+                self.score_bins.len(),
+                CONF_BINS,
+                SCORE_BINS
+            )));
+        }
+        Ok(())
+    }
+
+    /// Saves the profile as a checksummed atomic artifact.
+    pub fn save(&self, path: &Path) -> Result<(), StoreError> {
+        save_json_atomic(path, self)
+    }
+
+    /// Loads a previously saved profile, verifying its checksum.
+    pub fn load(path: &Path) -> Result<ReferenceProfile, StoreError> {
+        Ok(load_json::<ReferenceProfile>(path)?.value)
+    }
+}
+
+/// Counts divided by `total` (zeros when the stream was empty).
+fn normalized(counts: &[u64], total: u64) -> Vec<f64> {
+    if total == 0 {
+        return vec![0.0; counts.len()];
+    }
+    counts.iter().map(|&c| c as f64 / total as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bin_of_clamps_edges_and_nan() {
+        assert_eq!(bin_of(-0.5, 10), 0);
+        assert_eq!(bin_of(0.0, 10), 0);
+        assert_eq!(bin_of(0.05, 10), 0);
+        assert_eq!(bin_of(0.95, 10), 9);
+        assert_eq!(bin_of(1.0, 10), 9);
+        assert_eq!(bin_of(7.3, 10), 9);
+        assert_eq!(bin_of(f64::NAN, 10), 0);
+    }
+
+    #[test]
+    fn observe_accumulates_and_rates_normalize() {
+        let mut p = ReferenceProfile::new(7, 4, 3);
+        p.observe(0, 0.9, 0.1);
+        p.observe(0, 0.8, 0.2);
+        p.observe(2, 0.7, 0.3);
+        p.observe(99, 0.6, 0.4); // out-of-range label clamps to last class
+        assert_eq!(p.verdicts, 4);
+        assert_eq!(p.class_counts, vec![2, 0, 2]);
+        let rates = p.class_rates();
+        assert!((rates[0] - 0.5).abs() < 1e-12);
+        assert!((rates.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((p.confidence_dist().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((p.score_dist().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validate_rejects_empty_and_misshapen() {
+        let p = ReferenceProfile::new(7, 4, 3);
+        assert!(p.validate().is_err(), "empty profile must not validate");
+        let mut p = ReferenceProfile::new(7, 4, 3);
+        p.observe(0, 0.9, 0.1);
+        assert!(p.validate().is_ok());
+        p.score_bins.pop();
+        assert!(p.validate().is_err(), "misshapen histogram must not validate");
+    }
+
+    #[test]
+    fn profile_round_trips_through_store() {
+        let mut p = ReferenceProfile::new(42, 8, 6);
+        for i in 0..20 {
+            p.observe(i % 6, 0.5 + 0.02 * i as f64, 0.05 * (i % 7) as f64);
+        }
+        let path = std::env::temp_dir()
+            .join(format!("mmwave_monitor_profile_{}.json", std::process::id()));
+        p.save(&path).expect("profile saves");
+        let back = ReferenceProfile::load(&path).expect("profile loads");
+        assert_eq!(p, back);
+        let _ = std::fs::remove_file(&path);
+    }
+}

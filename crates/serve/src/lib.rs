@@ -44,7 +44,7 @@ pub mod ring;
 pub mod service;
 pub mod session;
 
-pub use loadgen::{run as run_loadgen, LoadgenConfig, LoadgenReport};
+pub use loadgen::{is_poisoned, poisoned_sessions, run as run_loadgen, LoadgenConfig, LoadgenReport};
 pub use ring::FrameRing;
 pub use service::{Accounting, ReadyClip, Service, Verdict};
 pub use session::{PendingFrame, SessionState};
@@ -193,6 +193,27 @@ mod tests {
         assert!(
             registry.counter_value("serve.config_invalid") >= before + 2,
             "invalid serve knobs must be counted"
+        );
+    }
+
+    #[test]
+    fn env_usize_survives_every_edge_case_without_panicking() {
+        let registry = mmwave_telemetry::global();
+        let before = registry.counter_value("serve.config_invalid");
+        // Empty, whitespace-only, overflow, junk suffix, negative: all
+        // must fall back to the default and be counted, never panic.
+        let poison = ["", "   ", "99999999999999999999999", "12abc", "-3", "1.5"];
+        for raw in poison {
+            std::env::set_var("MMWAVE_SERVE_EDGE_KNOB", raw);
+            assert_eq!(env_usize("MMWAVE_SERVE_EDGE_KNOB", 7), 7, "raw: {raw:?}");
+        }
+        // Surrounding whitespace around a valid number is tolerated.
+        std::env::set_var("MMWAVE_SERVE_EDGE_KNOB", "  23  ");
+        assert_eq!(env_usize("MMWAVE_SERVE_EDGE_KNOB", 7), 23);
+        std::env::remove_var("MMWAVE_SERVE_EDGE_KNOB");
+        assert!(
+            registry.counter_value("serve.config_invalid") >= before + poison.len() as u64,
+            "every poisoned value must bump serve.config_invalid"
         );
     }
 }

@@ -14,11 +14,12 @@ use std::collections::BTreeSet;
 use std::path::Path;
 use std::time::{Duration, Instant};
 
-use mmwave_body::{Activity, ActivitySampler, Participant, SampleVariation};
+use mmwave_body::{Activity, ActivitySampler, Participant, SampleVariation, SiteId};
 use mmwave_dsp::IfFrame;
 use mmwave_exec::derive_seed;
 use mmwave_har::PrototypeConfig;
-use mmwave_radar::{Capturer, Environment, Placement};
+use mmwave_radar::capture::transform_site;
+use mmwave_radar::{Capturer, Environment, Placement, Trigger, TriggerAttachment, TriggerPlan};
 use mmwave_store::{load_json, save_json_atomic, StoreError};
 use mmwave_telemetry::span;
 use rand::{Rng, SeedableRng};
@@ -56,6 +57,14 @@ pub struct LoadgenConfig {
     /// Ingested frames between service pumps; 0 picks
     /// `max_batch * clip_len` from the service config.
     pub pump_every: usize,
+    /// Fraction of sessions streaming *physically triggered* captures
+    /// (the paper's worn-trigger threat): the first
+    /// `round(sessions * poison_frac)` session ids replay a twin stream
+    /// with the aluminum trigger superposed at the chest site. 0 = all
+    /// clean. The prefix assignment keeps poisoned sessions spread
+    /// across distinct base streams.
+    #[serde(default)]
+    pub poison_frac: f64,
 }
 
 impl Default for LoadgenConfig {
@@ -69,6 +78,7 @@ impl Default for LoadgenConfig {
             seed: 7,
             paced: false,
             pump_every: 0,
+            poison_frac: 0.0,
         }
     }
 }
@@ -94,8 +104,27 @@ impl LoadgenConfig {
                 self.jitter
             )));
         }
+        if !(0.0..=1.0).contains(&self.poison_frac) {
+            return Err(ServeError::Config(format!(
+                "loadgen poison_frac {} outside [0, 1]",
+                self.poison_frac
+            )));
+        }
         Ok(())
     }
+}
+
+/// Sessions the generator poisons for a given fleet size and fraction:
+/// `round(sessions * frac)`, clamped to the fleet.
+pub fn poisoned_sessions(sessions: usize, frac: f64) -> usize {
+    ((sessions as f64 * frac).round() as usize).min(sessions)
+}
+
+/// True when `session` replays a triggered stream: poisoned sessions
+/// are the id prefix `0..poisoned_sessions`, so consecutive ids land on
+/// *distinct* base streams instead of aliasing onto one.
+pub fn is_poisoned(session: u64, sessions: usize, frac: f64) -> bool {
+    (session as usize) < poisoned_sessions(sessions, frac)
 }
 
 /// One scheduled frame arrival.
@@ -155,6 +184,9 @@ pub struct LoadgenReport {
     pub peak_ring_depth: usize,
     /// Highest total queue depth (ring + ready frames) observed.
     pub peak_queue_depth: u64,
+    /// Sessions that replayed a physically triggered stream.
+    #[serde(default)]
+    pub poisoned_sessions: u64,
 }
 
 impl LoadgenReport {
@@ -197,7 +229,7 @@ pub fn run_with(
     lg.validate()?;
     let _span = span("serve.loadgen");
     let mut service = Service::new(serve_cfg.clone(), proto, environment.clone(), lg.seed)?;
-    let base = synthesize_base_streams(lg, proto, &environment);
+    let (base, triggered) = synthesize_streams(lg, proto, &environment);
     let arrivals = schedule(lg);
     let pump_every = if lg.pump_every == 0 {
         (serve_cfg.max_batch * serve_cfg.clip_len).max(1)
@@ -221,7 +253,12 @@ pub fn run_with(
                 std::thread::sleep(target - elapsed);
             }
         }
-        let stream = &base[(arrival.session as usize) % base.len()];
+        let pool = if is_poisoned(arrival.session, lg.sessions, lg.poison_frac) {
+            &triggered
+        } else {
+            &base
+        };
+        let stream = &pool[(arrival.session as usize) % pool.len()];
         let frame = stream[(arrival.seq as usize) % clip_len].clone();
         service.ingest(arrival.session, arrival.seq, frame);
         peak_queue = peak_queue.max(service.queue_depth());
@@ -277,35 +314,60 @@ pub fn run_with(
         latency_max_ms: latencies.last().copied().unwrap_or(0.0),
         peak_ring_depth: acc.peak_ring_depth,
         peak_queue_depth: peak_queue,
+        poisoned_sessions: poisoned_sessions(lg.sessions, lg.poison_frac) as u64,
     })
 }
 
 /// Synthesizes `min(sessions, BASE_STREAMS)` full-clip capture streams
-/// that sessions replay cyclically.
-fn synthesize_base_streams(
+/// that sessions replay cyclically, plus — when `poison_frac > 0` —
+/// their physically triggered twins: the same base IF frames with the
+/// aluminum trigger's contribution superposed at the worn chest site,
+/// exactly how the attack pipeline composes a worn trigger. The second
+/// vector is empty when nothing is poisoned.
+fn synthesize_streams(
     lg: &LoadgenConfig,
     proto: &PrototypeConfig,
     environment: &Environment,
-) -> Vec<Vec<IfFrame>> {
+) -> (Vec<Vec<IfFrame>>, Vec<Vec<IfFrame>>) {
     let _span = span("serve.loadgen.synth");
     let capturer = Capturer::new(proto.capture.0.clone());
     let frame_rate = capturer.config().frame_rate;
     let sampler = ActivitySampler::new(Participant::average(), proto.n_frames, frame_rate);
     let angles = [0.0, -30.0, 30.0];
-    (0..lg.sessions.min(BASE_STREAMS).max(1))
-        .map(|b| {
-            let activity = Activity::from_index(b % Activity::ALL.len());
-            let sequence = sampler.sample(activity, &SampleVariation::nominal());
-            let placement = Placement::new(1.2, angles[b % angles.len()]);
-            capturer.base_if_frames(
-                &sequence,
-                placement,
-                environment,
-                derive_seed(lg.seed, 0x1000 + b as u64),
-                1.0,
-            )
-        })
-        .collect()
+    let poison = poisoned_sessions(lg.sessions, lg.poison_frac) > 0;
+    let plan = TriggerPlan {
+        attachment: TriggerAttachment::new(Trigger::aluminum_2x2()),
+        site: SiteId::Chest,
+    };
+    let mut base = Vec::new();
+    let mut triggered = Vec::new();
+    for b in 0..lg.sessions.min(BASE_STREAMS).max(1) {
+        let activity = Activity::from_index(b % Activity::ALL.len());
+        let sequence = sampler.sample(activity, &SampleVariation::nominal());
+        let placement = Placement::new(1.2, angles[b % angles.len()]);
+        let clean = capturer.base_if_frames(
+            &sequence,
+            placement,
+            environment,
+            derive_seed(lg.seed, 0x1000 + b as u64),
+            1.0,
+        );
+        if poison {
+            let xf = placement.body_to_world();
+            triggered.push(
+                sequence
+                    .iter()
+                    .zip(&clean)
+                    .map(|(body_frame, frame)| {
+                        let site_world = transform_site(body_frame.site(plan.site), &xf);
+                        frame.superposed(&capturer.trigger_if(&plan, &site_world))
+                    })
+                    .collect(),
+            );
+        }
+        base.push(clean);
+    }
+    (base, triggered)
 }
 
 /// Builds the merged, time-sorted arrival schedule for every session.
@@ -400,6 +462,40 @@ mod tests {
         assert!(bad.validate().is_err());
         let bad = LoadgenConfig { jitter: 1.5, ..Default::default() };
         assert!(bad.validate().is_err());
+        let bad = LoadgenConfig { poison_frac: 1.5, ..Default::default() };
+        assert!(bad.validate().is_err());
+        let bad = LoadgenConfig { poison_frac: -0.1, ..Default::default() };
+        assert!(bad.validate().is_err());
         assert!(LoadgenConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn poisoned_sessions_are_the_id_prefix() {
+        assert_eq!(poisoned_sessions(10, 0.3), 3);
+        assert_eq!(poisoned_sessions(10, 0.0), 0);
+        assert_eq!(poisoned_sessions(10, 1.0), 10);
+        assert_eq!(poisoned_sessions(3, 0.5), 2);
+        // Prefix rule: ids below the count are poisoned, the rest clean.
+        for s in 0..10u64 {
+            assert_eq!(is_poisoned(s, 10, 0.3), s < 3);
+        }
+        // The prefix lands poisoned sessions on distinct base streams
+        // (ids 0,1,2 cover streams 0,1,2), unlike an evenly-spread
+        // assignment which would alias them all onto one stream.
+        let streams: BTreeSet<usize> =
+            (0..3u64).map(|s| s as usize % BASE_STREAMS).collect();
+        assert_eq!(streams.len(), 3);
+    }
+
+    #[test]
+    fn poison_frac_defaults_to_zero_on_legacy_configs() {
+        // Reports saved before poison_frac existed must still load.
+        let legacy = r#"{
+            "sessions": 4, "seconds": 1.0, "fps": 10.0, "jitter": 0.2,
+            "burst": 1, "seed": 7, "paced": false, "pump_every": 0
+        }"#;
+        let cfg: LoadgenConfig = serde_json::from_str(legacy).expect("legacy config parses");
+        assert_eq!(cfg.poison_frac, 0.0);
+        assert!(cfg.validate().is_ok());
     }
 }

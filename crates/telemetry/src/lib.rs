@@ -52,6 +52,7 @@ pub mod registry;
 pub mod sink;
 pub mod span;
 pub mod trace;
+pub mod window;
 
 pub use event::{process_micros, thread_id, unix_millis, Event, EventKind, Level};
 pub use fleet::{
@@ -64,6 +65,9 @@ pub use registry::{configure, global, Registry, TelemetryConfig};
 pub use sink::{read_jsonl_events, JsonlSink, Sink, StderrSink};
 pub use span::{current_path, enter_context, span, span_at, ContextGuard, SpanGuard};
 pub use trace::{read_trace_file, TraceSink};
+pub use window::{
+    WindowedCounter, WindowedCounterExport, WindowedHistogram, WindowedHistogramExport,
+};
 
 /// The merged span call tree (inclusive / exclusive time, call counts,
 /// quantiles) aggregated from everything recorded so far.

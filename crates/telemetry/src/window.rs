@@ -1,0 +1,471 @@
+//! Windowed telemetry primitives: sliding-window counters and
+//! ring-of-buckets histograms with **count-based** window advancement.
+//!
+//! The cumulative [`LogLinearHistogram`](crate::histogram::LogLinearHistogram)
+//! answers "what was p99 since process start" but cannot answer "what is
+//! p99 over the last N verdicts" — once a sample is recorded it never
+//! expires. These types keep a ring of per-window buckets and advance the
+//! ring on an explicit [`advance`](WindowedCounter::advance) call issued by
+//! the owner every N *events* (never on a wall-clock timer), so a stream
+//! that is deterministic at any worker count produces bit-identical window
+//! contents at any worker count.
+//!
+//! Both types are exportable and mergeable like the fleet metric types:
+//! exports carry the absolute index of the newest window, and merges align
+//! windows by absolute index, so shards from workers that advanced in
+//! lockstep combine exactly.
+
+use serde::{Deserialize, Serialize};
+
+use crate::histogram::{HistogramExport, LogLinearHistogram};
+
+/// A sliding-window event counter: a ring of `windows` buckets, each
+/// holding the count for one window. [`record`](Self::record) adds to the
+/// newest window; [`advance`](Self::advance) retires the oldest.
+///
+/// # Examples
+///
+/// ```
+/// use mmwave_telemetry::window::WindowedCounter;
+///
+/// let mut c = WindowedCounter::new(3);
+/// c.record(5);
+/// c.advance();
+/// c.record(2);
+/// assert_eq!(c.sum(), 7); // both windows still inside the ring
+/// c.advance();
+/// c.advance();
+/// c.advance();
+/// assert_eq!(c.sum(), 0); // everything expired
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowedCounter {
+    /// Ring of per-window counts; `buckets[head]` is the newest window.
+    buckets: Vec<u64>,
+    head: usize,
+    /// Absolute index of the newest window (0-based, total advances).
+    newest: u64,
+}
+
+impl WindowedCounter {
+    /// Creates a counter retaining `windows` windows (clamped to ≥ 1).
+    pub fn new(windows: usize) -> WindowedCounter {
+        WindowedCounter { buckets: vec![0; windows.max(1)], head: 0, newest: 0 }
+    }
+
+    /// Number of windows retained.
+    pub fn windows(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Absolute index of the newest (currently recording) window.
+    pub fn newest_index(&self) -> u64 {
+        self.newest
+    }
+
+    /// Adds `n` events to the newest window.
+    pub fn record(&mut self, n: u64) {
+        self.buckets[self.head] += n;
+    }
+
+    /// Closes the newest window and opens the next one, retiring the
+    /// oldest window in the ring.
+    pub fn advance(&mut self) {
+        self.head = (self.head + 1) % self.buckets.len();
+        self.buckets[self.head] = 0;
+        self.newest += 1;
+    }
+
+    /// Count in the newest window.
+    pub fn head_count(&self) -> u64 {
+        self.buckets[self.head]
+    }
+
+    /// Total events across every retained window.
+    pub fn sum(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Count of the window at absolute index `index`, or `None` when it
+    /// has expired from the ring (or has not happened yet).
+    pub fn at(&self, index: u64) -> Option<u64> {
+        let span = self.buckets.len() as u64;
+        if index > self.newest || index + span <= self.newest {
+            return None;
+        }
+        let back = (self.newest - index) as usize;
+        let slot = (self.head + self.buckets.len() - back) % self.buckets.len();
+        Some(self.buckets[slot])
+    }
+
+    /// Lossless wire form; [`from_export`](Self::from_export) round-trips
+    /// it exactly.
+    pub fn export(&self) -> WindowedCounterExport {
+        let span = self.buckets.len() as u64;
+        let oldest = self.newest.saturating_sub(span - 1);
+        WindowedCounterExport {
+            newest: self.newest,
+            counts: (oldest..=self.newest)
+                .map(|i| self.at(i).unwrap_or(0))
+                .collect(),
+        }
+    }
+
+    /// Rebuilds a counter from an export. The ring capacity is the export
+    /// length (what the exporting side still retained).
+    pub fn from_export(export: &WindowedCounterExport) -> WindowedCounter {
+        let mut c = WindowedCounter::new(export.counts.len());
+        for (k, &n) in export.counts.iter().enumerate() {
+            if k > 0 {
+                c.advance();
+            }
+            c.record(n);
+        }
+        c.newest = export.newest;
+        c
+    }
+
+    /// Merges `other` into `self`, aligning windows by absolute index:
+    /// the result is what one counter would hold had it seen both event
+    /// streams. Windows one side has already retired contribute nothing
+    /// (they are outside the ring on the merged side too).
+    pub fn merge(&mut self, other: &WindowedCounter) {
+        let newest = self.newest.max(other.newest);
+        let span = self.buckets.len();
+        let mut merged = vec![0u64; span];
+        for (k, slot) in merged.iter_mut().enumerate() {
+            let back = (span - 1 - k) as u64;
+            if back > newest {
+                continue;
+            }
+            let index = newest - back;
+            *slot = self.at(index).unwrap_or(0) + other.at(index).unwrap_or(0);
+        }
+        self.buckets = merged;
+        self.head = span - 1;
+        self.newest = newest;
+    }
+}
+
+/// Wire form of a [`WindowedCounter`]: per-window counts from oldest to
+/// newest plus the newest window's absolute index.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowedCounterExport {
+    /// Absolute index of the newest window.
+    pub newest: u64,
+    /// Counts from oldest retained window to newest.
+    pub counts: Vec<u64>,
+}
+
+/// A ring of per-window [`LogLinearHistogram`]s. Samples land in the
+/// newest window; [`aggregate`](Self::aggregate) merges the ring into one
+/// histogram answering "p99 over the last `windows` windows".
+///
+/// # Examples
+///
+/// ```
+/// use mmwave_telemetry::window::WindowedHistogram;
+///
+/// let mut h = WindowedHistogram::new(2);
+/// h.record(100.0);
+/// h.advance();
+/// h.record(1.0);
+/// assert_eq!(h.aggregate().count(), 2);
+/// h.advance(); // the 100.0 window expires
+/// assert_eq!(h.aggregate().count(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WindowedHistogram {
+    buckets: Vec<LogLinearHistogram>,
+    head: usize,
+    newest: u64,
+}
+
+impl WindowedHistogram {
+    /// Creates a windowed histogram retaining `windows` windows (clamped
+    /// to ≥ 1).
+    pub fn new(windows: usize) -> WindowedHistogram {
+        WindowedHistogram {
+            buckets: vec![LogLinearHistogram::new(); windows.max(1)],
+            head: 0,
+            newest: 0,
+        }
+    }
+
+    /// Number of windows retained.
+    pub fn windows(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Absolute index of the newest (currently recording) window.
+    pub fn newest_index(&self) -> u64 {
+        self.newest
+    }
+
+    /// Records one sample into the newest window.
+    pub fn record(&mut self, value: f64) {
+        self.buckets[self.head].record(value);
+    }
+
+    /// Closes the newest window and opens the next, retiring the oldest.
+    pub fn advance(&mut self) {
+        self.head = (self.head + 1) % self.buckets.len();
+        self.buckets[self.head] = LogLinearHistogram::new();
+        self.newest += 1;
+    }
+
+    /// The histogram of the window at absolute index `index`, if still
+    /// retained.
+    pub fn at(&self, index: u64) -> Option<&LogLinearHistogram> {
+        let span = self.buckets.len() as u64;
+        if index > self.newest || index + span <= self.newest {
+            return None;
+        }
+        let back = (self.newest - index) as usize;
+        let slot = (self.head + self.buckets.len() - back) % self.buckets.len();
+        Some(&self.buckets[slot])
+    }
+
+    /// Exact bucket-wise merge of every retained window: the sliding-
+    /// window histogram over the last `windows()` windows.
+    pub fn aggregate(&self) -> LogLinearHistogram {
+        let span = self.buckets.len() as u64;
+        let oldest = self.newest.saturating_sub(span - 1);
+        let mut out = LogLinearHistogram::new();
+        // Merge oldest → newest so the f64 `sum` accumulates in a fixed,
+        // ring-phase-independent order.
+        for i in oldest..=self.newest {
+            if let Some(h) = self.at(i) {
+                out.merge(h);
+            }
+        }
+        out
+    }
+
+    /// `q`-quantile over the retained windows (0.0 when empty).
+    pub fn quantile(&self, q: f64) -> f64 {
+        self.aggregate().quantile(q)
+    }
+
+    /// Samples across the retained windows.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(LogLinearHistogram::count).sum()
+    }
+
+    /// Lossless wire form; [`from_export`](Self::from_export) round-trips
+    /// it exactly.
+    pub fn export(&self) -> WindowedHistogramExport {
+        let span = self.buckets.len() as u64;
+        let oldest = self.newest.saturating_sub(span - 1);
+        WindowedHistogramExport {
+            newest: self.newest,
+            histograms: (oldest..=self.newest)
+                .map(|i| match self.at(i) {
+                    Some(h) => h.export(),
+                    None => LogLinearHistogram::new().export(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuilds from an export, with the export length as ring capacity.
+    pub fn from_export(export: &WindowedHistogramExport) -> WindowedHistogram {
+        let mut w = WindowedHistogram::new(export.histograms.len());
+        for (k, e) in export.histograms.iter().enumerate() {
+            if k > 0 {
+                w.advance();
+            }
+            w.buckets[w.head] = LogLinearHistogram::from_export(e);
+        }
+        w.newest = export.newest;
+        w
+    }
+
+    /// Merges `other` into `self`, aligning windows by absolute index
+    /// (exact bucket-wise histogram merges; see
+    /// [`WindowedCounter::merge`] for the alignment rule).
+    pub fn merge(&mut self, other: &WindowedHistogram) {
+        let newest = self.newest.max(other.newest);
+        let span = self.buckets.len();
+        let mut merged = vec![LogLinearHistogram::new(); span];
+        for (k, slot) in merged.iter_mut().enumerate() {
+            let back = (span - 1 - k) as u64;
+            if back > newest {
+                continue;
+            }
+            let index = newest - back;
+            if let Some(h) = self.at(index) {
+                slot.merge(h);
+            }
+            if let Some(h) = other.at(index) {
+                slot.merge(h);
+            }
+        }
+        self.buckets = merged;
+        self.head = span - 1;
+        self.newest = newest;
+    }
+}
+
+/// Wire form of a [`WindowedHistogram`]: per-window exports from oldest
+/// retained window to newest plus the newest absolute index.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindowedHistogramExport {
+    /// Absolute index of the newest window.
+    pub newest: u64,
+    /// Window histograms from oldest retained to newest.
+    pub histograms: Vec<HistogramExport>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_expires_old_windows() {
+        let mut c = WindowedCounter::new(3);
+        c.record(10);
+        c.advance();
+        c.record(20);
+        c.advance();
+        c.record(30);
+        assert_eq!(c.sum(), 60);
+        assert_eq!(c.head_count(), 30);
+        c.advance(); // the 10 window leaves the ring
+        assert_eq!(c.sum(), 50);
+        c.advance();
+        c.advance();
+        assert_eq!(c.sum(), 0);
+    }
+
+    #[test]
+    fn counter_indexing_by_absolute_window() {
+        let mut c = WindowedCounter::new(2);
+        c.record(1); // window 0
+        c.advance();
+        c.record(2); // window 1
+        assert_eq!(c.at(0), Some(1));
+        assert_eq!(c.at(1), Some(2));
+        assert_eq!(c.at(2), None);
+        c.advance(); // window 0 expires
+        assert_eq!(c.at(0), None);
+        assert_eq!(c.at(1), Some(2));
+        assert_eq!(c.at(2), Some(0));
+    }
+
+    #[test]
+    fn counter_export_round_trips() {
+        let mut c = WindowedCounter::new(3);
+        for n in [5u64, 7, 11, 13] {
+            c.record(n);
+            c.advance();
+        }
+        c.record(17);
+        let e = c.export();
+        let json = serde_json::to_string(&e).expect("serialize");
+        let back: WindowedCounterExport = serde_json::from_str(&json).expect("parse");
+        let rebuilt = WindowedCounter::from_export(&back);
+        assert_eq!(rebuilt, c);
+        assert_eq!(rebuilt.sum(), c.sum());
+        assert_eq!(rebuilt.newest_index(), c.newest_index());
+    }
+
+    #[test]
+    fn counter_merge_aligns_by_absolute_index() {
+        // Two workers advancing in lockstep, each seeing part of the
+        // event stream.
+        let mut a = WindowedCounter::new(3);
+        let mut b = WindowedCounter::new(3);
+        let mut whole = WindowedCounter::new(3);
+        for (x, y) in [(1u64, 2u64), (3, 4), (5, 6), (7, 8)] {
+            a.record(x);
+            b.record(y);
+            whole.record(x + y);
+            a.advance();
+            b.advance();
+            whole.advance();
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn counter_merge_with_lagging_side() {
+        let mut a = WindowedCounter::new(2);
+        a.record(1);
+        a.advance(); // a is at window 1
+        a.record(100);
+        let mut b = WindowedCounter::new(2);
+        b.record(7); // b still at window 0
+        a.merge(&b);
+        assert_eq!(a.at(0), Some(8));
+        assert_eq!(a.at(1), Some(100));
+        assert_eq!(a.newest_index(), 1);
+    }
+
+    #[test]
+    fn histogram_sliding_quantile_tracks_recent_windows() {
+        let mut w = WindowedHistogram::new(2);
+        for _ in 0..100 {
+            w.record(1000.0);
+        }
+        w.advance();
+        for _ in 0..100 {
+            w.record(1.0);
+        }
+        // Both windows retained: p99 still sees the old spike.
+        assert!(w.quantile(0.99) > 500.0);
+        w.advance();
+        for _ in 0..100 {
+            w.record(1.0);
+        }
+        // The spike window expired; p99 over the last N events is calm.
+        let p99 = w.quantile(0.99);
+        assert!(p99 < 2.0, "p99 = {p99}");
+    }
+
+    #[test]
+    fn histogram_export_round_trips() {
+        let mut w = WindowedHistogram::new(3);
+        for v in [0.5, 2.0, 8.0] {
+            w.record(v);
+            w.advance();
+        }
+        w.record(32.0);
+        let e = w.export();
+        let json = serde_json::to_string(&e).expect("serialize");
+        let back: WindowedHistogramExport = serde_json::from_str(&json).expect("parse");
+        let rebuilt = WindowedHistogram::from_export(&back);
+        assert_eq!(rebuilt.export(), w.export());
+        assert_eq!(rebuilt.count(), w.count());
+        assert_eq!(rebuilt.aggregate().export(), w.aggregate().export());
+    }
+
+    #[test]
+    fn histogram_merge_matches_single_recorder() {
+        let mut a = WindowedHistogram::new(3);
+        let mut b = WindowedHistogram::new(3);
+        let mut whole = WindowedHistogram::new(3);
+        let streams = [(1.0, 10.0), (2.0, 20.0), (3.0, 30.0), (4.0, 40.0)];
+        for (x, y) in streams {
+            a.record(x);
+            whole.record(x);
+            b.record(y);
+            whole.record(y);
+            a.advance();
+            b.advance();
+            whole.advance();
+        }
+        a.merge(&b);
+        assert_eq!(a.aggregate().export(), whole.aggregate().export());
+        assert_eq!(a.export().newest, whole.export().newest);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let c = WindowedCounter::new(0);
+        assert_eq!(c.windows(), 1);
+        let w = WindowedHistogram::new(0);
+        assert_eq!(w.windows(), 1);
+    }
+}

@@ -31,7 +31,7 @@ benches="fig08_similar_rate fig09_similar_frames fig07_confusion_matrix \
          fig12_trigger_size_rate fig13_trigger_size_frames \
          fig14_angle_robustness fig15_distance_robustness defense_eval \
          table1_ablation perf_components ablation_clutter \
-         robustness_faults parallel_speedup loadgen"
+         robustness_faults parallel_speedup loadgen monitor_overhead"
 
 declare -A status
 failures=0

@@ -15,11 +15,14 @@
 //!                [--worker-id <id>] [--shard <i/n>]
 //! mmwave campaign-status <dir> [--ttl <secs>]
 //! mmwave top <dir> [--ttl <secs>] [--factor 4.0] [--refresh-secs 2.0] [--once]
+//!                [--json]
 //! mmwave fleet-export <dir> [--out <dir>] [--ttl <secs>] [--factor 4.0]
 //! mmwave dag-chaos [--dir <dir>] [--procs 3] [--keep]
 //! mmwave serve   [--sessions 4] [--seconds 10] [--fps 10] [--seed 7]
 //! mmwave loadgen [--sessions 8] [--seconds 5] [--fps 10] [--jitter 0.2]
 //!                [--burst 1] [--seed 7] [--paced] [--out <dir>]
+//!                [--poison-frac 0] [--profile <path>] [--fail-on-alarm]
+//! mmwave profile [--out monitor_profile.json] [loadgen flags]
 //! ```
 //!
 //! Global flags, accepted by every command:
@@ -117,6 +120,7 @@ fn main() -> ExitCode {
         "fleet-export" => return fleet_export_cmd(&opts, &positionals),
         "serve" => serve_cmd(&opts),
         "loadgen" => loadgen_cmd(&opts),
+        "profile" => profile_cmd(&opts),
         "dag-chaos" => dag_chaos(&opts),
         // Hidden helper: the small journaled campaign the chaos driver
         // kills and resumes (spawned via `current_exe`, not user-facing).
@@ -249,6 +253,9 @@ fn print_usage() {
                             multiplier, default 4.0)\n\
                             --refresh-secs <s> (default 2.0)\n\
                             --once (render once and exit; for CI)\n\
+                            --json (one-shot machine-readable snapshot:\n\
+                                    metrics + health + monitor sections;\n\
+                                    schema in docs/observability.md)\n\
            fleet-export <dir>  merge every worker's telemetry shard into\n\
                      durable artifacts: fleet_metrics.json,\n\
                      fleet_health.json, and a stitched Perfetto\n\
@@ -278,6 +285,23 @@ fn print_usage() {
                             (default 5) --fps <f> --jitter <0..1>\n\
                             --burst <n> --seed <n> --paced\n\
                             --out <dir> (default loadgen-results)\n\
+                            --poison-frac <0..1> (fraction of sessions\n\
+                                    streaming a worn physical trigger)\n\
+                            --profile <path> (clean baseline from\n\
+                                    `mmwave profile`; enables the\n\
+                                    model-health monitor and writes\n\
+                                    <out>/alerts.jsonl)\n\
+                            --fail-on-alarm (nonzero exit if any\n\
+                                    monitor alert fired)\n\
+                     env:   MMWAVE_MONITOR_WINDOW / _SUSTAIN /\n\
+                            _PSI_THR / _CONF_THR / _TAIL_THR /\n\
+                            _SPIKE_THR (see docs/observability.md)\n\
+           profile   capture the model-health reference baseline from\n\
+                     a clean (poison-free by construction) loadgen run\n\
+                     and save it as a checksummed artifact for\n\
+                     `loadgen --profile` and the monitoring engine\n\
+                     flags: --out <path> (default monitor_profile.json)\n\
+                            plus the loadgen stream-shape flags\n\
          \n\
          global flags:\n\
            --log-level <error|warn|info|debug|trace>   stderr verbosity\n\
@@ -305,6 +329,8 @@ fn parse_flags(args: &[String]) -> Result<(HashMap<String, String>, Vec<String>)
             || name == "keep"
             || name == "once"
             || name == "paced"
+            || name == "fail-on-alarm"
+            || name == "json"
         {
             out.insert(name.to_string(), "true".to_string());
             continue;
@@ -1114,6 +1140,7 @@ fn render_top(
                 || k.starts_with("store.claim.")
                 || k.starts_with("fleet.")
                 || k.starts_with("serve.")
+                || k.starts_with("monitor.")
         })
         .collect();
     if !interesting.is_empty() {
@@ -1137,12 +1164,96 @@ fn render_top(
             let _ = writeln!(out, "  {k:<28} {:.0}", g.value);
         }
     }
+    // Model-health gauges are small fractions (drift scores, tail
+    // mass), so they print with precision where serve gauges round.
+    let monitor_gauges: Vec<_> = merged
+        .merged
+        .gauges
+        .iter()
+        .filter(|(k, _)| k.starts_with("monitor."))
+        .collect();
+    if !monitor_gauges.is_empty() {
+        let _ = writeln!(out, "monitor gauges:");
+        for (k, g) in monitor_gauges {
+            let _ = writeln!(out, "  {k:<28} {:.4}", g.value);
+        }
+    }
     let hotspots = telemetry::merged_profile(&merged.merged).hotspot_table(8);
     if !hotspots.trim().is_empty() {
         let _ = writeln!(out, "merged hotspots:");
         out.push_str(&hotspots);
     }
     Ok((out, status.all_resolved()))
+}
+
+/// One-shot machine-readable fleet snapshot for `mmwave top --json`.
+/// The schema is documented in docs/observability.md §10; bump
+/// `schema_version` on incompatible changes.
+fn render_top_json(
+    dir: &Path,
+    ttl: std::time::Duration,
+    factor: f64,
+) -> Result<String, String> {
+    use mmwave_har_backdoor::backdoor::fleet;
+    let (status, shards, merged, health) =
+        fleet::observe_fleet(dir, ttl, factor).map_err(|e| e.to_string())?;
+    let (done, failed, claimed, pending) = status.counts();
+    let counters: std::collections::BTreeMap<&String, &u64> = merged
+        .merged
+        .counters
+        .iter()
+        .filter(|(k, _)| {
+            k.starts_with("dag.")
+                || k.starts_with("store.claim.")
+                || k.starts_with("fleet.")
+                || k.starts_with("serve.")
+                || k.starts_with("monitor.")
+        })
+        .collect();
+    let gauges: std::collections::BTreeMap<&String, f64> =
+        merged.merged.gauges.iter().map(|(k, g)| (k, g.value)).collect();
+    let monitor_counter = |name: &str| merged.merged.counters.get(name).copied().unwrap_or(0);
+    let alerts_by_kind: std::collections::BTreeMap<String, u64> = merged
+        .merged
+        .counters
+        .iter()
+        .filter_map(|(k, &v)| {
+            k.strip_prefix("monitor.alerts.").map(|kind| (kind.to_string(), v))
+        })
+        .collect();
+    let monitor_gauges: std::collections::BTreeMap<&String, f64> = merged
+        .merged
+        .gauges
+        .iter()
+        .filter(|(k, _)| k.starts_with("monitor."))
+        .map(|(k, g)| (k, g.value))
+        .collect();
+    let snapshot = serde_json::json!({
+        "schema_version": 1,
+        "campaign": {
+            "dir": dir.display().to_string(),
+            "tasks_total": status.tasks.len(),
+            "done": done,
+            "failed": failed,
+            "claimed": claimed,
+            "pending": pending,
+            "resolved": status.all_resolved(),
+        },
+        "workers_shipped": shards.len(),
+        "health": health,
+        "metrics": {
+            "counters": counters,
+            "gauges": gauges,
+        },
+        "monitor": {
+            "verdicts": monitor_counter("monitor.verdicts"),
+            "windows": monitor_counter("monitor.windows"),
+            "alerts": monitor_counter("monitor.alerts"),
+            "alerts_by_kind": alerts_by_kind,
+            "gauges": monitor_gauges,
+        },
+    });
+    serde_json::to_string_pretty(&snapshot).map_err(|e| e.to_string())
 }
 
 /// `mmwave top <dir>`: live fleet view over a campaign directory. Reads
@@ -1157,6 +1268,19 @@ fn top_cmd(opts: &HashMap<String, String>, positionals: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if opts.contains_key("json") {
+        // One-shot machine-readable snapshot: no repaint loop, no ANSI.
+        return match render_top_json(&dir, ttl, factor) {
+            Ok(json) => {
+                println!("{json}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: cannot observe the fleet: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let once = opts.contains_key("once");
     let refresh = match opts.get("refresh-secs").map(|s| s.parse::<f64>()) {
         None => 2.0,
@@ -1260,6 +1384,11 @@ fn loadgen_config(
     if opts.contains_key("paced") {
         cfg.paced = true;
     }
+    if let Some(raw) = opts.get("poison-frac") {
+        cfg.poison_frac = raw
+            .parse()
+            .map_err(|_| format!("--poison-frac needs a number in [0, 1], got `{raw}`"))?;
+    }
     cfg.validate().map_err(|e| e.to_string())?;
     Ok(cfg)
 }
@@ -1335,9 +1464,15 @@ fn serve_cmd(opts: &HashMap<String, String>) -> ExitCode {
 /// service (firehose by default, `--paced` to honor arrival times) and
 /// writes the throughput/latency report as a checksummed artifact plus
 /// a `BENCH_loadgen.json` baseline `mmwave perf-check` can gate.
-/// Nonzero exit if any ingested frame ends up unaccounted.
+/// With `--profile <path>` the model-health monitor scores every window
+/// against that clean baseline and appends alerts to
+/// `<out>/alerts.jsonl`; `--poison-frac <f>` streams physically
+/// triggered sessions to exercise it. Nonzero exit if any ingested
+/// frame ends up unaccounted, or — under `--fail-on-alarm` — if any
+/// alert fired.
 fn loadgen_cmd(opts: &HashMap<String, String>) -> ExitCode {
     use mmwave_har_backdoor::bench::baseline::{self, BenchBaseline};
+    use mmwave_har_backdoor::monitor;
     let lg = match loadgen_config(opts, serve::LoadgenConfig::default()) {
         Ok(c) => c,
         Err(e) => {
@@ -1353,12 +1488,54 @@ fn loadgen_cmd(opts: &HashMap<String, String>) -> ExitCode {
         telemetry::error!("cannot create `{}`: {e}", out_dir.display());
         return ExitCode::FAILURE;
     }
-    let report = match serve::loadgen::run(&lg, serve_cfg, &proto, Environment::hallway()) {
-        Ok(r) => r,
-        Err(e) => {
-            telemetry::error!("loadgen failed: {e}");
-            return ExitCode::FAILURE;
+    let fail_on_alarm = opts.contains_key("fail-on-alarm");
+    let reference = match opts.get("profile") {
+        Some(path) => match monitor::ReferenceProfile::load(Path::new(path)) {
+            Ok(p) => Some(p),
+            Err(e) => {
+                telemetry::error!("cannot load the reference profile `{path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => {
+            if fail_on_alarm {
+                eprintln!(
+                    "error: --fail-on-alarm needs --profile <path>; without a reference \
+                     profile no monitor runs and no alarm could ever fire"
+                );
+                return ExitCode::FAILURE;
+            }
+            None
         }
+    };
+    let (report, outcome) = match reference {
+        Some(reference) => {
+            let mon_cfg = monitor::MonitorConfig::from_env();
+            let alerts_path = out_dir.join("alerts.jsonl");
+            match monitor::run_monitored(
+                &lg,
+                serve_cfg,
+                &proto,
+                Environment::hallway(),
+                &mon_cfg,
+                reference,
+                Some(&alerts_path),
+                |_| {},
+            ) {
+                Ok(o) => (o.report.clone(), Some((o, alerts_path))),
+                Err(e) => {
+                    telemetry::error!("monitored loadgen failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => match serve::loadgen::run(&lg, serve_cfg, &proto, Environment::hallway()) {
+            Ok(r) => (r, None),
+            Err(e) => {
+                telemetry::error!("loadgen failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
     };
     println!(
         "loadgen: {} session(s) x {:.0}s @ {:.1} fps, burst {}, jitter {:.2} ({})",
@@ -1385,6 +1562,34 @@ fn loadgen_cmd(opts: &HashMap<String, String>) -> ExitCode {
         report.peak_ring_depth,
         report.peak_queue_depth
     );
+    if lg.poison_frac > 0.0 {
+        println!(
+            "  poisoned        {} of {} session(s) stream a worn trigger (frac {:.2})",
+            report.poisoned_sessions, lg.sessions, lg.poison_frac
+        );
+    }
+    if let Some((outcome, alerts_path)) = &outcome {
+        println!(
+            "  monitor         {} window(s) scored, {} alert(s) -> {}",
+            outcome.windows,
+            outcome.alerts.len(),
+            alerts_path.display()
+        );
+        if let Some(d) = &outcome.last_drift {
+            println!(
+                "  drift           psi {:.4}  conf-tv {:.4}  tail {:.4}  spike {:.4}",
+                d.class_psi, d.confidence_tv, d.trigger_tail, d.spike_delta
+            );
+        }
+        for alert in &outcome.alerts {
+            println!(
+                "  ALERT {:<16} window {:<3} {}",
+                alert.kind.name(),
+                alert.window_index,
+                alert.detail
+            );
+        }
+    }
     let report_path = out_dir.join("loadgen_report.json");
     if let Err(e) = report.save(&report_path) {
         telemetry::error!("cannot save the loadgen report: {e}");
@@ -1415,6 +1620,75 @@ fn loadgen_cmd(opts: &HashMap<String, String>) -> ExitCode {
         );
         return ExitCode::FAILURE;
     }
+    if fail_on_alarm {
+        if let Some((outcome, _)) = &outcome {
+            if !outcome.alerts.is_empty() {
+                telemetry::error!(
+                    "{} monitor alert(s) fired and --fail-on-alarm is set",
+                    outcome.alerts.len()
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// `mmwave profile`: captures the model-health reference baseline. Runs
+/// the load generator with poisoning forced off (clean by
+/// construction), folds every verdict into a [`ReferenceProfile`], and
+/// saves it as a checksummed artifact for `mmwave loadgen --profile`
+/// and the monitoring engine.
+fn profile_cmd(opts: &HashMap<String, String>) -> ExitCode {
+    use mmwave_har_backdoor::monitor;
+    let lg = match loadgen_config(opts, serve::LoadgenConfig::default()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let serve_cfg = serve::ServeConfig::from_env();
+    let proto = PrototypeConfig::fast();
+    let out =
+        PathBuf::from(opts.get("out").map(String::as_str).unwrap_or("monitor_profile.json"));
+    let (profile, report) =
+        match monitor::capture_profile(&lg, serve_cfg, &proto, Environment::hallway()) {
+            Ok(r) => r,
+            Err(e) => {
+                telemetry::error!("profile capture failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+    println!(
+        "profile: {} verdict(s) from {} session(s) over {} class(es)",
+        profile.verdicts, lg.sessions, profile.n_classes
+    );
+    let rates = profile.class_rates();
+    for (i, rate) in rates.iter().enumerate() {
+        if *rate > 0.0 {
+            let name = if i < Activity::ALL.len() {
+                Activity::from_index(i).label()
+            } else {
+                "?"
+            };
+            println!("  class {i:<2} ({name:<14}) rate {rate:.3}");
+        }
+    }
+    if !report.is_clean() || report.shed_frames > 0 {
+        telemetry::error!(
+            "baseline capture was not healthy ({} unaccounted, {} shed); refusing to save a \
+             reference that does not represent clean service behavior",
+            report.unaccounted,
+            report.shed_frames
+        );
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = profile.save(&out) {
+        telemetry::error!("cannot save the reference profile: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("  saved           {}", out.display());
     ExitCode::SUCCESS
 }
 

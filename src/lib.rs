@@ -23,6 +23,7 @@
 //! | [`exec`] | `mmwave-exec` | deterministic work-stealing parallel runtime |
 //! | [`store`] | `mmwave-store` | atomic checksummed artifact I/O, quarantine, crash points |
 //! | [`serve`] | `mmwave-serve` | streaming inference service + load generator |
+//! | [`monitor`] | `mmwave-monitor` | model-health drift scores + backdoor-activation alarms |
 //! | [`bench`] | `mmwave-bench` | bench harness, perf baselines, regression gate |
 //!
 //! See `examples/quickstart.rs` for a guided tour, and the `mmwave-bench`
@@ -36,6 +37,7 @@ pub use mmwave_dsp as dsp;
 pub use mmwave_exec as exec;
 pub use mmwave_geom as geom;
 pub use mmwave_har as har;
+pub use mmwave_monitor as monitor;
 pub use mmwave_nn as nn;
 pub use mmwave_radar as radar;
 pub use mmwave_serve as serve;

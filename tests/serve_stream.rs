@@ -79,6 +79,53 @@ proptest! {
     }
 }
 
+/// Regression: `Accounting::balanced` must hold *after* `drain()` when
+/// session rings still hold sub-clip remainders and the ready queue was
+/// non-empty (and over capacity) at drain time — frames left behind
+/// must surface as shed or in-flight, never vanish.
+#[test]
+fn drain_accounts_for_partial_rings_and_queued_clips() {
+    let proto = PrototypeConfig::smoke_test();
+    let cfg = ServeConfig {
+        clip_len: proto.n_frames,
+        ring_capacity: RING_CAP,
+        ready_capacity: READY_CAP,
+        max_batch: 2,
+    };
+    let mut service =
+        Service::new(cfg, &proto, Environment::hallway(), 7).expect("valid config");
+    let clip_len = proto.n_frames as u64;
+    // One clip plus one leftover frame per session, never pumping: at
+    // drain time three clips want a 2-clip ready queue and every ring
+    // keeps a partial remainder.
+    for session in 0..3u64 {
+        for seq in 0..=clip_len {
+            service.ingest(session, seq, blank_frame(&proto));
+        }
+    }
+    let acc = service.accounting();
+    assert!(acc.balanced(), "imbalance before drain: {acc:?}");
+    assert_eq!(acc.ingested, 3 * (clip_len + 1));
+    assert_eq!(acc.in_flight_frames, 3 * (clip_len + 1), "nothing inferred or shed yet");
+
+    let verdicts = service.drain();
+    let acc = service.accounting();
+    assert!(acc.balanced(), "drain must never lose frames: {acc:?}");
+    assert_eq!(service.ready_clips(), 0, "drain must empty the ready queue");
+    // Three assembled clips overflowed the 2-clip queue: the oldest was
+    // shed whole, the other two were inferred, and each session's ninth
+    // frame stays in flight as a sub-clip ring remainder.
+    assert_eq!(verdicts.len(), 2);
+    assert_eq!(acc.inferred_frames, 2 * clip_len);
+    assert_eq!(acc.shed_frames, clip_len);
+    assert_eq!(acc.in_flight_frames, 3);
+    assert_eq!(
+        acc.ingested,
+        acc.inferred_frames + acc.shed_frames + acc.in_flight_frames,
+        "the ledger must close exactly: {acc:?}"
+    );
+}
+
 /// Everything about a verdict except wall-clock latency, bit-exact.
 type VerdictKey = (u64, u64, u64, u64, usize, String, u32, u64);
 
