@@ -24,8 +24,9 @@ use serde::{Deserialize, Serialize};
 
 use crate::profile::ReferenceProfile;
 
-/// Floor applied to reference probabilities so empty reference bins do
-/// not blow PSI/chi-square up to infinity.
+/// Floor applied to probabilities inside [`psi`] so empty bins do not
+/// blow the logarithm up to infinity. ([`chi_square`] instead *excludes*
+/// reference-empty classes — see its docs.)
 const EPS: f64 = 1e-6;
 
 /// One window's divergence from the reference profile.
@@ -93,12 +94,23 @@ pub fn psi(reference: &[f64], window: &[f64]) -> f64 {
         .sum()
 }
 
-/// Chi-square statistic `n * Σ (p_w - p_r)^2 / max(p_r, EPS)`.
+/// Chi-square statistic `n * Σ (p_w - p_r)^2 / p_r` over the classes
+/// the reference actually predicts (`p_r > 0`).
+///
+/// Classes with zero reference mass are excluded rather than floored:
+/// dividing by an [`EPS`] floor would turn any window mass on a
+/// never-predicted class into a statistic on the order of `1e6 * n` —
+/// astronomically large and uninterpretable in an alert detail. Novel
+/// mass is not lost by the exclusion: it depresses the rates of the
+/// reference-supported classes (which this statistic does see), and
+/// landing in reference-empty territory is precisely what
+/// [`tail_mass`] and [`largest_spike`] report directly.
 pub fn chi_square(reference: &[f64], window: &[f64], n: u64) -> f64 {
     let sum: f64 = reference
         .iter()
         .zip(window)
-        .map(|(&r, &w)| (w - r) * (w - r) / r.max(EPS))
+        .filter(|(&r, _)| r > 0.0)
+        .map(|(&r, &w)| (w - r) * (w - r) / r)
         .sum();
     n as f64 * sum
 }
@@ -168,6 +180,22 @@ mod tests {
         assert!(psi(&r, &near) > 0.0);
         assert!(psi(&r, &far) > psi(&r, &near));
         assert!(chi_square(&r, &far, 100) > chi_square(&r, &near, 100));
+    }
+
+    #[test]
+    fn chi2_stays_interpretable_when_mass_lands_on_a_reference_empty_class() {
+        // 30% of a 200-verdict window flips to a class the reference
+        // never predicted. The statistic must reflect the depressed
+        // rates of the supported classes — not divide by an epsilon and
+        // explode into the millions.
+        let r = [0.5, 0.5, 0.0];
+        let w = [0.35, 0.35, 0.3];
+        let chi2 = chi_square(&r, &w, 200);
+        // Supported classes only: 200 * 2 * (0.15^2 / 0.5) = 18.
+        assert!((chi2 - 18.0).abs() < 1e-9, "chi2 = {chi2}");
+        // All mass on the novel class: bounded by n * Σ p_r = n.
+        let all_novel = chi_square(&r, &[0.0, 0.0, 1.0], 200);
+        assert!((all_novel - 200.0).abs() < 1e-9, "chi2 = {all_novel}");
     }
 
     #[test]

@@ -59,6 +59,12 @@ pub fn capture_profile(
 /// When `alerts_path` is given, the file is created (or truncated) up
 /// front — a quiet run leaves an empty file as positive evidence that
 /// monitoring ran — and each alert is appended CRC-framed as it fires.
+/// If an append fails the run still replays to completion (the load
+/// generator offers no mid-stream abort), but the audit log is void:
+/// no further appends are attempted (each suppressed append bumps
+/// `monitor.alert_write_failed`), the partial file is removed so a
+/// misleading truncated log never survives on disk, and the run
+/// returns the sink error instead of an outcome.
 /// `on_verdict` observes the verdict stream like `loadgen::run_with`.
 pub fn run_monitored(
     lg: &LoadgenConfig,
@@ -98,6 +104,12 @@ pub fn run_monitored(
         }
     })?;
     if let Some(e) = sink_error {
+        // The log stopped at the first failed append; alerts that fired
+        // afterwards are missing from it. Remove the partial file —
+        // callers must treat this run as having no audit log at all.
+        if let Some(path) = alerts_path {
+            let _ = std::fs::remove_file(path);
+        }
         return Err(MonitorError::Store(e));
     }
     Ok(MonitorOutcome {

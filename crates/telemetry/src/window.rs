@@ -38,7 +38,7 @@ use crate::histogram::{HistogramExport, LogLinearHistogram};
 /// c.advance();
 /// assert_eq!(c.sum(), 0); // everything expired
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct WindowedCounter {
     /// Ring of per-window counts; `buckets[head]` is the newest window.
     buckets: Vec<u64>,
@@ -46,6 +46,26 @@ pub struct WindowedCounter {
     /// Absolute index of the newest window (0-based, total advances).
     newest: u64,
 }
+
+/// Equality is semantic, not representational: two counters are equal
+/// when they retain the same number of windows, agree on the newest
+/// absolute index, and hold the same count at every retained absolute
+/// index. Ring rotation is invisible — [`from_export`](WindowedCounter::from_export)
+/// and [`merge`](WindowedCounter::merge) rebuild the ring at a different
+/// phase than the counter that recorded the same stream, and those must
+/// still compare equal.
+impl PartialEq for WindowedCounter {
+    fn eq(&self, other: &WindowedCounter) -> bool {
+        if self.buckets.len() != other.buckets.len() || self.newest != other.newest {
+            return false;
+        }
+        let span = self.buckets.len() as u64;
+        let oldest = self.newest.saturating_sub(span - 1);
+        (oldest..=self.newest).all(|i| self.at(i) == other.at(i))
+    }
+}
+
+impl Eq for WindowedCounter {}
 
 impl WindowedCounter {
     /// Creates a counter retaining `windows` windows (clamped to ≥ 1).
@@ -387,6 +407,29 @@ mod tests {
         }
         a.merge(&b);
         assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn counter_equality_ignores_ring_rotation() {
+        // A counter that wrapped its ring and the rebuilt export hold
+        // identical windows at different ring phases: equal. Any
+        // differing window content or newest index: unequal.
+        let mut c = WindowedCounter::new(3);
+        for n in [5u64, 7, 11, 13] {
+            c.record(n);
+            c.advance();
+        }
+        c.record(17);
+        let rebuilt = WindowedCounter::from_export(&c.export());
+        assert_eq!(rebuilt, c);
+
+        let mut different = rebuilt.clone();
+        different.record(1);
+        assert_ne!(different, c);
+        let mut advanced = WindowedCounter::from_export(&c.export());
+        advanced.advance();
+        assert_ne!(advanced, c);
+        assert_ne!(WindowedCounter::new(2), WindowedCounter::new(3));
     }
 
     #[test]
