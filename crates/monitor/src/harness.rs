@@ -43,7 +43,11 @@ pub fn capture_profile(
     let clean = LoadgenConfig { poison_frac: 0.0, ..lg.clone() };
     let mut profile = ReferenceProfile::new(clean.seed, clean.sessions, proto.n_classes);
     let report = loadgen::run_with(&clean, serve_cfg, proto, environment, |v| {
-        profile.observe(v.label, v.confidence as f64, v.defense_score);
+        // Failed verdicts carry poisoned placeholder fields, not model
+        // outputs; folding them in would skew the baseline.
+        if !v.status.is_failed() {
+            profile.observe(v.label, v.confidence as f64, v.defense_score);
+        }
     })?;
     profile.validate()?;
     Ok((profile, report))
@@ -89,6 +93,14 @@ pub fn run_monitored(
     let mut sink_error: Option<StoreError> = None;
     let report = loadgen::run_with(lg, serve_cfg, proto, environment, |v| {
         on_verdict(v);
+        // Failed verdicts never reach the drift engine: their zeroed
+        // label/confidence/score fields are pipeline noise, not model
+        // behavior, and would fire false class-drift alarms. Pipeline
+        // failure visibility belongs to `serve.verdicts_failed` and the
+        // circuit breaker instead.
+        if v.status.is_failed() {
+            return;
+        }
         for alert in monitor.observe(v.label, v.confidence as f64, v.defense_score) {
             if let Some(path) = alerts_path {
                 if sink_error.is_none() {

@@ -1,23 +1,40 @@
 //! Micro-batch inference: one batch of ready clips fanned across the
-//! `exec` pool.
+//! `exec` pool, with per-clip failure isolation.
 //!
 //! A batch is the unit of data parallelism: each clip runs the full
 //! DSP → CNN-LSTM → trigger-detector chain independently, so
 //! [`mmwave_exec::par_map`]'s input-order guarantee makes the verdict
 //! order — and every verdict field except wall-clock latency —
 //! independent of the worker count.
+//!
+//! Failure isolation is per-clip, not per-batch: each clip's chain runs
+//! under `catch_unwind` (the same capture `exec` itself uses, rendered
+//! through [`mmwave_exec::panic_message`]), and non-finite model or
+//! detector outputs are treated as failures too. A poisoned clip yields
+//! a [`VerdictStatus::Failed`] verdict while the rest of its batch
+//! completes normally; the service's circuit breaker watches the
+//! resulting failure stream.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use mmwave_body::Activity;
 use mmwave_defense::TriggerDetector;
-use mmwave_dsp::Heatmap;
+use mmwave_dsp::{repair_dropped_frames, Heatmap};
 use mmwave_har::CnnLstm;
 use mmwave_radar::{Capturer, Environment};
 use mmwave_telemetry::{counter, observe, span, span_at, Level};
 
-use crate::service::{ReadyClip, Verdict};
+use crate::service::{ReadyClip, Verdict, VerdictStatus};
+
+/// One clip's pipeline outcome before it is dressed up as a verdict.
+type ClipResult = Result<(usize, f32, f64), String>;
 
 /// Runs DSP + model + detector for every clip in `batch` on the `exec`
-/// pool and returns one [`Verdict`] per clip, in batch order.
+/// pool and returns one [`Verdict`] per clip, in batch order. Clips
+/// whose `dropped` mask flags placeholder frames are repaired at the
+/// heatmap stage before classification; clips that panic or produce
+/// non-finite outputs yield `Failed` verdicts without disturbing their
+/// batchmates.
 ///
 /// `now_ms` is the emit timestamp (ms since the service epoch) used for
 /// end-to-end latency; it is sampled once per batch so all verdicts in
@@ -33,34 +50,71 @@ pub fn infer_batch(
     let _span = span("serve.infer_batch");
     counter("serve.batches", 1);
     observe("serve.batch_size", batch.len() as f64);
-    let results = mmwave_exec::par_map(batch, |_i, clip| {
+    let results: Vec<ClipResult> = mmwave_exec::par_map(batch, |_i, clip| {
         let _clip_span = span_at("serve.infer_clip", Level::Debug);
-        let heatmaps: Vec<Heatmap> = clip
-            .frames
-            .iter()
-            .map(|frame| capturer.drai_of(frame, environment))
-            .collect();
-        let seq = capturer.finalize_heatmaps(heatmaps);
-        let probs = model.probabilities(&seq);
-        let (label, confidence) = argmax(&probs);
-        let defense_score = detector.score(&seq);
-        (label, confidence, defense_score)
+        catch_unwind(AssertUnwindSafe(|| infer_clip(capturer, environment, model, detector, clip)))
+            .unwrap_or_else(|payload| {
+                Err(format!("clip panicked: {}", mmwave_exec::panic_message(payload.as_ref())))
+            })
     });
     batch
         .iter()
         .zip(results)
-        .map(|(clip, (label, confidence, defense_score))| Verdict {
-            session: clip.session,
-            clip_index: clip.clip_index,
-            first_seq: clip.first_seq,
-            last_seq: clip.last_seq,
-            label,
-            activity: activity_name(label),
-            confidence,
-            defense_score,
-            latency_ms: (now_ms - clip.last_ingest_ms).max(0.0),
+        .map(|(clip, result)| {
+            let (label, activity, confidence, defense_score, status) = match result {
+                Ok((label, confidence, defense_score)) => {
+                    (label, activity_name(label), confidence, defense_score, VerdictStatus::Ok)
+                }
+                Err(reason) => {
+                    (0, "failed".to_string(), 0.0, 0.0, VerdictStatus::Failed { reason })
+                }
+            };
+            Verdict {
+                session: clip.session,
+                clip_index: clip.clip_index,
+                first_seq: clip.first_seq,
+                last_seq: clip.last_seq,
+                label,
+                activity,
+                confidence,
+                defense_score,
+                latency_ms: (now_ms - clip.last_ingest_ms).max(0.0),
+                status,
+            }
         })
         .collect()
+}
+
+/// The full single-clip chain: DSP heatmaps, placeholder repair, model
+/// probabilities, trigger score. Returns `Err` on non-finite outputs;
+/// panics anywhere in the chain are caught by the caller.
+fn infer_clip(
+    capturer: &Capturer,
+    environment: &Environment,
+    model: &CnnLstm,
+    detector: &TriggerDetector,
+    clip: &ReadyClip,
+) -> ClipResult {
+    let mut heatmaps: Vec<Heatmap> = clip
+        .frames
+        .iter()
+        .map(|frame| capturer.drai_of(frame, environment))
+        .collect();
+    if clip.dropped.iter().any(|&d| d) {
+        repair_dropped_frames(&mut heatmaps, &clip.dropped);
+        counter("serve.clips_repaired", 1);
+    }
+    let seq = capturer.finalize_heatmaps(heatmaps);
+    let probs = model.probabilities(&seq);
+    if probs.iter().any(|p| !p.is_finite()) {
+        return Err("model produced non-finite probabilities".to_string());
+    }
+    let (label, confidence) = argmax(&probs);
+    let defense_score = detector.score(&seq);
+    if !defense_score.is_finite() {
+        return Err("detector produced a non-finite score".to_string());
+    }
+    Ok((label, confidence, defense_score))
 }
 
 /// First index of the largest probability (ties break low, so the

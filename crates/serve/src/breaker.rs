@@ -1,0 +1,209 @@
+//! Sustain-streak circuit breaker for the inference plane.
+//!
+//! A single poisoned clip is isolated by the batcher (it becomes a
+//! `Failed` verdict and the rest of the batch completes), but a *model*
+//! or *pipeline* that is failing every clip would keep the pump grinding
+//! through doomed batches at full DSP cost. The breaker watches the
+//! per-clip failure stream and, once `threshold` **consecutive** clips
+//! have failed, opens: while open the pump sheds ready clips instead of
+//! batching them (cheap, fully accounted). After `cooldown` pumps the
+//! breaker goes half-open and lets one probe batch through; a clean
+//! probe closes it, any failure re-opens it for another cooldown.
+//!
+//! Everything is count-based — failed-clip streaks and pump counts, no
+//! wall clock — so breaker behaviour is bit-identical across worker
+//! counts and replays, like every other control decision in the service.
+
+use mmwave_telemetry::{counter, gauge};
+
+/// Where the breaker is in its open → half-open → closed cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: batches flow, failures feed the streak counter.
+    Closed,
+    /// Tripped: the pump sheds ready clips instead of batching them.
+    Open,
+    /// Cooldown elapsed: exactly one probe batch is allowed through.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Numeric encoding for the `serve.breaker_state` gauge
+    /// (0 = closed, 1 = half-open, 2 = open).
+    pub fn as_gauge(self) -> f64 {
+        match self {
+            BreakerState::Closed => 0.0,
+            BreakerState::HalfOpen => 1.0,
+            BreakerState::Open => 2.0,
+        }
+    }
+}
+
+/// Count-based sustain-streak circuit breaker. See the module docs for
+/// the state machine; a `threshold` of 0 disables the breaker entirely
+/// (it stays closed forever).
+#[derive(Debug, Clone)]
+pub struct Breaker {
+    threshold: usize,
+    cooldown: u64,
+    state: BreakerState,
+    /// Consecutive failed clips observed while closed.
+    streak: usize,
+    /// Pump counter value when the breaker last opened.
+    opened_at_pump: u64,
+    /// Times the breaker has tripped over its lifetime.
+    trips: u64,
+}
+
+impl Breaker {
+    /// Builds a breaker tripping after `threshold` consecutive clip
+    /// failures and staying open for `cooldown` pumps.
+    pub fn new(threshold: usize, cooldown: usize) -> Breaker {
+        Breaker {
+            threshold,
+            cooldown: cooldown as u64,
+            state: BreakerState::Closed,
+            streak: 0,
+            opened_at_pump: 0,
+            trips: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Lifetime trip count.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// False when `threshold == 0` (the breaker never trips).
+    pub fn is_enabled(&self) -> bool {
+        self.threshold > 0
+    }
+
+    /// Advances the pump clock: an open breaker whose cooldown has
+    /// elapsed goes half-open, ready for one probe batch.
+    pub fn on_pump(&mut self, pump: u64) {
+        if self.state == BreakerState::Open && pump >= self.opened_at_pump + self.cooldown {
+            self.state = BreakerState::HalfOpen;
+            counter("serve.breaker_half_open", 1);
+            self.publish();
+        }
+    }
+
+    /// True when the pump may run a batch (closed, or half-open probe).
+    pub fn allows_batch(&self) -> bool {
+        self.state != BreakerState::Open
+    }
+
+    /// Feeds one batch's per-clip outcomes (`true` = clip failed), in
+    /// batch order, and applies the resulting transition at pump `pump`.
+    pub fn record_batch(&mut self, clip_failures: &[bool], pump: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        match self.state {
+            BreakerState::Open => {}
+            BreakerState::HalfOpen => {
+                if clip_failures.iter().any(|&failed| failed) {
+                    self.trip(pump);
+                } else {
+                    self.state = BreakerState::Closed;
+                    self.streak = 0;
+                    counter("serve.breaker_closed", 1);
+                    self.publish();
+                }
+            }
+            BreakerState::Closed => {
+                for &failed in clip_failures {
+                    if failed {
+                        self.streak += 1;
+                        if self.streak >= self.threshold {
+                            self.trip(pump);
+                            break;
+                        }
+                    } else {
+                        self.streak = 0;
+                    }
+                }
+            }
+        }
+    }
+
+    fn trip(&mut self, pump: u64) {
+        self.state = BreakerState::Open;
+        self.streak = 0;
+        self.opened_at_pump = pump;
+        self.trips += 1;
+        counter("serve.breaker_opened", 1);
+        self.publish();
+    }
+
+    /// Publishes the `serve.breaker_state` gauge for the current state.
+    pub fn publish(&self) {
+        gauge("serve.breaker_state", self.state.as_gauge());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_breaker_never_trips() {
+        let mut b = Breaker::new(0, 4);
+        b.record_batch(&[true; 64], 1);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.allows_batch());
+        assert_eq!(b.trips(), 0);
+    }
+
+    #[test]
+    fn streak_must_be_consecutive_to_trip() {
+        let mut b = Breaker::new(3, 4);
+        // Failures interleaved with successes never sustain the streak.
+        b.record_batch(&[true, true, false, true, true, false], 1);
+        assert_eq!(b.state(), BreakerState::Closed);
+        // Three in a row trips, even across batch boundaries.
+        b.record_batch(&[false, true], 2);
+        b.record_batch(&[true, true], 3);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allows_batch());
+        assert_eq!(b.trips(), 1);
+    }
+
+    #[test]
+    fn cooldown_half_open_probe_closes_or_reopens() {
+        let mut b = Breaker::new(2, 3);
+        b.record_batch(&[true, true], 10);
+        assert_eq!(b.state(), BreakerState::Open);
+        // Cooldown not yet elapsed.
+        b.on_pump(12);
+        assert_eq!(b.state(), BreakerState::Open);
+        b.on_pump(13);
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(b.allows_batch());
+        // A failed probe re-opens for a fresh cooldown.
+        b.record_batch(&[false, true], 13);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 2);
+        b.on_pump(16);
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // A clean probe closes it and resets the streak.
+        b.record_batch(&[false, false], 16);
+        assert_eq!(b.state(), BreakerState::Closed);
+        // Streak restarts from zero after closing.
+        b.record_batch(&[true], 17);
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn gauge_encoding_is_stable() {
+        assert_eq!(BreakerState::Closed.as_gauge(), 0.0);
+        assert_eq!(BreakerState::HalfOpen.as_gauge(), 1.0);
+        assert_eq!(BreakerState::Open.as_gauge(), 2.0);
+    }
+}

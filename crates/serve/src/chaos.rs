@@ -1,0 +1,601 @@
+//! Seeded transport-fault injection for the streaming plane.
+//!
+//! [`StreamChaos`] is the transport-level sibling of PR 1's
+//! signal-level `FaultInjector`: instead of perturbing IF samples it
+//! perturbs *delivery* — corrupting frames to NaN, dropping and
+//! duplicating packets, swapping adjacent deliveries, stalling a
+//! session mid-stream (radio flap), and suppressing pump opportunities
+//! so arrivals clump into ring-overflowing bursts. Every decision is a
+//! pure function of `(chaos seed, session, seq)` (or the pump index),
+//! so a fault realization is exactly reproducible from its seed — the
+//! property the `mmwave serve-chaos` matrix leans on to assert that the
+//! conservation ledger balances and verdict streams stay bit-identical
+//! across worker counts *under* faults, not just without them.
+
+use mmwave_dsp::IfFrame;
+use mmwave_exec::derive_seed;
+use mmwave_har::PrototypeConfig;
+use mmwave_radar::Environment;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::loadgen::{self, Arrival, LoadgenConfig, LoadgenReport};
+use crate::service::Verdict;
+use crate::{ServeConfig, ServeError};
+
+// Decision-stream domains, xor-folded into the seed so the same
+// (session, seq) pair draws independent rolls per fault kind.
+const KIND_CORRUPT: u64 = 0x1001;
+const KIND_DROP: u64 = 0x2002;
+const KIND_DUP: u64 = 0x3003;
+const KIND_REORDER: u64 = 0x4004;
+const KIND_STALL: u64 = 0x5005;
+const KIND_OVERLOAD: u64 = 0x6006;
+
+/// A composable, seeded transport-fault schedule. All rates are
+/// per-frame (or per-session for stalls, per-pump for overload)
+/// probabilities in `[0, 1]`; the default is entirely fault-free.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamChaos {
+    /// Seed for every fault decision, independent of the loadgen seed
+    /// so the same traffic can replay under different fault weather.
+    #[serde(default)]
+    pub seed: u64,
+    /// Probability a delivered frame's samples are NaN-corrupted.
+    #[serde(default)]
+    pub corrupt_frac: f64,
+    /// Probability a scheduled frame is lost in transit.
+    #[serde(default)]
+    pub drop_frac: f64,
+    /// Probability a delivered frame is delivered twice.
+    #[serde(default)]
+    pub dup_frac: f64,
+    /// Probability a frame is delayed past its session's next delivery
+    /// (an adjacent swap — the minimal reordering).
+    #[serde(default)]
+    pub reorder_frac: f64,
+    /// Probability a session's radio flaps: one contiguous window of
+    /// `stall_window` frames (seeded position in the first 60% of the
+    /// stream, so the session always resumes afterward) never arrives.
+    #[serde(default)]
+    pub stall_frac: f64,
+    /// Frames lost per stall.
+    #[serde(default = "default_stall_window")]
+    pub stall_window: usize,
+    /// Probability a pump opportunity is suppressed, clumping arrivals
+    /// into bursts that overflow rings and the ready queue.
+    #[serde(default)]
+    pub overload_frac: f64,
+}
+
+fn default_stall_window() -> usize {
+    16
+}
+
+impl Default for StreamChaos {
+    fn default() -> StreamChaos {
+        StreamChaos {
+            seed: 0xC4A05,
+            corrupt_frac: 0.0,
+            drop_frac: 0.0,
+            dup_frac: 0.0,
+            reorder_frac: 0.0,
+            stall_frac: 0.0,
+            stall_window: default_stall_window(),
+            overload_frac: 0.0,
+        }
+    }
+}
+
+impl StreamChaos {
+    /// Rejects rates outside `[0, 1]` and a zero stall window.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        for (name, frac) in [
+            ("corrupt_frac", self.corrupt_frac),
+            ("drop_frac", self.drop_frac),
+            ("dup_frac", self.dup_frac),
+            ("reorder_frac", self.reorder_frac),
+            ("stall_frac", self.stall_frac),
+            ("overload_frac", self.overload_frac),
+        ] {
+            if !(0.0..=1.0).contains(&frac) {
+                return Err(ServeError::Config(format!("chaos {name} {frac} outside [0, 1]")));
+            }
+        }
+        if self.stall_window == 0 {
+            return Err(ServeError::Config("chaos stall_window must be at least 1".into()));
+        }
+        Ok(())
+    }
+
+    /// True when any fault channel can fire.
+    pub fn is_active(&self) -> bool {
+        self.corrupt_frac > 0.0
+            || self.drop_frac > 0.0
+            || self.dup_frac > 0.0
+            || self.reorder_frac > 0.0
+            || self.stall_frac > 0.0
+            || self.overload_frac > 0.0
+    }
+
+    /// One uniform roll in `[0, 1)`, a pure function of
+    /// `(seed, kind, a, b)`.
+    fn roll(&self, kind: u64, a: u64, b: u64) -> f64 {
+        let s = derive_seed(derive_seed(self.seed ^ kind, a), b);
+        ChaCha8Rng::seed_from_u64(s).gen::<f64>()
+    }
+
+    /// Whether the frame `(session, seq)` is NaN-corrupted in transit.
+    pub fn corrupts(&self, session: u64, seq: u64) -> bool {
+        self.corrupt_frac > 0.0 && self.roll(KIND_CORRUPT, session, seq) < self.corrupt_frac
+    }
+
+    /// Whether pump opportunity `pump_index` is suppressed.
+    pub fn suppresses_pump(&self, pump_index: u64) -> bool {
+        self.overload_frac > 0.0 && self.roll(KIND_OVERLOAD, pump_index, 0) < self.overload_frac
+    }
+
+    /// Rewrites a delivery schedule with drops, stalls, duplicates, and
+    /// adjacent swaps applied. The output order *is* the delivery order;
+    /// arrival timestamps ride along untouched (paced replay simply
+    /// never sleeps for a frame delivered behind schedule).
+    pub fn apply_to_schedule(&self, arrivals: &[Arrival]) -> Vec<Arrival> {
+        if !self.is_active() {
+            return arrivals.to_vec();
+        }
+        // Per-session stall windows: [start, start + window) by each
+        // session's own delivery count, seeded into the first 60% so a
+        // stalled session always has frames left to resume with.
+        let mut per_session: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+        for a in arrivals {
+            *per_session.entry(a.session).or_insert(0) += 1;
+        }
+        let stall: std::collections::BTreeMap<u64, (u64, u64)> = per_session
+            .iter()
+            .filter(|&(&s, _)| {
+                self.stall_frac > 0.0 && self.roll(KIND_STALL, s, 0) < self.stall_frac
+            })
+            .map(|(&s, &n)| {
+                let start = (self.roll(KIND_STALL, s, 1) * n as f64 * 0.6) as u64;
+                (s, (start, start + self.stall_window as u64))
+            })
+            .collect();
+
+        let mut out: Vec<Arrival> = Vec::with_capacity(arrivals.len());
+        // A frame chosen for reorder is held until the session's next
+        // surviving delivery, then emitted after it (adjacent swap).
+        let mut held: std::collections::BTreeMap<u64, Arrival> = std::collections::BTreeMap::new();
+        let mut delivered: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+        for a in arrivals {
+            let idx = {
+                let c = delivered.entry(a.session).or_insert(0);
+                let i = *c;
+                *c += 1;
+                i
+            };
+            if let Some(&(lo, hi)) = stall.get(&a.session) {
+                if idx >= lo && idx < hi {
+                    continue;
+                }
+            }
+            if self.drop_frac > 0.0 && self.roll(KIND_DROP, a.session, a.seq) < self.drop_frac {
+                continue;
+            }
+            if self.reorder_frac > 0.0
+                && !held.contains_key(&a.session)
+                && self.roll(KIND_REORDER, a.session, a.seq) < self.reorder_frac
+            {
+                held.insert(a.session, *a);
+                continue;
+            }
+            self.emit(&mut out, *a);
+            if let Some(late) = held.remove(&a.session) {
+                self.emit(&mut out, late);
+            }
+        }
+        // Streams that ended while a frame was held still deliver it.
+        for (_, late) in held {
+            self.emit(&mut out, late);
+        }
+        out
+    }
+
+    /// Emits one delivery, duplicated when the dup roll fires.
+    fn emit(&self, out: &mut Vec<Arrival>, a: Arrival) {
+        out.push(a);
+        if self.dup_frac > 0.0 && self.roll(KIND_DUP, a.session, a.seq) < self.dup_frac {
+            out.push(a);
+        }
+    }
+}
+
+/// Poisons a frame the way a broken sensor or a torn packet does:
+/// non-finite samples scattered through the cube (ingress validation
+/// must quarantine these before DSP sees them).
+pub fn corrupt_frame(frame: &mut IfFrame) {
+    let nan = mmwave_dsp::Complex32::new(f32::NAN, f32::INFINITY);
+    frame.chirp_mut(0, 0)[0] = nan;
+    let last_vrx = frame.n_vrx() - 1;
+    let last_chirp = frame.n_chirps() - 1;
+    let last_adc = frame.n_adc() - 1;
+    frame.chirp_mut(last_vrx, last_chirp)[last_adc] = nan;
+}
+
+/// One cell of the `serve-chaos` matrix: the fault mix it ran, the
+/// closing ledger, and whether every invariant held.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChaosCellReport {
+    /// Cell name (`clean`, `corrupt`, `drop`, `dup`, `reorder`, `flap`,
+    /// `overload`, `all`).
+    pub cell: String,
+    /// Frames presented to ingest.
+    pub ingested: u64,
+    /// Frames consumed by verdicts.
+    pub inferred_frames: u64,
+    /// Frames shed under backpressure, run breaks, eviction, breaker.
+    pub shed_frames: u64,
+    /// Frames quarantined at ingress.
+    pub rejected_frames: u64,
+    /// Frames still buffered after drain.
+    pub in_flight_frames: u64,
+    /// `ingested - inferred - shed - rejected - in_flight`.
+    pub unaccounted: i64,
+    /// Verdicts emitted.
+    pub verdicts: u64,
+    /// Verdicts with `Failed` status.
+    pub verdicts_failed: u64,
+    /// Sessions evicted by the staleness sweep.
+    pub sessions_evicted: u64,
+    /// Evicted sessions that reconnected.
+    pub sessions_reopened: u64,
+    /// Sequence gaps detected.
+    pub seq_gaps: u64,
+    /// Duplicate frames rejected.
+    pub seq_dups: u64,
+    /// Placeholder frames inserted for gap repair.
+    pub filled_frames: u64,
+    /// The conservation ledger closed (`unaccounted == 0`).
+    pub balanced: bool,
+    /// Verdict streams bit-identical at 1 and 4 workers.
+    pub deterministic: bool,
+    /// Why the cell failed its expectation, empty when it passed.
+    pub note: String,
+    /// `balanced && deterministic && note.is_empty()`.
+    pub pass: bool,
+}
+
+/// Everything about a verdict except wall-clock latency, bit-exact.
+fn verdict_key(v: &Verdict) -> (u64, u64, u64, u64, usize, String, u32, u64, String) {
+    (
+        v.session,
+        v.clip_index,
+        v.first_seq,
+        v.last_seq,
+        v.label,
+        v.activity.clone(),
+        v.confidence.to_bits(),
+        v.defense_score.to_bits(),
+        format!("{:?}", v.status),
+    )
+}
+
+/// The full matrix cell list, in run order.
+pub const MATRIX_CELLS: [&str; 8] =
+    ["clean", "corrupt", "drop", "dup", "reorder", "flap", "overload", "all"];
+
+/// Builds one cell's traffic + service shape. Every cell uses the same
+/// compact stream (3 sessions × 96 frames) so the matrix stays cheap;
+/// the fault mix and the service knobs are what vary.
+fn cell_config(cell: &str, seed: u64, clip_len: usize) -> Result<(LoadgenConfig, ServeConfig), ServeError> {
+    let chaos_seed = derive_seed(seed, 0xCA05);
+    let base_chaos = StreamChaos { seed: chaos_seed, ..StreamChaos::default() };
+    let lg = LoadgenConfig {
+        sessions: 3,
+        seconds: 8.0,
+        fps: 12.0,
+        jitter: 0.2,
+        burst: 1,
+        seed,
+        paced: false,
+        pump_every: 8,
+        poison_frac: 0.0,
+        chaos: None,
+    };
+    let serve_cfg = ServeConfig {
+        clip_len,
+        ring_capacity: clip_len * 2,
+        ready_capacity: 8,
+        max_batch: 4,
+        session_ttl: 64,
+        max_gap_repair: 2,
+        breaker_threshold: 8,
+        breaker_cooldown: 4,
+    };
+    let (chaos, serve_cfg) = match cell {
+        "clean" => (base_chaos, serve_cfg),
+        "corrupt" => (StreamChaos { corrupt_frac: 0.15, ..base_chaos }, serve_cfg),
+        "drop" => (StreamChaos { drop_frac: 0.08, ..base_chaos }, serve_cfg),
+        "dup" => (StreamChaos { dup_frac: 0.12, ..base_chaos }, serve_cfg),
+        "reorder" => (StreamChaos { reorder_frac: 0.12, ..base_chaos }, serve_cfg),
+        "flap" => (
+            StreamChaos { stall_frac: 1.0, stall_window: 30, ..base_chaos },
+            ServeConfig { session_ttl: 4, ..serve_cfg },
+        ),
+        "overload" => (
+            StreamChaos { overload_frac: 0.7, ..base_chaos },
+            ServeConfig { ring_capacity: clip_len, ready_capacity: 2, ..serve_cfg },
+        ),
+        "all" => (
+            StreamChaos {
+                corrupt_frac: 0.05,
+                drop_frac: 0.05,
+                dup_frac: 0.05,
+                reorder_frac: 0.05,
+                stall_frac: 0.5,
+                stall_window: 20,
+                overload_frac: 0.3,
+                ..base_chaos
+            },
+            ServeConfig { session_ttl: 8, ..serve_cfg },
+        ),
+        other => {
+            return Err(ServeError::Config(format!(
+                "unknown chaos cell `{other}` (expected one of {MATRIX_CELLS:?})"
+            )))
+        }
+    };
+    Ok((LoadgenConfig { chaos: Some(chaos), ..lg }, serve_cfg))
+}
+
+/// What a cell must show beyond balance + determinism: the fault
+/// channel it exercises has to actually leave ledger evidence, and the
+/// clean cell must leave none.
+fn check_expectation(cell: &str, r: &LoadgenReport) -> String {
+    let mut problems = Vec::new();
+    match cell {
+        "clean" => {
+            if r.rejected_frames != 0
+                || r.sessions_evicted != 0
+                || r.seq_gaps != 0
+                || r.seq_dups != 0
+                || r.verdicts_failed != 0
+            {
+                problems.push(format!(
+                    "clean cell left fault evidence: rejected {} evicted {} gaps {} dups {} failed {}",
+                    r.rejected_frames, r.sessions_evicted, r.seq_gaps, r.seq_dups, r.verdicts_failed
+                ));
+            }
+            if r.verdicts == 0 {
+                problems.push("clean cell produced no verdicts".to_string());
+            }
+        }
+        "corrupt" => {
+            if r.rejected_frames == 0 {
+                problems.push("corrupt cell rejected nothing".to_string());
+            }
+        }
+        "drop" => {
+            if r.seq_gaps == 0 {
+                problems.push("drop cell detected no sequence gaps".to_string());
+            }
+        }
+        "dup" => {
+            if r.seq_dups == 0 {
+                problems.push("dup cell rejected no duplicates".to_string());
+            }
+        }
+        "reorder" => {
+            if r.seq_gaps == 0 && r.seq_dups == 0 {
+                problems.push("reorder cell left no gap/dup evidence".to_string());
+            }
+        }
+        "flap" => {
+            if r.sessions_evicted == 0 {
+                problems.push("flap cell evicted no sessions".to_string());
+            }
+        }
+        "overload" => {
+            if r.shed_frames == 0 {
+                problems.push("overload cell shed nothing".to_string());
+            }
+        }
+        "all" => {
+            if r.rejected_frames + r.seq_gaps + r.seq_dups + r.shed_frames == 0 {
+                problems.push("all-faults cell left no evidence at all".to_string());
+            }
+        }
+        _ => {}
+    }
+    problems.join("; ")
+}
+
+/// Runs the serve-chaos matrix: each requested cell replays the same
+/// seeded traffic through its fault mix twice — once at 1 worker, once
+/// at 4 — and must close the conservation ledger
+/// (`ingested == inferred + shed + rejected + in_flight`), produce
+/// bit-identical verdict streams at both worker counts, and leave the
+/// ledger evidence its fault channel predicts.
+pub fn run_matrix(
+    cells: &[String],
+    seed: u64,
+    proto: &PrototypeConfig,
+    environment: &Environment,
+) -> Result<Vec<ChaosCellReport>, ServeError> {
+    let mut reports = Vec::with_capacity(cells.len());
+    for cell in cells {
+        let (lg, serve_cfg) = cell_config(cell, seed, proto.n_frames)?;
+        let mut runs: Vec<(LoadgenReport, Vec<(u64, u64, u64, u64, usize, String, u32, u64, String)>)> =
+            Vec::with_capacity(2);
+        for workers in [1usize, 4] {
+            let mut keys = Vec::new();
+            let report = mmwave_exec::with_workers(workers, || {
+                loadgen::run_with(&lg, serve_cfg.clone(), proto, environment.clone(), |v| {
+                    keys.push(verdict_key(v));
+                })
+            })?;
+            runs.push((report, keys));
+        }
+        let (one_worker, four_workers) = (&runs[0], &runs[1]);
+        let r = &one_worker.0;
+        let deterministic = one_worker.1 == four_workers.1
+            && r.ingested == four_workers.0.ingested
+            && r.shed_frames == four_workers.0.shed_frames
+            && r.rejected_frames == four_workers.0.rejected_frames;
+        let balanced = r.is_clean() && four_workers.0.is_clean();
+        let note = check_expectation(cell, r);
+        let pass = balanced && deterministic && note.is_empty();
+        reports.push(ChaosCellReport {
+            cell: cell.clone(),
+            ingested: r.ingested,
+            inferred_frames: r.inferred_frames,
+            shed_frames: r.shed_frames,
+            rejected_frames: r.rejected_frames,
+            in_flight_frames: r.in_flight_frames,
+            unaccounted: r.unaccounted,
+            verdicts: r.verdicts,
+            verdicts_failed: r.verdicts_failed,
+            sessions_evicted: r.sessions_evicted,
+            sessions_reopened: r.sessions_reopened,
+            seq_gaps: r.seq_gaps,
+            seq_dups: r.seq_dups,
+            filled_frames: r.filled_frames,
+            balanced,
+            deterministic,
+            note,
+            pass,
+        });
+    }
+    Ok(reports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arrivals(n: u64) -> Vec<Arrival> {
+        (0..n).map(|seq| Arrival { time_ms: seq as f64, session: 0, seq }).collect()
+    }
+
+    #[test]
+    fn inactive_chaos_is_the_identity() {
+        let chaos = StreamChaos::default();
+        assert!(!chaos.is_active());
+        let a = arrivals(10);
+        let out = chaos.apply_to_schedule(&a);
+        assert_eq!(out.len(), 10);
+        assert!(out.iter().zip(&a).all(|(x, y)| x.seq == y.seq));
+        assert!(!chaos.corrupts(0, 0));
+        assert!(!chaos.suppresses_pump(0));
+    }
+
+    #[test]
+    fn schedules_are_pure_functions_of_the_seed() {
+        let chaos = StreamChaos {
+            seed: 42,
+            drop_frac: 0.2,
+            dup_frac: 0.2,
+            reorder_frac: 0.2,
+            stall_frac: 0.5,
+            stall_window: 3,
+            ..StreamChaos::default()
+        };
+        let a = arrivals(64);
+        let x = chaos.apply_to_schedule(&a);
+        let y = chaos.apply_to_schedule(&a);
+        assert_eq!(x.len(), y.len());
+        assert!(x.iter().zip(&y).all(|(p, q)| (p.session, p.seq) == (q.session, q.seq)));
+        // A different seed gives different weather.
+        let other = StreamChaos { seed: 43, ..chaos };
+        let z = other.apply_to_schedule(&a);
+        assert!(
+            z.len() != x.len()
+                || z.iter().zip(&x).any(|(p, q)| (p.session, p.seq) != (q.session, q.seq))
+        );
+    }
+
+    #[test]
+    fn drops_remove_and_dups_double_deliveries() {
+        let a = arrivals(200);
+        let dropper = StreamChaos { seed: 7, drop_frac: 0.3, ..StreamChaos::default() };
+        let dropped = dropper.apply_to_schedule(&a);
+        assert!(dropped.len() < a.len(), "30% drop over 200 frames must remove some");
+        let duper = StreamChaos { seed: 7, dup_frac: 0.3, ..StreamChaos::default() };
+        let duped = duper.apply_to_schedule(&a);
+        assert!(duped.len() > a.len(), "30% dup over 200 frames must add some");
+    }
+
+    #[test]
+    fn reorder_swaps_stay_within_the_session() {
+        let chaos = StreamChaos { seed: 11, reorder_frac: 0.4, ..StreamChaos::default() };
+        let a = arrivals(100);
+        let out = chaos.apply_to_schedule(&a);
+        // Conservation: nothing lost, nothing invented.
+        let mut seqs: Vec<u64> = out.iter().map(|x| x.seq).collect();
+        seqs.sort_unstable();
+        assert_eq!(seqs, (0..100).collect::<Vec<u64>>());
+        // Some adjacent pair actually swapped.
+        assert!(out.windows(2).any(|w| w[0].seq > w[1].seq), "0.4 reorder must swap something");
+        // Swaps are adjacent: displacement never exceeds 1 position
+        // worth of seq distance per swap chain (a held frame is emitted
+        // right after the next survivor).
+        for (i, x) in out.iter().enumerate() {
+            assert!((x.seq as i64 - i as i64).abs() <= 2, "seq {} landed at {}", x.seq, i);
+        }
+    }
+
+    #[test]
+    fn stalls_cut_one_contiguous_window_and_resume() {
+        let chaos = StreamChaos {
+            seed: 3,
+            stall_frac: 1.0,
+            stall_window: 10,
+            ..StreamChaos::default()
+        };
+        let a = arrivals(100);
+        let out = chaos.apply_to_schedule(&a);
+        assert_eq!(out.len(), 90);
+        let seqs: Vec<u64> = out.iter().map(|x| x.seq).collect();
+        // Exactly one gap of exactly stall_window, somewhere in the
+        // first 60% + window of the stream, then delivery resumes.
+        let mut gaps = Vec::new();
+        for w in seqs.windows(2) {
+            if w[1] != w[0] + 1 {
+                gaps.push((w[0], w[1]));
+            }
+        }
+        assert_eq!(gaps.len(), 1, "one stall, one gap: {gaps:?}");
+        let (before, after) = gaps[0];
+        assert_eq!(after - before - 1, 10, "gap width must equal stall_window");
+        assert!(before < 70, "stall must start in the first 60% of the stream");
+        assert_eq!(*seqs.last().expect("non-empty"), 99, "stream must resume after the stall");
+    }
+
+    #[test]
+    fn corrupt_frame_is_caught_by_finiteness_checks() {
+        let mut frame = IfFrame::zeros(2, 3, 4);
+        assert!(frame.as_slice().iter().all(|c| c.re.is_finite() && c.im.is_finite()));
+        corrupt_frame(&mut frame);
+        assert!(frame.as_slice().iter().any(|c| !c.re.is_finite() || !c.im.is_finite()));
+    }
+
+    #[test]
+    fn chaos_validation_rejects_bad_rates() {
+        assert!(StreamChaos::default().validate().is_ok());
+        let bad = StreamChaos { drop_frac: 1.5, ..StreamChaos::default() };
+        assert!(bad.validate().is_err());
+        let bad = StreamChaos { stall_window: 0, ..StreamChaos::default() };
+        assert!(bad.validate().is_err());
+        let bad = StreamChaos { overload_frac: -0.1, ..StreamChaos::default() };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn unknown_matrix_cells_are_rejected() {
+        let err = cell_config("zebra", 1, 32).expect_err("unknown cell must fail");
+        assert!(err.to_string().contains("zebra"));
+        for cell in MATRIX_CELLS {
+            assert!(cell_config(cell, 1, 32).is_ok(), "cell {cell} must build");
+        }
+    }
+}

@@ -20,6 +20,10 @@
 //! - [`loadgen`]: seeded multi-session stream replay with jitter/burst
 //!   arrival patterns, reporting sustained throughput and p50/p95/p99
 //!   end-to-end latency as a checksummed `store` artifact.
+//! - [`chaos`]: a seeded transport-fault layer ([`StreamChaos`]) that
+//!   corrupts, drops, duplicates, reorders, and stalls streams *before*
+//!   they reach the service, plus the `serve-chaos` matrix proving the
+//!   ledger balances and verdicts stay deterministic under every mix.
 //!
 //! Every stage emits `serve.*` telemetry (spans, `serve.queue_depth`,
 //! `serve.shed_total`, `serve.latency_ms`), so the service is observable
@@ -33,20 +37,28 @@
 //! | `MMWAVE_SERVE_RING_CAP` | Per-session ring capacity in frames (default 48) |
 //! | `MMWAVE_SERVE_READY_CAP` | Ready-queue capacity in clips (default 256) |
 //! | `MMWAVE_SERVE_BATCH_MAX` | Max clips per inference micro-batch (default 16) |
+//! | `MMWAVE_SERVE_SESSION_TTL` | Pumps without a frame before a session is evicted (default 512; 0 disables) |
+//! | `MMWAVE_SERVE_MAX_GAP` | Largest sequence gap repaired in place (default 2; 0 disables repair) |
+//! | `MMWAVE_SERVE_BREAKER_THRESHOLD` | Consecutive failed clips that open the circuit breaker (default 8; 0 disables) |
+//! | `MMWAVE_SERVE_BREAKER_COOLDOWN` | Pumps the breaker stays open before probing half-open (default 4) |
 //!
 //! Invalid values fall back to defaults, warn, and bump
 //! `serve.config_invalid` — a fleet with a typoed environment shows up
 //! in metrics, not just scrollback.
 
 pub mod batcher;
+pub mod breaker;
+pub mod chaos;
 pub mod loadgen;
 pub mod ring;
 pub mod service;
 pub mod session;
 
+pub use breaker::{Breaker, BreakerState};
+pub use chaos::{ChaosCellReport, StreamChaos};
 pub use loadgen::{is_poisoned, poisoned_sessions, run as run_loadgen, LoadgenConfig, LoadgenReport};
 pub use ring::FrameRing;
-pub use service::{Accounting, ReadyClip, Service, Verdict};
+pub use service::{Accounting, ReadyClip, Service, Verdict, VerdictStatus};
 pub use session::{PendingFrame, SessionState};
 
 use std::fmt;
@@ -65,18 +77,65 @@ pub struct ServeConfig {
     pub ready_capacity: usize,
     /// Maximum clips coalesced into one inference micro-batch.
     pub max_batch: usize,
+    /// Pumps a session may go without ingesting a frame before the
+    /// staleness sweep evicts it (its partial ring is flushed as shed
+    /// and the id may cleanly reconnect later). 0 disables eviction.
+    #[serde(default = "default_session_ttl")]
+    pub session_ttl: usize,
+    /// Largest per-session sequence gap repaired in place: up to this
+    /// many missing frames are filled with placeholder frames and
+    /// interpolated at the heatmap stage
+    /// (`mmwave_dsp::repair_dropped_frames`). Larger gaps flush the
+    /// session's buffered run instead. 0 disables repair (every gap
+    /// flushes).
+    #[serde(default = "default_max_gap_repair")]
+    pub max_gap_repair: usize,
+    /// Consecutive failed clips (panic or non-finite output) that trip
+    /// the inference circuit breaker open. 0 disables the breaker.
+    #[serde(default = "default_breaker_threshold")]
+    pub breaker_threshold: usize,
+    /// Pumps the breaker stays open — shedding ready clips unseen —
+    /// before letting one probe batch through half-open.
+    #[serde(default = "default_breaker_cooldown")]
+    pub breaker_cooldown: usize,
+}
+
+fn default_session_ttl() -> usize {
+    512
+}
+
+fn default_max_gap_repair() -> usize {
+    2
+}
+
+fn default_breaker_threshold() -> usize {
+    8
+}
+
+fn default_breaker_cooldown() -> usize {
+    4
 }
 
 impl Default for ServeConfig {
     fn default() -> ServeConfig {
-        ServeConfig { clip_len: 32, ring_capacity: 48, ready_capacity: 256, max_batch: 16 }
+        ServeConfig {
+            clip_len: 32,
+            ring_capacity: 48,
+            ready_capacity: 256,
+            max_batch: 16,
+            session_ttl: default_session_ttl(),
+            max_gap_repair: default_max_gap_repair(),
+            breaker_threshold: default_breaker_threshold(),
+            breaker_cooldown: default_breaker_cooldown(),
+        }
     }
 }
 
 impl ServeConfig {
     /// Reads `MMWAVE_SERVE_*` overrides on top of the defaults. Invalid
     /// or zero values keep the default, warn, and bump
-    /// `serve.config_invalid`.
+    /// `serve.config_invalid` (knobs where zero legitimately means
+    /// "disabled" — TTL, gap repair, breaker threshold — accept it).
     pub fn from_env() -> ServeConfig {
         let d = ServeConfig::default();
         ServeConfig {
@@ -84,6 +143,13 @@ impl ServeConfig {
             ring_capacity: env_usize("MMWAVE_SERVE_RING_CAP", d.ring_capacity),
             ready_capacity: env_usize("MMWAVE_SERVE_READY_CAP", d.ready_capacity),
             max_batch: env_usize("MMWAVE_SERVE_BATCH_MAX", d.max_batch),
+            session_ttl: env_usize_zero_ok("MMWAVE_SERVE_SESSION_TTL", d.session_ttl),
+            max_gap_repair: env_usize_zero_ok("MMWAVE_SERVE_MAX_GAP", d.max_gap_repair),
+            breaker_threshold: env_usize_zero_ok(
+                "MMWAVE_SERVE_BREAKER_THRESHOLD",
+                d.breaker_threshold,
+            ),
+            breaker_cooldown: env_usize("MMWAVE_SERVE_BREAKER_COOLDOWN", d.breaker_cooldown),
         }
     }
 
@@ -104,6 +170,18 @@ impl ServeConfig {
         if self.max_batch == 0 {
             return Err(ServeError::Config("max_batch must be positive".into()));
         }
+        if self.max_gap_repair >= self.clip_len {
+            return Err(ServeError::Config(format!(
+                "max_gap_repair {} must be smaller than clip_len {}; a clip of nothing but \
+                 placeholder frames could never be repaired",
+                self.max_gap_repair, self.clip_len
+            )));
+        }
+        if self.breaker_threshold > 0 && self.breaker_cooldown == 0 {
+            return Err(ServeError::Config(
+                "breaker_cooldown must be positive when the breaker is enabled".into(),
+            ));
+        }
         Ok(())
     }
 }
@@ -115,6 +193,23 @@ fn env_usize(var: &str, default: usize) -> usize {
         Ok(raw) => match raw.trim().parse::<usize>() {
             Ok(v) if v > 0 => v,
             _ => {
+                mmwave_telemetry::counter("serve.config_invalid", 1);
+                mmwave_telemetry::warn!("ignoring invalid {var}={raw:?}; using {default}");
+                default
+            }
+        },
+        Err(_) => default,
+    }
+}
+
+/// Like [`env_usize`], but zero is a legitimate value ("disabled"):
+/// only junk (empty, non-numeric, overflow, negative) falls back to the
+/// default with a `serve.config_invalid` bump.
+fn env_usize_zero_ok(var: &str, default: usize) -> usize {
+    match std::env::var(var) {
+        Ok(raw) => match raw.trim().parse::<usize>() {
+            Ok(v) => v,
+            Err(_) => {
                 mmwave_telemetry::counter("serve.config_invalid", 1);
                 mmwave_telemetry::warn!("ignoring invalid {var}={raw:?}; using {default}");
                 default
@@ -215,5 +310,69 @@ mod tests {
             registry.counter_value("serve.config_invalid") >= before + poison.len() as u64,
             "every poisoned value must bump serve.config_invalid"
         );
+    }
+
+    #[test]
+    fn env_usize_zero_ok_accepts_zero_and_counts_junk() {
+        let registry = mmwave_telemetry::global();
+        let before = registry.counter_value("serve.config_invalid");
+        // Zero is "disabled", not junk, for the lifecycle/breaker knobs.
+        std::env::set_var("MMWAVE_SERVE_ZERO_KNOB", "0");
+        assert_eq!(env_usize_zero_ok("MMWAVE_SERVE_ZERO_KNOB", 9), 0);
+        std::env::set_var("MMWAVE_SERVE_ZERO_KNOB", " 12 ");
+        assert_eq!(env_usize_zero_ok("MMWAVE_SERVE_ZERO_KNOB", 9), 12);
+        assert_eq!(
+            registry.counter_value("serve.config_invalid"),
+            before,
+            "valid values (including zero) must not be counted as invalid"
+        );
+        // Junk still falls back to the default and is counted, never panics.
+        let poison = ["", "   ", "99999999999999999999999", "off", "-1", "0.5"];
+        for raw in poison {
+            std::env::set_var("MMWAVE_SERVE_ZERO_KNOB", raw);
+            assert_eq!(env_usize_zero_ok("MMWAVE_SERVE_ZERO_KNOB", 9), 9, "raw: {raw:?}");
+        }
+        std::env::remove_var("MMWAVE_SERVE_ZERO_KNOB");
+        assert_eq!(env_usize_zero_ok("MMWAVE_SERVE_ZERO_KNOB", 9), 9);
+        assert!(
+            registry.counter_value("serve.config_invalid") >= before + poison.len() as u64,
+            "every poisoned lifecycle knob must bump serve.config_invalid"
+        );
+    }
+
+    #[test]
+    fn lifecycle_and_breaker_knobs_validate() {
+        // Zero TTL / gap / threshold mean "disabled" and are valid.
+        let cfg = ServeConfig {
+            session_ttl: 0,
+            max_gap_repair: 0,
+            breaker_threshold: 0,
+            ..ServeConfig::default()
+        };
+        assert!(cfg.validate().is_ok());
+        // A gap window as large as the clip could yield an all-placeholder
+        // clip with nothing to interpolate from.
+        let cfg = ServeConfig { max_gap_repair: 32, clip_len: 32, ..ServeConfig::default() };
+        assert!(cfg.validate().unwrap_err().to_string().contains("max_gap_repair"));
+        // An enabled breaker with no cooldown could never half-open.
+        let cfg =
+            ServeConfig { breaker_threshold: 3, breaker_cooldown: 0, ..ServeConfig::default() };
+        assert!(cfg.validate().unwrap_err().to_string().contains("breaker_cooldown"));
+    }
+
+    #[test]
+    fn legacy_serialized_configs_gain_lifecycle_defaults() {
+        // Configs persisted before the chaos-hardening PR lack the
+        // lifecycle/breaker fields; they must deserialize with defaults.
+        let legacy = r#"{
+            "clip_len": 32, "ring_capacity": 48,
+            "ready_capacity": 256, "max_batch": 16
+        }"#;
+        let cfg: ServeConfig = serde_json::from_str(legacy).expect("legacy config parses");
+        assert_eq!(cfg.session_ttl, default_session_ttl());
+        assert_eq!(cfg.max_gap_repair, default_max_gap_repair());
+        assert_eq!(cfg.breaker_threshold, default_breaker_threshold());
+        assert_eq!(cfg.breaker_cooldown, default_breaker_cooldown());
+        assert!(cfg.validate().is_ok());
     }
 }

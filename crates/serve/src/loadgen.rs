@@ -26,6 +26,7 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
+use crate::chaos::{self, StreamChaos};
 use crate::service::{Service, Verdict};
 use crate::{ServeConfig, ServeError};
 
@@ -65,6 +66,12 @@ pub struct LoadgenConfig {
     /// across distinct base streams.
     #[serde(default)]
     pub poison_frac: f64,
+    /// Optional seeded transport-fault schedule ([`StreamChaos`]):
+    /// frame corruption, drop/duplicate/reorder, session stalls, and
+    /// pump-suppressing overload applied to the delivery stream before
+    /// the service sees it. `None` replays faithfully.
+    #[serde(default)]
+    pub chaos: Option<StreamChaos>,
 }
 
 impl Default for LoadgenConfig {
@@ -79,6 +86,7 @@ impl Default for LoadgenConfig {
             paced: false,
             pump_every: 0,
             poison_frac: 0.0,
+            chaos: None,
         }
     }
 }
@@ -110,6 +118,9 @@ impl LoadgenConfig {
                 self.poison_frac
             )));
         }
+        if let Some(chaos) = &self.chaos {
+            chaos.validate()?;
+        }
         Ok(())
     }
 }
@@ -127,12 +138,17 @@ pub fn is_poisoned(session: u64, sessions: usize, frac: f64) -> bool {
     (session as usize) < poisoned_sessions(sessions, frac)
 }
 
-/// One scheduled frame arrival.
+/// One scheduled frame arrival. Public so [`StreamChaos`] can rewrite
+/// delivery schedules; the vec order is the delivery order.
 #[derive(Debug, Clone, Copy)]
-struct Arrival {
-    time_ms: f64,
-    session: u64,
-    seq: u64,
+pub struct Arrival {
+    /// Scheduled arrival instant, ms from replay start (paced mode
+    /// sleeps toward it; firehose ignores it).
+    pub time_ms: f64,
+    /// Destination session id.
+    pub session: u64,
+    /// Sender-assigned sequence number.
+    pub seq: u64,
 }
 
 /// The loadgen result: throughput, latency percentiles, drop rate, and
@@ -187,6 +203,27 @@ pub struct LoadgenReport {
     /// Sessions that replayed a physically triggered stream.
     #[serde(default)]
     pub poisoned_sessions: u64,
+    /// Frames quarantined at ingress (non-finite, misshapen, duplicate).
+    #[serde(default)]
+    pub rejected_frames: u64,
+    /// Verdicts emitted with `Failed` status.
+    #[serde(default)]
+    pub verdicts_failed: u64,
+    /// Sessions evicted by the staleness sweep.
+    #[serde(default)]
+    pub sessions_evicted: u64,
+    /// Evicted sessions that later reconnected.
+    #[serde(default)]
+    pub sessions_reopened: u64,
+    /// Sequence gaps the service detected.
+    #[serde(default)]
+    pub seq_gaps: u64,
+    /// Duplicate frames the service rejected.
+    #[serde(default)]
+    pub seq_dups: u64,
+    /// Placeholder frames inserted for gap repair.
+    #[serde(default)]
+    pub filled_frames: u64,
 }
 
 impl LoadgenReport {
@@ -230,7 +267,10 @@ pub fn run_with(
     let _span = span("serve.loadgen");
     let mut service = Service::new(serve_cfg.clone(), proto, environment.clone(), lg.seed)?;
     let (base, triggered) = synthesize_streams(lg, proto, &environment);
-    let arrivals = schedule(lg);
+    let arrivals = match &lg.chaos {
+        Some(chaos) => chaos.apply_to_schedule(&schedule(lg)),
+        None => schedule(lg),
+    };
     let pump_every = if lg.pump_every == 0 {
         (serve_cfg.max_batch * serve_cfg.clip_len).max(1)
     } else {
@@ -244,6 +284,7 @@ pub fn run_with(
     let mut verdict_total: u64 = 0;
     let mut peak_queue: u64 = 0;
     let mut since_pump = 0usize;
+    let mut pump_index = 0u64;
     let clip_len = serve_cfg.clip_len;
     for arrival in &arrivals {
         if lg.paced {
@@ -259,17 +300,28 @@ pub fn run_with(
             &base
         };
         let stream = &pool[(arrival.session as usize) % pool.len()];
-        let frame = stream[(arrival.seq as usize) % clip_len].clone();
+        let mut frame = stream[(arrival.seq as usize) % clip_len].clone();
+        if let Some(c) = &lg.chaos {
+            if c.corrupts(arrival.session, arrival.seq) {
+                chaos::corrupt_frame(&mut frame);
+            }
+        }
         service.ingest(arrival.session, arrival.seq, frame);
         peak_queue = peak_queue.max(service.queue_depth());
         since_pump += 1;
         if since_pump >= pump_every {
             since_pump = 0;
-            for v in service.pump() {
-                latencies.push(v.latency_ms);
-                served.insert(v.session);
-                verdict_total += 1;
-                on_verdict(&v);
+            pump_index += 1;
+            // A suppressed pump is the overload fault: arrivals keep
+            // landing while the service never gets a turn, so rings
+            // overflow exactly as they would behind a stalled consumer.
+            if !lg.chaos.as_ref().is_some_and(|c| c.suppresses_pump(pump_index)) {
+                for v in service.pump() {
+                    latencies.push(v.latency_ms);
+                    served.insert(v.session);
+                    verdict_total += 1;
+                    on_verdict(&v);
+                }
             }
         }
     }
@@ -297,6 +349,7 @@ pub fn run_with(
         unaccounted: acc.ingested as i64
             - acc.inferred_frames as i64
             - acc.shed_frames as i64
+            - acc.rejected as i64
             - acc.in_flight_frames as i64,
         verdicts: verdict_total,
         sessions_served: served.len() as u64,
@@ -315,6 +368,13 @@ pub fn run_with(
         peak_ring_depth: acc.peak_ring_depth,
         peak_queue_depth: peak_queue,
         poisoned_sessions: poisoned_sessions(lg.sessions, lg.poison_frac) as u64,
+        rejected_frames: acc.rejected,
+        verdicts_failed: acc.verdicts_failed,
+        sessions_evicted: acc.sessions_evicted,
+        sessions_reopened: acc.sessions_reopened,
+        seq_gaps: acc.seq_gaps,
+        seq_dups: acc.seq_dups,
+        filled_frames: acc.filled_frames,
     })
 }
 

@@ -53,6 +53,17 @@ impl<T> FrameRing<T> {
         Some(self.buf.drain(..n).collect())
     }
 
+    /// Removes and returns everything buffered, oldest first (used when a
+    /// session is evicted or its contiguous run is abandoned).
+    pub fn drain_all(&mut self) -> Vec<T> {
+        self.buf.drain(..).collect()
+    }
+
+    /// Iterates the buffered items, oldest first, without removing them.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.buf.iter()
+    }
+
     /// Buffered item count.
     pub fn len(&self) -> usize {
         self.buf.len()
@@ -115,5 +126,100 @@ mod tests {
     #[should_panic(expected = "ring capacity must be positive")]
     fn zero_capacity_is_rejected() {
         let _ = FrameRing::<u8>::new(0);
+    }
+
+    #[test]
+    fn drain_all_empties_oldest_first() {
+        let mut ring = FrameRing::new(3);
+        ring.push(1);
+        ring.push(2);
+        assert_eq!(ring.drain_all(), vec![1, 2]);
+        assert!(ring.is_empty());
+        assert_eq!(ring.drain_all(), Vec::<i32>::new());
+    }
+
+    mod properties {
+        use super::super::FrameRing;
+        use proptest::prelude::*;
+
+        /// One step of an arbitrary interleaving: push a tagged item or
+        /// attempt to take `n` items off the front.
+        #[derive(Debug, Clone)]
+        enum Op {
+            Push,
+            Take(usize),
+        }
+
+        fn op() -> impl Strategy<Value = Op> {
+            prop_oneof![
+                3 => Just(Op::Push),
+                1 => (1usize..6).prop_map(Op::Take),
+            ]
+        }
+
+        proptest! {
+            /// Arbitrary push/`take_front` interleavings preserve FIFO
+            /// order, never exceed capacity, and the shed count always
+            /// reconciles: pushed == taken + shed + buffered — the same
+            /// conservation shape `SessionState` accounting sums over.
+            #[test]
+            fn fifo_capacity_and_shed_reconcile(
+                capacity in 1usize..9,
+                ops in prop::collection::vec(op(), 1..64)
+            ) {
+                let mut ring = FrameRing::new(capacity);
+                let mut next_tag = 0u64;
+                let mut taken: Vec<u64> = Vec::new();
+                let mut shed: Vec<u64> = Vec::new();
+                for op in ops {
+                    match op {
+                        Op::Push => {
+                            if let Some(old) = ring.push(next_tag) {
+                                shed.push(old);
+                            }
+                            next_tag += 1;
+                        }
+                        Op::Take(n) => {
+                            let len_before = ring.len();
+                            match ring.take_front(n) {
+                                Some(items) => {
+                                    prop_assert_eq!(items.len(), n);
+                                    taken.extend(items);
+                                }
+                                None => {
+                                    // All-or-nothing: a refused take
+                                    // leaves the ring untouched.
+                                    prop_assert!(len_before < n);
+                                    prop_assert_eq!(ring.len(), len_before);
+                                }
+                            }
+                        }
+                    }
+                    prop_assert!(ring.len() <= capacity, "ring exceeded capacity");
+                }
+                // Conservation: every pushed tag is taken, shed, or buffered.
+                prop_assert_eq!(
+                    next_tag as usize,
+                    taken.len() + shed.len() + ring.len(),
+                    "pushed == taken + shed + buffered must always close"
+                );
+                prop_assert_eq!(ring.shed_total(), shed.len() as u64);
+                // FIFO: consumed tags (shed or taken) and survivors, each
+                // in arrival order; shed items are always the oldest at
+                // their shed instant, so merged consumption is sorted per
+                // stream.
+                prop_assert!(taken.windows(2).all(|w| w[0] < w[1]), "takes must be FIFO");
+                prop_assert!(shed.windows(2).all(|w| w[0] < w[1]), "sheds must be FIFO");
+                let buffered: Vec<u64> = ring.iter().copied().collect();
+                prop_assert!(
+                    buffered.windows(2).all(|w| w[0] < w[1]),
+                    "survivors must stay in arrival order"
+                );
+                // Survivors are exactly the newest pushed window.
+                if let Some(&oldest) = buffered.first() {
+                    prop_assert!(taken.iter().chain(&shed).all(|&t| t < oldest));
+                }
+            }
+        }
     }
 }

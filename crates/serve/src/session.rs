@@ -1,13 +1,22 @@
-//! Per-session stream state: the ingress ring plus exact frame
-//! accounting.
+//! Per-session stream state: the ingress ring, sequence tracking, and
+//! exact frame accounting.
 //!
 //! A *session* is one sensor's live stream. Frames land in the session's
 //! [`FrameRing`] at ingest (cheap, never blocking); the service's pump
-//! later windows them into fixed-length clips. Every frame a session has
-//! ever accepted is, at any instant, in exactly one of four places —
-//! still buffered, inside a pending clip, inferred, or shed — and the
-//! per-session counters here are what the service's global
+//! later windows them into fixed-length clips. Every real frame a session
+//! has ever accepted is, at any instant, in exactly one of five places —
+//! still buffered, inside a pending clip, inferred, shed, or rejected —
+//! and the per-session counters here are what the service's global
 //! [`crate::Accounting`] invariant sums over.
+//!
+//! Transport hardening lives at this layer: each session tracks the next
+//! expected sequence number, so gaps (dropped packets), duplicates, and
+//! regressions (sensor restarts) are *detected* rather than silently
+//! spliced into clips. Small gaps are filled with placeholder frames
+//! (`filler: true`) that the batcher later repairs by heatmap
+//! interpolation; fillers occupy ring capacity but are excluded from the
+//! conservation ledger — they were never sent, so they are never
+//! "ingested".
 
 use crate::ring::FrameRing;
 use mmwave_dsp::IfFrame;
@@ -15,13 +24,51 @@ use mmwave_dsp::IfFrame;
 /// One raw frame buffered inside a session ring.
 #[derive(Debug, Clone)]
 pub struct PendingFrame {
-    /// Sender-assigned sequence number (monotone per session).
+    /// Sender-assigned sequence number (monotone per session). Fillers
+    /// carry the sequence number of the frame they stand in for.
     pub seq: u64,
     /// Milliseconds since the service epoch when the frame was ingested;
     /// end-to-end latency is measured from here.
     pub ingest_ms: f64,
-    /// The raw IF cube.
+    /// The raw IF cube (all zeros for fillers).
     pub frame: IfFrame,
+    /// True for a gap-repair placeholder: the real frame never arrived,
+    /// this slot keeps the run contiguous and is interpolated away at
+    /// the heatmap stage.
+    pub filler: bool,
+}
+
+/// Why ingress refused a frame. Every rejection lands in the session's
+/// `rejected` ledger bucket; the reason picks the telemetry counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The frame carried NaN or infinite samples.
+    NonFinite,
+    /// The frame's cube dimensions do not match the capture pipeline.
+    BadShape,
+    /// The sequence number was already covered by the current run
+    /// (duplicate delivery, or a late frame whose slot a filler took).
+    Duplicate,
+}
+
+/// What the sequence tracker decided about an in-order-checked frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeqDisposition {
+    /// The expected next frame (or the first of a fresh run).
+    InOrder,
+    /// `missing` frames were skipped; small enough to fill in place.
+    FillableGap {
+        /// How many sequence numbers were skipped.
+        missing: u64,
+    },
+    /// A gap too large to repair: the buffered run must be abandoned
+    /// and a fresh contiguous run started at this frame.
+    RunBreak,
+    /// The sequence regressed to zero with history present: a sensor
+    /// restart. The buffered run is abandoned and restarted.
+    Restart,
+    /// Already covered by the current run — reject as a duplicate.
+    Duplicate,
 }
 
 /// The state and lifetime accounting of one sensor stream.
@@ -31,15 +78,34 @@ pub struct SessionState {
     pub id: u64,
     /// Bounded ingress ring of raw frames.
     pub ring: FrameRing<PendingFrame>,
-    /// Frames ever accepted into the ring.
+    /// Real frames currently buffered in the ring (fillers excluded);
+    /// this — not `ring.len()` — is the session's in-flight ring share.
+    pub ring_real: usize,
+    /// Real frames ever accepted into the ring.
     pub ingested: u64,
-    /// Frames shed (ring overflow plus any clips of this session shed
-    /// from the ready queue).
+    /// Real frames shed (ring overflow, abandoned runs, eviction
+    /// flushes, plus any clips of this session shed from the ready
+    /// queue or by an open circuit breaker).
     pub shed: u64,
-    /// Frames consumed by emitted verdicts.
+    /// Frames refused at ingress: non-finite, misshapen, or duplicate.
+    pub rejected: u64,
+    /// Real frames consumed by emitted verdicts.
     pub inferred: u64,
     /// Clips emitted so far (the next verdict's `clip_index`).
     pub clips: u64,
+    /// Sequence gaps detected (each counted once, whatever its width).
+    pub seq_gaps: u64,
+    /// Duplicate / late frames rejected by the sequence tracker.
+    pub seq_dups: u64,
+    /// Placeholder frames inserted to bridge fillable gaps.
+    pub filled: u64,
+    /// Next sequence number the tracker expects; `None` until the first
+    /// frame of a run arrives (a fresh session or a post-break restart
+    /// accepts any starting sequence).
+    pub expected_seq: Option<u64>,
+    /// Pump counter value when this session last ingested a frame (the
+    /// staleness sweep compares it against the service's pump count).
+    pub last_ingest_pump: u64,
     /// Highest ring depth ever observed (the backpressure test reads
     /// this to pin the never-exceeds-capacity invariant).
     pub peak_ring_depth: usize,
@@ -51,21 +117,113 @@ impl SessionState {
         SessionState {
             id,
             ring: FrameRing::new(ring_capacity),
+            ring_real: 0,
             ingested: 0,
             shed: 0,
+            rejected: 0,
             inferred: 0,
             clips: 0,
+            seq_gaps: 0,
+            seq_dups: 0,
+            filled: 0,
+            expected_seq: None,
+            last_ingest_pump: 0,
             peak_ring_depth: 0,
         }
     }
 
-    /// Accepts one frame into the ring, shedding the oldest buffered
-    /// frame when full. Returns the number of frames shed (0 or 1).
+    /// Classifies `seq` against the tracker without mutating anything.
+    pub fn classify_seq(&self, seq: u64, max_gap_repair: usize) -> SeqDisposition {
+        let Some(expected) = self.expected_seq else {
+            return SeqDisposition::InOrder;
+        };
+        if seq == expected {
+            return SeqDisposition::InOrder;
+        }
+        if seq > expected {
+            let missing = seq - expected;
+            return if max_gap_repair > 0 && missing <= max_gap_repair as u64 {
+                SeqDisposition::FillableGap { missing }
+            } else {
+                SeqDisposition::RunBreak
+            };
+        }
+        // seq < expected: a rewind. Zero with history means the sensor
+        // restarted its counter; anything else is a duplicate or a late
+        // frame whose slot was already taken (possibly by a filler).
+        if seq == 0 {
+            SeqDisposition::Restart
+        } else {
+            SeqDisposition::Duplicate
+        }
+    }
+
+    /// Accepts one real frame into the ring, shedding the oldest
+    /// buffered *real* frame when full. Returns the number of real
+    /// frames shed (0 or 1). The caller has already run the frame
+    /// through validation and [`SessionState::classify_seq`].
     pub fn accept(&mut self, frame: PendingFrame) -> u64 {
+        debug_assert!(!frame.filler, "accept is for real frames; use push_filler");
         self.ingested += 1;
-        let shed = u64::from(self.ring.push(frame).is_some());
-        self.shed += shed;
+        self.expected_seq = Some(frame.seq + 1);
+        self.ring_real += 1;
+        let shed = match self.ring.push(frame) {
+            Some(old) if !old.filler => {
+                self.ring_real -= 1;
+                self.shed += 1;
+                1
+            }
+            _ => 0,
+        };
         self.peak_ring_depth = self.peak_ring_depth.max(self.ring.len());
+        shed
+    }
+
+    /// Inserts one gap-repair placeholder for sequence `seq`. Returns
+    /// the number of real frames shed by the insertion (0 or 1);
+    /// fillers themselves never enter the ledger.
+    pub fn push_filler(&mut self, seq: u64, ingest_ms: f64, blank: IfFrame) -> u64 {
+        self.filled += 1;
+        let shed = match self.ring.push(PendingFrame {
+            seq,
+            ingest_ms,
+            frame: blank,
+            filler: true,
+        }) {
+            Some(old) if !old.filler => {
+                self.ring_real -= 1;
+                self.shed += 1;
+                1
+            }
+            _ => 0,
+        };
+        self.peak_ring_depth = self.peak_ring_depth.max(self.ring.len());
+        shed
+    }
+
+    /// Records a rejected frame (never buffered).
+    pub fn reject(&mut self, reason: RejectReason) {
+        self.ingested += 1;
+        self.rejected += 1;
+        if reason == RejectReason::Duplicate {
+            self.seq_dups += 1;
+        }
+    }
+
+    /// Abandons the buffered run (an unrepairable gap or a sensor
+    /// restart): every buffered real frame becomes shed, fillers
+    /// evaporate, and the tracker forgets its expectation so the next
+    /// frame starts a fresh run. Returns the number of real frames shed.
+    pub fn abandon_run(&mut self) -> u64 {
+        let mut shed = 0u64;
+        for frame in self.ring.drain_all() {
+            if !frame.filler {
+                shed += 1;
+            }
+        }
+        self.ring_real = 0;
+        self.shed += shed;
+        self.expected_seq = None;
         shed
     }
 }
@@ -75,7 +233,7 @@ mod tests {
     use super::*;
 
     fn frame(seq: u64) -> PendingFrame {
-        PendingFrame { seq, ingest_ms: seq as f64, frame: IfFrame::zeros(1, 1, 2) }
+        PendingFrame { seq, ingest_ms: seq as f64, frame: IfFrame::zeros(1, 1, 2), filler: false }
     }
 
     #[test]
@@ -88,5 +246,59 @@ mod tests {
         // The survivors are the freshest contiguous window.
         let kept = s.ring.take_front(2).expect("two frames buffered");
         assert_eq!(kept.iter().map(|f| f.seq).collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn sequence_tracker_classifies_every_disposition() {
+        let mut s = SessionState::new(1, 8);
+        // A fresh session accepts any starting sequence.
+        assert_eq!(s.classify_seq(5, 2), SeqDisposition::InOrder);
+        s.accept(frame(5));
+        assert_eq!(s.classify_seq(6, 2), SeqDisposition::InOrder);
+        assert_eq!(s.classify_seq(8, 2), SeqDisposition::FillableGap { missing: 2 });
+        assert_eq!(s.classify_seq(9, 2), SeqDisposition::RunBreak);
+        assert_eq!(s.classify_seq(8, 0), SeqDisposition::RunBreak, "0 disables repair");
+        assert_eq!(s.classify_seq(5, 2), SeqDisposition::Duplicate);
+        assert_eq!(s.classify_seq(3, 2), SeqDisposition::Duplicate);
+        assert_eq!(s.classify_seq(0, 2), SeqDisposition::Restart);
+    }
+
+    #[test]
+    fn fillers_occupy_capacity_but_stay_off_the_ledger() {
+        let mut s = SessionState::new(2, 3);
+        s.accept(frame(0));
+        s.push_filler(1, 1.0, IfFrame::zeros(1, 1, 2));
+        s.accept(frame(2));
+        assert_eq!((s.ingested, s.filled, s.ring_real), (2, 1, 2));
+        assert_eq!(s.ring.len(), 3);
+        // Overflow shedding a real frame counts; shedding a filler would not.
+        assert_eq!(s.accept(frame(3)), 1);
+        assert_eq!(s.shed, 1);
+        assert_eq!(s.ring_real, 2);
+    }
+
+    #[test]
+    fn abandon_run_sheds_reals_and_forgets_the_expectation() {
+        let mut s = SessionState::new(3, 8);
+        s.accept(frame(0));
+        s.push_filler(1, 1.0, IfFrame::zeros(1, 1, 2));
+        s.accept(frame(2));
+        assert_eq!(s.abandon_run(), 2, "only real frames are shed");
+        assert_eq!(s.ring_real, 0);
+        assert!(s.ring.is_empty());
+        assert_eq!(s.expected_seq, None);
+        // Next frame starts a fresh run at whatever sequence arrives.
+        assert_eq!(s.classify_seq(40, 2), SeqDisposition::InOrder);
+        // The ledger still closes: ingested == shed + buffered.
+        assert_eq!(s.ingested, s.shed + s.ring_real as u64);
+    }
+
+    #[test]
+    fn reject_reasons_split_duplicates_out() {
+        let mut s = SessionState::new(4, 4);
+        s.reject(RejectReason::NonFinite);
+        s.reject(RejectReason::BadShape);
+        s.reject(RejectReason::Duplicate);
+        assert_eq!((s.ingested, s.rejected, s.seq_dups), (3, 3, 1));
     }
 }

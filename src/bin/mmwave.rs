@@ -19,6 +19,7 @@
 //! mmwave fleet-export <dir> [--out <dir>] [--ttl <secs>] [--factor 4.0]
 //! mmwave dag-chaos [--dir <dir>] [--procs 3] [--keep]
 //! mmwave serve   [--sessions 4] [--seconds 10] [--fps 10] [--seed 7]
+//! mmwave serve-chaos [--cells clean,corrupt,...] [--seed 7]
 //! mmwave loadgen [--sessions 8] [--seconds 5] [--fps 10] [--jitter 0.2]
 //!                [--burst 1] [--seed 7] [--paced] [--out <dir>]
 //!                [--poison-frac 0] [--profile <path>] [--fail-on-alarm]
@@ -119,6 +120,7 @@ fn main() -> ExitCode {
         "top" => return top_cmd(&opts, &positionals),
         "fleet-export" => return fleet_export_cmd(&opts, &positionals),
         "serve" => serve_cmd(&opts),
+        "serve-chaos" => serve_chaos_cmd(&opts),
         "loadgen" => loadgen_cmd(&opts),
         "profile" => profile_cmd(&opts),
         "dag-chaos" => dag_chaos(&opts),
@@ -275,7 +277,18 @@ fn print_usage() {
                             (default 10) --fps <f> --jitter <0..1>\n\
                             --burst <n> --seed <n>\n\
                      env:   MMWAVE_SERVE_CLIP_LEN / _RING_CAP /\n\
-                            _READY_CAP / _BATCH_MAX (see docs/serving.md)\n\
+                            _READY_CAP / _BATCH_MAX / _SESSION_TTL /\n\
+                            _MAX_GAP / _BREAKER_THRESHOLD /\n\
+                            _BREAKER_COOLDOWN (see docs/serving.md)\n\
+           serve-chaos  transport-fault matrix over the streaming\n\
+                     service: each cell replays seeded traffic through\n\
+                     one fault mix (corrupt, drop, dup, reorder, flap,\n\
+                     overload, all) at 1 and 4 workers and must close\n\
+                     the conservation ledger with bit-identical\n\
+                     verdicts; nonzero exit on any failing cell\n\
+                     flags: --cells <csv> (default: the full matrix)\n\
+                            --seed <n> (default\n\
+                                        MMWAVE_SERVE_CHAOS_SEED or 7)\n\
            loadgen   replay N seeded sensor streams against the service\n\
                      as fast as possible and write the throughput /\n\
                      latency report as a checksummed artifact plus a\n\
@@ -1161,7 +1174,17 @@ fn render_top(
     if !serve_gauges.is_empty() {
         let _ = writeln!(out, "serve gauges:");
         for (k, g) in serve_gauges {
-            let _ = writeln!(out, "  {k:<28} {:.0}", g.value);
+            // The breaker gauge is an enum, not a magnitude: decode it.
+            let label = if k.as_str() == "serve.breaker_state" {
+                match g.value as u64 {
+                    0 => "  (closed)",
+                    1 => "  (half-open)",
+                    _ => "  (open)",
+                }
+            } else {
+                ""
+            };
+            let _ = writeln!(out, "  {k:<28} {:.0}{label}", g.value);
         }
     }
     // Model-health gauges are small fractions (drift scores, tail
@@ -1213,6 +1236,34 @@ fn render_top_json(
     let gauges: std::collections::BTreeMap<&String, f64> =
         merged.merged.gauges.iter().map(|(k, g)| (k, g.value)).collect();
     let monitor_counter = |name: &str| merged.merged.counters.get(name).copied().unwrap_or(0);
+    // Serve robustness digest: quarantine, sequencing, lifecycle, and
+    // breaker health at a glance without fishing through raw metrics.
+    let breaker_state = merged
+        .merged
+        .gauges
+        .get("serve.breaker_state")
+        .map(|g| g.value as u64)
+        .unwrap_or(0);
+    let serve_digest = serde_json::json!({
+        "ingested": monitor_counter("serve.ingested"),
+        "rejected": monitor_counter("serve.rejected"),
+        "rejected_shape": monitor_counter("serve.rejected_shape"),
+        "rejected_nonfinite": monitor_counter("serve.rejected_nonfinite"),
+        "seq_gaps": monitor_counter("serve.seq_gaps"),
+        "seq_dups": monitor_counter("serve.seq_dups"),
+        "seq_restarts": monitor_counter("serve.seq_restarts"),
+        "filled_frames": monitor_counter("serve.filled_frames"),
+        "sessions_evicted": monitor_counter("serve.sessions_evicted"),
+        "sessions_reopened": monitor_counter("serve.sessions_reopened"),
+        "verdicts_failed": monitor_counter("serve.verdicts_failed"),
+        "breaker_opened": monitor_counter("serve.breaker_opened"),
+        "breaker_state": breaker_state,
+        "breaker_state_label": match breaker_state {
+            0 => "closed",
+            1 => "half-open",
+            _ => "open",
+        },
+    });
     let alerts_by_kind: std::collections::BTreeMap<String, u64> = merged
         .merged
         .counters
@@ -1229,7 +1280,7 @@ fn render_top_json(
         .map(|(k, g)| (k, g.value))
         .collect();
     let snapshot = serde_json::json!({
-        "schema_version": 1,
+        "schema_version": 2,
         "campaign": {
             "dir": dir.display().to_string(),
             "tasks_total": status.tasks.len(),
@@ -1245,6 +1296,7 @@ fn render_top_json(
             "counters": counters,
             "gauges": gauges,
         },
+        "serve": serve_digest,
         "monitor": {
             "verdicts": monitor_counter("monitor.verdicts"),
             "windows": monitor_counter("monitor.windows"),
@@ -1457,6 +1509,99 @@ fn serve_cmd(opts: &HashMap<String, String>) -> ExitCode {
         );
         return ExitCode::FAILURE;
     }
+    ExitCode::SUCCESS
+}
+
+/// `mmwave serve-chaos`: the transport-fault matrix. Every requested
+/// cell replays the same seeded traffic through one fault mix at 1 and
+/// 4 workers; a cell passes only if the conservation ledger closes
+/// (`ingested == inferred + shed + rejected + in_flight`) under both
+/// worker counts, the verdict streams are bit-identical, and the
+/// fault channel left the ledger evidence it predicts (the clean cell
+/// must leave none). Nonzero exit on any failing cell.
+fn serve_chaos_cmd(opts: &HashMap<String, String>) -> ExitCode {
+    let cells: Vec<String> = match opts.get("cells") {
+        Some(raw) => raw
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect(),
+        None => serve::chaos::MATRIX_CELLS.iter().map(|s| s.to_string()).collect(),
+    };
+    if cells.is_empty() {
+        eprintln!("error: --cells needs at least one cell name");
+        return ExitCode::FAILURE;
+    }
+    let seed = match opts.get("seed").cloned().or_else(|| {
+        std::env::var("MMWAVE_SERVE_CHAOS_SEED").ok().filter(|s| !s.is_empty())
+    }) {
+        Some(raw) => match raw.parse::<u64>() {
+            Ok(s) => s,
+            Err(_) => {
+                eprintln!("error: --seed needs an integer, got `{raw}`");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => 7,
+    };
+    let proto = PrototypeConfig::fast();
+    println!(
+        "serve-chaos: {} cell(s) [{}], seed {seed}, 1-vs-4 worker determinism",
+        cells.len(),
+        cells.join(",")
+    );
+    let reports =
+        match serve::chaos::run_matrix(&cells, seed, &proto, &Environment::hallway()) {
+            Ok(r) => r,
+            Err(e) => {
+                telemetry::error!("serve-chaos failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+    println!(
+        "  {:<9} {:>6} {:>6} {:>5} {:>4} {:>7} {:>5} {:>4} {:>4} {:>5} {:>4} {:>5}  {:<4}",
+        "cell", "ingest", "infer", "shed", "rej", "inflght", "verd", "fail", "gaps", "dups",
+        "evic", "reopn", "pass"
+    );
+    let mut failed = 0usize;
+    for r in &reports {
+        let status = if r.pass {
+            "ok".to_string()
+        } else {
+            failed += 1;
+            let mut why = Vec::new();
+            if !r.balanced {
+                why.push(format!("UNBALANCED ({} unaccounted)", r.unaccounted));
+            }
+            if !r.deterministic {
+                why.push("NONDETERMINISTIC".to_string());
+            }
+            if !r.note.is_empty() {
+                why.push(r.note.clone());
+            }
+            format!("FAIL: {}", why.join("; "))
+        };
+        println!(
+            "  {:<9} {:>6} {:>6} {:>5} {:>4} {:>7} {:>5} {:>4} {:>4} {:>5} {:>4} {:>5}  {status}",
+            r.cell,
+            r.ingested,
+            r.inferred_frames,
+            r.shed_frames,
+            r.rejected_frames,
+            r.in_flight_frames,
+            r.verdicts,
+            r.verdicts_failed,
+            r.seq_gaps,
+            r.seq_dups,
+            r.sessions_evicted,
+            r.sessions_reopened,
+        );
+    }
+    if failed > 0 {
+        telemetry::error!("serve-chaos: {failed}/{} cell(s) failed", reports.len());
+        return ExitCode::FAILURE;
+    }
+    println!("serve-chaos: all {} cell(s) passed", reports.len());
     ExitCode::SUCCESS
 }
 

@@ -1,0 +1,210 @@
+//! Chaos-hardening contracts of the streaming service: session
+//! lifecycle under churn, per-clip failure isolation inside a
+//! micro-batch, the transport-fault matrix, and the CLI's
+//! unbalanced-ledger exit gate.
+
+use std::process::Command;
+
+use mmwave_har_backdoor::defense::TriggerDetector;
+use mmwave_har_backdoor::dsp::IfFrame;
+use mmwave_har_backdoor::har::{CnnLstm, PrototypeConfig};
+use mmwave_har_backdoor::radar::capture::Capturer;
+use mmwave_har_backdoor::radar::Environment;
+use mmwave_har_backdoor::serve::{
+    batcher, chaos, loadgen, LoadgenConfig, ReadyClip, ServeConfig, Service, VerdictStatus,
+};
+
+/// A blank frame matching the smoke capture pipeline's dimensions.
+fn blank_frame(proto: &PrototypeConfig) -> IfFrame {
+    let radar = &proto.capture.0.radar;
+    IfFrame::zeros(radar.n_virtual(), radar.n_chirps, radar.n_adc)
+}
+
+/// A well-formed all-real clip of blank frames for `session`.
+fn blank_clip(session: u64, proto: &PrototypeConfig) -> ReadyClip {
+    let n = proto.n_frames;
+    ReadyClip {
+        session,
+        clip_index: 0,
+        first_seq: 0,
+        last_seq: n as u64 - 1,
+        last_ingest_ms: 0.0,
+        frames: (0..n).map(|_| blank_frame(proto)).collect(),
+        dropped: vec![false; n],
+        real_frames: n,
+    }
+}
+
+/// Acceptance: open/stall/reconnect sessions in a loop. The session map
+/// must stay bounded by the active set, every evicted ring must surface
+/// in the ledger as shed, and the ledger must close at every step.
+#[test]
+fn session_churn_stays_bounded_and_evicted_rings_become_shed() {
+    let proto = PrototypeConfig::smoke_test();
+    let cfg = ServeConfig {
+        clip_len: proto.n_frames,
+        ring_capacity: proto.n_frames * 2,
+        ready_capacity: 2,
+        max_batch: 2,
+        session_ttl: 3,
+        ..ServeConfig::default()
+    };
+    let mut service =
+        Service::new(cfg, &proto, Environment::hallway(), 7).expect("valid config");
+    let waves = 12u64;
+    let frames_per_wave = 3u64; // below clip_len, so rings never assemble
+    for wave in 0..waves {
+        for seq in 0..frames_per_wave {
+            service.ingest(wave, seq, blank_frame(&proto));
+        }
+        assert_eq!(service.active_sessions(), 1, "one live session per wave");
+        // ttl pumps with no traffic: the wave's session goes stale and
+        // is evicted before the next wave connects.
+        for _ in 0..4 {
+            let _ = service.pump();
+        }
+        let acc = service.accounting();
+        assert!(acc.balanced(), "imbalance after wave {wave}: {acc:?}");
+        assert_eq!(
+            service.active_sessions(),
+            0,
+            "stale session must be evicted, map must not leak: wave {wave}"
+        );
+    }
+    // A previously evicted id reconnects: fresh ring, reopen counted.
+    service.ingest(0, 0, blank_frame(&proto));
+    let _ = service.drain();
+    let acc = service.accounting();
+    assert!(acc.balanced(), "imbalance at drain: {acc:?}");
+    assert_eq!(acc.sessions_evicted, waves);
+    assert!(acc.sessions_reopened >= 1, "reconnect must count as a reopen: {acc:?}");
+    assert_eq!(
+        acc.shed_frames,
+        waves * frames_per_wave,
+        "every evicted ring frame must be accounted as shed: {acc:?}"
+    );
+    assert_eq!(acc.ingested, waves * frames_per_wave + 1);
+    assert_eq!(acc.in_flight_frames, 1, "only the reconnect frame is still buffered");
+    assert_eq!(acc.rejected, 0);
+    assert_eq!(acc.inferred_frames, 0);
+}
+
+/// Acceptance: a batch containing one NaN clip and one panicking clip
+/// yields `Failed` for exactly those clips — their batchmates complete
+/// with verdicts bit-identical to a run without the poison.
+#[test]
+fn poisoned_clips_fail_alone_while_batchmates_complete() {
+    let proto = PrototypeConfig::smoke_test();
+    let capturer = Capturer::new(proto.capture.0.clone());
+    let model = CnnLstm::new(&proto, 7);
+    let detector = TriggerDetector::new(&proto, 7 ^ 0x5e7e_c7ed);
+    let environment = Environment::hallway();
+
+    let mut nan_clip = blank_clip(1, &proto);
+    chaos::corrupt_frame(&mut nan_clip.frames[0]);
+    let mut panic_clip = blank_clip(2, &proto);
+    // A dropped-mask length mismatch trips the documented assert inside
+    // `repair_dropped_frames` — a guaranteed mid-pipeline panic.
+    panic_clip.dropped = vec![true; proto.n_frames + 1];
+
+    let batch = vec![blank_clip(0, &proto), nan_clip, panic_clip, blank_clip(3, &proto)];
+    let verdicts =
+        batcher::infer_batch(&capturer, &environment, &model, &detector, &batch, 0.0);
+    assert_eq!(verdicts.len(), 4, "one verdict per clip, poisoned or not");
+    assert!(!verdicts[0].status.is_failed(), "clean clip 0 must succeed");
+    assert!(verdicts[1].status.is_failed(), "NaN clip must fail");
+    assert!(verdicts[2].status.is_failed(), "panicking clip must fail");
+    assert!(!verdicts[3].status.is_failed(), "clean clip 3 must succeed");
+    match &verdicts[2].status {
+        VerdictStatus::Failed { reason } => {
+            assert!(reason.contains("panicked"), "panic must be captured: {reason}");
+        }
+        VerdictStatus::Ok => unreachable!("checked above"),
+    }
+    // Failed verdicts carry poisoned placeholders, not model outputs.
+    assert_eq!(verdicts[1].activity, "failed");
+    assert_eq!(verdicts[1].confidence, 0.0);
+
+    // The survivors must be unaffected by their poisoned batchmates.
+    let clean_batch = vec![blank_clip(0, &proto), blank_clip(3, &proto)];
+    let clean =
+        batcher::infer_batch(&capturer, &environment, &model, &detector, &clean_batch, 0.0);
+    for (poisoned_run, clean_run) in [(&verdicts[0], &clean[0]), (&verdicts[3], &clean[1])] {
+        assert_eq!(poisoned_run.label, clean_run.label);
+        assert_eq!(poisoned_run.confidence.to_bits(), clean_run.confidence.to_bits());
+        assert_eq!(poisoned_run.defense_score.to_bits(), clean_run.defense_score.to_bits());
+    }
+}
+
+/// A slice of the serve-chaos matrix at smoke scale: each cell must
+/// close the ledger, stay bit-identical at 1 vs 4 workers, and leave
+/// the ledger evidence its fault channel predicts (the full matrix runs
+/// as a CI smoke job via the binary).
+#[test]
+fn chaos_matrix_cells_balance_and_stay_deterministic() {
+    let proto = PrototypeConfig::smoke_test();
+    let cells: Vec<String> =
+        ["clean", "drop", "flap"].iter().map(|s| s.to_string()).collect();
+    let reports = chaos::run_matrix(&cells, 7, &proto, &Environment::hallway())
+        .expect("known cells run");
+    assert_eq!(reports.len(), 3);
+    for r in &reports {
+        assert!(
+            r.pass,
+            "cell `{}` failed: balanced={} deterministic={} note=`{}`",
+            r.cell, r.balanced, r.deterministic, r.note
+        );
+    }
+    let by_cell = |name: &str| reports.iter().find(|r| r.cell == name).unwrap();
+    let clean = by_cell("clean");
+    assert_eq!(clean.rejected_frames + clean.seq_gaps + clean.seq_dups, 0);
+    assert_eq!(clean.sessions_evicted, 0);
+    assert!(clean.verdicts > 0);
+    assert!(by_cell("drop").seq_gaps > 0, "drop cell must detect gaps");
+    assert!(by_cell("flap").sessions_evicted > 0, "flap cell must evict");
+}
+
+/// Unknown cells must be a hard CLI error, not a silently empty matrix.
+#[test]
+fn serve_chaos_cli_rejects_unknown_cells_nonzero() {
+    let out = Command::new(env!("CARGO_BIN_EXE_mmwave"))
+        .args(["serve-chaos", "--cells", "no-such-cell"])
+        .output()
+        .expect("spawn mmwave serve-chaos");
+    assert!(!out.status.success(), "unknown cell must exit nonzero");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("no-such-cell"), "error must name the cell: {stderr}");
+}
+
+/// Satellite: `mmwave serve` gates its exit status on the conservation
+/// ledger. The predicate it checks is `LoadgenReport::is_clean`
+/// (`unaccounted == 0`) — pin that an unbalanced report is not clean,
+/// and that a real short run is clean end to end through the binary.
+#[test]
+fn serve_exit_gate_trips_on_any_unaccounted_frame() {
+    let proto = PrototypeConfig::smoke_test();
+    let lg = LoadgenConfig { sessions: 1, seconds: 1.0, fps: 16.0, ..LoadgenConfig::default() };
+    let serve_cfg = ServeConfig {
+        clip_len: proto.n_frames,
+        ring_capacity: proto.n_frames * 2,
+        ..ServeConfig::default()
+    };
+    let mut report =
+        loadgen::run_with(&lg, serve_cfg, &proto, Environment::hallway(), |_| {})
+            .expect("valid config");
+    assert!(report.is_clean(), "a fault-free run must balance: {report:?}");
+    report.unaccounted = 1;
+    assert!(!report.is_clean(), "any unaccounted frame must trip the gate");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_mmwave"))
+        .args(["serve", "--sessions", "1", "--seconds", "0.3", "--fps", "10", "--quiet"])
+        .output()
+        .expect("spawn mmwave serve");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "a clean paced run must exit zero:\n{stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("drained:"), "serve must print its accounting: {stdout}");
+}

@@ -41,6 +41,7 @@ proptest! {
             ring_capacity: RING_CAP,
             ready_capacity: READY_CAP,
             max_batch: 2,
+            ..ServeConfig::default()
         };
         let mut service =
             Service::new(cfg, &proto, Environment::hallway(), 7).expect("valid config");
@@ -91,6 +92,7 @@ fn drain_accounts_for_partial_rings_and_queued_clips() {
         ring_capacity: RING_CAP,
         ready_capacity: READY_CAP,
         max_batch: 2,
+        ..ServeConfig::default()
     };
     let mut service =
         Service::new(cfg, &proto, Environment::hallway(), 7).expect("valid config");
@@ -149,6 +151,7 @@ fn run_at(workers: usize) -> (loadgen::LoadgenReport, Vec<VerdictKey>) {
         ring_capacity: proto.n_frames * 2,
         ready_capacity: 8,
         max_batch: 4,
+        ..ServeConfig::default()
     };
     let lg = LoadgenConfig {
         sessions: 4,
